@@ -1,0 +1,247 @@
+//! Section III-E claims about the coordination service, measured:
+//!
+//! 1. **Boot-time znode creation** — "lots of creation operations will take
+//!    a long time when the virtual nodes number is large, but it only
+//!    happens once": bulk-create one znode per vnode and time it.
+//! 2. **Set latency** — "writes in ZooKeeper is much faster (in
+//!    milliseconds) than the frequency of new nodes join".
+//! 3. **Watch storm (ablation)** — the reason Sedna avoids watches: "if
+//!    there are many nodes watching the same znode, any change will result
+//!    in an uncontrollable network storm". We register N watchers and count
+//!    the messages one change triggers.
+//! 4. **Adaptive lease** — the alternative Sedna uses: read traffic under a
+//!    busy vs quiet workload, showing the lease halving/doubling at work.
+
+use sedna_common::{RequestId, SessionId};
+use sedna_coord::client::{LeaseCache, LeaseConfig};
+use sedna_coord::messages::{CoordMsg, CoordOp, CoordReply, EnsembleConfig};
+use sedna_coord::replica::CoordReplica;
+use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_net::link::LinkModel;
+use sedna_net::sim::{Sim, SimConfig};
+
+/// Minimal scripted client (mirrors the one in the coord tests).
+struct Script {
+    replicas: Vec<ActorId>,
+    script: Vec<CoordOp>,
+    cursor: usize,
+    session: Option<SessionId>,
+    next_req: u64,
+    pub replies: Vec<(u64, Result<CoordReply, sedna_coord::messages::CoordError>)>,
+    pub reply_times: Vec<u64>,
+    pub watch_events: u64,
+}
+
+impl Script {
+    fn new(replicas: Vec<ActorId>, script: Vec<CoordOp>) -> Self {
+        Script {
+            replicas,
+            script,
+            cursor: 0,
+            session: None,
+            next_req: 0,
+            replies: Vec::new(),
+            reply_times: Vec::new(),
+            watch_events: 0,
+        }
+    }
+
+    fn send_next(&mut self, ctx: &mut Ctx<'_, CoordMsg>) {
+        if self.cursor >= self.script.len() {
+            return;
+        }
+        let op = self.script[self.cursor].clone();
+        self.cursor += 1;
+        self.next_req += 1;
+        ctx.send(
+            self.replicas[0],
+            CoordMsg::Request {
+                session: self.session.unwrap_or(SessionId(0)),
+                req_id: RequestId(self.next_req),
+                op,
+            },
+        );
+    }
+}
+
+impl Actor for Script {
+    type Msg = CoordMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, CoordMsg>) {
+        ctx.set_timer(TimerToken(1), 500_000);
+    }
+
+    fn on_message(&mut self, _from: ActorId, msg: CoordMsg, ctx: &mut Ctx<'_, CoordMsg>) {
+        match msg {
+            CoordMsg::Response { req_id, result } => {
+                if self.session.is_none() {
+                    if let Ok(CoordReply::SessionOpened(sid)) = result {
+                        self.session = Some(sid);
+                        self.send_next(ctx);
+                        return;
+                    }
+                }
+                self.replies.push((req_id.0, result));
+                self.reply_times.push(ctx.now());
+                self.send_next(ctx);
+            }
+            CoordMsg::WatchEvent { .. } => self.watch_events += 1,
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _t: TimerToken, ctx: &mut Ctx<'_, CoordMsg>) {
+        self.next_req += 1;
+        ctx.send(
+            self.replicas[0],
+            CoordMsg::Request {
+                session: SessionId(0),
+                req_id: RequestId(self.next_req),
+                op: CoordOp::OpenSession,
+            },
+        );
+    }
+}
+
+fn build(seed: u64) -> (Sim<CoordMsg>, Vec<ActorId>) {
+    let mut sim = Sim::new(SimConfig {
+        seed,
+        link: LinkModel::gigabit_lan(),
+        ..SimConfig::default()
+    });
+    let ids: Vec<ActorId> = (0..3).map(ActorId).collect();
+    let cfg = EnsembleConfig::lan(ids.clone());
+    for i in 0..3 {
+        sim.add_actor(Box::new(CoordReplica::<CoordMsg>::new(cfg.clone(), i)));
+    }
+    (sim, ids)
+}
+
+fn main() {
+    // ---- 1. boot-time bulk creation --------------------------------------
+    println!("# coord_scaling — Sec. III-E measurements\n");
+    println!("[1] boot-time creation of one znode per virtual node (one-off)");
+    println!("{:>10} {:>14} {:>16}", "vnodes", "boot_ms", "znodes/s");
+    for vnodes in [1_000u64, 10_000, 50_000, 100_000] {
+        let (mut sim, ids) = build(1);
+        let nodes: Vec<(String, Vec<u8>)> = std::iter::once(("/v".to_string(), vec![]))
+            .chain((0..vnodes).map(|i| (format!("/v/{i}"), vec![0u8; 16])))
+            .collect();
+        let client = sim.add_actor(Box::new(Script::new(
+            ids,
+            vec![CoordOp::CreateMany { nodes }],
+        )));
+        let started = 500_000; // session open fires at 0.5 s
+        sim.run_until(600_000_000);
+        let c = sim.actor_ref::<Script>(client).unwrap();
+        assert_eq!(c.replies.len(), 1, "bulk create finished");
+        let took = c.reply_times[0].saturating_sub(started);
+        println!(
+            "{:>10} {:>14.1} {:>16.0}",
+            vnodes,
+            took as f64 / 1_000.0,
+            vnodes as f64 / (took as f64 / 1.0e6)
+        );
+    }
+
+    // ---- 2. set latency ----------------------------------------------------
+    println!("\n[2] znode set latency (what a node join/leave costs)");
+    let (mut sim, ids) = build(2);
+    let mut script = vec![CoordOp::Create {
+        path: "/ring".into(),
+        data: vec![0; 512],
+        ephemeral: false,
+    }];
+    for _ in 0..100 {
+        script.push(CoordOp::Set {
+            path: "/ring".into(),
+            data: vec![0; 512],
+            expected_version: None,
+        });
+    }
+    let client = sim.add_actor(Box::new(Script::new(ids, script)));
+    sim.run_until(20_000_000);
+    let c = sim.actor_ref::<Script>(client).unwrap();
+    let mut lat: Vec<u64> = c.reply_times.windows(2).map(|w| w[1] - w[0]).collect();
+    lat.sort_unstable();
+    println!(
+        "  100 sets of a 512 B ring znode: p50 {:.2} ms, p99 {:.2} ms (paper: \"in milliseconds\")",
+        lat[lat.len() / 2] as f64 / 1_000.0,
+        lat[lat.len() * 99 / 100] as f64 / 1_000.0
+    );
+
+    // ---- 3. watch storm ablation -------------------------------------------
+    println!("\n[3] watch-storm ablation — why Sedna does NOT use watches");
+    println!(
+        "{:>10} {:>18} {:>22}",
+        "watchers", "msgs_per_change", "watch_events_fired"
+    );
+    for watchers in [10u32, 100, 1_000] {
+        let (mut sim, ids) = build(3);
+        // `watchers` clients each Get the same znode with watch=true, then
+        // one writer changes it once.
+        let mut clients = Vec::new();
+        let setup = sim.add_actor(Box::new(Script::new(
+            ids.clone(),
+            vec![CoordOp::Create {
+                path: "/hot".into(),
+                data: vec![1],
+                ephemeral: false,
+            }],
+        )));
+        sim.run_until(2_000_000);
+        assert_eq!(sim.actor_ref::<Script>(setup).unwrap().replies.len(), 1);
+        for _ in 0..watchers {
+            clients.push(sim.add_actor(Box::new(Script::new(
+                ids.clone(),
+                vec![CoordOp::Get {
+                    path: "/hot".into(),
+                    watch: true,
+                }],
+            ))));
+        }
+        sim.run_until(sim.now() + 3_000_000);
+        let before = sim.stats().messages_sent;
+        let writer = sim.add_actor(Box::new(Script::new(
+            ids.clone(),
+            vec![CoordOp::Set {
+                path: "/hot".into(),
+                data: vec![2],
+                expected_version: None,
+            }],
+        )));
+        sim.run_until(sim.now() + 3_000_000);
+        let _ = writer;
+        let after = sim.stats().messages_sent;
+        let fired: u64 = clients
+            .iter()
+            .map(|&c| sim.actor_ref::<Script>(c).unwrap().watch_events)
+            .sum();
+        println!("{:>10} {:>18} {:>22}", watchers, after - before, fired);
+    }
+    println!("  one change fans out to every watcher: O(watchers) messages — the storm.");
+
+    // ---- 4. adaptive lease --------------------------------------------------
+    println!("\n[4] adaptive lease (the storm-free alternative Sedna uses)");
+    let mut lease = LeaseCache::new(LeaseConfig {
+        initial_micros: 200_000,
+        min_micros: 25_000,
+        max_micros: 3_200_000,
+    });
+    print!("  busy windows : ");
+    for _ in 0..6 {
+        lease.adapt(true);
+        print!("{}ms ", lease.lease_micros() / 1_000);
+    }
+    println!("(halves to the floor — fresher reads when things change)");
+    print!("  quiet windows: ");
+    for _ in 0..8 {
+        lease.adapt(false);
+        print!("{}ms ", lease.lease_micros() / 1_000);
+    }
+    println!("(doubles to the cap — near-zero idle read load)");
+    println!(
+        "  at the 3.2 s cap a 1000-node cluster costs the ensemble only ~{:.0} reads/s total.",
+        1_000.0 / 3.2
+    );
+}

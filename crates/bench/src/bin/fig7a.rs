@@ -1,0 +1,64 @@
+//! Figure 7(a): W/R speed, Sedna vs Memcached(3).
+//!
+//! Paper setup (Sec. VI-A): one client, 9 servers, 20 B keys / 20 B
+//! constant values; Sedna writes each pair to 3 real nodes *in parallel*
+//! (quorum W=2), while the Memcached client writes/reads each pair 3 times
+//! *sequentially* to 3 servers. The paper's result: Sedna beats
+//! Memcached(3) on both writes and reads.
+//!
+//! Output: one row per operation count (the paper sweeps 0–60 000),
+//! completion time in milliseconds of virtual time.
+
+use sedna_bench::runs::{ms, run_memcached_load, run_sedna_load};
+use sedna_core::config::ClusterConfig;
+use sedna_memcached::client::Replication;
+
+fn main() {
+    let seed = 0x5_ED_AA;
+    let cfg = ClusterConfig::paper();
+    println!("# Figure 7(a) — W/R speed: Sedna vs Memcached(3) (sequential triple copies)");
+    println!("# cluster: 9 data nodes + 3 coord, 1 GbE model, 1 client, N=3 R=2 W=2");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14}",
+        "ops", "sedna_w_ms", "sedna_r_ms", "mc3_w_ms", "mc3_r_ms"
+    );
+    let mut rows = Vec::new();
+    for ops in [10_000u64, 20_000, 30_000, 40_000, 50_000, 60_000] {
+        let sedna = run_sedna_load(cfg.clone(), 1, ops, seed);
+        let mc3 = run_memcached_load(
+            9,
+            1,
+            ops,
+            Replication::Sequential(3),
+            cfg.read_service_micros,
+            cfg.write_service_micros,
+            seed,
+        );
+        assert_eq!(sedna.errors, 0, "sedna run errored");
+        assert_eq!(mc3.errors, 0, "memcached run errored");
+        println!(
+            "{:>8} {:>14} {:>14} {:>14} {:>14}",
+            ops,
+            ms(sedna.write_micros),
+            ms(sedna.read_micros),
+            ms(mc3.write_micros),
+            ms(mc3.read_micros)
+        );
+        rows.push((ops, sedna, mc3));
+    }
+    let (_, s, m) = rows.last().unwrap();
+    println!("#");
+    println!(
+        "# shape check @60k: sedna writes {:.2}x faster than memcached(3) writes (paper: faster)",
+        m.write_micros as f64 / s.write_micros as f64
+    );
+    println!(
+        "# shape check @60k: sedna reads  {:.2}x faster than memcached(3) reads  (paper: faster)",
+        m.read_micros as f64 / s.read_micros as f64
+    );
+    let first = &rows[0];
+    println!(
+        "# linearity: sedna write time grows {:.2}x from 10k to 60k ops (paper: linear, ~6x)",
+        s.write_micros as f64 / first.1.write_micros as f64
+    );
+}

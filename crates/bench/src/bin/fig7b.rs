@@ -1,0 +1,57 @@
+//! Figure 7(b): W/R speed, Sedna vs Memcached(1).
+//!
+//! Same setup as Fig. 7(a), but the Memcached client writes/reads each pair
+//! only once. The paper's result: "Sedna performance is quite stable, and
+//! slightly slower than original write-once Memcached performance" — the
+//! price of three parallel replicas and the W=2 quorum wait versus a single
+//! unreplicated copy.
+
+use sedna_bench::runs::{ms, run_memcached_load, run_sedna_load};
+use sedna_core::config::ClusterConfig;
+use sedna_memcached::client::Replication;
+
+fn main() {
+    let seed = 0x5_ED_AB;
+    let cfg = ClusterConfig::paper();
+    println!("# Figure 7(b) — W/R speed: Sedna vs Memcached(1) (single copy)");
+    println!("# cluster: 9 data nodes + 3 coord, 1 GbE model, 1 client, N=3 R=2 W=2");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14}",
+        "ops", "sedna_w_ms", "sedna_r_ms", "mc1_w_ms", "mc1_r_ms"
+    );
+    let mut rows = Vec::new();
+    for ops in [10_000u64, 20_000, 30_000, 40_000, 50_000, 60_000] {
+        let sedna = run_sedna_load(cfg.clone(), 1, ops, seed);
+        let mc1 = run_memcached_load(
+            9,
+            1,
+            ops,
+            Replication::Single,
+            cfg.read_service_micros,
+            cfg.write_service_micros,
+            seed,
+        );
+        assert_eq!(sedna.errors, 0);
+        assert_eq!(mc1.errors, 0);
+        println!(
+            "{:>8} {:>14} {:>14} {:>14} {:>14}",
+            ops,
+            ms(sedna.write_micros),
+            ms(sedna.read_micros),
+            ms(mc1.write_micros),
+            ms(mc1.read_micros)
+        );
+        rows.push((ops, sedna, mc1));
+    }
+    let (_, s, m) = rows.last().unwrap();
+    println!("#");
+    println!(
+        "# shape check @60k: sedna writes are {:.3}x the time of memcached(1) writes \
+         (paper: slightly slower, i.e. ratio a little above 1)",
+        s.write_micros as f64 / m.write_micros as f64
+    );
+    println!(
+        "# shape check @60k: sedna reads are {:.3}x the time of memcached(1) reads",
+        s.read_micros as f64 / m.read_micros as f64
+    );
+}

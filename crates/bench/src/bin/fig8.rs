@@ -1,0 +1,52 @@
+//! Figure 8: R/W speed, nine clients vs one client (Sedna only).
+//!
+//! Paper: "nine clients begin to issue the read/write requests nearly at
+//! the same time … the I/O performance indeed reduce when there are more
+//! concurrent read/write clients. However … the overall throughput is
+//! larger than one client." Contention comes from each write landing on 3
+//! replicas and from per-server CPU/network queueing — both present in the
+//! simulator's single-server CPU model.
+
+use sedna_bench::runs::{ms, run_sedna_load};
+use sedna_core::config::ClusterConfig;
+
+fn main() {
+    let seed = 0x5_ED_AC;
+    let cfg = ClusterConfig::paper();
+    println!("# Figure 8 — R/W speed, nine clients vs one client (Sedna)");
+    println!("# per-client completion time of the same per-client op count");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "ops", "c1_w_ms", "c1_r_ms", "c9_w_ms", "c9_r_ms", "c9_w_kops/s", "c1_w_kops/s"
+    );
+    let mut last = None;
+    for ops in [10_000u64, 20_000, 30_000, 40_000, 50_000, 60_000] {
+        let one = run_sedna_load(cfg.clone(), 1, ops, seed);
+        let nine = run_sedna_load(cfg.clone(), 9, ops, seed);
+        assert_eq!(one.errors, 0);
+        assert_eq!(nine.errors, 0);
+        let thr1 = ops as f64 / one.write_micros as f64 * 1_000.0;
+        let thr9 = 9.0 * ops as f64 / nine.write_micros as f64 * 1_000.0;
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>12} {:>14.1} {:>14.1}",
+            ops,
+            ms(one.write_micros),
+            ms(one.read_micros),
+            ms(nine.write_micros),
+            ms(nine.read_micros),
+            thr9,
+            thr1
+        );
+        last = Some((one, nine, thr1, thr9));
+    }
+    let (one, nine, thr1, thr9) = last.unwrap();
+    println!("#");
+    println!(
+        "# shape check @60k: per-client writes are {:.2}x slower with nine clients (paper: slower)",
+        nine.write_micros as f64 / one.write_micros as f64
+    );
+    println!(
+        "# shape check @60k: aggregate write throughput is {:.2}x higher with nine clients (paper: higher)",
+        thr9 / thr1
+    );
+}

@@ -1,0 +1,199 @@
+//! Ablation: mixed read/write workloads with uniform vs zipfian key choice
+//! (YCSB-style), beyond the paper's pure write-then-read batches.
+//!
+//! Shows two effects the paper's evaluation doesn't isolate:
+//!
+//! * reads are cheaper than writes for the *cluster* (R=2 responses needed
+//!   vs 3 replica writes), so throughput rises with the read fraction;
+//! * zipfian skew concentrates load on the hot keys' replica sets, which
+//!   costs throughput when many clients contend.
+
+use sedna_common::rng::Xoshiro256;
+use sedna_common::time::Micros;
+use sedna_core::client::{ClientCore, ClientEvent};
+use sedna_core::cluster::SimCluster;
+use sedna_core::config::ClusterConfig;
+use sedna_core::messages::SednaMsg;
+use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_net::link::LinkModel;
+use sedna_net::sim::SimConfig;
+use sedna_workload::{KeyChooser, PaperWorkload};
+
+const T_TICK: TimerToken = TimerToken(1);
+
+/// Closed-loop mixed-op driver.
+struct MixedDriver {
+    core: ClientCore,
+    workload: PaperWorkload,
+    chooser: KeyChooser,
+    rng: Xoshiro256,
+    read_fraction: f64,
+    ops: u64,
+    done: u64,
+    started_at: Micros,
+    pub finished_at: Option<Micros>,
+    pub errors: u64,
+}
+
+impl MixedDriver {
+    fn issue(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        if self.done >= self.ops {
+            if self.finished_at.is_none() {
+                self.finished_at = Some(ctx.now());
+            }
+            return;
+        }
+        let idx = self.chooser.pick(self.done, &mut self.rng);
+        let key = self.workload.key(idx);
+        let now = ctx.now();
+        let issued = if self.rng.chance(self.read_fraction) {
+            self.core.read_latest(&key, now)
+        } else {
+            self.core.write_latest(&key, self.workload.value(), now)
+        };
+        if let Some((_, out)) = issued {
+            for (to, m) in out {
+                ctx.send(to, m);
+            }
+        }
+    }
+}
+
+impl Actor for MixedDriver {
+    type Msg = SednaMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        for (to, m) in self.core.bootstrap() {
+            ctx.send(to, m);
+        }
+        ctx.set_timer(T_TICK, 10_000);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: SednaMsg, ctx: &mut Ctx<'_, SednaMsg>) {
+        let now = ctx.now();
+        let (events, out) = self.core.on_message(from, msg, now);
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        for ev in events {
+            match ev {
+                ClientEvent::Ready => {
+                    self.started_at = ctx.now();
+                    self.issue(ctx);
+                }
+                ClientEvent::Done { result, .. } => {
+                    use sedna_core::messages::ClientResult;
+                    self.done += 1;
+                    match result {
+                        ClientResult::Ok | ClientResult::Outdated | ClientResult::Latest(_) => {}
+                        _ => self.errors += 1,
+                    }
+                    self.issue(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _t: TimerToken, ctx: &mut Ctx<'_, SednaMsg>) {
+        let (events, out) = self.core.on_tick(ctx.now());
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        for ev in events {
+            if let ClientEvent::Done { .. } = ev {
+                self.done += 1;
+                self.errors += 1;
+                self.issue(ctx);
+            }
+        }
+        ctx.set_timer(T_TICK, 10_000);
+    }
+}
+
+fn run(read_fraction: f64, zipfian: bool, clients: u32, ops: u64, seed: u64) -> (f64, u64) {
+    let cfg = ClusterConfig::paper();
+    let sim_config = SimConfig {
+        seed,
+        link: LinkModel::gigabit_lan(),
+        send_overhead_micros: 4,
+    };
+    let mut cluster = SimCluster::build_with_sim_config(cfg.clone(), sim_config, |_| None);
+    cluster.run_until_ready(60_000_000);
+    let key_space = 10_000;
+    let mut ids = Vec::new();
+    for c in 0..clients {
+        let chooser = if zipfian {
+            KeyChooser::zipfian(key_space, 0.99)
+        } else {
+            KeyChooser::Uniform { n: key_space }
+        };
+        let id = cluster.sim.add_actor(Box::new(MixedDriver {
+            core: ClientCore::new(cfg.clone(), cfg.client_origin(c)),
+            workload: PaperWorkload::new(),
+            chooser,
+            rng: Xoshiro256::seeded(seed ^ c as u64),
+            read_fraction,
+            ops,
+            done: 0,
+            started_at: 0,
+            finished_at: None,
+            errors: 0,
+        }));
+        // Colocate like the paper's setup.
+        cluster.sim.share_cpu(
+            id,
+            cfg.node_actor(sedna_common::NodeId(c % cfg.data_nodes as u32)),
+        );
+        ids.push(id);
+    }
+    let ceiling = cluster.sim.now() + ops * clients as u64 * 4_000;
+    loop {
+        let t = cluster.sim.now() + 500_000;
+        cluster.sim.run_until(t);
+        let all = ids.iter().all(|&id| {
+            cluster
+                .sim
+                .actor_ref::<MixedDriver>(id)
+                .is_some_and(|d| d.finished_at.is_some())
+        });
+        if all {
+            break;
+        }
+        assert!(t < ceiling, "mixed run stuck");
+    }
+    let mut worst: Micros = 0;
+    let mut errors = 0;
+    for &id in &ids {
+        let d = cluster.sim.actor_ref::<MixedDriver>(id).unwrap();
+        worst = worst.max(d.finished_at.unwrap() - d.started_at);
+        errors += d.errors;
+    }
+    let throughput_kops = clients as f64 * ops as f64 / worst as f64 * 1_000.0;
+    (throughput_kops, errors)
+}
+
+fn main() {
+    println!(
+        "# mixed_workload — read-fraction × key-skew ablation (9 nodes, 9 clients, 5k ops each)"
+    );
+    println!(
+        "{:>14} {:>12} {:>16} {:>8}",
+        "read_fraction", "skew", "agg_kops/s", "errors"
+    );
+    for &rf in &[0.0, 0.5, 0.9, 1.0] {
+        for &zipf in &[false, true] {
+            let (kops, errors) = run(rf, zipf, 9, 5_000, 0x5_ED_B0);
+            println!(
+                "{:>14} {:>12} {:>16.1} {:>8}",
+                rf,
+                if zipf { "zipf(.99)" } else { "uniform" },
+                kops,
+                errors
+            );
+        }
+    }
+    println!("#");
+    println!("# higher read fraction ⇒ higher throughput (reads occupy replica CPUs");
+    println!("# for less time than 3-way writes); zipfian skew concentrates work on");
+    println!("# the hot keys' three replicas and costs aggregate throughput.");
+}

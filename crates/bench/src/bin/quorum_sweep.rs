@@ -1,0 +1,45 @@
+//! Ablation: the quorum policy space (Table I's "flexible policy").
+//!
+//! Sweeps every valid (N, R, W) for N ∈ {1, 3, 5} over the simulated
+//! cluster and reports write/read completion times, quantifying the
+//! consistency/latency trade-off the paper leaves implicit.
+
+use sedna_bench::runs::{ms, run_sedna_load};
+use sedna_core::config::ClusterConfig;
+use sedna_replication::QuorumConfig;
+
+fn main() {
+    println!("# quorum_sweep — W/R completion time of 5k ops for each valid (N,R,W)");
+    println!(
+        "{:>4} {:>4} {:>4} {:>12} {:>12}",
+        "N", "R", "W", "write_ms", "read_ms"
+    );
+    let ops = 5_000;
+    for n in [1usize, 3, 5] {
+        for r in 1..=n {
+            for w in 1..=n {
+                let Ok(q) = QuorumConfig::new(n, r, w) else {
+                    continue;
+                };
+                let cfg = ClusterConfig {
+                    quorum: q,
+                    ..ClusterConfig::paper()
+                };
+                let res = run_sedna_load(cfg, 1, ops, 0x5_ED_AF);
+                assert_eq!(res.errors, 0, "N={n} R={r} W={w} errored");
+                println!(
+                    "{:>4} {:>4} {:>4} {:>12} {:>12}",
+                    n,
+                    r,
+                    w,
+                    ms(res.write_micros),
+                    ms(res.read_micros)
+                );
+            }
+        }
+    }
+    println!("#");
+    println!("# reading the table: higher W ⇒ slower writes (wait for more acks);");
+    println!("# higher R ⇒ slower reads; N=1 is the memcached-like lower bound;");
+    println!("# the paper's N=3,R=2,W=2 buys full replication for a modest premium.");
+}

@@ -1,0 +1,167 @@
+//! Table I: "Summary of Sedna" — the paper's technique/advantage table.
+//!
+//! Each row is demonstrated *live* on the actual implementation, with the
+//! measurement that justifies the "advantage" column, and a pointer to the
+//! test/bench that covers it in depth.
+
+use sedna_common::rng::Xoshiro256;
+use sedna_common::{Key, NodeId};
+use sedna_core::cluster::SimCluster;
+use sedna_core::config::ClusterConfig;
+use sedna_core::node::SednaNode;
+use sedna_net::link::LinkModel;
+use sedna_replication::QuorumConfig;
+use sedna_ring::VNodeMap;
+use sedna_workload::PaperWorkload;
+
+fn main() {
+    println!("# Table I — Summary of Sedna: live demonstrations\n");
+
+    // ---- Partitioning: consistent hashing → incremental scalability -----
+    let mut map = VNodeMap::new(900, 3);
+    for n in 0..9 {
+        map.join(NodeId(n));
+    }
+    let before: u32 = map.load(NodeId(0));
+    let moved = map.join(NodeId(9)).len();
+    let total_slots = 900 * 3;
+    println!("[Partitioning] consistent hashing with virtual nodes");
+    println!("  9-node cluster: {before} slots/node; adding a 10th moved only");
+    println!(
+        "  {moved} of {total_slots} slots ({:.1}%) — incremental scalability.",
+        100.0 * moved as f64 / total_slots as f64
+    );
+    println!("  covered by: sedna-ring assignment tests\n");
+
+    // ---- Replication: eventual consistency via quorum --------------------
+    println!("[Replication] quorum R+W>N, W>N/2 — higher R/W speed, flexible policy");
+    let mut valid = 0;
+    for n in 1..=5 {
+        for r in 1..=n {
+            for w in 1..=n {
+                if QuorumConfig::new(n, r, w).is_ok() {
+                    valid += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "  paper default N=3 R=2 W=2 valid: {}",
+        QuorumConfig::new(3, 2, 2).is_ok()
+    );
+    println!("  {valid} valid (N,R,W) policies for N ≤ 5 — see quorum_sweep for their cost.");
+    println!("  covered by: sedna-replication tests, bench quorum_sweep\n");
+
+    // ---- Node management: ZooKeeper sub-cluster ---------------------------
+    println!("[Node management] coordination sub-cluster — no single point of failure");
+    let mut cluster = SimCluster::build(ClusterConfig::small(), 1, LinkModel::gigabit_lan());
+    cluster.run_until_ready(30_000_000);
+    let t0 = cluster.sim.now();
+    // Kill the current coordination leader; measure until a new one leads.
+    let leader = (0..3)
+        .map(|i| cluster.config.coord_actor(i))
+        .find(|&a| {
+            cluster
+                .sim
+                .actor_ref::<sedna_coord::replica::CoordReplica<sedna_core::messages::SednaMsg>>(a)
+                .is_some_and(|r| r.is_leader())
+        })
+        .expect("leader");
+    cluster.sim.set_down(leader, true);
+    let mut t = t0;
+    loop {
+        t += 50_000;
+        cluster.sim.run_until(t);
+        let new_leader = (0..3).map(|i| cluster.config.coord_actor(i)).any(|a| {
+            a != leader
+                && cluster
+                    .sim
+                    .actor_ref::<sedna_coord::replica::CoordReplica<sedna_core::messages::SednaMsg>>(a)
+                    .is_some_and(|r| r.is_leader())
+        });
+        if new_leader {
+            break;
+        }
+        assert!(t - t0 < 10_000_000, "failover too slow");
+    }
+    println!(
+        "  killed the ensemble leader; a survivor took over after {:.0} ms.",
+        (t - t0) as f64 / 1_000.0
+    );
+    println!("  covered by: sedna-coord ensemble tests\n");
+
+    // ---- Read & write: lock-free timestamped writes ----------------------
+    println!("[Read&Write] timestamped lock-free writes — speed and low latency");
+    let store = sedna_memstore::MemStore::new(sedna_memstore::StoreConfig::default());
+    let w = PaperWorkload::new();
+    let mut rng = Xoshiro256::seeded(1);
+    let started = std::time::Instant::now();
+    let ops = 200_000u64;
+    for i in 0..ops {
+        let key = w.key(rng.next_below(10_000));
+        store.write_latest(
+            &key,
+            sedna_common::Timestamp::new(i, 0, NodeId(0)),
+            w.value(),
+        );
+    }
+    let rate = ops as f64 / started.elapsed().as_secs_f64() / 1.0e6;
+    println!("  single-thread local engine: {rate:.2} M writes/s (no locks held across ops)");
+    println!("  covered by: sedna-memstore tests + criterion micro bench\n");
+
+    // ---- Failure detection ------------------------------------------------
+    println!("[Failure detection] heartbeats + ephemeral znodes — fast, passive");
+    let victim = NodeId(0);
+    cluster.crash_node(victim);
+    let t0 = cluster.sim.now();
+    let mut t = t0;
+    loop {
+        t += 100_000;
+        cluster.sim.run_until(t);
+        let evicted = (1..3).all(|n| {
+            cluster
+                .sim
+                .actor_ref::<SednaNode>(cluster.config.node_actor(NodeId(n)))
+                .and_then(|x| x.ring())
+                .is_some_and(|r| !r.is_member(victim))
+        });
+        if evicted {
+            break;
+        }
+        assert!(t - t0 < 20_000_000, "detection too slow");
+    }
+    println!(
+        "  crashed a data node; survivors' routing dropped it after {:.1} s",
+        (t - t0) as f64 / 1.0e6
+    );
+    println!("  (session timeout 1 s + sweep + remap + lease refresh).");
+    println!("  covered by: sedna-core cluster_sim tests\n");
+
+    // ---- Persistency -------------------------------------------------------
+    println!("[Persistency] periodic flush or write-ahead log, per user choice");
+    let dir = std::env::temp_dir().join(format!("sedna-table1-{}", std::process::id()));
+    let engine = sedna_persist::PersistEngine::new(
+        &dir,
+        sedna_persist::PersistMode::WriteAhead {
+            snapshot_interval_micros: 1_000_000,
+        },
+    )
+    .unwrap();
+    let s2 = sedna_memstore::MemStore::new(sedna_memstore::StoreConfig::default());
+    for i in 0..1_000u64 {
+        let key = w.key(i);
+        let ts = sedna_common::Timestamp::new(i + 1, 0, NodeId(0));
+        s2.write_latest(&key, ts, w.value());
+        engine.note_write(&key, ts, &w.value(), true).unwrap();
+    }
+    let fresh = sedna_memstore::MemStore::new(sedna_memstore::StoreConfig::default());
+    let (rows, replayed) = engine.recover(&fresh).unwrap();
+    println!(
+        "  1000 writes through the WAL; crash-recovery replayed {replayed} records \
+         (+{rows} snapshot rows) and restored {} keys.",
+        fresh.len()
+    );
+    println!("  covered by: sedna-persist tests");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = Key::from("unused");
+}

@@ -1,0 +1,245 @@
+//! Section V use case: the micro-blogging realtime search engine.
+//!
+//! The paper's freshness claim is steps (1)–(7) of Fig. 6: "As a realtime
+//! search engine, the time between (1) and (7) should be less than several
+//! minutes." We measure exactly that interval on the simulated cluster:
+//! a crawler writes tweets (`write_all`, step 3), the indexer trigger job
+//! parses and writes inverted-index entries (steps 4–5), and a query
+//! client polls the index until the tweet is queryable (steps 6–7).
+
+use sedna_common::{Key, KeyPath, NodeId, Value};
+use sedna_core::client::{ClientCore, ClientEvent};
+use sedna_core::cluster::SimCluster;
+use sedna_core::config::ClusterConfig;
+use sedna_core::messages::{ClientResult, SednaMsg};
+use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_net::link::LinkModel;
+use sedna_triggers::{Emits, FnAction, JobSpec, MonitorScope};
+use sedna_workload::tweets::{StreamEvent, TweetStream};
+
+const T_TICK: TimerToken = TimerToken(1);
+const T_FEED: TimerToken = TimerToken(2);
+const T_POLL: TimerToken = TimerToken(3);
+
+/// Crawler + query client: writes one tweet at a time, then polls the
+/// inverted index until the tweet's first word resolves to its id,
+/// recording the write→queryable latency. Repeats for `samples` tweets.
+struct SearchProbe {
+    core: ClientCore,
+    stream: TweetStream,
+    samples: usize,
+    /// (tweet id, first word) awaiting indexing.
+    current: Option<(u64, String, u64)>, // (id, word, written_at)
+    poll_op: Option<u64>,
+    pub latencies: Vec<u64>,
+}
+
+impl SearchProbe {
+    fn new(cfg: ClusterConfig, samples: usize) -> Self {
+        SearchProbe {
+            core: ClientCore::new(cfg, NodeId(1_000)),
+            stream: TweetStream::new(7, 500).with_follow_ratio(0.0),
+            samples,
+            current: None,
+            poll_op: None,
+            latencies: Vec::new(),
+        }
+    }
+
+    fn feed_next(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        if self.latencies.len() >= self.samples {
+            return;
+        }
+        let StreamEvent::Tweet(t) = self.stream.next_event() else {
+            return;
+        };
+        let word = t.text.split(' ').next().unwrap_or("x").to_string();
+        let key = KeyPath::new("tweets", "messages", format!("m{}", t.id))
+            .unwrap()
+            .encode();
+        let now = ctx.now();
+        if let Some((_, out)) = self.core.write_all(&key, Value::from(t.text.clone()), now) {
+            self.current = Some((t.id, word, now));
+            for (to, m) in out {
+                ctx.send(to, m);
+            }
+        }
+    }
+
+    fn poll_index(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        let Some((id, word, _)) = &self.current else {
+            return;
+        };
+        if self.poll_op.is_some() {
+            return;
+        }
+        let key = KeyPath::new("tweets", "index", format!("{word}-{id}"))
+            .unwrap()
+            .encode();
+        let now = ctx.now();
+        if let Some((op, out)) = self.core.read_latest(&key, now) {
+            self.poll_op = Some(op);
+            for (to, m) in out {
+                ctx.send(to, m);
+            }
+        }
+    }
+
+    fn pump(&mut self, events: Vec<ClientEvent>, ctx: &mut Ctx<'_, SednaMsg>) {
+        for ev in events {
+            match ev {
+                ClientEvent::Ready => {
+                    self.feed_next(ctx);
+                    ctx.set_timer(T_POLL, 2_000);
+                }
+                ClientEvent::Done { op_id, result } => {
+                    if Some(op_id) == self.poll_op {
+                        self.poll_op = None;
+                        if let ClientResult::Latest(Some(_)) = result {
+                            // Queryable: record (1)→(7) latency.
+                            let (_, _, written_at) = self.current.take().unwrap();
+                            self.latencies.push(ctx.now() - written_at);
+                            if self.latencies.len() >= self.samples {
+                                ctx.halt();
+                                return;
+                            }
+                            self.feed_next(ctx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Actor for SearchProbe {
+    type Msg = SednaMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        for (to, m) in self.core.bootstrap() {
+            ctx.send(to, m);
+        }
+        ctx.set_timer(T_TICK, 10_000);
+        let _ = T_FEED;
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: SednaMsg, ctx: &mut Ctx<'_, SednaMsg>) {
+        let now = ctx.now();
+        let (events, out) = self.core.on_message(from, msg, now);
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        self.pump(events, ctx);
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_, SednaMsg>) {
+        match token {
+            T_TICK => {
+                let (events, out) = self.core.on_tick(ctx.now());
+                for (to, m) in out {
+                    ctx.send(to, m);
+                }
+                self.pump(events, ctx);
+                ctx.set_timer(T_TICK, 10_000);
+            }
+            T_POLL => {
+                self.poll_index(ctx);
+                ctx.set_timer(T_POLL, 2_000);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The indexer job of Sec. V: parse each new message and write one
+/// inverted-index entry per word.
+fn indexer_job() -> JobSpec {
+    JobSpec::builder("indexer")
+        .input(MonitorScope::Table {
+            dataset: "tweets".into(),
+            table: "messages".into(),
+        })
+        .action(FnAction(
+            |key: &Key, values: &[sedna_memstore::VersionedValue], out: &mut Emits| {
+                let path = KeyPath::decode(key).expect("table key");
+                let id = path.key().trim_start_matches('m');
+                let text = String::from_utf8_lossy(values[0].value.as_bytes()).to_string();
+                for word in text.split(' ').filter(|w| !w.is_empty()) {
+                    let idx = KeyPath::new("tweets", "index", format!("{word}-{id}"))
+                        .unwrap()
+                        .encode();
+                    out.latest(idx, Value::from(id.to_string()));
+                }
+            },
+        ))
+        .trigger_interval(0)
+        .declares_output(MonitorScope::Table {
+            dataset: "tweets".into(),
+            table: "index".into(),
+        })
+        .build()
+}
+
+fn run_once(scan_interval_micros: u64, samples: usize) -> Vec<u64> {
+    let cfg = ClusterConfig {
+        scan_interval_micros,
+        ..ClusterConfig::paper()
+    };
+    let mut cluster = SimCluster::build(cfg, 0x5_ED_AE, LinkModel::gigabit_lan());
+    cluster.run_until_ready(60_000_000);
+    cluster.register_job_everywhere(indexer_job);
+    let probe = cluster
+        .sim
+        .add_actor(Box::new(SearchProbe::new(cluster.config.clone(), samples)));
+    let deadline = cluster.sim.now() + 180_000_000;
+    while !cluster.sim.halted() && cluster.sim.now() < deadline {
+        let t = cluster.sim.now() + 1_000_000;
+        cluster.sim.run_until(t);
+    }
+    let mut lats = cluster
+        .sim
+        .actor_ref::<SearchProbe>(probe)
+        .unwrap()
+        .latencies
+        .clone();
+    assert!(!lats.is_empty(), "no samples collected");
+    lats.sort_unstable();
+    lats
+}
+
+fn main() {
+    println!("# Sec. V use case — crawl(3) → indexed(4,5) → queryable(7) latency");
+    println!("# 9-node Sedna cluster, indexer trigger job");
+    let ms = |v: u64| v as f64 / 1_000.0;
+
+    // Headline run at the default 20 ms scan interval.
+    let lats = run_once(20_000, 200);
+    println!("samples: {}", lats.len());
+    println!("min    : {:>8.1} ms", ms(lats[0]));
+    println!("p50    : {:>8.1} ms", ms(lats[lats.len() / 2]));
+    println!("p90    : {:>8.1} ms", ms(lats[lats.len() * 9 / 10]));
+    println!("max    : {:>8.1} ms", ms(*lats.last().unwrap()));
+    println!("#");
+    println!(
+        "# shape check: worst-case crawl→queryable latency is {:.1} ms — the paper only \
+         requires 'less than several minutes'; trigger-based indexing delivers it in \
+         tens of milliseconds (scan interval + quorum write + quorum read).",
+        ms(*lats.last().unwrap())
+    );
+
+    // Ablation: freshness is dominated by the trigger-scan interval, the
+    // knob the paper leaves implicit ("several threads according to the
+    // data size" — i.e. scan rate is a deployment choice).
+    println!("\n# ablation — scan interval vs freshness (60 samples each)");
+    println!("{:>14} {:>10} {:>10}", "scan_ms", "p50_ms", "max_ms");
+    for interval in [5_000u64, 20_000, 50_000, 100_000] {
+        let lats = run_once(interval, 60);
+        println!(
+            "{:>14} {:>10.1} {:>10.1}",
+            interval / 1_000,
+            ms(lats[lats.len() / 2]),
+            ms(*lats.last().unwrap())
+        );
+    }
+    println!("# p50 tracks ~scan_interval: the pipeline itself adds only a few ms.");
+}

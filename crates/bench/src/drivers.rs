@@ -1,0 +1,276 @@
+//! Closed-loop load-driver actors, mirroring the paper's test programs:
+//! "All clients run the Sedna load test programs … Sedna test programs
+//! works like Memcached test programs except it uses Sedna strategy to
+//! manage all the data."
+//!
+//! Each driver writes its whole key range sequentially (one operation in
+//! flight at a time — the paper measures total time of a sequential batch),
+//! records the write-phase completion time, then reads the range back and
+//! records the read-phase completion time.
+
+use sedna_common::time::Micros;
+use sedna_common::Key;
+use sedna_core::client::{ClientCore, ClientEvent};
+use sedna_core::config::ClusterConfig;
+use sedna_core::messages::SednaMsg;
+use sedna_memcached::client::{McClientCore, McEvent, Replication};
+use sedna_memcached::messages::McMsg;
+use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_workload::PaperWorkload;
+
+const T_TICK: TimerToken = TimerToken(0xBE_01);
+
+/// Phase timing recorded by a driver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DriverTimes {
+    /// Virtual time when the driver started issuing.
+    pub started_at: Micros,
+    /// Virtual time when the last write completed.
+    pub writes_done_at: Option<Micros>,
+    /// Virtual time when the last read completed.
+    pub reads_done_at: Option<Micros>,
+    /// Operations that did not return `Ok`/a value (should stay 0).
+    pub errors: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Sedna driver
+// ---------------------------------------------------------------------------
+
+/// Closed-loop driver against a Sedna deployment.
+pub struct SednaLoadDriver {
+    core: ClientCore,
+    workload: PaperWorkload,
+    /// Each driver owns the key range `[key_offset, key_offset + ops)`.
+    key_offset: u64,
+    ops: u64,
+    issued: u64,
+    phase_reads: bool,
+    /// Recorded timings.
+    pub times: DriverTimes,
+}
+
+impl SednaLoadDriver {
+    /// Creates a driver for `ops` operations starting at `key_offset`.
+    pub fn new(cfg: ClusterConfig, client_index: u32, key_offset: u64, ops: u64) -> Self {
+        let origin = cfg.client_origin(client_index);
+        SednaLoadDriver {
+            core: ClientCore::new(cfg, origin),
+            workload: PaperWorkload::new(),
+            key_offset,
+            ops,
+            issued: 0,
+            phase_reads: false,
+            times: DriverTimes::default(),
+        }
+    }
+
+    /// True when both phases completed.
+    pub fn finished(&self) -> bool {
+        self.times.reads_done_at.is_some()
+    }
+
+    fn key(&self, i: u64) -> Key {
+        self.workload.key(self.key_offset + i)
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        let now = ctx.now();
+        if !self.phase_reads {
+            if self.issued < self.ops {
+                let key = self.key(self.issued);
+                self.issued += 1;
+                if let Some((_, out)) = self.core.write_latest(&key, self.workload.value(), now) {
+                    for (to, m) in out {
+                        ctx.send(to, m);
+                    }
+                }
+                return;
+            }
+            // Write phase over; start reads.
+            self.times.writes_done_at = Some(now);
+            self.phase_reads = true;
+            self.issued = 0;
+        }
+        if self.issued < self.ops {
+            let key = self.key(self.issued);
+            self.issued += 1;
+            if let Some((_, out)) = self.core.read_latest(&key, now) {
+                for (to, m) in out {
+                    ctx.send(to, m);
+                }
+            }
+        } else if self.times.reads_done_at.is_none() {
+            self.times.reads_done_at = Some(now);
+        }
+    }
+
+    fn pump(&mut self, events: Vec<ClientEvent>, ctx: &mut Ctx<'_, SednaMsg>) {
+        for ev in events {
+            match ev {
+                ClientEvent::Ready => {
+                    self.times.started_at = ctx.now();
+                    self.issue_next(ctx);
+                }
+                ClientEvent::Done { result, .. } => {
+                    use sedna_core::messages::ClientResult;
+                    match result {
+                        ClientResult::Ok | ClientResult::Latest(Some(_)) => {}
+                        _ => self.times.errors += 1,
+                    }
+                    self.issue_next(ctx);
+                }
+            }
+        }
+    }
+}
+
+impl Actor for SednaLoadDriver {
+    type Msg = SednaMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        for (to, m) in self.core.bootstrap() {
+            ctx.send(to, m);
+        }
+        ctx.set_timer(T_TICK, 10_000);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: SednaMsg, ctx: &mut Ctx<'_, SednaMsg>) {
+        let now = ctx.now();
+        let (events, out) = self.core.on_message(from, msg, now);
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        self.pump(events, ctx);
+    }
+
+    fn on_timer(&mut self, _t: TimerToken, ctx: &mut Ctx<'_, SednaMsg>) {
+        let (events, out) = self.core.on_tick(ctx.now());
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        self.pump(events, ctx);
+        ctx.set_timer(T_TICK, 10_000);
+    }
+
+    /// Per-packet client cost (syscall/interrupt handling). Identical for
+    /// both systems; Sedna simply receives N acks per operation where the
+    /// memcached client receives one per copy — this is what makes Sedna
+    /// "slightly slower" than write-once memcached (Fig. 7(b)) despite its
+    /// parallel fan-out.
+    fn service_micros(&self, _msg: &SednaMsg) -> Micros {
+        CLIENT_PACKET_COST
+    }
+}
+
+/// Per-received-packet CPU cost charged to load clients (µs).
+pub const CLIENT_PACKET_COST: Micros = 3;
+
+// ---------------------------------------------------------------------------
+// Memcached driver
+// ---------------------------------------------------------------------------
+
+/// Closed-loop driver against the memcached baseline.
+pub struct McLoadDriver {
+    core: McClientCore,
+    workload: PaperWorkload,
+    key_offset: u64,
+    ops: u64,
+    issued: u64,
+    phase_reads: bool,
+    /// Recorded timings.
+    pub times: DriverTimes,
+}
+
+impl McLoadDriver {
+    /// Creates a driver over `servers` with the given replication mode.
+    pub fn new(servers: Vec<ActorId>, replication: Replication, key_offset: u64, ops: u64) -> Self {
+        McLoadDriver {
+            core: McClientCore::new(servers, replication),
+            workload: PaperWorkload::new(),
+            key_offset,
+            ops,
+            issued: 0,
+            phase_reads: false,
+            times: DriverTimes::default(),
+        }
+    }
+
+    /// True when both phases completed.
+    pub fn finished(&self) -> bool {
+        self.times.reads_done_at.is_some()
+    }
+
+    fn key(&self, i: u64) -> Key {
+        self.workload.key(self.key_offset + i)
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx<'_, McMsg>) {
+        let now = ctx.now();
+        if !self.phase_reads {
+            if self.issued < self.ops {
+                let key = self.key(self.issued);
+                self.issued += 1;
+                let (_, (to, msg)) = self.core.set(key, self.workload.value());
+                ctx.send(to, msg);
+                return;
+            }
+            self.times.writes_done_at = Some(now);
+            self.phase_reads = true;
+            self.issued = 0;
+        }
+        if self.issued < self.ops {
+            let key = self.key(self.issued);
+            self.issued += 1;
+            let (_, (to, msg)) = self.core.get(key);
+            ctx.send(to, msg);
+        } else if self.times.reads_done_at.is_none() {
+            self.times.reads_done_at = Some(now);
+        }
+    }
+}
+
+impl Actor for McLoadDriver {
+    type Msg = McMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, McMsg>) {
+        self.times.started_at = ctx.now();
+        self.issue_next(ctx);
+    }
+
+    fn on_message(&mut self, _from: ActorId, msg: McMsg, ctx: &mut Ctx<'_, McMsg>) {
+        let (event, next) = self.core.on_message(msg);
+        if let Some((to, m)) = next {
+            ctx.send(to, m);
+        }
+        match event {
+            Some(McEvent::SetDone { .. }) => self.issue_next(ctx),
+            Some(McEvent::GetDone { value, .. }) => {
+                if value.is_none() {
+                    self.times.errors += 1;
+                }
+                self.issue_next(ctx);
+            }
+            None => {}
+        }
+    }
+
+    fn service_micros(&self, _msg: &McMsg) -> Micros {
+        CLIENT_PACKET_COST
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sedna_driver_key_ranges_do_not_overlap() {
+        let cfg = ClusterConfig::small();
+        let a = SednaLoadDriver::new(cfg.clone(), 0, 0, 100);
+        let b = SednaLoadDriver::new(cfg, 1, 100, 100);
+        assert_ne!(a.key(99), b.key(0));
+        assert_eq!(a.key(0), PaperWorkload::new().key(0));
+        assert_eq!(b.key(0), PaperWorkload::new().key(100));
+    }
+}

@@ -1,0 +1,25 @@
+//! Benchmark harness for the Sedna reproduction.
+//!
+//! The paper's evaluation (Sec. VI) measures completion time of sequential
+//! read/write batches on a 9-server gigabit cluster. We regenerate every
+//! figure on the deterministic simulator: closed-loop driver actors issue
+//! the paper's 20 B/20 B workload against either a full Sedna deployment or
+//! the memcached baseline, and the virtual clock yields noise-free
+//! completion times whose *shape* is comparable with the paper's plots.
+//!
+//! Binaries (one per paper artifact — see DESIGN.md's experiment index):
+//!
+//! * `fig7a` — Sedna vs Memcached×3 (sequential triple writes/reads);
+//! * `fig7b` — Sedna vs Memcached×1 (single writes/reads);
+//! * `fig8`  — one vs nine concurrent clients on Sedna;
+//! * `table1` — live demonstrations of each technique row;
+//! * `usecase_latency` — Sec. V crawl→indexed→queryable freshness;
+//! * `coord_scaling` — Sec. III-E coordination-service claims, including
+//!   the watch-storm ablation Sedna avoids by design;
+//! * `quorum_sweep`, `vnode_granularity` — design-choice ablations.
+
+pub mod drivers;
+pub mod runs;
+
+pub use drivers::{McLoadDriver, SednaLoadDriver};
+pub use runs::{run_memcached_load, run_sedna_load, LoadResult};

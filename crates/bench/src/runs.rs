@@ -1,0 +1,235 @@
+//! Whole-experiment runners used by the figure binaries and by tests.
+
+use sedna_common::time::Micros;
+use sedna_common::NodeId;
+use sedna_core::cluster::SimCluster;
+use sedna_core::config::ClusterConfig;
+use sedna_memcached::client::Replication;
+use sedna_memcached::messages::McMsg;
+use sedna_memcached::server::McServer;
+use sedna_net::actor::ActorId;
+use sedna_net::link::LinkModel;
+use sedna_net::sim::{Sim, SimConfig};
+
+use crate::drivers::{McLoadDriver, SednaLoadDriver};
+
+/// Sender-side per-packet CPU cost (µs) used in all figure runs — the
+/// syscall/packet-assembly price both systems' clients pay per message,
+/// which is what makes Sedna's 3-way fan-out cost more than a single
+/// memcached write at the client (Fig. 7(b)'s "slightly slower").
+pub const SEND_OVERHEAD_MICROS: Micros = 4;
+
+/// Result of one load run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadResult {
+    /// Completion time (µs, virtual) of the *slowest client's* write phase,
+    /// measured from when that client became ready.
+    pub write_micros: Micros,
+    /// Same for the read phase (starts when the client's writes finished).
+    pub read_micros: Micros,
+    /// Operations that errored (expected 0).
+    pub errors: u64,
+    /// Clients that finished.
+    pub finished_clients: usize,
+}
+
+/// Runs `clients` concurrent closed-loop clients against a full Sedna
+/// deployment, each performing `ops_per_client` writes then reads.
+pub fn run_sedna_load(
+    config: ClusterConfig,
+    clients: u32,
+    ops_per_client: u64,
+    seed: u64,
+) -> LoadResult {
+    let sim_config = SimConfig {
+        seed,
+        link: LinkModel::gigabit_lan(),
+        send_overhead_micros: SEND_OVERHEAD_MICROS,
+    };
+    let mut cluster = SimCluster::build_with_sim_config(config.clone(), sim_config, |_| None);
+    cluster.run_until_ready(60_000_000);
+    let mut driver_ids = Vec::new();
+    for c in 0..clients {
+        let driver =
+            SednaLoadDriver::new(config.clone(), c, c as u64 * ops_per_client, ops_per_client);
+        let id = cluster.sim.add_actor(Box::new(driver));
+        // The paper runs the load clients on the storage servers ("we use
+        // the same number of clients as servers"): client c shares server
+        // c's CPU.
+        let host = config.node_actor(NodeId(c % config.data_nodes as u32));
+        cluster.sim.share_cpu(id, host);
+        driver_ids.push(id);
+    }
+    // Generous ceiling: 4 ms of virtual time per client-op covers both
+    // phases plus heavy contention.
+    let ceiling = cluster.sim.now() + 4_000_000 + ops_per_client * clients as u64 * 4_000;
+    let mut t = cluster.sim.now();
+    loop {
+        t += 500_000;
+        cluster.sim.run_until(t);
+        let all_done = driver_ids.iter().all(|&id| {
+            cluster
+                .sim
+                .actor_ref::<SednaLoadDriver>(id)
+                .is_some_and(|d| d.finished())
+        });
+        if all_done {
+            break;
+        }
+        assert!(t < ceiling, "sedna load run did not finish by {ceiling}µs");
+    }
+    summarize(driver_ids.iter().map(|&id| {
+        let d = cluster.sim.actor_ref::<SednaLoadDriver>(id).unwrap();
+        (d.times, d.finished())
+    }))
+}
+
+/// Runs the memcached baseline: `servers` cache servers, `clients`
+/// closed-loop drivers in the given replication mode.
+pub fn run_memcached_load(
+    servers: usize,
+    clients: u32,
+    ops_per_client: u64,
+    replication: Replication,
+    read_service_micros: Micros,
+    write_service_micros: Micros,
+    seed: u64,
+) -> LoadResult {
+    let mut sim: Sim<McMsg> = Sim::new(SimConfig {
+        seed,
+        link: LinkModel::gigabit_lan(),
+        send_overhead_micros: SEND_OVERHEAD_MICROS,
+    });
+    let server_ids: Vec<ActorId> = (0..servers)
+        .map(|i| {
+            sim.add_actor(Box::new(McServer::<McMsg>::new(
+                NodeId(i as u32),
+                None,
+                read_service_micros,
+                write_service_micros,
+            )))
+        })
+        .collect();
+    let driver_ids: Vec<ActorId> = (0..clients)
+        .map(|c| {
+            let id = sim.add_actor(Box::new(McLoadDriver::new(
+                server_ids.clone(),
+                replication,
+                c as u64 * ops_per_client,
+                ops_per_client,
+            )));
+            // Colocate client c on server c, matching the paper's setup.
+            sim.share_cpu(id, server_ids[c as usize % server_ids.len()]);
+            id
+        })
+        .collect();
+    // 8 ms per client-op: both phases, up to 3 sequential copies each.
+    let ceiling = 4_000_000 + ops_per_client * clients as u64 * 8_000;
+    let mut t = 0;
+    loop {
+        t += 500_000;
+        sim.run_until(t);
+        let all_done = driver_ids.iter().all(|&id| {
+            sim.actor_ref::<McLoadDriver>(id)
+                .is_some_and(|d| d.finished())
+        });
+        if all_done {
+            break;
+        }
+        assert!(
+            t < ceiling,
+            "memcached load run did not finish by {ceiling}µs"
+        );
+    }
+    summarize(driver_ids.iter().map(|&id| {
+        let d = sim.actor_ref::<McLoadDriver>(id).unwrap();
+        (d.times, d.finished())
+    }))
+}
+
+fn summarize(times: impl Iterator<Item = (crate::drivers::DriverTimes, bool)>) -> LoadResult {
+    let mut write = 0;
+    let mut read = 0;
+    let mut errors = 0;
+    let mut finished = 0;
+    for (t, done) in times {
+        if done {
+            finished += 1;
+        }
+        if let Some(w) = t.writes_done_at {
+            write = write.max(w - t.started_at);
+            if let Some(r) = t.reads_done_at {
+                read = read.max(r - w);
+            }
+        }
+        errors += t.errors;
+    }
+    LoadResult {
+        write_micros: write,
+        read_micros: read,
+        errors,
+        finished_clients: finished,
+    }
+}
+
+/// Formats a microsecond duration as milliseconds with 1 decimal.
+pub fn ms(micros: Micros) -> String {
+    format!("{:.1}", micros as f64 / 1_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sedna_run_completes_without_errors() {
+        let r = run_sedna_load(ClusterConfig::paper(), 1, 500, 1);
+        assert_eq!(r.errors, 0);
+        assert_eq!(r.finished_clients, 1);
+        assert!(r.write_micros > 0 && r.read_micros > 0);
+    }
+
+    #[test]
+    fn small_memcached_runs_complete() {
+        let single = run_memcached_load(9, 1, 500, Replication::Single, 8, 10, 1);
+        let triple = run_memcached_load(9, 1, 500, Replication::Sequential(3), 8, 10, 1);
+        assert_eq!(single.errors, 0);
+        assert_eq!(triple.errors, 0);
+        // Sequential triple writes must cost roughly 3x the single writes.
+        let ratio = triple.write_micros as f64 / single.write_micros as f64;
+        assert!((2.2..4.0).contains(&ratio), "triple/single ratio {ratio}");
+    }
+
+    #[test]
+    fn nine_clients_slower_per_client_but_higher_aggregate() {
+        // Fig. 8's shape in miniature.
+        let one = run_sedna_load(ClusterConfig::paper(), 1, 300, 4);
+        let nine = run_sedna_load(ClusterConfig::paper(), 9, 300, 4);
+        assert_eq!(one.errors + nine.errors, 0);
+        assert!(
+            nine.write_micros > one.write_micros,
+            "per-client contention: {} vs {}",
+            nine.write_micros,
+            one.write_micros
+        );
+        let thr1 = 300.0 / one.write_micros as f64;
+        let thr9 = 9.0 * 300.0 / nine.write_micros as f64;
+        assert!(
+            thr9 > 3.0 * thr1,
+            "aggregate throughput scales: {thr9} vs {thr1}"
+        );
+    }
+
+    #[test]
+    fn sedna_parallel_replication_beats_sequential_triple() {
+        // The Fig. 7(a) headline in miniature.
+        let sedna = run_sedna_load(ClusterConfig::paper(), 1, 500, 2);
+        let mc3 = run_memcached_load(9, 1, 500, Replication::Sequential(3), 8, 10, 2);
+        assert!(
+            sedna.write_micros < mc3.write_micros,
+            "sedna {} vs mc3 {}",
+            sedna.write_micros,
+            mc3.write_micros
+        );
+    }
+}

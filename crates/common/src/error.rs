@@ -1,0 +1,136 @@
+//! The shared error type.
+
+use std::fmt;
+use std::io;
+
+use crate::ids::{NodeId, VNodeId};
+
+/// Result alias used across the workspace.
+pub type SednaResult<T> = Result<T, SednaError>;
+
+/// Errors surfaced by the Sedna crates.
+///
+/// The paper's client-visible write replies map onto these: `'ok'` is the
+/// `Ok` arm of a result, `'outdated'` is [`SednaError::Outdated`], and
+/// `'failure'` (which also starts an asynchronous recovery task) is
+/// [`SednaError::QuorumFailed`] or [`SednaError::Timeout`].
+#[derive(Debug)]
+pub enum SednaError {
+    /// A write carried an older timestamp than the stored value
+    /// (the paper's `'outdated'` reply). Not a failure: last-write-wins
+    /// already holds.
+    Outdated,
+    /// Fewer than the required quorum of replicas answered consistently.
+    QuorumFailed {
+        /// How many matching replies were needed.
+        needed: usize,
+        /// How many matching replies arrived before the deadline.
+        got: usize,
+    },
+    /// An operation did not complete before its deadline.
+    Timeout {
+        /// Human-readable description of what timed out.
+        operation: &'static str,
+    },
+    /// The addressed node is not part of the cluster (or has failed).
+    NodeUnavailable(NodeId),
+    /// A virtual node has no live owner; recovery is required first.
+    VNodeUnassigned(VNodeId),
+    /// The key does not exist.
+    NotFound,
+    /// Invalid configuration (e.g. quorum constraints R+W>N, W>N/2 violated).
+    InvalidConfig(String),
+    /// Coordination-service error (znode missing, version conflict, session
+    /// expired, not leader…).
+    Coordination(String),
+    /// Persistence subsystem error (WAL corruption, snapshot failure…).
+    Persistence(String),
+    /// Underlying I/O error.
+    Io(io::Error),
+    /// Trigger subsystem error (cycle without interval, bad job spec…).
+    Trigger(String),
+}
+
+impl fmt::Display for SednaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SednaError::Outdated => write!(f, "write outdated by a newer timestamp"),
+            SednaError::QuorumFailed { needed, got } => {
+                write!(
+                    f,
+                    "quorum failed: needed {needed} matching replies, got {got}"
+                )
+            }
+            SednaError::Timeout { operation } => write!(f, "timeout during {operation}"),
+            SednaError::NodeUnavailable(n) => write!(f, "{n} unavailable"),
+            SednaError::VNodeUnassigned(v) => write!(f, "{v} has no live owner"),
+            SednaError::NotFound => write!(f, "key not found"),
+            SednaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SednaError::Coordination(msg) => write!(f, "coordination error: {msg}"),
+            SednaError::Persistence(msg) => write!(f, "persistence error: {msg}"),
+            SednaError::Io(e) => write!(f, "io error: {e}"),
+            SednaError::Trigger(msg) => write!(f, "trigger error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SednaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SednaError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SednaError {
+    fn from(e: io::Error) -> Self {
+        SednaError::Io(e)
+    }
+}
+
+impl SednaError {
+    /// True for errors a client may retry verbatim (transient conditions).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SednaError::QuorumFailed { .. }
+                | SednaError::Timeout { .. }
+                | SednaError::NodeUnavailable(_)
+                | SednaError::VNodeUnassigned(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SednaError::QuorumFailed { needed: 2, got: 1 };
+        assert_eq!(
+            e.to_string(),
+            "quorum failed: needed 2 matching replies, got 1"
+        );
+        assert!(SednaError::NodeUnavailable(NodeId(3))
+            .to_string()
+            .contains("node-3"));
+    }
+
+    #[test]
+    fn io_error_conversion_preserves_source() {
+        use std::error::Error;
+        let e: SednaError = io::Error::other("boom").into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(SednaError::Timeout { operation: "read" }.is_retryable());
+        assert!(SednaError::QuorumFailed { needed: 2, got: 0 }.is_retryable());
+        assert!(!SednaError::Outdated.is_retryable());
+        assert!(!SednaError::NotFound.is_retryable());
+        assert!(!SednaError::InvalidConfig("x".into()).is_retryable());
+    }
+}

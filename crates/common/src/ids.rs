@@ -1,0 +1,124 @@
+//! Strongly-typed identifiers.
+//!
+//! The paper distinguishes *real nodes* (physical servers) from *virtual
+//! nodes* (fixed slices of the consistent-hash ring, ~100 per real node).
+//! Using newtypes instead of bare integers keeps the two from being mixed up
+//! at compile time, which matters a lot in the rebalancing and recovery code.
+
+use std::fmt;
+
+/// Identifier of a real node (a physical server in the paper's cluster).
+///
+/// In the simulated cluster these are dense small integers assigned at
+/// cluster construction; they also address actors in `sedna-net`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Raw index, handy for indexing per-node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// Identifier of a virtual node: one of the equal slices the hash ring is
+/// divided into (Sec. III-B of the paper).
+///
+/// The total count is fixed at cluster-configuration time ("once it is set,
+/// we can not change it unless restart the Sedna cluster").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VNodeId(pub u32);
+
+impl VNodeId {
+    /// Raw index, handy for indexing per-vnode tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vnode-{}", self.0)
+    }
+}
+
+/// Identifier of a client application instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ClientId(pub u32);
+
+/// Identifier of a coordination-service session (heartbeat scope for
+/// ephemeral znodes).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SessionId(pub u64);
+
+/// Correlation id for an in-flight request/response exchange.
+///
+/// Generated per-origin from a monotonically increasing counter; uniqueness
+/// only needs to hold per origin actor.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct RequestId(pub u64);
+
+impl RequestId {
+    /// Next id after `self`; wraps on overflow (which takes centuries).
+    #[inline]
+    pub fn next(self) -> RequestId {
+        RequestId(self.0.wrapping_add(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_index_roundtrip() {
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(VNodeId(123).index(), 123);
+    }
+
+    #[test]
+    fn display_formats_are_distinct() {
+        assert_eq!(NodeId(3).to_string(), "node-3");
+        assert_eq!(VNodeId(3).to_string(), "vnode-3");
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", VNodeId(3)), "v3");
+    }
+
+    #[test]
+    fn request_id_next_is_monotonic_and_wraps() {
+        assert_eq!(RequestId(0).next(), RequestId(1));
+        assert_eq!(RequestId(u64::MAX).next(), RequestId(0));
+    }
+
+    #[test]
+    fn ids_hash_and_ord() {
+        let mut set = HashSet::new();
+        set.insert(NodeId(1));
+        set.insert(NodeId(1));
+        set.insert(NodeId(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+        assert!(VNodeId(0) < VNodeId(1));
+    }
+}

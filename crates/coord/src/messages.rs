@@ -1,0 +1,467 @@
+//! Wire protocol of the coordination ensemble.
+
+use sedna_common::time::Micros;
+use sedna_common::{RequestId, SessionId};
+use sedna_net::actor::{ActorId, MessageSize};
+
+use crate::tree::{TreeError, ZnodeTree};
+
+/// Static configuration shared by every replica of one ensemble.
+#[derive(Clone, Debug)]
+pub struct EnsembleConfig {
+    /// Actor addresses of all replicas, in replica-index order.
+    pub replicas: Vec<ActorId>,
+    /// Leader heartbeat period (µs).
+    pub heartbeat_micros: Micros,
+    /// Follower election timeout (µs); must comfortably exceed the
+    /// heartbeat period plus network jitter.
+    pub election_timeout_micros: Micros,
+    /// Client-session expiry (µs) without a ping.
+    pub session_timeout_micros: Micros,
+    /// How many recent changes each replica retains for
+    /// [`CoordOp::ChangesSince`] queries.
+    pub change_log_capacity: usize,
+}
+
+impl EnsembleConfig {
+    /// Sensible defaults for a LAN deployment: 50 ms heartbeat, 200 ms
+    /// election timeout, 1 s sessions (the paper's ZK writes complete "in
+    /// milliseconds", so these dominate only failure paths).
+    pub fn lan(replicas: Vec<ActorId>) -> Self {
+        EnsembleConfig {
+            replicas,
+            heartbeat_micros: 50_000,
+            election_timeout_micros: 200_000,
+            session_timeout_micros: 1_000_000,
+            change_log_capacity: 4_096,
+        }
+    }
+
+    /// Majority size for this ensemble.
+    pub fn quorum(&self) -> usize {
+        self.replicas.len() / 2 + 1
+    }
+}
+
+/// Client-visible operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoordOp {
+    /// Opens a session; the reply carries the assigned [`SessionId`].
+    OpenSession,
+    /// Session heartbeat.
+    Ping,
+    /// Closes a session, deleting its ephemerals.
+    CloseSession,
+    /// Creates a znode.
+    Create {
+        /// Absolute path.
+        path: String,
+        /// Initial data.
+        data: Vec<u8>,
+        /// Tie the node's lifetime to the requesting session.
+        ephemeral: bool,
+    },
+    /// Creates many znodes in one request (the paper's boot-time bulk
+    /// creation of one znode per virtual node).
+    CreateMany {
+        /// `(path, data)` pairs, created in order; existing paths are
+        /// skipped (idempotent boot).
+        nodes: Vec<(String, Vec<u8>)>,
+    },
+    /// Sets a znode's data.
+    Set {
+        /// Absolute path.
+        path: String,
+        /// New data.
+        data: Vec<u8>,
+        /// Optimistic-concurrency check; `None` = unconditional.
+        expected_version: Option<u64>,
+    },
+    /// Deletes a leaf znode.
+    Delete {
+        /// Absolute path.
+        path: String,
+        /// Optimistic-concurrency check; `None` = unconditional.
+        expected_version: Option<u64>,
+    },
+    /// Reads a znode; optionally leaves a one-shot data watch.
+    Get {
+        /// Absolute path.
+        path: String,
+        /// Register a watch fired on the next change of this node.
+        watch: bool,
+    },
+    /// Existence check; optionally leaves a one-shot watch (fires on
+    /// creation or deletion).
+    Exists {
+        /// Absolute path.
+        path: String,
+        /// Register a watch.
+        watch: bool,
+    },
+    /// Lists direct children; optionally leaves a one-shot child watch.
+    GetChildren {
+        /// Absolute path.
+        path: String,
+        /// Register a watch fired when the child set changes.
+        watch: bool,
+    },
+    /// The change-log query Sedna's lease caches use instead of watches:
+    /// "which paths changed after zxid X?".
+    ChangesSince {
+        /// Last zxid the client has incorporated.
+        zxid: u64,
+    },
+}
+
+/// Successful replies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoordReply {
+    /// Session opened.
+    SessionOpened(SessionId),
+    /// Ping acknowledged / session closed / delete done.
+    Done,
+    /// Node created (path echoed for bulk bookkeeping).
+    Created,
+    /// Bulk creation finished; counts created vs pre-existing.
+    CreatedMany {
+        /// Nodes newly created.
+        created: usize,
+        /// Nodes that already existed (skipped).
+        existed: usize,
+    },
+    /// New version after a set.
+    SetDone {
+        /// Version after the write.
+        version: u64,
+    },
+    /// Znode contents.
+    Data {
+        /// Stored bytes.
+        data: Vec<u8>,
+        /// Current version.
+        version: u64,
+        /// zxid of last modification.
+        mzxid: u64,
+    },
+    /// Existence result.
+    Existence(bool),
+    /// Child names.
+    Children(Vec<String>),
+    /// Changed paths strictly after the queried zxid, plus the replica's
+    /// current zxid. `truncated` means the log did not reach back far
+    /// enough and the client must do a full refresh.
+    Changes {
+        /// Paths that changed, oldest first (deduplicated).
+        paths: Vec<String>,
+        /// Replica's latest applied zxid.
+        latest_zxid: u64,
+        /// True when the change log had already discarded part of the
+        /// requested range.
+        truncated: bool,
+    },
+}
+
+/// Error replies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoordError {
+    /// Tree-level failure.
+    Tree(TreeError),
+    /// Unknown or expired session.
+    SessionExpired,
+    /// The contacted replica has no leader to forward writes to (election
+    /// in progress). Clients retry.
+    Unavailable,
+}
+
+impl From<TreeError> for CoordError {
+    fn from(e: TreeError) -> Self {
+        CoordError::Tree(e)
+    }
+}
+
+/// What kind of change fired a watch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WatchKind {
+    /// Node data changed.
+    DataChanged,
+    /// Node created.
+    Created,
+    /// Node deleted.
+    Deleted,
+    /// Child set changed.
+    ChildrenChanged,
+}
+
+/// A committed, replicated transaction (the ensemble-internal op set —
+/// session bookkeeping replicates too, so ephemerals expire identically on
+/// every replica).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommitOp {
+    /// Create one znode.
+    Create {
+        /// Path.
+        path: String,
+        /// Data.
+        data: Vec<u8>,
+        /// Owner session for ephemerals.
+        ephemeral_owner: Option<SessionId>,
+    },
+    /// Bulk create (boot).
+    CreateMany {
+        /// `(path, data)` pairs.
+        nodes: Vec<(String, Vec<u8>)>,
+    },
+    /// Set data.
+    Set {
+        /// Path.
+        path: String,
+        /// Data.
+        data: Vec<u8>,
+        /// Version check.
+        expected_version: Option<u64>,
+    },
+    /// Delete a node.
+    Delete {
+        /// Path.
+        path: String,
+        /// Version check.
+        expected_version: Option<u64>,
+    },
+    /// Open a session.
+    OpenSession {
+        /// Id chosen by the leader.
+        session: SessionId,
+    },
+    /// Close (or expire) a session and purge its ephemerals.
+    CloseSession {
+        /// The session.
+        session: SessionId,
+    },
+}
+
+/// Full replica state shipped to a lagging or fresh follower.
+#[derive(Clone, Debug)]
+pub struct SnapshotState {
+    /// The whole tree.
+    pub tree: ZnodeTree,
+    /// Live sessions (ids only; liveness timing restarts on the receiver).
+    pub sessions: Vec<SessionId>,
+    /// zxid this snapshot reflects.
+    pub zxid: u64,
+}
+
+/// All messages of the coordination protocol.
+#[derive(Clone, Debug)]
+pub enum CoordMsg {
+    // ----- client ⇄ replica -----
+    /// Client request. `session` is [`SessionId`] 0 for `OpenSession`.
+    Request {
+        /// Requesting session.
+        session: SessionId,
+        /// Correlation id, echoed in the response.
+        req_id: RequestId,
+        /// The operation.
+        op: CoordOp,
+    },
+    /// Reply to a [`CoordMsg::Request`].
+    Response {
+        /// Correlation id.
+        req_id: RequestId,
+        /// Outcome.
+        result: Result<CoordReply, CoordError>,
+    },
+    /// One-shot watch notification.
+    WatchEvent {
+        /// Watched path.
+        path: String,
+        /// Change kind.
+        kind: WatchKind,
+    },
+
+    // ----- intra-ensemble -----
+    /// A non-leader replica forwards a write to the leader.
+    Forward {
+        /// Originating client actor (for the eventual response).
+        client: ActorId,
+        /// Client session.
+        session: SessionId,
+        /// Correlation id.
+        req_id: RequestId,
+        /// The operation.
+        op: CoordOp,
+    },
+    /// Leader → followers: proposed transaction.
+    Propose {
+        /// Leader's term.
+        term: u64,
+        /// Transaction id.
+        zxid: u64,
+        /// The transaction.
+        op: CommitOp,
+    },
+    /// Follower → leader: proposal acknowledged (persisted to its log).
+    Ack {
+        /// Term being acked.
+        term: u64,
+        /// Transaction id.
+        zxid: u64,
+        /// Acking replica index.
+        replica: u32,
+    },
+    /// Leader → followers: transaction is committed; apply at `zxid` order.
+    Commit {
+        /// Leader's term.
+        term: u64,
+        /// Transaction id.
+        zxid: u64,
+    },
+    /// Periodic leader liveness + commit-progress beacon.
+    LeaderBeat {
+        /// Leader's term.
+        term: u64,
+        /// Leader replica index.
+        leader: u32,
+        /// Highest committed zxid.
+        committed: u64,
+    },
+    /// Election: candidacy announcement.
+    ElectMe {
+        /// Proposed term.
+        term: u64,
+        /// Candidate's last logged zxid.
+        last_zxid: u64,
+        /// Candidate replica index.
+        candidate: u32,
+    },
+    /// Election: vote.
+    Vote {
+        /// Term the vote belongs to.
+        term: u64,
+        /// Whether the vote is granted.
+        granted: bool,
+        /// Voting replica index.
+        voter: u32,
+    },
+    /// Follower → leader: my log is behind, send me a snapshot.
+    SyncRequest {
+        /// Requester replica index.
+        replica: u32,
+        /// Requester's applied zxid.
+        applied: u64,
+    },
+    /// Leader → follower: full state transfer.
+    Snapshot {
+        /// Leader's term.
+        term: u64,
+        /// Shipped state.
+        state: SnapshotState,
+    },
+}
+
+impl MessageSize for CoordMsg {
+    fn size_bytes(&self) -> usize {
+        const HDR: usize = 32;
+        fn op_size(op: &CoordOp) -> usize {
+            match op {
+                CoordOp::Create { path, data, .. } => path.len() + data.len(),
+                CoordOp::CreateMany { nodes } => {
+                    nodes.iter().map(|(p, d)| p.len() + d.len() + 8).sum()
+                }
+                CoordOp::Set { path, data, .. } => path.len() + data.len(),
+                CoordOp::Delete { path, .. }
+                | CoordOp::Get { path, .. }
+                | CoordOp::Exists { path, .. }
+                | CoordOp::GetChildren { path, .. } => path.len(),
+                _ => 8,
+            }
+        }
+        fn commit_size(op: &CommitOp) -> usize {
+            match op {
+                CommitOp::Create { path, data, .. } => path.len() + data.len(),
+                CommitOp::CreateMany { nodes } => {
+                    nodes.iter().map(|(p, d)| p.len() + d.len() + 8).sum()
+                }
+                CommitOp::Set { path, data, .. } => path.len() + data.len(),
+                CommitOp::Delete { path, .. } => path.len(),
+                _ => 16,
+            }
+        }
+        HDR + match self {
+            CoordMsg::Request { op, .. } => op_size(op),
+            CoordMsg::Response { result, .. } => match result {
+                Ok(CoordReply::Data { data, .. }) => data.len(),
+                Ok(CoordReply::Children(c)) => c.iter().map(|s| s.len() + 4).sum(),
+                Ok(CoordReply::Changes { paths, .. }) => paths.iter().map(|s| s.len() + 4).sum(),
+                _ => 8,
+            },
+            CoordMsg::WatchEvent { path, .. } => path.len(),
+            CoordMsg::Forward { op, .. } => op_size(op),
+            CoordMsg::Propose { op, .. } => commit_size(op),
+            CoordMsg::Snapshot { state, .. } => state
+                .tree
+                .iter()
+                .map(|(p, z)| p.len() + z.data.len() + 48)
+                .sum::<usize>(),
+            _ => 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_sizes() {
+        let cfg = EnsembleConfig::lan(vec![ActorId(0), ActorId(1), ActorId(2)]);
+        assert_eq!(cfg.quorum(), 2);
+        let cfg5 = EnsembleConfig::lan((0..5).map(ActorId).collect());
+        assert_eq!(cfg5.quorum(), 3);
+        let cfg1 = EnsembleConfig::lan(vec![ActorId(0)]);
+        assert_eq!(cfg1.quorum(), 1);
+    }
+
+    #[test]
+    fn message_sizes_scale_with_payload() {
+        let small = CoordMsg::Request {
+            session: SessionId(1),
+            req_id: RequestId(1),
+            op: CoordOp::Get {
+                path: "/a".into(),
+                watch: false,
+            },
+        };
+        let big = CoordMsg::Request {
+            session: SessionId(1),
+            req_id: RequestId(1),
+            op: CoordOp::Set {
+                path: "/a".into(),
+                data: vec![0; 10_000],
+                expected_version: None,
+            },
+        };
+        assert!(big.size_bytes() > small.size_bytes() + 9_000);
+    }
+
+    #[test]
+    fn snapshot_size_counts_tree() {
+        let mut tree = ZnodeTree::new();
+        tree.create("/a", vec![0; 1_000], None, 1).unwrap();
+        let snap = CoordMsg::Snapshot {
+            term: 1,
+            state: SnapshotState {
+                tree,
+                sessions: vec![],
+                zxid: 1,
+            },
+        };
+        assert!(snap.size_bytes() > 1_000);
+    }
+
+    #[test]
+    fn tree_error_converts() {
+        let e: CoordError = TreeError::NoNode("/x".into()).into();
+        assert_eq!(e, CoordError::Tree(TreeError::NoNode("/x".into())));
+    }
+}

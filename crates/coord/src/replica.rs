@@ -1,0 +1,947 @@
+//! The ensemble replica state machine.
+//!
+//! A `CoordReplica` plays one of three roles:
+//!
+//! * **Leader** — sequences every write into a zxid-ordered transaction,
+//!   broadcasts `Propose`, commits on majority `Ack` (in zxid order),
+//!   applies and answers the client, and announces progress with periodic
+//!   `LeaderBeat`s. It also owns session liveness: pings land here, and a
+//!   sweep timer expires silent sessions by *replicating* a `CloseSession`
+//!   transaction so ephemerals disappear identically everywhere.
+//! * **Follower** — accepts proposals, acks them, applies commits in zxid
+//!   order, serves local reads and watch registrations, forwards writes to
+//!   the leader, and runs an election timer. A gap in the commit stream
+//!   (lost message) triggers a `SyncRequest`, answered with a full snapshot.
+//! * **Candidate** — raised term, votes for itself, asks for votes; a vote
+//!   is granted only to candidates whose log is at least as long, which is
+//!   what keeps committed transactions from being lost across elections
+//!   (the Raft election restriction, adapted to our snapshot-sync scheme).
+//!
+//! Simplifications versus real ZooKeeper, documented for the reproduction:
+//! follower catch-up always ships a full snapshot (our metadata trees are
+//! small); session ids are `(term << 24) | counter`; reads are served
+//! locally and may trail the leader exactly as ZooKeeper's do.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::marker::PhantomData;
+
+use sedna_common::time::Micros;
+use sedna_common::{RequestId, SessionId};
+use sedna_net::actor::{Actor, ActorId, Ctx, MessageSize, TimerToken, Wrap};
+
+use crate::messages::{
+    CommitOp, CoordError, CoordMsg, CoordOp, CoordReply, EnsembleConfig, SnapshotState, WatchKind,
+};
+use crate::tree::{TreeError, ZnodeTree};
+
+const T_BEAT: TimerToken = TimerToken(0xC0_01);
+const T_ELECTION: TimerToken = TimerToken(0xC0_02);
+const T_SESSION_SWEEP: TimerToken = TimerToken(0xC0_03);
+
+#[derive(Debug)]
+enum Role {
+    Leader,
+    Follower { leader: Option<u32> },
+    Candidate { votes: BTreeSet<u32> },
+}
+
+#[derive(Debug)]
+struct PendingTxn {
+    op: CommitOp,
+    acks: BTreeSet<u32>,
+    /// Client to answer once committed (leader only).
+    reply_to: Option<(ActorId, RequestId)>,
+}
+
+/// One replica of the coordination ensemble. Generic over the runtime
+/// message type `M`, which must embed [`CoordMsg`].
+pub struct CoordReplica<M> {
+    cfg: EnsembleConfig,
+    my_index: u32,
+    role: Role,
+    term: u64,
+    /// Highest term this replica has voted in.
+    voted_in: u64,
+    tree: ZnodeTree,
+    /// Known sessions; the value is last-heard-from (meaningful on the
+    /// leader, refreshed wholesale on leadership change).
+    sessions: HashMap<SessionId, Micros>,
+    session_counter: u64,
+    /// Highest zxid applied to `tree`.
+    applied: u64,
+    /// Leader: next zxid to assign.
+    next_zxid: u64,
+    /// Leader: proposals awaiting quorum, by zxid.
+    proposals: BTreeMap<u64, PendingTxn>,
+    /// Leader: highest committed zxid.
+    committed: u64,
+    /// Follower: proposals received, awaiting commit notice.
+    pending: BTreeMap<u64, CommitOp>,
+    /// Follower: commit notices for zxids not yet applicable in order.
+    commit_notices: BTreeSet<u64>,
+    /// One-shot watches.
+    data_watches: HashMap<String, Vec<ActorId>>,
+    exists_watches: HashMap<String, Vec<ActorId>>,
+    child_watches: HashMap<String, Vec<ActorId>>,
+    /// Ring of recent `(zxid, path)` changes for `ChangesSince`.
+    change_log: VecDeque<(u64, String)>,
+    /// When we last asked the leader for a snapshot (rate limit).
+    last_sync_request: Micros,
+    /// Highest zxid whose change-log entries have been discarded (ring
+    /// overflow or snapshot install); queries at or below it are truncated.
+    change_log_floor: u64,
+    _marker: PhantomData<fn() -> M>,
+}
+
+impl<M> CoordReplica<M>
+where
+    M: Wrap<CoordMsg> + MessageSize + Send + 'static,
+{
+    /// Creates replica `my_index` of the ensemble described by `cfg`.
+    pub fn new(cfg: EnsembleConfig, my_index: u32) -> Self {
+        assert!((my_index as usize) < cfg.replicas.len());
+        CoordReplica {
+            cfg,
+            my_index,
+            role: Role::Follower { leader: None },
+            term: 0,
+            voted_in: 0,
+            tree: ZnodeTree::new(),
+            sessions: HashMap::new(),
+            session_counter: 0,
+            applied: 0,
+            next_zxid: 1,
+            proposals: BTreeMap::new(),
+            committed: 0,
+            pending: BTreeMap::new(),
+            commit_notices: BTreeSet::new(),
+            data_watches: HashMap::new(),
+            exists_watches: HashMap::new(),
+            child_watches: HashMap::new(),
+            change_log: VecDeque::new(),
+            change_log_floor: 0,
+            last_sync_request: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// True when this replica currently leads.
+    pub fn is_leader(&self) -> bool {
+        matches!(self.role, Role::Leader)
+    }
+
+    /// Current term.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Highest zxid applied to the local tree.
+    pub fn applied_zxid(&self) -> u64 {
+        self.applied
+    }
+
+    /// Read-only view of the local tree (tests, metrics).
+    pub fn tree(&self) -> &ZnodeTree {
+        &self.tree
+    }
+
+    /// Number of live sessions known to this replica.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    // ----- helpers ---------------------------------------------------------
+
+    fn peers(&self) -> impl Iterator<Item = (u32, ActorId)> + '_ {
+        self.cfg
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (i as u32, a))
+            .filter(move |(i, _)| *i != self.my_index)
+    }
+
+    fn addr_of(&self, index: u32) -> ActorId {
+        self.cfg.replicas[index as usize]
+    }
+
+    fn send(&self, ctx: &mut Ctx<'_, M>, to: ActorId, msg: CoordMsg) {
+        ctx.send(to, M::wrap(msg));
+    }
+
+    fn broadcast(&self, ctx: &mut Ctx<'_, M>, msg: &CoordMsg) {
+        for (_, addr) in self.peers() {
+            ctx.send(addr, M::wrap(msg.clone()));
+        }
+    }
+
+    fn arm_election_timer(&self, ctx: &mut Ctx<'_, M>) {
+        // Deterministic index stagger plus jitter: lower indices try first,
+        // so a fresh ensemble elects replica 0 almost immediately.
+        let base = self.cfg.election_timeout_micros;
+        let stagger = base / (self.cfg.replicas.len() as u64 + 1) * (self.my_index as u64 + 1);
+        let jitter = ctx.rng().next_below(base / 4 + 1);
+        ctx.set_timer(T_ELECTION, stagger + jitter);
+    }
+
+    fn last_zxid(&self) -> u64 {
+        self.applied
+            .max(self.pending.keys().next_back().copied().unwrap_or(0))
+            .max(self.proposals.keys().next_back().copied().unwrap_or(0))
+    }
+
+    // ----- role transitions -------------------------------------------------
+
+    fn become_follower(&mut self, ctx: &mut Ctx<'_, M>, term: u64, leader: Option<u32>) {
+        self.term = term;
+        self.role = Role::Follower { leader };
+        self.proposals.clear();
+        ctx.cancel_timer(T_BEAT);
+        ctx.cancel_timer(T_SESSION_SWEEP);
+        self.arm_election_timer(ctx);
+    }
+
+    fn start_election(&mut self, ctx: &mut Ctx<'_, M>) {
+        self.term += 1;
+        self.voted_in = self.term;
+        let mut votes = BTreeSet::new();
+        votes.insert(self.my_index);
+        self.role = Role::Candidate { votes };
+        let msg = CoordMsg::ElectMe {
+            term: self.term,
+            last_zxid: self.last_zxid(),
+            candidate: self.my_index,
+        };
+        self.broadcast(ctx, &msg);
+        if self.cfg.quorum() == 1 {
+            self.become_leader(ctx);
+        } else {
+            self.arm_election_timer(ctx); // retry if the election stalls
+        }
+    }
+
+    fn become_leader(&mut self, ctx: &mut Ctx<'_, M>) {
+        self.role = Role::Leader;
+        // Adopt everything the log knows; uncommitted remainders from prior
+        // terms were either replicated to the quorum that elected us (then
+        // they are in `pending` and will be re-driven by sync) or lost.
+        self.next_zxid = self.last_zxid() + 1;
+        self.committed = self.applied;
+        self.pending.clear();
+        self.commit_notices.clear();
+        // Give every known session a fresh grace period.
+        let now = ctx.now();
+        for t in self.sessions.values_mut() {
+            *t = now;
+        }
+        ctx.cancel_timer(T_ELECTION);
+        ctx.set_timer(T_BEAT, 0);
+        ctx.set_timer(T_SESSION_SWEEP, self.cfg.session_timeout_micros / 4);
+    }
+
+    // ----- leader write path -------------------------------------------------
+
+    fn leader_propose(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        op: CommitOp,
+        reply_to: Option<(ActorId, RequestId)>,
+    ) {
+        let zxid = self.next_zxid;
+        self.next_zxid += 1;
+        let mut acks = BTreeSet::new();
+        acks.insert(self.my_index);
+        self.proposals.insert(
+            zxid,
+            PendingTxn {
+                op: op.clone(),
+                acks,
+                reply_to,
+            },
+        );
+        let msg = CoordMsg::Propose {
+            term: self.term,
+            zxid,
+            op,
+        };
+        self.broadcast(ctx, &msg);
+        self.leader_advance_commits(ctx);
+    }
+
+    fn leader_advance_commits(&mut self, ctx: &mut Ctx<'_, M>) {
+        let quorum = self.cfg.quorum();
+        while let Some((&zxid, txn)) = self.proposals.iter().next() {
+            if zxid != self.committed + 1 || txn.acks.len() < quorum {
+                break;
+            }
+            let txn = self.proposals.remove(&zxid).expect("peeked");
+            self.committed = zxid;
+            let result = self.apply(ctx, zxid, &txn.op);
+            self.broadcast(
+                ctx,
+                &CoordMsg::Commit {
+                    term: self.term,
+                    zxid,
+                },
+            );
+            if let Some((client, req_id)) = txn.reply_to {
+                self.send(ctx, client, CoordMsg::Response { req_id, result });
+            }
+        }
+    }
+
+    // ----- applying committed transactions ----------------------------------
+
+    /// Applies a committed transaction to the tree; deterministic across
+    /// replicas (validation happens here, against identical state).
+    fn apply(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        zxid: u64,
+        op: &CommitOp,
+    ) -> Result<CoordReply, CoordError> {
+        self.applied = self.applied.max(zxid);
+
+        match op {
+            CommitOp::Create {
+                path,
+                data,
+                ephemeral_owner,
+            } => self
+                .tree
+                .create(path, data.clone(), *ephemeral_owner, zxid)
+                .map(|()| {
+                    self.note_change(ctx, zxid, path, WatchKind::Created);
+                    CoordReply::Created
+                })
+                .map_err(CoordError::from),
+            CommitOp::CreateMany { nodes } => {
+                let (mut created, mut existed) = (0, 0);
+                for (path, data) in nodes {
+                    match self.tree.create(path, data.clone(), None, zxid) {
+                        Ok(()) => {
+                            created += 1;
+                            self.note_change(ctx, zxid, path, WatchKind::Created);
+                        }
+                        Err(TreeError::NodeExists(_)) => existed += 1,
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                Ok(CoordReply::CreatedMany { created, existed })
+            }
+            CommitOp::Set {
+                path,
+                data,
+                expected_version,
+            } => self
+                .tree
+                .set(path, data.clone(), *expected_version, zxid)
+                .map(|version| {
+                    self.note_change(ctx, zxid, path, WatchKind::DataChanged);
+                    CoordReply::SetDone { version }
+                })
+                .map_err(CoordError::from),
+            CommitOp::Delete {
+                path,
+                expected_version,
+            } => self
+                .tree
+                .delete(path, *expected_version)
+                .map(|()| {
+                    self.note_change(ctx, zxid, path, WatchKind::Deleted);
+                    CoordReply::Done
+                })
+                .map_err(CoordError::from),
+            CommitOp::OpenSession { session } => {
+                self.sessions.insert(*session, ctx.now());
+                Ok(CoordReply::SessionOpened(*session))
+            }
+            CommitOp::CloseSession { session } => {
+                self.sessions.remove(session);
+                for path in self.tree.purge_session(*session) {
+                    self.note_change(ctx, zxid, &path, WatchKind::Deleted);
+                }
+                Ok(CoordReply::Done)
+            }
+        }
+    }
+
+    /// Records a change in the change log and fires one-shot watches.
+    fn note_change(&mut self, ctx: &mut Ctx<'_, M>, zxid: u64, path: &str, kind: WatchKind) {
+        self.change_log.push_back((zxid, path.to_string()));
+        while self.change_log.len() > self.cfg.change_log_capacity {
+            if let Some((dropped, _)) = self.change_log.pop_front() {
+                self.change_log_floor = self.change_log_floor.max(dropped);
+            }
+        }
+        let mut events: Vec<(ActorId, String, WatchKind)> = Vec::new();
+        if let Some(watchers) = self.data_watches.remove(path) {
+            for w in watchers {
+                events.push((w, path.to_string(), kind));
+            }
+        }
+        if let Some(watchers) = self.exists_watches.remove(path) {
+            for w in watchers {
+                events.push((w, path.to_string(), kind));
+            }
+        }
+        if let Some(slash) = path.rfind('/') {
+            let parent = if slash == 0 { "/" } else { &path[..slash] };
+            if matches!(kind, WatchKind::Created | WatchKind::Deleted) {
+                if let Some(watchers) = self.child_watches.remove(parent) {
+                    for w in watchers {
+                        events.push((w, parent.to_string(), WatchKind::ChildrenChanged));
+                    }
+                }
+            }
+        }
+        for (to, path, kind) in events {
+            self.send(ctx, to, CoordMsg::WatchEvent { path, kind });
+        }
+    }
+
+    // ----- follower commit path ----------------------------------------------
+
+    fn follower_try_apply(&mut self, ctx: &mut Ctx<'_, M>) {
+        loop {
+            let next = self.applied + 1;
+            if !self.commit_notices.contains(&next) {
+                break;
+            }
+            let Some(op) = self.pending.remove(&next) else {
+                // Commit notice without the proposal: we lost a message.
+                self.request_sync(ctx);
+                break;
+            };
+            self.commit_notices.remove(&next);
+            let _ = self.apply(ctx, next, &op);
+        }
+    }
+
+    fn request_sync(&mut self, ctx: &mut Ctx<'_, M>) {
+        // Rate-limited to one request per heartbeat period, so a badly
+        // lagging follower cannot trigger a snapshot storm.
+        if ctx.now().saturating_sub(self.last_sync_request) < self.cfg.heartbeat_micros
+            && self.last_sync_request != 0
+        {
+            return;
+        }
+        if let Role::Follower { leader: Some(l) } = self.role {
+            self.last_sync_request = ctx.now();
+            let to = self.addr_of(l);
+            self.send(
+                ctx,
+                to,
+                CoordMsg::SyncRequest {
+                    replica: self.my_index,
+                    applied: self.applied,
+                },
+            );
+        }
+    }
+
+    // ----- client requests -----------------------------------------------------
+
+    fn handle_request(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        client: ActorId,
+        session: SessionId,
+        req_id: RequestId,
+        op: CoordOp,
+    ) {
+        // Reads and watch registration are local at every replica.
+        match &op {
+            CoordOp::Get { path, watch } => {
+                let result = match self.tree.get(path) {
+                    Ok(z) => {
+                        if *watch {
+                            self.data_watches
+                                .entry(path.clone())
+                                .or_default()
+                                .push(client);
+                        }
+                        Ok(CoordReply::Data {
+                            data: z.data.clone(),
+                            version: z.version,
+                            mzxid: z.mzxid,
+                        })
+                    }
+                    Err(e) => Err(e.into()),
+                };
+                self.send(ctx, client, CoordMsg::Response { req_id, result });
+                return;
+            }
+            CoordOp::Exists { path, watch } => {
+                if *watch {
+                    self.exists_watches
+                        .entry(path.clone())
+                        .or_default()
+                        .push(client);
+                }
+                let result = Ok(CoordReply::Existence(self.tree.exists(path)));
+                self.send(ctx, client, CoordMsg::Response { req_id, result });
+                return;
+            }
+            CoordOp::GetChildren { path, watch } => {
+                let result = if self.tree.exists(path) {
+                    if *watch {
+                        self.child_watches
+                            .entry(path.clone())
+                            .or_default()
+                            .push(client);
+                    }
+                    Ok(CoordReply::Children(
+                        self.tree.children(path).map(str::to_string).collect(),
+                    ))
+                } else {
+                    Err(CoordError::Tree(TreeError::NoNode(path.clone())))
+                };
+                self.send(ctx, client, CoordMsg::Response { req_id, result });
+                return;
+            }
+            CoordOp::ChangesSince { zxid } => {
+                let result = Ok(self.changes_since(*zxid));
+                self.send(ctx, client, CoordMsg::Response { req_id, result });
+                return;
+            }
+            _ => {}
+        }
+
+        // Writes, pings and session lifecycle go through the leader.
+        match self.role {
+            Role::Leader => self.leader_handle_write(ctx, client, session, req_id, op),
+            Role::Follower { leader: Some(l) } => {
+                let to = self.addr_of(l);
+                self.send(
+                    ctx,
+                    to,
+                    CoordMsg::Forward {
+                        client,
+                        session,
+                        req_id,
+                        op,
+                    },
+                );
+            }
+            _ => {
+                self.send(
+                    ctx,
+                    client,
+                    CoordMsg::Response {
+                        req_id,
+                        result: Err(CoordError::Unavailable),
+                    },
+                );
+            }
+        }
+    }
+
+    fn leader_handle_write(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        client: ActorId,
+        session: SessionId,
+        req_id: RequestId,
+        op: CoordOp,
+    ) {
+        // Session validation (OpenSession excepted). Any request from a
+        // live session also counts as a liveness proof.
+        if !matches!(op, CoordOp::OpenSession) {
+            match self.sessions.get_mut(&session) {
+                Some(last) => *last = ctx.now(),
+                None => {
+                    self.send(
+                        ctx,
+                        client,
+                        CoordMsg::Response {
+                            req_id,
+                            result: Err(CoordError::SessionExpired),
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+        match op {
+            CoordOp::OpenSession => {
+                self.session_counter += 1;
+                let sid = SessionId((self.term << 24) | self.session_counter);
+                self.leader_propose(
+                    ctx,
+                    CommitOp::OpenSession { session: sid },
+                    Some((client, req_id)),
+                );
+            }
+            CoordOp::Ping => {
+                // Liveness only; answered immediately, not replicated.
+                self.sessions.insert(session, ctx.now());
+                self.send(
+                    ctx,
+                    client,
+                    CoordMsg::Response {
+                        req_id,
+                        result: Ok(CoordReply::Done),
+                    },
+                );
+            }
+            CoordOp::CloseSession => {
+                self.leader_propose(
+                    ctx,
+                    CommitOp::CloseSession { session },
+                    Some((client, req_id)),
+                );
+            }
+            CoordOp::Create {
+                path,
+                data,
+                ephemeral,
+            } => {
+                let owner = ephemeral.then_some(session);
+                self.leader_propose(
+                    ctx,
+                    CommitOp::Create {
+                        path,
+                        data,
+                        ephemeral_owner: owner,
+                    },
+                    Some((client, req_id)),
+                );
+            }
+            CoordOp::CreateMany { nodes } => {
+                self.leader_propose(ctx, CommitOp::CreateMany { nodes }, Some((client, req_id)));
+            }
+            CoordOp::Set {
+                path,
+                data,
+                expected_version,
+            } => {
+                self.leader_propose(
+                    ctx,
+                    CommitOp::Set {
+                        path,
+                        data,
+                        expected_version,
+                    },
+                    Some((client, req_id)),
+                );
+            }
+            CoordOp::Delete {
+                path,
+                expected_version,
+            } => {
+                self.leader_propose(
+                    ctx,
+                    CommitOp::Delete {
+                        path,
+                        expected_version,
+                    },
+                    Some((client, req_id)),
+                );
+            }
+            CoordOp::Get { .. }
+            | CoordOp::Exists { .. }
+            | CoordOp::GetChildren { .. }
+            | CoordOp::ChangesSince { .. } => unreachable!("reads handled locally"),
+        }
+    }
+
+    fn changes_since(&self, zxid: u64) -> CoordReply {
+        let truncated = zxid < self.change_log_floor;
+        let mut seen = std::collections::HashSet::new();
+        let mut paths = Vec::new();
+        for (z, p) in self.change_log.iter() {
+            if *z > zxid && seen.insert(p.clone()) {
+                paths.push(p.clone());
+            }
+        }
+        CoordReply::Changes {
+            paths,
+            latest_zxid: self.applied,
+            truncated,
+        }
+    }
+
+    // ----- ensemble messages -----------------------------------------------------
+
+    fn handle_coord(&mut self, ctx: &mut Ctx<'_, M>, from: ActorId, msg: CoordMsg) {
+        match msg {
+            CoordMsg::Request {
+                session,
+                req_id,
+                op,
+            } => {
+                self.handle_request(ctx, from, session, req_id, op);
+            }
+            CoordMsg::Forward {
+                client,
+                session,
+                req_id,
+                op,
+            } => {
+                if self.is_leader() {
+                    self.leader_handle_write(ctx, client, session, req_id, op);
+                } else {
+                    // Misrouted (stale leader info): tell the client to retry.
+                    self.send(
+                        ctx,
+                        client,
+                        CoordMsg::Response {
+                            req_id,
+                            result: Err(CoordError::Unavailable),
+                        },
+                    );
+                }
+            }
+            CoordMsg::Propose { term, zxid, op } => {
+                if term < self.term {
+                    return;
+                }
+                if term > self.term || matches!(self.role, Role::Candidate { .. }) {
+                    self.become_follower(ctx, term, None);
+                }
+                self.arm_election_timer(ctx);
+                self.pending.insert(zxid, op);
+                let leader_index = self.peers().find(|(_, a)| *a == from).map(|(i, _)| i);
+                if let Some(l) = leader_index {
+                    if let Role::Follower { leader } = &mut self.role {
+                        *leader = Some(l);
+                    }
+                }
+                self.send(
+                    ctx,
+                    from,
+                    CoordMsg::Ack {
+                        term,
+                        zxid,
+                        replica: self.my_index,
+                    },
+                );
+                self.follower_try_apply(ctx);
+            }
+            CoordMsg::Ack {
+                term,
+                zxid,
+                replica,
+            } => {
+                if term != self.term || !self.is_leader() {
+                    return;
+                }
+                if let Some(txn) = self.proposals.get_mut(&zxid) {
+                    txn.acks.insert(replica);
+                }
+                self.leader_advance_commits(ctx);
+            }
+            CoordMsg::Commit { term, zxid } => {
+                if term < self.term {
+                    return;
+                }
+                self.commit_notices.insert(zxid);
+                self.follower_try_apply(ctx);
+            }
+            CoordMsg::LeaderBeat {
+                term,
+                leader,
+                committed,
+            } => {
+                if term < self.term {
+                    return;
+                }
+                if term > self.term
+                    || !matches!(self.role, Role::Follower { leader: Some(l) } if l == leader)
+                {
+                    self.become_follower(ctx, term, Some(leader));
+                } else {
+                    self.arm_election_timer(ctx);
+                }
+                if committed > self.applied {
+                    // Try to drain; if we are still behind the stream has
+                    // holes (lost Propose or Commit for an already-committed
+                    // txn the leader will never re-send) — resync.
+                    self.follower_try_apply(ctx);
+                    if self.applied < committed {
+                        self.request_sync(ctx);
+                    }
+                }
+            }
+            CoordMsg::ElectMe {
+                term,
+                last_zxid,
+                candidate,
+            } => {
+                if term > self.term {
+                    self.become_follower(ctx, term, None);
+                }
+                let granted =
+                    term >= self.term && self.voted_in < term && last_zxid >= self.last_zxid();
+                if granted {
+                    self.voted_in = term;
+                }
+                let to = self.addr_of(candidate);
+                self.send(
+                    ctx,
+                    to,
+                    CoordMsg::Vote {
+                        term,
+                        granted,
+                        voter: self.my_index,
+                    },
+                );
+            }
+            CoordMsg::Vote {
+                term,
+                granted,
+                voter,
+            } => {
+                if term != self.term || !granted {
+                    return;
+                }
+                let quorum = self.cfg.quorum();
+                if let Role::Candidate { votes } = &mut self.role {
+                    votes.insert(voter);
+                    if votes.len() >= quorum {
+                        self.become_leader(ctx);
+                    }
+                }
+            }
+            CoordMsg::SyncRequest {
+                replica,
+                applied: _,
+            } => {
+                if !self.is_leader() {
+                    return;
+                }
+                let state = SnapshotState {
+                    tree: self.tree.clone(),
+                    sessions: self.sessions.keys().copied().collect(),
+                    zxid: self.applied,
+                };
+                let to = self.addr_of(replica);
+                self.send(
+                    ctx,
+                    to,
+                    CoordMsg::Snapshot {
+                        term: self.term,
+                        state,
+                    },
+                );
+            }
+            CoordMsg::Snapshot { term, state } => {
+                if term < self.term || state.zxid < self.applied {
+                    return;
+                }
+                self.term = term;
+                self.tree = state.tree;
+                let now = ctx.now();
+                self.sessions = state.sessions.into_iter().map(|s| (s, now)).collect();
+                self.applied = state.zxid;
+                // The snapshot carries no change history; anything at or
+                // below its zxid is unanswerable from this replica now.
+                self.change_log_floor = self.change_log_floor.max(state.zxid);
+                self.change_log.retain(|&(z, _)| z > state.zxid);
+                self.pending = self.pending.split_off(&(state.zxid + 1));
+                self.commit_notices = self.commit_notices.split_off(&(state.zxid + 1));
+                self.follower_try_apply(ctx);
+            }
+            CoordMsg::Response { .. } | CoordMsg::WatchEvent { .. } => {
+                // Replicas do not consume client-facing messages.
+            }
+        }
+    }
+}
+
+impl<M> Actor for CoordReplica<M>
+where
+    M: Wrap<CoordMsg> + MessageSize + Send + 'static,
+{
+    type Msg = M;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        self.arm_election_timer(ctx);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: M, ctx: &mut Ctx<'_, M>) {
+        if let Ok(coord) = msg.unwrap() {
+            self.handle_coord(ctx, from, coord);
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_, M>) {
+        match token {
+            T_ELECTION if !self.is_leader() => {
+                self.start_election(ctx);
+            }
+            T_BEAT if self.is_leader() => {
+                let beat = CoordMsg::LeaderBeat {
+                    term: self.term,
+                    leader: self.my_index,
+                    committed: self.committed,
+                };
+                self.broadcast(ctx, &beat);
+                // Re-drive unacked proposals (lossy links); followers
+                // treat duplicates idempotently.
+                let outstanding: Vec<(u64, CommitOp)> = self
+                    .proposals
+                    .iter()
+                    .map(|(z, t)| (*z, t.op.clone()))
+                    .collect();
+                for (zxid, op) in outstanding {
+                    let msg = CoordMsg::Propose {
+                        term: self.term,
+                        zxid,
+                        op,
+                    };
+                    self.broadcast(ctx, &msg);
+                }
+                ctx.set_timer(T_BEAT, self.cfg.heartbeat_micros);
+            }
+            T_SESSION_SWEEP if self.is_leader() => {
+                let now = ctx.now();
+                let timeout = self.cfg.session_timeout_micros;
+                let expired: Vec<SessionId> = self
+                    .sessions
+                    .iter()
+                    .filter(|(_, &last)| now.saturating_sub(last) > timeout)
+                    .map(|(s, _)| *s)
+                    .collect();
+                for session in expired {
+                    self.leader_propose(ctx, CommitOp::CloseSession { session }, None);
+                }
+                ctx.set_timer(T_SESSION_SWEEP, timeout / 4);
+            }
+            _ => {}
+        }
+    }
+
+    fn service_micros(&self, msg: &M) -> Micros {
+        // Metadata handling is cheap; bulk znode creation pays per node —
+        // this is what makes the paper's "boot-time creation … will take a
+        // long time when the virtual nodes number is large" observable.
+        let probe = msg;
+        // We cannot unwrap by value here (no clone bound), so approximate by
+        // size: ~1 µs per 256 bytes with a 2 µs floor.
+        2 + (probe.size_bytes() as u64) / 256
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_constructs_with_valid_index() {
+        let cfg = EnsembleConfig::lan(vec![ActorId(0), ActorId(1), ActorId(2)]);
+        let r: CoordReplica<CoordMsg> = CoordReplica::new(cfg, 2);
+        assert!(!r.is_leader());
+        assert_eq!(r.term(), 0);
+        assert_eq!(r.applied_zxid(), 0);
+        assert_eq!(r.session_count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn replica_index_out_of_range_panics() {
+        let cfg = EnsembleConfig::lan(vec![ActorId(0)]);
+        let _: CoordReplica<CoordMsg> = CoordReplica::new(cfg, 1);
+    }
+}

@@ -1,0 +1,397 @@
+//! The hierarchical znode tree.
+//!
+//! A flattened representation: absolute paths (`/sedna/vnodes/42`) map to
+//! [`Znode`]s in a `BTreeMap`, so child listing is a prefix range scan.
+//! Versions, creation/modification zxids and ephemeral owners follow
+//! ZooKeeper's data model closely enough for everything Sedna needs.
+
+use std::collections::BTreeMap;
+
+use sedna_common::SessionId;
+
+/// Validation + reply errors, mirroring ZooKeeper's error codes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// Path is not absolute / contains empty segments.
+    BadPath(String),
+    /// Node already exists (create).
+    NodeExists(String),
+    /// Node does not exist (get/set/delete/children, create with no parent).
+    NoNode(String),
+    /// Delete on a node that still has children.
+    NotEmpty(String),
+    /// Set/delete with a mismatched expected version.
+    BadVersion {
+        /// Path of the node.
+        path: String,
+        /// Version the caller expected.
+        expected: u64,
+        /// Version actually stored.
+        actual: u64,
+    },
+    /// Ephemeral nodes cannot have children.
+    NoChildrenForEphemerals(String),
+}
+
+/// A single znode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Znode {
+    /// Stored bytes.
+    pub data: Vec<u8>,
+    /// Data version; starts at 0, bumps on every set.
+    pub version: u64,
+    /// zxid of the transaction that created the node.
+    pub czxid: u64,
+    /// zxid of the transaction that last modified the node.
+    pub mzxid: u64,
+    /// Owning session for ephemeral nodes.
+    pub ephemeral_owner: Option<SessionId>,
+}
+
+/// The tree. Purely in-memory and single-threaded: the ensemble replica
+/// applies committed operations to it sequentially.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ZnodeTree {
+    nodes: BTreeMap<String, Znode>,
+}
+
+/// Checks path shape: absolute, no trailing slash (except root), no empty
+/// segments.
+pub fn validate_path(path: &str) -> Result<(), TreeError> {
+    if path == "/" {
+        return Ok(());
+    }
+    if !path.starts_with('/') || path.ends_with('/') || path.contains("//") {
+        return Err(TreeError::BadPath(path.to_string()));
+    }
+    Ok(())
+}
+
+fn parent_of(path: &str) -> Option<&str> {
+    if path == "/" {
+        return None;
+    }
+    match path.rfind('/') {
+        Some(0) => Some("/"),
+        Some(i) => Some(&path[..i]),
+        None => None,
+    }
+}
+
+impl ZnodeTree {
+    /// An empty tree containing only the root node.
+    pub fn new() -> Self {
+        let mut nodes = BTreeMap::new();
+        nodes.insert(
+            "/".to_string(),
+            Znode {
+                data: Vec::new(),
+                version: 0,
+                czxid: 0,
+                mzxid: 0,
+                ephemeral_owner: None,
+            },
+        );
+        ZnodeTree { nodes }
+    }
+
+    /// Number of znodes including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Creates a node. The parent must exist and must not be ephemeral.
+    pub fn create(
+        &mut self,
+        path: &str,
+        data: Vec<u8>,
+        ephemeral_owner: Option<SessionId>,
+        zxid: u64,
+    ) -> Result<(), TreeError> {
+        validate_path(path)?;
+        if path == "/" || self.nodes.contains_key(path) {
+            return Err(TreeError::NodeExists(path.to_string()));
+        }
+        let parent = parent_of(path).ok_or_else(|| TreeError::BadPath(path.to_string()))?;
+        let pnode = self
+            .nodes
+            .get(parent)
+            .ok_or_else(|| TreeError::NoNode(parent.to_string()))?;
+        if pnode.ephemeral_owner.is_some() {
+            return Err(TreeError::NoChildrenForEphemerals(parent.to_string()));
+        }
+        self.nodes.insert(
+            path.to_string(),
+            Znode {
+                data,
+                version: 0,
+                czxid: zxid,
+                mzxid: zxid,
+                ephemeral_owner,
+            },
+        );
+        Ok(())
+    }
+
+    /// Sets a node's data. `expected_version` of `None` is unconditional.
+    pub fn set(
+        &mut self,
+        path: &str,
+        data: Vec<u8>,
+        expected_version: Option<u64>,
+        zxid: u64,
+    ) -> Result<u64, TreeError> {
+        validate_path(path)?;
+        let node = self
+            .nodes
+            .get_mut(path)
+            .ok_or_else(|| TreeError::NoNode(path.to_string()))?;
+        if let Some(expected) = expected_version {
+            if node.version != expected {
+                return Err(TreeError::BadVersion {
+                    path: path.to_string(),
+                    expected,
+                    actual: node.version,
+                });
+            }
+        }
+        node.data = data;
+        node.version += 1;
+        node.mzxid = zxid;
+        Ok(node.version)
+    }
+
+    /// Deletes a leaf node.
+    pub fn delete(&mut self, path: &str, expected_version: Option<u64>) -> Result<(), TreeError> {
+        validate_path(path)?;
+        if path == "/" {
+            return Err(TreeError::BadPath(path.to_string()));
+        }
+        let node = self
+            .nodes
+            .get(path)
+            .ok_or_else(|| TreeError::NoNode(path.to_string()))?;
+        if let Some(expected) = expected_version {
+            if node.version != expected {
+                return Err(TreeError::BadVersion {
+                    path: path.to_string(),
+                    expected,
+                    actual: node.version,
+                });
+            }
+        }
+        if self.children(path).next().is_some() {
+            return Err(TreeError::NotEmpty(path.to_string()));
+        }
+        self.nodes.remove(path);
+        Ok(())
+    }
+
+    /// Reads a node.
+    pub fn get(&self, path: &str) -> Result<&Znode, TreeError> {
+        validate_path(path)?;
+        self.nodes
+            .get(path)
+            .ok_or_else(|| TreeError::NoNode(path.to_string()))
+    }
+
+    /// True when the node exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.contains_key(path)
+    }
+
+    /// Iterates the *names* (last path segment) of a node's direct children,
+    /// in lexicographic order.
+    pub fn children<'a>(&'a self, path: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
+        let plen = prefix.len();
+        self.nodes
+            .range(prefix.clone()..)
+            .take_while(move |(k, _)| k.starts_with(&prefix))
+            .filter_map(move |(k, _)| {
+                let rest = &k[plen..];
+                (!rest.is_empty() && !rest.contains('/')).then_some(rest)
+            })
+    }
+
+    /// Deletes every ephemeral node owned by `session`; returns their paths.
+    pub fn purge_session(&mut self, session: SessionId) -> Vec<String> {
+        let victims: Vec<String> = self
+            .nodes
+            .iter()
+            .filter(|(_, z)| z.ephemeral_owner == Some(session))
+            .map(|(p, _)| p.clone())
+            .collect();
+        // Ephemerals cannot have children, so plain removal is safe.
+        for p in &victims {
+            self.nodes.remove(p);
+        }
+        victims
+    }
+
+    /// Iterates all `(path, znode)` pairs (snapshot transfer).
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Znode)> {
+        self.nodes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zt() -> ZnodeTree {
+        ZnodeTree::new()
+    }
+
+    #[test]
+    fn create_get_roundtrip() {
+        let mut t = zt();
+        t.create("/a", b"hello".to_vec(), None, 1).unwrap();
+        let z = t.get("/a").unwrap();
+        assert_eq!(z.data, b"hello");
+        assert_eq!(z.version, 0);
+        assert_eq!(z.czxid, 1);
+        assert!(t.exists("/a"));
+        assert!(!t.exists("/b"));
+    }
+
+    #[test]
+    fn create_requires_parent() {
+        let mut t = zt();
+        assert_eq!(
+            t.create("/a/b", vec![], None, 1),
+            Err(TreeError::NoNode("/a".into()))
+        );
+        t.create("/a", vec![], None, 1).unwrap();
+        t.create("/a/b", vec![], None, 2).unwrap();
+        assert!(t.exists("/a/b"));
+    }
+
+    #[test]
+    fn create_duplicate_rejected() {
+        let mut t = zt();
+        t.create("/a", vec![], None, 1).unwrap();
+        assert_eq!(
+            t.create("/a", vec![], None, 2),
+            Err(TreeError::NodeExists("/a".into()))
+        );
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let mut t = zt();
+        for bad in ["a", "/a/", "//a", "/a//b", ""] {
+            assert!(
+                matches!(t.create(bad, vec![], None, 1), Err(TreeError::BadPath(_))),
+                "{bad}"
+            );
+        }
+        assert_eq!(
+            t.create("/", vec![], None, 1),
+            Err(TreeError::NodeExists("/".into()))
+        );
+    }
+
+    #[test]
+    fn set_bumps_version_and_checks_expected() {
+        let mut t = zt();
+        t.create("/a", b"v0".to_vec(), None, 1).unwrap();
+        assert_eq!(t.set("/a", b"v1".to_vec(), None, 2), Ok(1));
+        assert_eq!(t.set("/a", b"v2".to_vec(), Some(1), 3), Ok(2));
+        assert_eq!(
+            t.set("/a", b"v3".to_vec(), Some(7), 4),
+            Err(TreeError::BadVersion {
+                path: "/a".into(),
+                expected: 7,
+                actual: 2
+            })
+        );
+        let z = t.get("/a").unwrap();
+        assert_eq!(z.data, b"v2");
+        assert_eq!(z.mzxid, 3);
+        assert_eq!(z.czxid, 1);
+    }
+
+    #[test]
+    fn delete_leaf_only_and_version_checked() {
+        let mut t = zt();
+        t.create("/a", vec![], None, 1).unwrap();
+        t.create("/a/b", vec![], None, 2).unwrap();
+        assert_eq!(t.delete("/a", None), Err(TreeError::NotEmpty("/a".into())));
+        assert_eq!(
+            t.delete("/a/b", Some(9)),
+            Err(TreeError::BadVersion {
+                path: "/a/b".into(),
+                expected: 9,
+                actual: 0
+            })
+        );
+        t.delete("/a/b", Some(0)).unwrap();
+        t.delete("/a", None).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.delete("/", None), Err(TreeError::BadPath("/".into())));
+    }
+
+    #[test]
+    fn children_lists_only_direct_descendants() {
+        let mut t = zt();
+        t.create("/a", vec![], None, 1).unwrap();
+        t.create("/a/x", vec![], None, 2).unwrap();
+        t.create("/a/y", vec![], None, 3).unwrap();
+        t.create("/a/x/deep", vec![], None, 4).unwrap();
+        t.create("/ab", vec![], None, 5).unwrap(); // sibling with shared prefix
+        let kids: Vec<&str> = t.children("/a").collect();
+        assert_eq!(kids, vec!["x", "y"]);
+        let root_kids: Vec<&str> = t.children("/").collect();
+        assert_eq!(root_kids, vec!["a", "ab"]);
+    }
+
+    #[test]
+    fn ephemerals_cannot_have_children_and_purge_removes_them() {
+        let mut t = zt();
+        t.create("/members", vec![], None, 1).unwrap();
+        let s1 = SessionId(10);
+        let s2 = SessionId(20);
+        t.create("/members/n1", b"x".to_vec(), Some(s1), 2).unwrap();
+        t.create("/members/n2", b"y".to_vec(), Some(s2), 3).unwrap();
+        assert_eq!(
+            t.create("/members/n1/child", vec![], None, 4),
+            Err(TreeError::NoChildrenForEphemerals("/members/n1".into()))
+        );
+        let purged = t.purge_session(s1);
+        assert_eq!(purged, vec!["/members/n1".to_string()]);
+        assert!(!t.exists("/members/n1"));
+        assert!(t.exists("/members/n2"));
+        assert!(t.purge_session(SessionId(99)).is_empty());
+    }
+
+    #[test]
+    fn snapshot_iteration_is_complete() {
+        let mut t = zt();
+        t.create("/a", vec![1], None, 1).unwrap();
+        t.create("/a/b", vec![2], None, 2).unwrap();
+        let all: Vec<_> = t.iter().map(|(p, _)| p.clone()).collect();
+        assert_eq!(
+            all,
+            vec!["/".to_string(), "/a".to_string(), "/a/b".to_string()]
+        );
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn clone_equality_for_snapshot_transfer() {
+        let mut t = zt();
+        t.create("/a", vec![1, 2, 3], None, 7).unwrap();
+        let c = t.clone();
+        assert_eq!(t, c);
+    }
+}

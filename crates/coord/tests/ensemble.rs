@@ -1,0 +1,467 @@
+//! Ensemble integration tests: replicas + a scripted client under the
+//! deterministic simulator.
+
+use sedna_common::time::Micros;
+use sedna_coord::client::{SessionClient, SessionConfig, SessionEvent};
+use sedna_coord::messages::{CoordError, CoordMsg, CoordOp, CoordReply, EnsembleConfig};
+use sedna_coord::replica::CoordReplica;
+use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_net::link::LinkModel;
+use sedna_net::sim::{Sim, SimConfig};
+
+const T_PING: TimerToken = TimerToken(1);
+const T_KICK: TimerToken = TimerToken(2);
+
+/// Scripted client: opens a session, then issues `script` ops one at a
+/// time, recording every reply.
+struct ScriptClient {
+    session: SessionClient,
+    script: Vec<CoordOp>,
+    cursor: usize,
+    /// Delay before the session-open is attempted.
+    start_after: Micros,
+    pub replies: Vec<Result<CoordReply, CoordError>>,
+    pub watches: Vec<String>,
+    pub expired: bool,
+    /// Keep pinging after the script finishes.
+    keep_alive: bool,
+}
+
+impl ScriptClient {
+    fn new(replicas: Vec<ActorId>, script: Vec<CoordOp>, keep_alive: bool) -> Self {
+        ScriptClient {
+            session: SessionClient::new(SessionConfig {
+                replicas,
+                ping_interval_micros: 200_000,
+                request_timeout_micros: 800_000,
+            }),
+            script,
+            cursor: 0,
+            start_after: 500_000, // let the ensemble elect first
+            replies: Vec::new(),
+            watches: Vec::new(),
+            expired: false,
+            keep_alive,
+        }
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx<'_, CoordMsg>) {
+        if self.cursor < self.script.len() {
+            let op = self.script[self.cursor].clone();
+            self.cursor += 1;
+            let now = ctx.now();
+            if let Some((_, to, msg)) = self.session.request(op, now) {
+                ctx.send(to, msg);
+            }
+        }
+    }
+}
+
+impl Actor for ScriptClient {
+    type Msg = CoordMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, CoordMsg>) {
+        ctx.set_timer(T_KICK, self.start_after);
+    }
+
+    fn on_message(&mut self, _from: ActorId, msg: CoordMsg, ctx: &mut Ctx<'_, CoordMsg>) {
+        let (event, retry) = self.session.on_message(msg);
+        if let Some((to, m)) = retry {
+            ctx.send(to, m);
+        }
+        match event {
+            Some(SessionEvent::Opened(_)) => {
+                ctx.set_timer(T_PING, self.session.ping_interval());
+                self.issue_next(ctx);
+            }
+            Some(SessionEvent::Reply { result, .. }) => {
+                // Pings also produce Done replies; only record script ones.
+                self.replies.push(result);
+                self.issue_next(ctx);
+            }
+            Some(SessionEvent::Watch { path }) => self.watches.push(path),
+            Some(SessionEvent::Expired) => self.expired = true,
+            None => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_, CoordMsg>) {
+        match token {
+            T_KICK => {
+                let now = ctx.now();
+                let (to, msg) = self.session.open(now);
+                ctx.send(to, msg);
+            }
+            T_PING if (self.keep_alive || self.cursor < self.script.len()) => {
+                if let Some((to, msg)) = self.session.ping() {
+                    ctx.send(to, msg);
+                }
+                ctx.set_timer(T_PING, self.session.ping_interval());
+            }
+            _ => {}
+        }
+    }
+}
+
+fn build_ensemble(replicas: usize, seed: u64) -> (Sim<CoordMsg>, Vec<ActorId>, EnsembleConfig) {
+    let mut sim = Sim::new(SimConfig {
+        seed,
+        link: LinkModel::gigabit_lan(),
+        ..SimConfig::default()
+    });
+    let ids: Vec<ActorId> = (0..replicas as u32).map(ActorId).collect();
+    let cfg = EnsembleConfig::lan(ids.clone());
+    for i in 0..replicas as u32 {
+        sim.add_actor(Box::new(CoordReplica::<CoordMsg>::new(cfg.clone(), i)));
+    }
+    (sim, ids, cfg)
+}
+
+fn leader_index(sim: &Sim<CoordMsg>, ids: &[ActorId]) -> Option<usize> {
+    ids.iter().position(|&id| {
+        sim.actor_ref::<CoordReplica<CoordMsg>>(id)
+            .is_some_and(|r| r.is_leader() && !sim.is_down(id))
+    })
+}
+
+#[test]
+fn ensemble_elects_exactly_one_leader() {
+    let (mut sim, ids, _) = build_ensemble(3, 1);
+    sim.run_until(1_000_000);
+    let leaders: Vec<usize> = ids
+        .iter()
+        .enumerate()
+        .filter(|(_, &id)| {
+            sim.actor_ref::<CoordReplica<CoordMsg>>(id)
+                .unwrap()
+                .is_leader()
+        })
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(leaders.len(), 1, "exactly one leader, got {leaders:?}");
+}
+
+#[test]
+fn write_then_read_roundtrip_through_any_replica() {
+    let (mut sim, ids, _) = build_ensemble(3, 2);
+    let client = sim.add_actor(Box::new(ScriptClient::new(
+        ids.clone(),
+        vec![
+            CoordOp::Create {
+                path: "/sedna".into(),
+                data: b"root".to_vec(),
+                ephemeral: false,
+            },
+            CoordOp::Create {
+                path: "/sedna/a".into(),
+                data: b"va".to_vec(),
+                ephemeral: false,
+            },
+            CoordOp::Set {
+                path: "/sedna/a".into(),
+                data: b"vb".to_vec(),
+                expected_version: Some(0),
+            },
+            CoordOp::Get {
+                path: "/sedna/a".into(),
+                watch: false,
+            },
+            CoordOp::GetChildren {
+                path: "/sedna".into(),
+                watch: false,
+            },
+        ],
+        false,
+    )));
+    sim.run_until(5_000_000);
+    let c = sim.actor_ref::<ScriptClient>(client).unwrap();
+    assert_eq!(c.replies.len(), 5, "replies: {:?}", c.replies);
+    assert_eq!(c.replies[0], Ok(CoordReply::Created));
+    assert_eq!(c.replies[1], Ok(CoordReply::Created));
+    assert_eq!(c.replies[2], Ok(CoordReply::SetDone { version: 1 }));
+    assert!(matches!(
+        &c.replies[3],
+        Ok(CoordReply::Data { data, version: 1, .. }) if data == b"vb"
+    ));
+    assert_eq!(c.replies[4], Ok(CoordReply::Children(vec!["a".into()])));
+    // All replicas converge to the same tree.
+    sim.run_until(6_000_000);
+    for &id in &ids {
+        let r = sim.actor_ref::<CoordReplica<CoordMsg>>(id).unwrap();
+        assert_eq!(r.tree().get("/sedna/a").unwrap().data, b"vb", "{id:?} lags");
+    }
+}
+
+#[test]
+fn bulk_create_is_idempotent() {
+    let (mut sim, ids, _) = build_ensemble(3, 3);
+    let nodes: Vec<(String, Vec<u8>)> = std::iter::once(("/v".to_string(), vec![]))
+        .chain((0..500).map(|i| (format!("/v/{i}"), vec![0u8; 8])))
+        .collect();
+    let client = sim.add_actor(Box::new(ScriptClient::new(
+        ids.clone(),
+        vec![
+            CoordOp::CreateMany {
+                nodes: nodes.clone(),
+            },
+            CoordOp::CreateMany { nodes },
+        ],
+        false,
+    )));
+    sim.run_until(8_000_000);
+    let c = sim.actor_ref::<ScriptClient>(client).unwrap();
+    assert_eq!(
+        c.replies[0],
+        Ok(CoordReply::CreatedMany {
+            created: 501,
+            existed: 0
+        })
+    );
+    assert_eq!(
+        c.replies[1],
+        Ok(CoordReply::CreatedMany {
+            created: 0,
+            existed: 501
+        })
+    );
+    // Followers hold all znodes too.
+    for &id in &ids {
+        let r = sim.actor_ref::<CoordReplica<CoordMsg>>(id).unwrap();
+        assert_eq!(r.tree().len(), 1 + 1 + 500, "{id:?}");
+    }
+}
+
+#[test]
+fn leader_failure_triggers_reelection_and_service_resumes() {
+    let (mut sim, ids, _) = build_ensemble(3, 4);
+    let client = sim.add_actor(Box::new(ScriptClient::new(
+        ids.clone(),
+        vec![CoordOp::Create {
+            path: "/pre".into(),
+            data: vec![],
+            ephemeral: false,
+        }],
+        true,
+    )));
+    sim.run_until(3_000_000);
+    let old_leader = leader_index(&sim, &ids).expect("leader elected");
+    assert_eq!(
+        sim.actor_ref::<ScriptClient>(client).unwrap().replies.len(),
+        1,
+        "first write done"
+    );
+    // Kill the leader; a new one must emerge among survivors.
+    sim.set_down(ids[old_leader], true);
+    sim.run_until(6_000_000);
+    let new_leader = leader_index(&sim, &ids).expect("new leader elected");
+    assert_ne!(new_leader, old_leader);
+    // And the survivors still serve writes: drive a fresh client.
+    let survivors: Vec<ActorId> = ids.iter().copied().filter(|&id| !sim.is_down(id)).collect();
+    let client2 = sim.add_actor(Box::new(ScriptClient::new(
+        survivors,
+        vec![CoordOp::Create {
+            path: "/post".into(),
+            data: vec![],
+            ephemeral: false,
+        }],
+        false,
+    )));
+    sim.run_until(12_000_000);
+    let c2 = sim.actor_ref::<ScriptClient>(client2).unwrap();
+    assert_eq!(c2.replies, vec![Ok(CoordReply::Created)]);
+}
+
+#[test]
+fn ephemerals_vanish_when_session_stops_pinging() {
+    let (mut sim, ids, _) = build_ensemble(3, 5);
+    // keep_alive=false: pings stop once the script is done.
+    let _client = sim.add_actor(Box::new(ScriptClient::new(
+        ids.clone(),
+        vec![
+            CoordOp::Create {
+                path: "/members".into(),
+                data: vec![],
+                ephemeral: false,
+            },
+            CoordOp::Create {
+                path: "/members/n1".into(),
+                data: vec![],
+                ephemeral: true,
+            },
+        ],
+        false,
+    )));
+    // Check before the 1 s session timeout can expire it (session opens at
+    // ~0.5 s, so 1.2 s is comfortably inside the live window).
+    sim.run_until(1_200_000);
+    let leader = leader_index(&sim, &ids).unwrap();
+    assert!(
+        sim.actor_ref::<CoordReplica<CoordMsg>>(ids[leader])
+            .unwrap()
+            .tree()
+            .exists("/members/n1"),
+        "ephemeral registered"
+    );
+    // Session timeout is 1 s; run well past it with no pings.
+    sim.run_until(6_000_000);
+    for &id in &ids {
+        let r = sim.actor_ref::<CoordReplica<CoordMsg>>(id).unwrap();
+        assert!(
+            !r.tree().exists("/members/n1"),
+            "{id:?} kept a dead ephemeral"
+        );
+        assert!(r.tree().exists("/members"), "persistent node survives");
+    }
+}
+
+#[test]
+fn watch_fires_once_on_data_change() {
+    let (mut sim, ids, _) = build_ensemble(3, 6);
+    let watcher = sim.add_actor(Box::new(ScriptClient::new(
+        ids.clone(),
+        vec![
+            CoordOp::Create {
+                path: "/w".into(),
+                data: vec![1],
+                ephemeral: false,
+            },
+            CoordOp::Get {
+                path: "/w".into(),
+                watch: true,
+            },
+            CoordOp::Set {
+                path: "/w".into(),
+                data: vec![2],
+                expected_version: None,
+            },
+            CoordOp::Set {
+                path: "/w".into(),
+                data: vec![3],
+                expected_version: None,
+            },
+        ],
+        true,
+    )));
+    sim.run_until(5_000_000);
+    let w = sim.actor_ref::<ScriptClient>(watcher).unwrap();
+    assert_eq!(
+        w.watches,
+        vec!["/w".to_string()],
+        "one-shot: exactly one event"
+    );
+}
+
+#[test]
+fn changes_since_reports_modified_paths() {
+    let (mut sim, ids, _) = build_ensemble(3, 7);
+    let client = sim.add_actor(Box::new(ScriptClient::new(
+        ids.clone(),
+        vec![
+            CoordOp::Create {
+                path: "/a".into(),
+                data: vec![],
+                ephemeral: false,
+            },
+            CoordOp::Create {
+                path: "/b".into(),
+                data: vec![],
+                ephemeral: false,
+            },
+            CoordOp::Set {
+                path: "/a".into(),
+                data: vec![9],
+                expected_version: None,
+            },
+            CoordOp::ChangesSince { zxid: 0 },
+        ],
+        false,
+    )));
+    sim.run_until(5_000_000);
+    let c = sim.actor_ref::<ScriptClient>(client).unwrap();
+    let Ok(CoordReply::Changes {
+        paths,
+        latest_zxid,
+        truncated,
+    }) = &c.replies[3]
+    else {
+        panic!("unexpected reply: {:?}", c.replies[3]);
+    };
+    assert!(!truncated);
+    assert!(*latest_zxid >= 3);
+    assert!(paths.contains(&"/a".to_string()));
+    assert!(paths.contains(&"/b".to_string()));
+    assert_eq!(
+        paths.iter().filter(|p| *p == &"/a".to_string()).count(),
+        1,
+        "deduplicated"
+    );
+}
+
+#[test]
+fn version_conflict_surfaces_to_client() {
+    let (mut sim, ids, _) = build_ensemble(3, 8);
+    let client = sim.add_actor(Box::new(ScriptClient::new(
+        ids.clone(),
+        vec![
+            CoordOp::Create {
+                path: "/cas".into(),
+                data: vec![],
+                ephemeral: false,
+            },
+            CoordOp::Set {
+                path: "/cas".into(),
+                data: vec![1],
+                expected_version: Some(5),
+            },
+        ],
+        false,
+    )));
+    sim.run_until(4_000_000);
+    let c = sim.actor_ref::<ScriptClient>(client).unwrap();
+    assert!(
+        matches!(&c.replies[1], Err(CoordError::Tree(_))),
+        "{:?}",
+        c.replies[1]
+    );
+}
+
+#[test]
+fn five_replica_ensemble_survives_two_failures() {
+    let (mut sim, ids, _) = build_ensemble(5, 9);
+    sim.run_until(2_000_000);
+    let l1 = leader_index(&sim, &ids).unwrap();
+    sim.set_down(ids[l1], true);
+    sim.run_until(4_000_000);
+    let l2 = leader_index(&sim, &ids).unwrap();
+    sim.set_down(ids[l2], true);
+    sim.run_until(7_000_000);
+    let l3 = leader_index(&sim, &ids).expect("3 of 5 still form a quorum");
+    assert_ne!(l3, l1);
+    assert_ne!(l3, l2);
+}
+
+#[test]
+fn deterministic_replay_same_seed() {
+    let run = |seed| {
+        let (mut sim, ids, _) = build_ensemble(3, seed);
+        let client = sim.add_actor(Box::new(ScriptClient::new(
+            ids,
+            vec![
+                CoordOp::Create {
+                    path: "/d".into(),
+                    data: vec![7],
+                    ephemeral: false,
+                },
+                CoordOp::Get {
+                    path: "/d".into(),
+                    watch: false,
+                },
+            ],
+            false,
+        )));
+        sim.run_until(3_000_000);
+        let c = sim.actor_ref::<ScriptClient>(client).unwrap();
+        (format!("{:?}", c.replies), sim.stats().messages_delivered)
+    };
+    assert_eq!(run(42), run(42));
+}

@@ -1,0 +1,205 @@
+//! Property tests: the znode tree must behave exactly like a reference
+//! model (a flat map with parent bookkeeping) under arbitrary operation
+//! sequences, and session purges must remove exactly the owned ephemerals.
+
+use proptest::prelude::*;
+use sedna_common::SessionId;
+use sedna_coord::tree::ZnodeTree;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Create {
+        path: u8,
+        data: u8,
+        ephemeral: Option<u8>,
+    },
+    Set {
+        path: u8,
+        data: u8,
+    },
+    Delete {
+        path: u8,
+    },
+    Purge {
+        session: u8,
+    },
+}
+
+/// A tiny fixed path universe with real hierarchy.
+fn path_of(i: u8) -> &'static str {
+    const PATHS: [&str; 8] = [
+        "/a",
+        "/a/x",
+        "/a/y",
+        "/b",
+        "/b/x",
+        "/b/x/deep",
+        "/c",
+        "/a/x/leaf",
+    ];
+    PATHS[(i % 8) as usize]
+}
+
+fn parent_of(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(0) => "/",
+        Some(i) => &path[..i],
+        None => "/",
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, any::<u8>(), proptest::option::of(0u8..3)).prop_map(|(path, data, ephemeral)| {
+            Op::Create {
+                path,
+                data,
+                ephemeral,
+            }
+        }),
+        (0u8..8, any::<u8>()).prop_map(|(path, data)| Op::Set { path, data }),
+        (0u8..8).prop_map(|path| Op::Delete { path }),
+        (0u8..3).prop_map(|session| Op::Purge { session }),
+    ]
+}
+
+/// Reference model: path → (data, version, ephemeral owner).
+#[derive(Default)]
+struct Model {
+    nodes: BTreeMap<String, (u8, u64, Option<u8>)>,
+}
+
+impl Model {
+    fn create(&mut self, path: &str, data: u8, eph: Option<u8>) -> bool {
+        if self.nodes.contains_key(path) {
+            return false;
+        }
+        let parent = parent_of(path);
+        if parent != "/" {
+            match self.nodes.get(parent) {
+                Some((_, _, owner)) if owner.is_none() => {}
+                _ => return false, // absent parent, or ephemeral parent
+            }
+        }
+        self.nodes.insert(path.to_string(), (data, 0, eph));
+        true
+    }
+
+    fn set(&mut self, path: &str, data: u8) -> bool {
+        match self.nodes.get_mut(path) {
+            Some(e) => {
+                e.0 = data;
+                e.1 += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn has_children(&self, path: &str) -> bool {
+        let prefix = format!("{path}/");
+        self.nodes.keys().any(|k| k.starts_with(&prefix))
+    }
+
+    fn delete(&mut self, path: &str) -> bool {
+        if !self.nodes.contains_key(path) || self.has_children(path) {
+            return false;
+        }
+        self.nodes.remove(path);
+        true
+    }
+
+    fn purge(&mut self, session: u8) -> Vec<String> {
+        let victims: Vec<String> = self
+            .nodes
+            .iter()
+            .filter(|(_, (_, _, o))| *o == Some(session))
+            .map(|(p, _)| p.clone())
+            .collect();
+        for v in &victims {
+            self.nodes.remove(v);
+        }
+        victims
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tree_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut tree = ZnodeTree::new();
+        let mut model = Model::default();
+        let mut zxid = 0u64;
+        for op in ops {
+            zxid += 1;
+            match op {
+                Op::Create { path, data, ephemeral } => {
+                    let p = path_of(path);
+                    let got = tree
+                        .create(p, vec![data], ephemeral.map(|s| SessionId(s as u64)), zxid)
+                        .is_ok();
+                    let want = model.create(p, data, ephemeral);
+                    prop_assert_eq!(got, want, "create {}", p);
+                }
+                Op::Set { path, data } => {
+                    let p = path_of(path);
+                    let got = tree.set(p, vec![data], None, zxid).is_ok();
+                    let want = model.set(p, data);
+                    prop_assert_eq!(got, want, "set {}", p);
+                }
+                Op::Delete { path } => {
+                    let p = path_of(path);
+                    let got = tree.delete(p, None).is_ok();
+                    let want = model.delete(p);
+                    prop_assert_eq!(got, want, "delete {}", p);
+                }
+                Op::Purge { session } => {
+                    let mut got = tree.purge_session(SessionId(session as u64));
+                    let mut want = model.purge(session);
+                    got.sort();
+                    want.sort();
+                    prop_assert_eq!(got, want, "purge {}", session);
+                }
+            }
+            // Full-state agreement after every step.
+            for (path, (data, version, _)) in &model.nodes {
+                let z = tree.get(path).expect("model says it exists");
+                prop_assert_eq!(&z.data, &vec![*data]);
+                prop_assert_eq!(z.version, *version);
+            }
+            prop_assert_eq!(tree.len() - 1, model.nodes.len(), "node counts (minus root)");
+        }
+    }
+
+    #[test]
+    fn children_listing_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut tree = ZnodeTree::new();
+        let mut model = Model::default();
+        let mut zxid = 0;
+        for op in ops {
+            zxid += 1;
+            if let Op::Create { path, data, ephemeral } = op {
+                let p = path_of(path);
+                let _ = tree.create(p, vec![data], ephemeral.map(|s| SessionId(s as u64)), zxid);
+                model.create(p, data, ephemeral);
+            }
+        }
+        for parent in ["/", "/a", "/b", "/b/x"] {
+            if parent != "/" && !model.nodes.contains_key(parent) {
+                continue;
+            }
+            let got: Vec<String> = tree.children(parent).map(str::to_string).collect();
+            let prefix = if parent == "/" { "/".to_string() } else { format!("{parent}/") };
+            let mut want: Vec<String> = model
+                .nodes
+                .keys()
+                .filter(|k| k.starts_with(&prefix) && !k[prefix.len()..].contains('/') && k.len() > prefix.len())
+                .map(|k| k[prefix.len()..].to_string())
+                .collect();
+            want.sort();
+            prop_assert_eq!(got, want, "children of {}", parent);
+        }
+    }
+}

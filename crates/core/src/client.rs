@@ -1,0 +1,1040 @@
+//! The zero-hop Sedna client.
+//!
+//! Sec. VII: "Sedna uses a zero-hop DHT that each node caches enough
+//! routing information locally to route a request to the appropriate node
+//! directly, and a ZooKeeper min-cluster which keeps the newest
+//! information." [`ClientCore`] is that local Sedna service, embeddable in
+//! any actor: it caches the vnode map (refreshed through the adaptive-lease
+//! cache of Sec. III-E), stamps writes with hybrid timestamps, fans
+//! requests to all N replicas in parallel, and resolves them with the
+//! quorum coordinators from `sedna-replication` — issuing read-repair
+//! pushes when replicas diverge.
+//!
+//! [`QuorumWriter`]/[`QuorumReader`] are the reusable fan-out trackers; the
+//! data nodes reuse `QuorumWriter` for trigger-emitted writes.
+
+use std::collections::HashMap;
+
+use sedna_common::time::{Micros, Timestamp};
+use sedna_common::{Key, NodeId, RequestId, Value};
+use sedna_coord::client::{LeaseCache, LeaseConfig, SessionClient, SessionConfig, SessionEvent};
+use sedna_coord::messages::{CoordMsg, CoordOp, CoordReply};
+use sedna_net::actor::ActorId;
+use sedna_replication::{
+    plan_repair, ReadCoordinator, ReadOutcome, RepairAction, ReplicaRead, ReplicaWriteResult,
+    WriteCoordinator, WriteOutcomeAgg,
+};
+use sedna_ring::VNodeMap;
+
+use crate::config::{paths, ClusterConfig};
+use crate::messages::{
+    ClientResult, ReplicaOp, ReplicaReadReply, ReplicaWriteAck, SednaMsg, WriteKind,
+};
+
+/// Events surfaced by [`ClientCore`] to its embedding actor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// The routing cache is loaded; operations may be issued.
+    Ready,
+    /// An operation finished.
+    Done {
+        /// The id returned when the operation was issued.
+        op_id: u64,
+        /// Its result.
+        result: ClientResult,
+    },
+}
+
+/// Outbound messages produced by the client helpers.
+pub type Outbox = Vec<(ActorId, SednaMsg)>;
+
+// ---------------------------------------------------------------------------
+// QuorumWriter
+// ---------------------------------------------------------------------------
+
+struct PendingWrite {
+    op_id: u64,
+    coord: WriteCoordinator,
+    deadline: Micros,
+}
+
+/// Tracks fan-out writes; reusable by clients and by data nodes (trigger
+/// emits).
+#[derive(Default)]
+pub struct QuorumWriter {
+    next_req: u64,
+    pending: HashMap<RequestId, PendingWrite>,
+}
+
+impl QuorumWriter {
+    /// Starts a write of `(key, ts, value)` to `replicas`, needing `w`
+    /// acks by `deadline`. Returns the messages to send.
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin(
+        &mut self,
+        cfg: &ClusterConfig,
+        op_id: u64,
+        replicas: &[NodeId],
+        w: usize,
+        key: &Key,
+        ts: Timestamp,
+        value: &Value,
+        kind: WriteKind,
+        deadline: Micros,
+    ) -> Outbox {
+        self.next_req += 1;
+        let req = RequestId(self.next_req);
+        self.pending.insert(
+            req,
+            PendingWrite {
+                op_id,
+                coord: WriteCoordinator::new(replicas.to_vec(), w.min(replicas.len()).max(1)),
+                deadline,
+            },
+        );
+        replicas
+            .iter()
+            .map(|&n| {
+                (
+                    cfg.node_actor(n),
+                    SednaMsg::Replica(ReplicaOp::Write {
+                        req,
+                        key: key.clone(),
+                        ts,
+                        value: value.clone(),
+                        kind,
+                    }),
+                )
+            })
+            .collect()
+    }
+
+    /// Feeds an ack; returns the finished op and whether any replica
+    /// refused (stale routing).
+    pub fn on_ack(
+        &mut self,
+        cfg: &ClusterConfig,
+        from: ActorId,
+        req: RequestId,
+        ack: ReplicaWriteAck,
+    ) -> (Option<(u64, WriteOutcomeAgg)>, bool) {
+        let Some(node) = cfg.actor_node(from) else {
+            return (None, false);
+        };
+        let Some(p) = self.pending.get_mut(&req) else {
+            return (None, false);
+        };
+        let refused = matches!(ack, ReplicaWriteAck::Refused);
+        let result = match ack {
+            ReplicaWriteAck::Ok => ReplicaWriteResult::Ok,
+            ReplicaWriteAck::Outdated => ReplicaWriteResult::Outdated,
+            ReplicaWriteAck::Refused => ReplicaWriteResult::Failed,
+        };
+        let agg = p.coord.on_reply(node, result);
+        let finished = !matches!(agg, WriteOutcomeAgg::Pending);
+        let out = if finished {
+            let op_id = p.op_id;
+            self.pending.remove(&req);
+            Some((op_id, agg))
+        } else {
+            None
+        };
+        (out, refused)
+    }
+
+    /// Expires overdue writes; returns their outcomes.
+    pub fn on_tick(&mut self, now: Micros) -> Vec<(u64, WriteOutcomeAgg)> {
+        let overdue: Vec<RequestId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| now >= p.deadline)
+            .map(|(r, _)| *r)
+            .collect();
+        overdue
+            .into_iter()
+            .filter_map(|req| {
+                let mut p = self.pending.remove(&req)?;
+                Some((p.op_id, p.coord.on_deadline()))
+            })
+            .collect()
+    }
+
+    /// Writes still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// QuorumReader
+// ---------------------------------------------------------------------------
+
+/// Which read API an operation belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadKind {
+    /// `read_latest`.
+    Latest,
+    /// `read_all`.
+    All,
+}
+
+struct PendingRead {
+    op_id: u64,
+    kind: ReadKind,
+    key: Key,
+    coord: ReadCoordinator,
+    deadline: Micros,
+}
+
+/// A finished read plus any repair traffic it generated.
+pub struct FinishedRead {
+    /// The op id.
+    pub op_id: u64,
+    /// The client-visible result.
+    pub result: ClientResult,
+    /// Read-repair pushes to send.
+    pub repairs: Outbox,
+    /// True when failures indicate the routing cache may be stale.
+    pub saw_failure: bool,
+}
+
+/// Tracks fan-out reads with read-repair planning.
+#[derive(Default)]
+pub struct QuorumReader {
+    next_req: u64,
+    pending: HashMap<RequestId, PendingRead>,
+}
+
+impl QuorumReader {
+    /// Starts a read of `key` from `replicas`, needing `r` equal replies.
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin(
+        &mut self,
+        cfg: &ClusterConfig,
+        op_id: u64,
+        replicas: &[NodeId],
+        r: usize,
+        key: &Key,
+        kind: ReadKind,
+        deadline: Micros,
+    ) -> Outbox {
+        self.next_req += 1;
+        let req = RequestId(self.next_req);
+        self.pending.insert(
+            req,
+            PendingRead {
+                op_id,
+                kind,
+                key: key.clone(),
+                coord: ReadCoordinator::new(replicas.to_vec(), r.min(replicas.len()).max(1)),
+                deadline,
+            },
+        );
+        replicas
+            .iter()
+            .map(|&n| {
+                (
+                    cfg.node_actor(n),
+                    SednaMsg::Replica(ReplicaOp::Read {
+                        req,
+                        key: key.clone(),
+                    }),
+                )
+            })
+            .collect()
+    }
+
+    /// Feeds a reply; returns the finished read when decided.
+    pub fn on_reply(
+        &mut self,
+        cfg: &ClusterConfig,
+        from: ActorId,
+        req: RequestId,
+        reply: ReplicaReadReply,
+    ) -> Option<FinishedRead> {
+        let node = cfg.actor_node(from)?;
+        let p = self.pending.get_mut(&req)?;
+        let rr = match reply {
+            ReplicaReadReply::Values(v) => ReplicaRead::Values(v),
+            ReplicaReadReply::Missing => ReplicaRead::Missing,
+            ReplicaReadReply::Refused => ReplicaRead::Failed,
+        };
+        let outcome = p.coord.on_reply(node, rr);
+        self.finish_if_decided(cfg, req, outcome)
+    }
+
+    /// Expires overdue reads.
+    pub fn on_tick(&mut self, cfg: &ClusterConfig, now: Micros) -> Vec<FinishedRead> {
+        let overdue: Vec<RequestId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| now >= p.deadline)
+            .map(|(r, _)| *r)
+            .collect();
+        overdue
+            .into_iter()
+            .filter_map(|req| {
+                let outcome = self.pending.get_mut(&req)?.coord.on_deadline();
+                self.finish_if_decided(cfg, req, outcome)
+            })
+            .collect()
+    }
+
+    /// Reads still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn finish_if_decided(
+        &mut self,
+        cfg: &ClusterConfig,
+        req: RequestId,
+        outcome: ReadOutcome,
+    ) -> Option<FinishedRead> {
+        if matches!(outcome, ReadOutcome::Pending) {
+            return None;
+        }
+        let p = self.pending.remove(&req).expect("pending read");
+        let mut repairs: Outbox = Vec::new();
+        let mut saw_failure = false;
+        let result = match outcome {
+            ReadOutcome::Ok(values) => render(p.kind, Some(values)),
+            ReadOutcome::NotFound => render(p.kind, None),
+            ReadOutcome::Inconsistent { merged } => {
+                // Sec. III-C: read recovery runs asynchronously; the client
+                // answers with the freshest merged view it could assemble.
+                for action in plan_repair(p.coord.replies(), &merged) {
+                    let (to, versions) = match action {
+                        RepairAction::Push { to, versions }
+                        | RepairAction::Duplicate { to, versions, .. } => (to, versions),
+                    };
+                    repairs.push((
+                        cfg.node_actor(to),
+                        SednaMsg::Replica(ReplicaOp::Push {
+                            key: p.key.clone(),
+                            versions,
+                        }),
+                    ));
+                }
+                saw_failure = p.coord.failed_nodes().next().is_some();
+                if merged.is_empty() {
+                    render(p.kind, None)
+                } else {
+                    render(p.kind, Some(merged))
+                }
+            }
+            ReadOutcome::Failed { .. } => {
+                saw_failure = true;
+                ClientResult::Failed
+            }
+            ReadOutcome::Pending => unreachable!(),
+        };
+        Some(FinishedRead {
+            op_id: p.op_id,
+            result,
+            repairs,
+            saw_failure,
+        })
+    }
+}
+
+fn render(kind: ReadKind, values: Option<Vec<sedna_memstore::VersionedValue>>) -> ClientResult {
+    match kind {
+        ReadKind::Latest => {
+            ClientResult::Latest(values.and_then(|v| v.into_iter().max_by_key(|x| x.ts)))
+        }
+        ReadKind::All => ClientResult::All(values.filter(|v| !v.is_empty())),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+struct PendingScan {
+    op_id: u64,
+    awaiting: std::collections::BTreeSet<NodeId>,
+    rows: Vec<(Key, sedna_memstore::VersionedValue)>,
+    deadline: Micros,
+}
+
+/// Tracks scatter–gather table scans (extension API).
+#[derive(Default)]
+pub struct ScanCoordinator {
+    next_req: u64,
+    pending: HashMap<RequestId, PendingScan>,
+}
+
+impl ScanCoordinator {
+    /// Starts a scan of `prefix` across `members`.
+    pub fn begin(
+        &mut self,
+        cfg: &ClusterConfig,
+        op_id: u64,
+        members: &[NodeId],
+        prefix: Vec<u8>,
+        deadline: Micros,
+    ) -> Outbox {
+        self.next_req += 1;
+        let req = RequestId(self.next_req);
+        self.pending.insert(
+            req,
+            PendingScan {
+                op_id,
+                awaiting: members.iter().copied().collect(),
+                rows: Vec::new(),
+                deadline,
+            },
+        );
+        members
+            .iter()
+            .map(|&n| {
+                (
+                    cfg.node_actor(n),
+                    SednaMsg::Replica(ReplicaOp::Scan {
+                        req,
+                        prefix: prefix.clone(),
+                    }),
+                )
+            })
+            .collect()
+    }
+
+    /// Feeds one node's reply; returns the finished scan when all members
+    /// (still awaited) have answered.
+    pub fn on_reply(
+        &mut self,
+        cfg: &ClusterConfig,
+        from: ActorId,
+        req: RequestId,
+        rows: Vec<(Key, sedna_memstore::VersionedValue)>,
+    ) -> Option<(u64, Vec<(Key, sedna_memstore::VersionedValue)>)> {
+        let node = cfg.actor_node(from)?;
+        let p = self.pending.get_mut(&req)?;
+        if p.awaiting.remove(&node) {
+            p.rows.extend(rows);
+        }
+        if p.awaiting.is_empty() {
+            let mut p = self.pending.remove(&req).expect("present");
+            p.rows.sort_by(|a, b| a.0.cmp(&b.0));
+            return Some((p.op_id, p.rows));
+        }
+        None
+    }
+
+    /// Deadline expiry: return whatever arrived (best-effort scan).
+    pub fn on_tick(
+        &mut self,
+        now: Micros,
+    ) -> Vec<(u64, Vec<(Key, sedna_memstore::VersionedValue)>)> {
+        let overdue: Vec<RequestId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| now >= p.deadline)
+            .map(|(r, _)| *r)
+            .collect();
+        overdue
+            .into_iter()
+            .filter_map(|req| {
+                let mut p = self.pending.remove(&req)?;
+                p.rows.sort_by(|a, b| a.0.cmp(&b.0));
+                Some((p.op_id, p.rows))
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ClientCore
+// ---------------------------------------------------------------------------
+
+/// The embeddable Sedna client ("local Sedna service").
+pub struct ClientCore {
+    cfg: ClusterConfig,
+    origin: NodeId,
+    session: SessionClient,
+    lease: LeaseCache,
+    ring: Option<VNodeMap>,
+    ring_req: Option<RequestId>,
+    lease_req: Option<RequestId>,
+    writer: QuorumWriter,
+    reader: QuorumReader,
+    scanner: ScanCoordinator,
+    next_op: u64,
+    /// Monotonic timestamp state: (micros, counter).
+    last_ts: (Micros, u32),
+    last_ping: Micros,
+    last_lease_check: Micros,
+    announced_ready: bool,
+}
+
+impl ClientCore {
+    /// Creates a client stamping writes as `origin`.
+    pub fn new(cfg: ClusterConfig, origin: NodeId) -> Self {
+        let session = SessionClient::new(SessionConfig {
+            replicas: cfg.coord_actors(),
+            ping_interval_micros: cfg.ping_interval_micros,
+            // Must comfortably exceed the ensemble's election timeout so a
+            // failover does not trigger spurious re-sends.
+            request_timeout_micros: 600_000,
+        });
+        ClientCore {
+            cfg,
+            origin,
+            session,
+            lease: LeaseCache::new(LeaseConfig::default()),
+            ring: None,
+            ring_req: None,
+            lease_req: None,
+            writer: QuorumWriter::default(),
+            reader: QuorumReader::default(),
+            scanner: ScanCoordinator::default(),
+            next_op: 0,
+            last_ts: (0, 0),
+            last_ping: 0,
+            last_lease_check: 0,
+            announced_ready: false,
+        }
+    }
+
+    /// The deployment layout.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Opens the coordination session; send the returned message first.
+    pub fn bootstrap(&mut self) -> Outbox {
+        let (to, msg) = self.session.open(0);
+        vec![(to, SednaMsg::Coord(msg))]
+    }
+
+    /// True once the routing cache is installed.
+    pub fn is_ready(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// The cached ring (tests/metrics).
+    pub fn ring(&self) -> Option<&VNodeMap> {
+        self.ring.as_ref()
+    }
+
+    fn next_timestamp(&mut self, now: Micros) -> Timestamp {
+        let (m, c) = self.last_ts;
+        let (micros, counter) = if now > m { (now, 0) } else { (m, c + 1) };
+        self.last_ts = (micros, counter);
+        Timestamp::new(micros, counter, self.origin)
+    }
+
+    fn replicas_for(&self, key: &Key) -> Option<Vec<NodeId>> {
+        let ring = self.ring.as_ref()?;
+        let vnode = self.cfg.partitioner.locate(key);
+        let replicas = ring.replicas(vnode);
+        (!replicas.is_empty()).then(|| replicas.to_vec())
+    }
+
+    /// Issues a `write_latest`. Returns `None` until [`ClientCore::is_ready`].
+    pub fn write_latest(&mut self, key: &Key, value: Value, now: Micros) -> Option<(u64, Outbox)> {
+        self.write(key, value, WriteKind::Latest, now)
+    }
+
+    /// Issues a `write_all`.
+    pub fn write_all(&mut self, key: &Key, value: Value, now: Micros) -> Option<(u64, Outbox)> {
+        self.write(key, value, WriteKind::All, now)
+    }
+
+    fn write(
+        &mut self,
+        key: &Key,
+        value: Value,
+        kind: WriteKind,
+        now: Micros,
+    ) -> Option<(u64, Outbox)> {
+        let replicas = self.replicas_for(key)?;
+        self.next_op += 1;
+        let op_id = self.next_op;
+        let ts = self.next_timestamp(now);
+        let deadline = now + self.cfg.request_deadline_micros;
+        let out = self.writer.begin(
+            &self.cfg,
+            op_id,
+            &replicas,
+            self.cfg.quorum.w,
+            key,
+            ts,
+            &value,
+            kind,
+            deadline,
+        );
+        Some((op_id, out))
+    }
+
+    /// Issues a `read_latest`.
+    pub fn read_latest(&mut self, key: &Key, now: Micros) -> Option<(u64, Outbox)> {
+        self.read(key, ReadKind::Latest, now)
+    }
+
+    /// Issues a `read_all`.
+    pub fn read_all(&mut self, key: &Key, now: Micros) -> Option<(u64, Outbox)> {
+        self.read(key, ReadKind::All, now)
+    }
+
+    /// Scans a whole table: every member returns the rows it is primary
+    /// for, the client merges and sorts. Extension beyond the paper's
+    /// per-key APIs — the hierarchical key space makes it natural.
+    /// Eventually consistent, like everything else here.
+    pub fn scan_table(&mut self, dataset: &str, table: &str, now: Micros) -> Option<(u64, Outbox)> {
+        let ring = self.ring.as_ref()?;
+        let members: Vec<NodeId> = ring.members().collect();
+        if members.is_empty() {
+            return None;
+        }
+        self.next_op += 1;
+        let op_id = self.next_op;
+        let prefix = sedna_common::KeyPath::prefix_for_table(dataset, table);
+        // Scans touch every node; give them a bigger deadline than point ops.
+        let deadline = now + self.cfg.request_deadline_micros * 4;
+        let out = self
+            .scanner
+            .begin(&self.cfg, op_id, &members, prefix, deadline);
+        Some((op_id, out))
+    }
+
+    fn read(&mut self, key: &Key, kind: ReadKind, now: Micros) -> Option<(u64, Outbox)> {
+        let replicas = self.replicas_for(key)?;
+        self.next_op += 1;
+        let op_id = self.next_op;
+        let deadline = now + self.cfg.request_deadline_micros;
+        let out = self.reader.begin(
+            &self.cfg,
+            op_id,
+            &replicas,
+            self.cfg.quorum.r,
+            key,
+            kind,
+            deadline,
+        );
+        Some((op_id, out))
+    }
+
+    fn request_ring(&mut self, now: Micros) -> Outbox {
+        if self.ring_req.is_some() {
+            return Vec::new();
+        }
+        match self.session.request(
+            CoordOp::Get {
+                path: paths::RING.into(),
+                watch: false,
+            },
+            now,
+        ) {
+            Some((req, to, msg)) => {
+                self.ring_req = Some(req);
+                vec![(to, SednaMsg::Coord(msg))]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Feeds an incoming message.
+    pub fn on_message(
+        &mut self,
+        from: ActorId,
+        msg: SednaMsg,
+        now: Micros,
+    ) -> (Vec<ClientEvent>, Outbox) {
+        let mut events = Vec::new();
+        let mut out: Outbox = Vec::new();
+        match msg {
+            SednaMsg::Coord(m) => {
+                let (ev, retry) = self.session.on_message(m);
+                if let Some((to, m)) = retry {
+                    out.push((to, SednaMsg::Coord(m)));
+                }
+                match ev {
+                    Some(SessionEvent::Opened(_)) => {
+                        out.extend(self.request_ring(now));
+                    }
+                    Some(SessionEvent::Expired) => {
+                        let (to, m) = self.session.open(now);
+                        out.push((to, SednaMsg::Coord(m)));
+                    }
+                    Some(SessionEvent::Reply { req_id, result }) => {
+                        out.extend(self.on_coord_reply(req_id, result, now));
+                        if self.is_ready() && !self.announced_ready {
+                            self.announced_ready = true;
+                            events.push(ClientEvent::Ready);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            SednaMsg::Replica(ReplicaOp::WriteAck { req, ack }) => {
+                let (done, refused) = self.writer.on_ack(&self.cfg, from, req, ack);
+                if refused {
+                    out.extend(self.refresh_ring_now(now));
+                }
+                if let Some((op_id, agg)) = done {
+                    events.push(ClientEvent::Done {
+                        op_id,
+                        result: write_result(agg),
+                    });
+                }
+            }
+            SednaMsg::Replica(ReplicaOp::ScanReply { req, rows }) => {
+                if let Some((op_id, rows)) = self.scanner.on_reply(&self.cfg, from, req, rows) {
+                    events.push(ClientEvent::Done {
+                        op_id,
+                        result: ClientResult::Scanned(rows),
+                    });
+                }
+            }
+            SednaMsg::Replica(ReplicaOp::ReadReply { req, reply }) => {
+                let refused = matches!(reply, ReplicaReadReply::Refused);
+                if refused {
+                    out.extend(self.refresh_ring_now(now));
+                }
+                if let Some(fin) = self.reader.on_reply(&self.cfg, from, req, reply) {
+                    out.extend(fin.repairs);
+                    if fin.saw_failure {
+                        out.extend(self.refresh_ring_now(now));
+                    }
+                    events.push(ClientEvent::Done {
+                        op_id: fin.op_id,
+                        result: fin.result,
+                    });
+                }
+            }
+            _ => {}
+        }
+        (events, out)
+    }
+
+    fn refresh_ring_now(&mut self, now: Micros) -> Outbox {
+        // Invalidate the cached ring entry and fetch a fresh copy.
+        self.lease.invalidate(paths::RING);
+        self.request_ring(now)
+    }
+
+    fn on_coord_reply(
+        &mut self,
+        req_id: RequestId,
+        result: Result<CoordReply, sedna_coord::messages::CoordError>,
+        now: Micros,
+    ) -> Outbox {
+        let mut out = Vec::new();
+        if Some(req_id) == self.ring_req {
+            self.ring_req = None;
+            if let Ok(CoordReply::Data { data, version, .. }) = result {
+                if let Some(map) = VNodeMap::decode(&data) {
+                    let newer = self.ring.as_ref().is_none_or(|r| map.epoch() > r.epoch());
+                    if newer {
+                        self.ring = Some(map);
+                    }
+                    self.lease.put(paths::RING, data, version);
+                }
+            }
+            return out;
+        }
+        if Some(req_id) == self.lease_req {
+            self.lease_req = None;
+            if let Ok(CoordReply::Changes {
+                paths: changed,
+                latest_zxid,
+                truncated,
+            }) = result
+            {
+                let stale = self.lease.apply_changes(changed, latest_zxid, truncated);
+                let _ = now;
+                if stale.iter().any(|p| p == paths::RING) {
+                    out.extend(self.request_ring(now));
+                }
+            }
+        }
+        out
+    }
+
+    /// Periodic driver: deadlines, session pings and the adaptive-lease
+    /// refresh. Call every few tens of milliseconds.
+    pub fn on_tick(&mut self, now: Micros) -> (Vec<ClientEvent>, Outbox) {
+        let mut events = Vec::new();
+        let mut out: Outbox = Vec::new();
+        for (op_id, agg) in self.writer.on_tick(now) {
+            let failed = matches!(agg, WriteOutcomeAgg::Failed { .. });
+            events.push(ClientEvent::Done {
+                op_id,
+                result: write_result(agg),
+            });
+            if failed {
+                out.extend(self.refresh_ring_now(now));
+            }
+        }
+        for (op_id, rows) in self.scanner.on_tick(now) {
+            events.push(ClientEvent::Done {
+                op_id,
+                result: ClientResult::Scanned(rows),
+            });
+        }
+        for fin in self.reader.on_tick(&self.cfg, now) {
+            out.extend(fin.repairs);
+            if fin.saw_failure {
+                out.extend(self.refresh_ring_now(now));
+            }
+            events.push(ClientEvent::Done {
+                op_id: fin.op_id,
+                result: fin.result,
+            });
+        }
+        if now.saturating_sub(self.last_ping) >= self.cfg.ping_interval_micros {
+            self.last_ping = now;
+            if let Some((to, m)) = self.session.ping() {
+                out.push((to, SednaMsg::Coord(m)));
+            }
+        }
+        // Retry/failover requests whose replica went silent, keeping the
+        // correlation ids for the ring and lease fetches up to date.
+        for (old, (to, m)) in self.session.on_tick(now) {
+            let new_id = match &m {
+                CoordMsg::Request { req_id, .. } => *req_id,
+                _ => RequestId(0),
+            };
+            if Some(old) == self.ring_req {
+                self.ring_req = Some(new_id);
+            } else if Some(old) == self.lease_req {
+                self.lease_req = Some(new_id);
+            }
+            out.push((to, SednaMsg::Coord(m)));
+        }
+        // Until routing state exists, keep retrying the ring fetch (the
+        // cluster may still be bootstrapping its namespace).
+        if !self.is_ready() && self.session.session().is_some() {
+            out.extend(self.request_ring(now));
+        }
+        if self.is_ready()
+            && self.lease_req.is_none()
+            && now.saturating_sub(self.last_lease_check) >= self.lease.lease_micros()
+        {
+            self.last_lease_check = now;
+            if let Some((req, to, m)) = self.session.request(self.lease.refresh_op(), now) {
+                self.lease_req = Some(req);
+                out.push((to, SednaMsg::Coord(m)));
+            }
+        }
+        (events, out)
+    }
+}
+
+fn write_result(agg: WriteOutcomeAgg) -> ClientResult {
+    match agg {
+        WriteOutcomeAgg::Ok => ClientResult::Ok,
+        WriteOutcomeAgg::Outdated => ClientResult::Outdated,
+        WriteOutcomeAgg::Failed { .. } | WriteOutcomeAgg::Pending => ClientResult::Failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::small()
+    }
+
+    #[test]
+    fn not_ready_before_ring() {
+        let mut c = ClientCore::new(cfg(), NodeId(1_000));
+        assert!(!c.is_ready());
+        assert!(c
+            .write_latest(&Key::from("k"), Value::from("v"), 0)
+            .is_none());
+        assert!(c.read_latest(&Key::from("k"), 0).is_none());
+        let boot = c.bootstrap();
+        assert_eq!(boot.len(), 1);
+        assert!(matches!(boot[0].1, SednaMsg::Coord(_)));
+    }
+
+    #[test]
+    fn quorum_writer_full_cycle() {
+        let cfg = cfg();
+        let mut w = QuorumWriter::default();
+        let replicas = vec![NodeId(0), NodeId(1), NodeId(2)];
+        let out = w.begin(
+            &cfg,
+            1,
+            &replicas,
+            2,
+            &Key::from("k"),
+            Timestamp::new(1, 0, NodeId(1_000)),
+            &Value::from("v"),
+            WriteKind::Latest,
+            100,
+        );
+        assert_eq!(out.len(), 3);
+        assert_eq!(w.in_flight(), 1);
+        let req = match &out[0].1 {
+            SednaMsg::Replica(ReplicaOp::Write { req, .. }) => *req,
+            other => panic!("{other:?}"),
+        };
+        let (done, _) = w.on_ack(&cfg, cfg.node_actor(NodeId(0)), req, ReplicaWriteAck::Ok);
+        assert!(done.is_none());
+        let (done, _) = w.on_ack(&cfg, cfg.node_actor(NodeId(1)), req, ReplicaWriteAck::Ok);
+        assert_eq!(done, Some((1, WriteOutcomeAgg::Ok)));
+        assert_eq!(w.in_flight(), 0);
+    }
+
+    #[test]
+    fn quorum_writer_deadline_fails() {
+        let cfg = cfg();
+        let mut w = QuorumWriter::default();
+        w.begin(
+            &cfg,
+            7,
+            &[NodeId(0), NodeId(1), NodeId(2)],
+            2,
+            &Key::from("k"),
+            Timestamp::ZERO,
+            &Value::from("v"),
+            WriteKind::All,
+            100,
+        );
+        assert!(w.on_tick(50).is_empty());
+        let done = w.on_tick(100);
+        assert_eq!(done.len(), 1);
+        assert!(matches!(done[0], (7, WriteOutcomeAgg::Failed { .. })));
+    }
+
+    #[test]
+    fn quorum_reader_repairs_inconsistency() {
+        use sedna_memstore::VersionedValue;
+        let cfg = cfg();
+        let mut r = QuorumReader::default();
+        let out = r.begin(
+            &cfg,
+            3,
+            &[NodeId(0), NodeId(1), NodeId(2)],
+            2,
+            &Key::from("k"),
+            ReadKind::Latest,
+            100,
+        );
+        let req = match &out[0].1 {
+            SednaMsg::Replica(ReplicaOp::Read { req, .. }) => *req,
+            other => panic!("{other:?}"),
+        };
+        let fresh = VersionedValue {
+            ts: Timestamp::new(9, 0, NodeId(1_000)),
+            value: Value::from("fresh"),
+        };
+        let stale = VersionedValue {
+            ts: Timestamp::new(4, 0, NodeId(1_000)),
+            value: Value::from("stale"),
+        };
+        // Three mutually-divergent replies: no group reaches R=2.
+        assert!(r
+            .on_reply(
+                &cfg,
+                cfg.node_actor(NodeId(0)),
+                req,
+                ReplicaReadReply::Values(vec![fresh.clone()])
+            )
+            .is_none());
+        assert!(r
+            .on_reply(
+                &cfg,
+                cfg.node_actor(NodeId(1)),
+                req,
+                ReplicaReadReply::Values(vec![stale])
+            )
+            .is_none());
+        let fin = r
+            .on_reply(
+                &cfg,
+                cfg.node_actor(NodeId(2)),
+                req,
+                ReplicaReadReply::Missing,
+            )
+            .expect("decided");
+        // Merged answer is the freshest value; the stale and missing
+        // replicas each get a repair push.
+        assert_eq!(fin.result, ClientResult::Latest(Some(fresh)));
+        assert_eq!(fin.repairs.len(), 2);
+        for (_, m) in &fin.repairs {
+            assert!(matches!(m, SednaMsg::Replica(ReplicaOp::Push { .. })));
+        }
+    }
+
+    #[test]
+    fn quorum_reader_not_found_when_missing_reaches_r() {
+        // R + W > N guarantees a committed write intersects every read
+        // quorum, so two Missing replies are an authoritative NotFound
+        // (the third, unconfirmed copy never reached W).
+        use sedna_memstore::VersionedValue;
+        let cfg = cfg();
+        let mut r = QuorumReader::default();
+        let out = r.begin(
+            &cfg,
+            4,
+            &[NodeId(0), NodeId(1), NodeId(2)],
+            2,
+            &Key::from("k"),
+            ReadKind::Latest,
+            100,
+        );
+        let req = match &out[0].1 {
+            SednaMsg::Replica(ReplicaOp::Read { req, .. }) => *req,
+            other => panic!("{other:?}"),
+        };
+        let orphan = VersionedValue {
+            ts: Timestamp::new(9, 0, NodeId(1_000)),
+            value: Value::from("orphan"),
+        };
+        r.on_reply(
+            &cfg,
+            cfg.node_actor(NodeId(0)),
+            req,
+            ReplicaReadReply::Values(vec![orphan]),
+        );
+        r.on_reply(
+            &cfg,
+            cfg.node_actor(NodeId(1)),
+            req,
+            ReplicaReadReply::Missing,
+        );
+        let fin = r
+            .on_reply(
+                &cfg,
+                cfg.node_actor(NodeId(2)),
+                req,
+                ReplicaReadReply::Missing,
+            )
+            .expect("decided");
+        assert_eq!(fin.result, ClientResult::Latest(None));
+    }
+
+    #[test]
+    fn refused_acks_trigger_ring_refresh_without_session() {
+        // Without an open session the refresh is a silent no-op (retried on
+        // the next tick once the session exists) — must not panic.
+        let cfg2 = cfg();
+        let mut c = ClientCore::new(cfg2.clone(), NodeId(1_000));
+        let (events, out) = c.on_message(
+            cfg2.node_actor(NodeId(0)),
+            SednaMsg::Replica(ReplicaOp::WriteAck {
+                req: RequestId(1),
+                ack: ReplicaWriteAck::Refused,
+            }),
+            0,
+        );
+        assert!(events.is_empty());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_within_client() {
+        let mut c = ClientCore::new(cfg(), NodeId(1_000));
+        let a = c.next_timestamp(5);
+        let b = c.next_timestamp(5);
+        let d = c.next_timestamp(4); // clock stall/regression
+        let e = c.next_timestamp(6);
+        assert!(a < b && b < d && d < e);
+    }
+}

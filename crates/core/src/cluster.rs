@@ -1,0 +1,430 @@
+//! Deployment harnesses: build a whole Sedna cluster on the simulator or
+//! on real threads, plus the gateway actor and a synchronous client facade
+//! for examples.
+
+use std::time::Duration;
+
+use sedna_common::time::Micros;
+use sedna_common::Key;
+use sedna_common::{NodeId, Value};
+use sedna_coord::messages::EnsembleConfig;
+use sedna_coord::replica::CoordReplica;
+use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_net::link::LinkModel;
+use sedna_net::sim::{Sim, SimConfig};
+use sedna_net::threaded::{ExternalHandle, ThreadNet, ThreadNetConfig};
+use sedna_persist::PersistEngine;
+
+use crate::client::{ClientCore, ClientEvent};
+use crate::config::ClusterConfig;
+use crate::manager::ClusterManager;
+use crate::messages::{ClientFrame, ClientOp, ClientResult, SednaMsg};
+use crate::node::SednaNode;
+
+/// Ensemble timing used by deployments (the coordination ensemble runs on
+/// the same runtime as the data path).
+fn ensemble_config(cfg: &ClusterConfig) -> EnsembleConfig {
+    EnsembleConfig::lan(cfg.coord_actors())
+}
+
+// ---------------------------------------------------------------------------
+// Gateway
+// ---------------------------------------------------------------------------
+
+const T_GATEWAY_TICK: TimerToken = TimerToken(0x6A_01);
+
+/// Bridges external callers to the cluster: receives [`ClientFrame`]
+/// requests (from [`ActorId::EXTERNAL`] or any other actor), performs them
+/// through an embedded [`ClientCore`], and answers with
+/// [`ClientFrame::Response`].
+pub struct Gateway {
+    core: ClientCore,
+    /// Requests received before the routing cache was ready.
+    backlog: Vec<(ActorId, u64, ClientOp)>,
+    /// In-flight: `op_id → (requester, external op id)`.
+    in_flight: std::collections::HashMap<u64, (ActorId, u64)>,
+    tick_micros: Micros,
+}
+
+impl Gateway {
+    /// Creates a gateway stamping writes with the given client origin.
+    pub fn new(cfg: ClusterConfig, origin: NodeId) -> Self {
+        let tick = cfg.request_deadline_micros / 4;
+        Gateway {
+            core: ClientCore::new(cfg, origin),
+            backlog: Vec::new(),
+            in_flight: std::collections::HashMap::new(),
+            tick_micros: tick.max(1_000),
+        }
+    }
+
+    /// True once requests can be served without queueing.
+    pub fn is_ready(&self) -> bool {
+        self.core.is_ready()
+    }
+
+    fn start_op(&mut self, from: ActorId, op_id: u64, op: ClientOp, ctx: &mut Ctx<'_, SednaMsg>) {
+        let now = ctx.now();
+        let issued = match &op {
+            ClientOp::WriteLatest { key, value } => self.core.write_latest(key, value.clone(), now),
+            ClientOp::WriteAll { key, value } => self.core.write_all(key, value.clone(), now),
+            ClientOp::ReadLatest { key } => self.core.read_latest(key, now),
+            ClientOp::ReadAll { key } => self.core.read_all(key, now),
+            ClientOp::ScanTable { dataset, table } => self.core.scan_table(dataset, table, now),
+        };
+        match issued {
+            Some((internal_op, out)) => {
+                self.in_flight.insert(internal_op, (from, op_id));
+                for (to, m) in out {
+                    ctx.send(to, m);
+                }
+            }
+            None => {
+                // Routing not ready yet: queue and retry when it is.
+                self.backlog.push((from, op_id, op));
+            }
+        }
+    }
+
+    fn pump_events(&mut self, events: Vec<ClientEvent>, ctx: &mut Ctx<'_, SednaMsg>) {
+        for ev in events {
+            match ev {
+                ClientEvent::Ready => {
+                    for (from, op_id, op) in std::mem::take(&mut self.backlog) {
+                        self.start_op(from, op_id, op, ctx);
+                    }
+                }
+                ClientEvent::Done { op_id, result } => {
+                    if let Some((requester, ext_id)) = self.in_flight.remove(&op_id) {
+                        ctx.send(
+                            requester,
+                            SednaMsg::Client(ClientFrame::Response {
+                                op_id: ext_id,
+                                result,
+                            }),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Actor for Gateway {
+    type Msg = SednaMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        for (to, m) in self.core.bootstrap() {
+            ctx.send(to, m);
+        }
+        ctx.set_timer(T_GATEWAY_TICK, self.tick_micros);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: SednaMsg, ctx: &mut Ctx<'_, SednaMsg>) {
+        match msg {
+            SednaMsg::Client(ClientFrame::Request { op_id, op }) => {
+                self.start_op(from, op_id, op, ctx);
+            }
+            other => {
+                let (events, out) = self.core.on_message(from, other, ctx.now());
+                for (to, m) in out {
+                    ctx.send(to, m);
+                }
+                self.pump_events(events, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_, SednaMsg>) {
+        if token == T_GATEWAY_TICK {
+            let (events, out) = self.core.on_tick(ctx.now());
+            for (to, m) in out {
+                ctx.send(to, m);
+            }
+            self.pump_events(events, ctx);
+            ctx.set_timer(T_GATEWAY_TICK, self.tick_micros);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated cluster
+// ---------------------------------------------------------------------------
+
+/// A fully-built simulated deployment.
+pub struct SimCluster {
+    /// The simulator; drive it with `run_until` etc.
+    pub sim: Sim<SednaMsg>,
+    /// The deployment layout.
+    pub config: ClusterConfig,
+}
+
+impl SimCluster {
+    /// Builds coordination replicas, the manager and all data nodes.
+    /// Nodes get `persist_for(node)`-provided persistence engines.
+    pub fn build_with_persist(
+        config: ClusterConfig,
+        seed: u64,
+        link: LinkModel,
+        persist_for: impl FnMut(NodeId) -> Option<PersistEngine>,
+    ) -> Self {
+        let sim_config = SimConfig {
+            seed,
+            link,
+            ..SimConfig::default()
+        };
+        Self::build_with_sim_config(config, sim_config, persist_for)
+    }
+
+    /// Builds with full control over the simulator configuration (seed,
+    /// link model, sender-side packet cost).
+    pub fn build_with_sim_config(
+        config: ClusterConfig,
+        sim_config: SimConfig,
+        mut persist_for: impl FnMut(NodeId) -> Option<PersistEngine>,
+    ) -> Self {
+        let mut sim = Sim::new(sim_config);
+        let ens = ensemble_config(&config);
+        for i in 0..config.coord_replicas as u32 {
+            let id = sim.add_actor(Box::new(CoordReplica::<SednaMsg>::new(ens.clone(), i)));
+            debug_assert_eq!(id, config.coord_actor(i as usize));
+        }
+        let id = sim.add_actor(Box::new(ClusterManager::new(config.clone())));
+        debug_assert_eq!(id, config.manager_actor());
+        for n in 0..config.data_nodes as u32 {
+            let node = NodeId(n);
+            let id = sim.add_actor(Box::new(SednaNode::new(
+                config.clone(),
+                node,
+                persist_for(node),
+            )));
+            debug_assert_eq!(id, config.node_actor(node));
+        }
+        SimCluster { sim, config }
+    }
+
+    /// Builds without persistence.
+    pub fn build(config: ClusterConfig, seed: u64, link: LinkModel) -> Self {
+        Self::build_with_persist(config, seed, link, |_| None)
+    }
+
+    /// Runs until every data node has routing state with the full
+    /// replication factor (cluster "ready"), or panics after `deadline`.
+    pub fn run_until_ready(&mut self, deadline: Micros) {
+        let step = 100_000;
+        let mut t = self.sim.now();
+        loop {
+            t += step;
+            self.sim.run_until(t);
+            if self.all_nodes_ready() {
+                return;
+            }
+            assert!(
+                t < deadline,
+                "cluster failed to become ready by {deadline}µs"
+            );
+        }
+    }
+
+    fn all_nodes_ready(&self) -> bool {
+        let want_rf = self.config.quorum.n.min(self.config.data_nodes);
+        (0..self.config.data_nodes as u32).all(|n| {
+            let id = self.config.node_actor(NodeId(n));
+            if self.sim.is_down(id) {
+                return true; // crashed nodes don't block readiness
+            }
+            self.sim
+                .actor_ref::<SednaNode>(id)
+                .and_then(|node| node.ring())
+                .is_some_and(|ring| {
+                    ring.effective_rf() >= want_rf
+                        && ring.members().count() >= self.live_node_count()
+                })
+        })
+    }
+
+    fn live_node_count(&self) -> usize {
+        (0..self.config.data_nodes as u32)
+            .filter(|&n| !self.sim.is_down(self.config.node_actor(NodeId(n))))
+            .count()
+    }
+
+    /// Adds a gateway actor; returns its address.
+    pub fn add_gateway(&mut self, client_index: u32) -> ActorId {
+        let origin = self.config.client_origin(client_index);
+        self.sim
+            .add_actor(Box::new(Gateway::new(self.config.clone(), origin)))
+    }
+
+    /// Immutable access to a data node.
+    pub fn node(&self, node: NodeId) -> &SednaNode {
+        self.sim
+            .actor_ref::<SednaNode>(self.config.node_actor(node))
+            .expect("data node actor")
+    }
+
+    /// Mutable access to a data node (e.g. to register trigger jobs).
+    pub fn node_mut(&mut self, node: NodeId) -> &mut SednaNode {
+        self.sim
+            .actor_mut::<SednaNode>(self.config.node_actor(node))
+            .expect("data node actor")
+    }
+
+    /// Registers a trigger job on every (live) data node — jobs fire on the
+    /// primary replica of each key, so cluster-wide registration gives
+    /// exactly-once dispatch per change.
+    pub fn register_job_everywhere(
+        &mut self,
+        mut make_spec: impl FnMut() -> sedna_triggers::JobSpec,
+    ) {
+        let now = self.sim.now();
+        for n in 0..self.config.data_nodes as u32 {
+            let id = self.config.node_actor(NodeId(n));
+            if !self.sim.is_down(id) {
+                if let Some(node) = self.sim.actor_mut::<SednaNode>(id) {
+                    node.register_job(make_spec(), now);
+                }
+            }
+        }
+    }
+
+    /// Crashes a data node (heartbeats stop; the manager will re-cover its
+    /// vnodes).
+    pub fn crash_node(&mut self, node: NodeId) {
+        self.sim.set_down(self.config.node_actor(node), true);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threaded cluster + synchronous client
+// ---------------------------------------------------------------------------
+
+/// A deployment running on real threads (one per actor).
+pub struct ThreadCluster {
+    handle: ExternalHandle<SednaMsg>,
+    /// The deployment layout.
+    pub config: ClusterConfig,
+    gateway: ActorId,
+    next_op: std::cell::Cell<u64>,
+}
+
+impl ThreadCluster {
+    /// Builds and starts the full deployment plus one gateway.
+    pub fn start(config: ClusterConfig) -> Self {
+        let mut net = ThreadNet::new(ThreadNetConfig::default());
+        let ens = ensemble_config(&config);
+        for i in 0..config.coord_replicas as u32 {
+            net.add_actor(Box::new(CoordReplica::<SednaMsg>::new(ens.clone(), i)));
+        }
+        net.add_actor(Box::new(ClusterManager::new(config.clone())));
+        for n in 0..config.data_nodes as u32 {
+            net.add_actor(Box::new(SednaNode::new(config.clone(), NodeId(n), None)));
+        }
+        let gateway = net.add_actor(Box::new(Gateway::new(
+            config.clone(),
+            config.client_origin(0),
+        )));
+        let handle = net.start();
+        ThreadCluster {
+            handle,
+            config,
+            gateway,
+            next_op: std::cell::Cell::new(0),
+        }
+    }
+
+    fn call(&self, op: ClientOp, timeout: Duration) -> ClientResult {
+        let op_id = self.next_op.get() + 1;
+        self.next_op.set(op_id);
+        self.handle.send(
+            self.gateway,
+            SednaMsg::Client(ClientFrame::Request { op_id, op }),
+        );
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return ClientResult::Failed;
+            }
+            match self.handle.recv_timeout(remaining) {
+                Some((_, SednaMsg::Client(ClientFrame::Response { op_id: got, result })))
+                    if got == op_id =>
+                {
+                    return result;
+                }
+                Some(_) => continue, // stale response from a timed-out op
+                None => return ClientResult::Failed,
+            }
+        }
+    }
+
+    /// Blocking `write_latest` (examples). Retries internally while the
+    /// cluster is still assembling.
+    pub fn write_latest(&self, key: &Key, value: Value) -> ClientResult {
+        self.retry_write(ClientOp::WriteLatest {
+            key: key.clone(),
+            value,
+        })
+    }
+
+    /// Blocking `write_all`.
+    pub fn write_all(&self, key: &Key, value: Value) -> ClientResult {
+        self.retry_write(ClientOp::WriteAll {
+            key: key.clone(),
+            value,
+        })
+    }
+
+    fn retry_write(&self, op: ClientOp) -> ClientResult {
+        for _ in 0..50 {
+            match self.call(op.clone(), Duration::from_secs(2)) {
+                ClientResult::Failed => std::thread::sleep(Duration::from_millis(50)),
+                done => return done,
+            }
+        }
+        ClientResult::Failed
+    }
+
+    /// Blocking `read_latest`.
+    pub fn read_latest(&self, key: &Key) -> ClientResult {
+        self.call(
+            ClientOp::ReadLatest { key: key.clone() },
+            Duration::from_secs(2),
+        )
+    }
+
+    /// Blocking `read_all`.
+    pub fn read_all(&self, key: &Key) -> ClientResult {
+        self.call(
+            ClientOp::ReadAll { key: key.clone() },
+            Duration::from_secs(2),
+        )
+    }
+
+    /// Blocking table scan (extension API).
+    pub fn scan_table(&self, dataset: &str, table: &str) -> ClientResult {
+        self.call(
+            ClientOp::ScanTable {
+                dataset: dataset.into(),
+                table: table.into(),
+            },
+            Duration::from_secs(5),
+        )
+    }
+
+    /// Registers a trigger job on every data node (fires on primaries, so
+    /// dispatch is exactly-once per change).
+    pub fn register_job_everywhere(&self, mut make_spec: impl FnMut() -> sedna_triggers::JobSpec) {
+        for n in 0..self.config.data_nodes as u32 {
+            self.handle.send(
+                self.config.node_actor(NodeId(n)),
+                SednaMsg::Control(crate::messages::ControlMsg::RegisterJob(make_spec())),
+            );
+        }
+    }
+
+    /// Stops every actor thread and returns the actors for inspection.
+    pub fn shutdown(self) -> Vec<Box<dyn Actor<Msg = SednaMsg>>> {
+        self.handle.shutdown()
+    }
+}

@@ -1,0 +1,151 @@
+//! The published imbalance row (Sec. III-B).
+//!
+//! "We record all the virtual nodes' status including its capacity,
+//! read/write frequency. Besides, we also maintain a imbalance table for
+//! all the real nodes computed from the virtual nodes' status. This
+//! information is calculated and stored locally, and periodically updated
+//! to ZooKeeper cluster. It is only necessary to update the imbalance
+//! table, which is a quite small comparing with the virtual nodes number."
+//!
+//! Each node periodically writes one [`ImbalanceRow`] into
+//! `/sedna/imbalance/<node>`: its aggregate load plus its top-K hottest
+//! vnodes — exactly enough for the manager to run the rebalancer without
+//! ever shipping the full per-vnode table.
+
+use sedna_common::VNodeId;
+use sedna_ring::{NodeLoad, VNodeStats};
+
+/// How many hottest vnodes a row advertises.
+pub const TOP_K: usize = 8;
+
+/// One node's published load summary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ImbalanceRow {
+    /// Aggregate load (same semantics as [`NodeLoad`]).
+    pub load: NodeLoad,
+    /// This node's hottest vnodes, hottest first: `(vnode, load_score)`.
+    pub hottest: Vec<(VNodeId, u64)>,
+}
+
+impl ImbalanceRow {
+    /// Builds the row from the node's local per-vnode stats and its owned
+    /// vnode set.
+    pub fn compute(stats: &[VNodeStats], owned: &[VNodeId]) -> Self {
+        let mut load = NodeLoad::default();
+        let mut scored: Vec<(VNodeId, u64)> = Vec::with_capacity(owned.len());
+        for &v in owned {
+            let s = &stats[v.index()];
+            load.score += s.load_score();
+            load.bytes += s.bytes;
+            load.slots += 1;
+            scored.push((v, s.load_score()));
+        }
+        scored.sort_by_key(|&(v, score)| (std::cmp::Reverse(score), v));
+        scored.truncate(TOP_K);
+        ImbalanceRow {
+            load,
+            hottest: scored,
+        }
+    }
+
+    /// Serializes (little-endian, fixed layout).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(21 + self.hottest.len() * 12);
+        buf.extend_from_slice(&self.load.score.to_le_bytes());
+        buf.extend_from_slice(&self.load.bytes.to_le_bytes());
+        buf.extend_from_slice(&self.load.slots.to_le_bytes());
+        buf.push(self.hottest.len() as u8);
+        for &(v, s) in &self.hottest {
+            buf.extend_from_slice(&v.0.to_le_bytes());
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Deserializes; `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 21 {
+            return None;
+        }
+        let score = u64::from_le_bytes(bytes[0..8].try_into().ok()?);
+        let b = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+        let slots = u32::from_le_bytes(bytes[16..20].try_into().ok()?);
+        let count = bytes[20] as usize;
+        if bytes.len() != 21 + count * 12 {
+            return None;
+        }
+        let mut hottest = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = 21 + i * 12;
+            let v = u32::from_le_bytes(bytes[off..off + 4].try_into().ok()?);
+            let s = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().ok()?);
+            hottest.push((VNodeId(v), s));
+        }
+        Some(ImbalanceRow {
+            load: NodeLoad {
+                score,
+                bytes: b,
+                slots,
+            },
+            hottest,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_aggregates_and_ranks() {
+        let mut stats = vec![VNodeStats::default(); 10];
+        stats[2].reads = 100;
+        stats[5].reads = 50;
+        stats[7].reads = 300;
+        let owned = vec![VNodeId(2), VNodeId(5), VNodeId(7)];
+        let row = ImbalanceRow::compute(&stats, &owned);
+        assert_eq!(row.load.score, 450);
+        assert_eq!(row.load.slots, 3);
+        assert_eq!(row.hottest[0], (VNodeId(7), 300));
+        assert_eq!(row.hottest[1], (VNodeId(2), 100));
+        assert_eq!(row.hottest[2], (VNodeId(5), 50));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let stats = vec![
+            VNodeStats {
+                reads: 1,
+                ..Default::default()
+            };
+            50
+        ];
+        let owned: Vec<VNodeId> = (0..50).map(VNodeId).collect();
+        let row = ImbalanceRow::compute(&stats, &owned);
+        assert_eq!(row.hottest.len(), TOP_K);
+        assert_eq!(row.load.slots, 50);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut stats = vec![VNodeStats::default(); 4];
+        stats[1].writes = 7;
+        stats[1].bytes = 9_000;
+        let row = ImbalanceRow::compute(&stats, &[VNodeId(1), VNodeId(3)]);
+        let back = ImbalanceRow::decode(&row.encode()).unwrap();
+        assert_eq!(row, back);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(ImbalanceRow::decode(&[]).is_none());
+        assert!(ImbalanceRow::decode(&[0u8; 20]).is_none());
+        let row = ImbalanceRow::compute(&[VNodeStats::default()], &[VNodeId(0)]);
+        let mut bytes = row.encode();
+        bytes.push(0); // trailing garbage
+        assert!(ImbalanceRow::decode(&bytes).is_none());
+        let mut bytes2 = row.encode();
+        bytes2[20] = 5; // claims 5 entries, has fewer
+        assert!(ImbalanceRow::decode(&bytes2).is_none());
+    }
+}

@@ -1,0 +1,418 @@
+//! The cluster-wide message type.
+//!
+//! One Sedna deployment runs three protocols over one runtime: the
+//! coordination ensemble ([`CoordMsg`]), the replica data path
+//! ([`ReplicaOp`]), and the external client/gateway frames
+//! ([`ClientFrame`]). [`SednaMsg`] composes them; `Wrap` impls let the
+//! substrate actors (written against their own enums) run unchanged.
+
+use sedna_common::time::Timestamp;
+use sedna_common::{Key, NodeId, RequestId, VNodeId, Value};
+use sedna_coord::messages::CoordMsg;
+use sedna_memstore::VersionedValue;
+use sedna_net::actor::{MessageSize, Wrap};
+use sedna_triggers::JobSpec;
+
+/// The two write APIs (Sec. III-F).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteKind {
+    /// `write_latest`.
+    Latest,
+    /// `write_all`.
+    All,
+}
+
+/// A replica's verdict on a write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaWriteAck {
+    /// Stored (`'ok'`).
+    Ok,
+    /// Lost to a newer timestamp (`'outdated'`).
+    Outdated,
+    /// This node does not own the key's vnode (stale routing) — the client
+    /// must refresh its ring cache and retry.
+    Refused,
+}
+
+/// A replica's reply to a read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplicaReadReply {
+    /// The row's value list.
+    Values(Vec<VersionedValue>),
+    /// Key unknown here.
+    Missing,
+    /// Not the owner (stale routing).
+    Refused,
+}
+
+/// Node-to-node / client-to-node data-path operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplicaOp {
+    /// Timestamped replica write.
+    Write {
+        /// Correlation id (one per client op; replies are keyed by sender).
+        req: RequestId,
+        /// Key.
+        key: Key,
+        /// Write timestamp (origin identifies the source server).
+        ts: Timestamp,
+        /// Value.
+        value: Value,
+        /// Which write API.
+        kind: WriteKind,
+    },
+    /// Reply to [`ReplicaOp::Write`].
+    WriteAck {
+        /// Correlation id.
+        req: RequestId,
+        /// Verdict.
+        ack: ReplicaWriteAck,
+    },
+    /// Replica read.
+    Read {
+        /// Correlation id.
+        req: RequestId,
+        /// Key.
+        key: Key,
+    },
+    /// Reply to [`ReplicaOp::Read`].
+    ReadReply {
+        /// Correlation id.
+        req: RequestId,
+        /// Reply.
+        reply: ReplicaReadReply,
+    },
+    /// Read-repair push: merge these versions (fire-and-forget).
+    Push {
+        /// Key.
+        key: Key,
+        /// Versions to merge.
+        versions: Vec<VersionedValue>,
+    },
+    /// "Send me vnode `vnode`'s rows" (data duplication / migration).
+    TransferRequest {
+        /// The vnode to ship.
+        vnode: VNodeId,
+        /// Which node asks (for addressing the reply).
+        to_node: NodeId,
+    },
+    /// Bulk vnode data (reply to [`ReplicaOp::TransferRequest`]).
+    TransferData {
+        /// The vnode.
+        vnode: VNodeId,
+        /// The rows.
+        rows: Vec<(Key, Vec<VersionedValue>)>,
+    },
+    /// Destination → source: the vnode's rows are installed; the source
+    /// may drop its local copy if it is no longer a replica. Ordering this
+    /// *after* the data transfer is what makes vnode moves loss-free.
+    TransferComplete {
+        /// The vnode.
+        vnode: VNodeId,
+    },
+    /// Table scan: return this node's rows under `prefix` for which it is
+    /// the *primary* replica (so a scatter over all members yields each key
+    /// exactly once).
+    Scan {
+        /// Correlation id.
+        req: RequestId,
+        /// Flat-key prefix (a table or dataset prefix from `KeyPath`).
+        prefix: Vec<u8>,
+    },
+    /// Reply to [`ReplicaOp::Scan`]: the matching rows' freshest versions.
+    ScanReply {
+        /// Correlation id.
+        req: RequestId,
+        /// `(key, freshest version)` pairs.
+        rows: Vec<(Key, VersionedValue)>,
+    },
+    /// Anti-entropy probe: "here is an order-independent digest of my copy
+    /// of `vnode`; if yours differs, exchange rows with me."
+    SyncDigest {
+        /// The vnode being compared.
+        vnode: VNodeId,
+        /// XOR-combined per-row fingerprint (commutative, so replicas can
+        /// compare without sorting).
+        digest: u64,
+        /// Which node is probing (for the exchange reply).
+        from_node: NodeId,
+    },
+}
+
+/// Management-plane messages.
+pub enum ControlMsg {
+    /// Register a trigger job on the receiving node.
+    RegisterJob(JobSpec),
+    /// Manager → new replica: acquire `vnode`, copying from `from` when a
+    /// source exists.
+    MigrateVNode {
+        /// The vnode to acquire.
+        vnode: VNodeId,
+        /// Copy source (`None` on first assignment).
+        from: Option<NodeId>,
+    },
+    /// Manager → former replica: drop local rows of `vnode` (it moved away).
+    DropVNode {
+        /// The vnode to drop.
+        vnode: VNodeId,
+    },
+}
+
+impl std::fmt::Debug for ControlMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlMsg::RegisterJob(spec) => write!(f, "RegisterJob({})", spec.name),
+            ControlMsg::MigrateVNode { vnode, from } => {
+                write!(f, "MigrateVNode({vnode:?} from {from:?})")
+            }
+            ControlMsg::DropVNode { vnode } => write!(f, "DropVNode({vnode:?})"),
+        }
+    }
+}
+
+/// Client-visible operations (what the paper's basic APIs expose).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientOp {
+    /// `write_latest(key, value)`.
+    WriteLatest {
+        /// Key.
+        key: Key,
+        /// Value.
+        value: Value,
+    },
+    /// `write_all(key, value)`.
+    WriteAll {
+        /// Key.
+        key: Key,
+        /// Value.
+        value: Value,
+    },
+    /// `read_latest(key)`.
+    ReadLatest {
+        /// Key.
+        key: Key,
+    },
+    /// `read_all(key)`.
+    ReadAll {
+        /// Key.
+        key: Key,
+    },
+    /// Scan a whole table (extension; see `ClientCore::scan_table`).
+    ScanTable {
+        /// Dataset name.
+        dataset: String,
+        /// Table name.
+        table: String,
+    },
+}
+
+/// Client-visible results.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientResult {
+    /// Write applied (`'ok'`).
+    Ok,
+    /// Write lost to a newer timestamp (`'outdated'`).
+    Outdated,
+    /// `read_latest` result.
+    Latest(Option<VersionedValue>),
+    /// `read_all` result.
+    All(Option<Vec<VersionedValue>>),
+    /// Table-scan result: each key exactly once with its freshest version,
+    /// sorted by key. Eventually consistent (served from primaries).
+    Scanned(Vec<(Key, VersionedValue)>),
+    /// The operation failed (`'failure'`); recovery was scheduled.
+    Failed,
+}
+
+/// Frames between an external caller and a gateway actor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientFrame {
+    /// Perform `op`.
+    Request {
+        /// Caller-chosen id echoed in the response.
+        op_id: u64,
+        /// The operation.
+        op: ClientOp,
+    },
+    /// Outcome of a [`ClientFrame::Request`].
+    Response {
+        /// Echoed id.
+        op_id: u64,
+        /// The result.
+        result: ClientResult,
+    },
+}
+
+/// The composed runtime message.
+#[derive(Debug)]
+pub enum SednaMsg {
+    /// Coordination-ensemble traffic.
+    Coord(CoordMsg),
+    /// Data-path traffic.
+    Replica(ReplicaOp),
+    /// External client frames.
+    Client(ClientFrame),
+    /// Management plane.
+    Control(ControlMsg),
+}
+
+impl Wrap<CoordMsg> for SednaMsg {
+    fn wrap(inner: CoordMsg) -> Self {
+        SednaMsg::Coord(inner)
+    }
+    fn unwrap(self) -> Result<CoordMsg, Self> {
+        match self {
+            SednaMsg::Coord(m) => Ok(m),
+            other => Err(other),
+        }
+    }
+    fn peek(&self) -> Option<&CoordMsg> {
+        match self {
+            SednaMsg::Coord(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl Wrap<ReplicaOp> for SednaMsg {
+    fn wrap(inner: ReplicaOp) -> Self {
+        SednaMsg::Replica(inner)
+    }
+    fn unwrap(self) -> Result<ReplicaOp, Self> {
+        match self {
+            SednaMsg::Replica(m) => Ok(m),
+            other => Err(other),
+        }
+    }
+    fn peek(&self) -> Option<&ReplicaOp> {
+        match self {
+            SednaMsg::Replica(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl Wrap<ClientFrame> for SednaMsg {
+    fn wrap(inner: ClientFrame) -> Self {
+        SednaMsg::Client(inner)
+    }
+    fn unwrap(self) -> Result<ClientFrame, Self> {
+        match self {
+            SednaMsg::Client(m) => Ok(m),
+            other => Err(other),
+        }
+    }
+    fn peek(&self) -> Option<&ClientFrame> {
+        match self {
+            SednaMsg::Client(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+fn versions_size(v: &[VersionedValue]) -> usize {
+    v.iter().map(|x| x.value.len() + 24).sum()
+}
+
+impl MessageSize for ReplicaOp {
+    fn size_bytes(&self) -> usize {
+        const HDR: usize = 32;
+        HDR + match self {
+            ReplicaOp::Write { key, value, .. } => key.len() + value.len() + 16,
+            ReplicaOp::WriteAck { .. } => 4,
+            ReplicaOp::Read { key, .. } => key.len(),
+            ReplicaOp::ReadReply { reply, .. } => match reply {
+                ReplicaReadReply::Values(v) => versions_size(v),
+                _ => 4,
+            },
+            ReplicaOp::Push { key, versions } => key.len() + versions_size(versions),
+            ReplicaOp::TransferRequest { .. }
+            | ReplicaOp::TransferComplete { .. }
+            | ReplicaOp::SyncDigest { .. } => 16,
+            ReplicaOp::Scan { prefix, .. } => prefix.len(),
+            ReplicaOp::ScanReply { rows, .. } => {
+                rows.iter().map(|(k, v)| k.len() + v.value.len() + 24).sum()
+            }
+            ReplicaOp::TransferData { rows, .. } => {
+                rows.iter().map(|(k, v)| k.len() + versions_size(v)).sum()
+            }
+        }
+    }
+}
+
+impl MessageSize for ClientFrame {
+    fn size_bytes(&self) -> usize {
+        const HDR: usize = 24;
+        HDR + match self {
+            ClientFrame::Request { op, .. } => match op {
+                ClientOp::WriteLatest { key, value } | ClientOp::WriteAll { key, value } => {
+                    key.len() + value.len()
+                }
+                ClientOp::ReadLatest { key } | ClientOp::ReadAll { key } => key.len(),
+                ClientOp::ScanTable { dataset, table } => dataset.len() + table.len(),
+            },
+            ClientFrame::Response { result, .. } => match result {
+                ClientResult::Latest(Some(v)) => v.value.len() + 24,
+                ClientResult::All(Some(v)) => versions_size(v),
+                ClientResult::Scanned(rows) => {
+                    rows.iter().map(|(k, v)| k.len() + v.value.len() + 24).sum()
+                }
+                _ => 4,
+            },
+        }
+    }
+}
+
+impl MessageSize for SednaMsg {
+    fn size_bytes(&self) -> usize {
+        match self {
+            SednaMsg::Coord(m) => m.size_bytes(),
+            SednaMsg::Replica(m) => m.size_bytes(),
+            SednaMsg::Client(m) => m.size_bytes(),
+            SednaMsg::Control(_) => 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_roundtrips() {
+        let m = SednaMsg::wrap(CoordMsg::Commit { term: 1, zxid: 2 });
+        let back: Result<CoordMsg, _> = m.unwrap();
+        assert!(matches!(back, Ok(CoordMsg::Commit { term: 1, zxid: 2 })));
+
+        let m = SednaMsg::wrap(ReplicaOp::Read {
+            req: RequestId(1),
+            key: Key::from("k"),
+        });
+        assert!(Wrap::<ReplicaOp>::unwrap(m).is_ok());
+
+        // Wrong projection returns the message intact.
+        let m = SednaMsg::wrap(ReplicaOp::Read {
+            req: RequestId(1),
+            key: Key::from("k"),
+        });
+        let back: Result<CoordMsg, SednaMsg> = m.unwrap();
+        assert!(matches!(back, Err(SednaMsg::Replica(_))));
+    }
+
+    #[test]
+    fn data_messages_size_with_payload() {
+        let w = SednaMsg::Replica(ReplicaOp::Write {
+            req: RequestId(1),
+            key: Key::from("test-000000000000000"),
+            ts: Timestamp::ZERO,
+            value: Value::from_bytes(vec![0u8; 20]),
+            kind: WriteKind::Latest,
+        });
+        assert_eq!(w.size_bytes(), 32 + 20 + 20 + 16);
+        let ack = SednaMsg::Replica(ReplicaOp::WriteAck {
+            req: RequestId(1),
+            ack: ReplicaWriteAck::Ok,
+        });
+        assert!(ack.size_bytes() < w.size_bytes());
+    }
+}

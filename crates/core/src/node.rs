@@ -1,0 +1,802 @@
+//! The Sedna data-node actor.
+//!
+//! Each server runs "nearly the same components" (Sec. III-A): the local
+//! memory store, the distributed part (a coordination-service session for
+//! membership + routing state), the replica service answering data-path
+//! requests, the trigger scanner, and the persistency engine. This actor is
+//! that composition:
+//!
+//! * **Join** (Sec. III-D): open a session, register the ephemeral member
+//!   znode, fetch the vnode map; the cluster manager notices the new member
+//!   and reassigns vnodes; migration directives arrive as
+//!   [`ControlMsg::MigrateVNode`] and are satisfied with vnode bulk
+//!   transfers.
+//! * **Serve**: timestamped replica writes/reads against the local store,
+//!   refusing keys outside the vnodes this node owns (stale client routing
+//!   gets a `Refused` and refreshes).
+//! * **Failure** (Sec. III-D): a crashed node simply stops pinging — the
+//!   ephemeral znode expires, the manager re-covers its vnodes, and *read
+//!   recovery* repairs data lazily.
+//! * **Triggers** (Sec. IV): a scan timer sweeps the Dirty/Monitors
+//!   columns; only the **primary** (r1) of a key's vnode dispatches it, so
+//!   one logical change fires user code once, not once per replica. Emitted
+//!   results are written back through the normal quorum write path.
+
+use std::sync::Arc;
+
+use sedna_common::time::{Micros, Timestamp};
+use sedna_common::{Key, NodeId, RequestId};
+use sedna_coord::client::{LeaseCache, LeaseConfig, SessionClient, SessionConfig, SessionEvent};
+use sedna_coord::messages::{CoordMsg, CoordOp, CoordReply};
+use sedna_memstore::{MemStore, StoreConfig, WriteOutcome};
+use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_persist::PersistEngine;
+use sedna_ring::{VNodeMap, VNodeStats};
+use sedna_triggers::{JobSpec, TriggerEngine, TriggerSink, WriteMode};
+
+use crate::client::QuorumWriter;
+use crate::config::{paths, ClusterConfig};
+use crate::messages::{
+    ControlMsg, ReplicaOp, ReplicaReadReply, ReplicaWriteAck, SednaMsg, WriteKind,
+};
+
+const T_TICK: TimerToken = TimerToken(0xDA_01);
+const T_SCAN: TimerToken = TimerToken(0xDA_02);
+const T_PERSIST: TimerToken = TimerToken(0xDA_03);
+const T_STATS: TimerToken = TimerToken(0xDA_04);
+const T_SYNC: TimerToken = TimerToken(0xDA_05);
+
+/// Collects trigger emits during a scan; the node then routes them through
+/// quorum writes.
+#[derive(Default)]
+struct BufferSink {
+    writes: parking_lot::Mutex<Vec<(Key, sedna_common::Value, WriteMode)>>,
+}
+
+impl TriggerSink for BufferSink {
+    fn apply(&self, key: &Key, value: sedna_common::Value, mode: WriteMode) {
+        self.writes.lock().push((key.clone(), value, mode));
+    }
+}
+
+/// Per-node operation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Anti-entropy digest probes sent.
+    pub sync_probes: u64,
+    /// Anti-entropy rounds that found divergence and exchanged rows.
+    pub sync_exchanges: u64,
+    /// Replica writes applied.
+    pub writes: u64,
+    /// Replica writes answered `outdated`.
+    pub outdated: u64,
+    /// Replica reads served.
+    pub reads: u64,
+    /// Requests refused for lack of ownership.
+    pub refused: u64,
+    /// Repair pushes merged.
+    pub pushes: u64,
+    /// VNode transfers served (as source).
+    pub transfers_out: u64,
+    /// VNode transfers installed (as destination).
+    pub transfers_in: u64,
+    /// Trigger emits written back to the cluster.
+    pub trigger_emits: u64,
+}
+
+/// The data-node actor.
+pub struct SednaNode {
+    cfg: ClusterConfig,
+    node_id: NodeId,
+    store: Arc<MemStore>,
+    session: SessionClient,
+    ring: Option<VNodeMap>,
+    ring_req: Option<RequestId>,
+    member_req: Option<RequestId>,
+    member_registered: bool,
+    stats_req: Option<(RequestId, bool)>,
+    imbalance_created: bool,
+    /// Round-robin cursor over owned vnodes for anti-entropy.
+    sync_cursor: usize,
+    lease: LeaseCache,
+    lease_req: Option<RequestId>,
+    engine: TriggerEngine,
+    emit_writer: QuorumWriter,
+    next_emit_op: u64,
+    persist: Option<PersistEngine>,
+    vnode_stats: Vec<VNodeStats>,
+    last_ts: (Micros, u32),
+    last_ping: Micros,
+    last_lease_check: Micros,
+    stats: NodeStats,
+}
+
+impl SednaNode {
+    /// Creates the node. `persist` is pre-built so deployments control the
+    /// data directory.
+    pub fn new(cfg: ClusterConfig, node_id: NodeId, persist: Option<PersistEngine>) -> Self {
+        let store = Arc::new(MemStore::new(StoreConfig {
+            shards: 16,
+            memory_budget: cfg.memory_budget,
+        }));
+        if let Some(engine) = &persist {
+            // Boot-time recovery (snapshot + WAL replay).
+            let _ = engine.recover(&store);
+        }
+        let session = SessionClient::new(SessionConfig {
+            replicas: cfg.coord_actors(),
+            ping_interval_micros: cfg.ping_interval_micros,
+            request_timeout_micros: 600_000,
+        });
+        let vnode_stats = vec![VNodeStats::default(); cfg.partitioner.vnode_count() as usize];
+        SednaNode {
+            cfg,
+            node_id,
+            store,
+            session,
+            ring: None,
+            ring_req: None,
+            member_req: None,
+            member_registered: false,
+            stats_req: None,
+            imbalance_created: false,
+            sync_cursor: 0,
+            lease: LeaseCache::new(LeaseConfig::default()),
+            lease_req: None,
+            engine: TriggerEngine::new(),
+            emit_writer: QuorumWriter::default(),
+            next_emit_op: 0,
+            persist,
+            vnode_stats,
+            last_ts: (0, 0),
+            last_ping: 0,
+            last_lease_check: 0,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node_id
+    }
+
+    /// The local store (inspection).
+    pub fn store(&self) -> &MemStore {
+        &self.store
+    }
+
+    /// The cached vnode map, if loaded.
+    pub fn ring(&self) -> Option<&VNodeMap> {
+        self.ring.as_ref()
+    }
+
+    /// True once routing state is available.
+    pub fn is_ready(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// Local per-vnode statistics (feeds the imbalance table).
+    pub fn vnode_stats(&self) -> &[VNodeStats] {
+        &self.vnode_stats
+    }
+
+    /// Registers a trigger job directly (harness convenience; remote
+    /// registration arrives as [`ControlMsg::RegisterJob`]).
+    pub fn register_job(&mut self, spec: JobSpec, now: Micros) {
+        self.engine.register_job(&self.store, spec, now);
+    }
+
+    /// Trigger-engine totals.
+    pub fn trigger_totals(&self) -> sedna_triggers::ScanStats {
+        self.engine.totals()
+    }
+
+    /// Installs a newer routing map and garbage-collects rows of vnodes
+    /// this node no longer owns. Survivor replicas still hold the data (a
+    /// membership change replaces at most one replica per vnode), and any
+    /// transient gap on the *new* owner is healed by read-repair — so the
+    /// collection is safe and bounds orphaned storage.
+    fn install_ring(&mut self, map: VNodeMap) {
+        let me = self.node_id;
+        let part = self.cfg.partitioner;
+        let vacated: Vec<sedna_common::VNodeId> = self
+            .ring
+            .as_ref()
+            .map(|old| {
+                old.vnodes_of(me)
+                    .into_iter()
+                    .filter(|&v| !map.replicas(v).contains(&me))
+                    .collect()
+            })
+            .unwrap_or_default();
+        if !vacated.is_empty() {
+            self.store
+                .remove_matching(|k| vacated.contains(&part.locate(k)));
+            for v in &vacated {
+                self.vnode_stats[v.index()] = VNodeStats::default();
+            }
+        }
+        self.ring = Some(map);
+    }
+
+    /// Order-independent fingerprint of this node's copy of `vnode`:
+    /// XOR of per-row hashes over (key, every version's timestamp). Two
+    /// replicas agree iff their digests match (up to hash collisions, which
+    /// only delay convergence by one exchange).
+    fn vnode_digest(&self, vnode: sedna_common::VNodeId) -> u64 {
+        use sedna_common::hashing::xxhash64;
+        let part = self.cfg.partitioner;
+        let mut digest = 0u64;
+        self.store.for_each(|key, versions| {
+            if part.locate(key) != vnode {
+                return;
+            }
+            let mut buf = Vec::with_capacity(key.len() + versions.len() * 16);
+            buf.extend_from_slice(key.as_bytes());
+            // Versions XOR-combined too, so list order cannot matter.
+            let mut vh = 0u64;
+            for v in versions {
+                let mut t = [0u8; 16];
+                t[..8].copy_from_slice(&v.ts.micros.to_le_bytes());
+                t[8..12].copy_from_slice(&v.ts.counter.to_le_bytes());
+                t[12..16].copy_from_slice(&v.ts.origin.0.to_le_bytes());
+                vh ^= xxhash64(&t, 7);
+            }
+            buf.extend_from_slice(&vh.to_le_bytes());
+            digest ^= xxhash64(&buf, 3);
+        });
+        digest
+    }
+
+    /// One anti-entropy step: probe the peers of the next owned vnode.
+    fn sync_step(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        let Some(ring) = &self.ring else {
+            return;
+        };
+        let owned = ring.vnodes_of(self.node_id);
+        if owned.is_empty() {
+            return;
+        }
+        self.sync_cursor = (self.sync_cursor + 1) % owned.len();
+        let vnode = owned[self.sync_cursor];
+        let peers: Vec<NodeId> = ring
+            .replicas(vnode)
+            .iter()
+            .copied()
+            .filter(|&n| n != self.node_id)
+            .collect();
+        if peers.is_empty() {
+            return;
+        }
+        let digest = self.vnode_digest(vnode);
+        self.stats.sync_probes += 1;
+        for peer in peers {
+            ctx.send(
+                self.cfg.node_actor(peer),
+                SednaMsg::Replica(ReplicaOp::SyncDigest {
+                    vnode,
+                    digest,
+                    from_node: self.node_id,
+                }),
+            );
+        }
+    }
+
+    fn owns(&self, key: &Key) -> bool {
+        let Some(ring) = &self.ring else {
+            return false;
+        };
+        let vnode = self.cfg.partitioner.locate(key);
+        ring.replicas(vnode).contains(&self.node_id)
+    }
+
+    fn is_primary(&self, key: &Key) -> bool {
+        let Some(ring) = &self.ring else {
+            return false;
+        };
+        let vnode = self.cfg.partitioner.locate(key);
+        ring.primary(vnode) == Some(self.node_id)
+    }
+
+    fn next_timestamp(&mut self, now: Micros) -> Timestamp {
+        let (m, c) = self.last_ts;
+        let (micros, counter) = if now > m { (now, 0) } else { (m, c + 1) };
+        self.last_ts = (micros, counter);
+        Timestamp::new(micros, counter, self.node_id)
+    }
+
+    fn send_coord(&self, ctx: &mut Ctx<'_, SednaMsg>, to: ActorId, msg: CoordMsg) {
+        ctx.send(to, SednaMsg::Coord(msg));
+    }
+
+    fn register_member(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        if self.member_req.is_some() || self.member_registered {
+            return;
+        }
+        let now = ctx.now();
+        if let Some((req, to, m)) = self.session.request(
+            CoordOp::Create {
+                path: paths::member(self.node_id),
+                data: vec![],
+                ephemeral: true,
+            },
+            now,
+        ) {
+            self.member_req = Some(req);
+            self.send_coord(ctx, to, m);
+        }
+    }
+
+    /// Publishes this node's imbalance row (Sec. III-B: "periodically
+    /// updated to ZooKeeper cluster").
+    fn publish_stats(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        if self.stats_req.is_some() {
+            return;
+        }
+        let Some(ring) = &self.ring else {
+            return;
+        };
+        let owned = ring.vnodes_of(self.node_id);
+        let row = crate::imbalance::ImbalanceRow::compute(&self.vnode_stats, &owned);
+        let path = paths::imbalance(self.node_id);
+        let now = ctx.now();
+        let op = if self.imbalance_created {
+            CoordOp::Set {
+                path,
+                data: row.encode(),
+                expected_version: None,
+            }
+        } else {
+            CoordOp::Create {
+                path,
+                data: row.encode(),
+                ephemeral: false,
+            }
+        };
+        let was_create = !self.imbalance_created;
+        if let Some((req, to, m)) = self.session.request(op, now) {
+            self.stats_req = Some((req, was_create));
+            self.send_coord(ctx, to, m);
+        }
+    }
+
+    fn request_ring(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        if self.ring_req.is_some() {
+            return;
+        }
+        let now = ctx.now();
+        if let Some((req, to, msg)) = self.session.request(
+            CoordOp::Get {
+                path: paths::RING.into(),
+                watch: false,
+            },
+            now,
+        ) {
+            self.ring_req = Some(req);
+            self.send_coord(ctx, to, msg);
+        }
+    }
+
+    fn handle_replica(&mut self, from: ActorId, op: ReplicaOp, ctx: &mut Ctx<'_, SednaMsg>) {
+        match op {
+            ReplicaOp::Write {
+                req,
+                key,
+                ts,
+                value,
+                kind,
+            } => {
+                if !self.owns(&key) {
+                    self.stats.refused += 1;
+                    ctx.send(
+                        from,
+                        SednaMsg::Replica(ReplicaOp::WriteAck {
+                            req,
+                            ack: ReplicaWriteAck::Refused,
+                        }),
+                    );
+                    return;
+                }
+                let bytes = value.len() as i64;
+                let is_new = !self.store.contains(&key);
+                let outcome = match kind {
+                    WriteKind::Latest => self.store.write_latest(&key, ts, value.clone()),
+                    WriteKind::All => self.store.write_all(&key, ts, value.clone()),
+                };
+                let ack = match outcome {
+                    WriteOutcome::Ok => {
+                        self.stats.writes += 1;
+                        let vnode = self.cfg.partitioner.locate(&key);
+                        self.vnode_stats[vnode.index()].record_write(bytes, is_new);
+                        if let Some(p) = &self.persist {
+                            let _ = p.note_write(&key, ts, &value, kind == WriteKind::Latest);
+                        }
+                        ReplicaWriteAck::Ok
+                    }
+                    WriteOutcome::Outdated => {
+                        self.stats.outdated += 1;
+                        ReplicaWriteAck::Outdated
+                    }
+                };
+                ctx.send(from, SednaMsg::Replica(ReplicaOp::WriteAck { req, ack }));
+            }
+            ReplicaOp::Read { req, key } => {
+                let reply = if !self.owns(&key) {
+                    self.stats.refused += 1;
+                    ReplicaReadReply::Refused
+                } else {
+                    self.stats.reads += 1;
+                    let vnode = self.cfg.partitioner.locate(&key);
+                    self.vnode_stats[vnode.index()].record_read();
+                    match self.store.read_all(&key) {
+                        Some(values) => ReplicaReadReply::Values(values),
+                        None => ReplicaReadReply::Missing,
+                    }
+                };
+                ctx.send(from, SednaMsg::Replica(ReplicaOp::ReadReply { req, reply }));
+            }
+            ReplicaOp::Push { key, versions } => {
+                self.stats.pushes += 1;
+                self.store.merge_versions(&key, &versions);
+            }
+            ReplicaOp::TransferRequest { vnode, to_node } => {
+                self.stats.transfers_out += 1;
+                let part = self.cfg.partitioner;
+                let rows = self.store.collect_matching(|k| part.locate(k) == vnode);
+                ctx.send(
+                    self.cfg.node_actor(to_node),
+                    SednaMsg::Replica(ReplicaOp::TransferData { vnode, rows }),
+                );
+            }
+            ReplicaOp::TransferData { vnode, rows } => {
+                self.stats.transfers_in += 1;
+                for (key, versions) in rows {
+                    self.store.merge_versions(&key, &versions);
+                }
+                // Tell the source the move is complete; it may now drop
+                // the vnode if it no longer owns it.
+                ctx.send(
+                    from,
+                    SednaMsg::Replica(ReplicaOp::TransferComplete { vnode }),
+                );
+            }
+            ReplicaOp::Scan { req, prefix } => {
+                // Serve only keys this node is primary for: the client
+                // scatters to every member, so primary-filtering yields
+                // each key exactly once cluster-wide.
+                let rows: Vec<(Key, sedna_memstore::VersionedValue)> = self
+                    .store
+                    .collect_matching(|k| k.as_bytes().starts_with(&prefix))
+                    .into_iter()
+                    .filter(|(k, _)| self.is_primary(k))
+                    .filter_map(|(k, versions)| {
+                        versions.into_iter().max_by_key(|v| v.ts).map(|v| (k, v))
+                    })
+                    .collect();
+                ctx.send(from, SednaMsg::Replica(ReplicaOp::ScanReply { req, rows }));
+            }
+            ReplicaOp::ScanReply { .. } => {}
+            ReplicaOp::SyncDigest {
+                vnode,
+                digest,
+                from_node,
+            } => {
+                // Compare copies; on divergence, exchange both ways: ship
+                // our rows to the prober and pull theirs (merge is
+                // idempotent and commutative, so no coordination is needed).
+                if !self
+                    .ring
+                    .as_ref()
+                    .is_some_and(|r| r.replicas(vnode).contains(&self.node_id))
+                {
+                    return;
+                }
+                if self.vnode_digest(vnode) == digest {
+                    return;
+                }
+                self.stats.sync_exchanges += 1;
+                let part = self.cfg.partitioner;
+                let rows = self.store.collect_matching(|k| part.locate(k) == vnode);
+                let peer = self.cfg.node_actor(from_node);
+                ctx.send(
+                    peer,
+                    SednaMsg::Replica(ReplicaOp::TransferData { vnode, rows }),
+                );
+                ctx.send(
+                    peer,
+                    SednaMsg::Replica(ReplicaOp::TransferRequest {
+                        vnode,
+                        to_node: self.node_id,
+                    }),
+                );
+            }
+            ReplicaOp::TransferComplete { vnode } => {
+                // Drop only when our own (current) routing agrees we are no
+                // longer a replica; a stale ring errs on keeping the data.
+                if let Some(ring) = &self.ring {
+                    if !ring.replicas(vnode).contains(&self.node_id) {
+                        let part = self.cfg.partitioner;
+                        self.store.remove_matching(|k| part.locate(k) == vnode);
+                    }
+                }
+            }
+            ReplicaOp::WriteAck { req, ack } => {
+                // Ack for one of our trigger-emit writes.
+                let _ = self.emit_writer.on_ack(&self.cfg, from, req, ack);
+            }
+            ReplicaOp::ReadReply { .. } => {}
+        }
+    }
+
+    fn handle_control(&mut self, op: ControlMsg, ctx: &mut Ctx<'_, SednaMsg>) {
+        match op {
+            ControlMsg::RegisterJob(spec) => {
+                self.engine.register_job(&self.store, spec, ctx.now());
+            }
+            ControlMsg::MigrateVNode { vnode, from } => {
+                if let Some(src) = from {
+                    if src != self.node_id {
+                        ctx.send(
+                            self.cfg.node_actor(src),
+                            SednaMsg::Replica(ReplicaOp::TransferRequest {
+                                vnode,
+                                to_node: self.node_id,
+                            }),
+                        );
+                    }
+                }
+            }
+            ControlMsg::DropVNode { vnode } => {
+                let part = self.cfg.partitioner;
+                self.store.remove_matching(|k| part.locate(k) == vnode);
+            }
+        }
+    }
+
+    fn handle_coord(&mut self, msg: CoordMsg, ctx: &mut Ctx<'_, SednaMsg>) {
+        let (event, retry) = self.session.on_message(msg);
+        if let Some((to, m)) = retry {
+            self.send_coord(ctx, to, m);
+        }
+        match event {
+            Some(SessionEvent::Opened(_)) => {
+                // Register membership (ephemeral) and fetch routing state.
+                self.member_registered = false;
+                self.register_member(ctx);
+                self.request_ring(ctx);
+            }
+            Some(SessionEvent::Expired) => {
+                // Session gone: the ephemeral is too; re-open and the next
+                // Opened event re-registers.
+                self.member_registered = false;
+                self.member_req = None;
+                let now = ctx.now();
+                let (to, m) = self.session.open(now);
+                self.send_coord(ctx, to, m);
+            }
+            Some(SessionEvent::Reply { req_id, result }) => {
+                if self.stats_req.map(|(r, _)| r) == Some(req_id) {
+                    let (_, was_create) = self.stats_req.take().expect("checked");
+                    if was_create {
+                        // Created, or already existed from a previous life.
+                        self.imbalance_created = matches!(
+                            result,
+                            Ok(CoordReply::Created)
+                                | Err(sedna_coord::messages::CoordError::Tree(
+                                    sedna_coord::tree::TreeError::NodeExists(_)
+                                ))
+                        );
+                    }
+                    // Set failures (e.g. parent missing) simply retry on the
+                    // next stats tick.
+                } else if Some(req_id) == self.member_req {
+                    self.member_req = None;
+                    // Success, or the znode already exists (a leftover
+                    // ephemeral from our previous session that will expire;
+                    // the manager sees us either way).
+                    self.member_registered = matches!(
+                        result,
+                        Ok(CoordReply::Created)
+                            | Err(sedna_coord::messages::CoordError::Tree(
+                                sedna_coord::tree::TreeError::NodeExists(_)
+                            ))
+                    );
+                    // Any other failure (e.g. the manager has not created
+                    // /sedna/members yet): retried from the tick loop.
+                } else if Some(req_id) == self.ring_req {
+                    self.ring_req = None;
+                    if let Ok(CoordReply::Data { data, version, .. }) = result {
+                        if let Some(map) = VNodeMap::decode(&data) {
+                            let newer = self.ring.as_ref().is_none_or(|r| map.epoch() > r.epoch());
+                            if newer {
+                                self.install_ring(map);
+                            }
+                            self.lease.put(paths::RING, data, version);
+                        }
+                    } else {
+                        // Ring znode not there yet (fresh cluster): retry on
+                        // the next tick via the lease path.
+                        self.lease.invalidate(paths::RING);
+                    }
+                } else if Some(req_id) == self.lease_req {
+                    self.lease_req = None;
+                    if let Ok(CoordReply::Changes {
+                        paths: changed,
+                        latest_zxid,
+                        truncated,
+                    }) = result
+                    {
+                        let stale = self.lease.apply_changes(changed, latest_zxid, truncated);
+                        if stale.iter().any(|p| p == paths::RING) {
+                            self.request_ring(ctx);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        let now = ctx.now();
+        // Fail over coordination requests whose replica went silent.
+        for (old, (to, m)) in self.session.on_tick(now) {
+            let new_id = match &m {
+                CoordMsg::Request { req_id, .. } => *req_id,
+                _ => RequestId(0),
+            };
+            if Some(old) == self.ring_req {
+                self.ring_req = Some(new_id);
+            } else if Some(old) == self.lease_req {
+                self.lease_req = Some(new_id);
+            } else if Some(old) == self.member_req {
+                self.member_req = Some(new_id);
+            } else if let Some((r, was_create)) = self.stats_req {
+                if r == old {
+                    self.stats_req = Some((new_id, was_create));
+                }
+            }
+            self.send_coord(ctx, to, m);
+        }
+        // Retry membership registration until it sticks (e.g. when this
+        // node booted before the manager created the namespace).
+        if self.session.session().is_some() {
+            self.register_member(ctx);
+        }
+        // Session heartbeat.
+        if now.saturating_sub(self.last_ping) >= self.cfg.ping_interval_micros {
+            self.last_ping = now;
+            if let Some((to, m)) = self.session.ping() {
+                self.send_coord(ctx, to, m);
+            }
+        }
+        // Adaptive-lease routing refresh; also retries a missing ring.
+        if self.session.session().is_some()
+            && self.lease_req.is_none()
+            && now.saturating_sub(self.last_lease_check) >= self.lease.lease_micros()
+        {
+            self.last_lease_check = now;
+            if self.ring.is_none() {
+                self.request_ring(ctx);
+            } else if let Some((req, to, m)) = self.session.request(self.lease.refresh_op(), now) {
+                self.lease_req = Some(req);
+                self.send_coord(ctx, to, m);
+            }
+        }
+        // Emit-write deadlines (failures are surfaced as refused/failed
+        // stats; the data will be re-emitted on the next relevant change).
+        let _ = self.emit_writer.on_tick(now);
+        ctx.set_timer(T_TICK, self.cfg.ping_interval_micros / 4);
+    }
+
+    fn scan(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        let now = ctx.now();
+        // Sweep everything, but dispatch only keys this node is primary
+        // for — one firing per logical change across the replica group.
+        let records: Vec<_> = self
+            .store
+            .scan_dirty()
+            .into_iter()
+            .filter(|r| self.is_primary(&r.key))
+            .collect();
+        if !records.is_empty() {
+            let sink = BufferSink::default();
+            self.engine.dispatch(&records, &sink, now);
+            let writes = sink.writes.into_inner();
+            for (key, value, mode) in writes {
+                if let Some(ring) = &self.ring {
+                    let vnode = self.cfg.partitioner.locate(&key);
+                    let replicas = ring.replicas(vnode).to_vec();
+                    if replicas.is_empty() {
+                        continue;
+                    }
+                    self.next_emit_op += 1;
+                    let ts = self.next_timestamp(now);
+                    let kind = match mode {
+                        WriteMode::Latest => WriteKind::Latest,
+                        WriteMode::All => WriteKind::All,
+                    };
+                    let deadline = now + self.cfg.request_deadline_micros;
+                    self.stats.trigger_emits += 1;
+                    let op = self.next_emit_op;
+                    let w = self.cfg.quorum.w;
+                    for (to, msg) in self.emit_writer.begin(
+                        &self.cfg, op, &replicas, w, &key, ts, &value, kind, deadline,
+                    ) {
+                        ctx.send(to, msg);
+                    }
+                }
+            }
+        }
+        ctx.set_timer(T_SCAN, self.cfg.scan_interval_micros);
+    }
+}
+
+impl Actor for SednaNode {
+    type Msg = SednaMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        let now = ctx.now();
+        let (to, m) = self.session.open(now);
+        self.send_coord(ctx, to, m);
+        ctx.set_timer(T_TICK, self.cfg.ping_interval_micros / 4);
+        ctx.set_timer(T_SCAN, self.cfg.scan_interval_micros);
+        if self.persist.is_some() {
+            ctx.set_timer(T_PERSIST, self.cfg.scan_interval_micros * 8);
+        }
+        if self.cfg.stats_publish_interval_micros > 0 {
+            ctx.set_timer(T_STATS, self.cfg.stats_publish_interval_micros);
+        }
+        if self.cfg.sync_interval_micros > 0 {
+            ctx.set_timer(T_SYNC, self.cfg.sync_interval_micros);
+        }
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: SednaMsg, ctx: &mut Ctx<'_, SednaMsg>) {
+        match msg {
+            SednaMsg::Coord(m) => self.handle_coord(m, ctx),
+            SednaMsg::Replica(op) => self.handle_replica(from, op, ctx),
+            SednaMsg::Control(op) => self.handle_control(op, ctx),
+            SednaMsg::Client(_) => {} // nodes do not speak the gateway protocol
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_, SednaMsg>) {
+        match token {
+            T_TICK => self.tick(ctx),
+            T_SCAN => self.scan(ctx),
+            T_PERSIST => {
+                if let Some(p) = &self.persist {
+                    let _ = p.tick(ctx.now(), &self.store);
+                }
+                ctx.set_timer(T_PERSIST, self.cfg.scan_interval_micros * 8);
+            }
+            T_STATS => {
+                if self.session.session().is_some() {
+                    self.publish_stats(ctx);
+                }
+                ctx.set_timer(T_STATS, self.cfg.stats_publish_interval_micros);
+            }
+            T_SYNC => {
+                self.sync_step(ctx);
+                ctx.set_timer(T_SYNC, self.cfg.sync_interval_micros);
+            }
+            _ => {}
+        }
+    }
+
+    fn service_micros(&self, msg: &SednaMsg) -> Micros {
+        match msg {
+            SednaMsg::Replica(ReplicaOp::Read { .. }) => self.cfg.read_service_micros,
+            SednaMsg::Replica(ReplicaOp::Write { .. }) => self.cfg.write_service_micros,
+            SednaMsg::Replica(ReplicaOp::TransferData { rows, .. }) => 2 + rows.len() as Micros / 4,
+            SednaMsg::Replica(_) => 2,
+            _ => 2,
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Chaos test: continuous load while data nodes crash and recover at
+//! random. Safety property checked throughout: a key's `read_latest`
+//! must never travel backwards past the last *acknowledged* write
+//! (single writer per key, monotonically numbered values) — quorum
+//! intersection (`R+W>N`) guarantees it as long as at most one replica of
+//! the key is down at a time, which the scenario maintains.
+
+use sedna_common::rng::Xoshiro256;
+use sedna_common::{Key, NodeId, Value};
+use sedna_core::client::{ClientCore, ClientEvent};
+use sedna_core::cluster::SimCluster;
+use sedna_core::config::ClusterConfig;
+use sedna_core::messages::{ClientResult, SednaMsg};
+use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_net::link::LinkModel;
+
+const KEYS: u64 = 16;
+const T_TICK: TimerToken = TimerToken(1);
+
+/// Closed-loop mixed workload: alternates writes and reads over a small
+/// key set, retrying failures, and checks read monotonicity.
+struct ChaosDriver {
+    core: ClientCore,
+    rng: Xoshiro256,
+    /// Per-key: last acknowledged sequence number.
+    acked: [u64; KEYS as usize],
+    /// Per-key: next sequence number to write.
+    next_seq: [u64; KEYS as usize],
+    /// What the in-flight op is: None=idle, Some((key, Some(seq)))=write,
+    /// Some((key, None))=read.
+    in_flight: Option<(u64, Option<u64>)>,
+    pub ops_done: u64,
+    pub violations: Vec<String>,
+}
+
+impl ChaosDriver {
+    fn issue(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        let key_idx = self.rng.next_below(KEYS);
+        let key = Key::from(format!("chaos-{key_idx}"));
+        let now = ctx.now();
+        let write = self.rng.chance(0.5);
+        let issued = if write {
+            let seq = self.next_seq[key_idx as usize];
+            self.next_seq[key_idx as usize] += 1;
+            self.in_flight = Some((key_idx, Some(seq)));
+            self.core
+                .write_latest(&key, Value::from(format!("{seq}")), now)
+        } else {
+            self.in_flight = Some((key_idx, None));
+            self.core.read_latest(&key, now)
+        };
+        if let Some((_, out)) = issued {
+            for (to, m) in out {
+                ctx.send(to, m);
+            }
+        } else {
+            self.in_flight = None;
+        }
+    }
+
+    fn complete(&mut self, result: ClientResult, ctx: &mut Ctx<'_, SednaMsg>) {
+        let Some((key_idx, kind)) = self.in_flight.take() else {
+            return;
+        };
+        self.ops_done += 1;
+        match (kind, result) {
+            (Some(seq), ClientResult::Ok) => {
+                let slot = &mut self.acked[key_idx as usize];
+                *slot = (*slot).max(seq);
+            }
+            (Some(_), _) => {} // failed/outdated write: no promise made
+            (None, ClientResult::Latest(Some(v))) => {
+                let got: u64 = String::from_utf8_lossy(v.value.as_bytes())
+                    .parse()
+                    .unwrap_or(0);
+                let floor = self.acked[key_idx as usize];
+                if got < floor {
+                    self.violations.push(format!(
+                        "chaos-{key_idx}: read seq {got} below acked {floor}"
+                    ));
+                }
+            }
+            (None, ClientResult::Latest(None)) => {
+                if self.next_seq[key_idx as usize] > 0 && self.acked[key_idx as usize] > 0 {
+                    self.violations
+                        .push(format!("chaos-{key_idx}: acked data vanished"));
+                }
+            }
+            (None, _) => {} // read failed outright: retried next round
+        }
+        self.issue(ctx);
+    }
+}
+
+impl Actor for ChaosDriver {
+    type Msg = SednaMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        for (to, m) in self.core.bootstrap() {
+            ctx.send(to, m);
+        }
+        ctx.set_timer(T_TICK, 10_000);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: SednaMsg, ctx: &mut Ctx<'_, SednaMsg>) {
+        let now = ctx.now();
+        let (events, out) = self.core.on_message(from, msg, now);
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        for ev in events {
+            match ev {
+                ClientEvent::Ready => self.issue(ctx),
+                ClientEvent::Done { result, .. } => self.complete(result, ctx),
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _t: TimerToken, ctx: &mut Ctx<'_, SednaMsg>) {
+        let (events, out) = self.core.on_tick(ctx.now());
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        for ev in events {
+            if let ClientEvent::Done { result, .. } = ev {
+                self.complete(result, ctx);
+            }
+        }
+        ctx.set_timer(T_TICK, 10_000);
+    }
+}
+
+#[test]
+fn reads_never_regress_under_node_churn() {
+    let cfg = ClusterConfig::paper();
+    let mut cluster = SimCluster::build(cfg.clone(), 71, LinkModel::gigabit_lan());
+    cluster.run_until_ready(30_000_000);
+    let driver = cluster.sim.add_actor(Box::new(ChaosDriver {
+        core: ClientCore::new(cfg.clone(), cfg.client_origin(0)),
+        rng: Xoshiro256::seeded(72),
+        acked: [0; KEYS as usize],
+        next_seq: [0; KEYS as usize],
+        in_flight: None,
+        ops_done: 0,
+        violations: Vec::new(),
+    }));
+
+    // Churn: every 4 s of virtual time, crash one random up node (at most
+    // one down at a time so every key keeps a read/write quorum); bring it
+    // back 8 s later. 60 s total.
+    let mut chaos_rng = Xoshiro256::seeded(73);
+    let mut down: Option<NodeId> = None;
+    for round in 0..15 {
+        cluster.sim.run_until((round + 1) * 4_000_000 + 30_000_000);
+        if let Some(n) = down.take() {
+            cluster.sim.restart(cfg.node_actor(n));
+        } else {
+            let victim = NodeId(chaos_rng.next_below(cfg.data_nodes as u64) as u32);
+            cluster.crash_node(victim);
+            down = Some(victim);
+        }
+    }
+    if let Some(n) = down {
+        cluster.sim.restart(cfg.node_actor(n));
+    }
+    cluster.sim.run_until(cluster.sim.now() + 5_000_000);
+
+    let d = cluster.sim.actor_ref::<ChaosDriver>(driver).unwrap();
+    assert!(
+        d.violations.is_empty(),
+        "safety violations:\n{}",
+        d.violations.join("\n")
+    );
+    assert!(
+        d.ops_done > 5_000,
+        "driver made progress: {} ops",
+        d.ops_done
+    );
+}

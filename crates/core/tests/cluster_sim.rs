@@ -1,0 +1,655 @@
+//! End-to-end tests of a full Sedna deployment on the deterministic
+//! simulator: boot, quorum reads/writes, failure handling, membership
+//! churn with data migration, and cluster-wide triggers.
+
+use sedna_common::{Key, NodeId, Value};
+use sedna_core::client::{ClientCore, ClientEvent};
+use sedna_core::cluster::SimCluster;
+use sedna_core::config::ClusterConfig;
+use sedna_core::messages::{ClientOp, ClientResult, SednaMsg};
+use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_net::link::LinkModel;
+use sedna_triggers::{FnAction, JobSpec, MonitorScope};
+
+const T_TICK: TimerToken = TimerToken(1);
+
+/// Scripted closed-loop client: issues ops one at a time once routing is
+/// ready, recording results.
+struct Driver {
+    core: ClientCore,
+    script: Vec<ClientOp>,
+    cursor: usize,
+    results: Vec<ClientResult>,
+}
+
+impl Driver {
+    fn new(cfg: ClusterConfig, origin_index: u32, script: Vec<ClientOp>) -> Self {
+        let origin = cfg.client_origin(origin_index);
+        Driver {
+            core: ClientCore::new(cfg, origin),
+            script,
+            cursor: 0,
+            results: Vec::new(),
+        }
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        if self.cursor >= self.script.len() {
+            return;
+        }
+        let op = self.script[self.cursor].clone();
+        self.cursor += 1;
+        let now = ctx.now();
+        let issued = match op {
+            ClientOp::WriteLatest { key, value } => self.core.write_latest(&key, value, now),
+            ClientOp::WriteAll { key, value } => self.core.write_all(&key, value, now),
+            ClientOp::ReadLatest { key } => self.core.read_latest(&key, now),
+            ClientOp::ReadAll { key } => self.core.read_all(&key, now),
+            ClientOp::ScanTable { dataset, table } => self.core.scan_table(&dataset, &table, now),
+        };
+        assert!(issued.is_some(), "driver only issues after Ready");
+        for (to, m) in issued.unwrap().1 {
+            ctx.send(to, m);
+        }
+    }
+
+    fn pump(&mut self, events: Vec<ClientEvent>, ctx: &mut Ctx<'_, SednaMsg>) {
+        for ev in events {
+            match ev {
+                ClientEvent::Ready => self.issue_next(ctx),
+                ClientEvent::Done { result, .. } => {
+                    self.results.push(result);
+                    self.issue_next(ctx);
+                }
+            }
+        }
+    }
+}
+
+impl Actor for Driver {
+    type Msg = SednaMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        for (to, m) in self.core.bootstrap() {
+            ctx.send(to, m);
+        }
+        ctx.set_timer(T_TICK, 10_000);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: SednaMsg, ctx: &mut Ctx<'_, SednaMsg>) {
+        let now = ctx.now();
+        let (events, out) = self.core.on_message(from, msg, now);
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        self.pump(events, ctx);
+    }
+
+    fn on_timer(&mut self, _t: TimerToken, ctx: &mut Ctx<'_, SednaMsg>) {
+        let (events, out) = self.core.on_tick(ctx.now());
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        self.pump(events, ctx);
+        ctx.set_timer(T_TICK, 10_000);
+    }
+}
+
+fn ready_cluster(cfg: ClusterConfig, seed: u64) -> SimCluster {
+    let mut cluster = SimCluster::build(cfg, seed, LinkModel::gigabit_lan());
+    cluster.run_until_ready(20_000_000);
+    cluster
+}
+
+#[test]
+fn nine_node_cluster_boots_with_balanced_ring() {
+    let cluster = ready_cluster(ClusterConfig::paper(), 1);
+    for n in 0..9 {
+        let node = cluster.node(NodeId(n));
+        let ring = node.ring().expect("ring installed");
+        assert_eq!(ring.members().count(), 9);
+        assert_eq!(ring.effective_rf(), 3);
+        ring.check_invariants();
+        // 900 vnodes * 3 / 9 = 300 slots each.
+        assert_eq!(ring.load(NodeId(n)), 300);
+    }
+}
+
+#[test]
+fn write_then_read_roundtrip() {
+    let mut cluster = ready_cluster(ClusterConfig::small(), 2);
+    let driver = cluster.sim.add_actor(Box::new(Driver::new(
+        cluster.config.clone(),
+        0,
+        vec![
+            ClientOp::WriteLatest {
+                key: Key::from("alpha"),
+                value: Value::from("1"),
+            },
+            ClientOp::WriteLatest {
+                key: Key::from("beta"),
+                value: Value::from("2"),
+            },
+            ClientOp::ReadLatest {
+                key: Key::from("alpha"),
+            },
+            ClientOp::ReadLatest {
+                key: Key::from("missing"),
+            },
+        ],
+    )));
+    cluster.sim.run_until(cluster.sim.now() + 3_000_000);
+    let d = cluster.sim.actor_ref::<Driver>(driver).unwrap();
+    assert_eq!(d.results.len(), 4, "{:?}", d.results);
+    assert_eq!(d.results[0], ClientResult::Ok);
+    assert_eq!(d.results[1], ClientResult::Ok);
+    match &d.results[2] {
+        ClientResult::Latest(Some(v)) => assert_eq!(v.value, Value::from("1")),
+        other => panic!("unexpected: {other:?}"),
+    }
+    assert_eq!(d.results[3], ClientResult::Latest(None));
+    // The value must exist on exactly N=3 replicas.
+    let holders = (0..3)
+        .filter(|&n| {
+            cluster
+                .node(NodeId(n))
+                .store()
+                .contains(&Key::from("alpha"))
+        })
+        .count();
+    assert_eq!(holders, 3);
+}
+
+#[test]
+fn write_all_from_two_sources_builds_value_list() {
+    let mut cluster = ready_cluster(ClusterConfig::small(), 3);
+    let key = Key::from("shared");
+    let d1 = cluster.sim.add_actor(Box::new(Driver::new(
+        cluster.config.clone(),
+        0,
+        vec![ClientOp::WriteAll {
+            key: key.clone(),
+            value: Value::from("from-c0"),
+        }],
+    )));
+    let d2 = cluster.sim.add_actor(Box::new(Driver::new(
+        cluster.config.clone(),
+        1,
+        vec![ClientOp::WriteAll {
+            key: key.clone(),
+            value: Value::from("from-c1"),
+        }],
+    )));
+    cluster.sim.run_until(cluster.sim.now() + 2_000_000);
+    let reader = cluster.sim.add_actor(Box::new(Driver::new(
+        cluster.config.clone(),
+        2,
+        vec![ClientOp::ReadAll { key: key.clone() }],
+    )));
+    cluster.sim.run_until(cluster.sim.now() + 2_000_000);
+    for d in [d1, d2] {
+        assert_eq!(
+            cluster.sim.actor_ref::<Driver>(d).unwrap().results,
+            vec![ClientResult::Ok]
+        );
+    }
+    let r = cluster.sim.actor_ref::<Driver>(reader).unwrap();
+    match &r.results[0] {
+        ClientResult::All(Some(values)) => {
+            assert_eq!(values.len(), 2, "one element per source: {values:?}");
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+}
+
+#[test]
+fn last_write_wins_across_clients() {
+    let mut cluster = ready_cluster(ClusterConfig::small(), 4);
+    let key = Key::from("contested");
+    // Two writers run sequentially (scripted), second one later in time.
+    let _w1 = cluster.sim.add_actor(Box::new(Driver::new(
+        cluster.config.clone(),
+        0,
+        vec![ClientOp::WriteLatest {
+            key: key.clone(),
+            value: Value::from("first"),
+        }],
+    )));
+    cluster.sim.run_until(cluster.sim.now() + 1_000_000);
+    let _w2 = cluster.sim.add_actor(Box::new(Driver::new(
+        cluster.config.clone(),
+        1,
+        vec![ClientOp::WriteLatest {
+            key: key.clone(),
+            value: Value::from("second"),
+        }],
+    )));
+    cluster.sim.run_until(cluster.sim.now() + 1_000_000);
+    let reader = cluster.sim.add_actor(Box::new(Driver::new(
+        cluster.config.clone(),
+        2,
+        vec![ClientOp::ReadLatest { key: key.clone() }],
+    )));
+    cluster.sim.run_until(cluster.sim.now() + 1_000_000);
+    let r = cluster.sim.actor_ref::<Driver>(reader).unwrap();
+    match &r.results[0] {
+        ClientResult::Latest(Some(v)) => assert_eq!(v.value, Value::from("second")),
+        other => panic!("unexpected: {other:?}"),
+    }
+}
+
+#[test]
+fn reads_survive_one_replica_failure() {
+    let mut cluster = ready_cluster(ClusterConfig::paper(), 5);
+    let key = Key::from("durable");
+    let writer = cluster.sim.add_actor(Box::new(Driver::new(
+        cluster.config.clone(),
+        0,
+        vec![ClientOp::WriteLatest {
+            key: key.clone(),
+            value: Value::from("v"),
+        }],
+    )));
+    cluster.sim.run_until(cluster.sim.now() + 2_000_000);
+    assert_eq!(
+        cluster.sim.actor_ref::<Driver>(writer).unwrap().results,
+        vec![ClientResult::Ok]
+    );
+    // Kill one of the key's replicas.
+    let vnode = cluster.config.partitioner.locate(&key);
+    let victim = cluster.node(NodeId(0)).ring().unwrap().replicas(vnode)[0];
+    cluster.crash_node(victim);
+    // Read immediately (before any remapping): R=2 of the surviving
+    // replicas still answers.
+    let reader = cluster.sim.add_actor(Box::new(Driver::new(
+        cluster.config.clone(),
+        1,
+        vec![ClientOp::ReadLatest { key: key.clone() }],
+    )));
+    cluster.sim.run_until(cluster.sim.now() + 2_000_000);
+    let r = cluster.sim.actor_ref::<Driver>(reader).unwrap();
+    match &r.results[0] {
+        ClientResult::Latest(Some(v)) => assert_eq!(v.value, Value::from("v")),
+        other => panic!("unexpected: {other:?}"),
+    }
+}
+
+#[test]
+fn crash_triggers_remap_and_recovery_restores_replication() {
+    let mut cluster = ready_cluster(ClusterConfig::paper(), 6);
+    let key = Key::from("recoverable");
+    let writer = cluster.sim.add_actor(Box::new(Driver::new(
+        cluster.config.clone(),
+        0,
+        vec![ClientOp::WriteLatest {
+            key: key.clone(),
+            value: Value::from("v"),
+        }],
+    )));
+    cluster.sim.run_until(cluster.sim.now() + 2_000_000);
+    assert_eq!(
+        cluster.sim.actor_ref::<Driver>(writer).unwrap().results,
+        vec![ClientResult::Ok]
+    );
+    let vnode = cluster.config.partitioner.locate(&key);
+    let old_replicas: Vec<NodeId> = cluster
+        .node(NodeId(0))
+        .ring()
+        .unwrap()
+        .replicas(vnode)
+        .to_vec();
+    let victim = old_replicas[0];
+    cluster.crash_node(victim);
+    // Give the ensemble time to expire the session, the manager to remap,
+    // and the migration transfers to complete.
+    cluster.sim.run_until(cluster.sim.now() + 8_000_000);
+    // Some surviving node's ring no longer lists the victim.
+    let observer = (0..9).map(NodeId).find(|&n| n != victim).unwrap();
+    let ring = cluster.node(observer).ring().unwrap();
+    assert!(!ring.is_member(victim), "victim evicted from membership");
+    let new_replicas = ring.replicas(vnode).to_vec();
+    assert_eq!(new_replicas.len(), 3);
+    assert!(!new_replicas.contains(&victim));
+    // All three current replicas hold the data (migration or repair).
+    for &n in &new_replicas {
+        assert!(
+            cluster.node(n).store().contains(&key),
+            "{n:?} missing data after recovery (replicas {new_replicas:?})"
+        );
+    }
+}
+
+#[test]
+fn late_joining_node_receives_migrated_data() {
+    // Build a 4-node layout but keep node 3 down during the initial load.
+    let cfg = ClusterConfig {
+        data_nodes: 4,
+        ..ClusterConfig::small()
+    };
+    let mut cluster = SimCluster::build(cfg.clone(), 7, LinkModel::gigabit_lan());
+    let late = NodeId(3);
+    cluster.sim.set_down(cfg.node_actor(late), true);
+    cluster.run_until_ready(20_000_000);
+    // Load data through a driver.
+    let script: Vec<ClientOp> = (0..50)
+        .map(|i| ClientOp::WriteLatest {
+            key: Key::from(format!("k-{i}")),
+            value: Value::from("v"),
+        })
+        .collect();
+    let writer = cluster
+        .sim
+        .add_actor(Box::new(Driver::new(cfg.clone(), 0, script)));
+    cluster.sim.run_until(cluster.sim.now() + 4_000_000);
+    assert_eq!(
+        cluster
+            .sim
+            .actor_ref::<Driver>(writer)
+            .unwrap()
+            .results
+            .len(),
+        50
+    );
+    // Node 3 joins.
+    cluster.sim.restart(cfg.node_actor(late));
+    cluster.sim.run_until(cluster.sim.now() + 8_000_000);
+    let node3 = cluster.node(late);
+    let ring = node3.ring().expect("joined node has routing state");
+    assert!(ring.is_member(late));
+    assert!(ring.load(late) > 0, "late node owns vnodes");
+    // It must hold every key of every vnode it now owns.
+    let owned: Vec<_> = ring.vnodes_of(late);
+    let mut checked = 0;
+    for i in 0..50 {
+        let key = Key::from(format!("k-{i}"));
+        let vnode = cfg.partitioner.locate(&key);
+        if owned.contains(&vnode) {
+            checked += 1;
+            assert!(
+                node3.store().contains(&key),
+                "migrated vnode {vnode:?} missing {key:?}"
+            );
+        }
+    }
+    assert!(
+        checked > 0,
+        "late node owns at least one loaded key's vnode"
+    );
+    assert!(node3.stats().transfers_in > 0, "data arrived via transfers");
+}
+
+#[test]
+fn cluster_trigger_pipeline_fires_once_per_change() {
+    let mut cluster = ready_cluster(ClusterConfig::small(), 8);
+    // Job: watch table tweets/messages; emit an index entry per message.
+    cluster.register_job_everywhere(|| {
+        JobSpec::builder("indexer")
+            .input(MonitorScope::Table {
+                dataset: "tweets".into(),
+                table: "messages".into(),
+            })
+            .action(FnAction(
+                |key: &Key,
+                 values: &[sedna_memstore::VersionedValue],
+                 out: &mut sedna_triggers::Emits| {
+                    let path = sedna_common::KeyPath::decode(key).expect("table key");
+                    let index_key = sedna_common::KeyPath::new(
+                        "tweets",
+                        "index",
+                        format!("idx-{}", path.key()),
+                    )
+                    .unwrap()
+                    .encode();
+                    out.latest(index_key, values[0].value.clone());
+                },
+            ))
+            .trigger_interval(0)
+            .build()
+    });
+    let msg_key = sedna_common::KeyPath::new("tweets", "messages", "m1")
+        .unwrap()
+        .encode();
+    let writer = cluster.sim.add_actor(Box::new(Driver::new(
+        cluster.config.clone(),
+        0,
+        vec![ClientOp::WriteLatest {
+            key: msg_key,
+            value: Value::from("hello world"),
+        }],
+    )));
+    cluster.sim.run_until(cluster.sim.now() + 3_000_000);
+    assert_eq!(
+        cluster.sim.actor_ref::<Driver>(writer).unwrap().results,
+        vec![ClientResult::Ok]
+    );
+    // The index entry must now be readable through the normal API.
+    let idx_key = sedna_common::KeyPath::new("tweets", "index", "idx-m1")
+        .unwrap()
+        .encode();
+    let reader = cluster.sim.add_actor(Box::new(Driver::new(
+        cluster.config.clone(),
+        1,
+        vec![ClientOp::ReadLatest { key: idx_key }],
+    )));
+    cluster.sim.run_until(cluster.sim.now() + 3_000_000);
+    let r = cluster.sim.actor_ref::<Driver>(reader).unwrap();
+    match &r.results[0] {
+        ClientResult::Latest(Some(v)) => assert_eq!(v.value, Value::from("hello world")),
+        other => panic!("index entry missing: {other:?}"),
+    }
+    // Exactly one node (the primary) fired the action.
+    let total_fired: u64 = (0..3)
+        .map(|n| cluster.node(NodeId(n)).trigger_totals().fired)
+        .sum();
+    assert_eq!(total_fired, 1, "one firing per logical change");
+}
+
+#[test]
+fn deterministic_replay() {
+    let run = |seed: u64| {
+        let mut cluster = ready_cluster(ClusterConfig::small(), seed);
+        let driver = cluster.sim.add_actor(Box::new(Driver::new(
+            cluster.config.clone(),
+            0,
+            (0..20)
+                .map(|i| ClientOp::WriteLatest {
+                    key: Key::from(format!("d-{i}")),
+                    value: Value::from("v"),
+                })
+                .collect(),
+        )));
+        cluster.sim.run_until(cluster.sim.now() + 3_000_000);
+        let d = cluster.sim.actor_ref::<Driver>(driver).unwrap();
+        (
+            format!("{:?}", d.results),
+            cluster.sim.stats().messages_delivered,
+            cluster.sim.now(),
+        )
+    };
+    assert_eq!(run(42), run(42), "same seed ⇒ identical run");
+}
+
+#[test]
+fn writes_survive_client_partition_from_one_replica() {
+    let mut cluster = ready_cluster(ClusterConfig::paper(), 9);
+    let key = Key::from("partitioned-write");
+    let vnode = cluster.config.partitioner.locate(&key);
+    let replicas = cluster
+        .node(NodeId(0))
+        .ring()
+        .unwrap()
+        .replicas(vnode)
+        .to_vec();
+    let driver = cluster.sim.add_actor(Box::new(Driver::new(
+        cluster.config.clone(),
+        0,
+        vec![
+            ClientOp::WriteLatest {
+                key: key.clone(),
+                value: Value::from("v"),
+            },
+            ClientOp::ReadLatest { key: key.clone() },
+        ],
+    )));
+    // Cut the driver off from one of the three replicas: W=2 and R=2 must
+    // still be reachable through the other two.
+    cluster
+        .sim
+        .partition_pair(driver, cluster.config.node_actor(replicas[0]));
+    cluster.sim.run_until(cluster.sim.now() + 3_000_000);
+    let d = cluster.sim.actor_ref::<Driver>(driver).unwrap();
+    assert_eq!(d.results.len(), 2, "{:?}", d.results);
+    assert_eq!(d.results[0], ClientResult::Ok);
+    match &d.results[1] {
+        ClientResult::Latest(Some(v)) => assert_eq!(v.value, Value::from("v")),
+        other => panic!("unexpected: {other:?}"),
+    }
+}
+
+#[test]
+fn table_scan_returns_each_key_exactly_once() {
+    let mut cluster = ready_cluster(ClusterConfig::paper(), 10);
+    // 40 rows in the target table, plus decoys in a sibling table.
+    let mut script: Vec<ClientOp> = (0..40)
+        .map(|i| ClientOp::WriteLatest {
+            key: sedna_common::KeyPath::new("ds", "target", format!("row-{i:02}"))
+                .unwrap()
+                .encode(),
+            value: Value::from(format!("v-{i}")),
+        })
+        .collect();
+    script.extend((0..10).map(|i| {
+        ClientOp::WriteLatest {
+            key: sedna_common::KeyPath::new("ds", "other", format!("row-{i}"))
+                .unwrap()
+                .encode(),
+            value: Value::from("decoy"),
+        }
+    }));
+    script.push(ClientOp::ScanTable {
+        dataset: "ds".into(),
+        table: "target".into(),
+    });
+    let driver = cluster
+        .sim
+        .add_actor(Box::new(Driver::new(cluster.config.clone(), 0, script)));
+    cluster.sim.run_until(cluster.sim.now() + 6_000_000);
+    let d = cluster.sim.actor_ref::<Driver>(driver).unwrap();
+    assert_eq!(d.results.len(), 51, "{:?}", d.results.len());
+    match d.results.last().unwrap() {
+        ClientResult::Scanned(rows) => {
+            assert_eq!(rows.len(), 40, "each target row exactly once");
+            // Sorted by key, correct values, no decoys.
+            for (i, (key, v)) in rows.iter().enumerate() {
+                let path = sedna_common::KeyPath::decode(key).unwrap();
+                assert_eq!(path.table(), "target");
+                assert_eq!(path.key(), format!("row-{i:02}"));
+                assert_eq!(v.value, Value::from(format!("v-{i}")));
+            }
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+}
+
+#[test]
+fn table_scan_of_empty_table_is_empty() {
+    let mut cluster = ready_cluster(ClusterConfig::small(), 11);
+    let driver = cluster.sim.add_actor(Box::new(Driver::new(
+        cluster.config.clone(),
+        0,
+        vec![ClientOp::ScanTable {
+            dataset: "nope".into(),
+            table: "nothing".into(),
+        }],
+    )));
+    cluster.sim.run_until(cluster.sim.now() + 3_000_000);
+    let d = cluster.sim.actor_ref::<Driver>(driver).unwrap();
+    assert_eq!(d.results, vec![ClientResult::Scanned(vec![])]);
+}
+
+#[test]
+fn dataset_scope_trigger_covers_all_tables() {
+    let mut cluster = ready_cluster(ClusterConfig::small(), 12);
+    // One job watching the whole dataset mirrors any change into an audit
+    // table, regardless of which table it lands in.
+    cluster.register_job_everywhere(|| {
+        JobSpec::builder("auditor")
+            .input(sedna_triggers::MonitorScope::Dataset {
+                dataset: "app".into(),
+            })
+            .action(FnAction(
+                |key: &Key,
+                 _values: &[sedna_memstore::VersionedValue],
+                 out: &mut sedna_triggers::Emits| {
+                    let path = sedna_common::KeyPath::decode(key).expect("table key");
+                    if path.table() == "audit" {
+                        return; // don't audit the audit table (self-loop)
+                    }
+                    let audit = sedna_common::KeyPath::new(
+                        "app",
+                        "audit",
+                        format!("{}-{}", path.table(), path.key()),
+                    )
+                    .unwrap()
+                    .encode();
+                    out.latest(audit, Value::from("seen"));
+                },
+            ))
+            .trigger_interval(0)
+            .build()
+    });
+    let mut script = Vec::new();
+    for table in ["users", "orders", "events"] {
+        script.push(ClientOp::WriteLatest {
+            key: sedna_common::KeyPath::new("app", table, "x")
+                .unwrap()
+                .encode(),
+            value: Value::from("1"),
+        });
+    }
+    // A write in a different dataset must NOT fire the auditor.
+    script.push(ClientOp::WriteLatest {
+        key: sedna_common::KeyPath::new("other", "users", "x")
+            .unwrap()
+            .encode(),
+        value: Value::from("1"),
+    });
+    let writer = cluster
+        .sim
+        .add_actor(Box::new(Driver::new(cluster.config.clone(), 0, script)));
+    // Let the trigger scanner fire and the audit emits commit.
+    cluster.sim.run_until(cluster.sim.now() + 2_000_000);
+    assert_eq!(
+        cluster
+            .sim
+            .actor_ref::<Driver>(writer)
+            .unwrap()
+            .results
+            .len(),
+        4
+    );
+    let scanner = cluster.sim.add_actor(Box::new(Driver::new(
+        cluster.config.clone(),
+        1,
+        vec![ClientOp::ScanTable {
+            dataset: "app".into(),
+            table: "audit".into(),
+        }],
+    )));
+    cluster.sim.run_until(cluster.sim.now() + 2_000_000);
+    let d = cluster.sim.actor_ref::<Driver>(scanner).unwrap();
+    match d.results.last().unwrap() {
+        ClientResult::Scanned(rows) => {
+            let names: Vec<String> = rows
+                .iter()
+                .map(|(k, _)| sedna_common::KeyPath::decode(k).unwrap().key().to_string())
+                .collect();
+            assert_eq!(
+                names,
+                vec!["events-x", "orders-x", "users-x"],
+                "exactly the in-dataset writes, audited once each"
+            );
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+}

@@ -1,0 +1,171 @@
+//! Load-driven rebalancing end to end: skewed read traffic makes some
+//! nodes hot; their published imbalance rows trigger the manager to move
+//! hot vnodes to cold nodes; data follows and stays readable.
+
+use sedna_common::{Key, NodeId, Value};
+use sedna_core::client::{ClientCore, ClientEvent};
+use sedna_core::cluster::SimCluster;
+use sedna_core::config::ClusterConfig;
+use sedna_core::manager::ClusterManager;
+use sedna_core::messages::{ClientResult, SednaMsg};
+use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_net::link::LinkModel;
+use sedna_ring::Partitioner;
+
+/// Hammers a small set of keys with round-robin reads (after seeding
+/// them), concentrating load on those keys' vnodes.
+struct HotReader {
+    core: ClientCore,
+    keys: Vec<Key>,
+    seeded: usize,
+    cursor: usize,
+    pub reads_done: u64,
+}
+
+impl Actor for HotReader {
+    type Msg = SednaMsg;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        for (to, m) in self.core.bootstrap() {
+            ctx.send(to, m);
+        }
+        ctx.set_timer(TimerToken(1), 10_000);
+    }
+    fn on_message(&mut self, from: ActorId, msg: SednaMsg, ctx: &mut Ctx<'_, SednaMsg>) {
+        let now = ctx.now();
+        let (events, out) = self.core.on_message(from, msg, now);
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        for ev in events {
+            match ev {
+                ClientEvent::Ready => {
+                    let key = self.keys[0].clone();
+                    let issued = self
+                        .core
+                        .write_latest(&key, Value::from("hot"), ctx.now())
+                        .expect("ready");
+                    for (to, m) in issued.1 {
+                        ctx.send(to, m);
+                    }
+                }
+                ClientEvent::Done { result, .. } => {
+                    if self.seeded < self.keys.len() {
+                        assert_eq!(result, ClientResult::Ok);
+                        self.seeded += 1;
+                        if self.seeded < self.keys.len() {
+                            let key = self.keys[self.seeded].clone();
+                            let issued = self
+                                .core
+                                .write_latest(&key, Value::from("hot"), ctx.now())
+                                .expect("ready");
+                            for (to, m) in issued.1 {
+                                ctx.send(to, m);
+                            }
+                            continue;
+                        }
+                    } else {
+                        self.reads_done += 1;
+                    }
+                    self.cursor = (self.cursor + 1) % self.keys.len();
+                    let key = self.keys[self.cursor].clone();
+                    if let Some((_, out)) = self.core.read_latest(&key, ctx.now()) {
+                        for (to, m) in out {
+                            ctx.send(to, m);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    fn on_timer(&mut self, _t: TimerToken, ctx: &mut Ctx<'_, SednaMsg>) {
+        let (_, out) = self.core.on_tick(ctx.now());
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        ctx.set_timer(TimerToken(1), 10_000);
+    }
+}
+
+#[test]
+fn skewed_load_triggers_vnode_moves_and_data_follows() {
+    // 5 nodes, rf 3: round-robin reads of 6 keys heat their vnodes'
+    // replica sets unevenly across the 5 nodes, exceeding the trigger.
+    let cfg = ClusterConfig {
+        data_nodes: 5,
+        partitioner: Partitioner::new(100),
+        stats_publish_interval_micros: 200_000,
+        rebalance_trigger_ratio: 1.2,
+        rebalance_max_moves: 2,
+        rebalance_check_every: 3,
+        ..ClusterConfig::paper()
+    };
+    let mut cluster = SimCluster::build(cfg.clone(), 21, LinkModel::gigabit_lan());
+    cluster.run_until_ready(30_000_000);
+
+    let keys: Vec<Key> = (0..6)
+        .map(|i| Key::from(format!("scorching-{i}")))
+        .collect();
+    let epoch_before = cluster.node(NodeId(0)).ring().unwrap().epoch();
+
+    let reader = cluster.sim.add_actor(Box::new(HotReader {
+        core: ClientCore::new(cfg.clone(), cfg.client_origin(0)),
+        keys: keys.clone(),
+        seeded: 0,
+        cursor: 0,
+        reads_done: 0,
+    }));
+    // Closed-loop reads for ~15 s of virtual time: plenty of stats
+    // publishes and manager checks.
+    cluster.sim.run_until(cluster.sim.now() + 15_000_000);
+
+    let mgr = cluster
+        .sim
+        .actor_ref::<ClusterManager>(cfg.manager_actor())
+        .unwrap();
+    assert!(
+        mgr.rebalance_moves() > 0,
+        "skewed load must trigger at least one vnode move"
+    );
+    mgr.map().check_invariants();
+    assert!(mgr.map().epoch() > epoch_before, "ring republished");
+    let final_map = mgr.map().clone();
+
+    // Reads never broke and every hot key sits on its current replicas.
+    let r = cluster.sim.actor_ref::<HotReader>(reader).unwrap();
+    assert!(
+        r.reads_done > 1_000,
+        "reader made progress: {}",
+        r.reads_done
+    );
+    cluster.sim.run_until(cluster.sim.now() + 2_000_000);
+    for key in &keys {
+        let vnode = cfg.partitioner.locate(key);
+        for &n in final_map.replicas(vnode) {
+            assert!(
+                cluster.node(n).store().contains(key),
+                "{n:?} missing {key:?} after rebalance"
+            );
+        }
+    }
+}
+
+#[test]
+fn balanced_load_never_rebalances() {
+    let cfg = ClusterConfig {
+        data_nodes: 5,
+        partitioner: Partitioner::new(100),
+        stats_publish_interval_micros: 200_000,
+        rebalance_trigger_ratio: 1.3,
+        rebalance_check_every: 3,
+        ..ClusterConfig::paper()
+    };
+    let mut cluster = SimCluster::build(cfg.clone(), 22, LinkModel::gigabit_lan());
+    cluster.run_until_ready(30_000_000);
+    // No client traffic at all: rows publish zeros; ratio is undefined.
+    cluster.sim.run_until(cluster.sim.now() + 8_000_000);
+    let mgr = cluster
+        .sim
+        .actor_ref::<ClusterManager>(cfg.manager_actor())
+        .unwrap();
+    assert_eq!(mgr.rebalance_moves(), 0, "quiet cluster must not churn");
+}

@@ -1,0 +1,114 @@
+use sedna_common::{Key, NodeId, Value};
+use sedna_core::cluster::SimCluster;
+use sedna_core::config::ClusterConfig;
+use sedna_core::messages::ClientOp;
+use sedna_net::link::LinkModel;
+use sedna_ring::Partitioner;
+
+// reuse driver from cluster_sim? simplest: inline minimal writer via ClientCore actor
+use sedna_core::client::{ClientCore, ClientEvent};
+use sedna_core::messages::SednaMsg;
+use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+
+struct W {
+    core: ClientCore,
+    n: u64,
+    done: u64,
+}
+impl Actor for W {
+    type Msg = SednaMsg;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        for (to, m) in self.core.bootstrap() {
+            ctx.send(to, m);
+        }
+        ctx.set_timer(TimerToken(1), 10_000);
+    }
+    fn on_message(&mut self, from: ActorId, msg: SednaMsg, ctx: &mut Ctx<'_, SednaMsg>) {
+        let now = ctx.now();
+        let (events, out) = self.core.on_message(from, msg, now);
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        for ev in events {
+            if matches!(ev, ClientEvent::Ready | ClientEvent::Done { .. }) && self.done < self.n {
+                let key = Key::from(format!("k-{}", self.done));
+                self.done += 1;
+                if let Some((_, out)) = self.core.write_latest(&key, Value::from("v"), ctx.now()) {
+                    for (to, m) in out {
+                        ctx.send(to, m);
+                    }
+                }
+            }
+        }
+    }
+    fn on_timer(&mut self, _t: TimerToken, ctx: &mut Ctx<'_, SednaMsg>) {
+        let (_, out) = self.core.on_tick(ctx.now());
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        ctx.set_timer(TimerToken(1), 10_000);
+    }
+}
+
+/// Vacated-vnode garbage collection: after a join rebalances slots away
+/// from the old nodes, each node must hold exactly the keys of the vnodes
+/// it still owns — no orphaned copies (the leak this test was written to
+/// catch), and no lost replicas (total row count stays keys × rf).
+#[test]
+fn vacated_vnodes_are_garbage_collected_after_join() {
+    let cfg = ClusterConfig {
+        data_nodes: 4,
+        partitioner: Partitioner::new(120),
+        ..ClusterConfig::small()
+    };
+    let mut cluster = SimCluster::build(cfg.clone(), 5, LinkModel::gigabit_lan());
+    cluster.sim.set_down(cfg.node_actor(NodeId(3)), true);
+    cluster.run_until_ready(30_000_000);
+    let w = cluster.sim.add_actor(Box::new(W {
+        core: ClientCore::new(cfg.clone(), cfg.client_origin(0)),
+        n: 300,
+        done: 0,
+    }));
+    cluster.sim.run_until(cluster.sim.now() + 10_000_000);
+    let _ = w;
+    eprintln!(
+        "before join: {:?}",
+        (0..3)
+            .map(|n| cluster.node(NodeId(n)).store().len())
+            .collect::<Vec<_>>()
+    );
+    cluster.sim.restart(cfg.node_actor(NodeId(3)));
+    cluster.sim.run_until(cluster.sim.now() + 10_000_000);
+    let lens: Vec<usize> = (0..4)
+        .map(|n| cluster.node(NodeId(n)).store().len())
+        .collect();
+    // Total rows across the cluster = 300 keys × rf 3, neither orphaned
+    // extras nor lost replicas.
+    assert_eq!(lens.iter().sum::<usize>(), 900, "rows per node: {lens:?}");
+    // And the old nodes actually shed data (GC ran).
+    for (n, &len) in lens.iter().enumerate().take(3) {
+        assert!(len < 300, "node {n} kept orphaned rows: {len}");
+    }
+    // Per-node holdings exactly match ring ownership.
+    for n in 0..4 {
+        let node = cluster.node(NodeId(n));
+        let ring = node.ring().unwrap();
+        let mut expected = 0;
+        for i in 0..300 {
+            let key = Key::from(format!("k-{i}"));
+            if ring
+                .replicas(cfg.partitioner.locate(&key))
+                .contains(&NodeId(n))
+            {
+                expected += 1;
+                assert!(node.store().contains(&key), "n{n} missing owned {key:?}");
+            } else {
+                assert!(!node.store().contains(&key), "n{n} holds unowned {key:?}");
+            }
+        }
+        assert_eq!(node.store().len(), expected);
+    }
+    let _ = ClientOp::ReadLatest {
+        key: Key::from("x"),
+    };
+}

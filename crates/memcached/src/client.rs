@@ -1,0 +1,342 @@
+//! The distributed memcached client (client-side hashing).
+//!
+//! Embeddable protocol driver, like the coordination [`SessionClient`]:
+//! the benchmark's closed-loop driver actor owns one, feeds replies in and
+//! sends the produced messages out.
+//!
+//! Replica placement follows common memcached client practice: copy `i` of
+//! a key hashes `key ⊕ i` onto the server list, skipping duplicates, so
+//! copies land on distinct servers. In `Sequential(k)` mode the operations
+//! for the k copies are issued **one after another** — copy `i+1` goes out
+//! only when copy `i`'s reply returned — which is precisely how the paper
+//! made its Memcached(3) comparison.
+//!
+//! [`SessionClient`]: ../../sedna_coord/client/struct.SessionClient.html
+
+use sedna_common::hashing::xxhash64;
+use sedna_common::{Key, RequestId, Value};
+use sedna_net::actor::ActorId;
+use std::collections::HashMap;
+
+use crate::messages::McMsg;
+
+/// Replication mode of the client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Replication {
+    /// One copy (Fig. 7(b) baseline).
+    Single,
+    /// `k` copies written/read sequentially (Fig. 7(a) uses 3).
+    Sequential(usize),
+}
+
+impl Replication {
+    fn copies(self) -> usize {
+        match self {
+            Replication::Single => 1,
+            Replication::Sequential(k) => k.max(1),
+        }
+    }
+}
+
+/// Completion events surfaced to the embedding actor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum McEvent {
+    /// All copies of a `set` acknowledged.
+    SetDone {
+        /// The user-visible operation id.
+        op: RequestId,
+    },
+    /// All copies of a `get` replied; `value` is the first copy found.
+    GetDone {
+        /// The user-visible operation id.
+        op: RequestId,
+        /// The retrieved value, if any copy had it.
+        value: Option<Value>,
+    },
+}
+
+enum OpKind {
+    Set { key: Key, value: Value },
+    Get { key: Key, found: Option<Value> },
+}
+
+struct InFlight {
+    op: RequestId,
+    kind: OpKind,
+    targets: Vec<ActorId>,
+    next_copy: usize,
+}
+
+/// Embeddable client state machine.
+pub struct McClientCore {
+    servers: Vec<ActorId>,
+    replication: Replication,
+    next_req: RequestId,
+    next_op: RequestId,
+    in_flight: HashMap<RequestId, InFlight>,
+}
+
+impl McClientCore {
+    /// Creates a client over `servers`.
+    pub fn new(servers: Vec<ActorId>, replication: Replication) -> Self {
+        assert!(!servers.is_empty());
+        assert!(
+            replication.copies() <= servers.len(),
+            "more copies than servers"
+        );
+        McClientCore {
+            servers,
+            replication,
+            next_req: RequestId(1),
+            next_op: RequestId(1),
+            in_flight: HashMap::new(),
+        }
+    }
+
+    /// The servers the `copies` of `key` land on: distinct, deterministic.
+    pub fn placement(&self, key: &Key) -> Vec<ActorId> {
+        let copies = self.replication.copies();
+        let mut out = Vec::with_capacity(copies);
+        let mut salt = 0u64;
+        while out.len() < copies {
+            let h = xxhash64(key.as_bytes(), salt);
+            let s = self.servers[(h % self.servers.len() as u64) as usize];
+            if !out.contains(&s) {
+                out.push(s);
+            }
+            salt += 1;
+        }
+        out
+    }
+
+    fn fresh_req(&mut self) -> RequestId {
+        let id = self.next_req;
+        self.next_req = self.next_req.next();
+        id
+    }
+
+    fn fresh_op(&mut self) -> RequestId {
+        let id = self.next_op;
+        self.next_op = self.next_op.next();
+        id
+    }
+
+    /// Starts a `set`; returns the op id and the first message to send.
+    pub fn set(&mut self, key: Key, value: Value) -> (RequestId, (ActorId, McMsg)) {
+        let op = self.fresh_op();
+        let targets = self.placement(&key);
+        let req = self.fresh_req();
+        let first = (
+            targets[0],
+            McMsg::Set {
+                req,
+                key: key.clone(),
+                value: value.clone(),
+            },
+        );
+        self.in_flight.insert(
+            req,
+            InFlight {
+                op,
+                kind: OpKind::Set { key, value },
+                targets,
+                next_copy: 1,
+            },
+        );
+        (op, first)
+    }
+
+    /// Starts a `get`; returns the op id and the first message to send.
+    pub fn get(&mut self, key: Key) -> (RequestId, (ActorId, McMsg)) {
+        let op = self.fresh_op();
+        let targets = self.placement(&key);
+        let req = self.fresh_req();
+        let first = (
+            targets[0],
+            McMsg::Get {
+                req,
+                key: key.clone(),
+            },
+        );
+        self.in_flight.insert(
+            req,
+            InFlight {
+                op,
+                kind: OpKind::Get { key, found: None },
+                targets,
+                next_copy: 1,
+            },
+        );
+        (op, first)
+    }
+
+    /// Feeds a reply; returns a completion event and/or the next copy's
+    /// message to send (sequential issue).
+    pub fn on_message(&mut self, msg: McMsg) -> (Option<McEvent>, Option<(ActorId, McMsg)>) {
+        let (req, got_value) = match msg {
+            McMsg::SetOk { req } => (req, None),
+            McMsg::GetReply { req, value } => (req, value),
+            _ => return (None, None),
+        };
+        let Some(mut fl) = self.in_flight.remove(&req) else {
+            return (None, None);
+        };
+        if let OpKind::Get { found, .. } = &mut fl.kind {
+            if found.is_none() {
+                *found = got_value;
+            }
+        }
+        if fl.next_copy >= fl.targets.len() {
+            // Done with all copies.
+            let event = match fl.kind {
+                OpKind::Set { .. } => McEvent::SetDone { op: fl.op },
+                OpKind::Get { found, .. } => McEvent::GetDone {
+                    op: fl.op,
+                    value: found,
+                },
+            };
+            return (Some(event), None);
+        }
+        // Issue the next copy sequentially.
+        let target = fl.targets[fl.next_copy];
+        fl.next_copy += 1;
+        let req = self.fresh_req();
+        let msg = match &fl.kind {
+            OpKind::Set { key, value } => McMsg::Set {
+                req,
+                key: key.clone(),
+                value: value.clone(),
+            },
+            OpKind::Get { key, .. } => McMsg::Get {
+                req,
+                key: key.clone(),
+            },
+        };
+        self.in_flight.insert(req, fl);
+        (None, Some((target, msg)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn servers(n: u32) -> Vec<ActorId> {
+        (0..n).map(ActorId).collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_distinct() {
+        let c = McClientCore::new(servers(5), Replication::Sequential(3));
+        let p1 = c.placement(&Key::from("some-key"));
+        let p2 = c.placement(&Key::from("some-key"));
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 3);
+        let mut dedup = p1.clone();
+        dedup.dedup();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "distinct servers");
+    }
+
+    #[test]
+    fn placement_spreads_keys() {
+        let c = McClientCore::new(servers(4), Replication::Single);
+        let mut counts = [0u32; 4];
+        for i in 0..1_000 {
+            let p = c.placement(&Key::from(format!("test-{i:015}")));
+            counts[p[0].0 as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 150), "{counts:?}");
+    }
+
+    #[test]
+    fn single_mode_one_message_per_op() {
+        let mut c = McClientCore::new(servers(3), Replication::Single);
+        let (op, (_, first)) = c.set(Key::from("k"), Value::from("v"));
+        let McMsg::Set { req, .. } = first else {
+            panic!()
+        };
+        let (ev, next) = c.on_message(McMsg::SetOk { req });
+        assert_eq!(ev, Some(McEvent::SetDone { op }));
+        assert!(next.is_none());
+    }
+
+    #[test]
+    fn sequential_mode_issues_copies_one_at_a_time() {
+        let mut c = McClientCore::new(servers(5), Replication::Sequential(3));
+        let (op, (t1, m1)) = c.set(Key::from("k"), Value::from("v"));
+        let McMsg::Set { req: r1, .. } = m1 else {
+            panic!()
+        };
+        let (ev, next) = c.on_message(McMsg::SetOk { req: r1 });
+        assert!(ev.is_none(), "only 1 of 3 copies done");
+        let (t2, m2) = next.expect("second copy");
+        assert_ne!(t1, t2);
+        let McMsg::Set { req: r2, .. } = m2 else {
+            panic!()
+        };
+        let (ev, next) = c.on_message(McMsg::SetOk { req: r2 });
+        assert!(ev.is_none());
+        let (t3, m3) = next.expect("third copy");
+        assert!(t3 != t1 && t3 != t2);
+        let McMsg::Set { req: r3, .. } = m3 else {
+            panic!()
+        };
+        let (ev, next) = c.on_message(McMsg::SetOk { req: r3 });
+        assert_eq!(ev, Some(McEvent::SetDone { op }));
+        assert!(next.is_none());
+    }
+
+    #[test]
+    fn sequential_get_returns_first_found_value() {
+        let mut c = McClientCore::new(servers(5), Replication::Sequential(3));
+        let (op, (_, m1)) = c.get(Key::from("k"));
+        let McMsg::Get { req: r1, .. } = m1 else {
+            panic!()
+        };
+        let (_, next) = c.on_message(McMsg::GetReply {
+            req: r1,
+            value: None,
+        });
+        let (_, m2) = next.unwrap();
+        let McMsg::Get { req: r2, .. } = m2 else {
+            panic!()
+        };
+        let (_, next) = c.on_message(McMsg::GetReply {
+            req: r2,
+            value: Some(Value::from("hit")),
+        });
+        let (_, m3) = next.unwrap();
+        let McMsg::Get { req: r3, .. } = m3 else {
+            panic!()
+        };
+        let (ev, _) = c.on_message(McMsg::GetReply {
+            req: r3,
+            value: Some(Value::from("other")),
+        });
+        assert_eq!(
+            ev,
+            Some(McEvent::GetDone {
+                op,
+                value: Some(Value::from("hit"))
+            }),
+            "first hit wins"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more copies than servers")]
+    fn more_copies_than_servers_rejected() {
+        McClientCore::new(servers(2), Replication::Sequential(3));
+    }
+
+    #[test]
+    fn unknown_replies_ignored() {
+        let mut c = McClientCore::new(servers(2), Replication::Single);
+        let (ev, next) = c.on_message(McMsg::SetOk {
+            req: RequestId(999),
+        });
+        assert!(ev.is_none() && next.is_none());
+    }
+}

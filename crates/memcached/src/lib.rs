@@ -1,0 +1,27 @@
+//! The evaluation baseline: a memcached-like distributed cache.
+//!
+//! Sec. VI compares Sedna against Memcached driven by a client that hashes
+//! keys to servers client-side. Two client modes reproduce the two
+//! comparisons:
+//!
+//! * **write-once** (`Replication::Single`) — each key lives on exactly one
+//!   server (Fig. 7(b));
+//! * **sequential ×3** (`Replication::Sequential(3)`) — the client writes
+//!   (and reads) every key three times to three different servers, one
+//!   request after another ("in Memcached these reads and writes requests
+//!   were issued sequentially"), which is Fig. 7(a)'s `Memcached(3)`.
+//!
+//! The server is an actor over the same [`MemStore`] engine Sedna uses —
+//! faithful to the paper, where Sedna's local store *is* a modified
+//! memcached, so single-node performance is identical by construction and
+//! the experiments measure the distribution strategies.
+
+pub mod client;
+pub mod messages;
+pub mod server;
+
+pub use client::{McClientCore, McEvent, Replication};
+pub use messages::McMsg;
+pub use server::McServer;
+
+pub use sedna_memstore::MemStore;

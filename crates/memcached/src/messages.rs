@@ -1,0 +1,80 @@
+//! Wire protocol of the memcached baseline.
+
+use sedna_common::{Key, RequestId, Value};
+use sedna_net::actor::MessageSize;
+
+/// Cache protocol messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum McMsg {
+    /// Store a value.
+    Set {
+        /// Correlation id.
+        req: RequestId,
+        /// Key.
+        key: Key,
+        /// Value.
+        value: Value,
+    },
+    /// Ack of a [`McMsg::Set`].
+    SetOk {
+        /// Correlation id.
+        req: RequestId,
+    },
+    /// Fetch a value.
+    Get {
+        /// Correlation id.
+        req: RequestId,
+        /// Key.
+        key: Key,
+    },
+    /// Reply to a [`McMsg::Get`].
+    GetReply {
+        /// Correlation id.
+        req: RequestId,
+        /// The value if present.
+        value: Option<Value>,
+    },
+    /// Remove a key.
+    Delete {
+        /// Correlation id.
+        req: RequestId,
+        /// Key.
+        key: Key,
+    },
+    /// Reply to a [`McMsg::Delete`].
+    DeleteReply {
+        /// Correlation id.
+        req: RequestId,
+        /// Whether the key existed.
+        found: bool,
+    },
+}
+
+impl MessageSize for McMsg {
+    fn size_bytes(&self) -> usize {
+        const HDR: usize = 24; // memcached text protocol-ish header
+        HDR + match self {
+            McMsg::Set { key, value, .. } => key.len() + value.len(),
+            McMsg::Get { key, .. } | McMsg::Delete { key, .. } => key.len(),
+            McMsg::GetReply { value, .. } => value.as_ref().map_or(0, |v| v.len()),
+            McMsg::SetOk { .. } | McMsg::DeleteReply { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_track_payloads() {
+        let set = McMsg::Set {
+            req: RequestId(1),
+            key: Key::from("test-000000000000000"),
+            value: Value::from_bytes(vec![0u8; 20]),
+        };
+        assert_eq!(set.size_bytes(), 24 + 40);
+        let ok = McMsg::SetOk { req: RequestId(1) };
+        assert_eq!(ok.size_bytes(), 24);
+    }
+}

@@ -1,0 +1,318 @@
+//! A single stored row: timestamped value list + Dirty/Monitors columns.
+//!
+//! Fig. 5 of the paper: "all the storage table includes two additional
+//! columns: Dirty and Monitors. Every time data was written in this row …
+//! the Dirty field will be written automatically. When programmers register
+//! a monitor on specific data, that program will add itself in the
+//! corresponding Monitors field."
+
+use sedna_common::{Timestamp, Value};
+
+/// One element of a row's value list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// Write timestamp; `ts.origin` identifies the source server, which is
+    /// what `write_all` compares per-element.
+    pub ts: Timestamp,
+    /// The stored bytes.
+    pub value: Value,
+}
+
+/// Result of applying a timestamped write, mirroring the paper's replies:
+/// `'ok'` or `'outdated'` (`'failure'` arises at the replication layer, not
+/// here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The write was applied (or was an exact duplicate — idempotent).
+    Ok,
+    /// A strictly newer value was already present; nothing changed.
+    Outdated,
+}
+
+impl WriteOutcome {
+    /// True for [`WriteOutcome::Ok`].
+    pub fn is_ok(self) -> bool {
+        matches!(self, WriteOutcome::Ok)
+    }
+}
+
+/// A stored row.
+#[derive(Clone, Debug, Default)]
+pub struct Entry {
+    /// The value list. `write_latest` keeps it at one element; `write_all`
+    /// keeps one element per source.
+    pub versions: Vec<VersionedValue>,
+    /// Set whenever a write changes the row; cleared by the trigger scanner.
+    pub dirty: bool,
+    /// Snapshot of `versions` taken when the row first became dirty after
+    /// the last scan — the "old data" the paper's filters compare against.
+    pub pending_old: Option<Box<[VersionedValue]>>,
+    /// Monitor ids registered directly on this key.
+    pub monitors: Vec<u32>,
+    /// LRU stamp maintained by the store (not part of the logical row).
+    pub(crate) access_version: u64,
+}
+
+impl Entry {
+    /// Creates an empty row.
+    pub fn new() -> Self {
+        Entry::default()
+    }
+
+    /// The freshest element, by timestamp (what `read_latest` returns).
+    pub fn latest(&self) -> Option<&VersionedValue> {
+        self.versions.iter().max_by_key(|v| v.ts)
+    }
+
+    /// The newest timestamp in the row, or [`Timestamp::ZERO`] when empty.
+    pub fn max_ts(&self) -> Timestamp {
+        self.latest().map(|v| v.ts).unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Applies a `write_latest`: the row collapses to a single element if
+    /// (and only if) `ts` is not older than everything stored.
+    pub fn write_latest(&mut self, ts: Timestamp, value: Value) -> WriteOutcome {
+        let cur = self.max_ts();
+        if ts < cur {
+            return WriteOutcome::Outdated;
+        }
+        if ts == cur && !self.versions.is_empty() {
+            // Duplicate delivery of the same write: idempotent success.
+            return WriteOutcome::Ok;
+        }
+        self.snapshot_old();
+        self.versions.clear();
+        self.versions.push(VersionedValue { ts, value });
+        self.dirty = true;
+        WriteOutcome::Ok
+    }
+
+    /// Applies a `write_all`: only the element from the same source
+    /// (`ts.origin`) is compared and replaced; other sources' elements are
+    /// untouched (Sec. III-F).
+    pub fn write_all(&mut self, ts: Timestamp, value: Value) -> WriteOutcome {
+        match self.versions.iter_mut().find(|v| v.ts.origin == ts.origin) {
+            Some(existing) => {
+                if ts < existing.ts {
+                    return WriteOutcome::Outdated;
+                }
+                if ts == existing.ts {
+                    return WriteOutcome::Ok;
+                }
+                let snapshot: Box<[VersionedValue]> = self.versions.clone().into_boxed_slice();
+                let slot = self
+                    .versions
+                    .iter_mut()
+                    .find(|v| v.ts.origin == ts.origin)
+                    .expect("just found");
+                slot.ts = ts;
+                slot.value = value;
+                if self.pending_old.is_none() && !self.dirty {
+                    self.pending_old = Some(snapshot);
+                }
+                self.dirty = true;
+                WriteOutcome::Ok
+            }
+            None => {
+                self.snapshot_old();
+                self.versions.push(VersionedValue { ts, value });
+                self.dirty = true;
+                WriteOutcome::Ok
+            }
+        }
+    }
+
+    /// Merges a full version list (replica synchronization / recovery):
+    /// element-wise per-source newest-wins. Returns true when anything
+    /// changed. Merging never marks the row dirty — replica repair is not an
+    /// application write and must not fire triggers on the repaired copy.
+    pub fn merge(&mut self, incoming: &[VersionedValue]) -> bool {
+        let mut changed = false;
+        for inc in incoming {
+            match self
+                .versions
+                .iter_mut()
+                .find(|v| v.ts.origin == inc.ts.origin)
+            {
+                Some(existing) => {
+                    if inc.ts > existing.ts {
+                        *existing = inc.clone();
+                        changed = true;
+                    }
+                }
+                None => {
+                    self.versions.push(inc.clone());
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Approximate heap footprint of the row's payload, for the store's
+    /// memory accounting. Matches memcached's spirit (item overhead + data).
+    pub fn payload_bytes(&self) -> usize {
+        const PER_VERSION_OVERHEAD: usize = 32;
+        self.versions
+            .iter()
+            .map(|v| v.value.len() + PER_VERSION_OVERHEAD)
+            .sum()
+    }
+
+    /// Clears the dirty flag and takes the old-value snapshot (the scanner
+    /// calls this after collecting the row).
+    pub fn clear_dirty(&mut self) -> Option<Box<[VersionedValue]>> {
+        self.dirty = false;
+        self.pending_old.take()
+    }
+
+    fn snapshot_old(&mut self) {
+        if self.pending_old.is_none() && !self.dirty {
+            self.pending_old = Some(self.versions.clone().into_boxed_slice());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedna_common::NodeId;
+
+    fn ts(micros: u64, origin: u32) -> Timestamp {
+        Timestamp::new(micros, 0, NodeId(origin))
+    }
+
+    #[test]
+    fn write_latest_newer_wins_older_rejected() {
+        let mut e = Entry::new();
+        assert_eq!(
+            e.write_latest(ts(10, 1), Value::from("a")),
+            WriteOutcome::Ok
+        );
+        assert_eq!(
+            e.write_latest(ts(5, 2), Value::from("b")),
+            WriteOutcome::Outdated
+        );
+        assert_eq!(e.latest().unwrap().value, Value::from("a"));
+        assert_eq!(
+            e.write_latest(ts(20, 2), Value::from("c")),
+            WriteOutcome::Ok
+        );
+        assert_eq!(e.latest().unwrap().value, Value::from("c"));
+        assert_eq!(e.versions.len(), 1, "write_latest collapses the list");
+    }
+
+    #[test]
+    fn write_latest_duplicate_is_idempotent_ok() {
+        let mut e = Entry::new();
+        e.write_latest(ts(10, 1), Value::from("a"));
+        e.clear_dirty();
+        assert_eq!(
+            e.write_latest(ts(10, 1), Value::from("a")),
+            WriteOutcome::Ok
+        );
+        assert!(!e.dirty, "duplicate must not re-dirty the row");
+    }
+
+    #[test]
+    fn write_all_keeps_one_element_per_source() {
+        let mut e = Entry::new();
+        e.write_all(ts(10, 1), Value::from("s1-a"));
+        e.write_all(ts(12, 2), Value::from("s2-a"));
+        e.write_all(ts(11, 1), Value::from("s1-b"));
+        assert_eq!(e.versions.len(), 2);
+        let v1 = e
+            .versions
+            .iter()
+            .find(|v| v.ts.origin == NodeId(1))
+            .unwrap();
+        assert_eq!(v1.value, Value::from("s1-b"));
+        // Older per-source write rejected even if newer than other sources.
+        assert_eq!(
+            e.write_all(ts(10, 1), Value::from("stale")),
+            WriteOutcome::Outdated
+        );
+        // read_latest sees the globally freshest element.
+        assert_eq!(e.latest().unwrap().value, Value::from("s2-a"));
+    }
+
+    #[test]
+    fn write_all_then_latest_collapses() {
+        let mut e = Entry::new();
+        e.write_all(ts(10, 1), Value::from("a"));
+        e.write_all(ts(11, 2), Value::from("b"));
+        e.write_latest(ts(12, 3), Value::from("winner"));
+        assert_eq!(e.versions.len(), 1);
+        assert_eq!(e.latest().unwrap().value, Value::from("winner"));
+    }
+
+    #[test]
+    fn dirty_and_old_snapshot_semantics() {
+        let mut e = Entry::new();
+        e.write_latest(ts(10, 1), Value::from("a"));
+        assert!(e.dirty);
+        let old = e.pending_old.as_ref().unwrap();
+        assert!(old.is_empty(), "row was empty before first write");
+        // Second write before a scan keeps the *first* old snapshot.
+        e.write_latest(ts(11, 1), Value::from("b"));
+        assert!(e.pending_old.as_ref().unwrap().is_empty());
+        let taken = e.clear_dirty().unwrap();
+        assert!(taken.is_empty());
+        assert!(!e.dirty);
+        // After the scan, the next write snapshots the current value.
+        e.write_latest(ts(12, 1), Value::from("c"));
+        let old = e.pending_old.as_ref().unwrap();
+        assert_eq!(old.len(), 1);
+        assert_eq!(old[0].value, Value::from("b"));
+    }
+
+    #[test]
+    fn merge_is_per_source_newest_wins_and_not_dirtying() {
+        let mut e = Entry::new();
+        e.write_all(ts(10, 1), Value::from("mine"));
+        e.clear_dirty();
+        let incoming = vec![
+            VersionedValue {
+                ts: ts(5, 1),
+                value: Value::from("stale"),
+            },
+            VersionedValue {
+                ts: ts(20, 2),
+                value: Value::from("other"),
+            },
+        ];
+        assert!(e.merge(&incoming));
+        assert_eq!(e.versions.len(), 2);
+        assert_eq!(
+            e.versions
+                .iter()
+                .find(|v| v.ts.origin == NodeId(1))
+                .unwrap()
+                .value,
+            Value::from("mine"),
+            "stale incoming element ignored"
+        );
+        assert!(!e.dirty, "repair must not fire triggers");
+        // Merging identical content again changes nothing.
+        let now: Vec<_> = e.versions.clone();
+        assert!(!e.merge(&now));
+    }
+
+    #[test]
+    fn payload_accounting_tracks_values() {
+        let mut e = Entry::new();
+        assert_eq!(e.payload_bytes(), 0);
+        e.write_all(ts(1, 1), Value::from("xxxx"));
+        e.write_all(ts(1, 2), Value::from("yyyyyyyy"));
+        assert_eq!(e.payload_bytes(), 4 + 32 + 8 + 32);
+        e.write_latest(ts(2, 1), Value::from("z"));
+        assert_eq!(e.payload_bytes(), 1 + 32);
+    }
+
+    #[test]
+    fn max_ts_and_latest_empty_row() {
+        let e = Entry::new();
+        assert!(e.latest().is_none());
+        assert_eq!(e.max_ts(), Timestamp::ZERO);
+    }
+}

@@ -1,0 +1,50 @@
+//! Sedna's local memory engine.
+//!
+//! The paper uses a "modified Memcached" as each server's local storage
+//! (Sec. VI: "Sedna uses modified Memcached as its local memory storage
+//! system"). This crate is that engine, with the Sedna-specific
+//! modifications the paper describes:
+//!
+//! * **Timestamped values** — writes carry [`Timestamp`]s; a newer timestamp
+//!   overwrites, an older one is reported as outdated (Sec. III-F's
+//!   lock-free `write_latest`).
+//! * **Value lists** — `write_all` keeps one element per *source* server,
+//!   compared and replaced per-source (Sec. III-F).
+//! * **`Dirty` and `Monitors` columns** — every row carries a dirty flag,
+//!   the pre-change value snapshot, and the monitor ids watching it, which
+//!   the trigger subsystem's scanner threads sweep (Sec. IV-C, Fig. 5).
+//! * **Sharded concurrency** — the table is split into power-of-two shards,
+//!   each behind its own lock, so concurrent clients rarely collide (the
+//!   paper's "Read&Write … Lock-Free Processing" claim is timestamp
+//!   comparison instead of read-modify-write locking; shard locks only
+//!   protect map structure).
+//! * **LRU eviction with memory accounting** — memcached semantics: when a
+//!   configured budget is exceeded, least-recently-used clean rows are
+//!   evicted.
+//!
+//! [`Timestamp`]: sedna_common::Timestamp
+//!
+//! # Example
+//!
+//! ```
+//! use sedna_memstore::{MemStore, StoreConfig};
+//! use sedna_common::{Key, Value, Timestamp, NodeId};
+//!
+//! let store = MemStore::new(StoreConfig::default());
+//! let key = Key::from("greeting");
+//! let t1 = Timestamp::new(1, 0, NodeId(0));
+//! let t2 = Timestamp::new(2, 0, NodeId(1));
+//!
+//! store.write_latest(&key, t2, Value::from("newer"));
+//! // An older timestamp loses, no locks involved:
+//! assert!(!store.write_latest(&key, t1, Value::from("older")).is_ok());
+//! assert_eq!(store.read_latest(&key).unwrap().value, Value::from("newer"));
+//! ```
+
+pub mod entry;
+pub mod stats;
+pub mod store;
+
+pub use entry::{Entry, VersionedValue, WriteOutcome};
+pub use stats::StoreStats;
+pub use store::{DirtyRecord, MemStore, StoreConfig};

@@ -1,0 +1,761 @@
+//! The sharded, concurrent store.
+//!
+//! A [`MemStore`] splits its key space over a power-of-two number of shards
+//! (FNV-1a of the key picks the shard), each protected by its own
+//! `parking_lot::Mutex`. Writes are timestamp-compared inside the row
+//! ([`Entry`]), so there is never a read-modify-write transaction across
+//! operations — the paper's "writes on the same key parallel from different
+//! sources without lock mechanism" semantics.
+//!
+//! When a memory budget is configured the store behaves like memcached:
+//! least-recently-used rows are evicted to stay within budget. Rows carrying
+//! monitors are never evicted — they are the realtime substrate and dropping
+//! them would silently unhook triggers. Merely-dirty rows *are* evictable
+//! (cache semantics; the trigger interval already tolerates coalesced or
+//! dropped intermediate changes, Sec. IV-B).
+
+use std::collections::{HashMap, VecDeque};
+
+use parking_lot::Mutex;
+use sedna_common::hashing::{fnv1a64, FnvBuildHasher};
+use sedna_common::{Key, Timestamp, Value};
+
+use crate::entry::{Entry, VersionedValue, WriteOutcome};
+use crate::stats::{StatsSnapshot, StoreStats};
+
+/// Fixed per-row overhead charged to the memory budget (hash-table slot,
+/// key header, LRU bookkeeping) — the analogue of memcached's item header.
+const ROW_OVERHEAD: usize = 64;
+
+/// Store configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Number of shards; rounded up to a power of two, minimum 1.
+    pub shards: usize,
+    /// Optional memory budget in bytes across all shards; `None` disables
+    /// eviction (the paper's data nodes used a fixed 4 GB budget).
+    pub memory_budget: Option<usize>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: 16,
+            memory_budget: None,
+        }
+    }
+}
+
+struct Shard {
+    map: HashMap<Key, Entry, FnvBuildHasher>,
+    /// Lazy LRU queue: `(key, access_version)` pairs; an element is live
+    /// only while the row's current `access_version` matches.
+    lru: VecDeque<(Key, u64)>,
+    access_counter: u64,
+    payload_bytes: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::with_hasher(FnvBuildHasher::default()),
+            lru: VecDeque::new(),
+            access_counter: 0,
+            payload_bytes: 0,
+        }
+    }
+
+    fn touch(&mut self, key: &Key) {
+        self.access_counter += 1;
+        let c = self.access_counter;
+        if let Some(e) = self.map.get_mut(key) {
+            e.access_version = c;
+        }
+        self.lru.push_back((key.clone(), c));
+        // Lazy-deletion queues grow with every touch; compact when the
+        // stale fraction dominates.
+        if self.lru.len() > 4 * self.map.len() + 64 {
+            let map = &self.map;
+            self.lru
+                .retain(|(k, v)| map.get(k).is_some_and(|e| e.access_version == *v));
+        }
+    }
+
+    fn row_cost(key: &Key, entry: &Entry) -> usize {
+        key.len() + entry.payload_bytes() + ROW_OVERHEAD
+    }
+}
+
+/// One dirty row collected by [`MemStore::scan_dirty`].
+#[derive(Clone, Debug)]
+pub struct DirtyRecord {
+    /// The row's key.
+    pub key: Key,
+    /// Value list before the row became dirty (empty slice = row was new).
+    pub old: Vec<VersionedValue>,
+    /// Value list now.
+    pub new: Vec<VersionedValue>,
+    /// Monitor ids registered directly on this key.
+    pub monitors: Vec<u32>,
+}
+
+/// The sharded in-memory store.
+pub struct MemStore {
+    shards: Box<[Mutex<Shard>]>,
+    mask: u64,
+    budget_per_shard: Option<usize>,
+    stats: StoreStats,
+}
+
+impl MemStore {
+    /// Creates a store.
+    pub fn new(config: StoreConfig) -> Self {
+        let n = config.shards.max(1).next_power_of_two();
+        let shards: Vec<Mutex<Shard>> = (0..n).map(|_| Mutex::new(Shard::new())).collect();
+        MemStore {
+            shards: shards.into_boxed_slice(),
+            mask: (n - 1) as u64,
+            budget_per_shard: config.memory_budget.map(|b| b / n),
+            stats: StoreStats::default(),
+        }
+    }
+
+    #[inline]
+    fn shard_for(&self, key: &Key) -> &Mutex<Shard> {
+        let idx = (fnv1a64(key.as_bytes()) & self.mask) as usize;
+        &self.shards[idx]
+    }
+
+    /// Applies a `write_latest` (Sec. III-F): newest timestamp wins, the
+    /// value list collapses to one element.
+    pub fn write_latest(&self, key: &Key, ts: Timestamp, value: Value) -> WriteOutcome {
+        self.write_with(key, &self.stats.writes_latest, |e| {
+            e.write_latest(ts, value)
+        })
+    }
+
+    /// Applies a `write_all` (Sec. III-F): per-source element update.
+    pub fn write_all(&self, key: &Key, ts: Timestamp, value: Value) -> WriteOutcome {
+        self.write_with(key, &self.stats.writes_all, |e| e.write_all(ts, value))
+    }
+
+    fn write_with(
+        &self,
+        key: &Key,
+        counter: &std::sync::atomic::AtomicU64,
+        apply: impl FnOnce(&mut Entry) -> WriteOutcome,
+    ) -> WriteOutcome {
+        let mut shard = self.shard_for(key).lock();
+        let is_new = !shard.map.contains_key(key);
+        let entry = shard.map.entry(key.clone()).or_default();
+        let before = if is_new {
+            0
+        } else {
+            Shard::row_cost(key, entry)
+        };
+        let outcome = apply(entry);
+        let after = Shard::row_cost(key, entry);
+        shard.payload_bytes = shard.payload_bytes + after - before;
+        match outcome {
+            WriteOutcome::Ok => {
+                shard.touch(key);
+                StoreStats::bump(counter);
+                if let Some(budget) = self.budget_per_shard {
+                    self.evict_from(&mut shard, budget);
+                }
+            }
+            WriteOutcome::Outdated => StoreStats::bump(&self.stats.outdated),
+        }
+        outcome
+    }
+
+    /// Reads the freshest element of the row (`read_latest`).
+    pub fn read_latest(&self, key: &Key) -> Option<VersionedValue> {
+        let mut shard = self.shard_for(key).lock();
+        let found = shard
+            .map
+            .get(key)
+            .filter(|e| !e.versions.is_empty())
+            .and_then(|e| e.latest().cloned());
+        if found.is_some() {
+            shard.touch(key);
+            StoreStats::bump(&self.stats.hits);
+        } else {
+            StoreStats::bump(&self.stats.misses);
+        }
+        found
+    }
+
+    /// Reads the whole value list (`read_all`).
+    pub fn read_all(&self, key: &Key) -> Option<Vec<VersionedValue>> {
+        let mut shard = self.shard_for(key).lock();
+        let found = shard
+            .map
+            .get(key)
+            .filter(|e| !e.versions.is_empty())
+            .map(|e| e.versions.clone());
+        if found.is_some() {
+            shard.touch(key);
+            StoreStats::bump(&self.stats.hits);
+        } else {
+            StoreStats::bump(&self.stats.misses);
+        }
+        found
+    }
+
+    /// Merges a replica's version list into the row without dirtying it
+    /// (replica synchronization / read repair). Returns true when the row
+    /// changed.
+    pub fn merge_versions(&self, key: &Key, incoming: &[VersionedValue]) -> bool {
+        if incoming.is_empty() {
+            return false;
+        }
+        let mut shard = self.shard_for(key).lock();
+        let is_new = !shard.map.contains_key(key);
+        let entry = shard.map.entry(key.clone()).or_default();
+        let before = if is_new {
+            0
+        } else {
+            Shard::row_cost(key, entry)
+        };
+        let changed = entry.merge(incoming);
+        let after = Shard::row_cost(key, entry);
+        shard.payload_bytes = shard.payload_bytes + after - before;
+        if changed {
+            shard.touch(key);
+        }
+        changed
+    }
+
+    /// Removes a row, returning its value list.
+    pub fn remove(&self, key: &Key) -> Option<Vec<VersionedValue>> {
+        let mut shard = self.shard_for(key).lock();
+        let entry = shard.map.remove(key)?;
+        shard.payload_bytes -= Shard::row_cost(key, &entry);
+        StoreStats::bump(&self.stats.removals);
+        Some(entry.versions)
+    }
+
+    /// True when the key has stored data.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.shard_for(key)
+            .lock()
+            .map
+            .get(key)
+            .is_some_and(|e| !e.versions.is_empty())
+    }
+
+    /// Registers a monitor id directly on a key (Fig. 5's Monitors column).
+    /// The row is created if absent, so monitors can watch keys that do not
+    /// exist yet.
+    pub fn add_monitor(&self, key: &Key, monitor: u32) {
+        let mut shard = self.shard_for(key).lock();
+        let is_new = !shard.map.contains_key(key);
+        let entry = shard.map.entry(key.clone()).or_default();
+        if !entry.monitors.contains(&monitor) {
+            entry.monitors.push(monitor);
+        }
+        if is_new {
+            let cost = Shard::row_cost(key, entry);
+            shard.payload_bytes += cost;
+        }
+    }
+
+    /// Removes a monitor id from a key.
+    pub fn remove_monitor(&self, key: &Key, monitor: u32) {
+        let mut shard = self.shard_for(key).lock();
+        if let Some(entry) = shard.map.get_mut(key) {
+            entry.monitors.retain(|&m| m != monitor);
+        }
+    }
+
+    /// Sweeps all shards for dirty rows (the trigger scanner's pass),
+    /// clearing their dirty flags. Returns the collected records.
+    ///
+    /// Rows are cloned under the shard lock and handed back outside it, so
+    /// filters/actions never run while holding storage locks.
+    pub fn scan_dirty(&self) -> Vec<DirtyRecord> {
+        self.scan_dirty_partition(0, 1)
+    }
+
+    /// Partitioned dirty sweep: scans only the shards belonging to
+    /// partition `part` of `parts` (the paper starts "several threads
+    /// according to the data size to scan the Dirty and Monitored fields";
+    /// each thread takes one partition).
+    pub fn scan_dirty_partition(&self, part: usize, parts: usize) -> Vec<DirtyRecord> {
+        assert!(
+            parts > 0 && part < parts,
+            "invalid partition {part}/{parts}"
+        );
+        let mut out = Vec::new();
+        for shard in self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % parts == part)
+            .map(|(_, s)| s)
+        {
+            let mut shard = shard.lock();
+            // Collect keys first: clear_dirty needs &mut per entry.
+            let dirty_keys: Vec<Key> = shard
+                .map
+                .iter()
+                .filter(|(_, e)| e.dirty)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for key in dirty_keys {
+                let entry = shard.map.get_mut(&key).expect("key just seen");
+                let old = entry
+                    .clear_dirty()
+                    .map(|b| b.into_vec())
+                    .unwrap_or_default();
+                out.push(DirtyRecord {
+                    old,
+                    new: entry.versions.clone(),
+                    monitors: entry.monitors.clone(),
+                    key,
+                });
+            }
+        }
+        out
+    }
+
+    /// Clones all rows whose key satisfies `pred` (vnode migration source).
+    pub fn collect_matching(
+        &self,
+        mut pred: impl FnMut(&Key) -> bool,
+    ) -> Vec<(Key, Vec<VersionedValue>)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            for (k, e) in shard.map.iter() {
+                if !e.versions.is_empty() && pred(k) {
+                    out.push((k.clone(), e.versions.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Removes the data of all rows whose key satisfies `pred`
+    /// (post-migration cleanup / vacated-vnode garbage collection).
+    ///
+    /// Rows carrying monitors are preserved as empty rows — their Monitors
+    /// column must survive so triggers keep firing if the key returns —
+    /// and their pending dirty state is discarded (this node no longer
+    /// dispatches for them). Returns how many rows were affected.
+    pub fn remove_matching(&self, mut pred: impl FnMut(&Key) -> bool) -> usize {
+        let mut removed = 0;
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            let victims: Vec<Key> = shard.map.keys().filter(|k| pred(k)).cloned().collect();
+            for k in victims {
+                let Some(entry) = shard.map.get_mut(&k) else {
+                    continue;
+                };
+                if entry.monitors.is_empty() {
+                    let e = shard.map.remove(&k).expect("present");
+                    shard.payload_bytes -= Shard::row_cost(&k, &e);
+                    removed += 1;
+                } else if !entry.versions.is_empty() {
+                    let before = Shard::row_cost(&k, entry);
+                    entry.versions.clear();
+                    entry.dirty = false;
+                    entry.pending_old = None;
+                    let after = Shard::row_cost(&k, entry);
+                    shard.payload_bytes = shard.payload_bytes + after - before;
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Visits every stored row (snapshot writer). Shards are locked one at
+    /// a time; rows written concurrently may or may not be seen.
+    pub fn for_each(&self, mut f: impl FnMut(&Key, &[VersionedValue])) {
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            for (k, e) in shard.map.iter() {
+                if !e.versions.is_empty() {
+                    f(k, &e.versions);
+                }
+            }
+        }
+    }
+
+    /// Number of rows with data.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .map
+                    .values()
+                    .filter(|e| !e.versions.is_empty())
+                    .count()
+            })
+            .sum()
+    }
+
+    /// True when no row has data.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate bytes charged against the budget.
+    pub fn payload_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().payload_bytes).sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn evict_from(&self, shard: &mut Shard, budget: usize) {
+        let mut attempts = shard.map.len();
+        while shard.payload_bytes > budget && shard.map.len() > 1 && attempts > 0 {
+            attempts -= 1;
+            let Some((key, version)) = shard.lru.pop_front() else {
+                break;
+            };
+            let Some(entry) = shard.map.get(&key) else {
+                continue; // stale queue element for a removed row
+            };
+            if entry.access_version != version {
+                continue; // stale: row touched since
+            }
+            if !entry.monitors.is_empty() {
+                // Never evict monitored rows; re-stamp so the slot is
+                // reconsidered only after everything older.
+                shard.touch(&key);
+                continue;
+            }
+            let entry = shard.map.remove(&key).expect("checked above");
+            shard.payload_bytes -= Shard::row_cost(&key, &entry);
+            StoreStats::bump(&self.stats.evictions);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedna_common::NodeId;
+
+    fn ts(micros: u64, origin: u32) -> Timestamp {
+        Timestamp::new(micros, 0, NodeId(origin))
+    }
+
+    fn store() -> MemStore {
+        MemStore::new(StoreConfig {
+            shards: 4,
+            memory_budget: None,
+        })
+    }
+
+    #[test]
+    fn write_read_roundtrip_and_stats() {
+        let s = store();
+        let k = Key::from("k1");
+        assert!(s.write_latest(&k, ts(1, 0), Value::from("v1")).is_ok());
+        assert_eq!(s.read_latest(&k).unwrap().value, Value::from("v1"));
+        assert!(s.read_latest(&Key::from("nope")).is_none());
+        let st = s.stats();
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.writes_latest, 1);
+        assert!(s.contains(&k));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn outdated_write_counted_and_ignored() {
+        let s = store();
+        let k = Key::from("k");
+        s.write_latest(&k, ts(10, 0), Value::from("new"));
+        assert_eq!(
+            s.write_latest(&k, ts(5, 1), Value::from("old")),
+            WriteOutcome::Outdated
+        );
+        assert_eq!(s.read_latest(&k).unwrap().value, Value::from("new"));
+        assert_eq!(s.stats().outdated, 1);
+    }
+
+    #[test]
+    fn read_all_returns_value_list() {
+        let s = store();
+        let k = Key::from("multi");
+        s.write_all(&k, ts(1, 1), Value::from("a"));
+        s.write_all(&k, ts(2, 2), Value::from("b"));
+        let list = s.read_all(&k).unwrap();
+        assert_eq!(list.len(), 2);
+        assert_eq!(s.read_latest(&k).unwrap().value, Value::from("b"));
+    }
+
+    #[test]
+    fn remove_clears_row_and_accounting() {
+        let s = store();
+        let k = Key::from("gone");
+        s.write_latest(&k, ts(1, 0), Value::from("data"));
+        assert!(s.payload_bytes() > 0);
+        let versions = s.remove(&k).unwrap();
+        assert_eq!(versions.len(), 1);
+        assert!(!s.contains(&k));
+        assert_eq!(s.payload_bytes(), 0);
+        assert!(s.remove(&k).is_none());
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_lru_order() {
+        // Budget sized to hold ~4 of 8 rows in a single shard.
+        let s = MemStore::new(StoreConfig {
+            shards: 1,
+            memory_budget: Some(4 * (3 + 20 + 32 + ROW_OVERHEAD)),
+        });
+        for i in 0..8 {
+            let k = Key::from(format!("k-{i}"));
+            s.write_latest(&k, ts(i as u64 + 1, 0), Value::from("x".repeat(20)));
+        }
+        assert!(
+            s.stats().evictions >= 3,
+            "evictions: {}",
+            s.stats().evictions
+        );
+        assert!(s.payload_bytes() <= 4 * (3 + 20 + 32 + ROW_OVERHEAD) + ROW_OVERHEAD);
+        // Recently written keys survive; the earliest are gone.
+        assert!(s.contains(&Key::from("k-7")));
+        assert!(!s.contains(&Key::from("k-0")));
+    }
+
+    #[test]
+    fn get_refreshes_lru_position() {
+        let budget = 3 * (3 + 8 + 32 + ROW_OVERHEAD);
+        let s = MemStore::new(StoreConfig {
+            shards: 1,
+            memory_budget: Some(budget),
+        });
+        for i in 0..3 {
+            s.write_latest(
+                &Key::from(format!("k-{i}")),
+                ts(i as u64 + 1, 0),
+                Value::from("12345678"),
+            );
+        }
+        // Touch k-0 so k-1 becomes the LRU victim.
+        assert!(s.read_latest(&Key::from("k-0")).is_some());
+        s.write_latest(&Key::from("k-3"), ts(10, 0), Value::from("12345678"));
+        assert!(s.contains(&Key::from("k-0")), "refreshed row survives");
+        assert!(!s.contains(&Key::from("k-1")), "true LRU victim evicted");
+    }
+
+    #[test]
+    fn monitored_rows_are_not_evicted() {
+        let budget = 2 * (3 + 8 + 32 + ROW_OVERHEAD);
+        let s = MemStore::new(StoreConfig {
+            shards: 1,
+            memory_budget: Some(budget),
+        });
+        let hot = Key::from("hot");
+        s.write_latest(&hot, ts(1, 0), Value::from("12345678"));
+        s.add_monitor(&hot, 7);
+        // Flood with more rows than the budget allows.
+        for i in 0..10 {
+            s.write_latest(
+                &Key::from(format!("f-{i}")),
+                ts(i as u64 + 2, 0),
+                Value::from("12345678"),
+            );
+        }
+        assert!(s.contains(&hot), "monitored row must survive pressure");
+    }
+
+    #[test]
+    fn scan_dirty_collects_old_and_new_then_clears() {
+        let s = store();
+        let k = Key::from("watched");
+        s.add_monitor(&k, 3);
+        s.write_latest(&k, ts(1, 0), Value::from("v1"));
+        let recs = s.scan_dirty();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].key, k);
+        assert!(recs[0].old.is_empty());
+        assert_eq!(recs[0].new[0].value, Value::from("v1"));
+        assert_eq!(recs[0].monitors, vec![3]);
+        assert!(s.scan_dirty().is_empty(), "dirty cleared after scan");
+        // Next write snapshots the previous value.
+        s.write_latest(&k, ts(2, 0), Value::from("v2"));
+        let recs = s.scan_dirty();
+        assert_eq!(recs[0].old[0].value, Value::from("v1"));
+        assert_eq!(recs[0].new[0].value, Value::from("v2"));
+    }
+
+    #[test]
+    fn partitioned_scans_are_disjoint_and_complete() {
+        let s = MemStore::new(StoreConfig {
+            shards: 8,
+            memory_budget: None,
+        });
+        for i in 0..100 {
+            s.write_latest(&Key::from(format!("k{i}")), ts(i + 1, 0), Value::from("v"));
+        }
+        let parts = 3;
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..parts {
+            for rec in s.scan_dirty_partition(p, parts) {
+                assert!(seen.insert(rec.key.clone()), "{:?} scanned twice", rec.key);
+            }
+        }
+        assert_eq!(seen.len(), 100, "every dirty row scanned exactly once");
+        assert!(s.scan_dirty().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid partition")]
+    fn scan_partition_bounds_checked() {
+        let s = MemStore::new(StoreConfig::default());
+        s.scan_dirty_partition(3, 3);
+    }
+
+    #[test]
+    fn monitor_add_remove() {
+        let s = store();
+        let k = Key::from("m");
+        s.add_monitor(&k, 1);
+        s.add_monitor(&k, 1); // duplicate ignored
+        s.add_monitor(&k, 2);
+        s.write_latest(&k, ts(1, 0), Value::from("x"));
+        let recs = s.scan_dirty();
+        assert_eq!(recs[0].monitors, vec![1, 2]);
+        s.remove_monitor(&k, 1);
+        s.write_latest(&k, ts(2, 0), Value::from("y"));
+        let recs = s.scan_dirty();
+        assert_eq!(recs[0].monitors, vec![2]);
+    }
+
+    #[test]
+    fn monitored_but_empty_row_is_not_readable() {
+        let s = store();
+        let k = Key::from("ghost");
+        s.add_monitor(&k, 9);
+        assert!(!s.contains(&k));
+        assert!(s.read_latest(&k).is_none());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn merge_versions_repairs_without_dirtying() {
+        let s = store();
+        let k = Key::from("rep");
+        s.write_all(&k, ts(5, 1), Value::from("mine"));
+        s.scan_dirty();
+        let incoming = vec![
+            VersionedValue {
+                ts: ts(9, 2),
+                value: Value::from("theirs"),
+            },
+            VersionedValue {
+                ts: ts(1, 1),
+                value: Value::from("stale"),
+            },
+        ];
+        assert!(s.merge_versions(&k, &incoming));
+        assert!(!s.merge_versions(&k, &incoming), "idempotent");
+        assert!(s.scan_dirty().is_empty(), "repair fires no triggers");
+        let list = s.read_all(&k).unwrap();
+        assert_eq!(list.len(), 2);
+        assert_eq!(s.read_latest(&k).unwrap().value, Value::from("theirs"));
+    }
+
+    #[test]
+    fn collect_and_remove_matching() {
+        let s = store();
+        for i in 0..10 {
+            s.write_latest(
+                &Key::from(format!("a-{i}")),
+                ts(i as u64 + 1, 0),
+                Value::from("x"),
+            );
+        }
+        let picked = s.collect_matching(|k| k.as_bytes().ends_with(b"3"));
+        assert_eq!(picked.len(), 1);
+        let removed = s.remove_matching(|k| k.as_bytes()[2] % 2 == 0);
+        assert_eq!(removed, 5);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn for_each_visits_every_row() {
+        let s = store();
+        for i in 0..20 {
+            s.write_latest(
+                &Key::from(format!("k{i}")),
+                ts(i as u64 + 1, 0),
+                Value::from("v"),
+            );
+        }
+        let mut n = 0;
+        s.for_each(|_, versions| {
+            assert_eq!(versions.len(), 1);
+            n += 1;
+        });
+        assert_eq!(n, 20);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_agree_on_lww() {
+        use std::sync::Arc;
+        let s = Arc::new(MemStore::new(StoreConfig {
+            shards: 8,
+            memory_budget: None,
+        }));
+        let key = Key::from("contended");
+        let mut handles = Vec::new();
+        for origin in 0..4u32 {
+            let s = Arc::clone(&s);
+            let key = key.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    s.write_latest(&key, ts(i, origin), Value::from(format!("{origin}-{i}")));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // The winner must be the globally max timestamp: micros 999, the
+        // highest origin that wrote it (origin 3).
+        let v = s.read_latest(&key).unwrap();
+        assert_eq!(v.ts, ts(999, 3));
+        assert_eq!(v.value, Value::from("3-999"));
+    }
+
+    #[test]
+    fn concurrent_write_all_keeps_all_sources() {
+        use std::sync::Arc;
+        let s = Arc::new(MemStore::new(StoreConfig {
+            shards: 8,
+            memory_budget: None,
+        }));
+        let key = Key::from("list");
+        let mut handles = Vec::new();
+        for origin in 0..8u32 {
+            let s = Arc::clone(&s);
+            let key = key.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    s.write_all(&key, ts(i, origin), Value::from(format!("{i}")));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let list = s.read_all(&key).unwrap();
+        assert_eq!(list.len(), 8, "one element per source");
+        for v in list {
+            assert_eq!(v.ts.micros, 199, "each source's newest element wins");
+        }
+    }
+}

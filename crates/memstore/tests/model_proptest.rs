@@ -1,0 +1,220 @@
+//! Property-based tests: the sharded store must behave exactly like a
+//! simple single-threaded reference model for any interleaving of
+//! `write_latest` / `write_all` / `read_*` / `remove` / `merge`.
+
+use proptest::prelude::*;
+use sedna_common::{Key, NodeId, Timestamp, Value};
+use sedna_memstore::{MemStore, StoreConfig, VersionedValue, WriteOutcome};
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    WriteLatest { key: u8, micros: u64, origin: u8 },
+    WriteAll { key: u8, micros: u64, origin: u8 },
+    ReadLatest { key: u8 },
+    ReadAll { key: u8 },
+    Remove { key: u8 },
+    Merge { key: u8, micros: u64, origin: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, 0u64..32, 0u8..4).prop_map(|(key, micros, origin)| Op::WriteLatest {
+            key,
+            micros,
+            origin
+        }),
+        (0u8..8, 0u64..32, 0u8..4).prop_map(|(key, micros, origin)| Op::WriteAll {
+            key,
+            micros,
+            origin
+        }),
+        (0u8..8).prop_map(|key| Op::ReadLatest { key }),
+        (0u8..8).prop_map(|key| Op::ReadAll { key }),
+        (0u8..8).prop_map(|key| Op::Remove { key }),
+        (0u8..8, 0u64..32, 0u8..4).prop_map(|(key, micros, origin)| Op::Merge {
+            key,
+            micros,
+            origin
+        }),
+    ]
+}
+
+/// Single-threaded reference semantics of a Sedna row.
+#[derive(Default)]
+struct Model {
+    rows: HashMap<u8, Vec<VersionedValue>>,
+}
+
+impl Model {
+    fn write_latest(&mut self, key: u8, ts: Timestamp, value: Value) -> WriteOutcome {
+        let row = self.rows.entry(key).or_default();
+        let cur = row.iter().map(|v| v.ts).max().unwrap_or(Timestamp::ZERO);
+        if ts < cur {
+            WriteOutcome::Outdated
+        } else if ts == cur && !row.is_empty() {
+            WriteOutcome::Ok
+        } else {
+            row.clear();
+            row.push(VersionedValue { ts, value });
+            WriteOutcome::Ok
+        }
+    }
+
+    fn write_all(&mut self, key: u8, ts: Timestamp, value: Value) -> WriteOutcome {
+        let row = self.rows.entry(key).or_default();
+        match row.iter_mut().find(|v| v.ts.origin == ts.origin) {
+            Some(slot) => {
+                if ts < slot.ts {
+                    WriteOutcome::Outdated
+                } else if ts == slot.ts {
+                    WriteOutcome::Ok
+                } else {
+                    slot.ts = ts;
+                    slot.value = value;
+                    WriteOutcome::Ok
+                }
+            }
+            None => {
+                row.push(VersionedValue { ts, value });
+                WriteOutcome::Ok
+            }
+        }
+    }
+
+    fn merge(&mut self, key: u8, incoming: &[VersionedValue]) {
+        let row = self.rows.entry(key).or_default();
+        for inc in incoming {
+            match row.iter_mut().find(|v| v.ts.origin == inc.ts.origin) {
+                Some(slot) => {
+                    if inc.ts > slot.ts {
+                        *slot = inc.clone();
+                    }
+                }
+                None => row.push(inc.clone()),
+            }
+        }
+    }
+
+    fn read_latest(&self, key: u8) -> Option<VersionedValue> {
+        self.rows
+            .get(&key)
+            .filter(|r| !r.is_empty())
+            .and_then(|r| r.iter().max_by_key(|v| v.ts).cloned())
+    }
+
+    fn read_all(&self, key: u8) -> Option<Vec<VersionedValue>> {
+        self.rows.get(&key).filter(|r| !r.is_empty()).cloned()
+    }
+
+    fn remove(&mut self, key: u8) -> bool {
+        self.rows.remove(&key).is_some_and(|r| !r.is_empty())
+    }
+}
+
+fn key_of(id: u8) -> Key {
+    Key::from(format!("key-{id}"))
+}
+
+fn ts(micros: u64, origin: u8) -> Timestamp {
+    Timestamp::new(micros, 0, NodeId(origin as u32))
+}
+
+fn val(micros: u64, origin: u8) -> Value {
+    Value::from(format!("v-{micros}-{origin}"))
+}
+
+fn sorted(mut list: Vec<VersionedValue>) -> Vec<VersionedValue> {
+    list.sort_by_key(|v| v.ts);
+    list
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn store_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let store = MemStore::new(StoreConfig { shards: 4, memory_budget: None });
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::WriteLatest { key, micros, origin } => {
+                    let got = store.write_latest(&key_of(key), ts(micros, origin), val(micros, origin));
+                    let want = model.write_latest(key, ts(micros, origin), val(micros, origin));
+                    prop_assert_eq!(got, want);
+                }
+                Op::WriteAll { key, micros, origin } => {
+                    let got = store.write_all(&key_of(key), ts(micros, origin), val(micros, origin));
+                    let want = model.write_all(key, ts(micros, origin), val(micros, origin));
+                    prop_assert_eq!(got, want);
+                }
+                Op::ReadLatest { key } => {
+                    prop_assert_eq!(store.read_latest(&key_of(key)), model.read_latest(key));
+                }
+                Op::ReadAll { key } => {
+                    let got = store.read_all(&key_of(key)).map(sorted);
+                    let want = model.read_all(key).map(sorted);
+                    prop_assert_eq!(got, want);
+                }
+                Op::Remove { key } => {
+                    let got = store.remove(&key_of(key)).is_some_and(|r| !r.is_empty());
+                    let want = model.remove(key);
+                    prop_assert_eq!(got, want);
+                }
+                Op::Merge { key, micros, origin } => {
+                    let incoming = vec![VersionedValue { ts: ts(micros, origin), value: val(micros, origin) }];
+                    store.merge_versions(&key_of(key), &incoming);
+                    model.merge(key, &incoming);
+                }
+            }
+        }
+        // Final state agreement on every key.
+        for key in 0..8u8 {
+            let got = store.read_all(&key_of(key)).map(sorted);
+            let want = model.read_all(key).map(sorted);
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn payload_accounting_never_negative_and_len_consistent(
+        ops in proptest::collection::vec(op_strategy(), 1..100)
+    ) {
+        let store = MemStore::new(StoreConfig { shards: 2, memory_budget: None });
+        for op in ops {
+            match op {
+                Op::WriteLatest { key, micros, origin } => {
+                    store.write_latest(&key_of(key), ts(micros, origin), val(micros, origin));
+                }
+                Op::WriteAll { key, micros, origin } => {
+                    store.write_all(&key_of(key), ts(micros, origin), val(micros, origin));
+                }
+                Op::Remove { key } => {
+                    store.remove(&key_of(key));
+                }
+                _ => {}
+            }
+            // len() counts only rows with data; payload covers each of them.
+            let len = store.len();
+            if len == 0 {
+                prop_assert_eq!(store.payload_bytes(), 0);
+            } else {
+                prop_assert!(store.payload_bytes() >= len * 32);
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_keeps_store_within_budget(
+        keys in proptest::collection::vec(0u8..32, 10..100),
+    ) {
+        let budget = 1_500usize;
+        let store = MemStore::new(StoreConfig { shards: 1, memory_budget: Some(budget) });
+        for (i, key) in keys.iter().enumerate() {
+            store.write_latest(&key_of(*key), ts(i as u64 + 1, 0), Value::from("x".repeat(40)));
+            // One oversized row may transiently exceed; bound is budget plus
+            // one row's worth of slack.
+            prop_assert!(store.payload_bytes() <= budget + 200);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! The network link model used by the discrete-event simulator.
+//!
+//! The paper's testbed: "All machines are connected with a single gigabit
+//! Ethernet link … the round-trip time between any pair of machines was less
+//! than a millisecond" (Sec. VI-A). [`LinkModel::gigabit_lan`] encodes that:
+//! one-way base latency 100 µs (plus exponential jitter), 125 MB/s
+//! bandwidth, no loss. Experiments that need loss or asymmetry configure the
+//! fields directly.
+
+use sedna_common::rng::Xoshiro256;
+use sedna_common::time::Micros;
+
+/// Per-message delivery model: `latency = base + size/bandwidth + jitter`,
+/// with an independent drop probability.
+#[derive(Clone, Debug)]
+pub struct LinkModel {
+    /// Fixed one-way propagation + switching delay, µs.
+    pub base_latency_micros: Micros,
+    /// Mean of the exponential jitter term, µs. Zero disables jitter.
+    pub jitter_mean_micros: f64,
+    /// Link bandwidth in bytes per microsecond (1 GbE ≈ 125 B/µs).
+    pub bandwidth_bytes_per_micros: f64,
+    /// Probability that a message is silently lost.
+    pub drop_probability: f64,
+}
+
+impl LinkModel {
+    /// The paper's testbed: gigabit Ethernet, sub-millisecond RTT, lossless.
+    pub fn gigabit_lan() -> Self {
+        LinkModel {
+            base_latency_micros: 100,
+            jitter_mean_micros: 20.0,
+            bandwidth_bytes_per_micros: 125.0,
+            drop_probability: 0.0,
+        }
+    }
+
+    /// An idealized zero-latency, infinite-bandwidth link. Useful in unit
+    /// tests where protocol logic, not timing, is under test.
+    pub fn instant() -> Self {
+        LinkModel {
+            base_latency_micros: 0,
+            jitter_mean_micros: 0.0,
+            bandwidth_bytes_per_micros: f64::INFINITY,
+            drop_probability: 0.0,
+        }
+    }
+
+    /// A lossy LAN for failure-handling tests.
+    pub fn lossy_lan(drop_probability: f64) -> Self {
+        LinkModel {
+            drop_probability,
+            ..LinkModel::gigabit_lan()
+        }
+    }
+
+    /// Samples the one-way delivery latency for a message of `size` bytes.
+    pub fn sample_latency(&self, size: usize, rng: &mut Xoshiro256) -> Micros {
+        let transmit = if self.bandwidth_bytes_per_micros.is_finite() {
+            (size as f64 / self.bandwidth_bytes_per_micros).ceil() as Micros
+        } else {
+            0
+        };
+        let jitter = if self.jitter_mean_micros > 0.0 {
+            rng.next_exp(self.jitter_mean_micros) as Micros
+        } else {
+            0
+        };
+        self.base_latency_micros + transmit + jitter
+    }
+
+    /// Samples whether a message is dropped.
+    pub fn sample_drop(&self, rng: &mut Xoshiro256) -> bool {
+        rng.chance(self.drop_probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_link_is_zero_cost() {
+        let m = LinkModel::instant();
+        let mut rng = Xoshiro256::seeded(1);
+        assert_eq!(m.sample_latency(1_000_000, &mut rng), 0);
+        assert!(!m.sample_drop(&mut rng));
+    }
+
+    #[test]
+    fn gigabit_rtt_is_sub_millisecond() {
+        // The paper reports RTT < 1 ms; our model's typical small-message
+        // one-way latency must keep an RTT comfortably under that.
+        let m = LinkModel::gigabit_lan();
+        let mut rng = Xoshiro256::seeded(2);
+        let mut total = 0u64;
+        for _ in 0..1_000 {
+            total += m.sample_latency(64, &mut rng);
+        }
+        let mean_one_way = total as f64 / 1_000.0;
+        assert!(
+            (100.0..400.0).contains(&mean_one_way),
+            "mean one-way {mean_one_way}µs"
+        );
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_size() {
+        let mut m = LinkModel::gigabit_lan();
+        m.jitter_mean_micros = 0.0;
+        let mut rng = Xoshiro256::seeded(3);
+        let small = m.sample_latency(125, &mut rng);
+        let large = m.sample_latency(125_000, &mut rng);
+        assert_eq!(small, 100 + 1);
+        assert_eq!(large, 100 + 1_000, "1000x bytes => 1000x transmit time");
+    }
+
+    #[test]
+    fn drop_probability_respected() {
+        let m = LinkModel::lossy_lan(0.5);
+        let mut rng = Xoshiro256::seeded(4);
+        let drops = (0..10_000).filter(|_| m.sample_drop(&mut rng)).count();
+        assert!((4_500..5_500).contains(&drops), "{drops} drops at p=0.5");
+    }
+}

@@ -1,0 +1,914 @@
+//! The deterministic discrete-event simulator.
+//!
+//! A [`Sim`] owns a set of actors, a virtual clock, an event heap, and a
+//! [`LinkModel`]. Given the same seed, actor set and external inputs, a run
+//! is reproducible bit-for-bit — which is what lets the benchmark harness
+//! regenerate the paper's figures as stable numbers instead of noisy
+//! wall-clock measurements.
+//!
+//! # Time model
+//!
+//! * A message sent at `t` arrives at `t + link latency` (base + size /
+//!   bandwidth + exponential jitter).
+//! * Each actor is a single-server CPU queue: handling starts at
+//!   `max(arrival, cpu_free)` and occupies the CPU for
+//!   [`Actor::service_micros`]. Outbound effects are timestamped at service
+//!   *completion*. This is what produces realistic queueing contention when
+//!   many clients hammer one server (the paper's Fig. 8).
+//! * Timers fire at `max(deadline, cpu_free)` and are not charged CPU.
+//!
+//! # Fault injection
+//!
+//! Actors can be marked down ([`Sim::set_down`]) — messages to or from them
+//! are lost and their timers stop — and pairs or groups of actors can be
+//! partitioned ([`Sim::partition_pair`], [`Sim::partition_groups`]).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use sedna_common::rng::Xoshiro256;
+use sedna_common::time::Micros;
+
+use crate::actor::{Actor, ActorId, Ctx, Effects, MessageSize, TimerOp, TimerToken};
+use crate::link::LinkModel;
+use crate::stats::NetStats;
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Master seed; every random stream in the run derives from it.
+    pub seed: u64,
+    /// Link model applied to every actor pair.
+    pub link: LinkModel,
+    /// CPU cost charged to the *sender* per outbound message (syscall /
+    /// packet-assembly cost). Successive sends from one callback serialize:
+    /// the second of three parallel fan-out messages departs one overhead
+    /// later than the first. Zero (the default) disables the effect.
+    pub send_overhead_micros: Micros,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0x5_ED_AA, // "SEDNA"
+            link: LinkModel::gigabit_lan(),
+            send_overhead_micros: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver {
+        from: ActorId,
+        to: ActorId,
+        msg: M,
+    },
+    Timer {
+        actor: ActorId,
+        token: TimerToken,
+        gen: u64,
+    },
+}
+
+struct Event<M> {
+    time: Micros,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+// Ordering for the min-heap: earliest time first, then insertion order.
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The discrete-event simulator. `M` is the shared message type.
+pub struct Sim<M: MessageSize + Send + 'static> {
+    config: SimConfig,
+    actors: Vec<Box<dyn Actor<Msg = M>>>,
+    actor_rngs: Vec<Xoshiro256>,
+    link_rng: Xoshiro256,
+    now: Micros,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event<M>>>,
+    /// Per-actor CPU availability (single-server queue).
+    cpu_free: Vec<Micros>,
+    /// CPU assignment: actors sharing an entry contend for one CPU
+    /// (modelling colocated processes, e.g. the paper's load clients
+    /// running on the storage servers themselves).
+    cpu_of: Vec<usize>,
+    /// Active timer generations; a heap entry fires only when its generation
+    /// is still current, which implements re-arm-replaces and cancel.
+    timer_gens: HashMap<(ActorId, TimerToken), u64>,
+    timer_gen_counter: u64,
+    down: HashSet<ActorId>,
+    partitions: HashSet<(ActorId, ActorId)>,
+    stats: NetStats,
+    /// Messages addressed to [`ActorId::EXTERNAL`].
+    external_outbox: Vec<(ActorId, M)>,
+    started: bool,
+    halted: bool,
+    scratch: Effects<M>,
+}
+
+impl<M: MessageSize + Send + 'static> Sim<M> {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        let mut master = Xoshiro256::seeded(config.seed);
+        let link_rng = master.split();
+        Sim {
+            config,
+            actors: Vec::new(),
+            actor_rngs: Vec::new(),
+            link_rng,
+            now: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            cpu_free: Vec::new(),
+            cpu_of: Vec::new(),
+            timer_gens: HashMap::new(),
+            timer_gen_counter: 0,
+            down: HashSet::new(),
+            partitions: HashSet::new(),
+            stats: NetStats::default(),
+            external_outbox: Vec::new(),
+            started: false,
+            halted: false,
+            scratch: Effects::default(),
+        }
+    }
+
+    /// Registers an actor; ids are assigned densely in registration order.
+    ///
+    /// Actors may also join a *running* simulation (a client arriving, a
+    /// server being provisioned): their `on_start` runs immediately at the
+    /// current virtual time.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<Msg = M>>) -> ActorId {
+        let id = ActorId(self.actors.len() as u32);
+        self.actors.push(actor);
+        // Derive the per-actor stream from the seed and the actor index so
+        // registration order is the only thing that matters.
+        self.actor_rngs.push(Xoshiro256::seeded(
+            self.config.seed ^ (0x9E37 + id.0 as u64 * 0x1_0001),
+        ));
+        self.cpu_free.push(0);
+        self.cpu_of.push(id.index());
+        if self.started {
+            self.run_callback(id, |actor, ctx| actor.on_start(ctx));
+        }
+        id
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current virtual time, µs.
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// True once an actor has requested a halt.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Immutable access to a concrete actor for inspection.
+    pub fn actor_ref<T: Actor<Msg = M> + 'static>(&self, id: ActorId) -> Option<&T> {
+        self.actors.get(id.index())?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable access to a concrete actor (e.g. to reconfigure between
+    /// phases of an experiment).
+    pub fn actor_mut<T: Actor<Msg = M> + 'static>(&mut self, id: ActorId) -> Option<&mut T> {
+        self.actors
+            .get_mut(id.index())?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Makes `actor` share `host`'s CPU: their service times and send
+    /// overheads queue on one core, the way a load client colocated on a
+    /// storage server contends with it.
+    pub fn share_cpu(&mut self, actor: ActorId, host: ActorId) {
+        let host_cpu = self.cpu_of[host.index()];
+        self.cpu_of[actor.index()] = host_cpu;
+    }
+
+    /// Marks an actor down (messages to/from it are lost, timers stop) or
+    /// back up. Bringing an actor back up does *not* re-run `on_start`; use
+    /// [`Sim::restart`] for that.
+    pub fn set_down(&mut self, id: ActorId, down: bool) {
+        if down {
+            self.down.insert(id);
+            // Invalidate all pending timers for the actor.
+            self.timer_gens.retain(|(a, _), _| *a != id);
+        } else {
+            self.down.remove(&id);
+        }
+    }
+
+    /// True when the actor is currently marked down.
+    pub fn is_down(&self, id: ActorId) -> bool {
+        self.down.contains(&id)
+    }
+
+    /// Brings an actor back up and re-runs its `on_start` (fresh timers).
+    pub fn restart(&mut self, id: ActorId) {
+        self.set_down(id, false);
+        self.run_callback(id, |actor, ctx| actor.on_start(ctx));
+    }
+
+    /// Blocks message delivery between `a` and `b` (both directions).
+    pub fn partition_pair(&mut self, a: ActorId, b: ActorId) {
+        self.partitions.insert(ordered(a, b));
+    }
+
+    /// Restores message delivery between `a` and `b`.
+    pub fn heal_pair(&mut self, a: ActorId, b: ActorId) {
+        self.partitions.remove(&ordered(a, b));
+    }
+
+    /// Partitions every actor in `left` from every actor in `right`.
+    pub fn partition_groups(&mut self, left: &[ActorId], right: &[ActorId]) {
+        for &a in left {
+            for &b in right {
+                self.partition_pair(a, b);
+            }
+        }
+    }
+
+    /// Removes all partitions.
+    pub fn heal_all(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// Injects a message from the outside world, delivered through the
+    /// normal link model.
+    pub fn send_external(&mut self, to: ActorId, msg: M) {
+        let bytes = msg.size_bytes();
+        self.stats.record_send(bytes);
+        if self.down.contains(&to) || self.link_sample_drop() {
+            self.stats.record_drop();
+            return;
+        }
+        let latency = self.config.link.sample_latency(bytes, &mut self.link_rng);
+        self.schedule(
+            self.now + latency,
+            EventKind::Deliver {
+                from: ActorId::EXTERNAL,
+                to,
+                msg,
+            },
+        );
+    }
+
+    /// Drains messages that actors addressed to [`ActorId::EXTERNAL`].
+    pub fn take_external(&mut self) -> Vec<(ActorId, M)> {
+        std::mem::take(&mut self.external_outbox)
+    }
+
+    /// Runs `on_start` for all actors. Idempotent; `run_*` calls it lazily.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.actors.len() {
+            let id = ActorId(i as u32);
+            if !self.down.contains(&id) {
+                self.run_callback(id, |actor, ctx| actor.on_start(ctx));
+            }
+        }
+    }
+
+    /// Processes events until the queue is empty, an actor halts, or
+    /// `max_events` is exceeded (guard against livelock; panics if hit).
+    pub fn run_until_idle(&mut self, max_events: u64) {
+        self.start();
+        let mut processed = 0;
+        while !self.halted && self.step() {
+            processed += 1;
+            assert!(
+                processed <= max_events,
+                "simulation exceeded {max_events} events — livelock?"
+            );
+        }
+    }
+
+    /// Processes events with `time <= deadline`; the clock ends at
+    /// `deadline` even if the queue drains early.
+    pub fn run_until(&mut self, deadline: Micros) {
+        self.start();
+        while !self.halted {
+            match self.events.peek() {
+                Some(Reverse(ev)) if ev.time <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Pops and processes a single event. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        let Some(Reverse(ev)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        match ev.kind {
+            EventKind::Deliver { from, to, msg } => {
+                if self.down.contains(&to) || to.index() >= self.actors.len() {
+                    self.stats.record_drop();
+                    return true;
+                }
+                self.stats.record_delivery(to);
+                // Single-server CPU queue: start when the CPU is free.
+                let cpu = self.cpu_of[to.index()];
+                let start = self.now.max(self.cpu_free[cpu]);
+                let service = self.actors[to.index()].service_micros(&msg);
+                let done = start + service;
+                self.cpu_free[cpu] = done;
+                self.run_callback_at(to, done, |actor, ctx| actor.on_message(from, msg, ctx));
+            }
+            EventKind::Timer { actor, token, gen } => {
+                if self.timer_gens.get(&(actor, token)) != Some(&gen) {
+                    return true; // re-armed or cancelled since scheduling
+                }
+                self.timer_gens.remove(&(actor, token));
+                if self.down.contains(&actor) {
+                    return true;
+                }
+                self.stats.timers_fired += 1;
+                let start = self.now.max(self.cpu_free[self.cpu_of[actor.index()]]);
+                self.run_callback_at(actor, start, |a, ctx| a.on_timer(token, ctx));
+            }
+        }
+        true
+    }
+
+    fn run_callback(
+        &mut self,
+        id: ActorId,
+        f: impl FnOnce(&mut dyn Actor<Msg = M>, &mut Ctx<'_, M>),
+    ) {
+        self.run_callback_at(id, self.now, f);
+    }
+
+    fn run_callback_at(
+        &mut self,
+        id: ActorId,
+        at: Micros,
+        f: impl FnOnce(&mut dyn Actor<Msg = M>, &mut Ctx<'_, M>),
+    ) {
+        let mut effects = std::mem::take(&mut self.scratch);
+        effects.clear();
+        {
+            let rng = &mut self.actor_rngs[id.index()];
+            let mut ctx = Ctx::new(at, id, rng, &mut effects);
+            f(self.actors[id.index()].as_mut(), &mut ctx);
+        }
+        self.apply_effects(id, at, &mut effects);
+        self.scratch = effects;
+    }
+
+    fn apply_effects(&mut self, id: ActorId, at: Micros, effects: &mut Effects<M>) {
+        for (to, msg) in effects.sends.drain(..) {
+            let bytes = msg.size_bytes();
+            self.stats.record_send(bytes);
+            // Sender-side per-packet cost: sends serialize on the sender's
+            // CPU, and the CPU stays busy until the last send completes.
+            let depart = if self.config.send_overhead_micros > 0 {
+                let cpu = self.cpu_of[id.index()];
+                let busy = self.cpu_free[cpu].max(at) + self.config.send_overhead_micros;
+                self.cpu_free[cpu] = busy;
+                busy
+            } else {
+                at
+            };
+            if to == ActorId::EXTERNAL {
+                self.external_outbox.push((id, msg));
+                continue;
+            }
+            if self.down.contains(&id)
+                || self.down.contains(&to)
+                || self.partitions.contains(&ordered(id, to))
+                || self.link_sample_drop()
+            {
+                self.stats.record_drop();
+                continue;
+            }
+            let latency = self.config.link.sample_latency(bytes, &mut self.link_rng);
+            self.schedule(depart + latency, EventKind::Deliver { from: id, to, msg });
+        }
+        for op in effects.timer_ops.drain(..) {
+            match op {
+                TimerOp::Cancel(token) => {
+                    self.timer_gens.remove(&(id, token));
+                }
+                TimerOp::Set(token, delay) => {
+                    self.timer_gen_counter += 1;
+                    let gen = self.timer_gen_counter;
+                    self.timer_gens.insert((id, token), gen);
+                    self.schedule(
+                        at + delay,
+                        EventKind::Timer {
+                            actor: id,
+                            token,
+                            gen,
+                        },
+                    );
+                }
+            }
+        }
+        if effects.halt {
+            self.halted = true;
+        }
+    }
+
+    fn schedule(&mut self, time: Micros, kind: EventKind<M>) {
+        self.seq += 1;
+        self.events.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn link_sample_drop(&mut self) -> bool {
+        self.config.link.sample_drop(&mut self.link_rng)
+    }
+}
+
+#[inline]
+fn ordered(a: ActorId, b: ActorId) -> (ActorId, ActorId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u64),
+        Pong(u64),
+    }
+    impl MessageSize for Msg {}
+
+    /// Replies to every ping with a pong after `service` µs of CPU.
+    struct Server {
+        service: Micros,
+        handled: u64,
+    }
+    impl Actor for Server {
+        type Msg = Msg;
+        fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+            if let Msg::Ping(n) = msg {
+                self.handled += 1;
+                ctx.send(from, Msg::Pong(n));
+            }
+        }
+        fn service_micros(&self, _msg: &Msg) -> Micros {
+            self.service
+        }
+    }
+
+    /// Sends `total` pings closed-loop and records the completion time.
+    struct Client {
+        server: ActorId,
+        total: u64,
+        sent: u64,
+        done_at: Option<Micros>,
+    }
+    impl Actor for Client {
+        type Msg = Msg;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            self.sent = 1;
+            ctx.send(self.server, Msg::Ping(1));
+        }
+        fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+            if let Msg::Pong(_) = msg {
+                if self.sent < self.total {
+                    self.sent += 1;
+                    ctx.send(self.server, Msg::Ping(self.sent));
+                } else {
+                    self.done_at = Some(ctx.now());
+                }
+            }
+        }
+    }
+
+    fn build(
+        clients: usize,
+        service: Micros,
+        ops_per_client: u64,
+        seed: u64,
+    ) -> (Sim<Msg>, ActorId, Vec<ActorId>) {
+        let mut sim = Sim::new(SimConfig {
+            seed,
+            link: LinkModel::gigabit_lan(),
+            ..SimConfig::default()
+        });
+        let server = sim.add_actor(Box::new(Server {
+            service,
+            handled: 0,
+        }));
+        let ids = (0..clients)
+            .map(|_| {
+                sim.add_actor(Box::new(Client {
+                    server,
+                    total: ops_per_client,
+                    sent: 0,
+                    done_at: None,
+                }))
+            })
+            .collect();
+        (sim, server, ids)
+    }
+
+    #[test]
+    fn ping_pong_completes_and_is_deterministic() {
+        let run = |seed| {
+            let (mut sim, server, clients) = build(1, 10, 100, seed);
+            sim.run_until_idle(1_000_000);
+            let done = sim
+                .actor_ref::<Client>(clients[0])
+                .unwrap()
+                .done_at
+                .unwrap();
+            let handled = sim.actor_ref::<Server>(server).unwrap().handled;
+            (done, handled)
+        };
+        let (d1, h1) = run(7);
+        let (d2, h2) = run(7);
+        assert_eq!((d1, h1), (d2, h2), "same seed, same result");
+        assert_eq!(h1, 100);
+        // 100 closed-loop RTTs at ~2 * (100µs + jitter) each.
+        assert!(d1 > 20_000 && d1 < 60_000, "completion at {d1}µs");
+    }
+
+    #[test]
+    fn cpu_queue_creates_contention() {
+        // One client vs nine clients, same per-client op count, hefty service
+        // time: per-client completion must be slower with nine (Fig. 8 shape).
+        let ops = 200;
+        let (mut sim1, _, c1) = build(1, 50, ops, 3);
+        sim1.run_until_idle(10_000_000);
+        let t1 = sim1.actor_ref::<Client>(c1[0]).unwrap().done_at.unwrap();
+
+        let (mut sim9, server, c9) = build(9, 50, ops, 3);
+        sim9.run_until_idle(10_000_000);
+        let t9 = c9
+            .iter()
+            .map(|&c| sim9.actor_ref::<Client>(c).unwrap().done_at.unwrap())
+            .max()
+            .unwrap();
+        assert_eq!(sim9.actor_ref::<Server>(server).unwrap().handled, 9 * ops);
+        assert!(
+            t9 > t1,
+            "nine clients ({t9}µs) slower per-client than one ({t1}µs)"
+        );
+        // But aggregate throughput is higher: 9x the ops in < 9x the time.
+        assert!(t9 < t1 * 9, "aggregate throughput must improve");
+    }
+
+    #[test]
+    fn down_actor_drops_messages_and_restart_recovers() {
+        let (mut sim, server, clients) = build(1, 0, 10, 1);
+        sim.set_down(server, true);
+        sim.run_until(1_000_000);
+        assert!(sim
+            .actor_ref::<Client>(clients[0])
+            .unwrap()
+            .done_at
+            .is_none());
+        assert!(sim.stats().messages_dropped > 0);
+        assert!(sim.is_down(server));
+        // Bring the server back and re-kick the client via restart.
+        sim.set_down(server, false);
+        sim.restart(clients[0]);
+        sim.run_until_idle(1_000_000);
+        assert!(sim
+            .actor_ref::<Client>(clients[0])
+            .unwrap()
+            .done_at
+            .is_some());
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_until_healed() {
+        let (mut sim, server, clients) = build(1, 0, 5, 2);
+        sim.partition_pair(server, clients[0]);
+        sim.run_until(500_000);
+        assert!(sim
+            .actor_ref::<Client>(clients[0])
+            .unwrap()
+            .done_at
+            .is_none());
+        sim.heal_all();
+        sim.restart(clients[0]);
+        sim.run_until_idle(1_000_000);
+        assert!(sim
+            .actor_ref::<Client>(clients[0])
+            .unwrap()
+            .done_at
+            .is_some());
+    }
+
+    struct TimerBeater {
+        fires: u32,
+        cancelled_fired: bool,
+    }
+    impl Actor for TimerBeater {
+        type Msg = Msg;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.set_timer(TimerToken(1), 100);
+            ctx.set_timer(TimerToken(2), 50);
+            ctx.cancel_timer(TimerToken(2));
+            // Re-arm replaces: token 3 set twice, only the later fires.
+            ctx.set_timer(TimerToken(3), 10);
+            ctx.set_timer(TimerToken(3), 1_000);
+        }
+        fn on_message(&mut self, _f: ActorId, _m: Msg, _ctx: &mut Ctx<'_, Msg>) {}
+        fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_, Msg>) {
+            match token {
+                TimerToken(1) => {
+                    self.fires += 1;
+                    if self.fires < 3 {
+                        ctx.set_timer(TimerToken(1), 100);
+                    }
+                }
+                TimerToken(2) => self.cancelled_fired = true,
+                TimerToken(3) => {
+                    assert!(ctx.now() >= 1_000, "re-arm must replace earlier deadline");
+                    self.fires += 10;
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn timer_semantics_rearm_and_cancel() {
+        let mut sim: Sim<Msg> = Sim::new(SimConfig {
+            seed: 5,
+            link: LinkModel::instant(),
+            ..SimConfig::default()
+        });
+        let id = sim.add_actor(Box::new(TimerBeater {
+            fires: 0,
+            cancelled_fired: false,
+        }));
+        sim.run_until_idle(10_000);
+        let a = sim.actor_ref::<TimerBeater>(id).unwrap();
+        assert_eq!(a.fires, 3 + 10, "periodic fired 3x, re-armed once");
+        assert!(!a.cancelled_fired);
+        assert_eq!(sim.stats().timers_fired, 4);
+    }
+
+    struct Halter;
+    impl Actor for Halter {
+        type Msg = Msg;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.set_timer(TimerToken(0), 10);
+        }
+        fn on_message(&mut self, _f: ActorId, _m: Msg, _c: &mut Ctx<'_, Msg>) {}
+        fn on_timer(&mut self, _t: TimerToken, ctx: &mut Ctx<'_, Msg>) {
+            ctx.halt();
+            ctx.set_timer(TimerToken(0), 10);
+        }
+    }
+
+    #[test]
+    fn halt_stops_the_run_loop() {
+        let mut sim: Sim<Msg> = Sim::new(SimConfig {
+            seed: 1,
+            link: LinkModel::instant(),
+            ..SimConfig::default()
+        });
+        sim.add_actor(Box::new(Halter));
+        sim.run_until_idle(1_000);
+        assert!(sim.halted());
+        assert_eq!(sim.now(), 10);
+    }
+
+    #[test]
+    fn external_injection_and_outbox() {
+        struct EchoExt;
+        impl Actor for EchoExt {
+            type Msg = Msg;
+            fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+                assert_eq!(from, ActorId::EXTERNAL);
+                ctx.send(ActorId::EXTERNAL, msg);
+            }
+        }
+        let mut sim: Sim<Msg> = Sim::new(SimConfig {
+            seed: 1,
+            link: LinkModel::gigabit_lan(),
+            ..SimConfig::default()
+        });
+        let id = sim.add_actor(Box::new(EchoExt));
+        sim.start();
+        sim.send_external(id, Msg::Ping(42));
+        sim.run_until_idle(100);
+        let out = sim.take_external();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, id);
+        assert_eq!(out[0].1, Msg::Ping(42));
+        assert!(sim.take_external().is_empty(), "outbox drains");
+    }
+
+    #[test]
+    fn lossy_link_drops_messages() {
+        let mut sim: Sim<Msg> = Sim::new(SimConfig {
+            seed: 9,
+            link: LinkModel::lossy_lan(1.0),
+            ..SimConfig::default()
+        });
+        let (server, client);
+        {
+            server = sim.add_actor(Box::new(Server {
+                service: 0,
+                handled: 0,
+            }));
+            client = sim.add_actor(Box::new(Client {
+                server,
+                total: 5,
+                sent: 0,
+                done_at: None,
+            }));
+        }
+        sim.run_until(100_000);
+        assert_eq!(sim.actor_ref::<Server>(server).unwrap().handled, 0);
+        assert!(sim.actor_ref::<Client>(client).unwrap().done_at.is_none());
+        assert!(sim.stats().messages_dropped >= 1);
+    }
+
+    #[test]
+    fn shared_cpu_serializes_colocated_actors() {
+        // Two closed-loop clients, one per server. With separate CPUs the
+        // servers work in parallel; sharing one CPU roughly doubles the
+        // makespan (completion time of the slower client).
+        let run = |share: bool| {
+            let mut sim: Sim<Msg> = Sim::new(SimConfig {
+                seed: 5,
+                link: LinkModel::instant(),
+                ..SimConfig::default()
+            });
+            let s1 = sim.add_actor(Box::new(Server {
+                service: 100,
+                handled: 0,
+            }));
+            let s2 = sim.add_actor(Box::new(Server {
+                service: 100,
+                handled: 0,
+            }));
+            if share {
+                sim.share_cpu(s2, s1);
+            }
+            let c1 = sim.add_actor(Box::new(Client {
+                server: s1,
+                total: 10,
+                sent: 0,
+                done_at: None,
+            }));
+            let c2 = sim.add_actor(Box::new(Client {
+                server: s2,
+                total: 10,
+                sent: 0,
+                done_at: None,
+            }));
+            sim.run_until_idle(100_000);
+            let d1 = sim.actor_ref::<Client>(c1).unwrap().done_at.unwrap();
+            let d2 = sim.actor_ref::<Client>(c2).unwrap().done_at.unwrap();
+            d1.max(d2)
+        };
+        let parallel = run(false);
+        let serial = run(true);
+        assert!(
+            serial as f64 >= parallel as f64 * 1.8,
+            "shared CPU must roughly double the makespan: {parallel} vs {serial}"
+        );
+    }
+
+    #[test]
+    fn send_overhead_charges_the_sender() {
+        struct Burst {
+            to: Vec<ActorId>,
+        }
+        impl Actor for Burst {
+            type Msg = Msg;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                for &t in &self.to {
+                    ctx.send(t, Msg::Ping(0));
+                }
+            }
+            fn on_message(&mut self, _f: ActorId, _m: Msg, _c: &mut Ctx<'_, Msg>) {}
+        }
+        let run = |overhead| {
+            let mut sim: Sim<Msg> = Sim::new(SimConfig {
+                seed: 6,
+                link: LinkModel::instant(),
+                send_overhead_micros: overhead,
+            });
+            let s1 = sim.add_actor(Box::new(Server {
+                service: 0,
+                handled: 0,
+            }));
+            let s2 = sim.add_actor(Box::new(Server {
+                service: 0,
+                handled: 0,
+            }));
+            let s3 = sim.add_actor(Box::new(Server {
+                service: 0,
+                handled: 0,
+            }));
+            sim.add_actor(Box::new(Burst {
+                to: vec![s1, s2, s3],
+            }));
+            sim.run_until_idle(1_000);
+            sim.now()
+        };
+        assert_eq!(run(0), 0, "free sends arrive instantly");
+        // With a 10µs overhead the third ping departs at t=30; the third
+        // server's pong (also overhead-charged) arrives at t=40.
+        assert_eq!(run(10), 40);
+    }
+
+    #[test]
+    fn partition_groups_blocks_cross_group_traffic() {
+        let mut sim: Sim<Msg> = Sim::new(SimConfig {
+            seed: 7,
+            link: LinkModel::instant(),
+            ..SimConfig::default()
+        });
+        let a = sim.add_actor(Box::new(Server {
+            service: 0,
+            handled: 0,
+        }));
+        let b = sim.add_actor(Box::new(Server {
+            service: 0,
+            handled: 0,
+        }));
+        let c = sim.add_actor(Box::new(Client {
+            server: a,
+            total: 3,
+            sent: 0,
+            done_at: None,
+        }));
+        let d = sim.add_actor(Box::new(Client {
+            server: b,
+            total: 3,
+            sent: 0,
+            done_at: None,
+        }));
+        // c can reach a, but d is cut off from b.
+        sim.partition_groups(&[d], &[a, b]);
+        sim.run_until(1_000_000);
+        assert!(sim.actor_ref::<Client>(c).unwrap().done_at.is_some());
+        assert!(sim.actor_ref::<Client>(d).unwrap().done_at.is_none());
+        assert!(sim.stats().delivered_to(a) > 0);
+        assert_eq!(sim.stats().delivered_to(b), 0);
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut sim: Sim<Msg> = Sim::new(SimConfig::default());
+        sim.add_actor(Box::new(Server {
+            service: 0,
+            handled: 0,
+        }));
+        sim.run_until(12_345);
+        assert_eq!(sim.now(), 12_345);
+    }
+}

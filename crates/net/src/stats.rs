@@ -1,0 +1,72 @@
+//! Runtime traffic statistics.
+//!
+//! Used both for assertions in tests (e.g. "the coordination service saw no
+//! data-path traffic") and by the ablation benches — the ZooKeeper
+//! watch-storm experiment is *measured* as a message-count explosion here.
+
+use std::collections::HashMap;
+
+use crate::actor::ActorId;
+
+/// Counters maintained by a runtime.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Messages handed to the transport.
+    pub messages_sent: u64,
+    /// Messages delivered to an actor.
+    pub messages_delivered: u64,
+    /// Messages lost (link drops, partitions, dead destinations).
+    pub messages_dropped: u64,
+    /// Total payload bytes handed to the transport.
+    pub bytes_sent: u64,
+    /// Per-destination delivered-message counts.
+    pub delivered_per_actor: HashMap<ActorId, u64>,
+    /// Timer firings executed.
+    pub timers_fired: u64,
+}
+
+impl NetStats {
+    /// Delivered messages for one actor.
+    pub fn delivered_to(&self, actor: ActorId) -> u64 {
+        self.delivered_per_actor.get(&actor).copied().unwrap_or(0)
+    }
+
+    /// Records a send of `bytes` bytes.
+    pub(crate) fn record_send(&mut self, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+    }
+
+    /// Records a delivery to `to`.
+    pub(crate) fn record_delivery(&mut self, to: ActorId) {
+        self.messages_delivered += 1;
+        *self.delivered_per_actor.entry(to).or_insert(0) += 1;
+    }
+
+    /// Records a dropped message.
+    pub(crate) fn record_drop(&mut self) {
+        self.messages_dropped += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = NetStats::default();
+        s.record_send(100);
+        s.record_send(28);
+        s.record_delivery(ActorId(1));
+        s.record_delivery(ActorId(1));
+        s.record_delivery(ActorId(2));
+        s.record_drop();
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.bytes_sent, 128);
+        assert_eq!(s.messages_delivered, 3);
+        assert_eq!(s.messages_dropped, 1);
+        assert_eq!(s.delivered_to(ActorId(1)), 2);
+        assert_eq!(s.delivered_to(ActorId(9)), 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Length-prefixed binary encoding with CRC-32 framing.
+//!
+//! Deliberately hand-rolled (no serde): the WAL and snapshot formats are
+//! part of the system's crash-safety story, so every byte is explicit and
+//! pinned by tests.
+
+use sedna_common::{NodeId, Timestamp};
+
+/// CRC-32 (IEEE 802.3, reflected), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Incremental encoder over a byte buffer.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Fresh empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Finishes and returns the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a timestamp (16 bytes).
+    pub fn timestamp(&mut self, ts: Timestamp) {
+        self.u64(ts.micros);
+        self.u32(ts.counter);
+        self.u32(ts.origin.0);
+    }
+}
+
+/// Decoding failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError;
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed record")
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Incremental decoder over a byte slice.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// True when fully consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a timestamp.
+    pub fn timestamp(&mut self) -> Result<Timestamp, DecodeError> {
+        let micros = self.u64()?;
+        let counter = self.u32()?;
+        let origin = NodeId(self.u32()?);
+        Ok(Timestamp {
+            micros,
+            counter,
+            origin,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut e = Encoder::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 3);
+        e.bytes(b"payload");
+        e.timestamp(Timestamp::new(123, 45, NodeId(6)));
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.bytes().unwrap(), b"payload");
+        assert_eq!(d.timestamp().unwrap(), Timestamp::new(123, 45, NodeId(6)));
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let mut e = Encoder::new();
+        e.bytes(b"0123456789");
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf[..buf.len() - 1]);
+        assert_eq!(d.bytes(), Err(DecodeError));
+        let mut d2 = Decoder::new(&buf[..2]);
+        assert_eq!(d2.u32(), Err(DecodeError));
+    }
+
+    #[test]
+    fn length_lies_are_caught() {
+        let mut e = Encoder::new();
+        e.u32(1_000_000); // claims a megabyte follows
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.bytes(), Err(DecodeError));
+    }
+}

@@ -1,0 +1,26 @@
+//! Persistency strategies (Table I: "Periodically flush or write-ahead
+//! logs according users' needs").
+//!
+//! Sedna is a memory store; durability is a configurable trade-off:
+//!
+//! * [`PersistMode::None`] — pure cache semantics (replication alone
+//!   protects data, as Sec. III-C argues is usually enough);
+//! * [`PersistMode::Periodic`] — flush a full snapshot of the local store
+//!   every interval ("we can still recover the data from lost by the
+//!   periodic data flushing");
+//! * [`PersistMode::WriteAhead`] — log every accepted write before
+//!   acknowledging, plus periodic snapshots to bound replay.
+//!
+//! The on-disk formats are hand-rolled and CRC-framed ([`codec`]): a
+//! corrupted or torn tail is detected and cleanly ignored on replay, which
+//! the tests exercise by truncating and flipping bytes.
+
+pub mod codec;
+pub mod engine;
+pub mod snapshot;
+pub mod wal;
+
+pub use codec::crc32;
+pub use engine::{PersistEngine, PersistMode};
+pub use snapshot::{load_snapshot, write_snapshot};
+pub use wal::{Wal, WalRecord};

@@ -1,0 +1,309 @@
+//! The write-ahead log.
+//!
+//! Frame layout: `[payload_len: u32][crc32(payload): u32][payload]`.
+//! Replay stops at the first frame whose length or checksum is wrong — a
+//! torn tail from a crash is expected and harmless; everything before it is
+//! intact.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use sedna_common::{Key, SednaError, SednaResult, Timestamp, Value};
+
+use crate::codec::{crc32, Decoder, Encoder};
+
+/// One logged operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A `write_latest` accepted by the local store.
+    WriteLatest {
+        /// Key.
+        key: Key,
+        /// Write timestamp.
+        ts: Timestamp,
+        /// Value.
+        value: Value,
+    },
+    /// A `write_all` accepted by the local store.
+    WriteAll {
+        /// Key.
+        key: Key,
+        /// Write timestamp.
+        ts: Timestamp,
+        /// Value.
+        value: Value,
+    },
+    /// A key removal.
+    Remove {
+        /// Key.
+        key: Key,
+    },
+}
+
+const TAG_LATEST: u8 = 1;
+const TAG_ALL: u8 = 2;
+const TAG_REMOVE: u8 = 3;
+
+impl WalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            WalRecord::WriteLatest { key, ts, value } => {
+                e.u8(TAG_LATEST);
+                e.bytes(key.as_bytes());
+                e.timestamp(*ts);
+                e.bytes(value.as_bytes());
+            }
+            WalRecord::WriteAll { key, ts, value } => {
+                e.u8(TAG_ALL);
+                e.bytes(key.as_bytes());
+                e.timestamp(*ts);
+                e.bytes(value.as_bytes());
+            }
+            WalRecord::Remove { key } => {
+                e.u8(TAG_REMOVE);
+                e.bytes(key.as_bytes());
+            }
+        }
+        e.finish()
+    }
+
+    fn decode(payload: &[u8]) -> Option<WalRecord> {
+        let mut d = Decoder::new(payload);
+        let rec = match d.u8().ok()? {
+            TAG_LATEST => WalRecord::WriteLatest {
+                key: Key::from_bytes(d.bytes().ok()?.to_vec()),
+                ts: d.timestamp().ok()?,
+                value: Value::from_bytes(d.bytes().ok()?.to_vec()),
+            },
+            TAG_ALL => WalRecord::WriteAll {
+                key: Key::from_bytes(d.bytes().ok()?.to_vec()),
+                ts: d.timestamp().ok()?,
+                value: Value::from_bytes(d.bytes().ok()?.to_vec()),
+            },
+            TAG_REMOVE => WalRecord::Remove {
+                key: Key::from_bytes(d.bytes().ok()?.to_vec()),
+            },
+            _ => return None,
+        };
+        d.is_done().then_some(rec)
+    }
+}
+
+/// An append-only write-ahead log.
+pub struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    appended: u64,
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log at `path` for appending.
+    pub fn open(path: impl Into<PathBuf>) -> SednaResult<Self> {
+        let path = path.into();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Wal {
+            path,
+            writer: BufWriter::new(file),
+            appended: 0,
+        })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended through this handle.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Appends one record (buffered; call [`Wal::sync`] to flush).
+    pub fn append(&mut self, record: &WalRecord) -> SednaResult<()> {
+        let payload = record.encode();
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&crc32(&payload).to_le_bytes())?;
+        self.writer.write_all(&payload)?;
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered frames to the OS.
+    pub fn sync(&mut self) -> SednaResult<()> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Truncates the log (after a snapshot made its contents redundant).
+    pub fn truncate(&mut self) -> SednaResult<()> {
+        self.writer.flush()?;
+        let file = OpenOptions::new()
+            .write(true)
+            .truncate(true)
+            .open(&self.path)?;
+        self.writer = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
+        drop(file);
+        Ok(())
+    }
+
+    /// Replays every intact record from a log file. A torn or corrupt tail
+    /// ends the replay without error; a missing file yields zero records.
+    pub fn replay(path: impl AsRef<Path>) -> SednaResult<Vec<WalRecord>> {
+        let mut bytes = Vec::new();
+        match File::open(path.as_ref()) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(SednaError::Io(e)),
+        }
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while pos + 8 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+            let start = pos + 8;
+            let end = start + len;
+            if end > bytes.len() {
+                break; // torn tail
+            }
+            let payload = &bytes[start..end];
+            if crc32(payload) != crc {
+                break; // corrupt frame: stop trusting the rest
+            }
+            match WalRecord::decode(payload) {
+                Some(r) => records.push(r),
+                None => break,
+            }
+            pos = end;
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedna_common::NodeId;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sedna-wal-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn rec(i: u64) -> WalRecord {
+        WalRecord::WriteLatest {
+            key: Key::from(format!("key-{i}")),
+            ts: Timestamp::new(i, 0, NodeId(1)),
+            value: Value::from(format!("value-{i}")),
+        }
+    }
+
+    #[test]
+    fn append_sync_replay_roundtrip() {
+        let path = tmp("roundtrip");
+        let mut wal = Wal::open(&path).unwrap();
+        for i in 0..100 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.append(&WalRecord::Remove {
+            key: Key::from("key-5"),
+        })
+        .unwrap();
+        wal.append(&WalRecord::WriteAll {
+            key: Key::from("multi"),
+            ts: Timestamp::new(7, 1, NodeId(2)),
+            value: Value::from("m"),
+        })
+        .unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.appended(), 102);
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 102);
+        assert_eq!(replayed[0], rec(0));
+        assert_eq!(
+            replayed[100],
+            WalRecord::Remove {
+                key: Key::from("key-5")
+            }
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_missing_file_is_empty() {
+        assert!(Wal::replay("/nonexistent/sedna.wal").unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let path = tmp("torn");
+        let mut wal = Wal::open(&path).unwrap();
+        for i in 0..10 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        // Tear the file mid-frame.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 9, "last record torn, rest intact");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_frame_stops_replay() {
+        let path = tmp("corrupt");
+        let mut wal = Wal::open(&path).unwrap();
+        for i in 0..10 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the 3rd frame's payload.
+        let frame_len = 8 + rec(0).encode().len();
+        bytes[2 * frame_len + 12] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 2, "replay stops at the corrupt frame");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_then_new_records() {
+        let path = tmp("truncate");
+        let mut wal = Wal::open(&path).unwrap();
+        for i in 0..5 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.truncate().unwrap();
+        wal.append(&rec(99)).unwrap();
+        wal.sync().unwrap();
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed, vec![rec(99)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_records() {
+        let path = tmp("reopen");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&rec(1)).unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&rec(2)).unwrap();
+            wal.sync().unwrap();
+        }
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed, vec![rec(1), rec(2)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

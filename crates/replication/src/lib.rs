@@ -1,0 +1,30 @@
+//! Quorum replication logic (Sec. III-C of the paper).
+//!
+//! Every datum has N replicas (N = 3 in the paper). Consistency is
+//! *eventual*, enforced by a quorum scheme with two constraints:
+//!
+//! ```text
+//! R + W > N        W > N / 2
+//! ```
+//!
+//! [`QuorumConfig`] validates them. [`WriteCoordinator`] implements the
+//! write rule — "if more than W nodes return the same version number then
+//! the write is considered success" — and [`ReadCoordinator`] the read rule
+//! — "requests all the corresponding real nodes to get data with timestamp,
+//! then checks for R equality". When replicas disagree or fail to answer,
+//! [`repair`] computes the *read recovery* plan: which versions to push to
+//! which stale replicas, and which nodes need a full re-duplication task.
+//!
+//! Everything here is pure state-machine logic — no I/O, no actors — so the
+//! same code drives the simulated cluster, the threaded cluster, and the
+//! unit tests.
+
+pub mod quorum;
+pub mod read;
+pub mod repair;
+pub mod write;
+
+pub use quorum::QuorumConfig;
+pub use read::{ReadCoordinator, ReadOutcome, ReplicaRead};
+pub use repair::{plan_repair, RepairAction};
+pub use write::{ReplicaWriteResult, WriteCoordinator, WriteOutcomeAgg};

@@ -1,0 +1,95 @@
+//! Quorum configuration and its paper-mandated constraints.
+
+use sedna_common::{SednaError, SednaResult};
+
+/// Replication parameters `(N, R, W)`.
+///
+/// The paper's running example: N = 3, R = 2, W = 2, satisfying both
+/// `R + W > N` (read and write quorums intersect) and `W > N/2` (two write
+/// quorums intersect, so "same version number" majorities are unique).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuorumConfig {
+    /// Number of replicas per datum.
+    pub n: usize,
+    /// Minimum consistent replies for a read.
+    pub r: usize,
+    /// Minimum acknowledgements for a write.
+    pub w: usize,
+}
+
+impl QuorumConfig {
+    /// The paper's default: N=3, R=2, W=2.
+    pub const PAPER: QuorumConfig = QuorumConfig { n: 3, r: 2, w: 2 };
+
+    /// Validates the constraints; returns the config on success.
+    pub fn new(n: usize, r: usize, w: usize) -> SednaResult<Self> {
+        if n == 0 {
+            return Err(SednaError::InvalidConfig("N must be at least 1".into()));
+        }
+        if r == 0 || r > n || w == 0 || w > n {
+            return Err(SednaError::InvalidConfig(format!(
+                "R and W must lie in 1..=N (got N={n}, R={r}, W={w})"
+            )));
+        }
+        if r + w <= n {
+            return Err(SednaError::InvalidConfig(format!(
+                "R + W must exceed N (got N={n}, R={r}, W={w})"
+            )));
+        }
+        if 2 * w <= n {
+            return Err(SednaError::InvalidConfig(format!(
+                "W must exceed N/2 (got N={n}, W={w})"
+            )));
+        }
+        Ok(QuorumConfig { n, r, w })
+    }
+}
+
+impl Default for QuorumConfig {
+    fn default() -> Self {
+        QuorumConfig::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        assert_eq!(QuorumConfig::new(3, 2, 2).unwrap(), QuorumConfig::PAPER);
+        assert_eq!(QuorumConfig::default(), QuorumConfig::PAPER);
+    }
+
+    #[test]
+    fn degenerate_single_replica_is_valid() {
+        // N=1, R=1, W=1: a cache-like deployment.
+        assert!(QuorumConfig::new(1, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn constraint_violations_rejected() {
+        // R + W <= N
+        assert!(QuorumConfig::new(3, 1, 2).is_err());
+        // W <= N/2
+        assert!(QuorumConfig::new(4, 3, 2).is_err());
+        // zero / out of range
+        assert!(QuorumConfig::new(0, 1, 1).is_err());
+        assert!(QuorumConfig::new(3, 0, 2).is_err());
+        assert!(QuorumConfig::new(3, 4, 2).is_err());
+        assert!(QuorumConfig::new(3, 2, 4).is_err());
+    }
+
+    #[test]
+    fn exhaustive_small_space_matches_formulas() {
+        for n in 1..=7 {
+            for r in 1..=n {
+                for w in 1..=n {
+                    let ok = QuorumConfig::new(n, r, w).is_ok();
+                    let expect = r + w > n && 2 * w > n;
+                    assert_eq!(ok, expect, "N={n} R={r} W={w}");
+                }
+            }
+        }
+    }
+}

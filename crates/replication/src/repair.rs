@@ -1,0 +1,221 @@
+//! Read-recovery planning (Sec. III-C).
+//!
+//! After a read observed its replicas, [`plan_repair`] decides what the
+//! asynchronous recovery task must do: push missing/stale versions to
+//! replicas that answered but lag (*read repair*), and schedule a full copy
+//! onto replicas that failed (*data duplication task*, sourced from any
+//! up-to-date survivor).
+
+use std::collections::BTreeMap;
+
+use sedna_common::NodeId;
+use sedna_memstore::VersionedValue;
+
+use crate::read::ReplicaRead;
+
+/// One step of the recovery plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairAction {
+    /// Push these versions to a live-but-stale replica (merge on arrival).
+    Push {
+        /// Target replica.
+        to: NodeId,
+        /// Versions it is missing (or holds stale copies of).
+        versions: Vec<VersionedValue>,
+    },
+    /// The replica did not answer; it needs a full re-duplication of the
+    /// key from a healthy peer (the paper's asynchronous data duplication
+    /// task, which ends by fixing the mapping info in ZooKeeper).
+    Duplicate {
+        /// Unresponsive replica.
+        to: NodeId,
+        /// A healthy source holding the merged value.
+        from: NodeId,
+        /// Versions to copy.
+        versions: Vec<VersionedValue>,
+    },
+}
+
+/// Computes the recovery steps from a read's replies and the merged
+/// (authoritative) version list.
+///
+/// Empty when every replica already holds exactly `merged`.
+pub fn plan_repair(
+    replies: &BTreeMap<NodeId, ReplicaRead>,
+    merged: &[VersionedValue],
+) -> Vec<RepairAction> {
+    if merged.is_empty() {
+        return Vec::new();
+    }
+    // A healthy source: any replica whose reply already equals the merge.
+    let source = replies
+        .iter()
+        .find(|(_, r)| match r {
+            ReplicaRead::Values(v) => list_covers(v, merged),
+            _ => false,
+        })
+        .map(|(n, _)| *n);
+
+    let mut plan = Vec::new();
+    for (&node, reply) in replies {
+        match reply {
+            ReplicaRead::Values(have) => {
+                let missing: Vec<VersionedValue> = merged
+                    .iter()
+                    .filter(|m| {
+                        !have
+                            .iter()
+                            .any(|h| h.ts.origin == m.ts.origin && h.ts >= m.ts)
+                    })
+                    .cloned()
+                    .collect();
+                if !missing.is_empty() {
+                    plan.push(RepairAction::Push {
+                        to: node,
+                        versions: missing,
+                    });
+                }
+            }
+            ReplicaRead::Missing => {
+                plan.push(RepairAction::Push {
+                    to: node,
+                    versions: merged.to_vec(),
+                });
+            }
+            ReplicaRead::Failed => {
+                if let Some(from) = source {
+                    plan.push(RepairAction::Duplicate {
+                        to: node,
+                        from,
+                        versions: merged.to_vec(),
+                    });
+                } else {
+                    // No single replica holds the full merge; push it.
+                    plan.push(RepairAction::Push {
+                        to: node,
+                        versions: merged.to_vec(),
+                    });
+                }
+            }
+        }
+    }
+    plan
+}
+
+/// True when `have` already contains (an equal-or-newer element for) every
+/// element of `want`.
+fn list_covers(have: &[VersionedValue], want: &[VersionedValue]) -> bool {
+    want.iter().all(|w| {
+        have.iter()
+            .any(|h| h.ts.origin == w.ts.origin && h.ts >= w.ts)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedna_common::{Timestamp, Value};
+
+    fn vv(micros: u64, origin: u32, data: &str) -> VersionedValue {
+        VersionedValue {
+            ts: Timestamp::new(micros, 0, NodeId(origin)),
+            value: Value::from(data),
+        }
+    }
+
+    #[test]
+    fn consistent_replicas_need_no_repair() {
+        let v = vec![vv(10, 0, "x")];
+        let mut replies = BTreeMap::new();
+        replies.insert(NodeId(0), ReplicaRead::Values(v.clone()));
+        replies.insert(NodeId(1), ReplicaRead::Values(v.clone()));
+        replies.insert(NodeId(2), ReplicaRead::Values(v.clone()));
+        assert!(plan_repair(&replies, &v).is_empty());
+    }
+
+    #[test]
+    fn stale_replica_gets_pushed_only_missing_versions() {
+        let merged = vec![vv(10, 0, "a"), vv(20, 1, "b")];
+        let mut replies = BTreeMap::new();
+        replies.insert(NodeId(0), ReplicaRead::Values(merged.clone()));
+        replies.insert(NodeId(1), ReplicaRead::Values(vec![vv(10, 0, "a")]));
+        let plan = plan_repair(&replies, &merged);
+        assert_eq!(
+            plan,
+            vec![RepairAction::Push {
+                to: NodeId(1),
+                versions: vec![vv(20, 1, "b")]
+            }]
+        );
+    }
+
+    #[test]
+    fn stale_same_source_counts_as_missing() {
+        let merged = vec![vv(30, 7, "fresh")];
+        let mut replies = BTreeMap::new();
+        replies.insert(NodeId(0), ReplicaRead::Values(vec![vv(30, 7, "fresh")]));
+        replies.insert(NodeId(1), ReplicaRead::Values(vec![vv(10, 7, "stale")]));
+        let plan = plan_repair(&replies, &merged);
+        assert_eq!(
+            plan,
+            vec![RepairAction::Push {
+                to: NodeId(1),
+                versions: merged
+            }]
+        );
+    }
+
+    #[test]
+    fn missing_replica_gets_full_copy() {
+        let merged = vec![vv(10, 0, "a")];
+        let mut replies = BTreeMap::new();
+        replies.insert(NodeId(0), ReplicaRead::Values(merged.clone()));
+        replies.insert(NodeId(1), ReplicaRead::Missing);
+        let plan = plan_repair(&replies, &merged);
+        assert_eq!(
+            plan,
+            vec![RepairAction::Push {
+                to: NodeId(1),
+                versions: merged
+            }]
+        );
+    }
+
+    #[test]
+    fn failed_replica_becomes_duplication_task_from_healthy_source() {
+        let merged = vec![vv(10, 0, "a")];
+        let mut replies = BTreeMap::new();
+        replies.insert(NodeId(0), ReplicaRead::Values(merged.clone()));
+        replies.insert(NodeId(2), ReplicaRead::Failed);
+        let plan = plan_repair(&replies, &merged);
+        assert_eq!(
+            plan,
+            vec![RepairAction::Duplicate {
+                to: NodeId(2),
+                from: NodeId(0),
+                versions: merged
+            }]
+        );
+    }
+
+    #[test]
+    fn failed_replica_without_full_source_still_gets_push() {
+        // Two partial replicas, neither covers the merge.
+        let merged = vec![vv(10, 0, "a"), vv(20, 1, "b")];
+        let mut replies = BTreeMap::new();
+        replies.insert(NodeId(0), ReplicaRead::Values(vec![vv(10, 0, "a")]));
+        replies.insert(NodeId(1), ReplicaRead::Values(vec![vv(20, 1, "b")]));
+        replies.insert(NodeId(2), ReplicaRead::Failed);
+        let plan = plan_repair(&replies, &merged);
+        assert_eq!(plan.len(), 3, "{plan:?}");
+        assert!(plan.iter().all(|a| matches!(a, RepairAction::Push { .. })));
+    }
+
+    #[test]
+    fn empty_merge_plans_nothing() {
+        let mut replies = BTreeMap::new();
+        replies.insert(NodeId(0), ReplicaRead::Missing);
+        replies.insert(NodeId(1), ReplicaRead::Failed);
+        assert!(plan_repair(&replies, &[]).is_empty());
+    }
+}

@@ -1,0 +1,288 @@
+//! The write-quorum coordinator.
+//!
+//! One `WriteCoordinator` tracks one client write fanned out to N replicas.
+//! Replies arrive in any order; the coordinator resolves as soon as the
+//! outcome is decided (success does not wait for stragglers) and remembers
+//! which replicas never confirmed, so the caller can schedule recovery.
+
+use std::collections::BTreeSet;
+
+use sedna_common::NodeId;
+
+/// A single replica's reply to a write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaWriteResult {
+    /// Replica stored the value (`'ok'`).
+    Ok,
+    /// Replica already held a strictly newer timestamp (`'outdated'`).
+    Outdated,
+    /// Replica refused or timed out (`'failure'` path).
+    Failed,
+}
+
+/// Aggregated outcome of the write.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WriteOutcomeAgg {
+    /// Still waiting for enough replies.
+    Pending,
+    /// W replicas acknowledged the same (new) version: success.
+    Ok,
+    /// The write lost to a newer timestamp; last-write-wins already holds.
+    Outdated,
+    /// Too many replicas failed to reach either verdict.
+    Failed {
+        /// Acks required (W).
+        needed: usize,
+        /// Acks received.
+        got: usize,
+    },
+}
+
+/// Tracks one in-flight quorum write.
+#[derive(Debug)]
+pub struct WriteCoordinator {
+    replicas: Vec<NodeId>,
+    w: usize,
+    oks: BTreeSet<NodeId>,
+    outdated: BTreeSet<NodeId>,
+    failed: BTreeSet<NodeId>,
+    decided: Option<WriteOutcomeAgg>,
+}
+
+impl WriteCoordinator {
+    /// Starts coordinating a write to `replicas` needing `w` acks.
+    pub fn new(replicas: Vec<NodeId>, w: usize) -> Self {
+        assert!(w >= 1 && w <= replicas.len().max(1));
+        WriteCoordinator {
+            replicas,
+            w,
+            oks: BTreeSet::new(),
+            outdated: BTreeSet::new(),
+            failed: BTreeSet::new(),
+            decided: None,
+        }
+    }
+
+    /// Feeds one replica's reply; duplicate or unknown replicas are
+    /// ignored. Returns the (possibly still pending) aggregate.
+    pub fn on_reply(&mut self, node: NodeId, result: ReplicaWriteResult) -> WriteOutcomeAgg {
+        if self.replicas.contains(&node)
+            && !self.oks.contains(&node)
+            && !self.outdated.contains(&node)
+            && !self.failed.contains(&node)
+        {
+            match result {
+                ReplicaWriteResult::Ok => {
+                    self.oks.insert(node);
+                }
+                ReplicaWriteResult::Outdated => {
+                    self.outdated.insert(node);
+                }
+                ReplicaWriteResult::Failed => {
+                    self.failed.insert(node);
+                }
+            }
+        }
+        self.evaluate()
+    }
+
+    /// Marks every silent replica failed (deadline expiry) and returns the
+    /// final verdict.
+    pub fn on_deadline(&mut self) -> WriteOutcomeAgg {
+        let silent: Vec<NodeId> = self
+            .replicas
+            .iter()
+            .copied()
+            .filter(|n| {
+                !self.oks.contains(n) && !self.outdated.contains(n) && !self.failed.contains(n)
+            })
+            .collect();
+        for n in silent {
+            self.failed.insert(n);
+        }
+        self.evaluate()
+    }
+
+    /// Current aggregate without feeding anything.
+    pub fn status(&self) -> WriteOutcomeAgg {
+        self.decided.clone().unwrap_or(WriteOutcomeAgg::Pending)
+    }
+
+    /// Replicas that acked OK (used to target repair at the rest).
+    pub fn ok_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.oks.iter().copied()
+    }
+
+    /// Replicas that failed or stayed silent past the deadline. These are
+    /// the candidates for the asynchronous recovery task the paper starts
+    /// on a `'failure'` reply.
+    pub fn failed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.failed.iter().copied()
+    }
+
+    fn evaluate(&mut self) -> WriteOutcomeAgg {
+        if let Some(done) = &self.decided {
+            return done.clone();
+        }
+        let replied = self.oks.len() + self.outdated.len() + self.failed.len();
+        let verdict = if self.oks.len() >= self.w {
+            Some(WriteOutcomeAgg::Ok)
+        } else if replied == self.replicas.len() {
+            // Everyone answered (possibly via the deadline marking silent
+            // replicas failed) and W was not reached. Deciding only with
+            // full information makes the verdict independent of arrival
+            // order — a late 'outdated' still counts.
+            if !self.outdated.is_empty() {
+                Some(WriteOutcomeAgg::Outdated)
+            } else {
+                Some(WriteOutcomeAgg::Failed {
+                    needed: self.w,
+                    got: self.oks.len(),
+                })
+            }
+        } else {
+            None
+        };
+        if let Some(v) = verdict {
+            self.decided = Some(v.clone());
+            v
+        } else {
+            WriteOutcomeAgg::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(ids: &[u32]) -> Vec<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn succeeds_at_w_acks_without_waiting_for_all() {
+        let mut c = WriteCoordinator::new(nodes(&[0, 1, 2]), 2);
+        assert_eq!(
+            c.on_reply(NodeId(0), ReplicaWriteResult::Ok),
+            WriteOutcomeAgg::Pending
+        );
+        assert_eq!(
+            c.on_reply(NodeId(1), ReplicaWriteResult::Ok),
+            WriteOutcomeAgg::Ok
+        );
+        // A late failure does not change the decided outcome.
+        assert_eq!(
+            c.on_reply(NodeId(2), ReplicaWriteResult::Failed),
+            WriteOutcomeAgg::Ok
+        );
+        assert_eq!(c.failed_nodes().collect::<Vec<_>>(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn outdated_when_quorum_impossible_and_a_newer_value_exists() {
+        let mut c = WriteCoordinator::new(nodes(&[0, 1, 2]), 2);
+        c.on_reply(NodeId(0), ReplicaWriteResult::Outdated);
+        assert_eq!(
+            c.on_reply(NodeId(1), ReplicaWriteResult::Outdated),
+            WriteOutcomeAgg::Pending,
+            "quorum impossible, but the verdict waits for full information"
+        );
+        assert_eq!(
+            c.on_reply(NodeId(2), ReplicaWriteResult::Outdated),
+            WriteOutcomeAgg::Outdated
+        );
+    }
+
+    #[test]
+    fn failure_when_too_many_replicas_fail() {
+        let mut c = WriteCoordinator::new(nodes(&[0, 1, 2]), 2);
+        c.on_reply(NodeId(0), ReplicaWriteResult::Failed);
+        c.on_reply(NodeId(1), ReplicaWriteResult::Failed);
+        assert_eq!(
+            c.on_reply(NodeId(2), ReplicaWriteResult::Failed),
+            WriteOutcomeAgg::Failed { needed: 2, got: 0 }
+        );
+        assert_eq!(c.failed_nodes().count(), 3);
+    }
+
+    #[test]
+    fn mixed_ok_and_outdated_with_one_failure() {
+        // ok + outdated + failed, W=2: quorum unreachable; outdated wins
+        // because a newer value demonstrably exists.
+        let mut c = WriteCoordinator::new(nodes(&[0, 1, 2]), 2);
+        c.on_reply(NodeId(0), ReplicaWriteResult::Ok);
+        c.on_reply(NodeId(1), ReplicaWriteResult::Outdated);
+        assert_eq!(
+            c.on_reply(NodeId(2), ReplicaWriteResult::Failed),
+            WriteOutcomeAgg::Outdated
+        );
+    }
+
+    #[test]
+    fn deadline_fails_silent_replicas() {
+        let mut c = WriteCoordinator::new(nodes(&[0, 1, 2]), 2);
+        c.on_reply(NodeId(0), ReplicaWriteResult::Ok);
+        assert_eq!(c.status(), WriteOutcomeAgg::Pending);
+        assert_eq!(
+            c.on_deadline(),
+            WriteOutcomeAgg::Failed { needed: 2, got: 1 }
+        );
+        let failed: Vec<NodeId> = c.failed_nodes().collect();
+        assert_eq!(failed, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(c.ok_nodes().collect::<Vec<_>>(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn duplicate_and_foreign_replies_ignored() {
+        let mut c = WriteCoordinator::new(nodes(&[0, 1, 2]), 2);
+        c.on_reply(NodeId(0), ReplicaWriteResult::Ok);
+        // Duplicate from the same node must not count twice.
+        assert_eq!(
+            c.on_reply(NodeId(0), ReplicaWriteResult::Ok),
+            WriteOutcomeAgg::Pending
+        );
+        // A node outside the replica set must not count at all.
+        assert_eq!(
+            c.on_reply(NodeId(9), ReplicaWriteResult::Ok),
+            WriteOutcomeAgg::Pending
+        );
+    }
+
+    #[test]
+    fn reply_order_does_not_change_outcome() {
+        // Property over all permutations of a fixed reply multiset.
+        let replies = [
+            (NodeId(0), ReplicaWriteResult::Ok),
+            (NodeId(1), ReplicaWriteResult::Outdated),
+            (NodeId(2), ReplicaWriteResult::Ok),
+        ];
+        let mut outcomes = std::collections::HashSet::new();
+        let perms: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        for p in perms {
+            let mut c = WriteCoordinator::new(nodes(&[0, 1, 2]), 2);
+            let mut last = WriteOutcomeAgg::Pending;
+            for &i in &p {
+                last = c.on_reply(replies[i].0, replies[i].1);
+            }
+            outcomes.insert(format!("{last:?}"));
+        }
+        assert_eq!(outcomes.len(), 1, "order-dependent outcome: {outcomes:?}");
+    }
+
+    #[test]
+    fn single_replica_w1() {
+        let mut c = WriteCoordinator::new(nodes(&[5]), 1);
+        assert_eq!(
+            c.on_reply(NodeId(5), ReplicaWriteResult::Ok),
+            WriteOutcomeAgg::Ok
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests over the quorum coordinators: outcomes must be
+//! order-independent, monotone (a decided outcome never changes), and
+//! consistent with the counting semantics of Sec. III-C.
+
+use proptest::prelude::*;
+use sedna_common::{NodeId, Timestamp, Value};
+use sedna_memstore::VersionedValue;
+use sedna_replication::{
+    ReadCoordinator, ReadOutcome, ReplicaRead, ReplicaWriteResult, WriteCoordinator,
+    WriteOutcomeAgg,
+};
+
+/// Outcome variant, ignoring the diagnostic ack count inside `Failed`
+/// (which legitimately depends on *when* the verdict became inevitable).
+fn variant(agg: &WriteOutcomeAgg) -> &'static str {
+    match agg {
+        WriteOutcomeAgg::Pending => "pending",
+        WriteOutcomeAgg::Ok => "ok",
+        WriteOutcomeAgg::Outdated => "outdated",
+        WriteOutcomeAgg::Failed { .. } => "failed",
+    }
+}
+
+fn write_result_strategy() -> impl Strategy<Value = ReplicaWriteResult> {
+    prop_oneof![
+        Just(ReplicaWriteResult::Ok),
+        Just(ReplicaWriteResult::Outdated),
+        Just(ReplicaWriteResult::Failed),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn write_outcome_is_permutation_invariant(
+        results in proptest::collection::vec(write_result_strategy(), 3),
+        order in Just(()).prop_perturb(|_, mut rng| {
+            let mut idx = vec![0usize, 1, 2];
+            for i in (1..3).rev() {
+                let j = (rng.next_u32() as usize) % (i + 1);
+                idx.swap(i, j);
+            }
+            idx
+        }),
+    ) {
+        let replicas = vec![NodeId(0), NodeId(1), NodeId(2)];
+        // Canonical order.
+        let mut a = WriteCoordinator::new(replicas.clone(), 2);
+        for (i, r) in results.iter().enumerate() {
+            a.on_reply(NodeId(i as u32), *r);
+        }
+        // Shuffled order.
+        let mut b = WriteCoordinator::new(replicas, 2);
+        for &i in &order {
+            b.on_reply(NodeId(i as u32), results[i]);
+        }
+        prop_assert_eq!(variant(&a.status()), variant(&b.status()));
+    }
+
+    #[test]
+    fn write_outcome_matches_counting_semantics(
+        results in proptest::collection::vec(write_result_strategy(), 3),
+    ) {
+        let mut c = WriteCoordinator::new(vec![NodeId(0), NodeId(1), NodeId(2)], 2);
+        for (i, r) in results.iter().enumerate() {
+            c.on_reply(NodeId(i as u32), *r);
+        }
+        let oks = results.iter().filter(|r| **r == ReplicaWriteResult::Ok).count();
+        let outdated = results.iter().filter(|r| **r == ReplicaWriteResult::Outdated).count();
+        let want = if oks >= 2 {
+            "ok"
+        } else if outdated > 0 {
+            "outdated"
+        } else {
+            "failed"
+        };
+        prop_assert_eq!(variant(&c.status()), want);
+    }
+
+    #[test]
+    fn decided_write_outcome_is_stable_under_late_replies(
+        results in proptest::collection::vec(write_result_strategy(), 3),
+        late in write_result_strategy(),
+    ) {
+        let mut c = WriteCoordinator::new(vec![NodeId(0), NodeId(1), NodeId(2)], 2);
+        c.on_reply(NodeId(0), results[0]);
+        c.on_reply(NodeId(1), results[1]);
+        let decided_early = c.status();
+        c.on_reply(NodeId(2), results[2]);
+        let after_all = c.status();
+        if !matches!(decided_early, WriteOutcomeAgg::Pending) {
+            prop_assert_eq!(format!("{decided_early:?}"), format!("{after_all:?}"));
+        }
+        // Replays / unknown nodes never change anything either.
+        let frozen = format!("{:?}", c.status());
+        c.on_reply(NodeId(0), late);
+        c.on_reply(NodeId(99), late);
+        prop_assert_eq!(frozen, format!("{:?}", c.status()));
+    }
+
+    #[test]
+    fn read_quorum_never_lies(
+        // Each replica independently holds version A, version B, or nothing.
+        states in proptest::collection::vec(0u8..3, 3),
+    ) {
+        let va = VersionedValue {
+            ts: Timestamp::new(10, 0, NodeId(100)),
+            value: Value::from("a"),
+        };
+        let vb = VersionedValue {
+            ts: Timestamp::new(20, 0, NodeId(100)),
+            value: Value::from("b"),
+        };
+        let mut c = ReadCoordinator::new(vec![NodeId(0), NodeId(1), NodeId(2)], 2);
+        for (i, s) in states.iter().enumerate() {
+            let reply = match s {
+                0 => ReplicaRead::Values(vec![va.clone()]),
+                1 => ReplicaRead::Values(vec![vb.clone()]),
+                _ => ReplicaRead::Missing,
+            };
+            c.on_reply(NodeId(i as u32), reply);
+        }
+        let count = |k: u8| states.iter().filter(|s| **s == k).count();
+        match c.status() {
+            ReadOutcome::Ok(values) => {
+                // An Ok verdict requires two identical replies.
+                let k = if values == vec![va.clone()] { 0 } else { 1 };
+                prop_assert!(count(k) >= 2);
+            }
+            ReadOutcome::NotFound => prop_assert!(count(2) >= 2),
+            ReadOutcome::Inconsistent { merged } => {
+                // No state reached quorum; the merge must carry the newest
+                // version present anywhere.
+                prop_assert!(count(0) < 2 && count(1) < 2 && count(2) < 2);
+                if count(1) > 0 {
+                    prop_assert!(merged.contains(&vb));
+                } else if count(0) > 0 {
+                    prop_assert!(merged.contains(&va));
+                }
+            }
+            other => prop_assert!(false, "unexpected: {other:?}"),
+        }
+    }
+}

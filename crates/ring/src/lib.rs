@@ -1,0 +1,50 @@
+//! Partitioning for Sedna: the virtual-node consistent-hash ring.
+//!
+//! Sec. III-B of the paper: the hash ring "was equally divided into millions
+//! of slices, so every slice represents a sub-range of INTEGER … each
+//! sub-range is called a virtual node … When data arrives, its key will be
+//! hashed to an integer, then mod to a virtual node. Every data in a virtual
+//! node will be stored in one server (r1), and replicated in other two
+//! servers (r2, r3)."
+//!
+//! This crate provides:
+//!
+//! * [`Partitioner`] — the pure `key → virtual node` function (fixed at
+//!   cluster-configuration time, per the paper);
+//! * [`VNodeMap`] — the `virtual node → [real node; N]` assignment, with
+//!   deterministic join/leave rebalancing that emits [`TransferPlan`]s for
+//!   the data-migration machinery;
+//! * [`stats`] — per-vnode read/write counters and the per-real-node
+//!   *imbalance table* that each node computes locally and periodically
+//!   pushes to the coordination service;
+//! * [`rebalance`] — load-driven vnode moves computed from an imbalance
+//!   table.
+
+//! # Example
+//!
+//! ```
+//! use sedna_ring::{Partitioner, VNodeMap};
+//! use sedna_common::{Key, NodeId};
+//!
+//! let partitioner = Partitioner::new(900);     // fixed at cluster config
+//! let mut map = VNodeMap::new(900, 3);         // N = 3 replicas
+//! for n in 0..9 {
+//!     map.join(NodeId(n));
+//! }
+//! let vnode = partitioner.locate(&Key::from("test-000000000000000"));
+//! let replicas = map.replicas(vnode);
+//! assert_eq!(replicas.len(), 3);               // r1, r2, r3
+//! // Adding a tenth node moves only ~10% of the slots:
+//! let moved = map.join(NodeId(9)).len();
+//! assert!(moved <= 900 * 3 / 10 + 10);
+//! ```
+
+pub mod assignment;
+pub mod partitioner;
+pub mod rebalance;
+pub mod stats;
+
+pub use assignment::{Transfer, TransferPlan, VNodeMap};
+pub use partitioner::Partitioner;
+pub use rebalance::{plan_rebalance, RebalanceConfig};
+pub use stats::{ImbalanceTable, NodeLoad, VNodeStats};

@@ -1,0 +1,212 @@
+//! Load-driven rebalancing.
+//!
+//! Membership changes keep *slot counts* even (see [`crate::assignment`]),
+//! but real load is skewed: some vnodes are hotter than others. The paper's
+//! answer is the imbalance table — nodes publish per-node load roll-ups,
+//! and a management component moves vnodes from hot to cold real nodes.
+//! [`plan_rebalance`] is that component's decision procedure: given the
+//! assignment, full vnode stats (from the hot node being relieved) and a
+//! configuration, it proposes a bounded list of vnode moves.
+
+use sedna_common::{NodeId, VNodeId};
+
+use crate::assignment::{Transfer, VNodeMap};
+use crate::stats::{ImbalanceTable, VNodeStats};
+
+/// Tuning for the rebalancer.
+#[derive(Clone, Copy, Debug)]
+pub struct RebalanceConfig {
+    /// Do nothing while `max_score / mean_score` is at or below this.
+    pub trigger_ratio: f64,
+    /// Upper bound on moves per round, to cap migration traffic.
+    pub max_moves: usize,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            trigger_ratio: 1.25,
+            max_moves: 16,
+        }
+    }
+}
+
+/// Plans (and applies to `map`) up to `config.max_moves` vnode moves from
+/// the hottest node towards the coldest nodes.
+///
+/// `stats` must be indexed by vnode id (the hot node's local view; in the
+/// real system the manager fetches it from the node being relieved).
+/// Returns the transfers performed; empty when the cluster is already
+/// within `trigger_ratio`.
+pub fn plan_rebalance(
+    map: &mut VNodeMap,
+    table: &ImbalanceTable,
+    stats: &[VNodeStats],
+    config: &RebalanceConfig,
+) -> Vec<Transfer> {
+    let mut transfers = Vec::new();
+    let Some(ratio) = table.imbalance_ratio() else {
+        return transfers;
+    };
+    if ratio <= config.trigger_ratio {
+        return transfers;
+    }
+    let Some((hot, _)) = table.extremes() else {
+        return transfers;
+    };
+
+    // Track evolving scores locally so each move sees the updated picture.
+    let mut scores: Vec<(NodeId, u64)> = table.rows().map(|(n, l)| (n, l.score)).collect();
+    let mean: u64 =
+        (scores.iter().map(|(_, s)| s).sum::<u64>() as f64 / scores.len() as f64) as u64;
+
+    // The hot node's vnodes, hottest first.
+    let mut owned: Vec<(VNodeId, u64)> = map
+        .vnodes_of(hot)
+        .into_iter()
+        .map(|v| (v, stats.get(v.index()).map_or(0, |s| s.load_score())))
+        .collect();
+    owned.sort_by_key(|&(v, score)| (std::cmp::Reverse(score), v));
+
+    for (vnode, vscore) in owned {
+        if transfers.len() >= config.max_moves {
+            break;
+        }
+        let hot_score = scores
+            .iter()
+            .find(|(n, _)| *n == hot)
+            .map_or(0, |(_, s)| *s);
+        if hot_score <= mean {
+            break; // relieved enough
+        }
+        // Don't move a vnode so hot it would just overload the receiver.
+        if vscore > hot_score - mean {
+            continue;
+        }
+        // Coldest node that doesn't already hold this vnode.
+        let Some(&(cold, cold_score)) = scores
+            .iter()
+            .filter(|(n, _)| *n != hot && !map.replicas(vnode).contains(n))
+            .min_by_key(|(n, s)| (*s, *n))
+        else {
+            continue;
+        };
+        // Moving must strictly reduce the pairwise gap.
+        if cold_score + vscore >= hot_score {
+            continue;
+        }
+        if let Some(t) = map.move_slot(vnode, hot, cold) {
+            transfers.push(t);
+            for (n, s) in scores.iter_mut() {
+                if *n == hot {
+                    *s -= vscore;
+                } else if *n == cold {
+                    *s += vscore;
+                }
+            }
+        }
+    }
+    transfers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a 4-node cluster, 40 vnodes, rf 1 (so load attribution is
+    /// crisp), with all the heat on node 0's vnodes.
+    fn skewed_setup() -> (VNodeMap, Vec<VNodeStats>) {
+        let mut map = VNodeMap::new(40, 1);
+        for n in 0..4 {
+            map.join(NodeId(n));
+        }
+        let mut stats = vec![VNodeStats::default(); 40];
+        for v in map.vnodes_of(NodeId(0)) {
+            stats[v.index()].reads = 1_000;
+        }
+        for v in map.vnodes_of(NodeId(1)) {
+            stats[v.index()].reads = 10;
+        }
+        (map, stats)
+    }
+
+    #[test]
+    fn no_moves_when_balanced() {
+        let mut map = VNodeMap::new(40, 1);
+        for n in 0..4 {
+            map.join(NodeId(n));
+        }
+        let stats = vec![
+            VNodeStats {
+                reads: 5,
+                ..Default::default()
+            };
+            40
+        ];
+        let table = ImbalanceTable::compute(&map, &stats);
+        let moves = plan_rebalance(&mut map, &table, &stats, &RebalanceConfig::default());
+        assert!(moves.is_empty());
+    }
+
+    #[test]
+    fn hot_node_sheds_vnodes_to_cold_nodes() {
+        let (mut map, stats) = skewed_setup();
+        let table = ImbalanceTable::compute(&map, &stats);
+        assert!(table.imbalance_ratio().unwrap() > 2.0);
+        let before_hot = map.vnodes_of(NodeId(0)).len();
+        let moves = plan_rebalance(&mut map, &table, &stats, &RebalanceConfig::default());
+        assert!(!moves.is_empty(), "skew must trigger moves");
+        assert!(map.vnodes_of(NodeId(0)).len() < before_hot);
+        for t in &moves {
+            assert_eq!(t.copy_from, Some(NodeId(0)));
+            assert_ne!(t.to, NodeId(0));
+        }
+        // Ratio after must improve.
+        let after = ImbalanceTable::compute(&map, &stats);
+        assert!(after.imbalance_ratio().unwrap() < table.imbalance_ratio().unwrap());
+    }
+
+    #[test]
+    fn max_moves_caps_migration() {
+        let (mut map, stats) = skewed_setup();
+        let table = ImbalanceTable::compute(&map, &stats);
+        let cfg = RebalanceConfig {
+            max_moves: 2,
+            ..Default::default()
+        };
+        let moves = plan_rebalance(&mut map, &table, &stats, &cfg);
+        assert!(moves.len() <= 2);
+    }
+
+    #[test]
+    fn repeated_rounds_converge() {
+        let (mut map, stats) = skewed_setup();
+        let cfg = RebalanceConfig {
+            trigger_ratio: 1.1,
+            max_moves: 4,
+        };
+        let mut rounds = 0;
+        loop {
+            let table = ImbalanceTable::compute(&map, &stats);
+            let moves = plan_rebalance(&mut map, &table, &stats, &cfg);
+            if moves.is_empty() {
+                break;
+            }
+            rounds += 1;
+            assert!(rounds < 50, "rebalance must terminate");
+        }
+        let final_ratio = ImbalanceTable::compute(&map, &stats)
+            .imbalance_ratio()
+            .unwrap();
+        assert!(final_ratio < 2.0, "converged ratio {final_ratio}");
+    }
+
+    #[test]
+    fn empty_stats_is_a_noop() {
+        let mut map = VNodeMap::new(4, 1);
+        map.join(NodeId(0));
+        let table = ImbalanceTable::compute(&map, &[VNodeStats::default(); 4]);
+        let moves = plan_rebalance(&mut map, &table, &[], &RebalanceConfig::default());
+        assert!(moves.is_empty());
+    }
+}

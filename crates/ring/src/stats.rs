@@ -1,0 +1,267 @@
+//! Virtual-node statistics and the imbalance table.
+//!
+//! Sec. III-B: "We record all the virtual nodes' status including its
+//! capacity, read/write frequency. Besides, we also maintain a imbalance
+//! table for all the real nodes computed from the virtual nodes' status.
+//! This information is calculated and stored locally, and periodically
+//! updated to ZooKeeper cluster. It is only necessary to update the
+//! imbalance table, which is a quite small comparing with the virtual nodes
+//! number."
+//!
+//! [`VNodeStats`] is the per-vnode record a node maintains locally;
+//! [`ImbalanceTable`] is the small per-real-node roll-up that actually goes
+//! to the coordination service.
+
+use std::collections::BTreeMap;
+
+use sedna_common::{NodeId, VNodeId};
+
+use crate::assignment::VNodeMap;
+
+/// Locally-maintained status of one virtual node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VNodeStats {
+    /// Read operations observed.
+    pub reads: u64,
+    /// Write operations observed.
+    pub writes: u64,
+    /// Bytes currently stored under this vnode ("capacity" in the paper).
+    pub bytes: u64,
+    /// Number of keys currently stored under this vnode.
+    pub keys: u64,
+}
+
+impl VNodeStats {
+    /// Records a read.
+    #[inline]
+    pub fn record_read(&mut self) {
+        self.reads += 1;
+    }
+
+    /// Records a write of `delta_bytes` net new bytes (may be negative on
+    /// overwrite shrink, hence the signed parameter).
+    #[inline]
+    pub fn record_write(&mut self, delta_bytes: i64, new_key: bool) {
+        self.writes += 1;
+        self.bytes = self.bytes.saturating_add_signed(delta_bytes);
+        if new_key {
+            self.keys += 1;
+        }
+    }
+
+    /// Scalar load score used by the rebalancer. Reads and writes weigh
+    /// equally; storage contributes at a low rate so hot-but-small and
+    /// cold-but-huge vnodes both register.
+    pub fn load_score(&self) -> u64 {
+        self.reads + self.writes + self.bytes / 4096
+    }
+}
+
+/// One real node's aggregated load, as published to the coordination
+/// service.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeLoad {
+    /// Sum of load scores of the vnodes this node hosts.
+    pub score: u64,
+    /// Total stored bytes.
+    pub bytes: u64,
+    /// Number of vnode replicas hosted.
+    pub slots: u32,
+}
+
+/// The per-real-node roll-up: small (O(nodes)), cheap to ship, sufficient
+/// for rebalancing decisions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ImbalanceTable {
+    entries: BTreeMap<NodeId, NodeLoad>,
+}
+
+impl ImbalanceTable {
+    /// Computes the table from an assignment and a full per-vnode stats
+    /// slice (indexed by vnode id).
+    pub fn compute(map: &VNodeMap, stats: &[VNodeStats]) -> Self {
+        assert_eq!(
+            stats.len(),
+            map.vnode_count() as usize,
+            "stats must cover every vnode"
+        );
+        let mut entries: BTreeMap<NodeId, NodeLoad> = BTreeMap::new();
+        for node in map.members() {
+            entries.insert(node, NodeLoad::default());
+        }
+        for (i, s) in stats.iter().enumerate() {
+            for &owner in map.replicas(VNodeId(i as u32)) {
+                let e = entries.get_mut(&owner).expect("owner is member");
+                e.score += s.load_score();
+                e.bytes += s.bytes;
+                e.slots += 1;
+            }
+        }
+        ImbalanceTable { entries }
+    }
+
+    /// Merges a single node's locally-computed row (what nodes periodically
+    /// push to the coordination service).
+    pub fn update_row(&mut self, node: NodeId, load: NodeLoad) {
+        self.entries.insert(node, load);
+    }
+
+    /// Removes a departed node's row.
+    pub fn remove_row(&mut self, node: NodeId) {
+        self.entries.remove(&node);
+    }
+
+    /// The load row for `node`.
+    pub fn row(&self, node: NodeId) -> Option<NodeLoad> {
+        self.entries.get(&node).copied()
+    }
+
+    /// Iterates rows ascending by node id.
+    pub fn rows(&self) -> impl Iterator<Item = (NodeId, NodeLoad)> + '_ {
+        self.entries.iter().map(|(n, l)| (*n, *l))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Imbalance ratio: `max_score / mean_score` (1.0 = perfectly even).
+    /// Returns `None` with no rows or zero total load.
+    pub fn imbalance_ratio(&self) -> Option<f64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let total: u64 = self.entries.values().map(|l| l.score).sum();
+        if total == 0 {
+            return None;
+        }
+        let mean = total as f64 / self.entries.len() as f64;
+        let max = self.entries.values().map(|l| l.score).max().unwrap() as f64;
+        Some(max / mean)
+    }
+
+    /// Hottest and coldest nodes by score (ties by lowest id).
+    pub fn extremes(&self) -> Option<(NodeId, NodeId)> {
+        let hottest = self
+            .entries
+            .iter()
+            .max_by_key(|(n, l)| (l.score, std::cmp::Reverse(**n)))
+            .map(|(n, _)| *n)?;
+        let coldest = self
+            .entries
+            .iter()
+            .min_by_key(|(n, l)| (l.score, **n))
+            .map(|(n, _)| *n)?;
+        Some((hottest, coldest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balanced_map() -> VNodeMap {
+        let mut m = VNodeMap::new(9, 3);
+        for n in 0..3 {
+            m.join(NodeId(n));
+        }
+        m
+    }
+
+    #[test]
+    fn vnode_stats_recording() {
+        let mut s = VNodeStats::default();
+        s.record_write(100, true);
+        s.record_write(-20, false);
+        s.record_read();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes, 80);
+        assert_eq!(s.keys, 1);
+        assert_eq!(s.load_score(), 3); // 80 bytes < 4096 contributes 0
+    }
+
+    #[test]
+    fn bytes_never_underflow() {
+        let mut s = VNodeStats::default();
+        s.record_write(-1_000, false);
+        assert_eq!(s.bytes, 0);
+    }
+
+    #[test]
+    fn compute_covers_all_members_and_sums_scores() {
+        let m = balanced_map();
+        let mut stats = vec![VNodeStats::default(); 9];
+        for (i, s) in stats.iter_mut().enumerate() {
+            s.reads = i as u64;
+        }
+        let table = ImbalanceTable::compute(&m, &stats);
+        assert_eq!(table.len(), 3);
+        // With 3 members and rf 3, everyone hosts every vnode: equal scores.
+        let scores: Vec<u64> = table.rows().map(|(_, l)| l.score).collect();
+        assert_eq!(scores[0], (0..9).sum::<u64>());
+        assert!(scores.iter().all(|&s| s == scores[0]));
+        assert!((table.imbalance_ratio().unwrap() - 1.0).abs() < 1e-9);
+        for (_, l) in table.rows() {
+            assert_eq!(l.slots, 9);
+        }
+    }
+
+    #[test]
+    fn extremes_and_row_updates() {
+        let mut t = ImbalanceTable::default();
+        assert!(t.extremes().is_none());
+        t.update_row(
+            NodeId(0),
+            NodeLoad {
+                score: 10,
+                bytes: 0,
+                slots: 1,
+            },
+        );
+        t.update_row(
+            NodeId(1),
+            NodeLoad {
+                score: 90,
+                bytes: 0,
+                slots: 1,
+            },
+        );
+        t.update_row(
+            NodeId(2),
+            NodeLoad {
+                score: 50,
+                bytes: 0,
+                slots: 1,
+            },
+        );
+        let (hot, cold) = t.extremes().unwrap();
+        assert_eq!(hot, NodeId(1));
+        assert_eq!(cold, NodeId(0));
+        assert_eq!(t.row(NodeId(2)).unwrap().score, 50);
+        t.remove_row(NodeId(1));
+        assert_eq!(t.len(), 2);
+        let ratio = t.imbalance_ratio().unwrap();
+        assert!(ratio > 1.0 && ratio < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stats must cover every vnode")]
+    fn compute_requires_full_stats() {
+        let m = balanced_map();
+        ImbalanceTable::compute(&m, &[VNodeStats::default(); 3]);
+    }
+
+    #[test]
+    fn imbalance_ratio_none_on_zero_load() {
+        let m = balanced_map();
+        let t = ImbalanceTable::compute(&m, &vec![VNodeStats::default(); 9]);
+        assert!(t.imbalance_ratio().is_none());
+    }
+}

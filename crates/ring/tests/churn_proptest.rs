@@ -1,0 +1,139 @@
+//! Property tests over the vnode assignment: arbitrary churn sequences
+//! (joins, leaves, crashes, load-driven moves) must preserve the
+//! structural invariants, keep movement incremental, and roundtrip the
+//! codec.
+
+use proptest::prelude::*;
+use sedna_common::{NodeId, VNodeId};
+use sedna_ring::VNodeMap;
+
+#[derive(Clone, Debug)]
+enum Churn {
+    Join(u8),
+    LeaveGraceful(u8),
+    Crash(u8),
+    Move { vnode: u16, to: u8 },
+}
+
+fn churn_strategy() -> impl Strategy<Value = Churn> {
+    prop_oneof![
+        (0u8..12).prop_map(Churn::Join),
+        (0u8..12).prop_map(Churn::LeaveGraceful),
+        (0u8..12).prop_map(Churn::Crash),
+        (0u16..60, 0u8..12).prop_map(|(vnode, to)| Churn::Move { vnode, to }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn any_churn_sequence_preserves_invariants(ops in proptest::collection::vec(churn_strategy(), 1..60)) {
+        let mut map = VNodeMap::new(60, 3);
+        let mut slot_balanced = true;
+        for op in ops {
+            match op {
+                Churn::Join(n) => {
+                    // A *real* membership change re-balances; a duplicate
+                    // join is a no-op and leaves any prior skew in place.
+                    let was = map.is_member(NodeId(n as u32));
+                    map.join(NodeId(n as u32));
+                    if !was {
+                        slot_balanced = true;
+                    }
+                }
+                Churn::LeaveGraceful(n) => {
+                    let was = map.is_member(NodeId(n as u32));
+                    map.leave(NodeId(n as u32), true);
+                    if was {
+                        slot_balanced = true;
+                    }
+                }
+                Churn::Crash(n) => {
+                    let was = map.is_member(NodeId(n as u32));
+                    map.leave(NodeId(n as u32), false);
+                    if was {
+                        slot_balanced = true;
+                    }
+                }
+                Churn::Move { vnode, to } => {
+                    let v = VNodeId(vnode as u32 % 60);
+                    let to = NodeId(to as u32);
+                    if let Some(from) = map.replicas(v).first().copied() {
+                        // A deliberate move may unbalance slot counts.
+                        if map.move_slot(v, from, to).is_some() {
+                            slot_balanced = false;
+                        }
+                    }
+                }
+            }
+            map.check_invariants();
+            if slot_balanced {
+                map.check_slot_balance();
+            }
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips_after_any_churn(ops in proptest::collection::vec(churn_strategy(), 1..40)) {
+        let mut map = VNodeMap::new(40, 3);
+        map.join(NodeId(0));
+        for op in ops {
+            match op {
+                Churn::Join(n) => { map.join(NodeId(n as u32)); }
+                Churn::LeaveGraceful(n) => { map.leave(NodeId(n as u32), true); }
+                Churn::Crash(n) => { map.leave(NodeId(n as u32), false); }
+                Churn::Move { vnode, to } => {
+                    let v = VNodeId(vnode as u32 % 40);
+                    if let Some(from) = map.replicas(v).first().copied() {
+                        let _ = map.move_slot(v, from, NodeId(to as u32));
+                    }
+                }
+            }
+        }
+        let decoded = VNodeMap::decode(&map.encode());
+        prop_assert_eq!(decoded.as_ref(), Some(&map));
+    }
+
+    #[test]
+    fn join_movement_is_bounded(existing in 2u32..12, vnodes in 30u32..120) {
+        // Adding one node to a balanced cluster must move at most
+        // ceil(total_slots / (existing + 1)) slots plus a small balancing
+        // tail — never a wholesale reshuffle.
+        let mut map = VNodeMap::new(vnodes, 3);
+        for n in 0..existing {
+            map.join(NodeId(n));
+        }
+        let total_slots = vnodes as usize * 3.min(existing as usize + 1);
+        let plan = map.join(NodeId(existing));
+        let ideal = total_slots / (existing as usize + 1) + 1;
+        prop_assert!(
+            plan.len() <= ideal + existing as usize,
+            "moved {} slots, ideal ~{} (n={existing}, vnodes={vnodes})",
+            plan.len(),
+            ideal
+        );
+    }
+
+    #[test]
+    fn leaves_never_lose_coverage_while_members_remain(
+        leave_order in proptest::collection::vec(0u32..6, 1..6)
+    ) {
+        let mut map = VNodeMap::new(30, 3);
+        for n in 0..6 {
+            map.join(NodeId(n));
+        }
+        let mut remaining = 6usize;
+        for n in leave_order {
+            if map.is_member(NodeId(n)) && remaining > 1 {
+                map.leave(NodeId(n), false);
+                remaining -= 1;
+                // Every vnode still has min(3, remaining) distinct owners.
+                let want = 3.min(remaining);
+                for v in 0..30 {
+                    prop_assert_eq!(map.replicas(VNodeId(v)).len(), want);
+                }
+            }
+        }
+    }
+}

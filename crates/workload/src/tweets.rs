@@ -1,0 +1,190 @@
+//! Synthetic micro-blogging stream for the Sec. V use case.
+//!
+//! The paper's realtime search engine ingests tweets plus social-graph
+//! updates. We do not have a Twitter/Weibo firehose, so this generator
+//! produces a statistically-shaped substitute: zipf-popular authors, a
+//! small vocabulary with zipf word frequencies, and occasional follow
+//! events, all deterministic per seed.
+
+use sedna_common::rng::Xoshiro256;
+
+/// One synthetic tweet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tweet {
+    /// Tweet id (monotone).
+    pub id: u64,
+    /// Author user id.
+    pub author: u32,
+    /// Tweet text, ≤ 140 bytes (the paper cites Twitter's limit).
+    pub text: String,
+}
+
+/// One social-graph change.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FollowEvent {
+    /// The user who follows.
+    pub follower: u32,
+    /// The user being followed.
+    pub followee: u32,
+}
+
+/// Stream events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// A new tweet.
+    Tweet(Tweet),
+    /// A social-graph change.
+    Follow(FollowEvent),
+}
+
+/// Deterministic tweet/follow stream generator.
+pub struct TweetStream {
+    rng: Xoshiro256,
+    users: u32,
+    vocab: Vec<String>,
+    next_id: u64,
+    /// Probability an event is a follow instead of a tweet.
+    follow_ratio: f64,
+}
+
+const BASE_WORDS: &[&str] = &[
+    "cloud", "storage", "realtime", "search", "index", "memory", "latency", "trigger", "stream",
+    "cluster", "scale", "data", "query", "update", "social", "graph", "friend", "message", "fresh",
+    "trend",
+];
+
+impl TweetStream {
+    /// Creates a stream over `users` users.
+    pub fn new(seed: u64, users: u32) -> Self {
+        assert!(users > 0);
+        let vocab = BASE_WORDS.iter().map(|w| w.to_string()).collect();
+        TweetStream {
+            rng: Xoshiro256::seeded(seed),
+            users,
+            vocab,
+            next_id: 0,
+            follow_ratio: 0.1,
+        }
+    }
+
+    /// Sets the fraction of events that are follow events.
+    pub fn with_follow_ratio(mut self, ratio: f64) -> Self {
+        self.follow_ratio = ratio.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Zipf-ish user pick: low ids are popular.
+    fn pick_user(&mut self) -> u32 {
+        // Square the unit sample: heavy head, long tail, cheap.
+        let u = self.rng.next_f64();
+        ((u * u * self.users as f64) as u32).min(self.users - 1)
+    }
+
+    fn pick_word(&mut self) -> &str {
+        // Zipf-ish over the vocabulary.
+        let u = self.rng.next_f64();
+        let idx = ((u * u * self.vocab.len() as f64) as usize).min(self.vocab.len() - 1);
+        &self.vocab[idx]
+    }
+
+    /// Produces the next event.
+    pub fn next_event(&mut self) -> StreamEvent {
+        if self.rng.chance(self.follow_ratio) {
+            let follower = self.pick_user();
+            let mut followee = self.pick_user();
+            if followee == follower {
+                followee = (followee + 1) % self.users;
+            }
+            StreamEvent::Follow(FollowEvent { follower, followee })
+        } else {
+            let author = self.pick_user();
+            let words = 3 + self.rng.next_below(8);
+            let mut text = String::new();
+            for i in 0..words {
+                if i > 0 {
+                    text.push(' ');
+                }
+                let w = self.pick_word().to_string();
+                text.push_str(&w);
+            }
+            text.truncate(140);
+            let id = self.next_id;
+            self.next_id += 1;
+            StreamEvent::Tweet(Tweet { id, author, text })
+        }
+    }
+
+    /// Produces a batch of `n` events.
+    pub fn take(&mut self, n: usize) -> Vec<StreamEvent> {
+        (0..n).map(|_| self.next_event()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let a: Vec<_> = TweetStream::new(7, 100).take(50);
+        let b: Vec<_> = TweetStream::new(7, 100).take(50);
+        assert_eq!(a, b);
+        let c: Vec<_> = TweetStream::new(8, 100).take(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tweets_respect_limits() {
+        let mut s = TweetStream::new(1, 50);
+        let mut tweet_ids = Vec::new();
+        for _ in 0..500 {
+            match s.next_event() {
+                StreamEvent::Tweet(t) => {
+                    assert!(t.text.len() <= 140);
+                    assert!(t.author < 50);
+                    assert!(!t.text.is_empty());
+                    tweet_ids.push(t.id);
+                }
+                StreamEvent::Follow(f) => {
+                    assert_ne!(f.follower, f.followee);
+                    assert!(f.follower < 50 && f.followee < 50);
+                }
+            }
+        }
+        let mut sorted = tweet_ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), tweet_ids.len(), "tweet ids unique & monotone");
+    }
+
+    #[test]
+    fn follow_ratio_is_respected() {
+        let mut s = TweetStream::new(2, 100).with_follow_ratio(0.5);
+        let follows = s
+            .take(4_000)
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Follow(_)))
+            .count();
+        assert!((1_600..2_400).contains(&follows), "{follows}/4000 follows");
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let mut s = TweetStream::new(3, 1_000).with_follow_ratio(0.0);
+        let mut head = 0;
+        let n = 5_000;
+        for e in s.take(n) {
+            if let StreamEvent::Tweet(t) = e {
+                if t.author < 100 {
+                    head += 1;
+                }
+            }
+        }
+        // u² sampling: P(author < 10%) = sqrt(0.1) ≈ 31.6%.
+        assert!(
+            head as f64 / n as f64 > 0.25,
+            "head share {}",
+            head as f64 / n as f64
+        );
+    }
+}

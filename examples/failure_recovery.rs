@@ -1,0 +1,177 @@
+//! Failure handling end to end, on the deterministic simulator so the
+//! timeline is exact and reproducible: write data, crash a replica, watch
+//! reads keep working, then watch the cluster re-replicate.
+//!
+//! ```sh
+//! cargo run --example failure_recovery
+//! ```
+
+use sedna_common::{Key, NodeId, Value};
+use sedna_core::client::{ClientCore, ClientEvent};
+use sedna_core::cluster::SimCluster;
+use sedna_core::config::ClusterConfig;
+use sedna_core::messages::{ClientOp, ClientResult, SednaMsg};
+use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_net::link::LinkModel;
+
+/// Minimal scripted client (one op at a time).
+struct Script {
+    core: ClientCore,
+    script: Vec<ClientOp>,
+    cursor: usize,
+    results: Vec<ClientResult>,
+}
+
+impl Script {
+    fn new(cfg: ClusterConfig, origin: u32, script: Vec<ClientOp>) -> Self {
+        let origin = cfg.client_origin(origin);
+        Script {
+            core: ClientCore::new(cfg, origin),
+            script,
+            cursor: 0,
+            results: Vec::new(),
+        }
+    }
+
+    fn next(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        if self.cursor >= self.script.len() {
+            return;
+        }
+        let op = self.script[self.cursor].clone();
+        self.cursor += 1;
+        let now = ctx.now();
+        let issued = match op {
+            ClientOp::WriteLatest { key, value } => self.core.write_latest(&key, value, now),
+            ClientOp::WriteAll { key, value } => self.core.write_all(&key, value, now),
+            ClientOp::ReadLatest { key } => self.core.read_latest(&key, now),
+            ClientOp::ReadAll { key } => self.core.read_all(&key, now),
+            ClientOp::ScanTable { dataset, table } => self.core.scan_table(&dataset, &table, now),
+        };
+        for (to, m) in issued.expect("ready").1 {
+            ctx.send(to, m);
+        }
+    }
+}
+
+impl Actor for Script {
+    type Msg = SednaMsg;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        for (to, m) in self.core.bootstrap() {
+            ctx.send(to, m);
+        }
+        ctx.set_timer(TimerToken(1), 10_000);
+    }
+    fn on_message(&mut self, from: ActorId, msg: SednaMsg, ctx: &mut Ctx<'_, SednaMsg>) {
+        let now = ctx.now();
+        let (events, out) = self.core.on_message(from, msg, now);
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        for ev in events {
+            match ev {
+                ClientEvent::Ready => self.next(ctx),
+                ClientEvent::Done { result, .. } => {
+                    self.results.push(result);
+                    self.next(ctx);
+                }
+            }
+        }
+    }
+    fn on_timer(&mut self, _t: TimerToken, ctx: &mut Ctx<'_, SednaMsg>) {
+        let (events, out) = self.core.on_tick(ctx.now());
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        for ev in events {
+            if let ClientEvent::Done { result, .. } = ev {
+                self.results.push(result);
+                self.next(ctx);
+            }
+        }
+        ctx.set_timer(TimerToken(1), 10_000);
+    }
+}
+
+fn main() {
+    println!("building a 9-node simulated cluster…");
+    let mut cluster = SimCluster::build(ClusterConfig::paper(), 7, LinkModel::gigabit_lan());
+    cluster.run_until_ready(30_000_000);
+    println!(
+        "t = {:>6.1} ms  cluster ready (ring on every node)",
+        cluster.sim.now() as f64 / 1e3
+    );
+
+    // Write 100 keys.
+    let cfg = cluster.config.clone();
+    let script: Vec<ClientOp> = (0..100)
+        .map(|i| ClientOp::WriteLatest {
+            key: Key::from(format!("k-{i}")),
+            value: Value::from(format!("v-{i}")),
+        })
+        .collect();
+    let writer = cluster
+        .sim
+        .add_actor(Box::new(Script::new(cfg.clone(), 0, script)));
+    cluster.sim.run_until(cluster.sim.now() + 3_000_000);
+    let ok = cluster
+        .sim
+        .actor_ref::<Script>(writer)
+        .unwrap()
+        .results
+        .iter()
+        .filter(|r| **r == ClientResult::Ok)
+        .count();
+    println!(
+        "t = {:>6.1} ms  wrote {ok}/100 keys (N=3 replicas each)",
+        cluster.sim.now() as f64 / 1e3
+    );
+
+    // Crash one replica of k-0.
+    let key = Key::from("k-0");
+    let vnode = cfg.partitioner.locate(&key);
+    let victim = cluster.node(NodeId(0)).ring().unwrap().replicas(vnode)[0];
+    cluster.crash_node(victim);
+    println!(
+        "t = {:>6.1} ms  CRASHED {victim} (a replica of k-0); no recovery has run yet",
+        cluster.sim.now() as f64 / 1e3
+    );
+
+    // Read immediately: quorum R=2 of the survivors answers.
+    let reader = cluster.sim.add_actor(Box::new(Script::new(
+        cfg.clone(),
+        1,
+        vec![ClientOp::ReadLatest { key: key.clone() }],
+    )));
+    cluster.sim.run_until(cluster.sim.now() + 1_500_000);
+    let r = &cluster.sim.actor_ref::<Script>(reader).unwrap().results[0];
+    println!(
+        "t = {:>6.1} ms  read k-0 during the failure → {:?} (quorum masks the crash)",
+        cluster.sim.now() as f64 / 1e3,
+        match r {
+            ClientResult::Latest(Some(v)) =>
+                String::from_utf8_lossy(v.value.as_bytes()).to_string(),
+            other => format!("{other:?}"),
+        }
+    );
+
+    // Let detection + remap + migration run.
+    cluster.sim.run_until(cluster.sim.now() + 10_000_000);
+    let observer = (0..9).map(NodeId).find(|&n| n != victim).unwrap();
+    let ring = cluster.node(observer).ring().unwrap();
+    let replicas = ring.replicas(vnode).to_vec();
+    println!(
+        "t = {:>6.1} ms  membership healed: k-0's replicas are now {replicas:?} (victim gone: {})",
+        cluster.sim.now() as f64 / 1e3,
+        !replicas.contains(&victim)
+    );
+    let holders = replicas
+        .iter()
+        .filter(|&&n| cluster.node(n).store().contains(&key))
+        .count();
+    println!(
+        "t = {:>6.1} ms  {holders}/3 current replicas hold k-0's data again — \
+         re-replication done without any reads forcing it",
+        cluster.sim.now() as f64 / 1e3
+    );
+    println!("\nThe whole timeline above is virtual and reproducible bit-for-bit (seed 7).");
+}

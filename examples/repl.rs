@@ -1,0 +1,115 @@
+//! An interactive shell over a live Sedna cluster — poke the store by hand.
+//!
+//! ```sh
+//! cargo run --release --example repl
+//! ```
+//!
+//! Commands:
+//! ```text
+//! set <key> <value>          write_latest
+//! setall <key> <value>       write_all (one element per writing source)
+//! get <key>                  read_latest
+//! getall <key>               read_all (the whole value list)
+//! tset <ds> <table> <k> <v>  write into the hierarchical key space
+//! tget <ds> <table> <k>      read from it
+//! scan <ds> <table>          scan a whole table
+//! help                       this text
+//! quit                       shut the cluster down
+//! ```
+
+use std::io::{BufRead, Write as _};
+
+use sedna_common::{Key, KeyPath, Value};
+use sedna_core::cluster::ThreadCluster;
+use sedna_core::config::ClusterConfig;
+use sedna_core::messages::ClientResult;
+
+fn show(result: ClientResult) {
+    match result {
+        ClientResult::Ok => println!("ok"),
+        ClientResult::Outdated => println!("outdated (a newer value exists)"),
+        ClientResult::Latest(Some(v)) => {
+            println!(
+                "{:?}  (ts {:?})",
+                String::from_utf8_lossy(v.value.as_bytes()),
+                v.ts
+            );
+        }
+        ClientResult::Latest(None) => println!("(nil)"),
+        ClientResult::All(Some(values)) => {
+            for v in values {
+                println!(
+                    "  {:?}  from {:?} at {}µs",
+                    String::from_utf8_lossy(v.value.as_bytes()),
+                    v.ts.origin,
+                    v.ts.micros
+                );
+            }
+        }
+        ClientResult::All(None) => println!("(nil)"),
+        ClientResult::Scanned(rows) => {
+            println!("{} row(s)", rows.len());
+            for (k, v) in rows {
+                let label = KeyPath::decode(&k)
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| format!("{k:?}"));
+                println!(
+                    "  {label} = {:?}",
+                    String::from_utf8_lossy(v.value.as_bytes())
+                );
+            }
+        }
+        ClientResult::Failed => println!("FAILED (quorum unreachable; retry)"),
+    }
+}
+
+fn main() {
+    println!("booting a 3-node Sedna cluster (plus 3 coordination replicas)…");
+    let cluster = ThreadCluster::start(ClusterConfig::small());
+    // First op waits for the cluster to assemble.
+    cluster.write_latest(&Key::from("__repl_warmup"), Value::from("1"));
+    println!("ready. type 'help' for commands.\n");
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("sedna> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            [] => {}
+            ["quit"] | ["exit"] => break,
+            ["help"] => println!(
+                "set/get/setall/getall <key> [value] · tset/tget <ds> <table> <k> [v] · \
+                 scan <ds> <table> · quit"
+            ),
+            ["set", key, value @ ..] if !value.is_empty() => {
+                show(cluster.write_latest(&Key::from(*key), Value::from(value.join(" "))));
+            }
+            ["setall", key, value @ ..] if !value.is_empty() => {
+                show(cluster.write_all(&Key::from(*key), Value::from(value.join(" "))));
+            }
+            ["get", key] => show(cluster.read_latest(&Key::from(*key))),
+            ["getall", key] => show(cluster.read_all(&Key::from(*key))),
+            ["tset", ds, table, key, value @ ..] if !value.is_empty() => {
+                match KeyPath::new(*ds, *table, *key) {
+                    Some(p) => {
+                        show(cluster.write_latest(&p.encode(), Value::from(value.join(" "))))
+                    }
+                    None => println!("bad path component"),
+                }
+            }
+            ["tget", ds, table, key] => match KeyPath::new(*ds, *table, *key) {
+                Some(p) => show(cluster.read_latest(&p.encode())),
+                None => println!("bad path component"),
+            },
+            ["scan", ds, table] => show(cluster.scan_table(ds, table)),
+            other => println!("unknown command {other:?}; try 'help'"),
+        }
+    }
+    println!("shutting down…");
+    cluster.shutdown();
+}

@@ -1,0 +1,18 @@
+//! `sedna-suite` is the umbrella package of the Sedna workspace.
+//!
+//! It exists to host the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`; the actual library code lives
+//! in the `crates/` members. It re-exports the public crates so examples and
+//! tests can use one import root.
+
+pub use sedna_common as common;
+pub use sedna_coord as coord;
+pub use sedna_core as core;
+pub use sedna_memcached as memcached;
+pub use sedna_memstore as memstore;
+pub use sedna_net as net;
+pub use sedna_persist as persist;
+pub use sedna_replication as replication;
+pub use sedna_ring as ring;
+pub use sedna_triggers as triggers;
+pub use sedna_workload as workload;
