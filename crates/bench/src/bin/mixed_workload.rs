@@ -8,6 +8,7 @@
 //! * zipfian skew concentrates load on the hot keys' replica sets, which
 //!   costs throughput when many clients contend.
 
+use sedna_bench::SednaBatchDriver;
 use sedna_common::rng::Xoshiro256;
 use sedna_common::time::Micros;
 use sedna_core::client::{ClientCore, ClientEvent};
@@ -172,6 +173,139 @@ fn run(read_fraction: f64, zipfian: bool, clients: u32, ops: u64, seed: u64) -> 
     (throughput_kops, errors)
 }
 
+// ---------------------------------------------------------------------------
+// Batched-datapath ablation (BENCH_batching.json)
+// ---------------------------------------------------------------------------
+
+/// One batching-ablation run's machine-readable summary.
+struct BatchRun {
+    /// Transport frames per client key-operation (replica ops + acks + the
+    /// cluster's modest background gossip, all divided by key-ops moved).
+    frames_per_op: f64,
+    p50_micros: Micros,
+    p99_micros: Micros,
+    errors: u64,
+}
+
+fn percentile(sorted: &[Micros], p: f64) -> Micros {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Runs the multi-key workload with the given coalescing window
+/// (`max_batch_ops = 1` disables batching) and measures frames per key-op
+/// plus per-group virtual-time latency percentiles.
+fn run_batching(
+    max_batch_ops: usize,
+    clients: u32,
+    groups: u64,
+    group_size: u64,
+    seed: u64,
+) -> BatchRun {
+    let cfg = ClusterConfig::paper().with_batching(max_batch_ops, 0);
+    let sim_config = SimConfig {
+        seed,
+        link: LinkModel::gigabit_lan(),
+        send_overhead_micros: 4,
+    };
+    let mut cluster = SimCluster::build_with_sim_config(cfg.clone(), sim_config, |_| None);
+    cluster.run_until_ready(60_000_000);
+    let mut ids = Vec::new();
+    for c in 0..clients {
+        let id = cluster.sim.add_actor(Box::new(SednaBatchDriver::new(
+            cfg.clone(),
+            c,
+            c as u64 * groups * group_size,
+            groups,
+            group_size,
+        )));
+        cluster.sim.share_cpu(
+            id,
+            cfg.node_actor(sedna_common::NodeId(c % cfg.data_nodes as u32)),
+        );
+        ids.push(id);
+    }
+    let frames_before = cluster.sim.stats().messages_sent;
+    let ceiling = cluster.sim.now() + 240_000_000;
+    loop {
+        let t = cluster.sim.now() + 500_000;
+        cluster.sim.run_until(t);
+        let all = ids.iter().all(|&id| {
+            cluster
+                .sim
+                .actor_ref::<SednaBatchDriver>(id)
+                .is_some_and(|d| d.finished())
+        });
+        if all {
+            break;
+        }
+        assert!(t < ceiling, "batching run stuck");
+    }
+    let frames = cluster.sim.stats().messages_sent - frames_before;
+    let mut latencies: Vec<Micros> = Vec::new();
+    let mut errors = 0;
+    for &id in &ids {
+        let d = cluster.sim.actor_ref::<SednaBatchDriver>(id).unwrap();
+        latencies.extend(d.group_latencies.iter().copied());
+        errors += d.times.errors;
+    }
+    latencies.sort_unstable();
+    // Write phase + read phase each touch every key once.
+    let key_ops = clients as u64 * groups * group_size * 2;
+    BatchRun {
+        frames_per_op: frames as f64 / key_ops as f64,
+        p50_micros: percentile(&latencies, 0.50),
+        p99_micros: percentile(&latencies, 0.99),
+        errors,
+    }
+}
+
+fn batching_ablation() {
+    let (clients, groups, group_size, window) = (4u32, 128u64, 16u64, 8usize);
+    println!("#");
+    println!(
+        "# batching ablation — {clients} clients × {groups} groups × {group_size} keys/group, \
+         window {window}, N=3 W=2 R=2"
+    );
+    let off = run_batching(1, clients, groups, group_size, 0xBA7C);
+    let on = run_batching(window, clients, groups, group_size, 0xBA7C);
+    println!(
+        "{:>12} {:>14} {:>12} {:>12} {:>8}",
+        "batching", "frames/key-op", "p50_us", "p99_us", "errors"
+    );
+    for (label, r) in [("off", &off), ("on", &on)] {
+        println!(
+            "{:>12} {:>14.2} {:>12} {:>12} {:>8}",
+            label, r.frames_per_op, r.p50_micros, r.p99_micros, r.errors
+        );
+    }
+    let reduction = off.frames_per_op / on.frames_per_op;
+    println!("# frame reduction: {reduction:.2}x");
+    let json = format!(
+        "{{\n  \"bench\": \"batching\",\n  \"config\": {{\n    \"clients\": {clients},\n    \
+         \"groups_per_client\": {groups},\n    \"group_size\": {group_size},\n    \
+         \"max_batch_ops\": {window},\n    \"max_batch_delay_micros\": 0,\n    \
+         \"quorum\": \"N=3 W=2 R=2\"\n  }},\n  \"batching_off\": {{\n    \
+         \"frames_per_op\": {:.3},\n    \"p50_micros\": {},\n    \"p99_micros\": {},\n    \
+         \"errors\": {}\n  }},\n  \"batching_on\": {{\n    \"frames_per_op\": {:.3},\n    \
+         \"p50_micros\": {},\n    \"p99_micros\": {},\n    \"errors\": {}\n  }},\n  \
+         \"frame_reduction\": {reduction:.3}\n}}\n",
+        off.frames_per_op,
+        off.p50_micros,
+        off.p99_micros,
+        off.errors,
+        on.frames_per_op,
+        on.p50_micros,
+        on.p99_micros,
+        on.errors,
+    );
+    std::fs::write("BENCH_batching.json", json).expect("write BENCH_batching.json");
+    println!("# wrote BENCH_batching.json");
+}
+
 fn main() {
     println!(
         "# mixed_workload — read-fraction × key-skew ablation (9 nodes, 9 clients, 5k ops each)"
@@ -196,4 +330,5 @@ fn main() {
     println!("# higher read fraction ⇒ higher throughput (reads occupy replica CPUs");
     println!("# for less time than 3-way writes); zipfian skew concentrates work on");
     println!("# the hot keys' three replicas and costs aggregate throughput.");
+    batching_ablation();
 }

@@ -167,6 +167,165 @@ impl Actor for SednaLoadDriver {
 pub const CLIENT_PACKET_COST: Micros = 3;
 
 // ---------------------------------------------------------------------------
+// Sedna multi-key (batched) driver
+// ---------------------------------------------------------------------------
+
+/// Closed-loop driver issuing multi-key groups through
+/// [`ClientCore::write_many`] / [`ClientCore::read_many`].
+///
+/// Works like [`SednaLoadDriver`] but moves `group_size` keys per operation:
+/// the write phase covers the driver's key range in `write_many` groups, then
+/// the read phase reads it back in `read_many` groups. One group is in flight
+/// at a time, and the virtual-time latency of every group is recorded so
+/// harnesses can report percentiles.
+pub struct SednaBatchDriver {
+    core: ClientCore,
+    workload: PaperWorkload,
+    /// Each driver owns the key range `[key_offset, key_offset + groups * group_size)`.
+    key_offset: u64,
+    groups: u64,
+    group_size: u64,
+    issued: u64,
+    inflight_since: Micros,
+    phase_reads: bool,
+    /// Recorded timings.
+    pub times: DriverTimes,
+    /// Virtual-time latency of every completed group, in completion order.
+    pub group_latencies: Vec<Micros>,
+}
+
+impl SednaBatchDriver {
+    /// Creates a driver for `groups` groups of `group_size` keys starting at
+    /// `key_offset`.
+    pub fn new(
+        cfg: ClusterConfig,
+        client_index: u32,
+        key_offset: u64,
+        groups: u64,
+        group_size: u64,
+    ) -> Self {
+        let origin = cfg.client_origin(client_index);
+        SednaBatchDriver {
+            core: ClientCore::new(cfg, origin),
+            workload: PaperWorkload::new(),
+            key_offset,
+            groups,
+            group_size,
+            issued: 0,
+            inflight_since: 0,
+            phase_reads: false,
+            times: DriverTimes::default(),
+            group_latencies: Vec::new(),
+        }
+    }
+
+    /// True when both phases completed.
+    pub fn finished(&self) -> bool {
+        self.times.reads_done_at.is_some()
+    }
+
+    fn key(&self, i: u64) -> Key {
+        self.workload.key(self.key_offset + i)
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        let now = ctx.now();
+        if !self.phase_reads {
+            if self.issued < self.groups {
+                let base = self.issued * self.group_size;
+                self.issued += 1;
+                let pairs: Vec<_> = (0..self.group_size)
+                    .map(|i| (self.key(base + i), self.workload.value()))
+                    .collect();
+                self.inflight_since = now;
+                if let Some((_, out)) = self.core.write_many(&pairs, now) {
+                    for (to, m) in out {
+                        ctx.send(to, m);
+                    }
+                }
+                return;
+            }
+            self.times.writes_done_at = Some(now);
+            self.phase_reads = true;
+            self.issued = 0;
+        }
+        if self.issued < self.groups {
+            let base = self.issued * self.group_size;
+            self.issued += 1;
+            let keys: Vec<_> = (0..self.group_size).map(|i| self.key(base + i)).collect();
+            self.inflight_since = now;
+            if let Some((_, out)) = self.core.read_many(&keys, now) {
+                for (to, m) in out {
+                    ctx.send(to, m);
+                }
+            }
+        } else if self.times.reads_done_at.is_none() {
+            self.times.reads_done_at = Some(now);
+        }
+    }
+
+    fn pump(&mut self, events: Vec<ClientEvent>, ctx: &mut Ctx<'_, SednaMsg>) {
+        for ev in events {
+            match ev {
+                ClientEvent::Ready => {
+                    self.times.started_at = ctx.now();
+                    self.issue_next(ctx);
+                }
+                ClientEvent::Done { result, .. } => {
+                    use sedna_core::messages::ClientResult;
+                    self.group_latencies.push(ctx.now() - self.inflight_since);
+                    match result {
+                        ClientResult::Many(children) => {
+                            for child in children {
+                                match child {
+                                    ClientResult::Ok | ClientResult::Latest(Some(_)) => {}
+                                    _ => self.times.errors += 1,
+                                }
+                            }
+                        }
+                        _ => self.times.errors += 1,
+                    }
+                    self.issue_next(ctx);
+                }
+            }
+        }
+    }
+}
+
+impl Actor for SednaBatchDriver {
+    type Msg = SednaMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        for (to, m) in self.core.bootstrap() {
+            ctx.send(to, m);
+        }
+        ctx.set_timer(T_TICK, 10_000);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: SednaMsg, ctx: &mut Ctx<'_, SednaMsg>) {
+        let now = ctx.now();
+        let (events, out) = self.core.on_message(from, msg, now);
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        self.pump(events, ctx);
+    }
+
+    fn on_timer(&mut self, _t: TimerToken, ctx: &mut Ctx<'_, SednaMsg>) {
+        let (events, out) = self.core.on_tick(ctx.now());
+        for (to, m) in out {
+            ctx.send(to, m);
+        }
+        self.pump(events, ctx);
+        ctx.set_timer(T_TICK, 10_000);
+    }
+
+    fn service_micros(&self, _msg: &SednaMsg) -> Micros {
+        CLIENT_PACKET_COST
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Memcached driver
 // ---------------------------------------------------------------------------
 
@@ -272,5 +431,15 @@ mod tests {
         assert_ne!(a.key(99), b.key(0));
         assert_eq!(a.key(0), PaperWorkload::new().key(0));
         assert_eq!(b.key(0), PaperWorkload::new().key(100));
+    }
+
+    #[test]
+    fn batch_driver_covers_the_same_keys_as_the_load_driver() {
+        let cfg = ClusterConfig::small();
+        let plain = SednaLoadDriver::new(cfg.clone(), 0, 64, 32);
+        let batched = SednaBatchDriver::new(cfg, 0, 64, 4, 8);
+        for i in 0..32 {
+            assert_eq!(plain.key(i), batched.key(i));
+        }
     }
 }

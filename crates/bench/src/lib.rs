@@ -21,5 +21,5 @@
 pub mod drivers;
 pub mod runs;
 
-pub use drivers::{McLoadDriver, SednaLoadDriver};
+pub use drivers::{McLoadDriver, SednaBatchDriver, SednaLoadDriver};
 pub use runs::{run_memcached_load, run_sedna_load, LoadResult};

@@ -48,6 +48,11 @@ pub enum ClientEvent {
 /// Outbound messages produced by the client helpers.
 pub type Outbox = Vec<(ActorId, SednaMsg)>;
 
+/// Raw per-destination replica ops before framing. [`ClientCore`] turns
+/// these into wire frames — one frame per op, or coalesced
+/// [`ReplicaOp::Batch`] frames when batching is enabled.
+pub type ReplicaOutbox = Vec<(ActorId, ReplicaOp)>;
+
 // ---------------------------------------------------------------------------
 // QuorumWriter
 // ---------------------------------------------------------------------------
@@ -81,7 +86,7 @@ impl QuorumWriter {
         value: &Value,
         kind: WriteKind,
         deadline: Micros,
-    ) -> Outbox {
+    ) -> ReplicaOutbox {
         self.next_req += 1;
         let req = RequestId(self.next_req);
         self.pending.insert(
@@ -97,13 +102,13 @@ impl QuorumWriter {
             .map(|&n| {
                 (
                     cfg.node_actor(n),
-                    SednaMsg::Replica(ReplicaOp::Write {
+                    ReplicaOp::Write {
                         req,
                         key: key.clone(),
                         ts,
                         value: value.clone(),
                         kind,
-                    }),
+                    },
                 )
             })
             .collect()
@@ -193,7 +198,7 @@ pub struct FinishedRead {
     /// The client-visible result.
     pub result: ClientResult,
     /// Read-repair pushes to send.
-    pub repairs: Outbox,
+    pub repairs: ReplicaOutbox,
     /// True when failures indicate the routing cache may be stale.
     pub saw_failure: bool,
 }
@@ -217,7 +222,7 @@ impl QuorumReader {
         key: &Key,
         kind: ReadKind,
         deadline: Micros,
-    ) -> Outbox {
+    ) -> ReplicaOutbox {
         self.next_req += 1;
         let req = RequestId(self.next_req);
         self.pending.insert(
@@ -235,10 +240,10 @@ impl QuorumReader {
             .map(|&n| {
                 (
                     cfg.node_actor(n),
-                    SednaMsg::Replica(ReplicaOp::Read {
+                    ReplicaOp::Read {
                         req,
                         key: key.clone(),
-                    }),
+                    },
                 )
             })
             .collect()
@@ -295,7 +300,7 @@ impl QuorumReader {
             return None;
         }
         let p = self.pending.remove(&req).expect("pending read");
-        let mut repairs: Outbox = Vec::new();
+        let mut repairs: ReplicaOutbox = Vec::new();
         let mut saw_failure = false;
         let result = match outcome {
             ReadOutcome::Ok(values) => render(p.kind, Some(values)),
@@ -310,10 +315,10 @@ impl QuorumReader {
                     };
                     repairs.push((
                         cfg.node_actor(to),
-                        SednaMsg::Replica(ReplicaOp::Push {
+                        ReplicaOp::Push {
                             key: p.key.clone(),
                             versions,
-                        }),
+                        },
                     ));
                 }
                 saw_failure = p.coord.failed_nodes().next().is_some();
@@ -374,7 +379,7 @@ impl ScanCoordinator {
         members: &[NodeId],
         prefix: Vec<u8>,
         deadline: Micros,
-    ) -> Outbox {
+    ) -> ReplicaOutbox {
         self.next_req += 1;
         let req = RequestId(self.next_req);
         self.pending.insert(
@@ -391,10 +396,10 @@ impl ScanCoordinator {
             .map(|&n| {
                 (
                     cfg.node_actor(n),
-                    SednaMsg::Replica(ReplicaOp::Scan {
+                    ReplicaOp::Scan {
                         req,
                         prefix: prefix.clone(),
-                    }),
+                    },
                 )
             })
             .collect()
@@ -448,6 +453,14 @@ impl ScanCoordinator {
 // ClientCore
 // ---------------------------------------------------------------------------
 
+/// A multi-key operation (`write_many`/`read_many`) being assembled from
+/// its per-key child quorum ops.
+struct PendingGroup {
+    /// Per-key results in request order; `None` = child still in flight.
+    results: Vec<Option<ClientResult>>,
+    remaining: usize,
+}
+
 /// The embeddable Sedna client ("local Sedna service").
 pub struct ClientCore {
     cfg: ClusterConfig,
@@ -466,6 +479,15 @@ pub struct ClientCore {
     last_ping: Micros,
     last_lease_check: Micros,
     announced_ready: bool,
+    /// Staged replica ops awaiting coalescing (only used when
+    /// `cfg.max_batch_ops > 1`).
+    stage: ReplicaOutbox,
+    /// When the oldest currently-staged op was staged.
+    stage_since: Micros,
+    /// In-flight multi-key groups, keyed by group op id.
+    groups: HashMap<u64, PendingGroup>,
+    /// Child op id → (group op id, index within the group).
+    child_group: HashMap<u64, (u64, usize)>,
 }
 
 impl ClientCore {
@@ -494,6 +516,10 @@ impl ClientCore {
             last_ping: 0,
             last_lease_check: 0,
             announced_ready: false,
+            stage: Vec::new(),
+            stage_since: 0,
+            groups: HashMap::new(),
+            child_group: HashMap::new(),
         }
     }
 
@@ -532,6 +558,97 @@ impl ClientCore {
         (!replicas.is_empty()).then(|| replicas.to_vec())
     }
 
+    /// Queues raw replica ops for sending. With batching disabled
+    /// (`max_batch_ops == 1`) they pass straight through as individual
+    /// frames — bit for bit the unbatched datapath; otherwise they are
+    /// staged for per-destination coalescing by [`ClientCore::flush_stage`].
+    fn stage_ops(&mut self, raw: ReplicaOutbox, now: Micros, out: &mut Outbox) {
+        if self.cfg.max_batch_ops <= 1 {
+            out.extend(raw.into_iter().map(|(to, op)| (to, SednaMsg::Replica(op))));
+            return;
+        }
+        if !raw.is_empty() && self.stage.is_empty() {
+            self.stage_since = now;
+        }
+        self.stage.extend(raw);
+    }
+
+    /// Flushes the staging buffer, grouping staged ops per destination in
+    /// first-appearance order. Full batches (`max_batch_ops` sub-ops)
+    /// always go out; partial batches go out once `max_batch_delay_micros`
+    /// has passed since the oldest staged op — with a zero window that is
+    /// immediately, i.e. at the end of the tick that staged them.
+    fn flush_stage(&mut self, now: Micros, out: &mut Outbox) {
+        if self.stage.is_empty() {
+            return;
+        }
+        let flush_partial =
+            now.saturating_sub(self.stage_since) >= self.cfg.max_batch_delay_micros;
+        let staged = std::mem::take(&mut self.stage);
+        let mut order: Vec<ActorId> = Vec::new();
+        let mut per: HashMap<ActorId, Vec<ReplicaOp>> = HashMap::new();
+        for (to, op) in staged {
+            let q = per.entry(to).or_default();
+            if q.is_empty() {
+                order.push(to);
+            }
+            q.push(op);
+        }
+        for to in order {
+            let mut ops = per.remove(&to).expect("grouped above");
+            while ops.len() >= self.cfg.max_batch_ops {
+                let rest = ops.split_off(self.cfg.max_batch_ops);
+                emit_frame(out, to, ops);
+                ops = rest;
+            }
+            if ops.is_empty() {
+                continue;
+            }
+            if flush_partial {
+                emit_frame(out, to, ops);
+            } else {
+                // Held back for companions; `stage_since` still tracks the
+                // oldest op, so the delay bound keeps applying to these.
+                self.stage.extend(ops.into_iter().map(|op| (to, op)));
+            }
+        }
+    }
+
+    /// Stages `raw` and performs the end-of-tick flush.
+    fn dispatch(&mut self, raw: ReplicaOutbox, now: Micros) -> Outbox {
+        let mut out = Outbox::new();
+        self.stage_ops(raw, now, &mut out);
+        self.flush_stage(now, &mut out);
+        out
+    }
+
+    /// Routes a finished op to its completion: standalone ops surface as
+    /// [`ClientEvent::Done`] directly; children of a `write_many`/
+    /// `read_many` group complete the group once every sibling reported.
+    fn complete(&mut self, op_id: u64, result: ClientResult, events: &mut Vec<ClientEvent>) {
+        let Some((group_id, idx)) = self.child_group.remove(&op_id) else {
+            events.push(ClientEvent::Done { op_id, result });
+            return;
+        };
+        let group = self.groups.get_mut(&group_id).expect("group for child");
+        if group.results[idx].is_none() {
+            group.remaining -= 1;
+        }
+        group.results[idx] = Some(result);
+        if group.remaining == 0 {
+            let group = self.groups.remove(&group_id).expect("present");
+            let results = group
+                .results
+                .into_iter()
+                .map(|r| r.unwrap_or(ClientResult::Failed))
+                .collect();
+            events.push(ClientEvent::Done {
+                op_id: group_id,
+                result: ClientResult::Many(results),
+            });
+        }
+    }
+
     /// Issues a `write_latest`. Returns `None` until [`ClientCore::is_ready`].
     pub fn write_latest(&mut self, key: &Key, value: Value, now: Micros) -> Option<(u64, Outbox)> {
         self.write(key, value, WriteKind::Latest, now)
@@ -554,7 +671,7 @@ impl ClientCore {
         let op_id = self.next_op;
         let ts = self.next_timestamp(now);
         let deadline = now + self.cfg.request_deadline_micros;
-        let out = self.writer.begin(
+        let raw = self.writer.begin(
             &self.cfg,
             op_id,
             &replicas,
@@ -565,7 +682,92 @@ impl ClientCore {
             kind,
             deadline,
         );
-        Some((op_id, out))
+        Some((op_id, self.dispatch(raw, now)))
+    }
+
+    /// Issues one `write_latest` per `(key, value)` pair as a single
+    /// multi-key operation. The per-key quorum writes are staged together,
+    /// so replicas of different keys that share a destination node receive
+    /// one coalesced [`ReplicaOp::Batch`] frame instead of one frame per
+    /// key (when batching is enabled via
+    /// [`ClusterConfig::with_batching`](crate::config::ClusterConfig::with_batching)).
+    /// Completes with one [`ClientResult::Many`] holding the per-key
+    /// results in request order. Returns `None` until ready or when
+    /// `pairs` is empty.
+    pub fn write_many(&mut self, pairs: &[(Key, Value)], now: Micros) -> Option<(u64, Outbox)> {
+        if pairs.is_empty() {
+            return None;
+        }
+        let routes: Option<Vec<Vec<NodeId>>> =
+            pairs.iter().map(|(k, _)| self.replicas_for(k)).collect();
+        let routes = routes?;
+        self.next_op += 1;
+        let group_id = self.next_op;
+        let deadline = now + self.cfg.request_deadline_micros;
+        let mut raw = ReplicaOutbox::new();
+        for (idx, ((key, value), replicas)) in pairs.iter().zip(&routes).enumerate() {
+            self.next_op += 1;
+            let child = self.next_op;
+            let ts = self.next_timestamp(now);
+            raw.extend(self.writer.begin(
+                &self.cfg,
+                child,
+                replicas,
+                self.cfg.quorum.w,
+                key,
+                ts,
+                value,
+                WriteKind::Latest,
+                deadline,
+            ));
+            self.child_group.insert(child, (group_id, idx));
+        }
+        self.groups.insert(
+            group_id,
+            PendingGroup {
+                results: vec![None; pairs.len()],
+                remaining: pairs.len(),
+            },
+        );
+        Some((group_id, self.dispatch(raw, now)))
+    }
+
+    /// Issues one `read_latest` per key as a single multi-key operation
+    /// (see [`ClientCore::write_many`] for the batching behavior).
+    /// Completes with [`ClientResult::Many`] in request order.
+    pub fn read_many(&mut self, keys: &[Key], now: Micros) -> Option<(u64, Outbox)> {
+        if keys.is_empty() {
+            return None;
+        }
+        let routes: Option<Vec<Vec<NodeId>>> =
+            keys.iter().map(|k| self.replicas_for(k)).collect();
+        let routes = routes?;
+        self.next_op += 1;
+        let group_id = self.next_op;
+        let deadline = now + self.cfg.request_deadline_micros;
+        let mut raw = ReplicaOutbox::new();
+        for (idx, (key, replicas)) in keys.iter().zip(&routes).enumerate() {
+            self.next_op += 1;
+            let child = self.next_op;
+            raw.extend(self.reader.begin(
+                &self.cfg,
+                child,
+                replicas,
+                self.cfg.quorum.r,
+                key,
+                ReadKind::Latest,
+                deadline,
+            ));
+            self.child_group.insert(child, (group_id, idx));
+        }
+        self.groups.insert(
+            group_id,
+            PendingGroup {
+                results: vec![None; keys.len()],
+                remaining: keys.len(),
+            },
+        );
+        Some((group_id, self.dispatch(raw, now)))
     }
 
     /// Issues a `read_latest`.
@@ -593,10 +795,10 @@ impl ClientCore {
         let prefix = sedna_common::KeyPath::prefix_for_table(dataset, table);
         // Scans touch every node; give them a bigger deadline than point ops.
         let deadline = now + self.cfg.request_deadline_micros * 4;
-        let out = self
+        let raw = self
             .scanner
             .begin(&self.cfg, op_id, &members, prefix, deadline);
-        Some((op_id, out))
+        Some((op_id, self.dispatch(raw, now)))
     }
 
     fn read(&mut self, key: &Key, kind: ReadKind, now: Micros) -> Option<(u64, Outbox)> {
@@ -604,7 +806,7 @@ impl ClientCore {
         self.next_op += 1;
         let op_id = self.next_op;
         let deadline = now + self.cfg.request_deadline_micros;
-        let out = self.reader.begin(
+        let raw = self.reader.begin(
             &self.cfg,
             op_id,
             &replicas,
@@ -613,7 +815,7 @@ impl ClientCore {
             kind,
             deadline,
         );
-        Some((op_id, out))
+        Some((op_id, self.dispatch(raw, now)))
     }
 
     fn request_ring(&mut self, now: Micros) -> Outbox {
@@ -668,45 +870,66 @@ impl ClientCore {
                     _ => {}
                 }
             }
-            SednaMsg::Replica(ReplicaOp::WriteAck { req, ack }) => {
+            SednaMsg::Replica(op) => {
+                self.on_replica_reply(from, op, now, &mut events, &mut out);
+                // A reply may have queued repair pushes, and any delayed
+                // partial batch whose window elapsed goes out now.
+                self.flush_stage(now, &mut out);
+            }
+            _ => {}
+        }
+        (events, out)
+    }
+
+    /// Handles one replica-originated frame — possibly a sub-reply carried
+    /// inside a [`ReplicaOp::AckBatch`]. Read-repair pushes go through the
+    /// staging buffer so they coalesce like any other replica op.
+    fn on_replica_reply(
+        &mut self,
+        from: ActorId,
+        op: ReplicaOp,
+        now: Micros,
+        events: &mut Vec<ClientEvent>,
+        out: &mut Outbox,
+    ) {
+        match op {
+            ReplicaOp::WriteAck { req, ack } => {
                 let (done, refused) = self.writer.on_ack(&self.cfg, from, req, ack);
                 if refused {
                     out.extend(self.refresh_ring_now(now));
                 }
                 if let Some((op_id, agg)) = done {
-                    events.push(ClientEvent::Done {
-                        op_id,
-                        result: write_result(agg),
-                    });
+                    self.complete(op_id, write_result(agg), events);
                 }
             }
-            SednaMsg::Replica(ReplicaOp::ScanReply { req, rows }) => {
+            ReplicaOp::ScanReply { req, rows } => {
                 if let Some((op_id, rows)) = self.scanner.on_reply(&self.cfg, from, req, rows) {
-                    events.push(ClientEvent::Done {
-                        op_id,
-                        result: ClientResult::Scanned(rows),
-                    });
+                    self.complete(op_id, ClientResult::Scanned(rows), events);
                 }
             }
-            SednaMsg::Replica(ReplicaOp::ReadReply { req, reply }) => {
+            ReplicaOp::ReadReply { req, reply } => {
                 let refused = matches!(reply, ReplicaReadReply::Refused);
                 if refused {
                     out.extend(self.refresh_ring_now(now));
                 }
                 if let Some(fin) = self.reader.on_reply(&self.cfg, from, req, reply) {
-                    out.extend(fin.repairs);
+                    self.stage_ops(fin.repairs, now, out);
                     if fin.saw_failure {
                         out.extend(self.refresh_ring_now(now));
                     }
-                    events.push(ClientEvent::Done {
-                        op_id: fin.op_id,
-                        result: fin.result,
-                    });
+                    self.complete(fin.op_id, fin.result, events);
+                }
+            }
+            ReplicaOp::AckBatch { acks } => {
+                for ack in acks {
+                    // Batches are never nested; skip malformed frames.
+                    if !matches!(ack, ReplicaOp::AckBatch { .. } | ReplicaOp::Batch { .. }) {
+                        self.on_replica_reply(from, ack, now, events, out);
+                    }
                 }
             }
             _ => {}
         }
-        (events, out)
     }
 
     fn refresh_ring_now(&mut self, now: Micros) -> Outbox {
@@ -760,30 +983,22 @@ impl ClientCore {
         let mut out: Outbox = Vec::new();
         for (op_id, agg) in self.writer.on_tick(now) {
             let failed = matches!(agg, WriteOutcomeAgg::Failed { .. });
-            events.push(ClientEvent::Done {
-                op_id,
-                result: write_result(agg),
-            });
+            self.complete(op_id, write_result(agg), &mut events);
             if failed {
                 out.extend(self.refresh_ring_now(now));
             }
         }
         for (op_id, rows) in self.scanner.on_tick(now) {
-            events.push(ClientEvent::Done {
-                op_id,
-                result: ClientResult::Scanned(rows),
-            });
+            self.complete(op_id, ClientResult::Scanned(rows), &mut events);
         }
         for fin in self.reader.on_tick(&self.cfg, now) {
-            out.extend(fin.repairs);
+            self.stage_ops(fin.repairs, now, &mut out);
             if fin.saw_failure {
                 out.extend(self.refresh_ring_now(now));
             }
-            events.push(ClientEvent::Done {
-                op_id: fin.op_id,
-                result: fin.result,
-            });
+            self.complete(fin.op_id, fin.result, &mut events);
         }
+        self.flush_stage(now, &mut out);
         if now.saturating_sub(self.last_ping) >= self.cfg.ping_interval_micros {
             self.last_ping = now;
             if let Some((to, m)) = self.session.ping() {
@@ -821,6 +1036,19 @@ impl ClientCore {
         }
         (events, out)
     }
+}
+
+/// Frames one destination's chunk: a single op travels as a bare frame
+/// (indistinguishable from the unbatched datapath on the wire), two or
+/// more share one [`ReplicaOp::Batch`] header.
+fn emit_frame(out: &mut Outbox, to: ActorId, mut ops: Vec<ReplicaOp>) {
+    debug_assert!(!ops.is_empty());
+    let msg = if ops.len() == 1 {
+        SednaMsg::Replica(ops.pop().expect("non-empty"))
+    } else {
+        SednaMsg::Replica(ReplicaOp::Batch { ops })
+    };
+    out.push((to, msg));
 }
 
 fn write_result(agg: WriteOutcomeAgg) -> ClientResult {
@@ -871,7 +1099,7 @@ mod tests {
         assert_eq!(out.len(), 3);
         assert_eq!(w.in_flight(), 1);
         let req = match &out[0].1 {
-            SednaMsg::Replica(ReplicaOp::Write { req, .. }) => *req,
+            ReplicaOp::Write { req, .. } => *req,
             other => panic!("{other:?}"),
         };
         let (done, _) = w.on_ack(&cfg, cfg.node_actor(NodeId(0)), req, ReplicaWriteAck::Ok);
@@ -917,7 +1145,7 @@ mod tests {
             100,
         );
         let req = match &out[0].1 {
-            SednaMsg::Replica(ReplicaOp::Read { req, .. }) => *req,
+            ReplicaOp::Read { req, .. } => *req,
             other => panic!("{other:?}"),
         };
         let fresh = VersionedValue {
@@ -958,7 +1186,7 @@ mod tests {
         assert_eq!(fin.result, ClientResult::Latest(Some(fresh)));
         assert_eq!(fin.repairs.len(), 2);
         for (_, m) in &fin.repairs {
-            assert!(matches!(m, SednaMsg::Replica(ReplicaOp::Push { .. })));
+            assert!(matches!(m, ReplicaOp::Push { .. }));
         }
     }
 
@@ -980,7 +1208,7 @@ mod tests {
             100,
         );
         let req = match &out[0].1 {
-            SednaMsg::Replica(ReplicaOp::Read { req, .. }) => *req,
+            ReplicaOp::Read { req, .. } => *req,
             other => panic!("{other:?}"),
         };
         let orphan = VersionedValue {
@@ -1036,5 +1264,102 @@ mod tests {
         let d = c.next_timestamp(4); // clock stall/regression
         let e = c.next_timestamp(6);
         assert!(a < b && b < d && d < e);
+    }
+
+    fn raw_ops(n: usize, to: ActorId) -> ReplicaOutbox {
+        (0..n)
+            .map(|i| {
+                (
+                    to,
+                    ReplicaOp::Read {
+                        req: RequestId(i as u64 + 1),
+                        key: Key::from(format!("k{i}")),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stage_bypasses_when_batching_disabled() {
+        let mut c = ClientCore::new(cfg(), NodeId(1_000));
+        assert_eq!(c.cfg.max_batch_ops, 1);
+        let out = c.dispatch(raw_ops(3, ActorId(4)), 0);
+        assert_eq!(out.len(), 3);
+        for (_, m) in &out {
+            assert!(matches!(m, SednaMsg::Replica(ReplicaOp::Read { .. })));
+        }
+        assert!(c.stage.is_empty());
+    }
+
+    #[test]
+    fn flush_coalesces_per_destination_and_chunks() {
+        let mut c = ClientCore::new(cfg().with_batching(2, 0), NodeId(1_000));
+        // 3 ops to node A interleaved with 1 to node B.
+        let mut raw = raw_ops(3, ActorId(4));
+        raw.insert(1, raw_ops(1, ActorId(5)).pop().unwrap());
+        let out = c.dispatch(raw, 0);
+        // A gets a full batch of 2 + a bare leftover; B gets a bare frame.
+        assert_eq!(out.len(), 3);
+        // First-appearance order: all of A's frames first, then B's.
+        match &out[0].1 {
+            SednaMsg::Replica(ReplicaOp::Batch { ops }) => assert_eq!(ops.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(out[0].0, ActorId(4));
+        assert!(matches!(
+            out[1],
+            (ActorId(4), SednaMsg::Replica(ReplicaOp::Read { .. }))
+        ));
+        assert!(matches!(
+            out[2],
+            (ActorId(5), SednaMsg::Replica(ReplicaOp::Read { .. }))
+        ));
+        assert!(c.stage.is_empty());
+    }
+
+    #[test]
+    fn partial_batches_wait_for_the_delay_window() {
+        let mut c = ClientCore::new(cfg().with_batching(4, 100), NodeId(1_000));
+        let out = c.dispatch(raw_ops(2, ActorId(4)), 10);
+        // Partial batch, window not yet elapsed: nothing sent, ops ride.
+        assert!(out.is_empty());
+        assert_eq!(c.stage.len(), 2);
+        // Window elapses: the partial batch flushes as one frame.
+        let mut out = Outbox::new();
+        c.flush_stage(110, &mut out);
+        assert_eq!(out.len(), 1);
+        match &out[0].1 {
+            SednaMsg::Replica(ReplicaOp::Batch { ops }) => assert_eq!(ops.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        assert!(c.stage.is_empty());
+    }
+
+    #[test]
+    fn group_completion_assembles_results_in_request_order() {
+        let mut c = ClientCore::new(cfg(), NodeId(1_000));
+        c.groups.insert(
+            7,
+            PendingGroup {
+                results: vec![None, None],
+                remaining: 2,
+            },
+        );
+        c.child_group.insert(8, (7, 0));
+        c.child_group.insert(9, (7, 1));
+        let mut events = Vec::new();
+        // Children complete out of order; the group reports in slot order.
+        c.complete(9, ClientResult::Outdated, &mut events);
+        assert!(events.is_empty());
+        c.complete(8, ClientResult::Ok, &mut events);
+        assert_eq!(
+            events,
+            vec![ClientEvent::Done {
+                op_id: 7,
+                result: ClientResult::Many(vec![ClientResult::Ok, ClientResult::Outdated]),
+            }]
+        );
+        assert!(c.groups.is_empty() && c.child_group.is_empty());
     }
 }

@@ -64,6 +64,24 @@ impl Gateway {
     }
 
     fn start_op(&mut self, from: ActorId, op_id: u64, op: ClientOp, ctx: &mut Ctx<'_, SednaMsg>) {
+        // An empty group is complete by definition. Answer immediately:
+        // the core reports empty input as `None`, which would otherwise be
+        // indistinguishable from "routing not ready" and backlog forever.
+        let empty_group = match &op {
+            ClientOp::WriteMany { pairs } => pairs.is_empty(),
+            ClientOp::ReadMany { keys } => keys.is_empty(),
+            _ => false,
+        };
+        if empty_group {
+            ctx.send(
+                from,
+                SednaMsg::Client(ClientFrame::Response {
+                    op_id,
+                    result: ClientResult::Many(Vec::new()),
+                }),
+            );
+            return;
+        }
         let now = ctx.now();
         let issued = match &op {
             ClientOp::WriteLatest { key, value } => self.core.write_latest(key, value.clone(), now),
@@ -71,6 +89,8 @@ impl Gateway {
             ClientOp::ReadLatest { key } => self.core.read_latest(key, now),
             ClientOp::ReadAll { key } => self.core.read_all(key, now),
             ClientOp::ScanTable { dataset, table } => self.core.scan_table(dataset, table, now),
+            ClientOp::WriteMany { pairs } => self.core.write_many(pairs, now),
+            ClientOp::ReadMany { keys } => self.core.read_many(keys, now),
         };
         match issued {
             Some((internal_op, out)) => {
@@ -376,9 +396,22 @@ impl ThreadCluster {
     }
 
     fn retry_write(&self, op: ClientOp) -> ClientResult {
+        // A group where *every* key failed is the multi-key shape of
+        // `Failed` (e.g. the cluster is still assembling) — retry it the
+        // same way. Partial failures are returned as-is.
+        fn all_failed(result: &ClientResult) -> bool {
+            match result {
+                ClientResult::Failed => true,
+                ClientResult::Many(children) => {
+                    !children.is_empty()
+                        && children.iter().all(|c| matches!(c, ClientResult::Failed))
+                }
+                _ => false,
+            }
+        }
         for _ in 0..50 {
             match self.call(op.clone(), Duration::from_secs(2)) {
-                ClientResult::Failed => std::thread::sleep(Duration::from_millis(50)),
+                result if all_failed(&result) => std::thread::sleep(Duration::from_millis(50)),
                 done => return done,
             }
         }
@@ -397,6 +430,29 @@ impl ThreadCluster {
     pub fn read_all(&self, key: &Key) -> ClientResult {
         self.call(
             ClientOp::ReadAll { key: key.clone() },
+            Duration::from_secs(2),
+        )
+    }
+
+    /// Blocking multi-key `write_latest`: one round trip for the whole
+    /// group; returns [`ClientResult::Many`] with per-key results in
+    /// request order. Retries internally while the cluster assembles.
+    pub fn write_many(&self, pairs: &[(Key, Value)]) -> ClientResult {
+        if pairs.is_empty() {
+            return ClientResult::Many(Vec::new());
+        }
+        self.retry_write(ClientOp::WriteMany {
+            pairs: pairs.to_vec(),
+        })
+    }
+
+    /// Blocking multi-key `read_latest` (see [`ThreadCluster::write_many`]).
+    pub fn read_many(&self, keys: &[Key]) -> ClientResult {
+        if keys.is_empty() {
+            return ClientResult::Many(Vec::new());
+        }
+        self.call(
+            ClientOp::ReadMany { keys: keys.to_vec() },
             Duration::from_secs(2),
         )
     }

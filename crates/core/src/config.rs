@@ -57,6 +57,17 @@ pub struct ClusterConfig {
     /// exchanging digests with peer replicas and merging diffs — healing
     /// divergence that no read happens to touch. 0 disables.
     pub sync_interval_micros: Micros,
+    /// Datapath batching: at most this many replica ops are coalesced into
+    /// one [`crate::messages::ReplicaOp::Batch`] frame per destination.
+    /// `1` disables coalescing entirely — every op travels as its own frame,
+    /// reproducing the unbatched datapath bit for bit.
+    pub max_batch_ops: usize,
+    /// Datapath batching: how long a staged op may wait for companions
+    /// before a time-based flush (µs). `0` flushes at the end of the tick
+    /// that issued the op, so only ops from the same tick coalesce; a
+    /// positive window lets partial batches ride across ticks (pipelined
+    /// embedders) at a bounded latency cost.
+    pub max_batch_delay_micros: Micros,
 }
 
 impl ClusterConfig {
@@ -88,7 +99,18 @@ impl ClusterConfig {
             rebalance_max_moves: 4,
             rebalance_check_every: 10,
             sync_interval_micros: 2_000_000,
+            // Batching off by default: the paper's datapath is one frame
+            // per replica op. Deployments opt in via `with_batching`.
+            max_batch_ops: 1,
+            max_batch_delay_micros: 0,
         }
+    }
+
+    /// Enables per-destination op coalescing on the replica datapath.
+    pub fn with_batching(mut self, max_ops: usize, max_delay_micros: Micros) -> Self {
+        self.max_batch_ops = max_ops.max(1);
+        self.max_batch_delay_micros = max_delay_micros;
+        self
     }
 
     /// A small 3-data-node cluster for tests.

@@ -137,6 +137,22 @@ pub enum ReplicaOp {
         /// Which node is probing (for the exchange reply).
         from_node: NodeId,
     },
+    /// Several data-path ops for the same destination coalesced into one
+    /// transport frame (the batched replica datapath). Sub-ops are handled
+    /// in order exactly as if they had arrived as individual frames; the
+    /// replies they produce come back coalesced as [`ReplicaOp::AckBatch`].
+    Batch {
+        /// The coalesced sub-ops. Never nested (`Batch`/`AckBatch` inside
+        /// a batch is ignored by receivers).
+        ops: Vec<ReplicaOp>,
+    },
+    /// Several acks/replies for the same requester coalesced into one
+    /// frame (the reply to a [`ReplicaOp::Batch`]).
+    AckBatch {
+        /// The coalesced replies ([`ReplicaOp::WriteAck`] /
+        /// [`ReplicaOp::ReadReply`] / …), in sub-op order.
+        acks: Vec<ReplicaOp>,
+    },
 }
 
 /// Management-plane messages.
@@ -204,6 +220,17 @@ pub enum ClientOp {
         /// Table name.
         table: String,
     },
+    /// `write_many(pairs)`: one `write_latest` per pair, issued together so
+    /// the replica datapath can coalesce frames per destination.
+    WriteMany {
+        /// The `(key, value)` pairs, answered in this order.
+        pairs: Vec<(Key, Value)>,
+    },
+    /// `read_many(keys)`: one `read_latest` per key, issued together.
+    ReadMany {
+        /// The keys, answered in this order.
+        keys: Vec<Key>,
+    },
 }
 
 /// Client-visible results.
@@ -220,6 +247,8 @@ pub enum ClientResult {
     /// Table-scan result: each key exactly once with its freshest version,
     /// sorted by key. Eventually consistent (served from primaries).
     Scanned(Vec<(Key, VersionedValue)>),
+    /// Per-key results of a `write_many`/`read_many`, in request order.
+    Many(Vec<ClientResult>),
     /// The operation failed (`'failure'`); recovery was scheduled.
     Failed,
 }
@@ -336,7 +365,25 @@ impl MessageSize for ReplicaOp {
             ReplicaOp::TransferData { rows, .. } => {
                 rows.iter().map(|(k, v)| k.len() + versions_size(v)).sum()
             }
+            // A batch pays one frame header for the whole group; every
+            // sub-op contributes its body plus an 8-byte sub-header instead
+            // of a full frame header of its own.
+            ReplicaOp::Batch { ops } | ReplicaOp::AckBatch { acks: ops } => {
+                ops.iter().map(|op| op.size_bytes() - HDR + 8).sum()
+            }
         }
+    }
+}
+
+fn client_result_size(result: &ClientResult) -> usize {
+    match result {
+        ClientResult::Latest(Some(v)) => v.value.len() + 24,
+        ClientResult::All(Some(v)) => versions_size(v),
+        ClientResult::Scanned(rows) => {
+            rows.iter().map(|(k, v)| k.len() + v.value.len() + 24).sum()
+        }
+        ClientResult::Many(results) => results.iter().map(client_result_size).sum(),
+        _ => 4,
     }
 }
 
@@ -350,15 +397,12 @@ impl MessageSize for ClientFrame {
                 }
                 ClientOp::ReadLatest { key } | ClientOp::ReadAll { key } => key.len(),
                 ClientOp::ScanTable { dataset, table } => dataset.len() + table.len(),
-            },
-            ClientFrame::Response { result, .. } => match result {
-                ClientResult::Latest(Some(v)) => v.value.len() + 24,
-                ClientResult::All(Some(v)) => versions_size(v),
-                ClientResult::Scanned(rows) => {
-                    rows.iter().map(|(k, v)| k.len() + v.value.len() + 24).sum()
+                ClientOp::WriteMany { pairs } => {
+                    pairs.iter().map(|(k, v)| k.len() + v.len()).sum()
                 }
-                _ => 4,
+                ClientOp::ReadMany { keys } => keys.iter().map(|k| k.len()).sum(),
             },
+            ClientFrame::Response { result, .. } => client_result_size(result),
         }
     }
 }
@@ -414,5 +458,33 @@ mod tests {
             ack: ReplicaWriteAck::Ok,
         });
         assert!(ack.size_bytes() < w.size_bytes());
+    }
+
+    #[test]
+    fn batch_frames_amortize_the_header() {
+        let one = ReplicaOp::Write {
+            req: RequestId(1),
+            key: Key::from("test-000000000000000"),
+            ts: Timestamp::ZERO,
+            value: Value::from_bytes(vec![0u8; 20]),
+            kind: WriteKind::Latest,
+        };
+        let bare = one.size_bytes();
+        let batch = ReplicaOp::Batch {
+            ops: vec![one.clone(), one.clone(), one],
+        };
+        // One 32-byte frame header + 3 × (body + 8-byte sub-header).
+        assert_eq!(batch.size_bytes(), 32 + 3 * (bare - 32 + 8));
+        assert!(batch.size_bytes() < 3 * bare);
+        let acks = ReplicaOp::AckBatch {
+            acks: vec![
+                ReplicaOp::WriteAck {
+                    req: RequestId(1),
+                    ack: ReplicaWriteAck::Ok,
+                };
+                3
+            ],
+        };
+        assert_eq!(acks.size_bytes(), 32 + 3 * (4 + 8));
     }
 }

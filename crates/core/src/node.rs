@@ -529,7 +529,115 @@ impl SednaNode {
                 // Ack for one of our trigger-emit writes.
                 let _ = self.emit_writer.on_ack(&self.cfg, from, req, ack);
             }
+            ReplicaOp::AckBatch { acks } => {
+                for ack in acks {
+                    if let ReplicaOp::WriteAck { req, ack } = ack {
+                        let _ = self.emit_writer.on_ack(&self.cfg, from, req, ack);
+                    }
+                }
+            }
+            ReplicaOp::Batch { ops } => self.handle_batch(from, ops, ctx),
             ReplicaOp::ReadReply { .. } => {}
+        }
+    }
+
+    /// Applies a coalesced client frame. Writes funnel through
+    /// [`MemStore::apply_batch`] and reads through [`MemStore::get_many`],
+    /// so each storage shard is locked once per (shard, batch) group
+    /// instead of once per op; any other sub-op takes the normal per-op
+    /// path. Replies are coalesced symmetrically: several acks share one
+    /// [`ReplicaOp::AckBatch`] frame back to the sender (a single ack
+    /// travels bare, exactly like an unbatched reply).
+    fn handle_batch(&mut self, from: ActorId, ops: Vec<ReplicaOp>, ctx: &mut Ctx<'_, SednaMsg>) {
+        let n = ops.len();
+        let mut acks: Vec<Option<ReplicaOp>> = vec![None; n];
+        let mut write_meta: Vec<(usize, RequestId, WriteKind)> = Vec::new();
+        let mut write_items: Vec<sedna_memstore::BatchWrite> = Vec::new();
+        let mut read_meta: Vec<(usize, RequestId)> = Vec::new();
+        let mut read_keys: Vec<Key> = Vec::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                ReplicaOp::Write {
+                    req,
+                    key,
+                    ts,
+                    value,
+                    kind,
+                } => {
+                    if self.owns(&key) {
+                        write_meta.push((i, req, kind));
+                        write_items.push(sedna_memstore::BatchWrite {
+                            key,
+                            ts,
+                            value,
+                            latest: kind == WriteKind::Latest,
+                        });
+                    } else {
+                        self.stats.refused += 1;
+                        acks[i] = Some(ReplicaOp::WriteAck {
+                            req,
+                            ack: ReplicaWriteAck::Refused,
+                        });
+                    }
+                }
+                ReplicaOp::Read { req, key } => {
+                    if self.owns(&key) {
+                        read_meta.push((i, req));
+                        read_keys.push(key);
+                    } else {
+                        self.stats.refused += 1;
+                        acks[i] = Some(ReplicaOp::ReadReply {
+                            req,
+                            reply: ReplicaReadReply::Refused,
+                        });
+                    }
+                }
+                // Never nested; drop malformed frames.
+                ReplicaOp::Batch { .. } | ReplicaOp::AckBatch { .. } => {}
+                // Anything else (pushes, transfers, ...) replies — or not —
+                // through its regular handler.
+                other => self.handle_replica(from, other, ctx),
+            }
+        }
+        let write_results = self.store.apply_batch(&write_items);
+        for (((i, req, kind), item), res) in
+            write_meta.into_iter().zip(&write_items).zip(write_results)
+        {
+            let ack = match res.outcome {
+                WriteOutcome::Ok => {
+                    self.stats.writes += 1;
+                    let vnode = self.cfg.partitioner.locate(&item.key);
+                    self.vnode_stats[vnode.index()]
+                        .record_write(item.value.len() as i64, res.was_new);
+                    if let Some(p) = &self.persist {
+                        let _ =
+                            p.note_write(&item.key, item.ts, &item.value, kind == WriteKind::Latest);
+                    }
+                    ReplicaWriteAck::Ok
+                }
+                WriteOutcome::Outdated => {
+                    self.stats.outdated += 1;
+                    ReplicaWriteAck::Outdated
+                }
+            };
+            acks[i] = Some(ReplicaOp::WriteAck { req, ack });
+        }
+        let read_results = self.store.get_many(&read_keys);
+        for (((i, req), key), values) in read_meta.into_iter().zip(&read_keys).zip(read_results) {
+            self.stats.reads += 1;
+            let vnode = self.cfg.partitioner.locate(key);
+            self.vnode_stats[vnode.index()].record_read();
+            let reply = match values {
+                Some(values) => ReplicaReadReply::Values(values),
+                None => ReplicaReadReply::Missing,
+            };
+            acks[i] = Some(ReplicaOp::ReadReply { req, reply });
+        }
+        let mut acks: Vec<ReplicaOp> = acks.into_iter().flatten().collect();
+        match acks.len() {
+            0 => {}
+            1 => ctx.send(from, SednaMsg::Replica(acks.pop().expect("one"))),
+            _ => ctx.send(from, SednaMsg::Replica(ReplicaOp::AckBatch { acks })),
         }
     }
 
@@ -725,10 +833,10 @@ impl SednaNode {
                     self.stats.trigger_emits += 1;
                     let op = self.next_emit_op;
                     let w = self.cfg.quorum.w;
-                    for (to, msg) in self.emit_writer.begin(
+                    for (to, rop) in self.emit_writer.begin(
                         &self.cfg, op, &replicas, w, &key, ts, &value, kind, deadline,
                     ) {
-                        ctx.send(to, msg);
+                        ctx.send(to, SednaMsg::Replica(rop));
                     }
                 }
             }
@@ -791,11 +899,21 @@ impl Actor for SednaNode {
     }
 
     fn service_micros(&self, msg: &SednaMsg) -> Micros {
+        fn cost(cfg: &ClusterConfig, op: &ReplicaOp) -> Micros {
+            match op {
+                ReplicaOp::Read { .. } => cfg.read_service_micros,
+                ReplicaOp::Write { .. } => cfg.write_service_micros,
+                ReplicaOp::TransferData { rows, .. } => 2 + rows.len() as Micros / 4,
+                // A batch costs the sum of its sub-ops: coalescing saves
+                // network frames, not storage CPU.
+                ReplicaOp::Batch { ops } | ReplicaOp::AckBatch { acks: ops } => {
+                    ops.iter().map(|o| cost(cfg, o)).sum()
+                }
+                _ => 2,
+            }
+        }
         match msg {
-            SednaMsg::Replica(ReplicaOp::Read { .. }) => self.cfg.read_service_micros,
-            SednaMsg::Replica(ReplicaOp::Write { .. }) => self.cfg.write_service_micros,
-            SednaMsg::Replica(ReplicaOp::TransferData { rows, .. }) => 2 + rows.len() as Micros / 4,
-            SednaMsg::Replica(_) => 2,
+            SednaMsg::Replica(op) => cost(&self.cfg, op),
             _ => 2,
         }
     }

@@ -46,6 +46,8 @@ impl Driver {
             ClientOp::ReadLatest { key } => self.core.read_latest(&key, now),
             ClientOp::ReadAll { key } => self.core.read_all(&key, now),
             ClientOp::ScanTable { dataset, table } => self.core.scan_table(&dataset, &table, now),
+            ClientOp::WriteMany { pairs } => self.core.write_many(&pairs, now),
+            ClientOp::ReadMany { keys } => self.core.read_many(&keys, now),
         };
         assert!(issued.is_some(), "driver only issues after Ready");
         for (to, m) in issued.unwrap().1 {

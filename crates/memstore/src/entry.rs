@@ -51,6 +51,9 @@ pub struct Entry {
     pub monitors: Vec<u32>,
     /// LRU stamp maintained by the store (not part of the logical row).
     pub(crate) access_version: u64,
+    /// Index of this row's slot in the shard's LRU slot table, allocated
+    /// on first touch (not part of the logical row).
+    pub(crate) lru_slot: Option<u32>,
 }
 
 impl Entry {

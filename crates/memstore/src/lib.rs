@@ -47,4 +47,4 @@ pub mod store;
 
 pub use entry::{Entry, VersionedValue, WriteOutcome};
 pub use stats::StoreStats;
-pub use store::{DirtyRecord, MemStore, StoreConfig};
+pub use store::{BatchWrite, BatchWriteResult, DirtyRecord, MemStore, StoreConfig};

@@ -48,9 +48,14 @@ impl Default for StoreConfig {
 
 struct Shard {
     map: HashMap<Key, Entry, FnvBuildHasher>,
-    /// Lazy LRU queue: `(key, access_version)` pairs; an element is live
+    /// Slot table for LRU bookkeeping: each resident row gets a stable
+    /// slot holding its key; the queue then stores 12-byte `(slot,
+    /// access_version)` handles instead of cloning the key on every touch.
+    slots: Vec<Option<Key>>,
+    free_slots: Vec<u32>,
+    /// Lazy LRU queue: `(slot, access_version)` pairs; an element is live
     /// only while the row's current `access_version` matches.
-    lru: VecDeque<(Key, u64)>,
+    lru: VecDeque<(u32, u64)>,
     access_counter: u64,
     payload_bytes: usize,
 }
@@ -59,6 +64,8 @@ impl Shard {
     fn new() -> Self {
         Shard {
             map: HashMap::with_hasher(FnvBuildHasher::default()),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
             lru: VecDeque::new(),
             access_counter: 0,
             payload_bytes: 0,
@@ -68,22 +75,78 @@ impl Shard {
     fn touch(&mut self, key: &Key) {
         self.access_counter += 1;
         let c = self.access_counter;
-        if let Some(e) = self.map.get_mut(key) {
-            e.access_version = c;
-        }
-        self.lru.push_back((key.clone(), c));
+        let Some(e) = self.map.get_mut(key) else {
+            return;
+        };
+        e.access_version = c;
+        let slot = match e.lru_slot {
+            Some(s) => s,
+            None => {
+                // First touch: allocate a slot (the only place the key is
+                // cloned for LRU purposes).
+                let s = match self.free_slots.pop() {
+                    Some(s) => {
+                        self.slots[s as usize] = Some(key.clone());
+                        s
+                    }
+                    None => {
+                        self.slots.push(Some(key.clone()));
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                self.map.get_mut(key).expect("present above").lru_slot = Some(s);
+                s
+            }
+        };
+        self.lru.push_back((slot, c));
         // Lazy-deletion queues grow with every touch; compact when the
         // stale fraction dominates.
         if self.lru.len() > 4 * self.map.len() + 64 {
             let map = &self.map;
-            self.lru
-                .retain(|(k, v)| map.get(k).is_some_and(|e| e.access_version == *v));
+            let slots = &self.slots;
+            self.lru.retain(|(s, v)| {
+                slots[*s as usize]
+                    .as_ref()
+                    .and_then(|k| map.get(k))
+                    .is_some_and(|e| e.access_version == *v)
+            });
+        }
+    }
+
+    /// Returns a removed row's LRU slot to the free list.
+    fn release_slot(&mut self, entry: &Entry) {
+        if let Some(s) = entry.lru_slot {
+            self.slots[s as usize] = None;
+            self.free_slots.push(s);
         }
     }
 
     fn row_cost(key: &Key, entry: &Entry) -> usize {
         key.len() + entry.payload_bytes() + ROW_OVERHEAD
     }
+}
+
+/// One write in a [`MemStore::apply_batch`] call.
+#[derive(Clone, Debug)]
+pub struct BatchWrite {
+    /// The row key.
+    pub key: Key,
+    /// The write's timestamp.
+    pub ts: Timestamp,
+    /// The value to store.
+    pub value: Value,
+    /// `true` = `write_latest` semantics, `false` = `write_all`.
+    pub latest: bool,
+}
+
+/// Per-op result of [`MemStore::apply_batch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchWriteResult {
+    /// Applied or outdated, exactly as the per-op write would report.
+    pub outcome: WriteOutcome,
+    /// True when the row held no data before this write (feeds the same
+    /// per-vnode accounting as `!store.contains(key)` on the per-op path).
+    pub was_new: bool,
 }
 
 /// One dirty row collected by [`MemStore::scan_dirty`].
@@ -121,9 +184,13 @@ impl MemStore {
     }
 
     #[inline]
+    fn shard_index(&self, key: &Key) -> usize {
+        (fnv1a64(key.as_bytes()) & self.mask) as usize
+    }
+
+    #[inline]
     fn shard_for(&self, key: &Key) -> &Mutex<Shard> {
-        let idx = (fnv1a64(key.as_bytes()) & self.mask) as usize;
-        &self.shards[idx]
+        &self.shards[self.shard_index(key)]
     }
 
     /// Applies a `write_latest` (Sec. III-F): newest timestamp wins, the
@@ -203,6 +270,91 @@ impl MemStore {
         found
     }
 
+    /// Applies a batch of timestamped writes, acquiring each shard's lock
+    /// once per batch instead of once per op. Semantics are identical to
+    /// calling [`MemStore::write_latest`]/[`MemStore::write_all`] per
+    /// element in order; results come back positionally.
+    pub fn apply_batch(&self, ops: &[BatchWrite]) -> Vec<BatchWriteResult> {
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            groups.entry(self.shard_index(&op.key)).or_default().push(i);
+        }
+        let mut results: Vec<Option<BatchWriteResult>> = ops.iter().map(|_| None).collect();
+        for (shard_idx, idxs) in groups {
+            let mut shard = self.shards[shard_idx].lock();
+            for i in idxs {
+                let op = &ops[i];
+                let was_new = shard
+                    .map
+                    .get(&op.key)
+                    .is_none_or(|e| e.versions.is_empty());
+                let is_new_row = !shard.map.contains_key(&op.key);
+                let entry = shard.map.entry(op.key.clone()).or_default();
+                let before = if is_new_row {
+                    0
+                } else {
+                    Shard::row_cost(&op.key, entry)
+                };
+                let outcome = if op.latest {
+                    entry.write_latest(op.ts, op.value.clone())
+                } else {
+                    entry.write_all(op.ts, op.value.clone())
+                };
+                let after = Shard::row_cost(&op.key, entry);
+                shard.payload_bytes = shard.payload_bytes + after - before;
+                match outcome {
+                    WriteOutcome::Ok => {
+                        shard.touch(&op.key);
+                        StoreStats::bump(if op.latest {
+                            &self.stats.writes_latest
+                        } else {
+                            &self.stats.writes_all
+                        });
+                        if let Some(budget) = self.budget_per_shard {
+                            self.evict_from(&mut shard, budget);
+                        }
+                    }
+                    WriteOutcome::Outdated => StoreStats::bump(&self.stats.outdated),
+                }
+                results[i] = Some(BatchWriteResult { outcome, was_new });
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every op visited"))
+            .collect()
+    }
+
+    /// Reads the whole value list of several keys, acquiring each shard's
+    /// lock once per batch. Positionally equivalent to
+    /// [`MemStore::read_all`] per key.
+    pub fn get_many(&self, keys: &[Key]) -> Vec<Option<Vec<VersionedValue>>> {
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            groups.entry(self.shard_index(key)).or_default().push(i);
+        }
+        let mut results: Vec<Option<Vec<VersionedValue>>> = keys.iter().map(|_| None).collect();
+        for (shard_idx, idxs) in groups {
+            let mut shard = self.shards[shard_idx].lock();
+            for i in idxs {
+                let key = &keys[i];
+                let found = shard
+                    .map
+                    .get(key)
+                    .filter(|e| !e.versions.is_empty())
+                    .map(|e| e.versions.clone());
+                if found.is_some() {
+                    shard.touch(key);
+                    StoreStats::bump(&self.stats.hits);
+                } else {
+                    StoreStats::bump(&self.stats.misses);
+                }
+                results[i] = found;
+            }
+        }
+        results
+    }
+
     /// Merges a replica's version list into the row without dirtying it
     /// (replica synchronization / read repair). Returns true when the row
     /// changed.
@@ -231,6 +383,7 @@ impl MemStore {
     pub fn remove(&self, key: &Key) -> Option<Vec<VersionedValue>> {
         let mut shard = self.shard_for(key).lock();
         let entry = shard.map.remove(key)?;
+        shard.release_slot(&entry);
         shard.payload_bytes -= Shard::row_cost(key, &entry);
         StoreStats::bump(&self.stats.removals);
         Some(entry.versions)
@@ -355,6 +508,7 @@ impl MemStore {
                 };
                 if entry.monitors.is_empty() {
                     let e = shard.map.remove(&k).expect("present");
+                    shard.release_slot(&e);
                     shard.payload_bytes -= Shard::row_cost(&k, &e);
                     removed += 1;
                 } else if !entry.versions.is_empty() {
@@ -417,11 +571,14 @@ impl MemStore {
         let mut attempts = shard.map.len();
         while shard.payload_bytes > budget && shard.map.len() > 1 && attempts > 0 {
             attempts -= 1;
-            let Some((key, version)) = shard.lru.pop_front() else {
+            let Some((slot, version)) = shard.lru.pop_front() else {
                 break;
             };
-            let Some(entry) = shard.map.get(&key) else {
+            let Some(key) = shard.slots[slot as usize].clone() else {
                 continue; // stale queue element for a removed row
+            };
+            let Some(entry) = shard.map.get(&key) else {
+                continue; // slot reused, row since removed
             };
             if entry.access_version != version {
                 continue; // stale: row touched since
@@ -433,6 +590,7 @@ impl MemStore {
                 continue;
             }
             let entry = shard.map.remove(&key).expect("checked above");
+            shard.release_slot(&entry);
             shard.payload_bytes -= Shard::row_cost(&key, &entry);
             StoreStats::bump(&self.stats.evictions);
         }
@@ -701,6 +859,109 @@ mod tests {
             n += 1;
         });
         assert_eq!(n, 20);
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_writes() {
+        let seq = store();
+        let bat = store();
+        let mut ops = Vec::new();
+        for i in 0..20u64 {
+            ops.push(BatchWrite {
+                key: Key::from(format!("k-{}", i % 7)),
+                ts: ts(i + 1, (i % 3) as u32),
+                value: Value::from(format!("v{i}")),
+                latest: i % 2 == 0,
+            });
+        }
+        // Throw in an outdated write to exercise both outcomes.
+        ops.push(BatchWrite {
+            key: Key::from("k-0"),
+            ts: ts(1, 0),
+            value: Value::from("stale"),
+            latest: true,
+        });
+        let mut expected = Vec::new();
+        for op in &ops {
+            let was_new = !seq.contains(&op.key);
+            let outcome = if op.latest {
+                seq.write_latest(&op.key, op.ts, op.value.clone())
+            } else {
+                seq.write_all(&op.key, op.ts, op.value.clone())
+            };
+            expected.push(BatchWriteResult { outcome, was_new });
+        }
+        let got = bat.apply_batch(&ops);
+        assert_eq!(got, expected);
+        // Stores end up identical, row by row.
+        seq.for_each(|k, versions| {
+            assert_eq!(bat.read_all(k).as_deref(), Some(versions), "{k:?}");
+        });
+        assert_eq!(seq.len(), bat.len());
+        assert_eq!(seq.payload_bytes(), bat.payload_bytes());
+        let (a, b) = (seq.stats(), bat.stats());
+        assert_eq!(a.writes_latest, b.writes_latest);
+        assert_eq!(a.writes_all, b.writes_all);
+        assert_eq!(a.outdated, b.outdated);
+    }
+
+    #[test]
+    fn get_many_matches_read_all_per_key() {
+        let s = store();
+        s.write_latest(&Key::from("a"), ts(1, 0), Value::from("x"));
+        s.write_all(&Key::from("b"), ts(2, 1), Value::from("y"));
+        s.write_all(&Key::from("b"), ts(3, 2), Value::from("z"));
+        let keys = vec![Key::from("a"), Key::from("missing"), Key::from("b")];
+        let many = s.get_many(&keys);
+        assert_eq!(many.len(), 3);
+        assert_eq!(many[0], s.read_all(&Key::from("a")));
+        assert_eq!(many[1], None);
+        assert_eq!(many[2], s.read_all(&Key::from("b")));
+        // One hit each from get_many and read_all per present key, one miss.
+        assert_eq!(s.stats().misses, 1);
+    }
+
+    #[test]
+    fn batched_writes_respect_budget_and_lru() {
+        let budget = 4 * (3 + 20 + 32 + ROW_OVERHEAD);
+        let s = MemStore::new(StoreConfig {
+            shards: 1,
+            memory_budget: Some(budget),
+        });
+        let ops: Vec<BatchWrite> = (0..8)
+            .map(|i| BatchWrite {
+                key: Key::from(format!("k-{i}")),
+                ts: ts(i as u64 + 1, 0),
+                value: Value::from("x".repeat(20)),
+                latest: true,
+            })
+            .collect();
+        s.apply_batch(&ops);
+        assert!(s.stats().evictions >= 3);
+        assert!(s.payload_bytes() <= budget + ROW_OVERHEAD);
+        assert!(s.contains(&Key::from("k-7")));
+        assert!(!s.contains(&Key::from("k-0")));
+    }
+
+    #[test]
+    fn lru_slots_are_reused_after_removal() {
+        let s = MemStore::new(StoreConfig {
+            shards: 1,
+            memory_budget: None,
+        });
+        for round in 0..50u64 {
+            let k = Key::from(format!("r-{}", round % 5));
+            s.write_latest(&k, ts(round + 1, 0), Value::from("v"));
+            if round % 5 == 4 {
+                s.remove(&k);
+            }
+        }
+        let shard = s.shards[0].lock();
+        assert!(
+            shard.slots.len() <= 8,
+            "slot table must not grow unboundedly: {}",
+            shard.slots.len()
+        );
     }
 
     #[test]

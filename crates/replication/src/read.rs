@@ -55,9 +55,20 @@ pub enum ReadOutcome {
 pub struct ReadCoordinator {
     replicas: Vec<NodeId>,
     r: usize,
+    /// Replies as ingested; `Values` lists are stored in canonical
+    /// (timestamp-sorted) form.
     replies: BTreeMap<NodeId, ReplicaRead>,
+    /// Equality fingerprint per answered replica, computed once at
+    /// ingestion: [`MISSING_FP`] for Missing, no entry for Failed.
+    /// `evaluate` groups over these instead of re-canonicalizing every
+    /// reply on every call.
+    fps: BTreeMap<NodeId, Vec<u8>>,
     decided: Option<ReadOutcome>,
 }
+
+/// Fingerprint standing for "the key does not exist" (a real `Values`
+/// fingerprint is either empty or at least 20 bytes, so no collision).
+const MISSING_FP: [u8; 1] = [0xff];
 
 /// Canonical form of a version list for equality checks: sorted by
 /// timestamp (total order ⇒ deterministic).
@@ -75,15 +86,35 @@ impl ReadCoordinator {
             replicas,
             r,
             replies: BTreeMap::new(),
+            fps: BTreeMap::new(),
             decided: None,
         }
     }
 
+    /// Records a reply (first one per replica wins), canonicalizing and
+    /// fingerprinting `Values` lists exactly once.
+    fn ingest(&mut self, node: NodeId, reply: ReplicaRead) {
+        if !self.replicas.contains(&node) || self.replies.contains_key(&node) {
+            return;
+        }
+        let reply = match reply {
+            ReplicaRead::Values(v) => {
+                let canon = canonical(v);
+                self.fps.insert(node, fingerprint(&canon));
+                ReplicaRead::Values(canon)
+            }
+            ReplicaRead::Missing => {
+                self.fps.insert(node, MISSING_FP.to_vec());
+                ReplicaRead::Missing
+            }
+            ReplicaRead::Failed => ReplicaRead::Failed,
+        };
+        self.replies.insert(node, reply);
+    }
+
     /// Feeds one replica's reply. Returns the current aggregate.
     pub fn on_reply(&mut self, node: NodeId, reply: ReplicaRead) -> ReadOutcome {
-        if self.replicas.contains(&node) {
-            self.replies.entry(node).or_insert(reply);
-        }
+        self.ingest(node, reply);
         self.evaluate(false)
     }
 
@@ -96,7 +127,7 @@ impl ReadCoordinator {
             .filter(|n| !self.replies.contains_key(n))
             .collect();
         for n in silent {
-            self.replies.insert(n, ReplicaRead::Failed);
+            self.ingest(n, ReplicaRead::Failed);
         }
         self.evaluate(true)
     }
@@ -143,64 +174,41 @@ impl ReadCoordinator {
         if let Some(done) = &self.decided {
             return done.clone();
         }
-        // Count equality groups over canonicalized answer values; Missing is
-        // its own group ("the key does not exist").
-        let mut groups: BTreeMap<Vec<u8>, (usize, Option<Vec<VersionedValue>>)> = BTreeMap::new();
-        for reply in self.replies.values() {
-            match reply {
-                ReplicaRead::Values(v) => {
-                    let canon = canonical(v.clone());
-                    let key = fingerprint(&canon);
-                    let e = groups.entry(key).or_insert((0, Some(canon)));
-                    e.0 += 1;
-                }
-                ReplicaRead::Missing => {
-                    groups.entry(vec![0xff]).or_insert((0, None)).0 += 1;
-                }
-                ReplicaRead::Failed => {}
-            }
+        // Count equality groups over the cached fingerprints; Missing is
+        // its own group ("the key does not exist"). Nothing is sorted or
+        // cloned here — that happened once, at ingestion.
+        let mut groups: BTreeMap<&[u8], usize> = BTreeMap::new();
+        for fp in self.fps.values() {
+            *groups.entry(fp.as_slice()).or_insert(0) += 1;
         }
-        for (count, values) in groups.values() {
-            if *count >= self.r {
-                let verdict = match values {
-                    Some(v) => ReadOutcome::Ok(v.clone()),
-                    None => ReadOutcome::NotFound,
-                };
-                self.decided = Some(verdict.clone());
-                return verdict;
-            }
-        }
-        let replied = self.replies.len();
-        let outstanding = self.replicas.len() - replied;
-        let best_group = groups.values().map(|(c, _)| *c).max().unwrap_or(0);
-        if best_group + outstanding < self.r || (force && outstanding == 0) {
-            // R-equality unreachable (or deadline): decide now.
-            let answered = self
-                .replies
-                .values()
-                .filter(|r| !matches!(r, ReplicaRead::Failed))
-                .count();
-            let verdict = if answered == 0 {
-                ReadOutcome::Failed {
-                    needed: self.r,
-                    got: 0,
-                }
+        let best_group = groups.values().copied().max().unwrap_or(0);
+        let winner: Option<Vec<u8>> = groups
+            .iter()
+            .find(|(_, &count)| count >= self.r)
+            .map(|(fp, _)| fp.to_vec());
+        if let Some(fp) = winner {
+            let verdict = if fp == MISSING_FP {
+                ReadOutcome::NotFound
             } else {
-                ReadOutcome::Inconsistent {
-                    merged: self.merged(),
-                }
+                let values = self
+                    .replies
+                    .iter()
+                    .find_map(|(n, r)| match (self.fps.get(n), r) {
+                        (Some(f), ReplicaRead::Values(v)) if *f == fp => Some(v.clone()),
+                        _ => None,
+                    })
+                    .expect("winning fingerprint came from a Values reply");
+                ReadOutcome::Ok(values)
             };
             self.decided = Some(verdict.clone());
             return verdict;
         }
-        if outstanding == 0 {
-            // Everyone answered but nothing reached R (possible only when
-            // failures keep groups small).
-            let answered = self
-                .replies
-                .values()
-                .filter(|r| !matches!(r, ReplicaRead::Failed))
-                .count();
+        let replied = self.replies.len();
+        let outstanding = self.replicas.len() - replied;
+        // Decide once R-equality is unreachable, everyone answered, or the
+        // deadline forces a verdict.
+        if best_group + outstanding < self.r || outstanding == 0 || force {
+            let answered = self.fps.len();
             let verdict = if answered == 0 {
                 ReadOutcome::Failed {
                     needed: self.r,
@@ -350,6 +358,19 @@ mod tests {
             ReadOutcome::Pending,
             "same node twice is one vote"
         );
+    }
+
+    #[test]
+    fn replies_are_canonicalized_at_ingestion() {
+        let mut c = ReadCoordinator::new(nodes(&[0, 1, 2]), 2);
+        c.on_reply(
+            NodeId(0),
+            ReplicaRead::Values(vec![vv(20, 1, "b"), vv(10, 0, "a")]),
+        );
+        let ReplicaRead::Values(stored) = &c.replies()[&NodeId(0)] else {
+            panic!("values reply stored");
+        };
+        assert_eq!(stored, &vec![vv(10, 0, "a"), vv(20, 1, "b")]);
     }
 
     #[test]

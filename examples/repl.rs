@@ -59,6 +59,12 @@ fn show(result: ClientResult) {
                 );
             }
         }
+        ClientResult::Many(children) => {
+            println!("{} result(s)", children.len());
+            for child in children {
+                show(child);
+            }
+        }
         ClientResult::Failed => println!("FAILED (quorum unreachable; retry)"),
     }
 }

@@ -1,0 +1,186 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the small API slice `benches/micro.rs` uses — groups,
+//! throughput annotation, `iter`/`iter_batched`, the `criterion_group!` /
+//! `criterion_main!` macros — with a simple calibrated-loop timer instead of
+//! criterion's statistical machinery. Results print as `ns/iter` lines, which
+//! is enough to ground the simulator's service-time parameters.
+
+use std::time::{Duration, Instant};
+
+/// How long each benchmark runs for measurement after calibration.
+const TARGET: Duration = Duration::from_millis(120);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim treats all
+/// variants identically (one setup per measured invocation).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement handle.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` in a calibrated loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count that takes roughly TARGET.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= TARGET || n >= 1 << 28 {
+                self.total = took;
+                self.iters = n;
+                return;
+            }
+            let scale = (TARGET.as_nanos() / took.as_nanos().max(1)).clamp(2, 1 << 10);
+            n = n.saturating_mul(scale as u64);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut n: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            let took = start.elapsed();
+            if took >= TARGET || n >= 1 << 20 {
+                self.total = took;
+                self.iters = n;
+                return;
+            }
+            let scale = (TARGET.as_nanos() / took.as_nanos().max(1)).clamp(2, 1 << 10);
+            n = n.saturating_mul(scale as u64);
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark and prints its result.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let ns = b.total.as_nanos() as f64 / b.iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(e)) => {
+                format!("  {:>12.0} elem/s", e as f64 * 1e9 / ns.max(1e-9))
+            }
+            Some(Throughput::Bytes(by)) => {
+                format!("  {:>12.0} MB/s", by as f64 * 1e3 / ns.max(1e-9))
+            }
+            None => String::new(),
+        };
+        println!("{}/{:<40} {:>12.1} ns/iter{}", self.name, id, ns, rate);
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        self.benchmark_group("bench").bench_function(id, f);
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() { $( $group(); )+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1));
+        let mut acc = 0u64;
+        g.bench_function("add", |b| b.iter(|| acc = acc.wrapping_add(1)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 3u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(acc > 0);
+    }
+}

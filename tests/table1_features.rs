@@ -268,6 +268,8 @@ impl ScriptedWriter {
             ClientOp::ReadLatest { key } => self.core.read_latest(&key, now),
             ClientOp::ReadAll { key } => self.core.read_all(&key, now),
             ClientOp::ScanTable { dataset, table } => self.core.scan_table(&dataset, &table, now),
+            ClientOp::WriteMany { pairs } => self.core.write_many(&pairs, now),
+            ClientOp::ReadMany { keys } => self.core.read_many(&keys, now),
         };
         for (to, m) in issued.expect("ready").1 {
             ctx.send(to, m);
