@@ -162,12 +162,15 @@ fn main() {
     let client = sim.add_actor(Box::new(Script::new(ids, script)));
     sim.run_until(20_000_000);
     let c = sim.actor_ref::<Script>(client).unwrap();
-    let mut lat: Vec<u64> = c.reply_times.windows(2).map(|w| w[1] - w[0]).collect();
-    lat.sort_unstable();
+    // Percentiles via the shared obs histogram, not ad-hoc sort-and-index.
+    let lat = sedna_obs::Histogram::new();
+    for w in c.reply_times.windows(2) {
+        lat.record(w[1] - w[0]);
+    }
     println!(
         "  100 sets of a 512 B ring znode: p50 {:.2} ms, p99 {:.2} ms (paper: \"in milliseconds\")",
-        lat[lat.len() / 2] as f64 / 1_000.0,
-        lat[lat.len() * 99 / 100] as f64 / 1_000.0
+        lat.percentile(0.50) as f64 / 1_000.0,
+        lat.percentile(0.99) as f64 / 1_000.0
     );
 
     // ---- 3. watch storm ablation -------------------------------------------

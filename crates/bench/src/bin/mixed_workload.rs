@@ -18,6 +18,7 @@ use sedna_core::messages::SednaMsg;
 use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
 use sedna_net::link::LinkModel;
 use sedna_net::sim::SimConfig;
+use sedna_obs::{HistSnapshot, Histogram, MetricsSnapshot};
 use sedna_workload::{KeyChooser, PaperWorkload};
 
 const T_TICK: TimerToken = TimerToken(1);
@@ -111,8 +112,43 @@ impl Actor for MixedDriver {
     }
 }
 
-fn run(read_fraction: f64, zipfian: bool, clients: u32, ops: u64, seed: u64) -> (f64, u64) {
-    let cfg = ClusterConfig::paper();
+/// One mixed run's results: virtual-time throughput plus the merged
+/// client-side metrics snapshot (latency percentiles come from the shared
+/// registry, not bench-local math) and the host wall-clock time the run
+/// took (for the registry-overhead ablation).
+struct MixedRun {
+    kops: f64,
+    errors: u64,
+    wall: std::time::Duration,
+    snap: MetricsSnapshot,
+}
+
+impl MixedRun {
+    /// Combined read+write client-observed latency distribution, merged
+    /// from the registry histograms every `ClientCore` recorded into.
+    fn latency(&self) -> HistSnapshot {
+        let mut h = HistSnapshot::default();
+        for name in [
+            "sedna_client_read_latency_micros",
+            "sedna_client_write_latency_micros",
+        ] {
+            if let Some(s) = self.snap.hists.get(name) {
+                h.merge(s);
+            }
+        }
+        h
+    }
+}
+
+fn run(
+    read_fraction: f64,
+    zipfian: bool,
+    clients: u32,
+    ops: u64,
+    seed: u64,
+    metrics: bool,
+) -> MixedRun {
+    let cfg = ClusterConfig::paper().with_metrics(metrics);
     let sim_config = SimConfig {
         seed,
         link: LinkModel::gigabit_lan(),
@@ -148,6 +184,7 @@ fn run(read_fraction: f64, zipfian: bool, clients: u32, ops: u64, seed: u64) -> 
         ids.push(id);
     }
     let ceiling = cluster.sim.now() + ops * clients as u64 * 4_000;
+    let wall_start = std::time::Instant::now();
     loop {
         let t = cluster.sim.now() + 500_000;
         cluster.sim.run_until(t);
@@ -162,15 +199,23 @@ fn run(read_fraction: f64, zipfian: bool, clients: u32, ops: u64, seed: u64) -> 
         }
         assert!(t < ceiling, "mixed run stuck");
     }
+    let wall = wall_start.elapsed();
     let mut worst: Micros = 0;
     let mut errors = 0;
+    let mut snap = MetricsSnapshot::default();
     for &id in &ids {
         let d = cluster.sim.actor_ref::<MixedDriver>(id).unwrap();
         worst = worst.max(d.finished_at.unwrap() - d.started_at);
         errors += d.errors;
+        snap.merge(&d.core.obs().snapshot());
     }
-    let throughput_kops = clients as f64 * ops as f64 / worst as f64 * 1_000.0;
-    (throughput_kops, errors)
+    let kops = clients as f64 * ops as f64 / worst as f64 * 1_000.0;
+    MixedRun {
+        kops,
+        errors,
+        wall,
+        snap,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -185,14 +230,6 @@ struct BatchRun {
     p50_micros: Micros,
     p99_micros: Micros,
     errors: u64,
-}
-
-fn percentile(sorted: &[Micros], p: f64) -> Micros {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
 }
 
 /// Runs the multi-key workload with the given coalescing window
@@ -245,20 +282,24 @@ fn run_batching(
         assert!(t < ceiling, "batching run stuck");
     }
     let frames = cluster.sim.stats().messages_sent - frames_before;
-    let mut latencies: Vec<Micros> = Vec::new();
+    // Per-group latencies go through the shared log-bucketed histogram, the
+    // same percentile machinery every registry metric uses.
+    let lat = Histogram::new();
     let mut errors = 0;
     for &id in &ids {
         let d = cluster.sim.actor_ref::<SednaBatchDriver>(id).unwrap();
-        latencies.extend(d.group_latencies.iter().copied());
+        for &l in &d.group_latencies {
+            lat.record(l);
+        }
         errors += d.times.errors;
     }
-    latencies.sort_unstable();
+    let lat = lat.snapshot();
     // Write phase + read phase each touch every key once.
     let key_ops = clients as u64 * groups * group_size * 2;
     BatchRun {
         frames_per_op: frames as f64 / key_ops as f64,
-        p50_micros: percentile(&latencies, 0.50),
-        p99_micros: percentile(&latencies, 0.99),
+        p50_micros: lat.percentile(0.50),
+        p99_micros: lat.percentile(0.99),
         errors,
     }
 }
@@ -306,23 +347,76 @@ fn batching_ablation() {
     println!("# wrote BENCH_batching.json");
 }
 
+/// Registry-overhead ablation: the identical deterministic run (same seed,
+/// same virtual-time schedule) executed with the metrics registry enabled
+/// vs disabled, compared on host wall-clock time. Best-of-3 per arm to
+/// shave scheduler noise. Acceptance: disabled-registry overhead ≤ 5%.
+fn obs_ablation() {
+    println!("#");
+    println!("# observability ablation — identical run, registry on vs off (wall-clock)");
+    let go = |metrics: bool| {
+        let mut best: Option<MixedRun> = None;
+        for _ in 0..3 {
+            let r = run(0.5, false, 4, 3_000, 0x0B5E, metrics);
+            if best.as_ref().is_none_or(|b| r.wall < b.wall) {
+                best = Some(r);
+            }
+        }
+        best.unwrap()
+    };
+    let on = go(true);
+    let off = go(false);
+    let overhead_pct = (on.wall.as_secs_f64() / off.wall.as_secs_f64() - 1.0) * 100.0;
+    println!(
+        "{:>10} {:>12} {:>14} {:>8}",
+        "registry", "wall_ms", "agg_kops/s", "errors"
+    );
+    for (label, r) in [("on", &on), ("off", &off)] {
+        println!(
+            "{:>10} {:>12.1} {:>14.1} {:>8}",
+            label,
+            r.wall.as_secs_f64() * 1_000.0,
+            r.kops,
+            r.errors
+        );
+    }
+    println!("# registry overhead: {overhead_pct:+.1}% wall-clock (target ≤ 5%)");
+    let lat = on.latency();
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"config\": {{\n    \"clients\": 4,\n    \
+         \"ops_per_client\": 3000,\n    \"read_fraction\": 0.5,\n    \"trials\": 3\n  }},\n  \
+         \"wall_ms_on\": {:.2},\n  \"wall_ms_off\": {:.2},\n  \
+         \"overhead_pct\": {overhead_pct:.2},\n  \"registry_p50_micros\": {},\n  \
+         \"registry_p99_micros\": {}\n}}\n",
+        on.wall.as_secs_f64() * 1_000.0,
+        off.wall.as_secs_f64() * 1_000.0,
+        lat.percentile(0.50),
+        lat.percentile(0.99),
+    );
+    std::fs::write("BENCH_obs.json", json).expect("write BENCH_obs.json");
+    println!("# wrote BENCH_obs.json");
+}
+
 fn main() {
     println!(
         "# mixed_workload — read-fraction × key-skew ablation (9 nodes, 9 clients, 5k ops each)"
     );
     println!(
-        "{:>14} {:>12} {:>16} {:>8}",
-        "read_fraction", "skew", "agg_kops/s", "errors"
+        "{:>14} {:>12} {:>16} {:>8} {:>10} {:>10}",
+        "read_fraction", "skew", "agg_kops/s", "errors", "p50_us", "p99_us"
     );
     for &rf in &[0.0, 0.5, 0.9, 1.0] {
         for &zipf in &[false, true] {
-            let (kops, errors) = run(rf, zipf, 9, 5_000, 0x5_ED_B0);
+            let r = run(rf, zipf, 9, 5_000, 0x5_ED_B0, true);
+            let lat = r.latency();
             println!(
-                "{:>14} {:>12} {:>16.1} {:>8}",
+                "{:>14} {:>12} {:>16.1} {:>8} {:>10} {:>10}",
                 rf,
                 if zipf { "zipf(.99)" } else { "uniform" },
-                kops,
-                errors
+                r.kops,
+                r.errors,
+                lat.percentile(0.50),
+                lat.percentile(0.99),
             );
         }
     }
@@ -330,5 +424,7 @@ fn main() {
     println!("# higher read fraction ⇒ higher throughput (reads occupy replica CPUs");
     println!("# for less time than 3-way writes); zipfian skew concentrates work on");
     println!("# the hot keys' three replicas and costs aggregate throughput.");
+    println!("# latency percentiles come from the clients' shared metrics registry.");
     batching_ablation();
+    obs_ablation();
 }

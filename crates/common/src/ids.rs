@@ -71,6 +71,45 @@ pub struct ClientId(pub u32);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct SessionId(pub u64);
 
+/// Identifier of one client operation's distributed trace.
+///
+/// Assigned by the issuing client and carried in every replica frame the op
+/// fans out to (including `Batch` sub-ops), so the per-replica legs of a
+/// quorum exchange can be stitched back into one span tree. The origin
+/// actor id occupies the high bits, a per-origin sequence the low bits, so
+/// ids are unique cluster-wide without coordination.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TraceId(pub u64);
+
+/// Bits of a [`TraceId`] reserved for the per-origin sequence number.
+const TRACE_SEQ_BITS: u32 = 40;
+
+impl TraceId {
+    /// Composes a trace id from the issuing actor and its local sequence.
+    #[inline]
+    pub fn compose(origin: u64, seq: u64) -> TraceId {
+        TraceId((origin << TRACE_SEQ_BITS) | (seq & ((1 << TRACE_SEQ_BITS) - 1)))
+    }
+
+    /// The issuing actor's id (high bits).
+    #[inline]
+    pub fn origin(self) -> u64 {
+        self.0 >> TRACE_SEQ_BITS
+    }
+
+    /// The per-origin sequence number (low bits).
+    #[inline]
+    pub fn seq(self) -> u64 {
+        self.0 & ((1 << TRACE_SEQ_BITS) - 1)
+    }
+}
+
+impl fmt::Debug for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{:x}.{}", self.origin(), self.seq())
+    }
+}
+
 /// Correlation id for an in-flight request/response exchange.
 ///
 /// Generated per-origin from a monotonically increasing counter; uniqueness
@@ -109,6 +148,18 @@ mod tests {
     fn request_id_next_is_monotonic_and_wraps() {
         assert_eq!(RequestId(0).next(), RequestId(1));
         assert_eq!(RequestId(u64::MAX).next(), RequestId(0));
+    }
+
+    #[test]
+    fn trace_id_composition_roundtrips() {
+        let t = TraceId::compose(0x2A, 1234);
+        assert_eq!(t.origin(), 0x2A);
+        assert_eq!(t.seq(), 1234);
+        assert_eq!(format!("{t:?}"), "t2a.1234");
+        // Sequence wraps inside its field without leaking into the origin.
+        let wrap = TraceId::compose(1, (1 << 40) + 5);
+        assert_eq!(wrap.origin(), 1);
+        assert_eq!(wrap.seq(), 5);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod time;
 
 pub use error::{SednaError, SednaResult};
 pub use hashing::{fnv1a64, xxhash64};
-pub use ids::{ClientId, NodeId, RequestId, SessionId, VNodeId};
+pub use ids::{ClientId, NodeId, RequestId, SessionId, TraceId, VNodeId};
 pub use kv::{Key, KeyPath, Value};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use time::{Clock, ManualClock, Micros, SystemClock, Timestamp, TimestampOracle};

@@ -56,6 +56,14 @@ pub enum SessionEvent {
         /// Watched path.
         path: String,
     },
+    /// A heartbeat came back. `sent_at` is the clock reading passed to
+    /// [`SessionClient::ping`], so the embedder computes the RTT as
+    /// `now - sent_at` against its own clock (the session client never
+    /// reads a clock itself).
+    Pong {
+        /// When the ping was issued (µs, embedder's clock).
+        sent_at: Micros,
+    },
     /// The session was lost (expired); the embedding actor must re-open and
     /// re-create its ephemerals.
     Expired,
@@ -73,9 +81,10 @@ pub struct SessionClient {
     in_flight: HashMap<RequestId, (CoordOp, Micros)>,
     open_req: Option<RequestId>,
     open_sent_at: Micros,
-    /// Outstanding heartbeat ids; their replies are liveness-only and are
-    /// swallowed rather than surfaced as [`SessionEvent::Reply`].
-    pings: std::collections::HashSet<RequestId>,
+    /// Outstanding heartbeats and when each was sent; replies surface as
+    /// [`SessionEvent::Pong`] (carrying the send time for RTT math) rather
+    /// than as [`SessionEvent::Reply`].
+    pings: HashMap<RequestId, Micros>,
 }
 
 impl SessionClient {
@@ -90,7 +99,7 @@ impl SessionClient {
             in_flight: HashMap::new(),
             open_req: None,
             open_sent_at: 0,
-            pings: std::collections::HashSet::new(),
+            pings: HashMap::new(),
         }
     }
 
@@ -148,10 +157,11 @@ impl SessionClient {
     }
 
     /// Builds the periodic heartbeat. `None` when no session is open.
-    pub fn ping(&mut self) -> Option<(ActorId, CoordMsg)> {
+    /// `now` is remembered and echoed back in [`SessionEvent::Pong`].
+    pub fn ping(&mut self, now: Micros) -> Option<(ActorId, CoordMsg)> {
         let session = self.session?;
         let req_id = self.fresh_req();
-        self.pings.insert(req_id);
+        self.pings.insert(req_id, now);
         Some((
             self.preferred_replica(),
             CoordMsg::Request {
@@ -173,15 +183,11 @@ impl SessionClient {
         let timeout = self.cfg.request_timeout_micros;
         let mut out = Vec::new();
         let mut rotated = false;
-        // Stale pings are simply dropped (the next ping is periodic anyway)
-        // — but their silence still indicates a dead replica.
-        let stale_pings: Vec<RequestId> = self
-            .pings
-            .iter()
-            .copied()
-            .filter(|r| !self.in_flight.contains_key(r) && self.open_req != Some(*r))
-            .collect();
-        let _ = stale_pings; // pings carry no timestamp; covered by requests
+        // Stale pings are simply dropped (the next ping is periodic anyway,
+        // and replica silence is covered by regular requests); retaining
+        // only fresh ones bounds the table when a replica goes quiet.
+        self.pings
+            .retain(|_, sent| now.saturating_sub(*sent) <= timeout);
 
         if self.open_req.is_some() && now.saturating_sub(self.open_sent_at) > timeout {
             self.preferred = (self.preferred + 1) % self.cfg.replicas.len();
@@ -232,14 +238,15 @@ impl SessionClient {
                         }
                     };
                 }
-                if self.pings.remove(&req_id) {
-                    // Heartbeat outcome: only expiry matters.
+                if let Some(sent_at) = self.pings.remove(&req_id) {
+                    // Heartbeat outcome: expiry tears the session down;
+                    // anything else is a liveness pong worth an RTT sample.
                     return match result {
                         Err(CoordError::SessionExpired) => {
                             self.session = None;
                             (Some(SessionEvent::Expired), None)
                         }
-                        _ => (None, None),
+                        _ => (Some(SessionEvent::Pong { sent_at }), None),
                     };
                 }
                 match result {
@@ -525,7 +532,7 @@ mod tests {
         });
         assert_eq!(ev, Some(SessionEvent::Expired));
         assert!(c.session().is_none());
-        assert!(c.ping().is_none());
+        assert!(c.ping(0).is_none());
     }
 
     #[test]

@@ -90,6 +90,10 @@ pub struct CoordReplica<M> {
     /// Highest zxid whose change-log entries have been discarded (ring
     /// overflow or snapshot install); queries at or below it are truncated.
     change_log_floor: u64,
+    /// Elections this replica has started (candidacies).
+    elections_started: u64,
+    /// Elections this replica has won (leaderships assumed).
+    elections_won: u64,
     _marker: PhantomData<fn() -> M>,
 }
 
@@ -121,6 +125,8 @@ where
             change_log: VecDeque::new(),
             change_log_floor: 0,
             last_sync_request: 0,
+            elections_started: 0,
+            elections_won: 0,
             _marker: PhantomData,
         }
     }
@@ -148,6 +154,18 @@ where
     /// Number of live sessions known to this replica.
     pub fn session_count(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Elections this replica has started (candidacies). Plain counters —
+    /// the observability registry lives a crate above; embedders fold these
+    /// into it (and into the event journal) when they snapshot the cluster.
+    pub fn elections_started(&self) -> u64 {
+        self.elections_started
+    }
+
+    /// Elections this replica has won.
+    pub fn elections_won(&self) -> u64 {
+        self.elections_won
     }
 
     // ----- helpers ---------------------------------------------------------
@@ -202,6 +220,7 @@ where
     }
 
     fn start_election(&mut self, ctx: &mut Ctx<'_, M>) {
+        self.elections_started += 1;
         self.term += 1;
         self.voted_in = self.term;
         let mut votes = BTreeSet::new();
@@ -221,6 +240,7 @@ where
     }
 
     fn become_leader(&mut self, ctx: &mut Ctx<'_, M>) {
+        self.elections_won += 1;
         self.role = Role::Leader;
         // Adopt everything the log knows; uncommitted remainders from prior
         // terms were either replicated to the quorum that elected us (then

@@ -81,7 +81,7 @@ impl Actor for ScriptClient {
             }
             Some(SessionEvent::Watch { path }) => self.watches.push(path),
             Some(SessionEvent::Expired) => self.expired = true,
-            None => {}
+            Some(SessionEvent::Pong { .. }) | None => {}
         }
     }
 
@@ -93,7 +93,7 @@ impl Actor for ScriptClient {
                 ctx.send(to, msg);
             }
             T_PING if (self.keep_alive || self.cursor < self.script.len()) => {
-                if let Some((to, msg)) = self.session.ping() {
+                if let Some((to, msg)) = self.session.ping(ctx.now()) {
                     ctx.send(to, msg);
                 }
                 ctx.set_timer(T_PING, self.session.ping_interval());

@@ -14,12 +14,16 @@
 //! data nodes reuse `QuorumWriter` for trigger-emitted writes.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use sedna_common::time::{Micros, Timestamp};
-use sedna_common::{Key, NodeId, RequestId, Value};
+use sedna_common::{Key, NodeId, RequestId, TraceId, VNodeId, Value};
 use sedna_coord::client::{LeaseCache, LeaseConfig, SessionClient, SessionConfig, SessionEvent};
 use sedna_coord::messages::{CoordMsg, CoordOp, CoordReply};
 use sedna_net::actor::ActorId;
+use sedna_obs::journal::{EventJournal, EventKind};
+use sedna_obs::registry::{Counter, Hist, MetricsSnapshot, Registry};
+use sedna_obs::trace::TraceTracker;
 use sedna_replication::{
     plan_repair, ReadCoordinator, ReadOutcome, RepairAction, ReplicaRead, ReplicaWriteResult,
     WriteCoordinator, WriteOutcomeAgg,
@@ -61,6 +65,7 @@ struct PendingWrite {
     op_id: u64,
     coord: WriteCoordinator,
     deadline: Micros,
+    trace: TraceId,
 }
 
 /// Tracks fan-out writes; reusable by clients and by data nodes (trigger
@@ -86,6 +91,7 @@ impl QuorumWriter {
         value: &Value,
         kind: WriteKind,
         deadline: Micros,
+        trace: TraceId,
     ) -> ReplicaOutbox {
         self.next_req += 1;
         let req = RequestId(self.next_req);
@@ -95,6 +101,7 @@ impl QuorumWriter {
                 op_id,
                 coord: WriteCoordinator::new(replicas.to_vec(), w.min(replicas.len()).max(1)),
                 deadline,
+                trace,
             },
         );
         replicas
@@ -108,10 +115,16 @@ impl QuorumWriter {
                         ts,
                         value: value.clone(),
                         kind,
+                        trace,
                     },
                 )
             })
             .collect()
+    }
+
+    /// Trace of the in-flight write keyed by `req` (None once decided).
+    pub fn trace_of(&self, req: RequestId) -> Option<TraceId> {
+        self.pending.get(&req).map(|p| p.trace)
     }
 
     /// Feeds an ack; returns the finished op and whether any replica
@@ -147,8 +160,8 @@ impl QuorumWriter {
         (out, refused)
     }
 
-    /// Expires overdue writes; returns their outcomes.
-    pub fn on_tick(&mut self, now: Micros) -> Vec<(u64, WriteOutcomeAgg)> {
+    /// Expires overdue writes; returns their outcomes and traces.
+    pub fn on_tick(&mut self, now: Micros) -> Vec<(u64, WriteOutcomeAgg, TraceId)> {
         let overdue: Vec<RequestId> = self
             .pending
             .iter()
@@ -159,7 +172,7 @@ impl QuorumWriter {
             .into_iter()
             .filter_map(|req| {
                 let mut p = self.pending.remove(&req)?;
-                Some((p.op_id, p.coord.on_deadline()))
+                Some((p.op_id, p.coord.on_deadline(), p.trace))
             })
             .collect()
     }
@@ -189,6 +202,7 @@ struct PendingRead {
     key: Key,
     coord: ReadCoordinator,
     deadline: Micros,
+    trace: TraceId,
 }
 
 /// A finished read plus any repair traffic it generated.
@@ -201,6 +215,16 @@ pub struct FinishedRead {
     pub repairs: ReplicaOutbox,
     /// True when failures indicate the routing cache may be stale.
     pub saw_failure: bool,
+    /// Trace of the op.
+    pub trace: TraceId,
+    /// VNode the key hashes to (for journal events).
+    pub vnode: VNodeId,
+    /// Replicas that answered stale or missing while a fresher version
+    /// exists elsewhere: `(replica, had_no_copy_at_all)`.
+    pub lagging: Vec<(NodeId, bool)>,
+    /// True when the quorum did not reach clean R-agreement (the merged
+    /// answer or an outright failure was returned instead).
+    pub degraded: bool,
 }
 
 /// Tracks fan-out reads with read-repair planning.
@@ -222,6 +246,7 @@ impl QuorumReader {
         key: &Key,
         kind: ReadKind,
         deadline: Micros,
+        trace: TraceId,
     ) -> ReplicaOutbox {
         self.next_req += 1;
         let req = RequestId(self.next_req);
@@ -233,6 +258,7 @@ impl QuorumReader {
                 key: key.clone(),
                 coord: ReadCoordinator::new(replicas.to_vec(), r.min(replicas.len()).max(1)),
                 deadline,
+                trace,
             },
         );
         replicas
@@ -243,10 +269,16 @@ impl QuorumReader {
                     ReplicaOp::Read {
                         req,
                         key: key.clone(),
+                        trace,
                     },
                 )
             })
             .collect()
+    }
+
+    /// Trace of the in-flight read keyed by `req` (None once decided).
+    pub fn trace_of(&self, req: RequestId) -> Option<TraceId> {
+        self.pending.get(&req).map(|p| p.trace)
     }
 
     /// Feeds a reply; returns the finished read when decided.
@@ -302,10 +334,29 @@ impl QuorumReader {
         let p = self.pending.remove(&req).expect("pending read");
         let mut repairs: ReplicaOutbox = Vec::new();
         let mut saw_failure = false;
+        let mut lagging: Vec<(NodeId, bool)> = Vec::new();
+        let mut degraded = false;
         let result = match outcome {
             ReadOutcome::Ok(values) => render(p.kind, Some(values)),
             ReadOutcome::NotFound => render(p.kind, None),
             ReadOutcome::Inconsistent { merged } => {
+                degraded = true;
+                // Which replicas lag behind the merged view (for the
+                // quorum-health journal): Missing = no copy at all,
+                // otherwise an older version than the freshest seen.
+                if let Some(freshest) = merged.iter().map(|v| v.ts).max() {
+                    for (node, reply) in p.coord.replies() {
+                        match reply {
+                            ReplicaRead::Missing => lagging.push((*node, true)),
+                            ReplicaRead::Values(v)
+                                if v.iter().map(|x| x.ts).max() < Some(freshest) =>
+                            {
+                                lagging.push((*node, false));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
                 // Sec. III-C: read recovery runs asynchronously; the client
                 // answers with the freshest merged view it could assemble.
                 for action in plan_repair(p.coord.replies(), &merged) {
@@ -330,6 +381,7 @@ impl QuorumReader {
             }
             ReadOutcome::Failed { .. } => {
                 saw_failure = true;
+                degraded = true;
                 ClientResult::Failed
             }
             ReadOutcome::Pending => unreachable!(),
@@ -339,6 +391,10 @@ impl QuorumReader {
             result,
             repairs,
             saw_failure,
+            trace: p.trace,
+            vnode: cfg.partitioner.locate(&p.key),
+            lagging,
+            degraded,
         })
     }
 }
@@ -450,6 +506,183 @@ impl ScanCoordinator {
 }
 
 // ---------------------------------------------------------------------------
+// ClientObs
+// ---------------------------------------------------------------------------
+
+/// The client's observability surface: quorum-outcome counters, latency
+/// histograms, the per-op trace tracker, and the event journal that
+/// receives stale-replica and slow-op records.
+pub struct ClientObs {
+    registry: Arc<Registry>,
+    journal: Arc<EventJournal>,
+    tracker: TraceTracker,
+    slow_threshold: Micros,
+    writes_ok: Counter,
+    writes_outdated: Counter,
+    writes_failed: Counter,
+    reads_total: Counter,
+    reads_ok: Counter,
+    reads_degraded: Counter,
+    ring_refreshes: Counter,
+    repairs_sent: Counter,
+    stale_replicas_seen: Counter,
+    batch_flush_full: Counter,
+    batch_flush_window: Counter,
+    batch_flush_immediate: Counter,
+    write_latency: Hist,
+    read_latency: Hist,
+    ping_rtt: Hist,
+}
+
+impl ClientObs {
+    fn new(cfg: &ClusterConfig, origin: NodeId) -> ClientObs {
+        let registry = Arc::new(Registry::new(cfg.metrics_enabled));
+        let journal = Arc::new(EventJournal::new(cfg.journal_capacity));
+        ClientObs {
+            tracker: TraceTracker::new(origin.0 as u64),
+            slow_threshold: cfg.slow_op_threshold_micros,
+            writes_ok: registry.counter("sedna_client_writes_ok_total"),
+            writes_outdated: registry.counter("sedna_client_writes_outdated_total"),
+            writes_failed: registry.counter("sedna_client_writes_failed_total"),
+            reads_total: registry.counter("sedna_client_reads_total"),
+            reads_ok: registry.counter("sedna_client_reads_ok_total"),
+            reads_degraded: registry.counter("sedna_client_reads_degraded_total"),
+            ring_refreshes: registry.counter("sedna_client_ring_refreshes_total"),
+            repairs_sent: registry.counter("sedna_client_read_repairs_total"),
+            stale_replicas_seen: registry.counter("sedna_client_stale_replicas_total"),
+            batch_flush_full: registry.counter("sedna_client_batch_flush_full_total"),
+            batch_flush_window: registry.counter("sedna_client_batch_flush_window_total"),
+            batch_flush_immediate: registry.counter("sedna_client_batch_flush_immediate_total"),
+            write_latency: registry.hist("sedna_client_write_latency_micros"),
+            read_latency: registry.hist("sedna_client_read_latency_micros"),
+            ping_rtt: registry.hist("sedna_coord_ping_rtt_micros"),
+            registry,
+            journal,
+        }
+    }
+
+    /// The client's metrics registry (shareable across threads).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The client's event journal (shareable across threads).
+    pub fn journal(&self) -> &Arc<EventJournal> {
+        &self.journal
+    }
+
+    /// Snapshot of the client's metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Traces completed exactly once.
+    pub fn traces_completed(&self) -> u64 {
+        self.tracker.completed()
+    }
+
+    /// Duplicate trace completions observed (must stay 0).
+    pub fn trace_duplicates(&self) -> u64 {
+        self.tracker.duplicates()
+    }
+
+    /// Closes a write's trace: quorum-assembly mark, outcome counters,
+    /// latency sample, and slow-op/failure journal promotion.
+    fn write_done(&mut self, trace: TraceId, agg: &WriteOutcomeAgg, now: Micros) {
+        match agg {
+            WriteOutcomeAgg::Ok => self.writes_ok.inc(),
+            WriteOutcomeAgg::Outdated => self.writes_outdated.inc(),
+            WriteOutcomeAgg::Failed { .. } | WriteOutcomeAgg::Pending => self.writes_failed.inc(),
+        }
+        self.tracker.assembled(trace, now);
+        if let Some(fin) = self.tracker.finish(trace, now) {
+            self.write_latency.record(fin.total_micros);
+            if matches!(agg, WriteOutcomeAgg::Failed { .. }) {
+                self.journal
+                    .push(now, EventKind::QuorumFailed { trace, op: "write" });
+            }
+            if fin.total_micros >= self.slow_threshold {
+                self.journal.push(
+                    now,
+                    EventKind::SlowOp {
+                        trace,
+                        total_micros: fin.total_micros,
+                        spans: fin.spans,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Closes a read's trace: records lagging replicas into the journal,
+    /// repair spans, outcome counters, latency, and slow-op promotion.
+    fn read_done(&mut self, fin: &FinishedRead, cfg: &ClusterConfig, now: Micros) {
+        self.reads_total.inc();
+        if fin.degraded {
+            self.reads_degraded.inc();
+        } else {
+            self.reads_ok.inc();
+        }
+        for &(node, missing) in &fin.lagging {
+            self.stale_replicas_seen.inc();
+            self.journal.push(
+                now,
+                EventKind::StaleReplica {
+                    trace: fin.trace,
+                    vnode: fin.vnode,
+                    lagging: node,
+                    missing,
+                },
+            );
+        }
+        for (to, _) in &fin.repairs {
+            self.repairs_sent.inc();
+            if let Some(node) = cfg.actor_node(*to) {
+                self.tracker.repaired(fin.trace, node, now);
+            }
+        }
+        self.tracker.assembled(fin.trace, now);
+        if let Some(done) = self.tracker.finish(fin.trace, now) {
+            self.read_latency.record(done.total_micros);
+            if matches!(fin.result, ClientResult::Failed) {
+                self.journal.push(
+                    now,
+                    EventKind::QuorumFailed {
+                        trace: fin.trace,
+                        op: "read",
+                    },
+                );
+            }
+            if done.total_micros >= self.slow_threshold {
+                self.journal.push(
+                    now,
+                    EventKind::SlowOp {
+                        trace: fin.trace,
+                        total_micros: done.total_micros,
+                        spans: done.spans,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Marks the per-replica send spans for a freshly issued fan-out.
+    fn mark_sends(
+        &mut self,
+        trace: TraceId,
+        raw: &ReplicaOutbox,
+        cfg: &ClusterConfig,
+        now: Micros,
+    ) {
+        for (to, _) in raw {
+            if let Some(node) = cfg.actor_node(*to) {
+                self.tracker.sent(trace, node, now);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // ClientCore
 // ---------------------------------------------------------------------------
 
@@ -488,6 +721,8 @@ pub struct ClientCore {
     groups: HashMap<u64, PendingGroup>,
     /// Child op id → (group op id, index within the group).
     child_group: HashMap<u64, (u64, usize)>,
+    /// Metrics, traces, and the event journal.
+    obs: ClientObs,
 }
 
 impl ClientCore {
@@ -500,6 +735,7 @@ impl ClientCore {
             // failover does not trigger spurious re-sends.
             request_timeout_micros: 600_000,
         });
+        let obs = ClientObs::new(&cfg, origin);
         ClientCore {
             cfg,
             origin,
@@ -520,12 +756,18 @@ impl ClientCore {
             stage_since: 0,
             groups: HashMap::new(),
             child_group: HashMap::new(),
+            obs,
         }
     }
 
     /// The deployment layout.
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
+    }
+
+    /// The client's observability surface (metrics, traces, journal).
+    pub fn obs(&self) -> &ClientObs {
+        &self.obs
     }
 
     /// Opens the coordination session; send the returned message first.
@@ -582,8 +824,7 @@ impl ClientCore {
         if self.stage.is_empty() {
             return;
         }
-        let flush_partial =
-            now.saturating_sub(self.stage_since) >= self.cfg.max_batch_delay_micros;
+        let flush_partial = now.saturating_sub(self.stage_since) >= self.cfg.max_batch_delay_micros;
         let staged = std::mem::take(&mut self.stage);
         let mut order: Vec<ActorId> = Vec::new();
         let mut per: HashMap<ActorId, Vec<ReplicaOp>> = HashMap::new();
@@ -598,6 +839,7 @@ impl ClientCore {
             let mut ops = per.remove(&to).expect("grouped above");
             while ops.len() >= self.cfg.max_batch_ops {
                 let rest = ops.split_off(self.cfg.max_batch_ops);
+                self.obs.batch_flush_full.inc();
                 emit_frame(out, to, ops);
                 ops = rest;
             }
@@ -605,6 +847,11 @@ impl ClientCore {
                 continue;
             }
             if flush_partial {
+                if self.cfg.max_batch_delay_micros == 0 {
+                    self.obs.batch_flush_immediate.inc();
+                } else {
+                    self.obs.batch_flush_window.inc();
+                }
                 emit_frame(out, to, ops);
             } else {
                 // Held back for companions; `stage_since` still tracks the
@@ -671,6 +918,7 @@ impl ClientCore {
         let op_id = self.next_op;
         let ts = self.next_timestamp(now);
         let deadline = now + self.cfg.request_deadline_micros;
+        let trace = self.obs.tracker.begin(now);
         let raw = self.writer.begin(
             &self.cfg,
             op_id,
@@ -681,7 +929,9 @@ impl ClientCore {
             &value,
             kind,
             deadline,
+            trace,
         );
+        self.obs.mark_sends(trace, &raw, &self.cfg, now);
         Some((op_id, self.dispatch(raw, now)))
     }
 
@@ -709,7 +959,8 @@ impl ClientCore {
             self.next_op += 1;
             let child = self.next_op;
             let ts = self.next_timestamp(now);
-            raw.extend(self.writer.begin(
+            let trace = self.obs.tracker.begin(now);
+            let child_raw = self.writer.begin(
                 &self.cfg,
                 child,
                 replicas,
@@ -719,7 +970,10 @@ impl ClientCore {
                 value,
                 WriteKind::Latest,
                 deadline,
-            ));
+                trace,
+            );
+            self.obs.mark_sends(trace, &child_raw, &self.cfg, now);
+            raw.extend(child_raw);
             self.child_group.insert(child, (group_id, idx));
         }
         self.groups.insert(
@@ -739,8 +993,7 @@ impl ClientCore {
         if keys.is_empty() {
             return None;
         }
-        let routes: Option<Vec<Vec<NodeId>>> =
-            keys.iter().map(|k| self.replicas_for(k)).collect();
+        let routes: Option<Vec<Vec<NodeId>>> = keys.iter().map(|k| self.replicas_for(k)).collect();
         let routes = routes?;
         self.next_op += 1;
         let group_id = self.next_op;
@@ -749,7 +1002,8 @@ impl ClientCore {
         for (idx, (key, replicas)) in keys.iter().zip(&routes).enumerate() {
             self.next_op += 1;
             let child = self.next_op;
-            raw.extend(self.reader.begin(
+            let trace = self.obs.tracker.begin(now);
+            let child_raw = self.reader.begin(
                 &self.cfg,
                 child,
                 replicas,
@@ -757,7 +1011,10 @@ impl ClientCore {
                 key,
                 ReadKind::Latest,
                 deadline,
-            ));
+                trace,
+            );
+            self.obs.mark_sends(trace, &child_raw, &self.cfg, now);
+            raw.extend(child_raw);
             self.child_group.insert(child, (group_id, idx));
         }
         self.groups.insert(
@@ -806,6 +1063,7 @@ impl ClientCore {
         self.next_op += 1;
         let op_id = self.next_op;
         let deadline = now + self.cfg.request_deadline_micros;
+        let trace = self.obs.tracker.begin(now);
         let raw = self.reader.begin(
             &self.cfg,
             op_id,
@@ -814,7 +1072,9 @@ impl ClientCore {
             key,
             kind,
             deadline,
+            trace,
         );
+        self.obs.mark_sends(trace, &raw, &self.cfg, now);
         Some((op_id, self.dispatch(raw, now)))
     }
 
@@ -860,6 +1120,9 @@ impl ClientCore {
                         let (to, m) = self.session.open(now);
                         out.push((to, SednaMsg::Coord(m)));
                     }
+                    Some(SessionEvent::Pong { sent_at }) => {
+                        self.obs.ping_rtt.record(now.saturating_sub(sent_at));
+                    }
                     Some(SessionEvent::Reply { req_id, result }) => {
                         out.extend(self.on_coord_reply(req_id, result, now));
                         if self.is_ready() && !self.announced_ready {
@@ -893,12 +1156,23 @@ impl ClientCore {
         out: &mut Outbox,
     ) {
         match op {
-            ReplicaOp::WriteAck { req, ack } => {
+            ReplicaOp::WriteAck {
+                req,
+                ack,
+                apply_nanos,
+            } => {
+                let trace = self.writer.trace_of(req);
+                if let (Some(trace), Some(node)) = (trace, self.cfg.actor_node(from)) {
+                    self.obs.tracker.acked(trace, node, now, apply_nanos);
+                }
                 let (done, refused) = self.writer.on_ack(&self.cfg, from, req, ack);
                 if refused {
                     out.extend(self.refresh_ring_now(now));
                 }
                 if let Some((op_id, agg)) = done {
+                    if let Some(trace) = trace {
+                        self.obs.write_done(trace, &agg, now);
+                    }
                     self.complete(op_id, write_result(agg), events);
                 }
             }
@@ -907,12 +1181,22 @@ impl ClientCore {
                     self.complete(op_id, ClientResult::Scanned(rows), events);
                 }
             }
-            ReplicaOp::ReadReply { req, reply } => {
+            ReplicaOp::ReadReply {
+                req,
+                reply,
+                apply_nanos,
+            } => {
                 let refused = matches!(reply, ReplicaReadReply::Refused);
                 if refused {
                     out.extend(self.refresh_ring_now(now));
                 }
+                if let (Some(trace), Some(node)) =
+                    (self.reader.trace_of(req), self.cfg.actor_node(from))
+                {
+                    self.obs.tracker.acked(trace, node, now, apply_nanos);
+                }
                 if let Some(fin) = self.reader.on_reply(&self.cfg, from, req, reply) {
+                    self.obs.read_done(&fin, &self.cfg, now);
                     self.stage_ops(fin.repairs, now, out);
                     if fin.saw_failure {
                         out.extend(self.refresh_ring_now(now));
@@ -934,6 +1218,7 @@ impl ClientCore {
 
     fn refresh_ring_now(&mut self, now: Micros) -> Outbox {
         // Invalidate the cached ring entry and fetch a fresh copy.
+        self.obs.ring_refreshes.inc();
         self.lease.invalidate(paths::RING);
         self.request_ring(now)
     }
@@ -981,8 +1266,9 @@ impl ClientCore {
     pub fn on_tick(&mut self, now: Micros) -> (Vec<ClientEvent>, Outbox) {
         let mut events = Vec::new();
         let mut out: Outbox = Vec::new();
-        for (op_id, agg) in self.writer.on_tick(now) {
+        for (op_id, agg, trace) in self.writer.on_tick(now) {
             let failed = matches!(agg, WriteOutcomeAgg::Failed { .. });
+            self.obs.write_done(trace, &agg, now);
             self.complete(op_id, write_result(agg), &mut events);
             if failed {
                 out.extend(self.refresh_ring_now(now));
@@ -992,6 +1278,7 @@ impl ClientCore {
             self.complete(op_id, ClientResult::Scanned(rows), &mut events);
         }
         for fin in self.reader.on_tick(&self.cfg, now) {
+            self.obs.read_done(&fin, &self.cfg, now);
             self.stage_ops(fin.repairs, now, &mut out);
             if fin.saw_failure {
                 out.extend(self.refresh_ring_now(now));
@@ -1001,7 +1288,7 @@ impl ClientCore {
         self.flush_stage(now, &mut out);
         if now.saturating_sub(self.last_ping) >= self.cfg.ping_interval_micros {
             self.last_ping = now;
-            if let Some((to, m)) = self.session.ping() {
+            if let Some((to, m)) = self.session.ping(now) {
                 out.push((to, SednaMsg::Coord(m)));
             }
         }
@@ -1095,6 +1382,7 @@ mod tests {
             &Value::from("v"),
             WriteKind::Latest,
             100,
+            TraceId(1),
         );
         assert_eq!(out.len(), 3);
         assert_eq!(w.in_flight(), 1);
@@ -1123,11 +1411,15 @@ mod tests {
             &Value::from("v"),
             WriteKind::All,
             100,
+            TraceId(7),
         );
         assert!(w.on_tick(50).is_empty());
         let done = w.on_tick(100);
         assert_eq!(done.len(), 1);
-        assert!(matches!(done[0], (7, WriteOutcomeAgg::Failed { .. })));
+        assert!(matches!(
+            done[0],
+            (7, WriteOutcomeAgg::Failed { .. }, TraceId(7))
+        ));
     }
 
     #[test]
@@ -1143,6 +1435,7 @@ mod tests {
             &Key::from("k"),
             ReadKind::Latest,
             100,
+            TraceId(3),
         );
         let req = match &out[0].1 {
             ReplicaOp::Read { req, .. } => *req,
@@ -1206,6 +1499,7 @@ mod tests {
             &Key::from("k"),
             ReadKind::Latest,
             100,
+            TraceId(4),
         );
         let req = match &out[0].1 {
             ReplicaOp::Read { req, .. } => *req,
@@ -1249,6 +1543,7 @@ mod tests {
             SednaMsg::Replica(ReplicaOp::WriteAck {
                 req: RequestId(1),
                 ack: ReplicaWriteAck::Refused,
+                apply_nanos: 0,
             }),
             0,
         );
@@ -1274,6 +1569,7 @@ mod tests {
                     ReplicaOp::Read {
                         req: RequestId(i as u64 + 1),
                         key: Key::from(format!("k{i}")),
+                        trace: TraceId(i as u64),
                     },
                 )
             })

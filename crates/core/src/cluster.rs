@@ -2,6 +2,7 @@
 //! on real threads, plus the gateway actor and a synchronous client facade
 //! for examples.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use sedna_common::time::Micros;
@@ -12,7 +13,10 @@ use sedna_coord::replica::CoordReplica;
 use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
 use sedna_net::link::LinkModel;
 use sedna_net::sim::{Sim, SimConfig};
+use sedna_net::stats::NetStats;
 use sedna_net::threaded::{ExternalHandle, ThreadNet, ThreadNetConfig};
+use sedna_obs::journal::{Event, EventJournal};
+use sedna_obs::registry::{MetricsSnapshot, Registry};
 use sedna_persist::PersistEngine;
 
 use crate::client::{ClientCore, ClientEvent};
@@ -25,6 +29,21 @@ use crate::node::SednaNode;
 /// the same runtime as the data path).
 fn ensemble_config(cfg: &ClusterConfig) -> EnsembleConfig {
     EnsembleConfig::lan(cfg.coord_actors())
+}
+
+/// Folds a runtime's traffic counters into a metrics snapshot as gauges
+/// (the runtime owns the counters; snapshots just mirror them).
+pub fn fold_net_stats(stats: &NetStats, snap: &mut MetricsSnapshot) {
+    for (name, v) in [
+        ("sedna_net_messages_sent", stats.messages_sent),
+        ("sedna_net_messages_delivered", stats.messages_delivered),
+        ("sedna_net_messages_dropped", stats.messages_dropped),
+        ("sedna_net_bytes_sent", stats.bytes_sent),
+        ("sedna_net_bytes_dropped", stats.bytes_dropped),
+        ("sedna_net_timers_fired", stats.timers_fired),
+    ] {
+        *snap.gauges.entry(name.to_string()).or_insert(0) += v;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -61,6 +80,11 @@ impl Gateway {
     /// True once requests can be served without queueing.
     pub fn is_ready(&self) -> bool {
         self.core.is_ready()
+    }
+
+    /// The embedded client (metrics, journal, trace inspection).
+    pub fn core(&self) -> &ClientCore {
+        &self.core
     }
 
     fn start_op(&mut self, from: ActorId, op_id: u64, op: ClientOp, ctx: &mut Ctx<'_, SednaMsg>) {
@@ -177,6 +201,8 @@ pub struct SimCluster {
     pub sim: Sim<SednaMsg>,
     /// The deployment layout.
     pub config: ClusterConfig,
+    /// Gateways added via [`SimCluster::add_gateway`] (for metrics merge).
+    gateways: Vec<ActorId>,
 }
 
 impl SimCluster {
@@ -220,7 +246,11 @@ impl SimCluster {
             )));
             debug_assert_eq!(id, config.node_actor(node));
         }
-        SimCluster { sim, config }
+        SimCluster {
+            sim,
+            config,
+            gateways: Vec::new(),
+        }
     }
 
     /// Builds without persistence.
@@ -272,8 +302,91 @@ impl SimCluster {
     /// Adds a gateway actor; returns its address.
     pub fn add_gateway(&mut self, client_index: u32) -> ActorId {
         let origin = self.config.client_origin(client_index);
-        self.sim
-            .add_actor(Box::new(Gateway::new(self.config.clone(), origin)))
+        let id = self
+            .sim
+            .add_actor(Box::new(Gateway::new(self.config.clone(), origin)));
+        self.gateways.push(id);
+        id
+    }
+
+    /// Cluster-wide metrics: every data node, the manager, every gateway
+    /// added through [`SimCluster::add_gateway`], the coordination
+    /// replicas' election counters, and the simulator's traffic stats,
+    /// merged into one snapshot.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::default();
+        for n in 0..self.config.data_nodes as u32 {
+            let id = self.config.node_actor(NodeId(n));
+            if let Some(node) = self.sim.actor_ref::<SednaNode>(id) {
+                merged.merge(&node.metrics_snapshot());
+            }
+        }
+        if let Some(mgr) = self
+            .sim
+            .actor_ref::<ClusterManager>(self.config.manager_actor())
+        {
+            merged.merge(&mgr.registry().snapshot());
+        }
+        for &id in &self.gateways {
+            if let Some(gw) = self.sim.actor_ref::<Gateway>(id) {
+                merged.merge(&gw.core().obs().snapshot());
+            }
+        }
+        let (mut started, mut won) = (0, 0);
+        for i in 0..self.config.coord_replicas {
+            if let Some(rep) = self
+                .sim
+                .actor_ref::<CoordReplica<SednaMsg>>(self.config.coord_actor(i))
+            {
+                started += rep.elections_started();
+                won += rep.elections_won();
+            }
+        }
+        *merged
+            .gauges
+            .entry("sedna_coord_elections_started".into())
+            .or_insert(0) += started;
+        *merged
+            .gauges
+            .entry("sedna_coord_elections_won".into())
+            .or_insert(0) += won;
+        fold_net_stats(self.sim.stats(), &mut merged);
+        merged
+    }
+
+    /// Prometheus text exposition of [`SimCluster::metrics_snapshot`].
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().to_prometheus()
+    }
+
+    /// JSON rendering of [`SimCluster::metrics_snapshot`].
+    pub fn metrics_json(&self) -> String {
+        self.metrics_snapshot().to_json()
+    }
+
+    /// Every journal event in the cluster (nodes, manager, gateways),
+    /// ordered by record time.
+    pub fn journal_events(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        for n in 0..self.config.data_nodes as u32 {
+            let id = self.config.node_actor(NodeId(n));
+            if let Some(node) = self.sim.actor_ref::<SednaNode>(id) {
+                out.extend(node.journal().events());
+            }
+        }
+        if let Some(mgr) = self
+            .sim
+            .actor_ref::<ClusterManager>(self.config.manager_actor())
+        {
+            out.extend(mgr.journal().events());
+        }
+        for &id in &self.gateways {
+            if let Some(gw) = self.sim.actor_ref::<Gateway>(id) {
+                out.extend(gw.core().obs().journal().events());
+            }
+        }
+        out.sort_by_key(|e| e.at);
+        out
     }
 
     /// Immutable access to a data node.
@@ -326,6 +439,11 @@ pub struct ThreadCluster {
     pub config: ClusterConfig,
     gateway: ActorId,
     next_op: std::cell::Cell<u64>,
+    /// Metric registries captured before each actor moved into its thread
+    /// (nodes, manager, gateway) — the cluster-wide merge view.
+    registries: Vec<Arc<Registry>>,
+    /// Event journals captured the same way.
+    journals: Vec<Arc<EventJournal>>,
 }
 
 impl ThreadCluster {
@@ -333,24 +451,65 @@ impl ThreadCluster {
     pub fn start(config: ClusterConfig) -> Self {
         let mut net = ThreadNet::new(ThreadNetConfig::default());
         let ens = ensemble_config(&config);
+        let mut registries = Vec::new();
+        let mut journals = Vec::new();
         for i in 0..config.coord_replicas as u32 {
             net.add_actor(Box::new(CoordReplica::<SednaMsg>::new(ens.clone(), i)));
         }
-        net.add_actor(Box::new(ClusterManager::new(config.clone())));
+        let manager = ClusterManager::new(config.clone());
+        registries.push(manager.registry());
+        journals.push(manager.journal());
+        net.add_actor(Box::new(manager));
         for n in 0..config.data_nodes as u32 {
-            net.add_actor(Box::new(SednaNode::new(config.clone(), NodeId(n), None)));
+            let node = SednaNode::new(config.clone(), NodeId(n), None);
+            registries.push(node.registry());
+            journals.push(node.journal());
+            net.add_actor(Box::new(node));
         }
-        let gateway = net.add_actor(Box::new(Gateway::new(
-            config.clone(),
-            config.client_origin(0),
-        )));
+        let gw = Gateway::new(config.clone(), config.client_origin(0));
+        registries.push(gw.core().obs().registry().clone());
+        journals.push(gw.core().obs().journal().clone());
+        let gateway = net.add_actor(Box::new(gw));
         let handle = net.start();
         ThreadCluster {
             handle,
             config,
             gateway,
             next_op: std::cell::Cell::new(0),
+            registries,
+            journals,
         }
+    }
+
+    /// Cluster-wide metrics merged across every captured registry (data
+    /// nodes, manager, gateway). Node gauges refresh on each node's stats
+    /// tick, so very recent activity may lag by one interval.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::default();
+        for reg in &self.registries {
+            merged.merge(&reg.snapshot());
+        }
+        merged
+    }
+
+    /// Prometheus text exposition of [`ThreadCluster::metrics_snapshot`].
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().to_prometheus()
+    }
+
+    /// JSON rendering of [`ThreadCluster::metrics_snapshot`].
+    pub fn metrics_json(&self) -> String {
+        self.metrics_snapshot().to_json()
+    }
+
+    /// Every journal event recorded so far, ordered by record time.
+    pub fn journal_events(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        for j in &self.journals {
+            out.extend(j.events());
+        }
+        out.sort_by_key(|e| e.at);
+        out
     }
 
     fn call(&self, op: ClientOp, timeout: Duration) -> ClientResult {
@@ -452,7 +611,9 @@ impl ThreadCluster {
             return ClientResult::Many(Vec::new());
         }
         self.call(
-            ClientOp::ReadMany { keys: keys.to_vec() },
+            ClientOp::ReadMany {
+                keys: keys.to_vec(),
+            },
             Duration::from_secs(2),
         )
     }

@@ -68,6 +68,18 @@ pub struct ClusterConfig {
     /// positive window lets partial batches ride across ticks (pipelined
     /// embedders) at a bounded latency cost.
     pub max_batch_delay_micros: Micros,
+    /// Observability: whether the metrics registries record. Recording
+    /// never touches the virtual clock, so this cannot change simulated
+    /// behavior — disabling it only removes the (small) wall-clock cost of
+    /// the atomic bumps, which the `mixed_workload` ablation measures.
+    pub metrics_enabled: bool,
+    /// Observability: client ops whose end-to-end latency reaches this
+    /// threshold (µs) get their full span tree promoted into the event
+    /// journal. Well above the LAN quorum RTT (~1 ms) and below the
+    /// request deadline, so it singles out genuinely struggling ops.
+    pub slow_op_threshold_micros: Micros,
+    /// Observability: retained capacity of each event journal (events).
+    pub journal_capacity: usize,
 }
 
 impl ClusterConfig {
@@ -103,6 +115,9 @@ impl ClusterConfig {
             // per replica op. Deployments opt in via `with_batching`.
             max_batch_ops: 1,
             max_batch_delay_micros: 0,
+            metrics_enabled: true,
+            slow_op_threshold_micros: 10_000,
+            journal_capacity: 256,
         }
     }
 
@@ -110,6 +125,19 @@ impl ClusterConfig {
     pub fn with_batching(mut self, max_ops: usize, max_delay_micros: Micros) -> Self {
         self.max_batch_ops = max_ops.max(1);
         self.max_batch_delay_micros = max_delay_micros;
+        self
+    }
+
+    /// Turns metric recording on or off (the registries still exist and
+    /// render; handles just stop recording).
+    pub fn with_metrics(mut self, enabled: bool) -> Self {
+        self.metrics_enabled = enabled;
+        self
+    }
+
+    /// Sets the slow-op promotion threshold (µs).
+    pub fn with_slow_op_threshold(mut self, micros: Micros) -> Self {
+        self.slow_op_threshold_micros = micros;
         self
     }
 

@@ -25,12 +25,15 @@
 //! reads and writes proceed on cached routing state while it is down.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 use sedna_common::{NodeId, RequestId};
 use sedna_coord::client::{SessionClient, SessionConfig, SessionEvent};
 use sedna_coord::messages::{CoordError, CoordMsg, CoordOp, CoordReply};
 use sedna_coord::tree::TreeError;
 use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_obs::journal::{EventJournal, EventKind};
+use sedna_obs::registry::{Hist, Registry};
 use sedna_ring::{Transfer, VNodeMap};
 
 use crate::config::{paths, ClusterConfig};
@@ -64,6 +67,10 @@ pub struct ClusterManager {
     imbalance_rows: BTreeMap<NodeId, crate::imbalance::ImbalanceRow>,
     /// Completed load-driven moves (metrics/tests).
     rebalance_moves: u64,
+    registry: Arc<Registry>,
+    /// Membership and rebalance decisions, as structured events.
+    journal: Arc<EventJournal>,
+    ping_rtt: Hist,
 }
 
 impl ClusterManager {
@@ -75,6 +82,9 @@ impl ClusterManager {
             request_timeout_micros: 600_000,
         });
         let map = VNodeMap::new(cfg.partitioner.vnode_count(), cfg.quorum.n);
+        let registry = Arc::new(Registry::new(cfg.metrics_enabled));
+        let journal = Arc::new(EventJournal::new(cfg.journal_capacity));
+        let ping_rtt = registry.hist("sedna_coord_ping_rtt_micros");
         ClusterManager {
             cfg,
             session,
@@ -91,7 +101,20 @@ impl ClusterManager {
             imbalance_row_reqs: HashMap::new(),
             imbalance_rows: BTreeMap::new(),
             rebalance_moves: 0,
+            registry,
+            journal,
+            ping_rtt,
         }
+    }
+
+    /// The manager's metrics registry (shared handle).
+    pub fn registry(&self) -> Arc<Registry> {
+        self.registry.clone()
+    }
+
+    /// The manager's event journal: membership changes and rebalance moves.
+    pub fn journal(&self) -> Arc<EventJournal> {
+        self.journal.clone()
     }
 
     /// Number of load-driven vnode moves performed so far.
@@ -235,11 +258,22 @@ impl ClusterManager {
             if let Some(t) = self.map.move_slot(vnode, hot, cold) {
                 *scores.get_mut(&hot).expect("hot") -= vscore;
                 *scores.get_mut(&cold).expect("cold") += vscore;
+                self.journal.push(
+                    ctx.now(),
+                    EventKind::Rebalance {
+                        vnode,
+                        from: hot,
+                        to: cold,
+                    },
+                );
                 transfers.push(t);
             }
         }
         if !transfers.is_empty() {
             self.rebalance_moves += transfers.len() as u64;
+            self.registry
+                .counter("sedna_manager_rebalance_moves_total")
+                .add(transfers.len() as u64);
             self.pending_directives.extend(transfers);
             self.publish_ring(ctx);
         }
@@ -258,10 +292,26 @@ impl ClusterManager {
             // sources (Sec. III-D).
             transfers.extend(self.map.leave(n, false));
             self.known.remove(&n);
+            self.registry.counter("sedna_manager_leaves_total").inc();
+            self.journal.push(
+                ctx.now(),
+                EventKind::Membership {
+                    node: n,
+                    joined: false,
+                },
+            );
         }
         for n in joined {
             transfers.extend(self.map.join(n));
             self.known.insert(n);
+            self.registry.counter("sedna_manager_joins_total").inc();
+            self.journal.push(
+                ctx.now(),
+                EventKind::Membership {
+                    node: n,
+                    joined: true,
+                },
+            );
         }
         self.pending_directives.extend(transfers);
         self.publish_ring(ctx);
@@ -304,6 +354,9 @@ impl ClusterManager {
             }
             Some(SessionEvent::Reply { req_id, result }) => {
                 self.handle_reply(req_id, result, ctx);
+            }
+            Some(SessionEvent::Pong { sent_at }) => {
+                self.ping_rtt.record(ctx.now().saturating_sub(sent_at));
             }
             _ => {}
         }
@@ -443,7 +496,7 @@ impl Actor for ClusterManager {
             }
             if self.session.session().is_some() && self.ring_version.is_some() {
                 self.poll_members(ctx);
-                if let Some((to, m)) = self.session.ping() {
+                if let Some((to, m)) = self.session.ping(ctx.now()) {
                     self.send_coord(ctx, to, m);
                 }
                 self.polls_since_rebalance += 1;

@@ -7,7 +7,7 @@
 //! substrate actors (written against their own enums) run unchanged.
 
 use sedna_common::time::Timestamp;
-use sedna_common::{Key, NodeId, RequestId, VNodeId, Value};
+use sedna_common::{Key, NodeId, RequestId, TraceId, VNodeId, Value};
 use sedna_coord::messages::CoordMsg;
 use sedna_memstore::VersionedValue;
 use sedna_net::actor::{MessageSize, Wrap};
@@ -60,6 +60,8 @@ pub enum ReplicaOp {
         value: Value,
         /// Which write API.
         kind: WriteKind,
+        /// Distributed trace of the client op this write belongs to.
+        trace: TraceId,
     },
     /// Reply to [`ReplicaOp::Write`].
     WriteAck {
@@ -67,6 +69,10 @@ pub enum ReplicaOp {
         req: RequestId,
         /// Verdict.
         ack: ReplicaWriteAck,
+        /// Wall-clock nanoseconds the replica held the shard lock while
+        /// applying — reported back so the client can place a node-apply
+        /// span inside the op's trace.
+        apply_nanos: u64,
     },
     /// Replica read.
     Read {
@@ -74,6 +80,8 @@ pub enum ReplicaOp {
         req: RequestId,
         /// Key.
         key: Key,
+        /// Distributed trace of the client op this read belongs to.
+        trace: TraceId,
     },
     /// Reply to [`ReplicaOp::Read`].
     ReadReply {
@@ -81,6 +89,9 @@ pub enum ReplicaOp {
         req: RequestId,
         /// Reply.
         reply: ReplicaReadReply,
+        /// Shard-lock hold time on the replica, in nanoseconds (see
+        /// [`ReplicaOp::WriteAck::apply_nanos`]).
+        apply_nanos: u64,
     },
     /// Read-repair push: merge these versions (fire-and-forget).
     Push {
@@ -345,6 +356,9 @@ fn versions_size(v: &[VersionedValue]) -> usize {
 
 impl MessageSize for ReplicaOp {
     fn size_bytes(&self) -> usize {
+        // The wire-size model charges trace ids and apply-time metadata to
+        // the fixed frame header (they are small fixed-width fields), so
+        // the byte math the batching tests assert on is unchanged.
         const HDR: usize = 32;
         HDR + match self {
             ReplicaOp::Write { key, value, .. } => key.len() + value.len() + 16,
@@ -379,9 +393,7 @@ fn client_result_size(result: &ClientResult) -> usize {
     match result {
         ClientResult::Latest(Some(v)) => v.value.len() + 24,
         ClientResult::All(Some(v)) => versions_size(v),
-        ClientResult::Scanned(rows) => {
-            rows.iter().map(|(k, v)| k.len() + v.value.len() + 24).sum()
-        }
+        ClientResult::Scanned(rows) => rows.iter().map(|(k, v)| k.len() + v.value.len() + 24).sum(),
         ClientResult::Many(results) => results.iter().map(client_result_size).sum(),
         _ => 4,
     }
@@ -397,9 +409,7 @@ impl MessageSize for ClientFrame {
                 }
                 ClientOp::ReadLatest { key } | ClientOp::ReadAll { key } => key.len(),
                 ClientOp::ScanTable { dataset, table } => dataset.len() + table.len(),
-                ClientOp::WriteMany { pairs } => {
-                    pairs.iter().map(|(k, v)| k.len() + v.len()).sum()
-                }
+                ClientOp::WriteMany { pairs } => pairs.iter().map(|(k, v)| k.len() + v.len()).sum(),
                 ClientOp::ReadMany { keys } => keys.iter().map(|k| k.len()).sum(),
             },
             ClientFrame::Response { result, .. } => client_result_size(result),
@@ -431,6 +441,7 @@ mod tests {
         let m = SednaMsg::wrap(ReplicaOp::Read {
             req: RequestId(1),
             key: Key::from("k"),
+            trace: TraceId(0),
         });
         assert!(Wrap::<ReplicaOp>::unwrap(m).is_ok());
 
@@ -438,6 +449,7 @@ mod tests {
         let m = SednaMsg::wrap(ReplicaOp::Read {
             req: RequestId(1),
             key: Key::from("k"),
+            trace: TraceId(0),
         });
         let back: Result<CoordMsg, SednaMsg> = m.unwrap();
         assert!(matches!(back, Err(SednaMsg::Replica(_))));
@@ -451,11 +463,13 @@ mod tests {
             ts: Timestamp::ZERO,
             value: Value::from_bytes(vec![0u8; 20]),
             kind: WriteKind::Latest,
+            trace: TraceId(7),
         });
         assert_eq!(w.size_bytes(), 32 + 20 + 20 + 16);
         let ack = SednaMsg::Replica(ReplicaOp::WriteAck {
             req: RequestId(1),
             ack: ReplicaWriteAck::Ok,
+            apply_nanos: 0,
         });
         assert!(ack.size_bytes() < w.size_bytes());
     }
@@ -468,6 +482,7 @@ mod tests {
             ts: Timestamp::ZERO,
             value: Value::from_bytes(vec![0u8; 20]),
             kind: WriteKind::Latest,
+            trace: TraceId(7),
         };
         let bare = one.size_bytes();
         let batch = ReplicaOp::Batch {
@@ -481,6 +496,7 @@ mod tests {
                 ReplicaOp::WriteAck {
                     req: RequestId(1),
                     ack: ReplicaWriteAck::Ok,
+                    apply_nanos: 0,
                 };
                 3
             ],

@@ -25,11 +25,13 @@
 use std::sync::Arc;
 
 use sedna_common::time::{Micros, Timestamp};
-use sedna_common::{Key, NodeId, RequestId};
+use sedna_common::{Key, NodeId, RequestId, TraceId};
 use sedna_coord::client::{LeaseCache, LeaseConfig, SessionClient, SessionConfig, SessionEvent};
 use sedna_coord::messages::{CoordMsg, CoordOp, CoordReply};
 use sedna_memstore::{MemStore, StoreConfig, WriteOutcome};
 use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_obs::journal::EventJournal;
+use sedna_obs::registry::{Hist, MetricsSnapshot, Registry};
 use sedna_persist::PersistEngine;
 use sedna_ring::{VNodeMap, VNodeStats};
 use sedna_triggers::{JobSpec, TriggerEngine, TriggerSink, WriteMode};
@@ -109,6 +111,36 @@ pub struct SednaNode {
     last_ping: Micros,
     last_lease_check: Micros,
     stats: NodeStats,
+    obs: NodeObs,
+}
+
+/// Node-side observability: a per-node registry whose gauges mirror the
+/// operation counters and store statistics, a shard-lock hold-time
+/// histogram fed by every apply, and a bounded event journal. The `Arc`
+/// handles are cloneable before the actor moves into a runtime, which is
+/// how [`crate::cluster::ThreadCluster`] keeps merge access to metrics of
+/// actors it no longer owns.
+struct NodeObs {
+    registry: Arc<Registry>,
+    journal: Arc<EventJournal>,
+    /// Shard-lock hold time per store apply (nanoseconds, wall clock).
+    apply_hist: Hist,
+    /// Coordination heartbeat round-trip time (µs, virtual clock).
+    ping_rtt: Hist,
+}
+
+impl NodeObs {
+    fn new(cfg: &ClusterConfig) -> NodeObs {
+        let registry = Arc::new(Registry::new(cfg.metrics_enabled));
+        let apply_hist = registry.hist("sedna_node_apply_nanos");
+        let ping_rtt = registry.hist("sedna_coord_ping_rtt_micros");
+        NodeObs {
+            registry,
+            journal: Arc::new(EventJournal::new(cfg.journal_capacity)),
+            apply_hist,
+            ping_rtt,
+        }
+    }
 }
 
 impl SednaNode {
@@ -129,6 +161,7 @@ impl SednaNode {
             request_timeout_micros: 600_000,
         });
         let vnode_stats = vec![VNodeStats::default(); cfg.partitioner.vnode_count() as usize];
+        let obs = NodeObs::new(&cfg);
         SednaNode {
             cfg,
             node_id,
@@ -152,6 +185,7 @@ impl SednaNode {
             last_ping: 0,
             last_lease_check: 0,
             stats: NodeStats::default(),
+            obs,
         }
     }
 
@@ -183,6 +217,62 @@ impl SednaNode {
     /// Local per-vnode statistics (feeds the imbalance table).
     pub fn vnode_stats(&self) -> &[VNodeStats] {
         &self.vnode_stats
+    }
+
+    /// This node's metrics registry (shared handle; survives the actor
+    /// moving into a runtime).
+    pub fn registry(&self) -> Arc<Registry> {
+        self.obs.registry.clone()
+    }
+
+    /// This node's event journal (shared handle).
+    pub fn journal(&self) -> Arc<EventJournal> {
+        self.obs.journal.clone()
+    }
+
+    /// Point-in-time metrics with the mirrored gauges refreshed first, so
+    /// callers that never wait for a stats tick (tests, the REPL) still see
+    /// current store/operation readings.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.mirror_gauges();
+        self.obs.registry.snapshot()
+    }
+
+    /// Copies the operation counters and store statistics into registry
+    /// gauges. Gauges (not counters) because the sources are owned
+    /// elsewhere; cluster-wide merge sums them, which is the right reading
+    /// for per-node totals.
+    fn mirror_gauges(&self) {
+        let reg = &self.obs.registry;
+        if !reg.enabled() {
+            return;
+        }
+        let s = self.stats;
+        for (name, v) in [
+            ("sedna_node_writes", s.writes),
+            ("sedna_node_reads", s.reads),
+            ("sedna_node_refused", s.refused),
+            ("sedna_node_outdated", s.outdated),
+            ("sedna_node_pushes", s.pushes),
+            ("sedna_node_sync_probes", s.sync_probes),
+            ("sedna_node_sync_exchanges", s.sync_exchanges),
+            ("sedna_node_transfers_in", s.transfers_in),
+            ("sedna_node_transfers_out", s.transfers_out),
+            ("sedna_node_trigger_emits", s.trigger_emits),
+        ] {
+            reg.gauge(name).set(v);
+        }
+        let st = self.store.stats();
+        for (name, v) in [
+            ("sedna_store_hits", st.hits),
+            ("sedna_store_misses", st.misses),
+            ("sedna_store_evictions", st.evictions),
+            ("sedna_store_keys", self.store.len() as u64),
+            ("sedna_store_bytes", self.store.payload_bytes() as u64),
+            ("sedna_node_journal_events", self.obs.journal.len() as u64),
+        ] {
+            reg.gauge(name).set(v);
+        }
     }
 
     /// Registers a trigger job directly (harness convenience; remote
@@ -390,6 +480,7 @@ impl SednaNode {
                 ts,
                 value,
                 kind,
+                trace: _,
             } => {
                 if !self.owns(&key) {
                     self.stats.refused += 1;
@@ -398,16 +489,20 @@ impl SednaNode {
                         SednaMsg::Replica(ReplicaOp::WriteAck {
                             req,
                             ack: ReplicaWriteAck::Refused,
+                            apply_nanos: 0,
                         }),
                     );
                     return;
                 }
                 let bytes = value.len() as i64;
                 let is_new = !self.store.contains(&key);
+                let t0 = std::time::Instant::now();
                 let outcome = match kind {
                     WriteKind::Latest => self.store.write_latest(&key, ts, value.clone()),
                     WriteKind::All => self.store.write_all(&key, ts, value.clone()),
                 };
+                let apply_nanos = t0.elapsed().as_nanos() as u64;
+                self.obs.apply_hist.record(apply_nanos);
                 let ack = match outcome {
                     WriteOutcome::Ok => {
                         self.stats.writes += 1;
@@ -423,9 +518,17 @@ impl SednaNode {
                         ReplicaWriteAck::Outdated
                     }
                 };
-                ctx.send(from, SednaMsg::Replica(ReplicaOp::WriteAck { req, ack }));
+                ctx.send(
+                    from,
+                    SednaMsg::Replica(ReplicaOp::WriteAck {
+                        req,
+                        ack,
+                        apply_nanos,
+                    }),
+                );
             }
-            ReplicaOp::Read { req, key } => {
+            ReplicaOp::Read { req, key, trace: _ } => {
+                let mut apply_nanos = 0;
                 let reply = if !self.owns(&key) {
                     self.stats.refused += 1;
                     ReplicaReadReply::Refused
@@ -433,12 +536,23 @@ impl SednaNode {
                     self.stats.reads += 1;
                     let vnode = self.cfg.partitioner.locate(&key);
                     self.vnode_stats[vnode.index()].record_read();
-                    match self.store.read_all(&key) {
+                    let t0 = std::time::Instant::now();
+                    let reply = match self.store.read_all(&key) {
                         Some(values) => ReplicaReadReply::Values(values),
                         None => ReplicaReadReply::Missing,
-                    }
+                    };
+                    apply_nanos = t0.elapsed().as_nanos() as u64;
+                    self.obs.apply_hist.record(apply_nanos);
+                    reply
                 };
-                ctx.send(from, SednaMsg::Replica(ReplicaOp::ReadReply { req, reply }));
+                ctx.send(
+                    from,
+                    SednaMsg::Replica(ReplicaOp::ReadReply {
+                        req,
+                        reply,
+                        apply_nanos,
+                    }),
+                );
             }
             ReplicaOp::Push { key, versions } => {
                 self.stats.pushes += 1;
@@ -525,13 +639,13 @@ impl SednaNode {
                     }
                 }
             }
-            ReplicaOp::WriteAck { req, ack } => {
+            ReplicaOp::WriteAck { req, ack, .. } => {
                 // Ack for one of our trigger-emit writes.
                 let _ = self.emit_writer.on_ack(&self.cfg, from, req, ack);
             }
             ReplicaOp::AckBatch { acks } => {
                 for ack in acks {
-                    if let ReplicaOp::WriteAck { req, ack } = ack {
+                    if let ReplicaOp::WriteAck { req, ack, .. } = ack {
                         let _ = self.emit_writer.on_ack(&self.cfg, from, req, ack);
                     }
                 }
@@ -563,6 +677,7 @@ impl SednaNode {
                     ts,
                     value,
                     kind,
+                    trace: _,
                 } => {
                     if self.owns(&key) {
                         write_meta.push((i, req, kind));
@@ -577,10 +692,11 @@ impl SednaNode {
                         acks[i] = Some(ReplicaOp::WriteAck {
                             req,
                             ack: ReplicaWriteAck::Refused,
+                            apply_nanos: 0,
                         });
                     }
                 }
-                ReplicaOp::Read { req, key } => {
+                ReplicaOp::Read { req, key, trace: _ } => {
                     if self.owns(&key) {
                         read_meta.push((i, req));
                         read_keys.push(key);
@@ -589,6 +705,7 @@ impl SednaNode {
                         acks[i] = Some(ReplicaOp::ReadReply {
                             req,
                             reply: ReplicaReadReply::Refused,
+                            apply_nanos: 0,
                         });
                     }
                 }
@@ -599,7 +716,15 @@ impl SednaNode {
                 other => self.handle_replica(from, other, ctx),
             }
         }
+        // One shard lock covers each (shard, batch) group, so the honest
+        // per-sub-op reading is the whole-group hold time: that is how long
+        // the lock was actually unavailable on account of this frame.
+        let t0 = std::time::Instant::now();
         let write_results = self.store.apply_batch(&write_items);
+        let write_nanos = t0.elapsed().as_nanos() as u64;
+        if !write_items.is_empty() {
+            self.obs.apply_hist.record(write_nanos);
+        }
         for (((i, req, kind), item), res) in
             write_meta.into_iter().zip(&write_items).zip(write_results)
         {
@@ -610,8 +735,12 @@ impl SednaNode {
                     self.vnode_stats[vnode.index()]
                         .record_write(item.value.len() as i64, res.was_new);
                     if let Some(p) = &self.persist {
-                        let _ =
-                            p.note_write(&item.key, item.ts, &item.value, kind == WriteKind::Latest);
+                        let _ = p.note_write(
+                            &item.key,
+                            item.ts,
+                            &item.value,
+                            kind == WriteKind::Latest,
+                        );
                     }
                     ReplicaWriteAck::Ok
                 }
@@ -620,9 +749,18 @@ impl SednaNode {
                     ReplicaWriteAck::Outdated
                 }
             };
-            acks[i] = Some(ReplicaOp::WriteAck { req, ack });
+            acks[i] = Some(ReplicaOp::WriteAck {
+                req,
+                ack,
+                apply_nanos: write_nanos,
+            });
         }
+        let t0 = std::time::Instant::now();
         let read_results = self.store.get_many(&read_keys);
+        let read_nanos = t0.elapsed().as_nanos() as u64;
+        if !read_keys.is_empty() {
+            self.obs.apply_hist.record(read_nanos);
+        }
         for (((i, req), key), values) in read_meta.into_iter().zip(&read_keys).zip(read_results) {
             self.stats.reads += 1;
             let vnode = self.cfg.partitioner.locate(key);
@@ -631,7 +769,11 @@ impl SednaNode {
                 Some(values) => ReplicaReadReply::Values(values),
                 None => ReplicaReadReply::Missing,
             };
-            acks[i] = Some(ReplicaOp::ReadReply { req, reply });
+            acks[i] = Some(ReplicaOp::ReadReply {
+                req,
+                reply,
+                apply_nanos: read_nanos,
+            });
         }
         let mut acks: Vec<ReplicaOp> = acks.into_iter().flatten().collect();
         match acks.len() {
@@ -686,6 +828,9 @@ impl SednaNode {
                 let now = ctx.now();
                 let (to, m) = self.session.open(now);
                 self.send_coord(ctx, to, m);
+            }
+            Some(SessionEvent::Pong { sent_at }) => {
+                self.obs.ping_rtt.record(ctx.now().saturating_sub(sent_at));
             }
             Some(SessionEvent::Reply { req_id, result }) => {
                 if self.stats_req.map(|(r, _)| r) == Some(req_id) {
@@ -779,7 +924,7 @@ impl SednaNode {
         // Session heartbeat.
         if now.saturating_sub(self.last_ping) >= self.cfg.ping_interval_micros {
             self.last_ping = now;
-            if let Some((to, m)) = self.session.ping() {
+            if let Some((to, m)) = self.session.ping(now) {
                 self.send_coord(ctx, to, m);
             }
         }
@@ -833,8 +978,11 @@ impl SednaNode {
                     self.stats.trigger_emits += 1;
                     let op = self.next_emit_op;
                     let w = self.cfg.quorum.w;
+                    // Emit-writes trace under the node's own origin (node
+                    // ids are disjoint from the 1000+ client origins).
+                    let trace = TraceId::compose(self.node_id.0 as u64, op);
                     for (to, rop) in self.emit_writer.begin(
-                        &self.cfg, op, &replicas, w, &key, ts, &value, kind, deadline,
+                        &self.cfg, op, &replicas, w, &key, ts, &value, kind, deadline, trace,
                     ) {
                         ctx.send(to, SednaMsg::Replica(rop));
                     }
@@ -885,6 +1033,7 @@ impl Actor for SednaNode {
                 ctx.set_timer(T_PERSIST, self.cfg.scan_interval_micros * 8);
             }
             T_STATS => {
+                self.mirror_gauges();
                 if self.session.session().is_some() {
                     self.publish_stats(ctx);
                 }

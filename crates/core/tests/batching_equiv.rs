@@ -119,7 +119,10 @@ fn normalize(results: &[ClientResult]) -> Vec<String> {
                 format!("latest(#{}@{:?}={:?})", v.ts.counter, v.ts.origin, v.value)
             }
             ClientResult::Many(children) => {
-                format!("many[{}]", children.iter().map(one).collect::<Vec<_>>().join(","))
+                format!(
+                    "many[{}]",
+                    children.iter().map(one).collect::<Vec<_>>().join(",")
+                )
             }
             other => format!("{other:?}"),
         }
@@ -137,9 +140,8 @@ fn decode_script(raw: &[(u8, u8)], key_space: u8) -> Vec<ClientOp> {
         .map(|(op_index, &(code, k))| {
             let k = k % key_space;
             let group = 2 + (code / 4) % 4; // 2..=5 distinct keys
-            let window = |n: u8| -> Vec<Key> {
-                (0..n).map(|j| key_of((k + j) % key_space)).collect()
-            };
+            let window =
+                |n: u8| -> Vec<Key> { (0..n).map(|j| key_of((k + j) % key_space)).collect() };
             match code % 4 {
                 0 => ClientOp::WriteLatest {
                     key: key_of(k),
@@ -183,12 +185,15 @@ fn run_script(
     if let Some(n) = down {
         cluster.sim.set_down(cfg.node_actor(n), true);
     }
-    let driver = cluster
-        .sim
-        .add_actor(Box::new(Driver::new(cfg, 0, script)));
+    let driver = cluster.sim.add_actor(Box::new(Driver::new(cfg, 0, script)));
     cluster.sim.run_until(cluster.sim.now() + 20_000_000);
     let d = cluster.sim.actor_ref::<Driver>(driver).unwrap();
-    assert_eq!(d.results.len(), want, "script did not finish: {:?}", d.results);
+    assert_eq!(
+        d.results.len(),
+        want,
+        "script did not finish: {:?}",
+        d.results
+    );
     (
         d.results.clone(),
         cluster.sim.stats().messages_delivered,

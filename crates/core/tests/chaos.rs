@@ -147,11 +147,29 @@ fn reads_never_regress_under_node_churn() {
 
     // Churn: every 4 s of virtual time, crash one random up node (at most
     // one down at a time so every key keeps a read/write quorum); bring it
-    // back 8 s later. 60 s total.
+    // back 8 s later. 60 s total. Between rounds, the client's metric
+    // counters must only ever grow — fault injection may fail ops, but it
+    // must never make a counter move backwards.
     let mut chaos_rng = Xoshiro256::seeded(73);
     let mut down: Option<NodeId> = None;
+    let mut prev_counters: std::collections::BTreeMap<String, u64> = Default::default();
     for round in 0..15 {
         cluster.sim.run_until((round + 1) * 4_000_000 + 30_000_000);
+        let snap = cluster
+            .sim
+            .actor_ref::<ChaosDriver>(driver)
+            .unwrap()
+            .core
+            .obs()
+            .snapshot();
+        for (name, &was) in &prev_counters {
+            assert!(
+                snap.counter(name) >= was,
+                "counter {name} went backwards in round {round}: {} < {was}",
+                snap.counter(name)
+            );
+        }
+        prev_counters = snap.counters;
         if let Some(n) = down.take() {
             cluster.sim.restart(cfg.node_actor(n));
         } else {
@@ -175,5 +193,27 @@ fn reads_never_regress_under_node_churn() {
         d.ops_done > 5_000,
         "driver made progress: {} ops",
         d.ops_done
+    );
+
+    // Observability invariants under fault injection:
+    //  * every completed op carried a unique trace — no double completion;
+    //  * the read outcome counters partition the read total exactly.
+    let obs = d.core.obs();
+    assert_eq!(obs.trace_duplicates(), 0, "a trace completed twice");
+    assert_eq!(
+        obs.traces_completed(),
+        d.ops_done,
+        "one trace per completed op"
+    );
+    let snap = obs.snapshot();
+    assert_eq!(
+        snap.counter("sedna_client_reads_ok_total")
+            + snap.counter("sedna_client_reads_degraded_total"),
+        snap.counter("sedna_client_reads_total"),
+        "ok + degraded reads must partition the read total"
+    );
+    assert!(
+        snap.counter("sedna_client_reads_degraded_total") > 0,
+        "60 s of node churn must have degraded at least one quorum read"
     );
 }

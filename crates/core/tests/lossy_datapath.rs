@@ -204,4 +204,25 @@ fn retried_operations_converge_under_two_percent_loss() {
         fully_replicated > 150,
         "most keys fully replicated: {fully_replicated}/200"
     );
+    // The runtime's drop accounting must agree with the story above: a 2%
+    // link sampled thousands of times lost traffic (that is what forced the
+    // retries), every lost message's payload is charged to `bytes_dropped`,
+    // and the per-destination ledger decomposes the total exactly.
+    let net = cluster.sim.stats();
+    assert!(net.messages_dropped > 0, "2% loss dropped nothing?");
+    assert!(
+        net.bytes_dropped > 0,
+        "drops recorded but no payload bytes charged"
+    );
+    let per_actor: u64 = net.dropped_per_actor.values().sum();
+    assert_eq!(
+        per_actor, net.messages_dropped,
+        "per-destination drop ledger must decompose the total"
+    );
+    // Data-path loss is what this test injects, so at least one data node
+    // must appear in the ledger.
+    assert!(
+        (0..cfg.data_nodes as u32).any(|n| net.dropped_to(cfg.node_actor(NodeId(n))) > 0),
+        "no drops charged to any data node"
+    );
 }

@@ -1,0 +1,323 @@
+//! The observability layer end to end: a quorum read that observes a
+//! stale/missing replica must leave a `StaleReplica` journal event naming
+//! the trace, the vnode, and the lagging replica; the slow-op threshold
+//! must promote full span trees into the journal; and the cluster-wide
+//! merge helpers must surface all of it.
+
+use sedna_common::{Key, NodeId, Value};
+use sedna_core::cluster::{Gateway, SimCluster};
+use sedna_core::config::ClusterConfig;
+use sedna_core::messages::{ClientFrame, ClientOp, ClientResult, SednaMsg};
+use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_net::link::LinkModel;
+use sedna_obs::journal::EventKind;
+use sedna_obs::trace::SpanKind;
+use sedna_replication::quorum::QuorumConfig;
+
+const T_TICK: TimerToken = TimerToken(1);
+
+/// Drives ops through a [`Gateway`] over the wire (so the gateway's own
+/// client core — whose journal the cluster merge collects — does the
+/// quorum work). The test enqueues ops between sim steps via `actor_mut`.
+struct Requester {
+    gw: ActorId,
+    queue: Vec<ClientOp>,
+    next_id: u64,
+    pub results: Vec<(u64, ClientResult)>,
+}
+
+impl Actor for Requester {
+    type Msg = SednaMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        ctx.set_timer(T_TICK, 10_000);
+    }
+
+    fn on_message(&mut self, _from: ActorId, msg: SednaMsg, _ctx: &mut Ctx<'_, SednaMsg>) {
+        if let SednaMsg::Client(ClientFrame::Response { op_id, result }) = msg {
+            self.results.push((op_id, result));
+        }
+    }
+
+    fn on_timer(&mut self, _t: TimerToken, ctx: &mut Ctx<'_, SednaMsg>) {
+        if !self.queue.is_empty() {
+            let op = self.queue.remove(0);
+            let op_id = self.next_id;
+            self.next_id += 1;
+            ctx.send(
+                self.gw,
+                SednaMsg::Client(ClientFrame::Request { op_id, op }),
+            );
+        }
+        ctx.set_timer(T_TICK, 10_000);
+    }
+}
+
+/// R=3 so every replica's reply participates in the quorum decision — the
+/// replica that missed the write deterministically surfaces as stale.
+/// Anti-entropy is pushed far out so only read repair can heal the gap,
+/// and the 1 µs slow-op threshold promotes every op's span tree.
+fn observability_config() -> ClusterConfig {
+    ClusterConfig {
+        quorum: QuorumConfig { n: 3, r: 3, w: 2 },
+        sync_interval_micros: 600_000_000,
+        ..ClusterConfig::small()
+    }
+    .with_slow_op_threshold(1)
+}
+
+#[test]
+fn stale_replica_read_journals_the_lag_and_slow_ops_carry_span_trees() {
+    let cfg = observability_config();
+    let mut cluster = SimCluster::build(cfg.clone(), 17, LinkModel::gigabit_lan());
+    let gw = cluster.add_gateway(0);
+    cluster.run_until_ready(30_000_000);
+
+    let key = Key::from("obs-stale-key");
+    let vnode = cfg.partitioner.locate(&key);
+    let victim = cluster.node(NodeId(0)).ring().unwrap().replicas(vnode)[0];
+
+    // The requester drives the gateway over the client wire protocol.
+    let req = cluster.sim.add_actor(Box::new(Requester {
+        gw,
+        queue: Vec::new(),
+        next_id: 0,
+        results: Vec::new(),
+    }));
+    cluster.sim.run_until(cluster.sim.now() + 100_000);
+
+    // Write while the gateway is partitioned from one replica: W=2 still
+    // succeeds, the victim misses the version. (Partitioning — rather than
+    // taking the node down — keeps the victim's coordination session alive
+    // so membership never churns.)
+    cluster.sim.partition_pair(gw, cfg.node_actor(victim));
+    cluster
+        .sim
+        .actor_mut::<Requester>(req)
+        .unwrap()
+        .queue
+        .push(ClientOp::WriteLatest {
+            key: key.clone(),
+            value: Value::from("fresh"),
+        });
+    let deadline = cluster.sim.now() + 10_000_000;
+    while cluster.sim.now() < deadline {
+        cluster.sim.run_until(cluster.sim.now() + 100_000);
+        if !cluster
+            .sim
+            .actor_ref::<Requester>(req)
+            .unwrap()
+            .results
+            .is_empty()
+        {
+            break;
+        }
+    }
+    {
+        let r = cluster.sim.actor_ref::<Requester>(req).unwrap();
+        assert_eq!(r.results.len(), 1, "write never completed");
+        assert_eq!(r.results[0].1, ClientResult::Ok, "W=2 write must succeed");
+    }
+    assert!(
+        !cluster.node(victim).store().contains(&key),
+        "victim was partitioned; it must have missed the write"
+    );
+
+    // Heal the partition (anti-entropy stays minutes away) and read with
+    // R=3: the victim's Missing reply makes the quorum Inconsistent.
+    cluster.sim.heal_pair(gw, cfg.node_actor(victim));
+    cluster.sim.run_until(cluster.sim.now() + 200_000);
+    assert!(
+        !cluster.node(victim).store().contains(&key),
+        "only read repair may heal the gap in this test"
+    );
+    cluster
+        .sim
+        .actor_mut::<Requester>(req)
+        .unwrap()
+        .queue
+        .push(ClientOp::ReadLatest { key: key.clone() });
+    let deadline = cluster.sim.now() + 10_000_000;
+    while cluster.sim.now() < deadline {
+        cluster.sim.run_until(cluster.sim.now() + 100_000);
+        if cluster
+            .sim
+            .actor_ref::<Requester>(req)
+            .unwrap()
+            .results
+            .len()
+            > 1
+        {
+            break;
+        }
+    }
+    {
+        let r = cluster.sim.actor_ref::<Requester>(req).unwrap();
+        assert_eq!(r.results.len(), 2, "read never completed");
+        match &r.results[1].1 {
+            ClientResult::Latest(Some(v)) => assert_eq!(v.value, Value::from("fresh")),
+            other => panic!("degraded read must still answer fresh, got {other:?}"),
+        }
+    }
+
+    // --- journal: the stale replica is named, with the read's trace ------
+    let obs = cluster.sim.actor_ref::<Gateway>(gw).unwrap();
+    let obs = obs.core().obs();
+    let events = obs.journal().events();
+    let stale = events
+        .iter()
+        .find_map(|e| match e.kind {
+            EventKind::StaleReplica {
+                trace,
+                vnode: v,
+                lagging,
+                missing,
+            } => Some((trace, v, lagging, missing)),
+            _ => None,
+        })
+        .expect("quorum read over a lagging replica must journal StaleReplica");
+    assert_eq!(stale.1, vnode, "event names the key's vnode");
+    assert_eq!(stale.2, victim, "event names the replica that lagged");
+    assert!(stale.3, "the victim had no copy at all");
+
+    // --- journal: the 1 µs threshold promoted the read's full span tree --
+    let slow_spans = events
+        .iter()
+        .find_map(|e| match &e.kind {
+            EventKind::SlowOp { trace, spans, .. } if *trace == stale.0 => Some(spans.clone()),
+            _ => None,
+        })
+        .expect("slow-op promotion must preserve the degraded read's trace");
+    assert!(slow_spans.iter().any(|s| matches!(s.kind, SpanKind::Issue)));
+    // The reader answers as soon as inconsistency is provable, so the tree
+    // holds the replies that decided the quorum — at least two round
+    // trips, each with its closing RPC span and the node's measured apply
+    // time, and the victim's (Missing) reply among them.
+    let rpc_replicas: Vec<NodeId> = slow_spans
+        .iter()
+        .filter_map(|s| match s.kind {
+            SpanKind::ReplicaRpc { replica } => Some(replica),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        rpc_replicas.len() >= 2,
+        "quorum read needs at least two replica round trips: {rpc_replicas:?}"
+    );
+    assert!(
+        rpc_replicas.contains(&victim),
+        "the lagging replica's reply is part of the decision"
+    );
+    for replica in &rpc_replicas {
+        assert!(
+            slow_spans
+                .iter()
+                .any(|s| matches!(s.kind, SpanKind::NodeApply { replica: r, .. } if r == *replica)),
+            "each ack must carry the node's measured apply time ({replica:?})"
+        );
+    }
+    for s in &slow_spans {
+        if let SpanKind::ReplicaRpc { .. } = s.kind {
+            assert!(s.end > s.start, "RPC spans cover the wire round trip");
+        }
+    }
+    assert!(slow_spans
+        .iter()
+        .any(|s| matches!(s.kind, SpanKind::QuorumAssembly)));
+    assert!(
+        slow_spans
+            .iter()
+            .any(|s| matches!(s.kind, SpanKind::ReadRepair { replica } if replica == victim)),
+        "the span tree records the recovery push to the lagging replica"
+    );
+
+    // --- metrics: quorum-health counters agree with the story ------------
+    let snap = obs.snapshot();
+    assert_eq!(snap.counter("sedna_client_reads_total"), 1);
+    assert_eq!(snap.counter("sedna_client_reads_degraded_total"), 1);
+    assert_eq!(snap.counter("sedna_client_writes_ok_total"), 1);
+    assert!(snap.counter("sedna_client_stale_replicas_total") >= 1);
+    assert!(snap.counter("sedna_client_read_repairs_total") >= 1);
+    assert_eq!(obs.traces_completed(), 2);
+    assert_eq!(obs.trace_duplicates(), 0);
+
+    // --- cluster-wide merge: the gateway's journal and every node's ------
+    // registry fold into one view.
+    let merged = cluster.metrics_snapshot();
+    assert_eq!(merged.counter("sedna_client_reads_degraded_total"), 1);
+    assert!(
+        merged.gauge("sedna_node_writes") >= 2,
+        "nodes saw the write"
+    );
+    assert!(
+        merged.gauge("sedna_net_messages_delivered") > 0,
+        "net runtime stats folded in"
+    );
+    assert!(
+        merged.hists.contains_key("sedna_node_apply_nanos"),
+        "node-side apply histogram merged"
+    );
+    let text = cluster.metrics_text();
+    assert!(text.contains("sedna_client_reads_degraded_total 1"));
+    assert!(text.contains("# TYPE sedna_client_read_latency_micros summary"));
+    assert!(text.contains("sedna_client_read_latency_micros{quantile=\"0.99\"}"));
+    let json = cluster.metrics_json();
+    assert!(json.contains("\"sedna_client_reads_degraded_total\""));
+    assert!(
+        cluster.journal_events().iter().any(|e| matches!(
+            e.kind,
+            EventKind::StaleReplica { lagging, .. } if lagging == victim
+        )),
+        "cluster journal merge surfaces the gateway's stale-replica event"
+    );
+
+    // --- and read repair actually healed the gap -------------------------
+    cluster.sim.run_until(cluster.sim.now() + 2_000_000);
+    assert!(
+        cluster.node(victim).store().contains(&key),
+        "read recovery must push the fresh version to the lagging replica"
+    );
+}
+
+/// With metrics disabled the datapath still works and the registry renders
+/// empty — handles are no-ops, not panics.
+#[test]
+fn disabled_registry_records_nothing_but_datapath_is_unaffected() {
+    let cfg = observability_config().with_metrics(false);
+    let mut cluster = SimCluster::build(cfg.clone(), 18, LinkModel::gigabit_lan());
+    let gw = cluster.add_gateway(0);
+    cluster.run_until_ready(30_000_000);
+    let req = cluster.sim.add_actor(Box::new(Requester {
+        gw,
+        queue: vec![ClientOp::WriteLatest {
+            key: Key::from("quiet"),
+            value: Value::from("v"),
+        }],
+        next_id: 0,
+        results: Vec::new(),
+    }));
+    let deadline = cluster.sim.now() + 10_000_000;
+    while cluster.sim.now() < deadline {
+        cluster.sim.run_until(cluster.sim.now() + 100_000);
+        if !cluster
+            .sim
+            .actor_ref::<Requester>(req)
+            .unwrap()
+            .results
+            .is_empty()
+        {
+            break;
+        }
+    }
+    let r = cluster.sim.actor_ref::<Requester>(req).unwrap();
+    assert_eq!(r.results.len(), 1);
+    assert_eq!(r.results[0].1, ClientResult::Ok);
+    let snap = cluster
+        .sim
+        .actor_ref::<Gateway>(gw)
+        .unwrap()
+        .core()
+        .obs()
+        .snapshot();
+    assert_eq!(snap.counter("sedna_client_writes_ok_total"), 0);
+}

@@ -284,10 +284,7 @@ impl MemStore {
             let mut shard = self.shards[shard_idx].lock();
             for i in idxs {
                 let op = &ops[i];
-                let was_new = shard
-                    .map
-                    .get(&op.key)
-                    .is_none_or(|e| e.versions.is_empty());
+                let was_new = shard.map.get(&op.key).is_none_or(|e| e.versions.is_empty());
                 let is_new_row = !shard.map.contains_key(&op.key);
                 let entry = shard.map.entry(op.key.clone()).or_default();
                 let before = if is_new_row {

@@ -268,7 +268,7 @@ impl<M: MessageSize + Send + 'static> Sim<M> {
         let bytes = msg.size_bytes();
         self.stats.record_send(bytes);
         if self.down.contains(&to) || self.link_sample_drop() {
-            self.stats.record_drop();
+            self.stats.record_drop(to, bytes);
             return;
         }
         let latency = self.config.link.sample_latency(bytes, &mut self.link_rng);
@@ -344,7 +344,7 @@ impl<M: MessageSize + Send + 'static> Sim<M> {
         match ev.kind {
             EventKind::Deliver { from, to, msg } => {
                 if self.down.contains(&to) || to.index() >= self.actors.len() {
-                    self.stats.record_drop();
+                    self.stats.record_drop(to, msg.size_bytes());
                     return true;
                 }
                 self.stats.record_delivery(to);
@@ -420,7 +420,7 @@ impl<M: MessageSize + Send + 'static> Sim<M> {
                 || self.partitions.contains(&ordered(id, to))
                 || self.link_sample_drop()
             {
-                self.stats.record_drop();
+                self.stats.record_drop(to, bytes);
                 continue;
             }
             let latency = self.config.link.sample_latency(bytes, &mut self.link_rng);

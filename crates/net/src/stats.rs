@@ -19,8 +19,13 @@ pub struct NetStats {
     pub messages_dropped: u64,
     /// Total payload bytes handed to the transport.
     pub bytes_sent: u64,
+    /// Payload bytes of the dropped messages (the datapath cost of loss,
+    /// symmetric with `bytes_sent`).
+    pub bytes_dropped: u64,
     /// Per-destination delivered-message counts.
     pub delivered_per_actor: HashMap<ActorId, u64>,
+    /// Per-destination dropped-message counts (who the network failed).
+    pub dropped_per_actor: HashMap<ActorId, u64>,
     /// Timer firings executed.
     pub timers_fired: u64,
 }
@@ -29,6 +34,11 @@ impl NetStats {
     /// Delivered messages for one actor.
     pub fn delivered_to(&self, actor: ActorId) -> u64 {
         self.delivered_per_actor.get(&actor).copied().unwrap_or(0)
+    }
+
+    /// Dropped messages destined for one actor.
+    pub fn dropped_to(&self, actor: ActorId) -> u64 {
+        self.dropped_per_actor.get(&actor).copied().unwrap_or(0)
     }
 
     /// Records a send of `bytes` bytes.
@@ -43,9 +53,11 @@ impl NetStats {
         *self.delivered_per_actor.entry(to).or_insert(0) += 1;
     }
 
-    /// Records a dropped message.
-    pub(crate) fn record_drop(&mut self) {
+    /// Records a message of `bytes` bytes dropped on its way to `to`.
+    pub(crate) fn record_drop(&mut self, to: ActorId, bytes: usize) {
         self.messages_dropped += 1;
+        self.bytes_dropped += bytes as u64;
+        *self.dropped_per_actor.entry(to).or_insert(0) += 1;
     }
 }
 
@@ -61,12 +73,15 @@ mod tests {
         s.record_delivery(ActorId(1));
         s.record_delivery(ActorId(1));
         s.record_delivery(ActorId(2));
-        s.record_drop();
+        s.record_drop(ActorId(2), 28);
         assert_eq!(s.messages_sent, 2);
         assert_eq!(s.bytes_sent, 128);
         assert_eq!(s.messages_delivered, 3);
         assert_eq!(s.messages_dropped, 1);
+        assert_eq!(s.bytes_dropped, 28);
         assert_eq!(s.delivered_to(ActorId(1)), 2);
         assert_eq!(s.delivered_to(ActorId(9)), 0);
+        assert_eq!(s.dropped_to(ActorId(2)), 1);
+        assert_eq!(s.dropped_to(ActorId(1)), 0);
     }
 }

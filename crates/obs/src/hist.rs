@@ -1,0 +1,235 @@
+//! Log-bucketed latency histogram.
+//!
+//! Values are binned log-linearly (HdrHistogram-style): each power-of-two
+//! octave is split into [`SUBS`] equal sub-buckets, bounding the relative
+//! quantization error at `1/SUBS` (25%) while keeping the whole `u64` range
+//! in [`BUCKETS`] fixed slots. Buckets are relaxed atomics so one histogram
+//! can be recorded into from many threads and snapshotted without locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket bits per octave (4 sub-buckets → ≤25% quantization error).
+const SUB_BITS: u32 = 2;
+/// Sub-buckets per power-of-two octave.
+const SUBS: usize = 1 << SUB_BITS;
+/// Total bucket count covering all of `u64` (highest index is reached by
+/// `u64::MAX`: group `63 - SUB_BITS + 1`, sub-bucket `SUBS - 1`).
+pub const BUCKETS: usize = (64 - SUB_BITS as usize) * SUBS + SUBS;
+
+/// Maps a value to its bucket index. Values below `SUBS` map identically.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) & (SUBS as u64 - 1)) as usize;
+    ((msb - SUB_BITS + 1) as usize) * SUBS + sub
+}
+
+/// Midpoint of the value range covered by bucket `idx` — the value reported
+/// for any sample that landed in it.
+#[inline]
+fn bucket_mid(idx: usize) -> u64 {
+    if idx < SUBS {
+        return idx as u64;
+    }
+    let group = (idx / SUBS) as u32;
+    let sub = (idx % SUBS) as u64;
+    let msb = group + SUB_BITS - 1;
+    let shift = msb - SUB_BITS;
+    let low = (1u64 << msb) + (sub << shift);
+    low + ((1u64 << shift) >> 1)
+}
+
+/// Concurrent log-bucketed histogram.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Relaxed atomics; safe from any thread.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (bucket midpoint; 0 when empty).
+    pub fn percentile(&self, q: f64) -> u64 {
+        self.snapshot().percentile(q)
+    }
+
+    /// Point-in-time copy for merging and rendering.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+        }
+    }
+}
+
+/// Plain (non-atomic) copy of a histogram's state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: Vec<u64>,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples.
+    pub sum: u64,
+    /// Largest recorded sample.
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Value at quantile `q` in `[0, 1]` (bucket midpoint; 0 when empty).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_mid(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Folds `other` into `self` (bucket-wise sum; max of maxima).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; BUCKETS];
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..4 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 6);
+        assert_eq!(s.percentile(0.01), 0);
+        assert_eq!(s.percentile(1.0), 3);
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        let mut last = 0;
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 100, 1000, 1 << 20, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index regressed at {v}");
+            assert!(idx < BUCKETS);
+            last = idx;
+        }
+        // Every value maps to a bucket whose midpoint is within 25%.
+        for v in [10u64, 100, 999, 12_345, 1_000_000] {
+            let mid = bucket_mid(bucket_index(v));
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 0.25, "v={v} mid={mid} err={err}");
+        }
+    }
+
+    #[test]
+    fn percentiles_track_a_uniform_distribution() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.50);
+        let p99 = h.percentile(0.99);
+        assert!((4_000..=6_500).contains(&p50), "p50={p50}");
+        assert!((9_000..=10_000).contains(&p99), "p99={p99}");
+        assert_eq!(h.max(), 10_000);
+        assert_eq!(h.count(), 10_000);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let both = Histogram::new();
+        for v in 0..500u64 {
+            a.record(v * 3);
+            both.record(v * 3);
+        }
+        for v in 0..500u64 {
+            b.record(v * 7);
+            both.record(v * 7);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m, both.snapshot());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.snapshot().mean(), 0);
+    }
+}

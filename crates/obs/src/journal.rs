@@ -1,0 +1,244 @@
+//! Bounded structured event journal.
+//!
+//! Rare-but-important cluster-health events — a quorum read observing a
+//! stale replica, an op crossing the slow-op threshold, an election, a
+//! rebalance move — are pushed here as typed records rather than log lines,
+//! so tests and operators can assert on *which* replica lagged or *where*
+//! a slow op spent its time. The journal is a fixed-capacity ring: old
+//! events are evicted (and counted) instead of growing without bound.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sedna_common::ids::{NodeId, TraceId, VNodeId};
+use sedna_common::time::Micros;
+
+use crate::trace::Span;
+
+/// What happened.
+#[derive(Clone, Debug)]
+pub enum EventKind {
+    /// A quorum read observed a replica returning stale or missing data;
+    /// read recovery was scheduled for it (paper Sec. III-C).
+    StaleReplica {
+        /// Trace of the read that detected the lag.
+        trace: TraceId,
+        /// VNode the key hashes to.
+        vnode: VNodeId,
+        /// The replica that returned stale/missing data.
+        lagging: NodeId,
+        /// True when the replica had no copy at all (vs. an old version).
+        missing: bool,
+    },
+    /// An op's end-to-end latency crossed the slow-op threshold; the full
+    /// span tree is preserved.
+    SlowOp {
+        /// The slow trace.
+        trace: TraceId,
+        /// End-to-end client latency.
+        total_micros: Micros,
+        /// The reconstructed span tree.
+        spans: Vec<Span>,
+    },
+    /// A quorum could not be assembled before the deadline.
+    QuorumFailed {
+        /// The failed trace.
+        trace: TraceId,
+        /// `"read"` or `"write"`.
+        op: &'static str,
+    },
+    /// A coordination replica won (or started) an election.
+    Election {
+        /// Coordination replica index.
+        replica: u32,
+        /// The epoch it now leads.
+        epoch: u64,
+    },
+    /// The manager moved a vnode between real nodes (imbalance table).
+    Rebalance {
+        /// The vnode that moved.
+        vnode: VNodeId,
+        /// Previous owner.
+        from: NodeId,
+        /// New owner.
+        to: NodeId,
+    },
+    /// A data node joined or left the live membership.
+    Membership {
+        /// The node in question.
+        node: NodeId,
+        /// True on join, false on leave/expiry.
+        joined: bool,
+    },
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::StaleReplica {
+                trace,
+                vnode,
+                lagging,
+                missing,
+            } => write!(
+                f,
+                "stale-replica {trace:?} {vnode:?} lagging={lagging:?} {}",
+                if *missing { "missing" } else { "outdated" }
+            ),
+            EventKind::SlowOp {
+                trace,
+                total_micros,
+                spans,
+            } => write!(
+                f,
+                "slow-op {trace:?} {total_micros}µs {} spans",
+                spans.len()
+            ),
+            EventKind::QuorumFailed { trace, op } => {
+                write!(f, "quorum-failed {trace:?} op={op}")
+            }
+            EventKind::Election { replica, epoch } => {
+                write!(f, "election replica={replica} epoch={epoch}")
+            }
+            EventKind::Rebalance { vnode, from, to } => {
+                write!(f, "rebalance {vnode:?} {from:?} -> {to:?}")
+            }
+            EventKind::Membership { node, joined } => {
+                write!(
+                    f,
+                    "membership {node:?} {}",
+                    if *joined { "up" } else { "down" }
+                )
+            }
+        }
+    }
+}
+
+/// One journal entry.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Runtime clock when the event was recorded.
+    pub at: Micros,
+    /// The event.
+    pub kind: EventKind,
+}
+
+/// Fixed-capacity ring of [`Event`]s; evictions are counted.
+pub struct EventJournal {
+    cap: usize,
+    buf: Mutex<VecDeque<Event>>,
+    evicted: AtomicU64,
+}
+
+impl EventJournal {
+    /// Journal keeping at most `cap` events (`cap == 0` keeps none).
+    pub fn new(cap: usize) -> EventJournal {
+        EventJournal {
+            cap,
+            buf: Mutex::new(VecDeque::with_capacity(cap.min(1024))),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an event, evicting the oldest entry when full.
+    pub fn push(&self, at: Micros, kind: EventKind) {
+        if self.cap == 0 {
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.cap {
+            buf.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(Event { at, kind });
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted (or rejected by a zero-capacity journal) so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// One line per retained event, for the REPL / text dumps.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for ev in self.buf.lock().unwrap().iter() {
+            out.push_str(&format!("[{:>10}µs] {}\n", ev.at, ev.kind));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_is_bounded_and_counts_evictions() {
+        let j = EventJournal::new(3);
+        for i in 0..5u64 {
+            j.push(
+                i,
+                EventKind::Election {
+                    replica: i as u32,
+                    epoch: i,
+                },
+            );
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.evicted(), 2);
+        let evs = j.events();
+        assert_eq!(evs[0].at, 2); // oldest two evicted
+        assert_eq!(evs[2].at, 4);
+    }
+
+    #[test]
+    fn events_render_human_readable_lines() {
+        let j = EventJournal::new(8);
+        j.push(
+            10,
+            EventKind::StaleReplica {
+                trace: TraceId(0xAB),
+                vnode: VNodeId(3),
+                lagging: NodeId(2),
+                missing: true,
+            },
+        );
+        let text = j.render_text();
+        assert!(text.contains("stale-replica"));
+        assert!(text.contains("v3"));
+        assert!(text.contains("n2"));
+        assert!(text.contains("missing"));
+    }
+
+    #[test]
+    fn zero_capacity_journal_rejects_everything() {
+        let j = EventJournal::new(0);
+        j.push(
+            1,
+            EventKind::Membership {
+                node: NodeId(0),
+                joined: true,
+            },
+        );
+        assert!(j.is_empty());
+        assert_eq!(j.evicted(), 1);
+    }
+}

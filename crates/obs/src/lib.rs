@@ -1,0 +1,32 @@
+//! Cluster-wide observability: metrics registry, latency histograms,
+//! per-op trace spans, and a bounded structured event journal.
+//!
+//! The paper's operations story leans on *measured* behaviour — per-vnode
+//! read/write frequency feeds the imbalance table (Sec. III-B), quorum reads
+//! detect stale replicas and trigger read recovery (Sec. III-C) — but until
+//! this crate the repo only had scattered ad-hoc counters. `sedna-obs` is the
+//! shared substrate every layer records into:
+//!
+//! * [`Histogram`] — log-bucketed latency histogram with p50/p95/p99
+//!   extraction, shared by the datapath and the bench harnesses so reported
+//!   percentiles come from the same code production would use;
+//! * [`Registry`] — lock-cheap named counters/gauges/histograms with a
+//!   Prometheus-style text exposition and a JSON snapshot; a disabled
+//!   registry short-circuits every record call on one relaxed atomic load;
+//! * [`EventJournal`] — bounded ring of structured cluster-health events
+//!   (stale quorum members, slow-op span trees, elections, rebalances);
+//! * [`trace`] — the span model: every client op carries a `TraceId` through
+//!   the replica frames and becomes a reconstructable span tree.
+//!
+//! The crate has no external dependencies (offline-shim policy) and only
+//! leans on `sedna-common` for the id newtypes.
+
+pub mod hist;
+pub mod journal;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{HistSnapshot, Histogram};
+pub use journal::{Event, EventJournal, EventKind};
+pub use registry::{Counter, Gauge, Hist, MetricsSnapshot, Registry};
+pub use trace::{Span, SpanKind, TraceTracker};

@@ -1,0 +1,363 @@
+//! Named metrics registry with Prometheus-style text exposition.
+//!
+//! Handles ([`Counter`], [`Gauge`], and `Arc<Histogram>`) are cheap clones
+//! holding the underlying atomic plus the registry's shared enabled flag, so
+//! the datapath records without touching the registry lock. A disabled
+//! registry short-circuits every record on one relaxed atomic load — the
+//! bench ablation (`mixed_workload --ablation`) verifies this stays within
+//! noise of not instrumenting at all.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{HistSnapshot, Histogram};
+
+/// Monotone counter handle.
+#[derive(Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    v: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (no-op while the registry is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.v.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time gauge handle.
+#[derive(Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    v: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Overwrites the value (no-op while the registry is disabled).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.v.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Histogram handle gated on the registry's enabled flag (unlike a bare
+/// `Arc<Histogram>`, which always records).
+#[derive(Clone)]
+pub struct Hist {
+    enabled: Arc<AtomicBool>,
+    h: Arc<Histogram>,
+}
+
+impl Hist {
+    /// Records one sample (no-op while the registry is disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.h.record(v);
+        }
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> HistSnapshot {
+        self.h.snapshot()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    hists: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// Lock-cheap metrics registry. Registration takes the lock once per unique
+/// name; recording through the returned handles never does.
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new(true)
+    }
+}
+
+impl Registry {
+    /// New registry; `enabled = false` turns every handle into a no-op.
+    pub fn new(enabled: bool) -> Registry {
+        Registry {
+            enabled: Arc::new(AtomicBool::new(enabled)),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Whether handles currently record.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flips recording on or off for every handle already vended.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().unwrap();
+        let v = inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone();
+        Counter {
+            enabled: self.enabled.clone(),
+            v,
+        }
+    }
+
+    /// Returns (registering on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().unwrap();
+        let v = inner
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone();
+        Gauge {
+            enabled: self.enabled.clone(),
+            v,
+        }
+    }
+
+    /// Returns (registering on first use) the histogram named `name`.
+    /// Recording through the histogram is unconditional; callers on hot
+    /// paths should pair it with [`Registry::enabled`].
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .hists
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Like [`Registry::histogram`] but returns a handle that respects the
+    /// enabled flag — what the datapath uses.
+    pub fn hist(&self, name: &str) -> Hist {
+        Hist {
+            enabled: self.enabled.clone(),
+            h: self.histogram(name),
+        }
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            hists: inner
+                .hists
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Plain copy of a registry's metrics; mergeable across nodes.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Monotone counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub hists: BTreeMap<String, HistSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Folds `other` into `self`: counters and gauges sum, histograms merge
+    /// bucket-wise. Summing gauges is the cluster-wide reading for the
+    /// per-node gauges we export (store bytes, keys, journal depth).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Prometheus text exposition (counters, gauges, and summary-style
+    /// quantiles for each histogram).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("# TYPE {k} counter\n{k} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {k} gauge\n{k} {v}\n"));
+        }
+        for (k, h) in &self.hists {
+            out.push_str(&format!("# TYPE {k} summary\n"));
+            for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                out.push_str(&format!(
+                    "{k}{{quantile=\"{label}\"}} {}\n",
+                    h.percentile(q)
+                ));
+            }
+            out.push_str(&format!("{k}_sum {}\n{k}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+
+    /// JSON rendering (hand-rolled; no serde in the offline image).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_map(&mut out, self.counters.iter().map(|(k, v)| (k, *v)));
+        out.push_str("},\"gauges\":{");
+        push_map(&mut out, self.gauges.iter().map(|(k, v)| (k, *v)));
+        out.push_str("},\"histograms\":{");
+        let mut first = true;
+        for (k, h) in &self.hists {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\"{k}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                h.count,
+                h.sum,
+                h.max,
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.percentile(0.99)
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn push_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, u64)>) {
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\"{k}\":{v}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_record_and_snapshot() {
+        let reg = Registry::new(true);
+        let c = reg.counter("ops_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name → same underlying cell.
+        reg.counter("ops_total").inc();
+        assert_eq!(reg.snapshot().counter("ops_total"), 6);
+    }
+
+    #[test]
+    fn disabled_registry_drops_records() {
+        let reg = Registry::new(false);
+        let c = reg.counter("x");
+        let g = reg.gauge("y");
+        c.inc();
+        g.set(9);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        reg.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let a = Registry::new(true);
+        let b = Registry::new(true);
+        a.counter("ops").add(3);
+        b.counter("ops").add(4);
+        b.counter("only_b").inc();
+        a.histogram("lat").record(10);
+        b.histogram("lat").record(30);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counter("ops"), 7);
+        assert_eq!(m.counter("only_b"), 1);
+        assert_eq!(m.hists["lat"].count, 2);
+        assert_eq!(m.hists["lat"].sum, 40);
+    }
+
+    #[test]
+    fn prometheus_and_json_render() {
+        let reg = Registry::new(true);
+        reg.counter("sedna_ops_total").add(2);
+        reg.gauge("sedna_keys").set(7);
+        reg.histogram("sedna_latency_micros").record(100);
+        let snap = reg.snapshot();
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE sedna_ops_total counter"));
+        assert!(text.contains("sedna_ops_total 2"));
+        assert!(text.contains("sedna_keys 7"));
+        assert!(text.contains("sedna_latency_micros{quantile=\"0.99\"}"));
+        assert!(text.contains("sedna_latency_micros_count 1"));
+        let json = snap.to_json();
+        assert!(json.contains("\"sedna_ops_total\":2"));
+        assert!(json.contains("\"p99\":"));
+    }
+}

@@ -13,6 +13,9 @@
 //! tset <ds> <table> <k> <v>  write into the hierarchical key space
 //! tget <ds> <table> <k>      read from it
 //! scan <ds> <table>          scan a whole table
+//! stats                      one-line cluster counters (ops, repairs, journal)
+//! metrics                    full Prometheus text dump of the merged registry
+//! journal                    the quorum-health event journal, newest last
 //! help                       this text
 //! quit                       shut the cluster down
 //! ```
@@ -90,8 +93,49 @@ fn main() {
             ["quit"] | ["exit"] => break,
             ["help"] => println!(
                 "set/get/setall/getall <key> [value] · tset/tget <ds> <table> <k> [v] · \
-                 scan <ds> <table> · quit"
+                 scan <ds> <table> · stats · metrics · journal · quit"
             ),
+            ["stats"] => {
+                let s = cluster.metrics_snapshot();
+                println!(
+                    "writes ok/outdated/failed: {}/{}/{} · reads ok/degraded: {}/{} · \
+                     read repairs: {} · stale replicas seen: {}",
+                    s.counter("sedna_client_writes_ok_total"),
+                    s.counter("sedna_client_writes_outdated_total"),
+                    s.counter("sedna_client_writes_failed_total"),
+                    s.counter("sedna_client_reads_ok_total"),
+                    s.counter("sedna_client_reads_degraded_total"),
+                    s.counter("sedna_client_read_repairs_total"),
+                    s.counter("sedna_client_stale_replicas_total"),
+                );
+                println!(
+                    "store: {} keys, {} bytes · node writes/reads: {}/{} · journal events: {}",
+                    s.gauge("sedna_store_keys"),
+                    s.gauge("sedna_store_bytes"),
+                    s.gauge("sedna_node_writes"),
+                    s.gauge("sedna_node_reads"),
+                    cluster.journal_events().len(),
+                );
+                if let Some(h) = s.hists.get("sedna_client_read_latency_micros") {
+                    println!(
+                        "read latency µs: p50 {} p95 {} p99 {} (n={})",
+                        h.percentile(0.50),
+                        h.percentile(0.95),
+                        h.percentile(0.99),
+                        h.count
+                    );
+                }
+            }
+            ["metrics"] => print!("{}", cluster.metrics_text()),
+            ["journal"] => {
+                let events = cluster.journal_events();
+                if events.is_empty() {
+                    println!("(journal empty)");
+                }
+                for e in events {
+                    println!("[{:>10}µs] {}", e.at, e.kind);
+                }
+            }
             ["set", key, value @ ..] if !value.is_empty() => {
                 show(cluster.write_latest(&Key::from(*key), Value::from(value.join(" "))));
             }

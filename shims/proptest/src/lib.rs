@@ -218,7 +218,9 @@ pub mod strategy {
             }
         )*};
     }
-    tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(A, B, C, D, E, F));
+    tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(
+        A, B, C, D, E, F
+    ));
 }
 
 pub mod arbitrary {
@@ -439,8 +441,7 @@ pub mod string {
                     }
                 }
                 let parts: Vec<&str> = spec.split(',').collect();
-                let parse =
-                    |s: &str| s.trim().parse::<usize>().map_err(|e| Error(e.to_string()));
+                let parse = |s: &str| s.trim().parse::<usize>().map_err(|e| Error(e.to_string()));
                 match parts.as_slice() {
                     [n] => {
                         let n = parse(n)?;
