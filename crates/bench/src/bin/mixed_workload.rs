@@ -153,6 +153,7 @@ fn run(
         seed,
         link: LinkModel::gigabit_lan(),
         send_overhead_micros: 4,
+        ..SimConfig::default()
     };
     let mut cluster = SimCluster::build_with_sim_config(cfg.clone(), sim_config, |_| None);
     cluster.run_until_ready(60_000_000);
@@ -247,6 +248,7 @@ fn run_batching(
         seed,
         link: LinkModel::gigabit_lan(),
         send_overhead_micros: 4,
+        ..SimConfig::default()
     };
     let mut cluster = SimCluster::build_with_sim_config(cfg.clone(), sim_config, |_| None);
     cluster.run_until_ready(60_000_000);

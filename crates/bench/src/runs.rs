@@ -45,6 +45,7 @@ pub fn run_sedna_load(
         seed,
         link: LinkModel::gigabit_lan(),
         send_overhead_micros: SEND_OVERHEAD_MICROS,
+        ..SimConfig::default()
     };
     let mut cluster = SimCluster::build_with_sim_config(config.clone(), sim_config, |_| None);
     cluster.run_until_ready(60_000_000);
@@ -99,6 +100,7 @@ pub fn run_memcached_load(
         seed,
         link: LinkModel::gigabit_lan(),
         send_overhead_micros: SEND_OVERHEAD_MICROS,
+        ..SimConfig::default()
     });
     let server_ids: Vec<ActorId> = (0..servers)
         .map(|i| {

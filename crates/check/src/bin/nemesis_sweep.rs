@@ -1,0 +1,166 @@
+//! Seed-sweep driver for CI and local soak runs.
+//!
+//! ```text
+//! nemesis_sweep [--seeds N] [--start S] [--profile stock|churn|broken]
+//!               [--out DIR] [--expect-violations] [--shrink]
+//! ```
+//!
+//! Runs `N` consecutive seeds through the nemesis harness. For every
+//! failing seed it writes an artifact file to `--out` (default
+//! `nemesis-artifacts/`) containing the violations, the (optionally
+//! shrunk) schedule rendered as a copy-pasteable test, and the tail of
+//! the recorded history. Exit status: `0` when the outcome matches
+//! expectation — no violations normally, at least one violation under
+//! `--expect-violations` (the mutation-sanity sweep on the broken
+//! configuration) — `1` otherwise.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use sedna_check::harness::{run_with_schedule, HarnessConfig};
+use sedna_check::shrink::{render_repro, shrink};
+use sedna_check::{run_nemesis, RunReport};
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    profile: String,
+    out: PathBuf,
+    expect_violations: bool,
+    do_shrink: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 200,
+        start: 1,
+        profile: "stock".to_string(),
+        out: PathBuf::from("nemesis-artifacts"),
+        expect_violations: false,
+        do_shrink: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds").parse().expect("--seeds"),
+            "--start" => args.start = value("--start").parse().expect("--start"),
+            "--profile" => args.profile = value("--profile"),
+            "--out" => args.out = PathBuf::from(value("--out")),
+            "--expect-violations" => args.expect_violations = true,
+            "--no-shrink" => args.do_shrink = false,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn config_for(profile: &str) -> (HarnessConfig, &'static str) {
+    match profile {
+        "stock" => (HarnessConfig::stock(), "stock"),
+        "churn" => (HarnessConfig::churn(), "churn"),
+        "broken" => (HarnessConfig::broken(), "broken"),
+        other => panic!("unknown profile {other} (stock|churn|broken)"),
+    }
+}
+
+fn write_artifact(
+    dir: &PathBuf,
+    cfg: &HarnessConfig,
+    ctor: &str,
+    report: &RunReport,
+    do_shrink: bool,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("seed-{}.txt", report.seed));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "seed: {}", report.seed)?;
+    writeln!(f, "profile: {ctor}")?;
+    writeln!(f, "ops completed: {}", report.ops_done)?;
+    writeln!(f, "violations ({}):", report.violations.len())?;
+    for v in &report.violations {
+        writeln!(f, "  {v:?}")?;
+    }
+    let schedule = if do_shrink {
+        eprintln!(
+            "  shrinking seed {} ({} events)...",
+            report.seed,
+            report.schedule.len()
+        );
+        let shrunk = shrink(&report.schedule, |cand| {
+            !run_with_schedule(report.seed, cfg, cand).passed()
+        });
+        writeln!(
+            f,
+            "\nschedule shrunk {} -> {} events",
+            report.schedule.len(),
+            shrunk.len()
+        )?;
+        shrunk
+    } else {
+        report.schedule.clone()
+    };
+    writeln!(f, "\n--- minimal reproducer ---\n")?;
+    writeln!(f, "{}", render_repro(report.seed, ctor, &schedule))?;
+    writeln!(f, "--- history tail (last 60 events) ---")?;
+    let tail_from = report.history.len().saturating_sub(60);
+    for ev in &report.history[tail_from..] {
+        writeln!(f, "  {ev:?}")?;
+    }
+    Ok(path)
+}
+
+fn main() {
+    let args = parse_args();
+    let (cfg, ctor) = config_for(&args.profile);
+    let mut failing: Vec<u64> = Vec::new();
+    let mut total_ops: u64 = 0;
+    for seed in args.start..args.start + args.seeds {
+        let report = run_nemesis(seed, &cfg);
+        total_ops += report.ops_done;
+        if report.passed() {
+            eprintln!("seed {seed}: ok ({} ops)", report.ops_done);
+            continue;
+        }
+        eprintln!(
+            "seed {seed}: {} violation(s), first: {:?}",
+            report.violations.len(),
+            report.violations.first()
+        );
+        failing.push(seed);
+        // Shrinking re-runs the harness many times; only pay for it when
+        // a violation is unexpected (CI wants the minimal reproducer).
+        let shrink_this = args.do_shrink && !args.expect_violations;
+        match write_artifact(&args.out, &cfg, ctor, &report, shrink_this) {
+            Ok(path) => eprintln!("  artifact: {}", path.display()),
+            Err(e) => eprintln!("  artifact write failed: {e}"),
+        }
+    }
+    println!(
+        "nemesis-sweep profile={} seeds={}..{} failing={} total_ops={}",
+        ctor,
+        args.start,
+        args.start + args.seeds - 1,
+        failing.len(),
+        total_ops
+    );
+    if !failing.is_empty() {
+        println!("failing seeds: {failing:?}");
+    }
+    let ok = if args.expect_violations {
+        !failing.is_empty()
+    } else {
+        failing.is_empty()
+    };
+    if !ok {
+        if args.expect_violations {
+            eprintln!(
+                "expected the weakened configuration to trip the checker, but every seed passed"
+            );
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,430 @@
+//! Eventual-consistency history checker.
+//!
+//! Consumes the per-client op history ([`HistoryEvent`]s recorded by
+//! `ClientCore`) plus the cluster's end-of-run replica state, and checks
+//! the guarantees Sedna's quorum argument (`R+W>N`, durable-before-ack)
+//! actually gives under stable membership:
+//!
+//! * **Session guarantees** (per client, per key): a *clean* quorum read
+//!   — one where R replicas agreed and nothing was degraded — never
+//!   returns a version older than (a) anything the same client already
+//!   cleanly read (monotonic reads) or (b) the client's own latest
+//!   acknowledged write (read-your-writes). Degraded reads are merged
+//!   best-effort answers and are exempt by design.
+//! * **No lost acknowledged writes**: after the harness heals everything
+//!   and lets anti-entropy converge, every key's surviving version is at
+//!   least as new as the newest acknowledged write to it.
+//! * **Replica agreement**: at end of run the replicas of every key
+//!   (under the final ring) hold the same freshest timestamp.
+//!
+//! What this deliberately does **not** check — because timestamp-based
+//! last-writer-wins cannot give it — is inter-client real-time ordering:
+//! an acknowledged write may be shadowed by a *concurrent* write that
+//! carried a larger timestamp, and under clock skew "larger timestamp"
+//! need not mean "later in real time". DESIGN.md §14 discusses what a
+//! dotted-version-vector design would add.
+
+use std::collections::BTreeMap;
+
+use sedna_common::{Key, NodeId, Timestamp, TraceId};
+use sedna_core::cluster::SimCluster;
+use sedna_core::history::{HistoryEvent, HistoryOp, HistoryOutcome};
+use sedna_core::manager::ClusterManager;
+
+/// One checker finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A clean quorum read travelled backwards past the client's floor
+    /// (its own acked writes and previous clean reads of the key).
+    StaleRead {
+        /// The reading client (timestamp origin).
+        client: NodeId,
+        /// Key read.
+        key: Key,
+        /// Client-local op id of the offending read.
+        op_id: u64,
+        /// Trace of the offending read (joins with the journal).
+        trace: TraceId,
+        /// What the read returned (`None` = not found).
+        got: Option<Timestamp>,
+        /// What the session floor required.
+        floor: Timestamp,
+    },
+    /// After quiescence, no replica of `key` holds a version at least as
+    /// new as its newest acknowledged write.
+    LostAckedWrite {
+        /// Key whose write was lost.
+        key: Key,
+        /// Newest acknowledged write timestamp.
+        acked: Timestamp,
+        /// Best surviving version on any replica (`None` = gone).
+        survivor: Option<Timestamp>,
+    },
+    /// Replicas of `key` disagree on its freshest version at end of run.
+    ReplicaDisagreement {
+        /// Key in disagreement.
+        key: Key,
+        /// Freshest version per replica (`None` = replica lacks the key).
+        replicas: Vec<(NodeId, Option<Timestamp>)>,
+    },
+}
+
+impl Violation {
+    /// True for the session-guarantee / durability classes the mutation
+    /// test requires the broken config to trip.
+    pub fn is_session_or_durability(&self) -> bool {
+        matches!(
+            self,
+            Violation::StaleRead { .. } | Violation::LostAckedWrite { .. }
+        )
+    }
+}
+
+/// Checks the per-client session guarantees over a recorded history.
+///
+/// Events must be in record order (which is per-client program order —
+/// each simulated client is single-threaded). Completes without a
+/// matching Invoke (multi-key group children) are ignored.
+pub fn check_sessions(events: &[HistoryEvent]) -> Vec<Violation> {
+    // Open invokes: (client, op_id) → op.
+    let mut open: BTreeMap<(NodeId, u64), HistoryOp> = BTreeMap::new();
+    // Session floor: (client, key) → minimum timestamp the next clean
+    // read of `key` by `client` may return.
+    let mut floor: BTreeMap<(NodeId, Key), Timestamp> = BTreeMap::new();
+    let mut violations = Vec::new();
+    // Trace ids of open invokes, for reporting.
+    let mut traces: BTreeMap<(NodeId, u64), TraceId> = BTreeMap::new();
+
+    for ev in events {
+        match ev {
+            HistoryEvent::Invoke {
+                client,
+                op_id,
+                trace,
+                op,
+                ..
+            } => {
+                open.insert((*client, *op_id), op.clone());
+                traces.insert((*client, *op_id), *trace);
+            }
+            HistoryEvent::Complete {
+                client,
+                op_id,
+                outcome,
+                ..
+            } => {
+                let Some(op) = open.remove(&(*client, *op_id)) else {
+                    continue; // group child or replayed completion
+                };
+                let trace = traces.remove(&(*client, *op_id)).unwrap_or_default();
+                match (op, outcome) {
+                    (HistoryOp::Write { key, ts }, HistoryOutcome::WriteOk) => {
+                        // Acknowledged: read-your-writes owes this much.
+                        let f = floor.entry((*client, key)).or_insert(Timestamp::ZERO);
+                        *f = (*f).max(ts);
+                    }
+                    (HistoryOp::Write { .. }, _) => {} // no promise made
+                    (
+                        HistoryOp::Read { key },
+                        HistoryOutcome::Read {
+                            latest,
+                            degraded: false,
+                        },
+                    ) => {
+                        let f = floor
+                            .entry((*client, key.clone()))
+                            .or_insert(Timestamp::ZERO);
+                        if latest.unwrap_or(Timestamp::ZERO) < *f {
+                            violations.push(Violation::StaleRead {
+                                client: *client,
+                                key,
+                                op_id: *op_id,
+                                trace,
+                                got: *latest,
+                                floor: *f,
+                            });
+                        } else if let Some(ts) = latest {
+                            // Monotonic reads: never below this again.
+                            *f = (*f).max(*ts);
+                        }
+                    }
+                    (HistoryOp::Read { .. }, _) => {} // degraded/failed: exempt
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Newest acknowledged write per key across all clients.
+pub fn acked_writes(events: &[HistoryEvent]) -> BTreeMap<Key, Timestamp> {
+    let mut open: BTreeMap<(NodeId, u64), HistoryOp> = BTreeMap::new();
+    let mut acked: BTreeMap<Key, Timestamp> = BTreeMap::new();
+    for ev in events {
+        match ev {
+            HistoryEvent::Invoke {
+                client, op_id, op, ..
+            } => {
+                open.insert((*client, *op_id), op.clone());
+            }
+            HistoryEvent::Complete {
+                client,
+                op_id,
+                outcome: HistoryOutcome::WriteOk,
+                ..
+            } => {
+                if let Some(HistoryOp::Write { key, ts }) = open.remove(&(*client, *op_id)) {
+                    let f = acked.entry(key).or_insert(Timestamp::ZERO);
+                    *f = (*f).max(ts);
+                }
+            }
+            HistoryEvent::Complete { client, op_id, .. } => {
+                open.remove(&(*client, *op_id));
+            }
+        }
+    }
+    acked
+}
+
+/// End-of-run replica state: key → freshest version per *current
+/// replica* of that key (under the manager's final ring).
+pub fn final_replica_state(
+    cluster: &SimCluster,
+) -> BTreeMap<Key, Vec<(NodeId, Option<Timestamp>)>> {
+    let mgr = cluster
+        .sim
+        .actor_ref::<ClusterManager>(cluster.config.manager_actor())
+        .expect("cluster manager actor");
+    let map = mgr.map();
+    let partitioner = &cluster.config.partitioner;
+
+    // Freshest version per node per key.
+    let mut per_node: BTreeMap<Key, BTreeMap<NodeId, Timestamp>> = BTreeMap::new();
+    for n in 0..cluster.config.data_nodes as u32 {
+        let node = NodeId(n);
+        cluster.node(node).store().for_each(|key, versions| {
+            if let Some(freshest) = versions.iter().map(|v| v.ts).max() {
+                per_node
+                    .entry(key.clone())
+                    .or_default()
+                    .insert(node, freshest);
+            }
+        });
+    }
+
+    let mut out = BTreeMap::new();
+    for (key, holders) in per_node {
+        let replicas = map.replicas(partitioner.locate(&key));
+        let row: Vec<(NodeId, Option<Timestamp>)> = replicas
+            .iter()
+            .map(|r| (*r, holders.get(r).copied()))
+            .collect();
+        out.insert(key, row);
+    }
+    out
+}
+
+/// Checks all-replica agreement at end of run: every replica of every
+/// key must hold the same freshest timestamp (and hold the key at all).
+pub fn check_replica_agreement(
+    state: &BTreeMap<Key, Vec<(NodeId, Option<Timestamp>)>>,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (key, replicas) in state {
+        let mut versions = replicas.iter().map(|(_, ts)| *ts);
+        let first = versions.next().unwrap_or(None);
+        if versions.any(|ts| ts != first) {
+            violations.push(Violation::ReplicaDisagreement {
+                key: key.clone(),
+                replicas: replicas.clone(),
+            });
+        }
+    }
+    violations
+}
+
+/// Checks that no acknowledged write is lost: for every key with an
+/// acked write, some replica must survive with a version at least that
+/// new. (A *newer* survivor is fine — last-writer-wins may legitimately
+/// shadow an acked write with a concurrent larger-timestamp write.)
+pub fn check_lost_writes(
+    acked: &BTreeMap<Key, Timestamp>,
+    state: &BTreeMap<Key, Vec<(NodeId, Option<Timestamp>)>>,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (key, &acked_ts) in acked {
+        let survivor = state
+            .get(key)
+            .and_then(|row| row.iter().filter_map(|(_, ts)| *ts).max());
+        if survivor.unwrap_or(Timestamp::ZERO) < acked_ts {
+            violations.push(Violation::LostAckedWrite {
+                key: key.clone(),
+                acked: acked_ts,
+                survivor,
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedna_common::time::Micros;
+
+    fn ts(micros: Micros) -> Timestamp {
+        Timestamp {
+            micros,
+            counter: 0,
+            origin: NodeId(1_000),
+        }
+    }
+
+    fn invoke(client: u32, op_id: u64, op: HistoryOp) -> HistoryEvent {
+        HistoryEvent::Invoke {
+            client: NodeId(client),
+            op_id,
+            trace: TraceId::default(),
+            op,
+            at: 0,
+        }
+    }
+
+    fn complete(client: u32, op_id: u64, outcome: HistoryOutcome) -> HistoryEvent {
+        HistoryEvent::Complete {
+            client: NodeId(client),
+            op_id,
+            outcome,
+            at: 0,
+        }
+    }
+
+    fn write(key: &str, t: Micros) -> HistoryOp {
+        HistoryOp::Write {
+            key: Key::from(key),
+            ts: ts(t),
+        }
+    }
+
+    fn read(key: &str) -> HistoryOp {
+        HistoryOp::Read {
+            key: Key::from(key),
+        }
+    }
+
+    fn read_ok(latest: Option<Micros>) -> HistoryOutcome {
+        HistoryOutcome::Read {
+            latest: latest.map(ts),
+            degraded: false,
+        }
+    }
+
+    #[test]
+    fn clean_read_below_own_acked_write_is_flagged() {
+        let events = vec![
+            invoke(1, 1, write("k", 100)),
+            complete(1, 1, HistoryOutcome::WriteOk),
+            invoke(1, 2, read("k")),
+            complete(1, 2, read_ok(Some(50))),
+        ];
+        let v = check_sessions(&events);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(&v[0], Violation::StaleRead { got: Some(g), .. } if g.micros == 50));
+    }
+
+    #[test]
+    fn vanished_value_after_ack_is_flagged() {
+        let events = vec![
+            invoke(1, 1, write("k", 100)),
+            complete(1, 1, HistoryOutcome::WriteOk),
+            invoke(1, 2, read("k")),
+            complete(1, 2, read_ok(None)),
+        ];
+        assert_eq!(check_sessions(&events).len(), 1);
+    }
+
+    #[test]
+    fn non_monotonic_read_pair_is_flagged() {
+        let events = vec![
+            invoke(1, 1, read("k")),
+            complete(1, 1, read_ok(Some(90))),
+            invoke(1, 2, read("k")),
+            complete(1, 2, read_ok(Some(40))),
+        ];
+        assert_eq!(check_sessions(&events).len(), 1);
+    }
+
+    #[test]
+    fn degraded_and_failed_ops_make_no_promises() {
+        let events = vec![
+            invoke(1, 1, write("k", 100)),
+            complete(1, 1, HistoryOutcome::WriteFailed),
+            invoke(1, 2, read("k")),
+            complete(
+                1,
+                2,
+                HistoryOutcome::Read {
+                    latest: None,
+                    degraded: true,
+                },
+            ),
+            invoke(1, 3, read("k")),
+            complete(1, 3, read_ok(None)),
+        ];
+        assert!(check_sessions(&events).is_empty());
+    }
+
+    #[test]
+    fn floors_are_per_client_and_per_key() {
+        let events = vec![
+            invoke(1, 1, write("a", 100)),
+            complete(1, 1, HistoryOutcome::WriteOk),
+            // Different key: no floor.
+            invoke(1, 2, read("b")),
+            complete(1, 2, read_ok(None)),
+            // Different client: no floor either.
+            invoke(2, 1, read("a")),
+            complete(2, 1, read_ok(None)),
+        ];
+        assert!(check_sessions(&events).is_empty());
+    }
+
+    #[test]
+    fn orphan_completes_are_ignored() {
+        let events = vec![complete(1, 7, HistoryOutcome::WriteOk)];
+        assert!(check_sessions(&events).is_empty());
+        assert!(acked_writes(&events).is_empty());
+    }
+
+    #[test]
+    fn lost_write_detected_and_newer_survivor_accepted() {
+        let mut acked = BTreeMap::new();
+        acked.insert(Key::from("k"), ts(100));
+        let mut state = BTreeMap::new();
+        state.insert(
+            Key::from("k"),
+            vec![(NodeId(0), Some(ts(40))), (NodeId(1), None)],
+        );
+        assert_eq!(check_lost_writes(&acked, &state).len(), 1);
+        state.insert(
+            Key::from("k"),
+            vec![(NodeId(0), Some(ts(120))), (NodeId(1), Some(ts(120)))],
+        );
+        assert!(check_lost_writes(&acked, &state).is_empty());
+    }
+
+    #[test]
+    fn replica_disagreement_detected() {
+        let mut state = BTreeMap::new();
+        state.insert(
+            Key::from("k"),
+            vec![(NodeId(0), Some(ts(100))), (NodeId(1), Some(ts(90)))],
+        );
+        assert_eq!(check_replica_agreement(&state).len(), 1);
+        state.insert(
+            Key::from("k"),
+            vec![(NodeId(0), Some(ts(100))), (NodeId(1), Some(ts(100)))],
+        );
+        assert!(check_replica_agreement(&state).is_empty());
+    }
+}

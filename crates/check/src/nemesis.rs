@@ -1,0 +1,273 @@
+//! Seeded fault-schedule generation.
+//!
+//! One `u64` seed deterministically expands into a timed
+//! [`ScheduledFault`] schedule: a sequence of non-overlapping fault
+//! *episodes* (crash→restart, partition→heal, loss→clear), each
+//! well-formed on its own, so any *subset* of the schedule is still a
+//! runnable schedule — the property the ddmin shrinker relies on. The
+//! harness appends its own heal-everything tail after the last event, so
+//! even a subset that drops a heal or restart ends in a recovered
+//! cluster.
+//!
+//! Two profiles:
+//!
+//! * **stock** keeps every fault inside the envelope where Sedna's quorum
+//!   intersection argument holds — at most one data node down at a time,
+//!   crashes shorter than the coordination session timeout (so membership
+//!   never changes), restarts recover from the WAL, partitions only
+//!   between data nodes (clients always reach replicas). Under this
+//!   profile the history checker's session guarantees must hold on every
+//!   seed.
+//! * **churn** additionally schedules long crashes (the node's session
+//!   expires, the manager rebalances its vnodes away, then back on
+//!   rejoin) and empty restarts (the node loses its memory and has no
+//!   WAL). Both open windows where LWW-over-changing-replica-sets gives
+//!   no session guarantees (see DESIGN.md §14), so churn runs are checked
+//!   for end-state convergence only.
+
+use sedna_common::rng::Xoshiro256;
+use sedna_common::time::Micros;
+use sedna_common::NodeId;
+use sedna_core::fault::{ClusterFault, RestartKind, ScheduledFault};
+
+/// Knobs for schedule generation.
+#[derive(Clone, Debug)]
+pub struct NemesisConfig {
+    /// Number of data nodes faults may target.
+    pub data_nodes: u32,
+    /// Virtual time of the first fault (µs) — leave room for the cluster
+    /// to assemble and the workload to build some history first.
+    pub start_micros: Micros,
+    /// Number of fault episodes (each expands to 1–2 events).
+    pub episodes: usize,
+    /// Crash outage duration range (µs). Stock keeps the upper bound
+    /// under the 1 s coordination session timeout so membership is
+    /// stable; churn crosses it.
+    pub crash_micros: (Micros, Micros),
+    /// Partition / loss episode duration range (µs).
+    pub partition_micros: (Micros, Micros),
+    /// Gap between consecutive episodes (µs).
+    pub gap_micros: (Micros, Micros),
+    /// Ceiling for lossy-link episodes, in ‰ of frames dropped.
+    pub max_loss_permille: u32,
+    /// Whether crash episodes may tear the victim's WAL tail.
+    pub allow_torn_wal: bool,
+    /// Whether restarts may be [`RestartKind::Empty`] (memory and WAL
+    /// both gone). Safety-breaking; churn only.
+    pub allow_empty_restart: bool,
+    /// Whether crashes may outlast the coordination session timeout,
+    /// forcing a manager-driven leave/rebalance and a rejoin on restart.
+    /// Safety-breaking; churn only.
+    pub allow_leave_windows: bool,
+}
+
+impl NemesisConfig {
+    /// The safety-preserving profile (see module docs).
+    pub fn stock(data_nodes: u32) -> Self {
+        NemesisConfig {
+            data_nodes,
+            start_micros: 2_000_000,
+            episodes: 7,
+            crash_micros: (300_000, 700_000),
+            partition_micros: (300_000, 900_000),
+            gap_micros: (200_000, 800_000),
+            max_loss_permille: 80,
+            allow_torn_wal: true,
+            allow_empty_restart: false,
+            allow_leave_windows: false,
+        }
+    }
+
+    /// The membership-churn profile: stock plus long crashes and empty
+    /// restarts.
+    pub fn churn(data_nodes: u32) -> Self {
+        NemesisConfig {
+            crash_micros: (300_000, 2_500_000),
+            allow_empty_restart: true,
+            allow_leave_windows: true,
+            ..Self::stock(data_nodes)
+        }
+    }
+}
+
+fn pick(rng: &mut Xoshiro256, (lo, hi): (Micros, Micros)) -> Micros {
+    lo + rng.next_below(hi.saturating_sub(lo).max(1))
+}
+
+/// Expands `seed` into a fault schedule under `cfg`. Same seed, same
+/// config, same schedule — always.
+pub fn generate(seed: u64, cfg: &NemesisConfig) -> Vec<ScheduledFault> {
+    // Decorrelate from the simulator, which consumes the raw seed.
+    let mut rng = Xoshiro256::seeded(seed ^ 0x4E45_4D45_5349_5321);
+    let mut out = Vec::new();
+    let mut t = cfg.start_micros;
+    let nodes = cfg.data_nodes.max(2);
+    for _ in 0..cfg.episodes {
+        // 0–1: crash, 2: pair partition, 3: group partition, 4: loss.
+        match rng.next_below(5) {
+            kind @ (0 | 1) => {
+                let node = NodeId(rng.next_below(u64::from(nodes)) as u32);
+                let long = cfg.allow_leave_windows && rng.chance(0.5);
+                let outage = if long {
+                    // Past the 1 s session timeout plus the manager's
+                    // leave debounce: the node will be rebalanced away.
+                    1_800_000 + rng.next_below(1_000_000)
+                } else {
+                    pick(&mut rng, cfg.crash_micros)
+                };
+                let torn = cfg.allow_torn_wal && kind == 1;
+                out.push(ScheduledFault::new(
+                    t,
+                    ClusterFault::Crash {
+                        node,
+                        torn_wal: torn,
+                    },
+                ));
+                let restart_kind = if cfg.allow_empty_restart && rng.chance(0.33) {
+                    RestartKind::Empty
+                } else {
+                    RestartKind::Recover
+                };
+                t += outage;
+                out.push(ScheduledFault::new(
+                    t,
+                    ClusterFault::Restart {
+                        node,
+                        kind: restart_kind,
+                    },
+                ));
+            }
+            2 => {
+                let a = rng.next_below(u64::from(nodes)) as u32;
+                let b = (a + 1 + rng.next_below(u64::from(nodes) - 1) as u32) % nodes;
+                out.push(ScheduledFault::new(
+                    t,
+                    ClusterFault::PartitionPair {
+                        a: NodeId(a),
+                        b: NodeId(b),
+                    },
+                ));
+                t += pick(&mut rng, cfg.partition_micros);
+                out.push(ScheduledFault::new(
+                    t,
+                    ClusterFault::HealPair {
+                        a: NodeId(a),
+                        b: NodeId(b),
+                    },
+                ));
+            }
+            3 => {
+                // Split the data nodes in two at a random cut point.
+                let cut = 1 + rng.next_below(u64::from(nodes) - 1) as u32;
+                let left: Vec<NodeId> = (0..cut).map(NodeId).collect();
+                let right: Vec<NodeId> = (cut..nodes).map(NodeId).collect();
+                out.push(ScheduledFault::new(
+                    t,
+                    ClusterFault::PartitionHalves { left, right },
+                ));
+                t += pick(&mut rng, cfg.partition_micros);
+                out.push(ScheduledFault::new(t, ClusterFault::HealAll));
+            }
+            _ => {
+                let permille = 10 + rng.next_below(u64::from(cfg.max_loss_permille.max(11)) - 10);
+                out.push(ScheduledFault::new(
+                    t,
+                    ClusterFault::SetLinkLossPermille(permille as u32),
+                ));
+                t += pick(&mut rng, cfg.partition_micros);
+                out.push(ScheduledFault::new(t, ClusterFault::SetLinkLossPermille(0)));
+            }
+        }
+        t += pick(&mut rng, cfg.gap_micros);
+    }
+    out
+}
+
+/// Virtual time of the last event in a schedule (`0` when empty).
+pub fn schedule_end(schedule: &[ScheduledFault]) -> Micros {
+    schedule.iter().map(|f| f.at).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = NemesisConfig::stock(5);
+        assert_eq!(generate(42, &cfg), generate(42, &cfg));
+        assert_ne!(generate(42, &cfg), generate(43, &cfg));
+    }
+
+    #[test]
+    fn stock_profile_keeps_at_most_one_node_down() {
+        let cfg = NemesisConfig::stock(5);
+        for seed in 0..50 {
+            let schedule = generate(seed, &cfg);
+            let mut down: Option<NodeId> = None;
+            for ev in &schedule {
+                match &ev.fault {
+                    ClusterFault::Crash { node, .. } => {
+                        assert!(down.is_none(), "seed {seed}: two nodes down at once");
+                        down = Some(*node);
+                    }
+                    ClusterFault::Restart { node, kind } => {
+                        assert_eq!(down, Some(*node), "seed {seed}: restart without crash");
+                        assert_eq!(*kind, RestartKind::Recover, "seed {seed}: stock restart");
+                        down = None;
+                    }
+                    _ => {}
+                }
+            }
+            assert!(
+                down.is_none(),
+                "seed {seed}: schedule ends with a node down"
+            );
+        }
+    }
+
+    #[test]
+    fn stock_crashes_stay_under_session_timeout() {
+        let cfg = NemesisConfig::stock(5);
+        for seed in 0..50 {
+            let schedule = generate(seed, &cfg);
+            let mut crash_at = None;
+            for ev in &schedule {
+                match &ev.fault {
+                    ClusterFault::Crash { .. } => crash_at = Some(ev.at),
+                    ClusterFault::Restart { .. } => {
+                        let outage = ev.at - crash_at.take().unwrap();
+                        assert!(outage < 1_000_000, "seed {seed}: outage {outage}µs");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_profile_reaches_leave_windows_and_empty_restarts() {
+        let cfg = NemesisConfig::churn(5);
+        let (mut saw_long, mut saw_empty) = (false, false);
+        for seed in 0..50 {
+            let schedule = generate(seed, &cfg);
+            let mut crash_at = None;
+            for ev in &schedule {
+                match &ev.fault {
+                    ClusterFault::Crash { .. } => crash_at = Some(ev.at),
+                    ClusterFault::Restart { kind, .. } => {
+                        if ev.at - crash_at.take().unwrap() > 1_500_000 {
+                            saw_long = true;
+                        }
+                        if *kind == RestartKind::Empty {
+                            saw_empty = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_long, "no session-expiring crash in 50 churn seeds");
+        assert!(saw_empty, "no empty restart in 50 churn seeds");
+    }
+}

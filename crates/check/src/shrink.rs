@@ -1,0 +1,187 @@
+//! Schedule shrinking: reduce a failing fault schedule to a minimal
+//! reproducer, and print it as a copy-pasteable test.
+//!
+//! Uses delta debugging (ddmin): repeatedly re-run subsets of the
+//! schedule against the *same* seed and keep any subset that still
+//! fails. Subsets are always valid schedules because the harness heals
+//! partitions, clears loss and restarts down nodes after the last event
+//! — so dropping a heal or a restart can't wedge a run.
+
+use sedna_core::fault::{ClusterFault, ScheduledFault};
+
+/// ddmin over schedule events. `still_fails` re-runs a candidate subset
+/// and reports whether the failure persists; the returned schedule is
+/// 1-minimal (removing any single remaining event makes the failure
+/// disappear). Cost: O(n²) runs worst case, in practice far fewer.
+pub fn shrink(
+    schedule: &[ScheduledFault],
+    mut still_fails: impl FnMut(&[ScheduledFault]) -> bool,
+) -> Vec<ScheduledFault> {
+    let mut current: Vec<ScheduledFault> = schedule.to_vec();
+    if current.is_empty() {
+        return current;
+    }
+    let mut chunks = 2usize;
+    while current.len() >= 2 {
+        let chunk_len = current.len().div_ceil(chunks);
+        let mut reduced = false;
+        // Try removing each chunk (i.e. keeping its complement).
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk_len).min(current.len());
+            let candidate: Vec<ScheduledFault> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .cloned()
+                .collect();
+            if !candidate.is_empty() && still_fails(&candidate) {
+                current = candidate;
+                chunks = chunks.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunks >= current.len() {
+                break; // single-event granularity exhausted: 1-minimal
+            }
+            chunks = (chunks * 2).min(current.len());
+        }
+    }
+    current
+}
+
+fn render_fault(fault: &ClusterFault) -> String {
+    fn nodes(list: &[sedna_common::NodeId]) -> String {
+        let inner: Vec<String> = list.iter().map(|n| format!("NodeId({})", n.0)).collect();
+        format!("vec![{}]", inner.join(", "))
+    }
+    match fault {
+        ClusterFault::Crash { node, torn_wal } => format!(
+            "ClusterFault::Crash {{ node: NodeId({}), torn_wal: {torn_wal} }}",
+            node.0
+        ),
+        ClusterFault::Restart { node, kind } => format!(
+            "ClusterFault::Restart {{ node: NodeId({}), kind: RestartKind::{kind:?} }}",
+            node.0
+        ),
+        ClusterFault::PartitionPair { a, b } => format!(
+            "ClusterFault::PartitionPair {{ a: NodeId({}), b: NodeId({}) }}",
+            a.0, b.0
+        ),
+        ClusterFault::HealPair { a, b } => format!(
+            "ClusterFault::HealPair {{ a: NodeId({}), b: NodeId({}) }}",
+            a.0, b.0
+        ),
+        ClusterFault::PartitionHalves { left, right } => format!(
+            "ClusterFault::PartitionHalves {{ left: {}, right: {} }}",
+            nodes(left),
+            nodes(right)
+        ),
+        ClusterFault::HealAll => "ClusterFault::HealAll".to_string(),
+        ClusterFault::SetLinkLossPermille(p) => {
+            format!("ClusterFault::SetLinkLossPermille({p})")
+        }
+    }
+}
+
+/// Renders a shrunk schedule as a complete, copy-pasteable `#[test]`.
+/// `profile_ctor` names the `HarnessConfig` constructor the failing run
+/// used (e.g. `"stock"`).
+pub fn render_repro(seed: u64, profile_ctor: &str, schedule: &[ScheduledFault]) -> String {
+    let mut out = String::new();
+    out.push_str("#[test]\n");
+    out.push_str(&format!("fn repro_seed_{seed}() {{\n"));
+    out.push_str("    use sedna_check::harness::{run_with_schedule, HarnessConfig};\n");
+    out.push_str("    use sedna_core::fault::{ClusterFault, RestartKind, ScheduledFault};\n");
+    out.push_str("    use sedna_common::NodeId;\n");
+    out.push_str("    let schedule = vec![\n");
+    for ev in schedule {
+        out.push_str(&format!(
+            "        ScheduledFault::new({}, {}),\n",
+            ev.at,
+            render_fault(&ev.fault)
+        ));
+    }
+    out.push_str("    ];\n");
+    out.push_str(&format!(
+        "    let report = run_with_schedule({seed}, &HarnessConfig::{profile_ctor}(), &schedule);\n"
+    ));
+    out.push_str("    assert!(report.violations.is_empty(), \"{:#?}\", report.violations);\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedna_common::NodeId;
+    use sedna_core::fault::RestartKind;
+
+    fn ev(at: u64, node: u32) -> ScheduledFault {
+        ScheduledFault::new(
+            at,
+            ClusterFault::Crash {
+                node: NodeId(node),
+                torn_wal: false,
+            },
+        )
+    }
+
+    #[test]
+    fn shrinks_to_the_two_interacting_events() {
+        // Failure requires events at t=300 and t=700 to both be present.
+        let schedule: Vec<ScheduledFault> = (0..10).map(|i| ev(i * 100, i as u32)).collect();
+        let need = [ev(300, 3), ev(700, 7)];
+        let mut probes = 0;
+        let min = shrink(&schedule, |cand| {
+            probes += 1;
+            need.iter().all(|n| cand.contains(n))
+        });
+        assert_eq!(min, need.to_vec(), "after {probes} probes");
+    }
+
+    #[test]
+    fn shrinks_single_culprit_to_one_event() {
+        let schedule: Vec<ScheduledFault> = (0..16).map(|i| ev(i * 50, i as u32)).collect();
+        let culprit = ev(350, 7);
+        let min = shrink(&schedule, |cand| cand.contains(&culprit));
+        assert_eq!(min, vec![culprit]);
+    }
+
+    #[test]
+    fn never_fails_shrinks_to_original() {
+        let schedule: Vec<ScheduledFault> = (0..4).map(|i| ev(i * 100, i as u32)).collect();
+        let min = shrink(&schedule, |_| false);
+        assert_eq!(min, schedule);
+    }
+
+    #[test]
+    fn rendered_repro_is_rust_shaped() {
+        let schedule = vec![
+            ev(1_000, 2),
+            ScheduledFault::new(
+                2_000,
+                ClusterFault::Restart {
+                    node: NodeId(2),
+                    kind: RestartKind::Recover,
+                },
+            ),
+            ScheduledFault::new(
+                3_000,
+                ClusterFault::PartitionHalves {
+                    left: vec![NodeId(0)],
+                    right: vec![NodeId(1), NodeId(2)],
+                },
+            ),
+        ];
+        let s = render_repro(42, "stock", &schedule);
+        assert!(s.contains("fn repro_seed_42()"), "{s}");
+        assert!(s.contains("RestartKind::Recover"), "{s}");
+        assert!(s.contains("vec![NodeId(1), NodeId(2)]"), "{s}");
+        assert!(
+            s.contains("run_with_schedule(42, &HarnessConfig::stock()"),
+            "{s}"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! End-to-end nemesis harness tests: a debug-friendly slice of the CI
+//! seed sweep, the mutation-sanity check (a deliberately weakened
+//! configuration must trip the checker), shrinker behaviour on a real
+//! failure, and the partition-heal convergence bound.
+
+use sedna_check::harness::{run_nemesis, run_with_schedule, HarnessConfig};
+use sedna_check::nemesis::generate;
+use sedna_check::shrink::{render_repro, shrink};
+use sedna_common::NodeId;
+use sedna_core::fault::{ClusterFault, ScheduledFault};
+
+/// A small in-tree slice of the CI sweep (CI runs ~200 seeds in release
+/// mode; this keeps debug `cargo test` honest without the wall-clock
+/// bill). Every stock seed must pass every check: session guarantees,
+/// no lost acked writes, end-of-run replica agreement.
+#[test]
+fn stock_sweep_slice_has_no_violations() {
+    let cfg = HarnessConfig::stock();
+    for seed in 1..=20u64 {
+        let report = run_nemesis(seed, &cfg);
+        assert!(
+            report.violations.is_empty(),
+            "seed {seed}: {:#?}",
+            report.violations
+        );
+        assert!(
+            report.ops_done > 300,
+            "seed {seed}: workload made no progress ({} ops)",
+            report.ops_done
+        );
+    }
+}
+
+/// Churn seeds open membership-transfer windows where LWW makes no
+/// session promises, but the cluster must still converge once healed.
+#[test]
+fn churn_seeds_still_converge() {
+    let cfg = HarnessConfig::churn();
+    for seed in 1..=5u64 {
+        let report = run_nemesis(seed, &cfg);
+        assert!(
+            report.violations.is_empty(),
+            "seed {seed}: replicas diverged after churn: {:#?}",
+            report.violations
+        );
+    }
+}
+
+/// Mutation sanity: against `R=1, W=1` with read repair and
+/// anti-entropy disabled, the checker must *report* a session violation
+/// — if it stays quiet on a configuration that provably cannot give the
+/// guarantees, the 200 green stock seeds mean nothing.
+#[test]
+fn broken_quorum_config_is_caught_and_shrinks_small() {
+    let cfg = HarnessConfig::broken();
+    let mut caught = None;
+    for seed in 1..=5u64 {
+        let report = run_nemesis(seed, &cfg);
+        if report
+            .violations
+            .iter()
+            .any(|v| v.is_session_or_durability())
+        {
+            caught = Some((seed, report));
+            break;
+        }
+    }
+    let (seed, report) = caught.expect(
+        "5 broken-config seeds produced no monotonic-read / lost-write violation — \
+         the checker is not actually checking",
+    );
+
+    // The shrinker must cut the schedule down to a handful of events
+    // that still reproduce the failure under the same seed.
+    let minimal = shrink(&report.schedule, |cand| {
+        !run_with_schedule(seed, &cfg, cand).passed()
+    });
+    assert!(
+        minimal.len() <= 6,
+        "shrunk schedule still has {} events: {minimal:#?}",
+        minimal.len()
+    );
+    assert!(
+        !run_with_schedule(seed, &cfg, &minimal).passed(),
+        "shrunk schedule no longer reproduces"
+    );
+
+    // And the reproducer must render as a paste-able test.
+    let repro = render_repro(seed, "broken", &minimal);
+    assert!(
+        repro.contains(&format!("fn repro_seed_{seed}()")),
+        "{repro}"
+    );
+    assert!(repro.contains("run_with_schedule"), "{repro}");
+}
+
+/// Satellite: a replica partitioned away while writes land, then
+/// healed, must reach digest agreement with its peers within
+/// `k × sync_interval_micros` — `k = 2·vnodes + 8` plus a 2 s margin,
+/// exactly the quiescence the harness grants before the end-of-run
+/// replica-agreement check. One anti-entropy tick exchanges one vnode,
+/// so two passes bound transitive convergence.
+#[test]
+fn partitioned_then_healed_replica_reaches_digest_agreement() {
+    let cfg = HarnessConfig::stock();
+    // Cut node 0 off from every peer while the workload keeps writing
+    // (clients still reach all replicas — only replica↔replica
+    // anti-entropy and repair traffic is severed), then heal.
+    let schedule = vec![
+        ScheduledFault::new(
+            2_500_000,
+            ClusterFault::PartitionHalves {
+                left: vec![NodeId(0)],
+                right: vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)],
+            },
+        ),
+        ScheduledFault::new(5_000_000, ClusterFault::HealAll),
+    ];
+    let report = run_with_schedule(7, &cfg, &schedule);
+    assert!(
+        report.violations.is_empty(),
+        "replicas failed to agree within the convergence bound: {:#?}",
+        report.violations
+    );
+    assert!(report.ops_done > 300, "workload stalled");
+}
+
+/// The generated schedule for a seed is a pure function of the seed —
+/// re-running a sweep seed elsewhere replays the identical fault
+/// sequence.
+#[test]
+fn reports_carry_the_exact_generated_schedule() {
+    let cfg = HarnessConfig::stock();
+    let report = run_nemesis(11, &cfg);
+    assert_eq!(report.schedule, generate(11, &cfg.nemesis_config()));
+}

@@ -359,18 +359,20 @@ impl QuorumReader {
                 }
                 // Sec. III-C: read recovery runs asynchronously; the client
                 // answers with the freshest merged view it could assemble.
-                for action in plan_repair(p.coord.replies(), &merged) {
-                    let (to, versions) = match action {
-                        RepairAction::Push { to, versions }
-                        | RepairAction::Duplicate { to, versions, .. } => (to, versions),
-                    };
-                    repairs.push((
-                        cfg.node_actor(to),
-                        ReplicaOp::Push {
-                            key: p.key.clone(),
-                            versions,
-                        },
-                    ));
+                if cfg.read_repair_enabled {
+                    for action in plan_repair(p.coord.replies(), &merged) {
+                        let (to, versions) = match action {
+                            RepairAction::Push { to, versions }
+                            | RepairAction::Duplicate { to, versions, .. } => (to, versions),
+                        };
+                        repairs.push((
+                            cfg.node_actor(to),
+                            ReplicaOp::Push {
+                                key: p.key.clone(),
+                                versions,
+                            },
+                        ));
+                    }
                 }
                 saw_failure = p.coord.failed_nodes().next().is_some();
                 if merged.is_empty() {
@@ -723,6 +725,9 @@ pub struct ClientCore {
     child_group: HashMap<u64, (u64, usize)>,
     /// Metrics, traces, and the event journal.
     obs: ClientObs,
+    /// Optional op-history sink for the nemesis checker; `None` (the
+    /// default) records nothing.
+    history: Option<std::sync::Arc<crate::history::ClientHistory>>,
 }
 
 impl ClientCore {
@@ -757,6 +762,60 @@ impl ClientCore {
             groups: HashMap::new(),
             child_group: HashMap::new(),
             obs,
+            history: None,
+        }
+    }
+
+    /// Attaches an op-history sink: every single-key op issued from now on
+    /// records an `Invoke`/`Complete` pair (the nemesis checker's input).
+    pub fn attach_history(&mut self, sink: std::sync::Arc<crate::history::ClientHistory>) {
+        self.history = Some(sink);
+    }
+
+    fn record_invoke(&self, op_id: u64, trace: TraceId, op: crate::history::HistoryOp, at: Micros) {
+        if let Some(h) = &self.history {
+            h.push(crate::history::HistoryEvent::Invoke {
+                client: self.origin,
+                op_id,
+                trace,
+                op,
+                at,
+            });
+        }
+    }
+
+    fn record_write_outcome(&self, op_id: u64, agg: &WriteOutcomeAgg, at: Micros) {
+        if let Some(h) = &self.history {
+            let outcome = match agg {
+                WriteOutcomeAgg::Ok => crate::history::HistoryOutcome::WriteOk,
+                WriteOutcomeAgg::Outdated => crate::history::HistoryOutcome::WriteOutdated,
+                _ => crate::history::HistoryOutcome::WriteFailed,
+            };
+            h.push(crate::history::HistoryEvent::Complete {
+                client: self.origin,
+                op_id,
+                outcome,
+                at,
+            });
+        }
+    }
+
+    fn record_read_outcome(&self, fin: &FinishedRead, at: Micros) {
+        if let Some(h) = &self.history {
+            let latest = match &fin.result {
+                ClientResult::Latest(v) => v.as_ref().map(|vv| vv.ts),
+                ClientResult::All(Some(vs)) => vs.iter().map(|v| v.ts).max(),
+                _ => None,
+            };
+            // A failed read is a degraded one for checking purposes even
+            // when the reader did not flag it.
+            let degraded = fin.degraded || matches!(fin.result, ClientResult::Failed);
+            h.push(crate::history::HistoryEvent::Complete {
+                client: self.origin,
+                op_id: fin.op_id,
+                outcome: crate::history::HistoryOutcome::Read { latest, degraded },
+                at,
+            });
         }
     }
 
@@ -919,6 +978,15 @@ impl ClientCore {
         let ts = self.next_timestamp(now);
         let deadline = now + self.cfg.request_deadline_micros;
         let trace = self.obs.tracker.begin(now);
+        self.record_invoke(
+            op_id,
+            trace,
+            crate::history::HistoryOp::Write {
+                key: key.clone(),
+                ts,
+            },
+            now,
+        );
         let raw = self.writer.begin(
             &self.cfg,
             op_id,
@@ -1064,6 +1132,12 @@ impl ClientCore {
         let op_id = self.next_op;
         let deadline = now + self.cfg.request_deadline_micros;
         let trace = self.obs.tracker.begin(now);
+        self.record_invoke(
+            op_id,
+            trace,
+            crate::history::HistoryOp::Read { key: key.clone() },
+            now,
+        );
         let raw = self.reader.begin(
             &self.cfg,
             op_id,
@@ -1173,6 +1247,7 @@ impl ClientCore {
                     if let Some(trace) = trace {
                         self.obs.write_done(trace, &agg, now);
                     }
+                    self.record_write_outcome(op_id, &agg, now);
                     self.complete(op_id, write_result(agg), events);
                 }
             }
@@ -1197,6 +1272,7 @@ impl ClientCore {
                 }
                 if let Some(fin) = self.reader.on_reply(&self.cfg, from, req, reply) {
                     self.obs.read_done(&fin, &self.cfg, now);
+                    self.record_read_outcome(&fin, now);
                     self.stage_ops(fin.repairs, now, out);
                     if fin.saw_failure {
                         out.extend(self.refresh_ring_now(now));
@@ -1269,6 +1345,7 @@ impl ClientCore {
         for (op_id, agg, trace) in self.writer.on_tick(now) {
             let failed = matches!(agg, WriteOutcomeAgg::Failed { .. });
             self.obs.write_done(trace, &agg, now);
+            self.record_write_outcome(op_id, &agg, now);
             self.complete(op_id, write_result(agg), &mut events);
             if failed {
                 out.extend(self.refresh_ring_now(now));
@@ -1279,6 +1356,7 @@ impl ClientCore {
         }
         for fin in self.reader.on_tick(&self.cfg, now) {
             self.obs.read_done(&fin, &self.cfg, now);
+            self.record_read_outcome(&fin, now);
             self.stage_ops(fin.repairs, now, &mut out);
             if fin.saw_failure {
                 out.extend(self.refresh_ring_now(now));

@@ -21,6 +21,7 @@ use sedna_persist::PersistEngine;
 
 use crate::client::{ClientCore, ClientEvent};
 use crate::config::ClusterConfig;
+use crate::fault::{ClusterFault, RestartKind, ScheduledFault};
 use crate::manager::ClusterManager;
 use crate::messages::{ClientFrame, ClientOp, ClientResult, SednaMsg};
 use crate::node::SednaNode;
@@ -203,6 +204,10 @@ pub struct SimCluster {
     pub config: ClusterConfig,
     /// Gateways added via [`SimCluster::add_gateway`] (for metrics merge).
     gateways: Vec<ActorId>,
+    /// The persistence factory the cluster was built with, kept so
+    /// [`SimCluster::restart_node`] can rebuild a node against the same
+    /// on-disk state ([`RestartKind::Recover`]).
+    persist_for: Box<dyn FnMut(NodeId) -> Option<PersistEngine>>,
 }
 
 impl SimCluster {
@@ -212,7 +217,7 @@ impl SimCluster {
         config: ClusterConfig,
         seed: u64,
         link: LinkModel,
-        persist_for: impl FnMut(NodeId) -> Option<PersistEngine>,
+        persist_for: impl FnMut(NodeId) -> Option<PersistEngine> + 'static,
     ) -> Self {
         let sim_config = SimConfig {
             seed,
@@ -223,12 +228,14 @@ impl SimCluster {
     }
 
     /// Builds with full control over the simulator configuration (seed,
-    /// link model, sender-side packet cost).
+    /// link model, sender-side packet cost, clock skew).
     pub fn build_with_sim_config(
         config: ClusterConfig,
         sim_config: SimConfig,
-        mut persist_for: impl FnMut(NodeId) -> Option<PersistEngine>,
+        persist_for: impl FnMut(NodeId) -> Option<PersistEngine> + 'static,
     ) -> Self {
+        let mut persist_for: Box<dyn FnMut(NodeId) -> Option<PersistEngine>> =
+            Box::new(persist_for);
         let mut sim = Sim::new(sim_config);
         let ens = ensemble_config(&config);
         for i in 0..config.coord_replicas as u32 {
@@ -250,6 +257,7 @@ impl SimCluster {
             sim,
             config,
             gateways: Vec::new(),
+            persist_for,
         }
     }
 
@@ -425,6 +433,95 @@ impl SimCluster {
     /// vnodes).
     pub fn crash_node(&mut self, node: NodeId) {
         self.sim.set_down(self.config.node_actor(node), true);
+    }
+
+    /// Crashes a data node *and* tears its WAL tail: a half-written frame
+    /// is appended at the crash instant, as if power was lost mid-`append`.
+    /// Recovery ([`RestartKind::Recover`]) must discard the torn tail and
+    /// keep appending cleanly after it. No-op tear when the node has no
+    /// persistence.
+    pub fn crash_node_torn(&mut self, node: NodeId) {
+        if let Some(p) = self.node(node).persist() {
+            // The tear itself failing (disk gone) still leaves the engine
+            // crashed, which is the semantics we want at a crash instant.
+            let _ = p.inject_torn_append();
+        }
+        self.crash_node(node);
+    }
+
+    /// Brings a crashed data node back. [`RestartKind::Preserve`] resumes
+    /// the same actor object (in-memory store intact);
+    /// [`RestartKind::Empty`] and [`RestartKind::Recover`] swap in a
+    /// freshly-constructed [`SednaNode`] — without or with the persistence
+    /// engine the build factory assigns to this node — before restarting,
+    /// so `Recover` replays the node's WAL/snapshot on the spot.
+    pub fn restart_node(&mut self, node: NodeId, kind: RestartKind) {
+        let actor = self.config.node_actor(node);
+        match kind {
+            RestartKind::Preserve => {}
+            RestartKind::Empty => {
+                self.sim.replace_actor(
+                    actor,
+                    Box::new(SednaNode::new(self.config.clone(), node, None)),
+                );
+            }
+            RestartKind::Recover => {
+                let persist = (self.persist_for)(node);
+                self.sim.replace_actor(
+                    actor,
+                    Box::new(SednaNode::new(self.config.clone(), node, persist)),
+                );
+            }
+        }
+        self.sim.restart(actor);
+    }
+
+    /// Applies one [`ClusterFault`] right now.
+    pub fn apply_fault(&mut self, fault: &ClusterFault) {
+        match fault {
+            ClusterFault::Crash { node, torn_wal } => {
+                if *torn_wal {
+                    self.crash_node_torn(*node);
+                } else {
+                    self.crash_node(*node);
+                }
+            }
+            ClusterFault::Restart { node, kind } => self.restart_node(*node, *kind),
+            ClusterFault::PartitionPair { a, b } => {
+                self.sim
+                    .partition_pair(self.config.node_actor(*a), self.config.node_actor(*b));
+            }
+            ClusterFault::HealPair { a, b } => {
+                self.sim
+                    .heal_pair(self.config.node_actor(*a), self.config.node_actor(*b));
+            }
+            ClusterFault::PartitionHalves { left, right } => {
+                let to_actors = |nodes: &[NodeId]| -> Vec<ActorId> {
+                    nodes.iter().map(|&n| self.config.node_actor(n)).collect()
+                };
+                let (l, r) = (to_actors(left), to_actors(right));
+                self.sim.partition_groups(&l, &r);
+            }
+            ClusterFault::HealAll => self.sim.heal_all(),
+            ClusterFault::SetLinkLossPermille(permille) => {
+                self.sim.set_drop_probability(f64::from(*permille) / 1000.0);
+            }
+        }
+    }
+
+    /// Drives the simulator through a timed fault schedule: runs virtual
+    /// time up to each fault's `at` (in time order, regardless of slice
+    /// order) and applies it. Time never runs backwards — faults stamped
+    /// before `sim.now()` apply immediately.
+    pub fn run_schedule(&mut self, schedule: &[ScheduledFault]) {
+        let mut ordered: Vec<&ScheduledFault> = schedule.iter().collect();
+        ordered.sort_by_key(|f| f.at);
+        for f in ordered {
+            if f.at > self.sim.now() {
+                self.sim.run_until(f.at);
+            }
+            self.apply_fault(&f.fault);
+        }
     }
 }
 

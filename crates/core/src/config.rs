@@ -57,6 +57,17 @@ pub struct ClusterConfig {
     /// exchanging digests with peer replicas and merging diffs — healing
     /// divergence that no read happens to touch. 0 disables.
     pub sync_interval_micros: Micros,
+    /// Whether an inconsistent quorum read pushes the merged freshest
+    /// version back to lagging replicas (the paper's asynchronous read
+    /// recovery, Sec. III-C). Disabling it is only useful to harnesses
+    /// that deliberately weaken the system (the nemesis mutation test).
+    pub read_repair_enabled: bool,
+    /// Manager: a known member must be absent from this many *consecutive*
+    /// membership polls before it is treated as having left. Rides out the
+    /// blip when a restarted node's old session expires — deleting its
+    /// ephemeral member znode — an instant before the node re-creates it
+    /// under its new session. 1 reverts to leave-on-first-absence.
+    pub leave_debounce_polls: u32,
     /// Datapath batching: at most this many replica ops are coalesced into
     /// one [`crate::messages::ReplicaOp::Batch`] frame per destination.
     /// `1` disables coalescing entirely — every op travels as its own frame,
@@ -111,6 +122,8 @@ impl ClusterConfig {
             rebalance_max_moves: 4,
             rebalance_check_every: 10,
             sync_interval_micros: 2_000_000,
+            read_repair_enabled: true,
+            leave_debounce_polls: 3,
             // Batching off by default: the paper's datapath is one frame
             // per replica op. Deployments opt in via `with_batching`.
             max_batch_ops: 1,
@@ -138,6 +151,12 @@ impl ClusterConfig {
     /// Sets the slow-op promotion threshold (µs).
     pub fn with_slow_op_threshold(mut self, micros: Micros) -> Self {
         self.slow_op_threshold_micros = micros;
+        self
+    }
+
+    /// Turns asynchronous read recovery (read repair) on or off.
+    pub fn with_read_repair(mut self, enabled: bool) -> Self {
+        self.read_repair_enabled = enabled;
         self
     }
 

@@ -1,0 +1,123 @@
+//! Cluster-level fault vocabulary.
+//!
+//! [`ClusterFault`] names faults in deployment terms ([`NodeId`]s, WAL
+//! recovery semantics) rather than simulator terms ([`sedna_net::fault`]
+//! works on raw `ActorId`s). [`crate::cluster::SimCluster::apply_fault`]
+//! translates each variant onto the simulator, and
+//! [`crate::cluster::SimCluster::run_schedule`] drives a whole timed
+//! schedule. The `sedna-check` nemesis generates schedules in this
+//! vocabulary, and its shrinker prints minimal reproducers as literal
+//! `ScheduledFault` lists — so every variant renders as a copy-pasteable
+//! Rust expression (`Debug` output is valid constructor syntax).
+
+use sedna_common::time::Micros;
+use sedna_common::NodeId;
+
+/// How a crashed data node comes back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestartKind {
+    /// Same process resumes (the actor object and its in-memory store are
+    /// kept). Models a long GC pause or network wedge, not a real crash.
+    Preserve,
+    /// A fresh node with an empty store and no persistence — the paper's
+    /// baseline memcached behaviour where a restart loses everything and
+    /// anti-entropy must re-fill the node.
+    Empty,
+    /// A fresh node that recovers its store from its `PersistEngine`
+    /// (WAL replay and/or snapshot load) before serving. Exercises the
+    /// crash-recovery path, including torn-tail WAL repair.
+    Recover,
+}
+
+/// One injectable fault, in deployment vocabulary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterFault {
+    /// Stop a data node: messages and timers to it are dropped from now
+    /// on. With `torn_wal`, the node's WAL (if any) additionally gets a
+    /// torn half-written frame appended at the crash instant — the
+    /// power-loss-mid-`append` case recovery must repair.
+    Crash {
+        /// Which node.
+        node: NodeId,
+        /// Tear the WAL tail at the crash instant.
+        torn_wal: bool,
+    },
+    /// Bring a crashed node back (see [`RestartKind`]).
+    Restart {
+        /// Which node.
+        node: NodeId,
+        /// With which memory/durability semantics.
+        kind: RestartKind,
+    },
+    /// Cut the link between two data nodes (both directions). Other links
+    /// are untouched.
+    PartitionPair {
+        /// One side.
+        a: NodeId,
+        /// Other side.
+        b: NodeId,
+    },
+    /// Heal the link between two data nodes.
+    HealPair {
+        /// One side.
+        a: NodeId,
+        /// Other side.
+        b: NodeId,
+    },
+    /// Cut every link between the `left` and `right` data-node groups
+    /// (links within each group keep working).
+    PartitionHalves {
+        /// One group.
+        left: Vec<NodeId>,
+        /// The other group.
+        right: Vec<NodeId>,
+    },
+    /// Remove every partition installed so far.
+    HealAll,
+    /// Set the global link-loss probability to `permille`/1000 (an
+    /// integer so schedules stay `Eq` and render exactly). `0` restores a
+    /// loss-free network.
+    SetLinkLossPermille(u32),
+}
+
+/// A fault pinned to a virtual time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Virtual time (µs) at which to apply the fault.
+    pub at: Micros,
+    /// The fault.
+    pub fault: ClusterFault,
+}
+
+impl ScheduledFault {
+    /// Convenience constructor.
+    pub fn new(at: Micros, fault: ClusterFault) -> Self {
+        ScheduledFault { at, fault }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_output_is_constructor_syntax() {
+        // The shrinker prints schedules via Debug; keep that output
+        // copy-pasteable as Rust source.
+        let f = ScheduledFault::new(
+            1_500_000,
+            ClusterFault::Crash {
+                node: NodeId(2),
+                torn_wal: true,
+            },
+        );
+        let s = format!("{f:?}");
+        assert!(s.contains("Crash"), "{s}");
+        assert!(s.contains("torn_wal: true"), "{s}");
+        let halves = ClusterFault::PartitionHalves {
+            left: vec![NodeId(0)],
+            right: vec![NodeId(1), NodeId(2)],
+        };
+        assert!(format!("{halves:?}").contains("left"), "{halves:?}");
+    }
+}

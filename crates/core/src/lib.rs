@@ -36,6 +36,8 @@
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod fault;
+pub mod history;
 pub mod imbalance;
 pub mod manager;
 pub mod messages;
@@ -44,6 +46,8 @@ pub mod node;
 pub use client::{ClientCore, ClientEvent, QuorumReader, QuorumWriter, ReadKind, ScanCoordinator};
 pub use cluster::{Gateway, SimCluster, ThreadCluster};
 pub use config::{paths, ClusterConfig};
+pub use fault::{ClusterFault, RestartKind, ScheduledFault};
+pub use history::{ClientHistory, HistoryEvent, HistoryOp, HistoryOutcome};
 pub use imbalance::ImbalanceRow;
 pub use manager::ClusterManager;
 pub use messages::{

@@ -57,6 +57,10 @@ pub struct ClusterManager {
     pending_directives: Vec<Transfer>,
     /// Members reflected in `map`.
     known: BTreeSet<NodeId>,
+    /// Consecutive polls each known member has been absent from the member
+    /// list; a leave fires only at `leave_debounce_polls` (rides out the
+    /// ephemeral-znode blip when a restarted node's old session expires).
+    absent_polls: BTreeMap<NodeId, u32>,
     /// Polls since the last imbalance check.
     polls_since_rebalance: u32,
     /// Outstanding imbalance-children request.
@@ -96,6 +100,7 @@ impl ClusterManager {
             bootstrap_req: None,
             pending_directives: Vec::new(),
             known: BTreeSet::new(),
+            absent_polls: BTreeMap::new(),
             polls_since_rebalance: 0,
             imbalance_children_req: None,
             imbalance_row_reqs: HashMap::new(),
@@ -282,7 +287,20 @@ impl ClusterManager {
     /// Applies a membership diff to the map; queues migration directives.
     fn reconcile_members(&mut self, ctx: &mut Ctx<'_, SednaMsg>, live: BTreeSet<NodeId>) {
         let joined: Vec<NodeId> = live.difference(&self.known).copied().collect();
-        let left: Vec<NodeId> = self.known.difference(&live).copied().collect();
+        // Debounced departures: a member leaves only after it has been
+        // absent from `leave_debounce_polls` consecutive polls.
+        let threshold = self.cfg.leave_debounce_polls.max(1);
+        let mut left = Vec::new();
+        for n in self.known.difference(&live).copied().collect::<Vec<_>>() {
+            let polls = self.absent_polls.entry(n).or_insert(0);
+            *polls += 1;
+            if *polls >= threshold {
+                left.push(n);
+            }
+        }
+        // A member that reappeared (or finally left) resets its streak.
+        self.absent_polls
+            .retain(|n, _| !live.contains(n) && !left.contains(n));
         if joined.is_empty() && left.is_empty() {
             return;
         }

@@ -199,6 +199,11 @@ impl SednaNode {
         &self.store
     }
 
+    /// The persistence engine, when one is attached (fault injection).
+    pub fn persist(&self) -> Option<&PersistEngine> {
+        self.persist.as_ref()
+    }
+
     /// The cached vnode map, if loaded.
     pub fn ring(&self) -> Option<&VNodeMap> {
         self.ring.as_ref()
@@ -508,10 +513,19 @@ impl SednaNode {
                         self.stats.writes += 1;
                         let vnode = self.cfg.partitioner.locate(&key);
                         self.vnode_stats[vnode.index()].record_write(bytes, is_new);
-                        if let Some(p) = &self.persist {
-                            let _ = p.note_write(&key, ts, &value, kind == WriteKind::Latest);
+                        // Write-ahead means durable-before-ack: a failed
+                        // append must not count toward W. The in-memory copy
+                        // stays (like a write whose ack was lost) and can
+                        // still propagate via anti-entropy.
+                        match &self.persist {
+                            Some(p)
+                                if p.note_write(&key, ts, &value, kind == WriteKind::Latest)
+                                    .is_err() =>
+                            {
+                                ReplicaWriteAck::Refused
+                            }
+                            _ => ReplicaWriteAck::Ok,
                         }
-                        ReplicaWriteAck::Ok
                     }
                     WriteOutcome::Outdated => {
                         self.stats.outdated += 1;
@@ -734,15 +748,21 @@ impl SednaNode {
                     let vnode = self.cfg.partitioner.locate(&item.key);
                     self.vnode_stats[vnode.index()]
                         .record_write(item.value.len() as i64, res.was_new);
-                    if let Some(p) = &self.persist {
-                        let _ = p.note_write(
-                            &item.key,
-                            item.ts,
-                            &item.value,
-                            kind == WriteKind::Latest,
-                        );
+                    // Durable-before-ack, as on the unbatched path.
+                    match &self.persist {
+                        Some(p)
+                            if p.note_write(
+                                &item.key,
+                                item.ts,
+                                &item.value,
+                                kind == WriteKind::Latest,
+                            )
+                            .is_err() =>
+                        {
+                            ReplicaWriteAck::Refused
+                        }
+                        _ => ReplicaWriteAck::Ok,
                     }
-                    ReplicaWriteAck::Ok
                 }
                 WriteOutcome::Outdated => {
                     self.stats.outdated += 1;
@@ -849,16 +869,15 @@ impl SednaNode {
                     // next stats tick.
                 } else if Some(req_id) == self.member_req {
                     self.member_req = None;
-                    // Success, or the znode already exists (a leftover
-                    // ephemeral from our previous session that will expire;
-                    // the manager sees us either way).
-                    self.member_registered = matches!(
-                        result,
-                        Ok(CoordReply::Created)
-                            | Err(sedna_coord::messages::CoordError::Tree(
-                                sedna_coord::tree::TreeError::NodeExists(_)
-                            ))
-                    );
+                    // Registered only once *our* session owns the znode.
+                    // `NodeExists` means a leftover ephemeral from a
+                    // previous incarnation still holds the name; treating
+                    // that as registered would leave us unregistered
+                    // forever once the old session expires and deletes it.
+                    // Keep retrying from the tick loop instead — the blip
+                    // between the old znode's expiry and our re-create is
+                    // one tick wide, within the manager's leave debounce.
+                    self.member_registered = matches!(result, Ok(CoordReply::Created));
                     // Any other failure (e.g. the manager has not created
                     // /sedna/members yet): retried from the tick loop.
                 } else if Some(req_id) == self.ring_req {

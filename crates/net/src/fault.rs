@@ -1,0 +1,208 @@
+//! A declarative fault schedule for the simulator.
+//!
+//! A [`FaultTimeline`] is a time-ordered list of [`SimFault`]s that a
+//! harness drives against a running [`Sim`]: run to the next fault's
+//! timestamp, apply it, repeat. Keeping the schedule as *data* — rather
+//! than imperative test code — is what makes nemesis runs reproducible
+//! from a seed and shrinkable to a minimal failing prefix (the
+//! `sedna-check` crate builds both on top of this driver).
+//!
+//! The faults here are the sim's own primitives at [`ActorId`]
+//! granularity. Cluster-level faults that need to rebuild an actor (a
+//! node recovering from its write-ahead log) live a layer up, in
+//! `sedna_core::fault`, because only that layer knows how to construct
+//! replacement actors.
+
+use sedna_common::time::Micros;
+
+use crate::actor::{ActorId, MessageSize};
+use crate::sim::Sim;
+
+/// One fault at [`ActorId`] granularity.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimFault {
+    /// Mark an actor down: messages to/from it are lost, timers stop.
+    Down(ActorId),
+    /// Bring an actor back up and re-run its `on_start`.
+    Restart(ActorId),
+    /// Block delivery between two actors, both directions.
+    PartitionPair(ActorId, ActorId),
+    /// Restore delivery between two actors.
+    HealPair(ActorId, ActorId),
+    /// Partition every actor in the left group from every actor in the
+    /// right group.
+    PartitionGroups(Vec<ActorId>, Vec<ActorId>),
+    /// Remove all partitions.
+    HealAll,
+    /// Set the link-wide drop probability, in permille (0..=1000).
+    /// Integer so schedules stay `PartialEq`-comparable and render
+    /// exactly when printed as a reproducer.
+    SetDropPermille(u32),
+}
+
+/// A fault stamped with the virtual time at which it fires.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedFault {
+    /// Virtual time, µs, at which to apply the fault.
+    pub at: Micros,
+    pub fault: SimFault,
+}
+
+/// A time-ordered fault schedule and the cursor driving it.
+#[derive(Clone, Debug, Default)]
+pub struct FaultTimeline {
+    events: Vec<TimedFault>,
+    next: usize,
+}
+
+impl FaultTimeline {
+    /// Builds a timeline, sorting the events by time (stable, so equal
+    /// timestamps keep their given order).
+    pub fn new(mut events: Vec<TimedFault>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultTimeline { events, next: 0 }
+    }
+
+    /// The full schedule.
+    pub fn events(&self) -> &[TimedFault] {
+        &self.events
+    }
+
+    /// True once every fault has been applied.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.events.len()
+    }
+
+    /// Runs the sim to `deadline`, applying every scheduled fault at its
+    /// timestamp along the way. Faults scheduled past the deadline stay
+    /// pending for the next call.
+    pub fn drive<M: MessageSize + Send + 'static>(&mut self, sim: &mut Sim<M>, deadline: Micros) {
+        while self.next < self.events.len() && self.events[self.next].at <= deadline {
+            let at = self.events[self.next].at;
+            sim.run_until(at);
+            while self.next < self.events.len() && self.events[self.next].at == at {
+                let fault = self.events[self.next].fault.clone();
+                apply(sim, &fault);
+                self.next += 1;
+            }
+        }
+        sim.run_until(deadline);
+    }
+}
+
+/// Applies a single fault to the sim.
+pub fn apply<M: MessageSize + Send + 'static>(sim: &mut Sim<M>, fault: &SimFault) {
+    match fault {
+        SimFault::Down(id) => sim.set_down(*id, true),
+        SimFault::Restart(id) => sim.restart(*id),
+        SimFault::PartitionPair(a, b) => sim.partition_pair(*a, *b),
+        SimFault::HealPair(a, b) => sim.heal_pair(*a, *b),
+        SimFault::PartitionGroups(left, right) => sim.partition_groups(left, right),
+        SimFault::HealAll => sim.heal_all(),
+        SimFault::SetDropPermille(p) => sim.set_drop_probability(f64::from(*p) / 1000.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{Actor, Ctx};
+    use crate::link::LinkModel;
+    use crate::sim::SimConfig;
+
+    #[derive(Clone, Debug)]
+    struct Tick;
+    impl MessageSize for Tick {}
+
+    /// Pings a peer every 100µs and counts replies.
+    struct Pinger {
+        peer: ActorId,
+        got: u64,
+    }
+    impl Actor for Pinger {
+        type Msg = Tick;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Tick>) {
+            ctx.set_timer(crate::actor::TimerToken(0), 100);
+        }
+        fn on_message(&mut self, _f: ActorId, _m: Tick, _c: &mut Ctx<'_, Tick>) {
+            self.got += 1;
+        }
+        fn on_timer(&mut self, t: crate::actor::TimerToken, ctx: &mut Ctx<'_, Tick>) {
+            ctx.send(self.peer, Tick);
+            ctx.set_timer(t, 100);
+        }
+    }
+
+    /// Echoes every message back.
+    struct Echo;
+    impl Actor for Echo {
+        type Msg = Tick;
+        fn on_message(&mut self, from: ActorId, _m: Tick, ctx: &mut Ctx<'_, Tick>) {
+            ctx.send(from, Tick);
+        }
+    }
+
+    #[test]
+    fn timeline_applies_faults_at_their_timestamps() {
+        let mut sim: Sim<Tick> = Sim::new(SimConfig {
+            seed: 3,
+            link: LinkModel::instant(),
+            ..SimConfig::default()
+        });
+        let echo = sim.add_actor(Box::new(Echo));
+        let ping = sim.add_actor(Box::new(Pinger { peer: echo, got: 0 }));
+
+        // Partition for [10ms, 20ms); down for [30ms, 40ms); then clean.
+        let mut timeline = FaultTimeline::new(vec![
+            TimedFault {
+                at: 30_000,
+                fault: SimFault::Down(echo),
+            },
+            TimedFault {
+                at: 10_000,
+                fault: SimFault::PartitionPair(echo, ping),
+            },
+            TimedFault {
+                at: 20_000,
+                fault: SimFault::HealAll,
+            },
+            TimedFault {
+                at: 40_000,
+                fault: SimFault::Restart(echo),
+            },
+        ]);
+        timeline.drive(&mut sim, 10_000);
+        let at_10ms = sim.actor_ref::<Pinger>(ping).unwrap().got;
+        assert!(at_10ms > 50, "healthy first phase: {at_10ms}");
+        timeline.drive(&mut sim, 20_000);
+        let at_20ms = sim.actor_ref::<Pinger>(ping).unwrap().got;
+        assert!(
+            at_20ms <= at_10ms + 1,
+            "partition stops replies: {at_10ms} -> {at_20ms}"
+        );
+        timeline.drive(&mut sim, 50_000);
+        assert!(timeline.exhausted());
+        let final_got = sim.actor_ref::<Pinger>(ping).unwrap().got;
+        // Healthy during [20,30) and [40,50): roughly 200 more replies.
+        assert!(final_got > at_20ms + 100, "healed phases make progress");
+        assert!(!sim.is_down(echo));
+    }
+
+    #[test]
+    fn drop_permille_fault_sets_loss_rate() {
+        let mut sim: Sim<Tick> = Sim::new(SimConfig {
+            seed: 4,
+            link: LinkModel::instant(),
+            ..SimConfig::default()
+        });
+        let echo = sim.add_actor(Box::new(Echo));
+        let ping = sim.add_actor(Box::new(Pinger { peer: echo, got: 0 }));
+        let mut timeline = FaultTimeline::new(vec![TimedFault {
+            at: 0,
+            fault: SimFault::SetDropPermille(1000),
+        }]);
+        timeline.drive(&mut sim, 20_000);
+        assert_eq!(sim.actor_ref::<Pinger>(ping).unwrap().got, 0);
+        assert!(sim.stats().messages_dropped > 0);
+    }
+}

@@ -24,12 +24,14 @@
 //! parallelism.
 
 pub mod actor;
+pub mod fault;
 pub mod link;
 pub mod sim;
 pub mod stats;
 pub mod threaded;
 
 pub use actor::{Actor, ActorId, AsAny, Ctx, MessageSize, TimerToken, Wrap};
+pub use fault::{FaultTimeline, SimFault, TimedFault};
 pub use link::LinkModel;
 pub use sim::{Sim, SimConfig};
 pub use stats::NetStats;

@@ -45,6 +45,13 @@ pub struct SimConfig {
     /// the second of three parallel fan-out messages departs one overhead
     /// later than the first. Zero (the default) disables the effect.
     pub send_overhead_micros: Micros,
+    /// Maximum per-actor clock skew, µs. Each actor gets a fixed offset in
+    /// `[0, max]` (derived from the seed) added to every `ctx.now()` it
+    /// observes. Scheduling — message latencies, timer deadlines — stays on
+    /// the global clock; only the *observed* time shifts, the way a machine
+    /// with a fast wall clock stamps newer timestamps without making its
+    /// packets travel faster. Zero (the default) disables skew.
+    pub clock_skew_max_micros: Micros,
 }
 
 impl Default for SimConfig {
@@ -53,6 +60,7 @@ impl Default for SimConfig {
             seed: 0x5_ED_AA, // "SEDNA"
             link: LinkModel::gigabit_lan(),
             send_overhead_micros: 0,
+            clock_skew_max_micros: 0,
         }
     }
 }
@@ -100,6 +108,8 @@ pub struct Sim<M: MessageSize + Send + 'static> {
     config: SimConfig,
     actors: Vec<Box<dyn Actor<Msg = M>>>,
     actor_rngs: Vec<Xoshiro256>,
+    /// Fixed per-actor clock offset (see [`SimConfig::clock_skew_max_micros`]).
+    actor_skews: Vec<Micros>,
     link_rng: Xoshiro256,
     now: Micros,
     seq: u64,
@@ -133,6 +143,7 @@ impl<M: MessageSize + Send + 'static> Sim<M> {
             config,
             actors: Vec::new(),
             actor_rngs: Vec::new(),
+            actor_skews: Vec::new(),
             link_rng,
             now: 0,
             seq: 0,
@@ -164,6 +175,13 @@ impl<M: MessageSize + Send + 'static> Sim<M> {
         self.actor_rngs.push(Xoshiro256::seeded(
             self.config.seed ^ (0x9E37 + id.0 as u64 * 0x1_0001),
         ));
+        let skew = if self.config.clock_skew_max_micros == 0 {
+            0
+        } else {
+            Xoshiro256::seeded(self.config.seed ^ (0xC10C + id.0 as u64 * 0x1_0003))
+                .next_below(self.config.clock_skew_max_micros + 1)
+        };
+        self.actor_skews.push(skew);
         self.cpu_free.push(0);
         self.cpu_of.push(id.index());
         if self.started {
@@ -236,6 +254,26 @@ impl<M: MessageSize + Send + 'static> Sim<M> {
     pub fn restart(&mut self, id: ActorId) {
         self.set_down(id, false);
         self.run_callback(id, |actor, ctx| actor.on_start(ctx));
+    }
+
+    /// Replaces an actor's implementation in place, keeping its id, CPU
+    /// queue, RNG stream and clock skew. Pending timers for the old actor
+    /// are invalidated; `on_start` is *not* run — compose with
+    /// [`Sim::restart`] to boot the replacement. This is how a harness
+    /// models a process that loses its memory across a crash (a node
+    /// rebuilt from its write-ahead log, or rebuilt empty).
+    pub fn replace_actor(&mut self, id: ActorId, actor: Box<dyn Actor<Msg = M>>) {
+        assert!(
+            id.index() < self.actors.len(),
+            "replace_actor: unknown actor {id:?}"
+        );
+        self.actors[id.index()] = actor;
+        self.timer_gens.retain(|(a, _), _| *a != id);
+    }
+
+    /// Sets the link-wide drop probability mid-run (a lossy-link episode).
+    pub fn set_drop_probability(&mut self, p: f64) {
+        self.config.link.drop_probability = p;
     }
 
     /// Blocks message delivery between `a` and `b` (both directions).
@@ -390,7 +428,10 @@ impl<M: MessageSize + Send + 'static> Sim<M> {
         effects.clear();
         {
             let rng = &mut self.actor_rngs[id.index()];
-            let mut ctx = Ctx::new(at, id, rng, &mut effects);
+            // The actor observes its own (possibly skewed) clock; effect
+            // scheduling below stays on the global clock.
+            let observed = at + self.actor_skews[id.index()];
+            let mut ctx = Ctx::new(observed, id, rng, &mut effects);
             f(self.actors[id.index()].as_mut(), &mut ctx);
         }
         self.apply_effects(id, at, &mut effects);
@@ -840,6 +881,7 @@ mod tests {
                 seed: 6,
                 link: LinkModel::instant(),
                 send_overhead_micros: overhead,
+                ..SimConfig::default()
             });
             let s1 = sim.add_actor(Box::new(Server {
                 service: 0,
@@ -910,5 +952,105 @@ mod tests {
         }));
         sim.run_until(12_345);
         assert_eq!(sim.now(), 12_345);
+    }
+
+    /// Records the time observed by the first timer fire.
+    struct ClockProbe {
+        observed: Option<Micros>,
+    }
+    impl Actor for ClockProbe {
+        type Msg = Msg;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.set_timer(TimerToken(0), 1_000);
+        }
+        fn on_message(&mut self, _f: ActorId, _m: Msg, _c: &mut Ctx<'_, Msg>) {}
+        fn on_timer(&mut self, _t: TimerToken, ctx: &mut Ctx<'_, Msg>) {
+            self.observed = Some(ctx.now());
+        }
+    }
+
+    #[test]
+    fn clock_skew_offsets_observed_time_not_scheduling() {
+        let mut sim: Sim<Msg> = Sim::new(SimConfig {
+            seed: 11,
+            link: LinkModel::instant(),
+            clock_skew_max_micros: 5_000,
+            ..SimConfig::default()
+        });
+        let ids: Vec<_> = (0..8)
+            .map(|_| sim.add_actor(Box::new(ClockProbe { observed: None })))
+            .collect();
+        sim.run_until_idle(1_000);
+        // The timer fires at global t=1000 for everyone; each probe reads
+        // 1000 + its own fixed skew. With an 8-actor sample at least two
+        // skews must differ.
+        assert_eq!(sim.now(), 1_000, "scheduling stays on the global clock");
+        let observed: Vec<_> = ids
+            .iter()
+            .map(|&id| sim.actor_ref::<ClockProbe>(id).unwrap().observed.unwrap())
+            .collect();
+        for &t in &observed {
+            assert!((1_000..=6_000).contains(&t), "observed {t}");
+        }
+        assert!(
+            observed.iter().any(|&t| t != observed[0]),
+            "skews should differ across actors: {observed:?}"
+        );
+        // Zero skew (the default) keeps observed == global time.
+        let mut plain: Sim<Msg> = Sim::new(SimConfig {
+            seed: 11,
+            link: LinkModel::instant(),
+            ..SimConfig::default()
+        });
+        let p = plain.add_actor(Box::new(ClockProbe { observed: None }));
+        plain.run_until_idle(1_000);
+        assert_eq!(
+            plain.actor_ref::<ClockProbe>(p).unwrap().observed,
+            Some(1_000)
+        );
+    }
+
+    #[test]
+    fn replace_actor_swaps_implementation_and_clears_timers() {
+        let (mut sim, server, clients) = build(1, 0, 5, 4);
+        sim.run_until_idle(1_000_000);
+        assert!(sim
+            .actor_ref::<Client>(clients[0])
+            .unwrap()
+            .done_at
+            .is_some());
+        // Crash the server, replace it with a fresh one (memory lost), boot.
+        sim.set_down(server, true);
+        sim.replace_actor(
+            server,
+            Box::new(Server {
+                service: 0,
+                handled: 0,
+            }),
+        );
+        sim.restart(server);
+        sim.restart(clients[0]);
+        sim.run_until_idle(1_000_000);
+        let s = sim.actor_ref::<Server>(server).unwrap();
+        assert_eq!(s.handled, 5, "replacement started from scratch");
+    }
+
+    #[test]
+    fn set_drop_probability_toggles_loss_mid_run() {
+        let (mut sim, server, _clients) = build(1, 0, 1_000, 8);
+        sim.set_drop_probability(1.0);
+        sim.run_until(200_000);
+        assert_eq!(sim.actor_ref::<Server>(server).unwrap().handled, 0);
+        let dropped = sim.stats().messages_dropped;
+        assert!(dropped >= 1);
+        sim.set_drop_probability(0.0);
+        // The closed-loop client is stalled on a lost ping; re-kick it.
+        sim.restart(_clients[0]);
+        sim.run_until_idle(10_000_000);
+        assert!(sim
+            .actor_ref::<Client>(_clients[0])
+            .unwrap()
+            .done_at
+            .is_some());
     }
 }

@@ -41,6 +41,12 @@ pub struct PersistEngine {
     last_flush: Mutex<Micros>,
     /// Flush/snapshot count (metrics/tests).
     flushes: Mutex<u64>,
+    /// Crash-point injection: `Some(n)` tears the WAL frame on the append
+    /// after `n` more successful ones (see [`PersistEngine::arm_crash_after`]).
+    crash_after: Mutex<Option<u64>>,
+    /// Once a crash point fired (or [`PersistEngine::inject_torn_append`]
+    /// ran), every further append fails — the simulated process is dead.
+    crashed: Mutex<bool>,
 }
 
 impl PersistEngine {
@@ -60,6 +66,8 @@ impl PersistEngine {
             wal,
             last_flush: Mutex::new(0),
             flushes: Mutex::new(0),
+            crash_after: Mutex::new(None),
+            crashed: Mutex::new(false),
         })
     }
 
@@ -83,35 +91,72 @@ impl PersistEngine {
         value: &Value,
         latest: bool,
     ) -> SednaResult<()> {
-        if let Some(wal) = &self.wal {
-            let record = if latest {
-                WalRecord::WriteLatest {
-                    key: key.clone(),
-                    ts,
-                    value: value.clone(),
-                }
-            } else {
-                WalRecord::WriteAll {
-                    key: key.clone(),
-                    ts,
-                    value: value.clone(),
-                }
-            };
-            let mut wal = wal.lock();
-            wal.append(&record)?;
-            wal.sync()?;
-        }
-        Ok(())
+        let record = if latest {
+            WalRecord::WriteLatest {
+                key: key.clone(),
+                ts,
+                value: value.clone(),
+            }
+        } else {
+            WalRecord::WriteAll {
+                key: key.clone(),
+                ts,
+                value: value.clone(),
+            }
+        };
+        self.append_record(&record)
     }
 
     /// Called on key removal.
     pub fn note_remove(&self, key: &Key) -> SednaResult<()> {
+        self.append_record(&WalRecord::Remove { key: key.clone() })
+    }
+
+    fn append_record(&self, record: &WalRecord) -> SednaResult<()> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        if *self.crashed.lock() {
+            return Err(crash_error());
+        }
+        if let Some(n) = self.crash_after.lock().as_mut() {
+            if *n == 0 {
+                wal.lock().append_torn(record)?;
+                *self.crashed.lock() = true;
+                return Err(crash_error());
+            }
+            *n -= 1;
+        }
+        let mut wal = wal.lock();
+        wal.append(record)?;
+        wal.sync()?;
+        Ok(())
+    }
+
+    /// Crash-point injection: writes a torn frame at the current log tail
+    /// and marks the engine dead (every later append fails). A nemesis
+    /// applies this in the same instant it crashes the owning node, so
+    /// recovery replays a mid-append power cut. No-op outside `WriteAhead`.
+    pub fn inject_torn_append(&self) -> SednaResult<()> {
         if let Some(wal) = &self.wal {
-            let mut wal = wal.lock();
-            wal.append(&WalRecord::Remove { key: key.clone() })?;
-            wal.sync()?;
+            wal.lock().append_torn(&WalRecord::Remove {
+                key: Key::from("__torn__"),
+            })?;
+            *self.crashed.lock() = true;
         }
         Ok(())
+    }
+
+    /// Arms a deterministic crash point: after `appends` more successful
+    /// appends, the next one writes a torn frame, fails, and kills the
+    /// engine. Unit-test companion to [`PersistEngine::inject_torn_append`].
+    pub fn arm_crash_after(&self, appends: u64) {
+        *self.crash_after.lock() = Some(appends);
+    }
+
+    /// True once a crash point fired.
+    pub fn crashed(&self) -> bool {
+        *self.crashed.lock()
     }
 
     /// Periodic driver: takes a snapshot when the policy's interval has
@@ -146,12 +191,16 @@ impl PersistEngine {
     }
 
     /// Boot-time recovery: loads the snapshot, then replays the WAL on top.
-    /// Returns `(snapshot_rows, wal_records)`.
+    /// A torn tail (crash mid-append) is truncated away so the log is
+    /// clean for post-recovery appends. Returns `(snapshot_rows,
+    /// wal_records)`.
     pub fn recover(&self, store: &MemStore) -> SednaResult<(u64, u64)> {
         let rows = load_snapshot(&self.snapshot_path, store)?;
         let mut replayed = 0u64;
         if self.wal.is_some() {
-            let records = Wal::replay(self.snapshot_path.with_file_name("store.wal"))?;
+            let wal_path = self.snapshot_path.with_file_name("store.wal");
+            let records = Wal::replay(&wal_path)?;
+            Wal::repair(&wal_path)?;
             replayed = records.len() as u64;
             for r in records {
                 match r {
@@ -169,6 +218,12 @@ impl PersistEngine {
         }
         Ok((rows, replayed))
     }
+}
+
+/// The error a dead engine returns for every append: the process hosting
+/// it has "crashed", so nothing more reaches the disk.
+fn crash_error() -> sedna_common::SednaError {
+    sedna_common::SednaError::Io(std::io::Error::other("injected WAL crash point"))
 }
 
 #[cfg(test)]
@@ -284,6 +339,71 @@ mod tests {
         assert_eq!((rows, replayed), (1, 1));
         assert!(fresh.contains(&Key::from("a")));
         assert!(fresh.contains(&Key::from("b")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn armed_crash_point_tears_wal_and_recovery_repairs_it() {
+        let dir = tmp_dir("crashpoint");
+        let mode = PersistMode::WriteAhead {
+            snapshot_interval_micros: 1_000_000,
+        };
+        {
+            let e = PersistEngine::new(&dir, mode).unwrap();
+            e.arm_crash_after(2);
+            for i in 0..2u64 {
+                let k = Key::from(format!("k{i}"));
+                e.note_write(&k, ts(i + 1), &Value::from("v"), true)
+                    .unwrap();
+            }
+            // Third append hits the crash point: torn frame, engine dead.
+            let torn = e.note_write(&Key::from("k2"), ts(3), &Value::from("v"), true);
+            assert!(torn.is_err());
+            assert!(e.crashed());
+            assert!(
+                e.note_write(&Key::from("k3"), ts(4), &Value::from("v"), true)
+                    .is_err(),
+                "a crashed engine stays dead"
+            );
+        }
+        // Recovery sees only the two intact records and repairs the tail.
+        let e = PersistEngine::new(&dir, mode).unwrap();
+        let fresh = MemStore::new(StoreConfig::default());
+        let (rows, replayed) = e.recover(&fresh).unwrap();
+        assert_eq!((rows, replayed), (0, 2));
+        assert!(!fresh.contains(&Key::from("k2")), "torn write never lands");
+        // Post-recovery appends must survive a *second* recovery — this is
+        // what the tail repair buys.
+        e.note_write(&Key::from("after"), ts(9), &Value::from("v"), true)
+            .unwrap();
+        let again = MemStore::new(StoreConfig::default());
+        let (_, replayed2) = PersistEngine::new(&dir, mode)
+            .unwrap()
+            .recover(&again)
+            .unwrap();
+        assert_eq!(replayed2, 3);
+        assert!(again.contains(&Key::from("after")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inject_torn_append_kills_engine_without_losing_prefix() {
+        let dir = tmp_dir("inject");
+        let mode = PersistMode::WriteAhead {
+            snapshot_interval_micros: 1_000_000,
+        };
+        {
+            let e = PersistEngine::new(&dir, mode).unwrap();
+            e.note_write(&Key::from("a"), ts(1), &Value::from("1"), true)
+                .unwrap();
+            e.inject_torn_append().unwrap();
+            assert!(e.crashed());
+        }
+        let fresh = MemStore::new(StoreConfig::default());
+        let e = PersistEngine::new(&dir, mode).unwrap();
+        let (_, replayed) = e.recover(&fresh).unwrap();
+        assert_eq!(replayed, 1, "intact prefix survives the torn tail");
+        assert!(fresh.contains(&Key::from("a")));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

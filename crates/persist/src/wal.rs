@@ -137,6 +137,24 @@ impl Wal {
         Ok(())
     }
 
+    /// Crash-point injection: appends only a *prefix* of the record's frame
+    /// and flushes it, leaving the same torn tail a power cut mid-`append`
+    /// would. Replay must stop cleanly before it and [`Wal::repair`] must
+    /// cut it off.
+    pub fn append_torn(&mut self, record: &WalRecord) -> SednaResult<()> {
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        // Keep the length header but lose part of the payload — the torn
+        // frame claims more bytes than the file holds.
+        let keep = 8 + payload.len() / 2;
+        self.writer.write_all(&frame[..keep])?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
     /// Truncates the log (after a snapshot made its contents redundant).
     pub fn truncate(&mut self) -> SednaResult<()> {
         self.writer.flush()?;
@@ -152,12 +170,18 @@ impl Wal {
     /// Replays every intact record from a log file. A torn or corrupt tail
     /// ends the replay without error; a missing file yields zero records.
     pub fn replay(path: impl AsRef<Path>) -> SednaResult<Vec<WalRecord>> {
+        Ok(Wal::scan(path)?.0)
+    }
+
+    /// Like [`Wal::replay`], additionally reporting how many leading bytes
+    /// of the file hold intact frames and the total file size.
+    pub fn scan(path: impl AsRef<Path>) -> SednaResult<(Vec<WalRecord>, u64, u64)> {
         let mut bytes = Vec::new();
         match File::open(path.as_ref()) {
             Ok(mut f) => {
                 f.read_to_end(&mut bytes)?;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0, 0)),
             Err(e) => return Err(SednaError::Io(e)),
         }
         let mut records = Vec::new();
@@ -180,7 +204,22 @@ impl Wal {
             }
             pos = end;
         }
-        Ok(records)
+        Ok((records, pos as u64, bytes.len() as u64))
+    }
+
+    /// Truncates a log to its intact prefix, discarding a torn or corrupt
+    /// tail. Without this, appends made *after* a crash-recovery land
+    /// behind the junk bytes and a second replay would stop before ever
+    /// reaching them. Returns the number of bytes cut. Missing file is a
+    /// no-op.
+    pub fn repair(path: impl AsRef<Path>) -> SednaResult<u64> {
+        let (_, valid, total) = Wal::scan(path.as_ref())?;
+        if total == valid {
+            return Ok(0);
+        }
+        let f = OpenOptions::new().write(true).open(path.as_ref())?;
+        f.set_len(valid)?;
+        Ok(total - valid)
     }
 }
 
@@ -286,6 +325,31 @@ mod tests {
         wal.sync().unwrap();
         let replayed = Wal::replay(&path).unwrap();
         assert_eq!(replayed, vec![rec(99)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_append_then_repair_keeps_later_appends_replayable() {
+        let path = tmp("torn-repair");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&rec(1)).unwrap();
+            wal.append_torn(&rec(2)).unwrap();
+        }
+        // First recovery: only the intact prefix replays; repair cuts the
+        // torn frame off.
+        let (records, valid, total) = Wal::scan(&path).unwrap();
+        assert_eq!(records, vec![rec(1)]);
+        assert!(total > valid, "torn bytes present");
+        assert_eq!(Wal::repair(&path).unwrap(), total - valid);
+        assert_eq!(Wal::repair(&path).unwrap(), 0, "repair is idempotent");
+        // Appends after the repair must be visible to a second replay.
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&rec(3)).unwrap();
+            wal.sync().unwrap();
+        }
+        assert_eq!(Wal::replay(&path).unwrap(), vec![rec(1), rec(3)]);
         std::fs::remove_file(&path).unwrap();
     }
 
