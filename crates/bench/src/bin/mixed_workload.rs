@@ -389,11 +389,15 @@ fn obs_ablation() {
          \"ops_per_client\": 3000,\n    \"read_fraction\": 0.5,\n    \"trials\": 3\n  }},\n  \
          \"wall_ms_on\": {:.2},\n  \"wall_ms_off\": {:.2},\n  \
          \"overhead_pct\": {overhead_pct:.2},\n  \"registry_p50_micros\": {},\n  \
-         \"registry_p99_micros\": {}\n}}\n",
+         \"registry_p99_micros\": {},\n  \"registry_mean_micros\": {},\n  \
+         \"registry_min_micros\": {},\n  \"registry_max_micros\": {}\n}}\n",
         on.wall.as_secs_f64() * 1_000.0,
         off.wall.as_secs_f64() * 1_000.0,
         lat.percentile(0.50),
         lat.percentile(0.99),
+        lat.mean(),
+        lat.min,
+        lat.max,
     );
     std::fs::write("BENCH_obs.json", json).expect("write BENCH_obs.json");
     println!("# wrote BENCH_obs.json");
@@ -404,19 +408,20 @@ fn main() {
         "# mixed_workload — read-fraction × key-skew ablation (9 nodes, 9 clients, 5k ops each)"
     );
     println!(
-        "{:>14} {:>12} {:>16} {:>8} {:>10} {:>10}",
-        "read_fraction", "skew", "agg_kops/s", "errors", "p50_us", "p99_us"
+        "{:>14} {:>12} {:>16} {:>8} {:>10} {:>10} {:>10}",
+        "read_fraction", "skew", "agg_kops/s", "errors", "mean_us", "p50_us", "p99_us"
     );
     for &rf in &[0.0, 0.5, 0.9, 1.0] {
         for &zipf in &[false, true] {
             let r = run(rf, zipf, 9, 5_000, 0x5_ED_B0, true);
             let lat = r.latency();
             println!(
-                "{:>14} {:>12} {:>16.1} {:>8} {:>10} {:>10}",
+                "{:>14} {:>12} {:>16.1} {:>8} {:>10} {:>10} {:>10}",
                 rf,
                 if zipf { "zipf(.99)" } else { "uniform" },
                 r.kops,
                 r.errors,
+                lat.mean(),
                 lat.percentile(0.50),
                 lat.percentile(0.99),
             );

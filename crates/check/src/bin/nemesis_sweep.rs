@@ -110,6 +110,11 @@ fn write_artifact(
     for ev in &report.history[tail_from..] {
         writeln!(f, "  {ev:?}")?;
     }
+    // The violating run's own observability snapshot (staleness lags,
+    // repair counters, journal gauges) as a sidecar for debugging.
+    let metrics_path = dir.join(format!("seed-{}-metrics.json", report.seed));
+    std::fs::write(&metrics_path, &report.metrics_json)?;
+    writeln!(f, "\nmetrics snapshot: {}", metrics_path.display())?;
     Ok(path)
 }
 

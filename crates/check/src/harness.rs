@@ -150,6 +150,24 @@ pub struct RunReport {
     pub ops_done: u64,
     /// Recorded history (for artifacts / debugging).
     pub history: Vec<HistoryEvent>,
+    /// Cluster-wide metrics (JSON) captured after the post-heal quiesce —
+    /// written alongside failure artifacts so a violating run carries its
+    /// own observability snapshot.
+    pub metrics_json: String,
+    /// Aggregated staleness-tracker readings across the workload clients.
+    pub staleness: StalenessSummary,
+}
+
+/// End-of-run staleness-lag tracker totals (summed over clients).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StalenessSummary {
+    /// Stale replicas detected during quorum reads (samples in the
+    /// ts-delta histogram).
+    pub lags_recorded: u64,
+    /// Repair pushes still awaiting acknowledgement when the run ended.
+    pub outstanding_repairs: u64,
+    /// Repair round-trips that completed (convergence samples).
+    pub repairs_converged: u64,
 }
 
 impl RunReport {
@@ -332,6 +350,27 @@ pub fn run_with_schedule(seed: u64, cfg: &HarnessConfig, schedule: &[ScheduledFa
     cluster.sim.run_until(cluster.sim.now() + quiesce);
 
     let events = history.events();
+    // Merge the workload clients' registries into the cluster snapshot:
+    // the staleness-lag tracker lives client-side, and a violating run's
+    // artifact should carry those readings too.
+    let mut snap = cluster.metrics_snapshot();
+    for &id in &client_actors {
+        if let Some(c) = cluster.sim.actor_ref::<WorkloadClient>(id) {
+            snap.merge(&c.core.obs().snapshot());
+        }
+    }
+    let staleness = StalenessSummary {
+        lags_recorded: snap
+            .hists
+            .get("sedna_staleness_ts_delta_micros")
+            .map_or(0, |h| h.count),
+        outstanding_repairs: snap.gauge("sedna_client_outstanding_repairs"),
+        repairs_converged: snap
+            .hists
+            .get("sedna_staleness_convergence_micros")
+            .map_or(0, |h| h.count),
+    };
+    let metrics_json = snap.to_json();
     let mut violations = Vec::new();
     let final_state = final_replica_state(&cluster);
     match (cfg.profile, cfg.broken) {
@@ -364,6 +403,8 @@ pub fn run_with_schedule(seed: u64, cfg: &HarnessConfig, schedule: &[ScheduledFa
         violations,
         ops_done,
         history: events,
+        metrics_json,
+        staleness,
     }
 }
 

@@ -31,6 +31,8 @@ pub mod shrink;
 pub use checker::{
     acked_writes, check_lost_writes, check_replica_agreement, check_sessions, Violation,
 };
-pub use harness::{run_nemesis, run_with_schedule, HarnessConfig, Profile, RunReport};
+pub use harness::{
+    run_nemesis, run_with_schedule, HarnessConfig, Profile, RunReport, StalenessSummary,
+};
 pub use nemesis::{generate, schedule_end, NemesisConfig};
 pub use shrink::{render_repro, shrink};

@@ -1,0 +1,497 @@
+//! The scrapeable per-node admin surface.
+//!
+//! A deployment is only observable if an operator can point `curl` (or a
+//! Prometheus scraper) at it. This module provides that: an [`AdminActor`]
+//! that runs on the threaded net stack like any other actor, owns a plain
+//! TCP listener, and answers minimal HTTP/1.0 `GET`s:
+//!
+//! * `/metrics`    — Prometheus text exposition of the cluster-merged
+//!   registries, plus live hot-key gauges rendered from the per-node
+//!   telemetry (they carry a `key` label, so they are rendered fresh per
+//!   scrape instead of churning stale series through a registry).
+//! * `/journal`    — the merged event journals as JSON.
+//! * `/vnodes`     — per-node per-vnode read/write/bytes/keys rows as JSON.
+//! * `/hotkeys`    — per-node Space-Saving hot-key estimates as JSON.
+//! * `/staleness`  — the rolling-window staleness-lag view as JSON:
+//!   windowed ts-delta / age / convergence histograms, outstanding repair
+//!   pushes, and a derived cluster ops/sec rate.
+//!
+//! The HTTP support is deliberately tiny (request line + headers in,
+//! `Connection: close` out, one request per connection) so the surface
+//! stays dependency-free and boringly auditable.
+//!
+//! Shared state flows the same way the cluster harness already shares
+//! metrics: `Arc` handles ([`NodeTelemetry`], registries, journals,
+//! staleness windows) are captured *before* each actor moves into its
+//! thread, and the admin actor reads them lock-lightly on demand.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use sedna_common::time::Micros;
+use sedna_common::{NodeId, VNodeId};
+use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_obs::escape_label_value;
+use sedna_obs::hist::HistSnapshot;
+use sedna_obs::journal::EventJournal;
+use sedna_obs::registry::{MetricsSnapshot, Registry};
+use sedna_obs::window::RateTracker;
+use sedna_ring::{HotKeyRow, VNodeStats};
+
+use crate::client::StalenessWindows;
+use crate::messages::SednaMsg;
+
+const T_ADMIN_POLL: TimerToken = TimerToken(0xAD_01);
+/// Accept-poll cadence. Short enough that `curl` feels instant, long
+/// enough that an idle admin actor costs nothing measurable.
+const POLL_MICROS: Micros = 25_000;
+/// Upper bound on accepted connections handled per poll tick.
+const MAX_CONNS_PER_POLL: usize = 32;
+/// Upper bound on request bytes read before answering 400.
+const MAX_REQUEST_BYTES: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Per-node telemetry
+// ---------------------------------------------------------------------------
+
+/// One vnode's load counters as last published by its node.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VNodeRow {
+    /// The vnode.
+    pub vnode: VNodeId,
+    /// Reads served.
+    pub reads: u64,
+    /// Writes applied.
+    pub writes: u64,
+    /// Stored payload bytes.
+    pub bytes: u64,
+    /// Stored keys.
+    pub keys: u64,
+}
+
+#[derive(Default)]
+struct TelemetryInner {
+    updated_micros: Micros,
+    vnodes: Vec<VNodeRow>,
+    hot_keys: Vec<HotKeyRow>,
+}
+
+/// A node's live per-vnode load and hot-key view, shared with the admin
+/// surface the way registries are: the node keeps the `Arc` and refreshes
+/// it on every stats tick; the admin actor reads it on demand.
+#[derive(Default)]
+pub struct NodeTelemetry {
+    inner: Mutex<TelemetryInner>,
+}
+
+impl NodeTelemetry {
+    /// Replaces the published view (called from the node's stats tick).
+    pub fn publish(
+        &self,
+        now: Micros,
+        owned: &[VNodeId],
+        stats: &[VNodeStats],
+        hot_keys: Vec<HotKeyRow>,
+    ) {
+        let vnodes = owned
+            .iter()
+            .map(|&v| {
+                let s = &stats[v.index()];
+                VNodeRow {
+                    vnode: v,
+                    reads: s.reads,
+                    writes: s.writes,
+                    bytes: s.bytes,
+                    keys: s.keys,
+                }
+            })
+            .collect();
+        let mut inner = self.inner.lock();
+        inner.updated_micros = now;
+        inner.vnodes = vnodes;
+        inner.hot_keys = hot_keys;
+    }
+
+    /// Last publish time and the per-vnode rows.
+    pub fn vnodes(&self) -> (Micros, Vec<VNodeRow>) {
+        let inner = self.inner.lock();
+        (inner.updated_micros, inner.vnodes.clone())
+    }
+
+    /// The node's current hot-key estimates, hottest first.
+    pub fn hot_keys(&self) -> Vec<HotKeyRow> {
+        self.inner.lock().hot_keys.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admin state + actor
+// ---------------------------------------------------------------------------
+
+/// Everything the admin surface serves, captured before the owning actors
+/// moved into their threads.
+#[derive(Default)]
+pub struct AdminState {
+    /// Metric registries (nodes, manager, gateways).
+    pub registries: Vec<Arc<Registry>>,
+    /// Event journals, merged and time-ordered on demand.
+    pub journals: Vec<Arc<EventJournal>>,
+    /// Per-node telemetry, indexed by position (node id order).
+    pub telemetry: Vec<(NodeId, Arc<NodeTelemetry>)>,
+    /// Staleness windows of every client/gateway in the deployment.
+    pub staleness: Vec<Arc<StalenessWindows>>,
+}
+
+impl AdminState {
+    fn merged_snapshot(&self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::default();
+        for reg in &self.registries {
+            merged.merge(&reg.snapshot());
+        }
+        merged
+    }
+}
+
+/// The admin actor: owns a non-blocking [`TcpListener`] and polls accepts
+/// from its timer, so it coexists with the one-thread-per-actor runtime
+/// without ever blocking the net stack.
+pub struct AdminActor {
+    listener: TcpListener,
+    state: AdminState,
+    /// Cluster ops/sec derived from the cumulative read+write gauges,
+    /// sampled once per poll tick.
+    ops_rate: RateTracker,
+}
+
+impl AdminActor {
+    /// Binds the admin listener (use port 0 for an ephemeral port) and
+    /// returns the actor plus the bound address.
+    pub fn bind(addr: &str, state: AdminState) -> std::io::Result<(AdminActor, SocketAddr)> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        Ok((
+            AdminActor {
+                listener,
+                state,
+                ops_rate: RateTracker::new(1_000_000, 30),
+            },
+            local,
+        ))
+    }
+
+    fn poll(&mut self, now: Micros) {
+        let snap = self.state.merged_snapshot();
+        let ops = snap.gauge("sedna_node_reads") + snap.gauge("sedna_node_writes");
+        self.ops_rate.observe(now, ops);
+        for _ in 0..MAX_CONNS_PER_POLL {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.serve(stream, now),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn serve(&self, mut stream: TcpStream, now: Micros) {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+        let Some(path) = read_request_path(&mut stream) else {
+            respond(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain",
+                "bad request\n",
+            );
+            return;
+        };
+        match path.as_str() {
+            "/metrics" => {
+                let body = self.render_metrics(now);
+                respond(
+                    &mut stream,
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &body,
+                );
+            }
+            "/journal" => respond(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &self.render_journal(),
+            ),
+            "/vnodes" => respond(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &self.render_vnodes(),
+            ),
+            "/hotkeys" => respond(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &self.render_hotkeys(),
+            ),
+            "/staleness" => respond(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &self.render_staleness(now),
+            ),
+            _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+        }
+    }
+
+    /// The Prometheus exposition: every registry merged, plus hot-key
+    /// gauges rendered live from telemetry. The hot-key series carry a
+    /// `key` label and churn as the sketch evicts, so they are rendered per
+    /// scrape rather than parked in a registry where evicted keys would
+    /// linger forever.
+    fn render_metrics(&self, now: Micros) -> String {
+        let mut out = self.state.merged_snapshot().to_prometheus();
+        let mut hot = String::new();
+        for (node, telemetry) in &self.state.telemetry {
+            for hk in telemetry.hot_keys() {
+                let key = escape_label_value(&String::from_utf8_lossy(hk.key.as_bytes()));
+                hot.push_str(&format!(
+                    "sedna_hotkey_ops{{node=\"{}\",vnode=\"{}\",key=\"{}\"}} {}\n",
+                    node.0, hk.vnode.0, key, hk.count
+                ));
+            }
+        }
+        if !hot.is_empty() {
+            out.push_str(
+                "# HELP sedna_hotkey_ops Estimated accesses per hot key (Space-Saving upper bound).\n",
+            );
+            out.push_str("# TYPE sedna_hotkey_ops gauge\n");
+            out.push_str(&hot);
+        }
+        out.push_str(
+            "# HELP sedna_admin_ops_per_sec Cluster read+write throughput over the rate window.\n",
+        );
+        out.push_str("# TYPE sedna_admin_ops_per_sec gauge\n");
+        out.push_str(&format!(
+            "sedna_admin_ops_per_sec {}\n",
+            self.ops_rate.rate_per_sec(now)
+        ));
+        out
+    }
+
+    fn render_journal(&self) -> String {
+        let mut events = Vec::new();
+        for j in &self.state.journals {
+            events.extend(j.events());
+        }
+        events.sort_by_key(|e| e.at);
+        let mut out = String::from("{\"events\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"at\":{},\"event\":\"{}\"}}",
+                e.at,
+                json_escape(&e.kind.to_string())
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn render_vnodes(&self) -> String {
+        let mut out = String::from("{\"nodes\":[");
+        for (i, (node, telemetry)) in self.state.telemetry.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (updated, rows) = telemetry.vnodes();
+            out.push_str(&format!(
+                "{{\"node\":{},\"updated_micros\":{},\"vnodes\":[",
+                node.0, updated
+            ));
+            for (j, r) in rows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"vnode\":{},\"reads\":{},\"writes\":{},\"bytes\":{},\"keys\":{}}}",
+                    r.vnode.0, r.reads, r.writes, r.bytes, r.keys
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn render_hotkeys(&self) -> String {
+        let mut out = String::from("{\"nodes\":[");
+        for (i, (node, telemetry)) in self.state.telemetry.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"node\":{},\"hot_keys\":[", node.0));
+            for (j, hk) in telemetry.hot_keys().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"vnode\":{},\"key\":\"{}\",\"count\":{}}}",
+                    hk.vnode.0,
+                    json_escape(&String::from_utf8_lossy(hk.key.as_bytes())),
+                    hk.count
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn render_staleness(&self, now: Micros) -> String {
+        let mut ts_delta = HistSnapshot::default();
+        let mut age = HistSnapshot::default();
+        let mut convergence = HistSnapshot::default();
+        let mut outstanding = 0u64;
+        for w in &self.state.staleness {
+            ts_delta.merge(&w.ts_delta.merged(now));
+            age.merge(&w.age.merged(now));
+            convergence.merge(&w.convergence.merged(now));
+            outstanding += w.outstanding();
+        }
+        format!(
+            "{{\"now_micros\":{},\"ops_per_sec\":{},\"outstanding_repairs\":{},\
+             \"ts_delta_micros\":{},\"age_micros\":{},\"convergence_micros\":{}}}",
+            now,
+            self.ops_rate.rate_per_sec(now),
+            outstanding,
+            hist_json(&ts_delta),
+            hist_json(&age),
+            hist_json(&convergence),
+        )
+    }
+}
+
+impl Actor for AdminActor {
+    type Msg = SednaMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        ctx.set_timer(T_ADMIN_POLL, POLL_MICROS);
+    }
+
+    fn on_message(&mut self, _from: ActorId, _msg: SednaMsg, _ctx: &mut Ctx<'_, SednaMsg>) {
+        // The admin surface speaks HTTP, not the actor protocol.
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_, SednaMsg>) {
+        if token == T_ADMIN_POLL {
+            self.poll(ctx.now());
+            ctx.set_timer(T_ADMIN_POLL, POLL_MICROS);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tiny HTTP + JSON helpers
+// ---------------------------------------------------------------------------
+
+/// Reads until the header terminator and returns the request path of a
+/// `GET`; `None` on anything else (oversized, non-GET, torn request).
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        if buf.len() > MAX_REQUEST_BYTES {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let mut parts = text.lines().next()?.split_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    let path = parts.next()?;
+    // Ignore query strings: `/metrics?x=y` serves `/metrics`.
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn hist_json(h: &HistSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p95\":{}}}",
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        h.mean(),
+        h.percentile(0.95)
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn telemetry_publish_and_read_back() {
+        let t = NodeTelemetry::default();
+        let mut stats = vec![VNodeStats::default(); 4];
+        stats[2].reads = 7;
+        stats[2].bytes = 128;
+        t.publish(
+            1_000,
+            &[VNodeId(2)],
+            &stats,
+            vec![HotKeyRow {
+                vnode: VNodeId(2),
+                key: sedna_common::Key::from("k"),
+                count: 7,
+            }],
+        );
+        let (at, rows) = t.vnodes();
+        assert_eq!(at, 1_000);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].reads, 7);
+        assert_eq!(t.hot_keys().len(), 1);
+    }
+}

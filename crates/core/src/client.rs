@@ -14,6 +14,7 @@
 //! data nodes reuse `QuorumWriter` for trigger-emitted writes.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sedna_common::time::{Micros, Timestamp};
@@ -22,8 +23,9 @@ use sedna_coord::client::{LeaseCache, LeaseConfig, SessionClient, SessionConfig,
 use sedna_coord::messages::{CoordMsg, CoordOp, CoordReply};
 use sedna_net::actor::ActorId;
 use sedna_obs::journal::{EventJournal, EventKind};
-use sedna_obs::registry::{Counter, Hist, MetricsSnapshot, Registry};
+use sedna_obs::registry::{Counter, Gauge, Hist, MetricsSnapshot, Registry};
 use sedna_obs::trace::TraceTracker;
+use sedna_obs::window::WindowedHistogram;
 use sedna_replication::{
     plan_repair, ReadCoordinator, ReadOutcome, RepairAction, ReplicaRead, ReplicaWriteResult,
     WriteCoordinator, WriteOutcomeAgg,
@@ -205,6 +207,22 @@ struct PendingRead {
     trace: TraceId,
 }
 
+/// One replica a quorum read observed behind the merged view, with how far
+/// behind it was (paper Sec. III-C's read-recovery trigger, quantified).
+#[derive(Clone, Copy, Debug)]
+pub struct StaleLag {
+    /// The lagging replica.
+    pub node: NodeId,
+    /// True when the replica had no copy at all (vs. an old version).
+    pub missing: bool,
+    /// Timestamp delta between the freshest merged version and the
+    /// replica's newest version (0 when missing — nothing to diff).
+    pub ts_delta_micros: u64,
+    /// Timestamp of the freshest merged version — the update the replica
+    /// has not yet seen; its wall-clock age is derived at detection time.
+    pub freshest_micros: u64,
+}
+
 /// A finished read plus any repair traffic it generated.
 pub struct FinishedRead {
     /// The op id.
@@ -220,8 +238,8 @@ pub struct FinishedRead {
     /// VNode the key hashes to (for journal events).
     pub vnode: VNodeId,
     /// Replicas that answered stale or missing while a fresher version
-    /// exists elsewhere: `(replica, had_no_copy_at_all)`.
-    pub lagging: Vec<(NodeId, bool)>,
+    /// exists elsewhere, with their measured lag.
+    pub lagging: Vec<StaleLag>,
     /// True when the quorum did not reach clean R-agreement (the merged
     /// answer or an outright failure was returned instead).
     pub degraded: bool,
@@ -334,7 +352,7 @@ impl QuorumReader {
         let p = self.pending.remove(&req).expect("pending read");
         let mut repairs: ReplicaOutbox = Vec::new();
         let mut saw_failure = false;
-        let mut lagging: Vec<(NodeId, bool)> = Vec::new();
+        let mut lagging: Vec<StaleLag> = Vec::new();
         let mut degraded = false;
         let result = match outcome {
             ReadOutcome::Ok(values) => render(p.kind, Some(values)),
@@ -342,16 +360,28 @@ impl QuorumReader {
             ReadOutcome::Inconsistent { merged } => {
                 degraded = true;
                 // Which replicas lag behind the merged view (for the
-                // quorum-health journal): Missing = no copy at all,
-                // otherwise an older version than the freshest seen.
+                // quorum-health journal and the staleness-lag histograms):
+                // Missing = no copy at all, otherwise an older version than
+                // the freshest seen — recording *how far* behind either way.
                 if let Some(freshest) = merged.iter().map(|v| v.ts).max() {
                     for (node, reply) in p.coord.replies() {
                         match reply {
-                            ReplicaRead::Missing => lagging.push((*node, true)),
+                            ReplicaRead::Missing => lagging.push(StaleLag {
+                                node: *node,
+                                missing: true,
+                                ts_delta_micros: 0,
+                                freshest_micros: freshest.micros,
+                            }),
                             ReplicaRead::Values(v)
                                 if v.iter().map(|x| x.ts).max() < Some(freshest) =>
                             {
-                                lagging.push((*node, false));
+                                let newest = v.iter().map(|x| x.ts.micros).max().unwrap_or(0);
+                                lagging.push(StaleLag {
+                                    node: *node,
+                                    missing: false,
+                                    ts_delta_micros: freshest.micros.saturating_sub(newest),
+                                    freshest_micros: freshest.micros,
+                                });
                             }
                             _ => {}
                         }
@@ -365,9 +395,14 @@ impl QuorumReader {
                             RepairAction::Push { to, versions }
                             | RepairAction::Duplicate { to, versions, .. } => (to, versions),
                         };
+                        // Repair pushes draw correlation ids from the same
+                        // sequence as reads; their acks feed the
+                        // outstanding-repair / convergence tracker.
+                        self.next_req += 1;
                         repairs.push((
                             cfg.node_actor(to),
                             ReplicaOp::Push {
+                                req: RequestId(self.next_req),
                                 key: p.key.clone(),
                                 versions,
                             },
@@ -511,6 +546,43 @@ impl ScanCoordinator {
 // ClientObs
 // ---------------------------------------------------------------------------
 
+/// Width of one staleness window (10 s) and how many the ring retains (6,
+/// i.e. the `/staleness` view covers the last minute).
+const STALENESS_WINDOW_MICROS: u64 = 10_000_000;
+const STALENESS_WINDOWS_KEPT: usize = 6;
+
+/// Rolling-window view of replica staleness, shared (via `Arc`) with the
+/// admin surface so `/staleness` serves time-local percentiles instead of
+/// since-boot aggregates.
+pub struct StalenessWindows {
+    /// Freshest-vs-replica timestamp deltas (outdated replicas only).
+    pub ts_delta: WindowedHistogram,
+    /// Wall-clock age of the missed update at detection time (all lagging
+    /// replicas, missing included).
+    pub age: WindowedHistogram,
+    /// Detection → repair-ack convergence times.
+    pub convergence: WindowedHistogram,
+    outstanding: AtomicU64,
+}
+
+impl Default for StalenessWindows {
+    fn default() -> Self {
+        StalenessWindows {
+            ts_delta: WindowedHistogram::new(STALENESS_WINDOW_MICROS, STALENESS_WINDOWS_KEPT),
+            age: WindowedHistogram::new(STALENESS_WINDOW_MICROS, STALENESS_WINDOWS_KEPT),
+            convergence: WindowedHistogram::new(STALENESS_WINDOW_MICROS, STALENESS_WINDOWS_KEPT),
+            outstanding: AtomicU64::new(0),
+        }
+    }
+}
+
+impl StalenessWindows {
+    /// Repair pushes sent but not yet acknowledged (or expired).
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding.load(Ordering::Relaxed)
+    }
+}
+
 /// The client's observability surface: quorum-outcome counters, latency
 /// histograms, the per-op trace tracker, and the event journal that
 /// receives stale-replica and slow-op records.
@@ -534,12 +606,47 @@ pub struct ClientObs {
     write_latency: Hist,
     read_latency: Hist,
     ping_rtt: Hist,
+    // Staleness-lag tracking (tentpole): how far behind stale replicas are
+    // and how long repairs take to land.
+    stale_ts_delta: Hist,
+    stale_age: Hist,
+    repair_convergence: Hist,
+    outstanding_repairs: Gauge,
+    repair_acks: Counter,
+    repairs_expired: Counter,
+    staleness: Arc<StalenessWindows>,
+    /// Repair pushes in flight: correlation id → detection time.
+    pending_repairs: HashMap<RequestId, Micros>,
 }
 
 impl ClientObs {
     fn new(cfg: &ClusterConfig, origin: NodeId) -> ClientObs {
         let registry = Arc::new(Registry::new(cfg.metrics_enabled));
         let journal = Arc::new(EventJournal::new(cfg.journal_capacity));
+        registry.describe(
+            "sedna_staleness_ts_delta_micros",
+            "Timestamp delta between the freshest merged version and a stale replica's newest.",
+        );
+        registry.describe(
+            "sedna_staleness_age_micros",
+            "Wall-clock age of the update a lagging replica had not yet seen, at detection.",
+        );
+        registry.describe(
+            "sedna_staleness_convergence_micros",
+            "Stale-replica detection to repair-ack time (read recovery convergence).",
+        );
+        registry.describe(
+            "sedna_client_outstanding_repairs",
+            "Read-repair pushes sent but not yet acknowledged.",
+        );
+        registry.describe(
+            "sedna_client_stale_replicas_total",
+            "Stale or missing replicas observed by quorum reads.",
+        );
+        registry.describe(
+            "sedna_client_read_repairs_total",
+            "Read-repair pushes issued (paper Sec. III-C read recovery).",
+        );
         ClientObs {
             tracker: TraceTracker::new(origin.0 as u64),
             slow_threshold: cfg.slow_op_threshold_micros,
@@ -558,6 +665,14 @@ impl ClientObs {
             write_latency: registry.hist("sedna_client_write_latency_micros"),
             read_latency: registry.hist("sedna_client_read_latency_micros"),
             ping_rtt: registry.hist("sedna_coord_ping_rtt_micros"),
+            stale_ts_delta: registry.hist("sedna_staleness_ts_delta_micros"),
+            stale_age: registry.hist("sedna_staleness_age_micros"),
+            repair_convergence: registry.hist("sedna_staleness_convergence_micros"),
+            outstanding_repairs: registry.gauge("sedna_client_outstanding_repairs"),
+            repair_acks: registry.counter("sedna_client_repair_acks_total"),
+            repairs_expired: registry.counter("sedna_client_repairs_expired_total"),
+            staleness: Arc::new(StalenessWindows::default()),
+            pending_repairs: HashMap::new(),
             registry,
             journal,
         }
@@ -625,23 +740,45 @@ impl ClientObs {
         } else {
             self.reads_ok.inc();
         }
-        for &(node, missing) in &fin.lagging {
+        for lag in &fin.lagging {
             self.stale_replicas_seen.inc();
+            // How far behind: the ts delta to the replica's newest version
+            // (when it had one) and the wall-clock age of the update it
+            // missed. Windowed copies feed the admin /staleness view.
+            let age = now.saturating_sub(lag.freshest_micros);
+            if !lag.missing {
+                self.stale_ts_delta.record(lag.ts_delta_micros);
+            }
+            self.stale_age.record(age);
+            if self.registry.enabled() {
+                if !lag.missing {
+                    self.staleness.ts_delta.record(now, lag.ts_delta_micros);
+                }
+                self.staleness.age.record(now, age);
+            }
             self.journal.push(
                 now,
                 EventKind::StaleReplica {
                     trace: fin.trace,
                     vnode: fin.vnode,
-                    lagging: node,
-                    missing,
+                    lagging: lag.node,
+                    missing: lag.missing,
+                    lag_micros: lag.ts_delta_micros,
+                    age_micros: age,
                 },
             );
         }
-        for (to, _) in &fin.repairs {
+        for (to, op) in &fin.repairs {
             self.repairs_sent.inc();
             if let Some(node) = cfg.actor_node(*to) {
                 self.tracker.repaired(fin.trace, node, now);
             }
+            if let ReplicaOp::Push { req, .. } = op {
+                self.pending_repairs.insert(*req, now);
+            }
+        }
+        if !fin.repairs.is_empty() {
+            self.sync_outstanding();
         }
         self.tracker.assembled(fin.trace, now);
         if let Some(done) = self.tracker.finish(fin.trace, now) {
@@ -665,6 +802,44 @@ impl ClientObs {
                     },
                 );
             }
+        }
+    }
+
+    /// The rolling-window staleness view (share with an admin surface).
+    pub fn staleness(&self) -> &Arc<StalenessWindows> {
+        &self.staleness
+    }
+
+    fn sync_outstanding(&self) {
+        let n = self.pending_repairs.len() as u64;
+        self.outstanding_repairs.set(n);
+        self.staleness.outstanding.store(n, Ordering::Relaxed);
+    }
+
+    /// A replica acknowledged a repair push: close the convergence window.
+    fn repair_acked(&mut self, req: RequestId, now: Micros) {
+        if let Some(detected) = self.pending_repairs.remove(&req) {
+            self.repair_acks.inc();
+            let took = now.saturating_sub(detected);
+            self.repair_convergence.record(took);
+            if self.registry.enabled() {
+                self.staleness.convergence.record(now, took);
+            }
+            self.sync_outstanding();
+        }
+    }
+
+    /// Drops repair pushes that never got acknowledged (lost on a lossy or
+    /// partitioned link) so the outstanding depth converges back to zero —
+    /// anti-entropy will heal the replica instead.
+    fn expire_repairs(&mut self, now: Micros, ttl: Micros) {
+        let before = self.pending_repairs.len();
+        self.pending_repairs
+            .retain(|_, detected| now.saturating_sub(*detected) < ttl);
+        let dropped = before - self.pending_repairs.len();
+        if dropped > 0 {
+            self.repairs_expired.add(dropped as u64);
+            self.sync_outstanding();
         }
     }
 
@@ -1280,6 +1455,9 @@ impl ClientCore {
                     self.complete(fin.op_id, fin.result, events);
                 }
             }
+            ReplicaOp::PushAck { req } => {
+                self.obs.repair_acked(req, now);
+            }
             ReplicaOp::AckBatch { acks } => {
                 for ack in acks {
                     // Batches are never nested; skip malformed frames.
@@ -1364,6 +1542,10 @@ impl ClientCore {
             self.complete(fin.op_id, fin.result, &mut events);
         }
         self.flush_stage(now, &mut out);
+        // A repair push lost to the network must not pin the outstanding
+        // depth forever; anti-entropy converges the replica regardless.
+        self.obs
+            .expire_repairs(now, self.cfg.request_deadline_micros.saturating_mul(8));
         if now.saturating_sub(self.last_ping) >= self.cfg.ping_interval_micros {
             self.last_ping = now;
             if let Some((to, m)) = self.session.ping(now) {

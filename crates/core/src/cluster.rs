@@ -19,6 +19,7 @@ use sedna_obs::journal::{Event, EventJournal};
 use sedna_obs::registry::{MetricsSnapshot, Registry};
 use sedna_persist::PersistEngine;
 
+use crate::admin::{AdminActor, AdminState};
 use crate::client::{ClientCore, ClientEvent};
 use crate::config::ClusterConfig;
 use crate::fault::{ClusterFault, RestartKind, ScheduledFault};
@@ -541,15 +542,29 @@ pub struct ThreadCluster {
     registries: Vec<Arc<Registry>>,
     /// Event journals captured the same way.
     journals: Vec<Arc<EventJournal>>,
+    /// Bound address of the admin HTTP surface, when one was started.
+    admin_addr: Option<std::net::SocketAddr>,
 }
 
 impl ThreadCluster {
     /// Builds and starts the full deployment plus one gateway.
     pub fn start(config: ClusterConfig) -> Self {
+        Self::start_inner(config, false)
+    }
+
+    /// Like [`ThreadCluster::start`], plus an [`AdminActor`] serving the
+    /// HTTP admin surface on an ephemeral localhost port (see
+    /// [`ThreadCluster::admin_addr`]).
+    pub fn start_with_admin(config: ClusterConfig) -> Self {
+        Self::start_inner(config, true)
+    }
+
+    fn start_inner(config: ClusterConfig, with_admin: bool) -> Self {
         let mut net = ThreadNet::new(ThreadNetConfig::default());
         let ens = ensemble_config(&config);
         let mut registries = Vec::new();
         let mut journals = Vec::new();
+        let mut telemetry = Vec::new();
         for i in 0..config.coord_replicas as u32 {
             net.add_actor(Box::new(CoordReplica::<SednaMsg>::new(ens.clone(), i)));
         }
@@ -561,12 +576,28 @@ impl ThreadCluster {
             let node = SednaNode::new(config.clone(), NodeId(n), None);
             registries.push(node.registry());
             journals.push(node.journal());
+            telemetry.push((NodeId(n), node.telemetry()));
             net.add_actor(Box::new(node));
         }
         let gw = Gateway::new(config.clone(), config.client_origin(0));
         registries.push(gw.core().obs().registry().clone());
         journals.push(gw.core().obs().journal().clone());
+        let staleness = vec![gw.core().obs().staleness().clone()];
         let gateway = net.add_actor(Box::new(gw));
+        let admin_addr = if with_admin {
+            let state = AdminState {
+                registries: registries.clone(),
+                journals: journals.clone(),
+                telemetry,
+                staleness,
+            };
+            let (actor, addr) =
+                AdminActor::bind("127.0.0.1:0", state).expect("bind admin listener");
+            net.add_actor(Box::new(actor));
+            Some(addr)
+        } else {
+            None
+        };
         let handle = net.start();
         ThreadCluster {
             handle,
@@ -575,7 +606,14 @@ impl ThreadCluster {
             next_op: std::cell::Cell::new(0),
             registries,
             journals,
+            admin_addr,
         }
+    }
+
+    /// The admin surface's bound address (`start_with_admin` only):
+    /// `curl http://<addr>/metrics`.
+    pub fn admin_addr(&self) -> Option<std::net::SocketAddr> {
+        self.admin_addr
     }
 
     /// Cluster-wide metrics merged across every captured registry (data

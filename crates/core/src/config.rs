@@ -91,6 +91,9 @@ pub struct ClusterConfig {
     pub slow_op_threshold_micros: Micros,
     /// Observability: retained capacity of each event journal (events).
     pub journal_capacity: usize,
+    /// Observability: how many keys each per-vnode Space-Saving sketch
+    /// monitors. `0` disables hot-key tracking entirely.
+    pub hot_key_capacity: usize,
 }
 
 impl ClusterConfig {
@@ -131,7 +134,14 @@ impl ClusterConfig {
             metrics_enabled: true,
             slow_op_threshold_micros: 10_000,
             journal_capacity: 256,
+            hot_key_capacity: 8,
         }
+    }
+
+    /// Sets the per-vnode hot-key sketch capacity (`0` disables).
+    pub fn with_hot_keys(mut self, capacity: usize) -> Self {
+        self.hot_key_capacity = capacity;
+        self
     }
 
     /// Enables per-destination op coalescing on the replica datapath.

@@ -12,8 +12,8 @@
 //! vnodes — exactly enough for the manager to run the rebalancer without
 //! ever shipping the full per-vnode table.
 
-use sedna_common::VNodeId;
-use sedna_ring::{NodeLoad, VNodeStats};
+use sedna_common::{Key, VNodeId};
+use sedna_ring::{HotKeyRow, NodeLoad, VNodeStats};
 
 /// How many hottest vnodes a row advertises.
 pub const TOP_K: usize = 8;
@@ -25,6 +25,8 @@ pub struct ImbalanceRow {
     pub load: NodeLoad,
     /// This node's hottest vnodes, hottest first: `(vnode, load_score)`.
     pub hottest: Vec<(VNodeId, u64)>,
+    /// This node's hottest *keys* (Space-Saving estimates), hottest first.
+    pub hot_keys: Vec<HotKeyRow>,
 }
 
 impl ImbalanceRow {
@@ -45,12 +47,26 @@ impl ImbalanceRow {
         ImbalanceRow {
             load,
             hottest: scored,
+            hot_keys: Vec::new(),
         }
     }
 
-    /// Serializes (little-endian, fixed layout).
+    /// Attaches a hot-key roll-up (hottest first, truncated to [`TOP_K`]).
+    pub fn with_hot_keys(mut self, mut keys: Vec<HotKeyRow>) -> Self {
+        keys.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| a.vnode.cmp(&b.vnode))
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        keys.truncate(TOP_K);
+        self.hot_keys = keys;
+        self
+    }
+
+    /// Serializes (little-endian, fixed layout; hot keys length-prefixed).
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(21 + self.hottest.len() * 12);
+        let mut buf = Vec::with_capacity(22 + self.hottest.len() * 12);
         buf.extend_from_slice(&self.load.score.to_le_bytes());
         buf.extend_from_slice(&self.load.bytes.to_le_bytes());
         buf.extend_from_slice(&self.load.slots.to_le_bytes());
@@ -59,10 +75,19 @@ impl ImbalanceRow {
             buf.extend_from_slice(&v.0.to_le_bytes());
             buf.extend_from_slice(&s.to_le_bytes());
         }
+        buf.push(self.hot_keys.len() as u8);
+        for hk in &self.hot_keys {
+            buf.extend_from_slice(&hk.vnode.0.to_le_bytes());
+            buf.extend_from_slice(&hk.count.to_le_bytes());
+            buf.extend_from_slice(&(hk.key.len() as u16).to_le_bytes());
+            buf.extend_from_slice(hk.key.as_bytes());
+        }
         buf
     }
 
-    /// Deserializes; `None` on malformed input.
+    /// Deserializes; `None` on malformed input. Rows encoded before the
+    /// hot-key section existed (ending right after the hottest-vnode
+    /// entries) still decode, with an empty `hot_keys`.
     pub fn decode(bytes: &[u8]) -> Option<Self> {
         if bytes.len() < 21 {
             return None;
@@ -71,7 +96,7 @@ impl ImbalanceRow {
         let b = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
         let slots = u32::from_le_bytes(bytes[16..20].try_into().ok()?);
         let count = bytes[20] as usize;
-        if bytes.len() != 21 + count * 12 {
+        if bytes.len() < 21 + count * 12 {
             return None;
         }
         let mut hottest = Vec::with_capacity(count);
@@ -81,6 +106,34 @@ impl ImbalanceRow {
             let s = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().ok()?);
             hottest.push((VNodeId(v), s));
         }
+        let mut off = 21 + count * 12;
+        let mut hot_keys = Vec::new();
+        if off < bytes.len() {
+            let hk_count = bytes[off] as usize;
+            off += 1;
+            hot_keys.reserve(hk_count);
+            for _ in 0..hk_count {
+                if bytes.len() < off + 14 {
+                    return None;
+                }
+                let v = u32::from_le_bytes(bytes[off..off + 4].try_into().ok()?);
+                let c = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().ok()?);
+                let klen = u16::from_le_bytes(bytes[off + 12..off + 14].try_into().ok()?) as usize;
+                off += 14;
+                if bytes.len() < off + klen {
+                    return None;
+                }
+                hot_keys.push(HotKeyRow {
+                    vnode: VNodeId(v),
+                    key: Key::from_bytes(bytes[off..off + klen].to_vec()),
+                    count: c,
+                });
+                off += klen;
+            }
+        }
+        if off != bytes.len() {
+            return None;
+        }
         Some(ImbalanceRow {
             load: NodeLoad {
                 score,
@@ -88,6 +141,7 @@ impl ImbalanceRow {
                 slots,
             },
             hottest,
+            hot_keys,
         })
     }
 }
@@ -127,6 +181,36 @@ mod tests {
     }
 
     #[test]
+    fn compute_breaks_score_ties_by_vnode_id() {
+        let mut stats = vec![VNodeStats::default(); 6];
+        for v in [5usize, 1, 3] {
+            stats[v].reads = 40; // identical scores
+        }
+        stats[2].reads = 90;
+        let owned = vec![VNodeId(5), VNodeId(2), VNodeId(3), VNodeId(1)];
+        let row = ImbalanceRow::compute(&stats, &owned);
+        assert_eq!(
+            row.hottest,
+            vec![
+                (VNodeId(2), 90),
+                (VNodeId(1), 40),
+                (VNodeId(3), 40),
+                (VNodeId(5), 40),
+            ]
+        );
+    }
+
+    #[test]
+    fn compute_with_fewer_than_k_vnodes_keeps_all() {
+        let mut stats = vec![VNodeStats::default(); 4];
+        stats[0].reads = 3;
+        stats[2].reads = 8;
+        let row = ImbalanceRow::compute(&stats, &[VNodeId(0), VNodeId(2)]);
+        assert!(row.hottest.len() < TOP_K);
+        assert_eq!(row.hottest, vec![(VNodeId(2), 8), (VNodeId(0), 3)]);
+    }
+
+    #[test]
     fn encode_decode_roundtrip() {
         let mut stats = vec![VNodeStats::default(); 4];
         stats[1].writes = 7;
@@ -134,6 +218,42 @@ mod tests {
         let row = ImbalanceRow::compute(&stats, &[VNodeId(1), VNodeId(3)]);
         let back = ImbalanceRow::decode(&row.encode()).unwrap();
         assert_eq!(row, back);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_with_hot_keys() {
+        let mut stats = vec![VNodeStats::default(); 4];
+        stats[0].reads = 12;
+        let row = ImbalanceRow::compute(&stats, &[VNodeId(0), VNodeId(2)]).with_hot_keys(vec![
+            HotKeyRow {
+                vnode: VNodeId(2),
+                key: Key::from("cold"),
+                count: 3,
+            },
+            HotKeyRow {
+                vnode: VNodeId(0),
+                key: Key::from("cart:42"),
+                count: 120,
+            },
+        ]);
+        // with_hot_keys sorts hottest first.
+        assert_eq!(row.hot_keys[0].count, 120);
+        let back = ImbalanceRow::decode(&row.encode()).unwrap();
+        assert_eq!(row, back);
+        assert_eq!(back.hot_keys.len(), 2);
+        assert_eq!(back.hot_keys[0].key, Key::from("cart:42"));
+    }
+
+    #[test]
+    fn decode_tolerates_pre_hot_key_rows() {
+        // A row serialized by an older node ends right after the hottest
+        // entries, with no hot-key section at all.
+        let row = ImbalanceRow::compute(&[VNodeStats::default(); 2], &[VNodeId(0)]);
+        let mut old = row.encode();
+        old.truncate(21 + row.hottest.len() * 12);
+        let back = ImbalanceRow::decode(&old).unwrap();
+        assert_eq!(back.hottest, row.hottest);
+        assert!(back.hot_keys.is_empty());
     }
 
     #[test]
@@ -146,6 +266,32 @@ mod tests {
         assert!(ImbalanceRow::decode(&bytes).is_none());
         let mut bytes2 = row.encode();
         bytes2[20] = 5; // claims 5 entries, has fewer
+        assert!(ImbalanceRow::decode(&bytes2).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_hot_key_section() {
+        let row =
+            ImbalanceRow::compute(&[VNodeStats::default()], &[VNodeId(0)]).with_hot_keys(vec![
+                HotKeyRow {
+                    vnode: VNodeId(0),
+                    key: Key::from("k"),
+                    count: 1,
+                },
+            ]);
+        let good = row.encode();
+        assert!(ImbalanceRow::decode(&good).is_some());
+        // Truncated mid hot-key entry.
+        assert!(ImbalanceRow::decode(&good[..good.len() - 1]).is_none());
+        // Claims more hot keys than are present.
+        let mut bytes = good.clone();
+        let hk_count_off = 21 + row.hottest.len() * 12;
+        bytes[hk_count_off] = 9;
+        assert!(ImbalanceRow::decode(&bytes).is_none());
+        // Key length field points past the end of the buffer.
+        let mut bytes2 = good;
+        let klen_off = hk_count_off + 1 + 12;
+        bytes2[klen_off] = 200;
         assert!(ImbalanceRow::decode(&bytes2).is_none());
     }
 }

@@ -33,6 +33,7 @@
 //! cluster.shutdown();
 //! ```
 
+pub mod admin;
 pub mod client;
 pub mod cluster;
 pub mod config;

@@ -224,6 +224,7 @@ impl ClusterManager {
         for (&node, row) in &self.imbalance_rows {
             if self.known.contains(&node) {
                 table.update_row(node, row.load);
+                table.update_hot_keys(node, row.hot_keys.clone());
             }
         }
         let Some(ratio) = table.imbalance_ratio() else {

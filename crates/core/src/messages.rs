@@ -93,12 +93,21 @@ pub enum ReplicaOp {
         /// [`ReplicaOp::WriteAck::apply_nanos`]).
         apply_nanos: u64,
     },
-    /// Read-repair push: merge these versions (fire-and-forget).
+    /// Read-repair push: merge these versions. The replica acknowledges
+    /// with [`ReplicaOp::PushAck`] so the client can track outstanding
+    /// repairs and time-to-convergence; the datapath never blocks on it.
     Push {
+        /// Correlation id (for the repair-convergence tracker).
+        req: RequestId,
         /// Key.
         key: Key,
         /// Versions to merge.
         versions: Vec<VersionedValue>,
+    },
+    /// Reply to [`ReplicaOp::Push`]: the versions are merged locally.
+    PushAck {
+        /// Correlation id.
+        req: RequestId,
     },
     /// "Send me vnode `vnode`'s rows" (data duplication / migration).
     TransferRequest {
@@ -368,7 +377,8 @@ impl MessageSize for ReplicaOp {
                 ReplicaReadReply::Values(v) => versions_size(v),
                 _ => 4,
             },
-            ReplicaOp::Push { key, versions } => key.len() + versions_size(versions),
+            ReplicaOp::Push { key, versions, .. } => key.len() + versions_size(versions),
+            ReplicaOp::PushAck { .. } => 4,
             ReplicaOp::TransferRequest { .. }
             | ReplicaOp::TransferComplete { .. }
             | ReplicaOp::SyncDigest { .. } => 16,

@@ -28,12 +28,12 @@ use sedna_common::time::{Micros, Timestamp};
 use sedna_common::{Key, NodeId, RequestId, TraceId};
 use sedna_coord::client::{LeaseCache, LeaseConfig, SessionClient, SessionConfig, SessionEvent};
 use sedna_coord::messages::{CoordMsg, CoordOp, CoordReply};
-use sedna_memstore::{MemStore, StoreConfig, WriteOutcome};
+use sedna_memstore::{MemStore, SpaceSaving, StoreConfig, WriteOutcome};
 use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
 use sedna_obs::journal::EventJournal;
 use sedna_obs::registry::{Hist, MetricsSnapshot, Registry};
 use sedna_persist::PersistEngine;
-use sedna_ring::{VNodeMap, VNodeStats};
+use sedna_ring::{HotKeyRow, VNodeMap, VNodeStats};
 use sedna_triggers::{JobSpec, TriggerEngine, TriggerSink, WriteMode};
 
 use crate::client::QuorumWriter;
@@ -107,6 +107,10 @@ pub struct SednaNode {
     next_emit_op: u64,
     persist: Option<PersistEngine>,
     vnode_stats: Vec<VNodeStats>,
+    /// One Space-Saving sketch per vnode: which keys make the vnode hot.
+    hot_sketches: Vec<SpaceSaving>,
+    /// Live per-vnode/hot-key view shared with the admin surface.
+    telemetry: Arc<crate::admin::NodeTelemetry>,
     last_ts: (Micros, u32),
     last_ping: Micros,
     last_lease_check: Micros,
@@ -161,6 +165,8 @@ impl SednaNode {
             request_timeout_micros: 600_000,
         });
         let vnode_stats = vec![VNodeStats::default(); cfg.partitioner.vnode_count() as usize];
+        let hot_sketches =
+            vec![SpaceSaving::new(cfg.hot_key_capacity); cfg.partitioner.vnode_count() as usize];
         let obs = NodeObs::new(&cfg);
         SednaNode {
             cfg,
@@ -181,6 +187,8 @@ impl SednaNode {
             next_emit_op: 0,
             persist,
             vnode_stats,
+            hot_sketches,
+            telemetry: Arc::new(crate::admin::NodeTelemetry::default()),
             last_ts: (0, 0),
             last_ping: 0,
             last_lease_check: 0,
@@ -222,6 +230,35 @@ impl SednaNode {
     /// Local per-vnode statistics (feeds the imbalance table).
     pub fn vnode_stats(&self) -> &[VNodeStats] {
         &self.vnode_stats
+    }
+
+    /// Every monitored hot key across this node's vnodes, hottest first.
+    /// The published imbalance row carries the top [`crate::imbalance::TOP_K`]
+    /// of these; the admin surface exposes the full list.
+    pub fn hot_keys(&self) -> Vec<HotKeyRow> {
+        let mut rows: Vec<HotKeyRow> = Vec::new();
+        for (i, sketch) in self.hot_sketches.iter().enumerate() {
+            for hk in sketch.top(sketch.capacity()) {
+                rows.push(HotKeyRow {
+                    vnode: sedna_common::VNodeId(i as u32),
+                    key: hk.key,
+                    count: hk.count,
+                });
+            }
+        }
+        rows.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| a.vnode.cmp(&b.vnode))
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        rows
+    }
+
+    /// This node's shared telemetry handle (cloneable before the actor
+    /// moves into a runtime, like [`SednaNode::registry`]).
+    pub fn telemetry(&self) -> Arc<crate::admin::NodeTelemetry> {
+        self.telemetry.clone()
     }
 
     /// This node's metrics registry (shared handle; survives the actor
@@ -314,6 +351,7 @@ impl SednaNode {
                 .remove_matching(|k| vacated.contains(&part.locate(k)));
             for v in &vacated {
                 self.vnode_stats[v.index()] = VNodeStats::default();
+                self.hot_sketches[v.index()].clear();
             }
         }
         self.ring = Some(map);
@@ -437,7 +475,8 @@ impl SednaNode {
             return;
         };
         let owned = ring.vnodes_of(self.node_id);
-        let row = crate::imbalance::ImbalanceRow::compute(&self.vnode_stats, &owned);
+        let row = crate::imbalance::ImbalanceRow::compute(&self.vnode_stats, &owned)
+            .with_hot_keys(self.hot_keys());
         let path = paths::imbalance(self.node_id);
         let now = ctx.now();
         let op = if self.imbalance_created {
@@ -513,6 +552,7 @@ impl SednaNode {
                         self.stats.writes += 1;
                         let vnode = self.cfg.partitioner.locate(&key);
                         self.vnode_stats[vnode.index()].record_write(bytes, is_new);
+                        self.hot_sketches[vnode.index()].offer(&key);
                         // Write-ahead means durable-before-ack: a failed
                         // append must not count toward W. The in-memory copy
                         // stays (like a write whose ack was lost) and can
@@ -550,6 +590,7 @@ impl SednaNode {
                     self.stats.reads += 1;
                     let vnode = self.cfg.partitioner.locate(&key);
                     self.vnode_stats[vnode.index()].record_read();
+                    self.hot_sketches[vnode.index()].offer(&key);
                     let t0 = std::time::Instant::now();
                     let reply = match self.store.read_all(&key) {
                         Some(values) => ReplicaReadReply::Values(values),
@@ -568,10 +609,14 @@ impl SednaNode {
                     }),
                 );
             }
-            ReplicaOp::Push { key, versions } => {
+            ReplicaOp::Push { req, key, versions } => {
                 self.stats.pushes += 1;
                 self.store.merge_versions(&key, &versions);
+                // Ack so the repairing client can close its convergence
+                // window; the client never blocks on this.
+                ctx.send(from, SednaMsg::Replica(ReplicaOp::PushAck { req }));
             }
+            ReplicaOp::PushAck { .. } => {}
             ReplicaOp::TransferRequest { vnode, to_node } => {
                 self.stats.transfers_out += 1;
                 let part = self.cfg.partitioner;
@@ -748,6 +793,7 @@ impl SednaNode {
                     let vnode = self.cfg.partitioner.locate(&item.key);
                     self.vnode_stats[vnode.index()]
                         .record_write(item.value.len() as i64, res.was_new);
+                    self.hot_sketches[vnode.index()].offer(&item.key);
                     // Durable-before-ack, as on the unbatched path.
                     match &self.persist {
                         Some(p)
@@ -785,6 +831,7 @@ impl SednaNode {
             self.stats.reads += 1;
             let vnode = self.cfg.partitioner.locate(key);
             self.vnode_stats[vnode.index()].record_read();
+            self.hot_sketches[vnode.index()].offer(key);
             let reply = match values {
                 Some(values) => ReplicaReadReply::Values(values),
                 None => ReplicaReadReply::Missing,
@@ -1053,6 +1100,11 @@ impl Actor for SednaNode {
             }
             T_STATS => {
                 self.mirror_gauges();
+                if let Some(ring) = &self.ring {
+                    let owned = ring.vnodes_of(self.node_id);
+                    self.telemetry
+                        .publish(ctx.now(), &owned, &self.vnode_stats, self.hot_keys());
+                }
                 if self.session.session().is_some() {
                     self.publish_stats(ctx);
                 }

@@ -1,0 +1,143 @@
+//! End-to-end admin-surface test: boot a real threaded cluster with the
+//! admin actor, scrape it over plain TCP like Prometheus would, and check
+//! that the exposition parses and the JSON endpoints serve live data.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use sedna_common::{Key, Value};
+use sedna_core::cluster::ThreadCluster;
+use sedna_core::config::ClusterConfig;
+
+/// One-shot HTTP/1.0 GET; returns (status line, body).
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect admin");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(s, "GET {path} HTTP/1.0\r\nHost: sedna\r\n\r\n").unwrap();
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).expect("read response");
+    let text = String::from_utf8(buf).expect("utf8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("header terminator");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+/// Minimal Prometheus text-format validator: every non-comment line must be
+/// `series value` with a legal metric name and a numeric value; `# TYPE`
+/// lines must name a legal type.
+fn assert_valid_prometheus(text: &str) {
+    assert!(!text.is_empty(), "empty exposition");
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE name");
+            let kind = parts.next().expect("TYPE kind");
+            assert!(is_metric_name(name), "bad TYPE name: {line}");
+            assert!(
+                ["counter", "gauge", "summary", "histogram", "untyped"].contains(&kind),
+                "bad TYPE kind: {line}"
+            );
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line without value: {line}");
+        });
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("non-numeric value: {line}"));
+        let name = match series.find('{') {
+            Some(i) => {
+                assert!(series.ends_with('}'), "unterminated labels: {line}");
+                &series[..i]
+            }
+            None => series,
+        };
+        assert!(is_metric_name(name), "bad metric name: {line}");
+        samples += 1;
+    }
+    assert!(samples > 0, "exposition contains no samples");
+}
+
+fn is_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[test]
+fn admin_surface_serves_all_endpoints() {
+    let cluster = ThreadCluster::start_with_admin(ClusterConfig::small());
+    let addr = cluster.admin_addr().expect("admin listener bound");
+
+    // Traffic with a clearly hot key so the sketches have something to say.
+    let hot = Key::from("hot:item");
+    for i in 0..20 {
+        cluster.write_latest(&hot, Value::from(format!("v{i}")));
+        cluster.read_latest(&hot);
+    }
+    for i in 0..5 {
+        cluster.write_latest(&Key::from(format!("cold:{i}")), Value::from("x"));
+    }
+
+    // Hot keys reach /metrics after a node stats tick; poll until they do.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let metrics = loop {
+        let (status, body) = http_get(addr, "/metrics");
+        assert!(status.contains("200"), "bad status: {status}");
+        if body.contains("sedna_hotkey_ops{") {
+            break body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "hot-key series never appeared in /metrics"
+        );
+        std::thread::sleep(Duration::from_millis(200));
+    };
+
+    assert_valid_prometheus(&metrics);
+    // Staleness-lag series are present (count 0 is fine — they must exist
+    // so dashboards can alert on them from cold start).
+    assert!(metrics.contains("sedna_staleness_ts_delta_micros"));
+    assert!(metrics.contains("sedna_staleness_age_micros_count"));
+    assert!(metrics.contains("sedna_client_outstanding_repairs"));
+    assert!(metrics.contains("# TYPE sedna_hotkey_ops gauge"));
+    assert!(metrics.contains("sedna_admin_ops_per_sec"));
+    assert!(metrics.contains(r#"key="hot:item""#));
+
+    let (status, vnodes) = http_get(addr, "/vnodes");
+    assert!(status.contains("200"));
+    assert!(vnodes.starts_with("{\"nodes\":["));
+    assert!(vnodes.contains("\"vnodes\":["));
+    assert!(vnodes.contains("\"reads\":"));
+
+    let (status, hotkeys) = http_get(addr, "/hotkeys");
+    assert!(status.contains("200"));
+    assert!(hotkeys.contains("hot:item"));
+    assert!(hotkeys.contains("\"count\":"));
+
+    let (status, staleness) = http_get(addr, "/staleness");
+    assert!(status.contains("200"));
+    assert!(staleness.starts_with('{') && staleness.ends_with('}'));
+    assert!(staleness.contains("\"outstanding_repairs\":"));
+    assert!(staleness.contains("\"ts_delta_micros\":{"));
+    assert!(staleness.contains("\"convergence_micros\":{"));
+
+    let (status, journal) = http_get(addr, "/journal");
+    assert!(status.contains("200"));
+    assert!(journal.starts_with("{\"events\":["));
+
+    let (status, _) = http_get(addr, "/definitely-not-here");
+    assert!(status.contains("404"), "expected 404, got: {status}");
+
+    cluster.shutdown();
+}

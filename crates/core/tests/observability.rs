@@ -172,13 +172,23 @@ fn stale_replica_read_journals_the_lag_and_slow_ops_carry_span_trees() {
                 vnode: v,
                 lagging,
                 missing,
-            } => Some((trace, v, lagging, missing)),
+                lag_micros,
+                age_micros,
+            } => Some((trace, v, lagging, missing, lag_micros, age_micros)),
             _ => None,
         })
         .expect("quorum read over a lagging replica must journal StaleReplica");
     assert_eq!(stale.1, vnode, "event names the key's vnode");
     assert_eq!(stale.2, victim, "event names the replica that lagged");
     assert!(stale.3, "the victim had no copy at all");
+    assert_eq!(stale.4, 0, "a missing replica has no version to diff");
+    assert!(
+        stale.5 > 0,
+        "the missed update was written strictly before the read"
+    );
+    // The staleness-lag histogram saw the same detection.
+    let snap = obs.snapshot();
+    assert_eq!(snap.hists["sedna_staleness_age_micros"].count, 1);
 
     // --- journal: the 1 µs threshold promoted the read's full span tree --
     let slow_spans = events
@@ -277,6 +287,26 @@ fn stale_replica_read_journals_the_lag_and_slow_ops_carry_span_trees() {
         cluster.node(victim).store().contains(&key),
         "read recovery must push the fresh version to the lagging replica"
     );
+
+    // --- the repair's ack closed the convergence window ------------------
+    let obs = cluster.sim.actor_ref::<Gateway>(gw).unwrap().core().obs();
+    let snap = obs.snapshot();
+    assert!(
+        snap.counter("sedna_client_repair_acks_total") >= 1,
+        "the victim must acknowledge the repair push"
+    );
+    assert_eq!(
+        snap.gauge("sedna_client_outstanding_repairs"),
+        0,
+        "outstanding repairs drain once acks arrive"
+    );
+    assert!(
+        snap.hists["sedna_staleness_convergence_micros"].count >= 1,
+        "detection→ack time is the time-to-convergence sample"
+    );
+    let windows = obs.staleness();
+    assert_eq!(windows.outstanding(), 0);
+    assert!(windows.convergence.merged(cluster.sim.now()).count >= 1);
 }
 
 /// With metrics disabled the datapath still works and the registry renders

@@ -42,9 +42,11 @@
 //! ```
 
 pub mod entry;
+pub mod sketch;
 pub mod stats;
 pub mod store;
 
 pub use entry::{Entry, VersionedValue, WriteOutcome};
+pub use sketch::{HotKey, SpaceSaving};
 pub use stats::StoreStats;
 pub use store::{BatchWrite, BatchWriteResult, DirtyRecord, MemStore, StoreConfig};

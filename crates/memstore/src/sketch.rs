@@ -1,0 +1,223 @@
+//! Space-Saving top-K sketch (Metwally, Agrawal, El Abbadi 2005).
+//!
+//! The imbalance table (paper Sec. III-B) says *which vnode* is hot; this
+//! sketch says *which keys* make it hot, in O(K) memory per vnode and O(K)
+//! worst-case work per offer — no allocation beyond the fixed entry table,
+//! no external dependencies.
+//!
+//! The algorithm keeps at most `cap` monitored keys. A hit on a monitored
+//! key increments its counter. A miss when the table is full evicts the
+//! minimum-count entry and adopts its count as the newcomer's starting
+//! point, remembering that count as the newcomer's maximum overestimation
+//! (`err`). Guarantees: every key with true frequency above `total/cap` is
+//! in the table, and `count - err ≤ true frequency ≤ count`.
+
+use std::collections::HashMap;
+
+use sedna_common::Key;
+
+/// One monitored key with its estimated count and overestimation bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotKey {
+    /// The key.
+    pub key: Key,
+    /// Estimated hit count (an upper bound on the true count).
+    pub count: u64,
+    /// Maximum overestimation: `count - err` lower-bounds the true count.
+    pub err: u64,
+}
+
+/// Bounded-memory heavy-hitter sketch over [`Key`]s.
+#[derive(Clone, Debug, Default)]
+pub struct SpaceSaving {
+    cap: usize,
+    entries: Vec<HotKey>,
+    index: HashMap<Key, usize>,
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// Sketch monitoring at most `cap` keys (`cap == 0` disables it).
+    pub fn new(cap: usize) -> SpaceSaving {
+        SpaceSaving {
+            cap,
+            entries: Vec::with_capacity(cap),
+            index: HashMap::with_capacity(cap),
+            total: 0,
+        }
+    }
+
+    /// Maximum number of monitored keys.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of keys currently monitored (≤ capacity, always).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total offers observed (exact, independent of capacity).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records one access to `key`.
+    pub fn offer(&mut self, key: &Key) {
+        self.offer_n(key, 1);
+    }
+
+    /// Records `n` accesses to `key`.
+    pub fn offer_n(&mut self, key: &Key, n: u64) {
+        if self.cap == 0 || n == 0 {
+            return;
+        }
+        self.total += n;
+        if let Some(&i) = self.index.get(key) {
+            self.entries[i].count += n;
+            return;
+        }
+        if self.entries.len() < self.cap {
+            self.index.insert(key.clone(), self.entries.len());
+            self.entries.push(HotKey {
+                key: key.clone(),
+                count: n,
+                err: 0,
+            });
+            return;
+        }
+        // Evict the minimum-count entry and inherit its count as the
+        // newcomer's floor — the classic Space-Saving replacement.
+        let (mut min_i, mut min_c) = (0, u64::MAX);
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.count < min_c {
+                min_i = i;
+                min_c = e.count;
+            }
+        }
+        let evicted = std::mem::replace(
+            &mut self.entries[min_i],
+            HotKey {
+                key: key.clone(),
+                count: min_c + n,
+                err: min_c,
+            },
+        );
+        self.index.remove(&evicted.key);
+        self.index.insert(key.clone(), min_i);
+    }
+
+    /// The top `k` monitored keys, highest estimated count first (ties
+    /// break on the key bytes for determinism).
+    pub fn top(&self, k: usize) -> Vec<HotKey> {
+        let mut out = self.entries.clone();
+        out.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp(&b.key)));
+        out.truncate(k);
+        out
+    }
+
+    /// Forgets everything (used when a vnode is vacated or rebalanced).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.index.clear();
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: usize) -> Key {
+        Key::from(format!("k-{i:04}"))
+    }
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut s = SpaceSaving::new(8);
+        for i in 0..4 {
+            for _ in 0..=i {
+                s.offer(&key(i));
+            }
+        }
+        let top = s.top(8);
+        assert_eq!(top.len(), 4);
+        assert_eq!(
+            top[0],
+            HotKey {
+                key: key(3),
+                count: 4,
+                err: 0
+            }
+        );
+        assert_eq!(
+            top[3],
+            HotKey {
+                key: key(0),
+                count: 1,
+                err: 0
+            }
+        );
+        assert_eq!(s.total(), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn zipf_heavy_hitters_surface_exactly() {
+        // A skewed (Zipf-ish) workload: key i gets ~N/(i+1) hits, plus a
+        // long tail of singletons trying to push the heavy keys out.
+        let mut s = SpaceSaving::new(16);
+        const N: u64 = 1 << 12;
+        for i in 0..8usize {
+            for _ in 0..(N / (i as u64 + 1)) {
+                s.offer(&key(i));
+            }
+        }
+        for i in 0..2_000usize {
+            s.offer(&key(1_000 + i));
+        }
+        let top: Vec<Key> = s.top(4).into_iter().map(|h| h.key).collect();
+        assert_eq!(top, vec![key(0), key(1), key(2), key(3)]);
+        // Error bounds hold: count - err lower-bounds the true frequency.
+        for (i, h) in s.top(4).into_iter().enumerate() {
+            let truth = N / (i as u64 + 1);
+            assert!(h.count >= truth, "count underestimates {i}");
+            assert!(h.count - h.err <= truth, "floor overestimates {i}");
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let mut s = SpaceSaving::new(8);
+        for i in 0..100_000usize {
+            s.offer(&key(i % 5_000));
+        }
+        assert_eq!(s.len(), 8);
+        assert!(s.index.len() == 8);
+        assert_eq!(s.total(), 100_000);
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let mut s = SpaceSaving::new(0);
+        s.offer(&key(1));
+        assert!(s.is_empty());
+        assert_eq!(s.total(), 0);
+        assert!(s.top(4).is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = SpaceSaving::new(4);
+        s.offer_n(&key(1), 10);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.total(), 0);
+        s.offer(&key(2));
+        assert_eq!(s.top(1)[0].key, key(2));
+    }
+}

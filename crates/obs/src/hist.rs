@@ -49,6 +49,8 @@ pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    /// `u64::MAX` until the first sample lands.
+    min: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -65,6 +67,7 @@ impl Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
         }
     }
 
@@ -75,6 +78,7 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
     }
 
     /// Number of recorded samples.
@@ -90,6 +94,14 @@ impl Histogram {
     /// Largest recorded sample (exact, not bucketed).
     pub fn max(&self) -> u64 {
         self.max.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample (exact, not bucketed; 0 when empty).
+    pub fn min(&self) -> u64 {
+        match self.min.load(Ordering::Relaxed) {
+            u64::MAX => 0,
+            m => m,
+        }
     }
 
     /// Value at quantile `q` in `[0, 1]` (bucket midpoint; 0 when empty).
@@ -108,6 +120,7 @@ impl Histogram {
             count: self.count(),
             sum: self.sum(),
             max: self.max(),
+            min: self.min(),
         }
     }
 }
@@ -122,9 +135,24 @@ pub struct HistSnapshot {
     pub sum: u64,
     /// Largest recorded sample.
     pub max: u64,
+    /// Smallest recorded sample (0 when empty).
+    pub min: u64,
 }
 
 impl HistSnapshot {
+    /// Records one sample into this plain snapshot — the single-threaded
+    /// counterpart of [`Histogram::record`], used by the rolling-window
+    /// layer where each window is owned by one lock.
+    pub fn record(&mut self, v: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; BUCKETS];
+        }
+        self.buckets[bucket_index(v)] += 1;
+        self.min = if self.count == 0 { v } else { self.min.min(v) };
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
     /// Value at quantile `q` in `[0, 1]` (bucket midpoint; 0 when empty).
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
@@ -146,7 +174,8 @@ impl HistSnapshot {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
-    /// Folds `other` into `self` (bucket-wise sum; max of maxima).
+    /// Folds `other` into `self` (bucket-wise sum; max of maxima, min of
+    /// minima over non-empty sides).
     pub fn merge(&mut self, other: &HistSnapshot) {
         if self.buckets.is_empty() {
             self.buckets = vec![0; BUCKETS];
@@ -154,6 +183,11 @@ impl HistSnapshot {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }
+        self.min = match (self.count > 0, other.count > 0) {
+            (true, true) => self.min.min(other.min),
+            (false, true) => other.min,
+            _ => self.min,
+        };
         self.count += other.count;
         self.sum += other.sum;
         self.max = self.max.max(other.max);
@@ -231,5 +265,38 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.percentile(0.99), 0);
         assert_eq!(h.snapshot().mean(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.snapshot().min, 0);
+    }
+
+    #[test]
+    fn min_max_mean_are_exact() {
+        let h = Histogram::new();
+        for v in [40u64, 7, 1_000, 13] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.min, 7);
+        assert_eq!(s.max, 1_000);
+        assert_eq!(s.mean(), (40 + 7 + 1_000 + 13) / 4);
+        // Merging an empty snapshot must not disturb min.
+        let mut m = s.clone();
+        m.merge(&Histogram::new().snapshot());
+        assert_eq!(m.min, 7);
+        // Merging into an empty snapshot adopts the other side's min.
+        let mut e = Histogram::new().snapshot();
+        e.merge(&s);
+        assert_eq!(e.min, 7);
+    }
+
+    #[test]
+    fn snapshot_record_matches_atomic_record() {
+        let h = Histogram::new();
+        let mut s = HistSnapshot::default();
+        for v in [3u64, 99, 0, 12_345, 6] {
+            h.record(v);
+            s.record(v);
+        }
+        assert_eq!(s, h.snapshot());
     }
 }

@@ -31,6 +31,12 @@ pub enum EventKind {
         lagging: NodeId,
         /// True when the replica had no copy at all (vs. an old version).
         missing: bool,
+        /// Timestamp delta between the freshest version observed and the
+        /// replica's newest version (0 when missing — no version to diff).
+        lag_micros: u64,
+        /// Wall-clock age of the freshest version the replica is missing,
+        /// measured at detection time.
+        age_micros: u64,
     },
     /// An op's end-to-end latency crossed the slow-op threshold; the full
     /// span tree is preserved.
@@ -82,9 +88,12 @@ impl fmt::Display for EventKind {
                 vnode,
                 lagging,
                 missing,
+                lag_micros,
+                age_micros,
             } => write!(
                 f,
-                "stale-replica {trace:?} {vnode:?} lagging={lagging:?} {}",
+                "stale-replica {trace:?} {vnode:?} lagging={lagging:?} {} \
+                 lag={lag_micros}µs age={age_micros}µs",
                 if *missing { "missing" } else { "outdated" }
             ),
             EventKind::SlowOp {
@@ -219,6 +228,8 @@ mod tests {
                 vnode: VNodeId(3),
                 lagging: NodeId(2),
                 missing: true,
+                lag_micros: 0,
+                age_micros: 1_500,
             },
         );
         let text = j.render_text();
@@ -226,6 +237,7 @@ mod tests {
         assert!(text.contains("v3"));
         assert!(text.contains("n2"));
         assert!(text.contains("missing"));
+        assert!(text.contains("age=1500µs"));
     }
 
     #[test]

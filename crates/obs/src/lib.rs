@@ -16,7 +16,9 @@
 //! * [`EventJournal`] — bounded ring of structured cluster-health events
 //!   (stale quorum members, slow-op span trees, elections, rebalances);
 //! * [`trace`] — the span model: every client op carries a `TraceId` through
-//!   the replica frames and becomes a reconstructable span tree.
+//!   the replica frames and becomes a reconstructable span tree;
+//! * [`window`] — rolling-window histograms and counter-rate tracking, the
+//!   time-local layer behind the admin surface's `/staleness` view.
 //!
 //! The crate has no external dependencies (offline-shim policy) and only
 //! leans on `sedna-common` for the id newtypes.
@@ -25,8 +27,12 @@ pub mod hist;
 pub mod journal;
 pub mod registry;
 pub mod trace;
+pub mod window;
 
 pub use hist::{HistSnapshot, Histogram};
 pub use journal::{Event, EventJournal, EventKind};
-pub use registry::{Counter, Gauge, Hist, MetricsSnapshot, Registry};
+pub use registry::{
+    escape_help, escape_label_value, Counter, Gauge, Hist, MetricsSnapshot, Registry,
+};
 pub use trace::{Span, SpanKind, TraceTracker};
+pub use window::{RateTracker, WindowedHistogram};

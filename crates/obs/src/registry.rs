@@ -91,6 +91,7 @@ struct Inner {
     counters: BTreeMap<String, Arc<AtomicU64>>,
     gauges: BTreeMap<String, Arc<AtomicU64>>,
     hists: BTreeMap<String, Arc<Histogram>>,
+    help: BTreeMap<String, String>,
 }
 
 /// Lock-cheap metrics registry. Registration takes the lock once per unique
@@ -174,6 +175,14 @@ impl Registry {
         }
     }
 
+    /// Attaches a `# HELP` description to the metric family `name`. Carried
+    /// through snapshots and merges; last registration wins locally, first
+    /// wins across a merge.
+    pub fn describe(&self, name: &str, help: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.help.insert(name.to_string(), help.to_string());
+    }
+
     /// Point-in-time copy of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().unwrap();
@@ -193,8 +202,43 @@ impl Registry {
                 .iter()
                 .map(|(k, h)| (k.clone(), h.snapshot()))
                 .collect(),
+            help: inner.help.clone(),
         }
     }
+}
+
+/// Escapes a label *value* for the Prometheus text exposition: backslash,
+/// double quote, and newline must be backslash-escaped inside `label="…"`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a `# HELP` text: backslash and newline must be escaped (quotes
+/// are legal in help text).
+pub fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The metric *family* of a series name: everything before the label braces.
+fn family(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
 }
 
 /// Plain copy of a registry's metrics; mergeable across nodes.
@@ -206,6 +250,8 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, u64>,
     /// Histograms by name.
     pub hists: BTreeMap<String, HistSnapshot>,
+    /// `# HELP` text by metric family.
+    pub help: BTreeMap<String, String>,
 }
 
 impl MetricsSnapshot {
@@ -222,6 +268,9 @@ impl MetricsSnapshot {
         for (k, h) in &other.hists {
             self.hists.entry(k.clone()).or_default().merge(h);
         }
+        for (k, v) in &other.help {
+            self.help.entry(k.clone()).or_insert_with(|| v.clone());
+        }
     }
 
     /// Counter value by name (0 when absent).
@@ -234,18 +283,23 @@ impl MetricsSnapshot {
         self.gauges.get(name).copied().unwrap_or(0)
     }
 
-    /// Prometheus text exposition (counters, gauges, and summary-style
-    /// quantiles for each histogram).
+    /// Prometheus text exposition. Emits one `# HELP`/`# TYPE` pair per
+    /// metric family (series sharing a name up to the label braces), then
+    /// every series of that family; histograms render as summaries with
+    /// `quantile` labels plus `_sum`/`_count`. The output is what a real
+    /// Prometheus scraper parses — label values must already be escaped by
+    /// the producer via [`escape_label_value`].
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        for (k, v) in &self.counters {
-            out.push_str(&format!("# TYPE {k} counter\n{k} {v}\n"));
-        }
-        for (k, v) in &self.gauges {
-            out.push_str(&format!("# TYPE {k} gauge\n{k} {v}\n"));
-        }
+        self.render_section(&mut out, &self.counters, "counter");
+        self.render_section(&mut out, &self.gauges, "gauge");
+        let mut last_family = "";
         for (k, h) in &self.hists {
-            out.push_str(&format!("# TYPE {k} summary\n"));
+            let fam = family(k);
+            if fam != last_family {
+                self.push_header(&mut out, fam, "summary");
+                last_family = fam;
+            }
             for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
                 out.push_str(&format!(
                     "{k}{{quantile=\"{label}\"}} {}\n",
@@ -255,6 +309,31 @@ impl MetricsSnapshot {
             out.push_str(&format!("{k}_sum {}\n{k}_count {}\n", h.sum, h.count));
         }
         out
+    }
+
+    fn render_section(&self, out: &mut String, series: &BTreeMap<String, u64>, kind: &str) {
+        // Group by family first so a family's HELP/TYPE header is emitted
+        // exactly once even when labelled series interleave with other
+        // names in the BTreeMap order.
+        let mut grouped: BTreeMap<&str, Vec<(&String, u64)>> = BTreeMap::new();
+        for (k, v) in series {
+            grouped.entry(family(k)).or_default().push((k, *v));
+        }
+        for (fam, entries) in grouped {
+            self.push_header(out, fam, kind);
+            for (k, v) in entries {
+                out.push_str(&format!("{k} {v}\n"));
+            }
+        }
+    }
+
+    fn push_header(&self, out: &mut String, fam: &str, kind: &str) {
+        let help = self
+            .help
+            .get(fam)
+            .map(|h| escape_help(h))
+            .unwrap_or_else(|| format!("Sedna metric {fam}."));
+        out.push_str(&format!("# HELP {fam} {help}\n# TYPE {fam} {kind}\n"));
     }
 
     /// JSON rendering (hand-rolled; no serde in the offline image).
@@ -271,10 +350,13 @@ impl MetricsSnapshot {
             }
             first = false;
             out.push_str(&format!(
-                "\"{k}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                "\"{k}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
+                 \"p50\":{},\"p95\":{},\"p99\":{}}}",
                 h.count,
                 h.sum,
+                h.min,
                 h.max,
+                h.mean(),
                 h.percentile(0.50),
                 h.percentile(0.95),
                 h.percentile(0.99)
@@ -359,5 +441,50 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\"sedna_ops_total\":2"));
         assert!(json.contains("\"p99\":"));
+        assert!(json.contains("\"mean\":100"));
+        assert!(json.contains("\"min\":100"));
+    }
+
+    #[test]
+    fn exposition_emits_help_and_one_header_per_family() {
+        let reg = Registry::new(true);
+        reg.counter("sedna_reqs_total{node=\"0\"}").add(1);
+        reg.counter("sedna_reqs_total{node=\"1\"}").add(2);
+        reg.counter("sedna_reqs_aborted").inc();
+        reg.describe("sedna_reqs_total", "Requests handled per node.");
+        let text = reg.snapshot().to_prometheus();
+        assert_eq!(
+            text.matches("# TYPE sedna_reqs_total counter").count(),
+            1,
+            "one TYPE header per family:\n{text}"
+        );
+        assert!(text.contains("# HELP sedna_reqs_total Requests handled per node.\n"));
+        // Undescribed families still get a HELP line.
+        assert!(text.contains("# HELP sedna_reqs_aborted "));
+        assert!(text.contains("sedna_reqs_total{node=\"0\"} 1\n"));
+    }
+
+    #[test]
+    fn label_and_help_escaping() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(escape_help("x\ny\\z"), "x\\ny\\\\z");
+        let reg = Registry::new(true);
+        let name = format!("k{{key=\"{}\"}}", escape_label_value("we\"ird\nkey"));
+        reg.counter(&name).inc();
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("k{key=\"we\\\"ird\\nkey\"} 1\n"));
+    }
+
+    #[test]
+    fn help_survives_merge() {
+        let a = Registry::new(true);
+        let b = Registry::new(true);
+        a.counter("x").inc();
+        b.counter("x").inc();
+        b.describe("x", "described only on b");
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert!(m.to_prometheus().contains("# HELP x described only on b\n"));
     }
 }

@@ -1,0 +1,213 @@
+//! Rolling-window time series: windowed histograms and counter rates.
+//!
+//! The registry's counters and histograms are cumulative since process
+//! start — fine for totals, useless for "what is the staleness lag *right
+//! now*". This module keeps a short ring of fixed-width time windows so an
+//! admin endpoint can serve percentiles and rates over the last N windows
+//! and stale data ages out instead of dominating forever.
+//!
+//! Both types are `Mutex`-protected plain state (no atomics): they record
+//! rare events (staleness detections, repair completions, periodic counter
+//! samples), never the per-op hot path.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use sedna_common::time::Micros;
+
+use crate::hist::HistSnapshot;
+
+/// A histogram over a rolling set of fixed-width time windows.
+///
+/// Samples land in the window covering their timestamp; windows older than
+/// the retention horizon are pruned on every access, so a merged snapshot
+/// only ever reflects the last `keep` windows.
+pub struct WindowedHistogram {
+    window_micros: u64,
+    keep: usize,
+    windows: Mutex<VecDeque<(Micros, HistSnapshot)>>,
+}
+
+impl WindowedHistogram {
+    /// `keep` windows of `window_micros` each (`keep` is clamped to ≥ 1).
+    pub fn new(window_micros: u64, keep: usize) -> WindowedHistogram {
+        WindowedHistogram {
+            window_micros: window_micros.max(1),
+            keep: keep.max(1),
+            windows: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Width of one window.
+    pub fn window_micros(&self) -> u64 {
+        self.window_micros
+    }
+
+    fn window_start(&self, at: Micros) -> Micros {
+        at - at % self.window_micros
+    }
+
+    fn prune(&self, q: &mut VecDeque<(Micros, HistSnapshot)>, now: Micros) {
+        let horizon = self
+            .window_start(now)
+            .saturating_sub(self.window_micros * (self.keep as u64 - 1));
+        while q.front().is_some_and(|(start, _)| *start < horizon) {
+            q.pop_front();
+        }
+    }
+
+    /// Records one sample at time `now`.
+    pub fn record(&self, now: Micros, v: u64) {
+        let start = self.window_start(now);
+        let mut q = self.windows.lock().unwrap();
+        self.prune(&mut q, now);
+        match q.back_mut() {
+            Some((s, hist)) if *s == start => hist.record(v),
+            _ => {
+                let mut hist = HistSnapshot::default();
+                hist.record(v);
+                q.push_back((start, hist));
+            }
+        }
+    }
+
+    /// Merged snapshot over the retained (non-expired) windows.
+    pub fn merged(&self, now: Micros) -> HistSnapshot {
+        let mut q = self.windows.lock().unwrap();
+        self.prune(&mut q, now);
+        let mut out = HistSnapshot::default();
+        for (_, hist) in q.iter() {
+            out.merge(hist);
+        }
+        out
+    }
+
+    /// Retained windows oldest-first as `(window_start, snapshot)`.
+    pub fn windows(&self, now: Micros) -> Vec<(Micros, HistSnapshot)> {
+        let mut q = self.windows.lock().unwrap();
+        self.prune(&mut q, now);
+        q.iter().cloned().collect()
+    }
+}
+
+/// Rate-of-change tracker for a cumulative counter.
+///
+/// Feed it periodic samples of a monotone counter; it retains samples
+/// covering the last `keep` windows and derives the average rate over the
+/// retained span.
+pub struct RateTracker {
+    window_micros: u64,
+    keep: usize,
+    samples: Mutex<VecDeque<(Micros, u64)>>,
+}
+
+impl RateTracker {
+    /// Retains samples spanning `keep` windows of `window_micros` each.
+    pub fn new(window_micros: u64, keep: usize) -> RateTracker {
+        RateTracker {
+            window_micros: window_micros.max(1),
+            keep: keep.max(1),
+            samples: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn prune(&self, q: &mut VecDeque<(Micros, u64)>, now: Micros) {
+        let horizon = now.saturating_sub(self.window_micros * self.keep as u64);
+        // Keep one sample at-or-before the horizon so the rate still covers
+        // the full retained span.
+        while q.len() > 1 && q[1].0 <= horizon {
+            q.pop_front();
+        }
+    }
+
+    /// Records the counter's cumulative `value` as observed at `now`.
+    pub fn observe(&self, now: Micros, value: u64) {
+        let mut q = self.samples.lock().unwrap();
+        self.prune(&mut q, now);
+        q.push_back((now, value));
+    }
+
+    /// Average events/second over the retained span (0.0 with < 2 samples
+    /// or a non-monotone counter reading).
+    pub fn rate_per_sec(&self, now: Micros) -> f64 {
+        let mut q = self.samples.lock().unwrap();
+        self.prune(&mut q, now);
+        let (Some(&(t0, v0)), Some(&(t1, v1))) = (q.front(), q.back()) else {
+            return 0.0;
+        };
+        if t1 <= t0 || v1 < v0 {
+            return 0.0;
+        }
+        (v1 - v0) as f64 * 1_000_000.0 / (t1 - t0) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: u64 = 1_000; // 1 ms windows for the tests
+
+    #[test]
+    fn samples_land_in_their_window_and_expire() {
+        let wh = WindowedHistogram::new(W, 3);
+        wh.record(100, 10);
+        wh.record(1_100, 20);
+        wh.record(2_100, 30);
+        assert_eq!(wh.merged(2_100).count, 3);
+        assert_eq!(wh.windows(2_100).len(), 3);
+        // Advancing two windows expires the first two.
+        let m = wh.merged(4_100);
+        assert_eq!(m.count, 1);
+        assert_eq!(m.min, 30);
+        assert_eq!(m.max, 30);
+        // Far future: everything expired.
+        assert_eq!(wh.merged(50_000).count, 0);
+    }
+
+    #[test]
+    fn merged_percentiles_cover_retained_windows() {
+        let wh = WindowedHistogram::new(W, 4);
+        for i in 0..100u64 {
+            wh.record(i * 10, i + 1); // all within the first window
+        }
+        let m = wh.merged(500);
+        assert_eq!(m.count, 100);
+        assert_eq!(m.min, 1);
+        assert_eq!(m.max, 100);
+        assert!(m.percentile(0.5) >= 40 && m.percentile(0.5) <= 65);
+    }
+
+    #[test]
+    fn out_of_order_samples_within_a_window_still_count() {
+        let wh = WindowedHistogram::new(W, 2);
+        wh.record(900, 1);
+        wh.record(850, 2); // earlier in the same window
+        assert_eq!(wh.merged(999).count, 2);
+    }
+
+    #[test]
+    fn rate_tracker_measures_deltas_and_prunes() {
+        let rt = RateTracker::new(W, 2);
+        rt.observe(0, 0);
+        rt.observe(1_000, 100);
+        rt.observe(2_000, 300);
+        // 300 events over 2 ms → 150k/s.
+        let r = rt.rate_per_sec(2_000);
+        assert!((r - 150_000.0).abs() < 1.0, "rate={r}");
+        // After pruning, only the most recent span counts.
+        rt.observe(10_000, 400);
+        let r = rt.rate_per_sec(10_000);
+        assert!(r < 150_000.0, "rate={r}");
+    }
+
+    #[test]
+    fn rate_tracker_degenerate_cases() {
+        let rt = RateTracker::new(W, 4);
+        assert_eq!(rt.rate_per_sec(0), 0.0);
+        rt.observe(100, 5);
+        assert_eq!(rt.rate_per_sec(100), 0.0); // single sample
+        rt.observe(200, 3); // counter reset (non-monotone)
+        assert_eq!(rt.rate_per_sec(200), 0.0);
+    }
+}

@@ -47,4 +47,4 @@ pub mod stats;
 pub use assignment::{Transfer, TransferPlan, VNodeMap};
 pub use partitioner::Partitioner;
 pub use rebalance::{plan_rebalance, RebalanceConfig};
-pub use stats::{ImbalanceTable, NodeLoad, VNodeStats};
+pub use stats::{HotKeyRow, ImbalanceTable, NodeLoad, VNodeStats};

@@ -14,7 +14,7 @@
 
 use std::collections::BTreeMap;
 
-use sedna_common::{NodeId, VNodeId};
+use sedna_common::{Key, NodeId, VNodeId};
 
 use crate::assignment::VNodeMap;
 
@@ -57,6 +57,21 @@ impl VNodeStats {
     }
 }
 
+/// One hot key in a node's published roll-up: the key, the vnode it hashes
+/// to, and its estimated access count. Per-vnode Space-Saving sketches (in
+/// the memstore crate) produce these; nodes publish their top few alongside
+/// the [`NodeLoad`] row so the rebalancer — and operators — can see *which
+/// keys* make a vnode hot, not just that it is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotKeyRow {
+    /// The vnode hosting the key.
+    pub vnode: VNodeId,
+    /// The key itself.
+    pub key: Key,
+    /// Estimated access count (Space-Saving upper bound).
+    pub count: u64,
+}
+
 /// One real node's aggregated load, as published to the coordination
 /// service.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -74,6 +89,7 @@ pub struct NodeLoad {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ImbalanceTable {
     entries: BTreeMap<NodeId, NodeLoad>,
+    hot_keys: BTreeMap<NodeId, Vec<HotKeyRow>>,
 }
 
 impl ImbalanceTable {
@@ -97,7 +113,10 @@ impl ImbalanceTable {
                 e.slots += 1;
             }
         }
-        ImbalanceTable { entries }
+        ImbalanceTable {
+            entries,
+            hot_keys: BTreeMap::new(),
+        }
     }
 
     /// Merges a single node's locally-computed row (what nodes periodically
@@ -106,9 +125,31 @@ impl ImbalanceTable {
         self.entries.insert(node, load);
     }
 
+    /// Replaces a node's published hot-key roll-up.
+    pub fn update_hot_keys(&mut self, node: NodeId, keys: Vec<HotKeyRow>) {
+        if keys.is_empty() {
+            self.hot_keys.remove(&node);
+        } else {
+            self.hot_keys.insert(node, keys);
+        }
+    }
+
+    /// A node's most recently published hot keys (empty if none known).
+    pub fn hot_keys(&self, node: NodeId) -> &[HotKeyRow] {
+        self.hot_keys.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates all published hot-key rows, ascending by node id.
+    pub fn all_hot_keys(&self) -> impl Iterator<Item = (NodeId, &HotKeyRow)> + '_ {
+        self.hot_keys
+            .iter()
+            .flat_map(|(n, rows)| rows.iter().map(move |r| (*n, r)))
+    }
+
     /// Removes a departed node's row.
     pub fn remove_row(&mut self, node: NodeId) {
         self.entries.remove(&node);
+        self.hot_keys.remove(&node);
     }
 
     /// The load row for `node`.
@@ -249,6 +290,40 @@ mod tests {
         assert_eq!(t.len(), 2);
         let ratio = t.imbalance_ratio().unwrap();
         assert!(ratio > 1.0 && ratio < 2.0);
+    }
+
+    #[test]
+    fn hot_key_rollup_tracks_rows() {
+        let mut t = ImbalanceTable::default();
+        assert!(t.hot_keys(NodeId(0)).is_empty());
+        t.update_hot_keys(
+            NodeId(0),
+            vec![HotKeyRow {
+                vnode: VNodeId(3),
+                key: Key::from("cart:42"),
+                count: 99,
+            }],
+        );
+        t.update_hot_keys(
+            NodeId(1),
+            vec![HotKeyRow {
+                vnode: VNodeId(1),
+                key: Key::from("session:7"),
+                count: 12,
+            }],
+        );
+        assert_eq!(t.hot_keys(NodeId(0)).len(), 1);
+        assert_eq!(t.hot_keys(NodeId(0))[0].count, 99);
+        let all: Vec<(NodeId, &HotKeyRow)> = t.all_hot_keys().collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, NodeId(0));
+        // Publishing an empty roll-up clears the entry.
+        t.update_hot_keys(NodeId(1), Vec::new());
+        assert!(t.hot_keys(NodeId(1)).is_empty());
+        // Departure drops the roll-up with the load row.
+        t.remove_row(NodeId(0));
+        assert!(t.hot_keys(NodeId(0)).is_empty());
+        assert_eq!(t.all_hot_keys().count(), 0);
     }
 
     #[test]

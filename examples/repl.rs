@@ -16,9 +16,15 @@
 //! stats                      one-line cluster counters (ops, repairs, journal)
 //! metrics                    full Prometheus text dump of the merged registry
 //! journal                    the quorum-health event journal, newest last
+//! admin                      the admin surface's URL (curl it for /metrics …)
 //! help                       this text
 //! quit                       shut the cluster down
 //! ```
+//!
+//! The cluster boots with the HTTP admin surface on an ephemeral
+//! localhost port — `admin` prints the URL; `/metrics`, `/journal`,
+//! `/vnodes`, `/hotkeys` and `/staleness` are scrapeable while the REPL
+//! runs.
 
 use std::io::{BufRead, Write as _};
 
@@ -74,9 +80,14 @@ fn show(result: ClientResult) {
 
 fn main() {
     println!("booting a 3-node Sedna cluster (plus 3 coordination replicas)…");
-    let cluster = ThreadCluster::start(ClusterConfig::small());
+    let cluster = ThreadCluster::start_with_admin(ClusterConfig::small());
     // First op waits for the cluster to assemble.
     cluster.write_latest(&Key::from("__repl_warmup"), Value::from("1"));
+    if let Some(addr) = cluster.admin_addr() {
+        println!(
+            "admin surface: http://{addr}/metrics (also /journal /vnodes /hotkeys /staleness)"
+        );
+    }
     println!("ready. type 'help' for commands.\n");
 
     let stdin = std::io::stdin();
@@ -93,8 +104,14 @@ fn main() {
             ["quit"] | ["exit"] => break,
             ["help"] => println!(
                 "set/get/setall/getall <key> [value] · tset/tget <ds> <table> <k> [v] · \
-                 scan <ds> <table> · stats · metrics · journal · quit"
+                 scan <ds> <table> · stats · metrics · journal · admin · quit"
             ),
+            ["admin"] => match cluster.admin_addr() {
+                Some(addr) => println!(
+                    "curl http://{addr}/metrics   (or /journal /vnodes /hotkeys /staleness)"
+                ),
+                None => println!("(admin surface not running)"),
+            },
             ["stats"] => {
                 let s = cluster.metrics_snapshot();
                 println!(
