@@ -1,0 +1,321 @@
+//! Store hot-path benchmark: lock-free reads vs the pre-overhaul
+//! mutex-per-shard engine, plus an allocation-count ablation.
+//!
+//! Two measurements, written to `BENCH_store.json`:
+//!
+//! * **Contended single-key reads** — T threads hammer one hot key.
+//!   The baseline reimplements the seed engine's read path (per-shard
+//!   `Mutex<HashMap>`, deep-clone `read_all`); the store under test is
+//!   the epoch-pinned lock-free path. Readers that never block should
+//!   scale where the mutex serializes.
+//! * **Allocation ablation** — a counting global allocator measures heap
+//!   allocations per read. The single-version fast path (`read_latest`
+//!   and snapshot `read_all`) must be allocation-free; the baseline's
+//!   deep-clone `read_all` pays ≥1 allocation per hit.
+//!
+//! `--quick` shrinks iteration counts for CI smoke runs.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+use sedna_common::hashing::fnv1a64;
+use sedna_common::{Key, NodeId, Timestamp, Value};
+use sedna_memstore::{MemStore, StoreConfig, VersionedValue};
+
+// ---------------------------------------------------------------------------
+// Counting allocator
+// ---------------------------------------------------------------------------
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates to `System`; the counter is a relaxed side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+// ---------------------------------------------------------------------------
+// Mutex baseline: the seed engine's read path
+// ---------------------------------------------------------------------------
+
+/// One row of the baseline: versions plus the seed engine's per-row LRU
+/// bookkeeping.
+#[derive(Default)]
+struct BaseEntry {
+    versions: Vec<VersionedValue>,
+    access_version: u64,
+    lru_slot: Option<u32>,
+}
+
+/// Shard state replicating the pre-overhaul engine: a `HashMap` of rows
+/// plus the lazy LRU queue every read touched under the lock.
+#[derive(Default)]
+struct BaseShard {
+    map: HashMap<Key, BaseEntry>,
+    slots: Vec<Option<Key>>,
+    free_slots: Vec<u32>,
+    lru: std::collections::VecDeque<(u32, u64)>,
+    access_counter: u64,
+}
+
+impl BaseShard {
+    /// The seed engine's LRU touch: a second map lookup, a queue push,
+    /// and periodic lazy compaction — all on the read path, under the
+    /// shard mutex.
+    fn touch(&mut self, key: &Key) {
+        self.access_counter += 1;
+        let c = self.access_counter;
+        let Some(e) = self.map.get_mut(key) else {
+            return;
+        };
+        e.access_version = c;
+        let slot = match e.lru_slot {
+            Some(s) => s,
+            None => {
+                let s = match self.free_slots.pop() {
+                    Some(s) => {
+                        self.slots[s as usize] = Some(key.clone());
+                        s
+                    }
+                    None => {
+                        self.slots.push(Some(key.clone()));
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                self.map.get_mut(key).expect("present above").lru_slot = Some(s);
+                s
+            }
+        };
+        self.lru.push_back((slot, c));
+        if self.lru.len() > 4 * self.map.len() + 64 {
+            let map = &self.map;
+            let slots = &self.slots;
+            self.lru.retain(|(s, v)| {
+                slots[*s as usize]
+                    .as_ref()
+                    .and_then(|k| map.get(k))
+                    .is_some_and(|e| e.access_version == *v)
+            });
+        }
+    }
+}
+
+/// Per-shard `Mutex` store replicating the pre-overhaul engine's read
+/// path: lock the shard, look the row up, deep-clone (`read_all`) or
+/// clone the freshest element (`read_latest`), and run the LRU touch.
+struct MutexBaseline {
+    shards: Vec<Mutex<BaseShard>>,
+    mask: u64,
+}
+
+impl MutexBaseline {
+    fn new(shards: usize) -> MutexBaseline {
+        let n = shards.next_power_of_two();
+        MutexBaseline {
+            shards: (0..n).map(|_| Mutex::new(BaseShard::default())).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    fn shard(&self, key: &Key) -> &Mutex<BaseShard> {
+        &self.shards[(fnv1a64(key.as_bytes()) & self.mask) as usize]
+    }
+
+    fn write_latest(&self, key: &Key, ts: Timestamp, value: Value) {
+        let mut shard = self.shard(key).lock().unwrap();
+        let entry = shard.map.entry(key.clone()).or_default();
+        entry.versions = vec![VersionedValue { ts, value }];
+        shard.touch(key);
+    }
+
+    fn read_latest(&self, key: &Key) -> Option<VersionedValue> {
+        let mut shard = self.shard(key).lock().unwrap();
+        let found = shard
+            .map
+            .get(key)
+            .and_then(|e| e.versions.iter().max_by_key(|v| v.ts).cloned());
+        if found.is_some() {
+            shard.touch(key);
+        }
+        found
+    }
+
+    fn read_all(&self, key: &Key) -> Option<Vec<VersionedValue>> {
+        let mut shard = self.shard(key).lock().unwrap();
+        let found = shard.map.get(key).map(|e| e.versions.clone());
+        if found.is_some() {
+            shard.touch(key);
+        }
+        found
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Contended-read measurement
+// ---------------------------------------------------------------------------
+
+fn ts(micros: u64) -> Timestamp {
+    Timestamp::new(micros, 0, NodeId(0))
+}
+
+/// Aggregate single-hot-key read throughput, in million ops/sec, with
+/// `threads` readers doing `per_thread` reads each. Timed from the start
+/// barrier's release to the last reader finishing.
+fn run_contended(threads: usize, per_thread: u64, read: &(impl Fn() + Send + Sync)) -> f64 {
+    let barrier = Barrier::new(threads + 1);
+    let mut elapsed = std::time::Duration::ZERO;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    for _ in 0..per_thread {
+                        read();
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        for h in handles {
+            h.join().unwrap();
+        }
+        elapsed = t0.elapsed();
+    });
+    (threads as u64 * per_thread) as f64 / elapsed.as_secs_f64() / 1e6
+}
+
+/// Allocations per op over `n` single-threaded calls.
+fn allocs_per_op(n: u64, op: impl Fn()) -> f64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..n {
+        op();
+    }
+    (ALLOCS.load(Ordering::Relaxed) - before) as f64 / n as f64
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let per_thread: u64 = if quick { 200_000 } else { 2_000_000 };
+    let alloc_reads: u64 = if quick { 100_000 } else { 1_000_000 };
+    let thread_counts = [1usize, 2, 4];
+
+    let hot = Key::from("hot-key-0000000000");
+    let value = Value::from("x".repeat(20));
+
+    let store = MemStore::new(StoreConfig::default());
+    store.write_latest(&hot, ts(1), value.clone());
+    let baseline = MutexBaseline::new(16);
+    baseline.write_latest(&hot, ts(1), value.clone());
+
+    // ---- allocation ablation (single-threaded, quiesced) ----
+    // Warm the thread's epoch registration and drain warm-up garbage so
+    // the measured loop is steady-state.
+    for _ in 0..1_000 {
+        store.read_latest(&hot);
+    }
+    crossbeam::epoch::flush();
+    crossbeam::epoch::flush();
+    let lf_read_latest = allocs_per_op(alloc_reads, || {
+        std::hint::black_box(store.read_latest(&hot));
+    });
+    let lf_read_all = allocs_per_op(alloc_reads, || {
+        std::hint::black_box(store.read_all(&hot));
+    });
+    let base_read_latest = allocs_per_op(alloc_reads, || {
+        std::hint::black_box(baseline.read_latest(&hot));
+    });
+    let base_read_all = allocs_per_op(alloc_reads, || {
+        std::hint::black_box(baseline.read_all(&hot));
+    });
+
+    println!("# store_hotpath — allocation ablation ({alloc_reads} single-version reads)");
+    println!("{:>28} {:>12}", "path", "allocs/op");
+    for (label, a) in [
+        ("lockfree read_latest", lf_read_latest),
+        ("lockfree read_all(snapshot)", lf_read_all),
+        ("mutex read_latest", base_read_latest),
+        ("mutex read_all(deep clone)", base_read_all),
+    ] {
+        println!("{label:>28} {a:>12.4}");
+    }
+
+    // ---- contended single-key reads ----
+    println!("#");
+    println!("# contended reads — every thread hammers the same key ({per_thread} reads/thread)");
+    println!(
+        "{:>8} {:>16} {:>16} {:>10}",
+        "threads", "lockfree_mops", "mutex_mops", "speedup"
+    );
+    let mut rows = Vec::new();
+    for &t in &thread_counts {
+        let lf = run_contended(t, per_thread, &|| {
+            std::hint::black_box(store.read_latest(&hot));
+        });
+        let mx = run_contended(t, per_thread, &|| {
+            std::hint::black_box(baseline.read_latest(&hot));
+        });
+        let speedup = lf / mx;
+        println!("{t:>8} {lf:>16.2} {mx:>16.2} {speedup:>10.2}");
+        rows.push((t, lf, mx, speedup));
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|(t, lf, mx, sp)| {
+            format!(
+                "    {{ \"threads\": {t}, \"lockfree_mops\": {lf:.3}, \
+                 \"mutex_mops\": {mx:.3}, \"speedup\": {sp:.3} }}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"store_hotpath\",\n  \"config\": {{\n    \"quick\": {quick},\n    \
+         \"reads_per_thread\": {per_thread},\n    \"alloc_ablation_reads\": {alloc_reads},\n    \
+         \"value_bytes\": 20,\n    \"shards\": 16\n  }},\n  \"contended_read\": [\n{}\n  ],\n  \
+         \"alloc_ablation\": {{\n    \"lockfree_read_latest_allocs_per_op\": {lf_read_latest:.4},\n    \
+         \"lockfree_read_all_allocs_per_op\": {lf_read_all:.4},\n    \
+         \"mutex_read_latest_allocs_per_op\": {base_read_latest:.4},\n    \
+         \"mutex_read_all_allocs_per_op\": {base_read_all:.4}\n  }}\n}}\n",
+        json_rows.join(",\n"),
+    );
+    std::fs::write("BENCH_store.json", json).expect("write BENCH_store.json");
+    println!("# wrote BENCH_store.json");
+
+    let multi = rows.iter().filter(|(t, ..)| *t >= 2);
+    for (t, _, _, sp) in multi {
+        if *sp < 2.0 {
+            println!("# WARNING: speedup at {t} threads is {sp:.2}x (< 2x target)");
+        }
+    }
+    assert!(
+        lf_read_latest == 0.0 && lf_read_all == 0.0,
+        "single-version read fast path must be allocation-free \
+         (read_latest {lf_read_latest}, read_all {lf_read_all})"
+    );
+}

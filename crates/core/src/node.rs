@@ -593,7 +593,7 @@ impl SednaNode {
                     self.hot_sketches[vnode.index()].offer(&key);
                     let t0 = std::time::Instant::now();
                     let reply = match self.store.read_all(&key) {
-                        Some(values) => ReplicaReadReply::Values(values),
+                        Some(values) => ReplicaReadReply::Values(values.to_vec()),
                         None => ReplicaReadReply::Missing,
                     };
                     apply_nanos = t0.elapsed().as_nanos() as u64;
@@ -620,7 +620,12 @@ impl SednaNode {
             ReplicaOp::TransferRequest { vnode, to_node } => {
                 self.stats.transfers_out += 1;
                 let part = self.cfg.partitioner;
-                let rows = self.store.collect_matching(|k| part.locate(k) == vnode);
+                let rows = self
+                    .store
+                    .collect_matching(|k| part.locate(k) == vnode)
+                    .into_iter()
+                    .map(|(k, snap)| (k, snap.to_vec()))
+                    .collect();
                 ctx.send(
                     self.cfg.node_actor(to_node),
                     SednaMsg::Replica(ReplicaOp::TransferData { vnode, rows }),
@@ -647,9 +652,7 @@ impl SednaNode {
                     .collect_matching(|k| k.as_bytes().starts_with(&prefix))
                     .into_iter()
                     .filter(|(k, _)| self.is_primary(k))
-                    .filter_map(|(k, versions)| {
-                        versions.into_iter().max_by_key(|v| v.ts).map(|v| (k, v))
-                    })
+                    .filter_map(|(k, versions)| versions.latest().cloned().map(|v| (k, v)))
                     .collect();
                 ctx.send(from, SednaMsg::Replica(ReplicaOp::ScanReply { req, rows }));
             }
@@ -674,7 +677,12 @@ impl SednaNode {
                 }
                 self.stats.sync_exchanges += 1;
                 let part = self.cfg.partitioner;
-                let rows = self.store.collect_matching(|k| part.locate(k) == vnode);
+                let rows = self
+                    .store
+                    .collect_matching(|k| part.locate(k) == vnode)
+                    .into_iter()
+                    .map(|(k, snap)| (k, snap.to_vec()))
+                    .collect();
                 let peer = self.cfg.node_actor(from_node);
                 ctx.send(
                     peer,
@@ -833,7 +841,7 @@ impl SednaNode {
             self.vnode_stats[vnode.index()].record_read();
             self.hot_sketches[vnode.index()].offer(key);
             let reply = match values {
-                Some(values) => ReplicaReadReply::Values(values),
+                Some(values) => ReplicaReadReply::Values(values.to_vec()),
                 None => ReplicaReadReply::Missing,
             };
             acks[i] = Some(ReplicaOp::ReadReply {

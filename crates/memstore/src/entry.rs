@@ -1,12 +1,21 @@
-//! A single stored row: timestamped value list + Dirty/Monitors columns.
+//! Row write semantics: timestamped value lists.
 //!
 //! Fig. 5 of the paper: "all the storage table includes two additional
 //! columns: Dirty and Monitors. Every time data was written in this row …
 //! the Dirty field will be written automatically. When programmers register
 //! a monitor on specific data, that program will add itself in the
 //! corresponding Monitors field."
+//!
+//! Since the hot-path overhaul, rows store their versions as immutable
+//! refcounted snapshots ([`crate::RowSnapshot`]); the write operations here
+//! are *pure*: they look at the current version slice and either report the
+//! write outdated / a no-op, or produce the replacement snapshot for the
+//! store to swap in (copy-on-write). The Dirty/Monitors columns live in
+//! [`crate::row`]'s writer-owned metadata.
 
 use sedna_common::{Timestamp, Value};
+
+use crate::snap::RowSnapshot;
 
 /// One element of a row's value list.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,144 +45,97 @@ impl WriteOutcome {
     }
 }
 
-/// A stored row.
-#[derive(Clone, Debug, Default)]
-pub struct Entry {
-    /// The value list. `write_latest` keeps it at one element; `write_all`
-    /// keeps one element per source.
-    pub versions: Vec<VersionedValue>,
-    /// Set whenever a write changes the row; cleared by the trigger scanner.
-    pub dirty: bool,
-    /// Snapshot of `versions` taken when the row first became dirty after
-    /// the last scan — the "old data" the paper's filters compare against.
-    pub pending_old: Option<Box<[VersionedValue]>>,
-    /// Monitor ids registered directly on this key.
-    pub monitors: Vec<u32>,
-    /// LRU stamp maintained by the store (not part of the logical row).
-    pub(crate) access_version: u64,
-    /// Index of this row's slot in the shard's LRU slot table, allocated
-    /// on first touch (not part of the logical row).
-    pub(crate) lru_slot: Option<u32>,
+/// Decision of a pure write application against the current version slice.
+pub(crate) enum Applied {
+    /// A strictly newer value was present; reject.
+    Outdated,
+    /// Idempotent duplicate: report `Ok` but change nothing (and do not
+    /// re-dirty the row).
+    Unchanged,
+    /// The row's versions become this snapshot.
+    Replaced(RowSnapshot),
 }
 
-impl Entry {
-    /// Creates an empty row.
-    pub fn new() -> Self {
-        Entry::default()
-    }
+/// The freshest element of a version slice, by timestamp.
+pub(crate) fn latest_of(versions: &[VersionedValue]) -> Option<&VersionedValue> {
+    versions.iter().max_by_key(|v| v.ts)
+}
 
-    /// The freshest element, by timestamp (what `read_latest` returns).
-    pub fn latest(&self) -> Option<&VersionedValue> {
-        self.versions.iter().max_by_key(|v| v.ts)
+/// `write_latest` (Sec. III-F): the row collapses to a single element if
+/// (and only if) `ts` is not older than everything stored.
+pub(crate) fn apply_write_latest(cur: &[VersionedValue], ts: Timestamp, value: Value) -> Applied {
+    let max = latest_of(cur).map(|v| v.ts).unwrap_or(Timestamp::ZERO);
+    if ts < max {
+        return Applied::Outdated;
     }
-
-    /// The newest timestamp in the row, or [`Timestamp::ZERO`] when empty.
-    pub fn max_ts(&self) -> Timestamp {
-        self.latest().map(|v| v.ts).unwrap_or(Timestamp::ZERO)
+    if ts == max && !cur.is_empty() {
+        // Duplicate delivery of the same write: idempotent success.
+        return Applied::Unchanged;
     }
+    Applied::Replaced(RowSnapshot::one(VersionedValue { ts, value }))
+}
 
-    /// Applies a `write_latest`: the row collapses to a single element if
-    /// (and only if) `ts` is not older than everything stored.
-    pub fn write_latest(&mut self, ts: Timestamp, value: Value) -> WriteOutcome {
-        let cur = self.max_ts();
-        if ts < cur {
-            return WriteOutcome::Outdated;
+/// `write_all` (Sec. III-F): only the element from the same source
+/// (`ts.origin`) is compared and replaced; other sources' elements are
+/// untouched.
+pub(crate) fn apply_write_all(cur: &[VersionedValue], ts: Timestamp, value: Value) -> Applied {
+    match cur.iter().position(|v| v.ts.origin == ts.origin) {
+        Some(i) => {
+            if ts < cur[i].ts {
+                return Applied::Outdated;
+            }
+            if ts == cur[i].ts {
+                return Applied::Unchanged;
+            }
+            let mut next = cur.to_vec();
+            next[i] = VersionedValue { ts, value };
+            Applied::Replaced(RowSnapshot::from_vec(next))
         }
-        if ts == cur && !self.versions.is_empty() {
-            // Duplicate delivery of the same write: idempotent success.
-            return WriteOutcome::Ok;
+        None => {
+            let mut next = Vec::with_capacity(cur.len() + 1);
+            next.extend_from_slice(cur);
+            next.push(VersionedValue { ts, value });
+            Applied::Replaced(RowSnapshot::from_vec(next))
         }
-        self.snapshot_old();
-        self.versions.clear();
-        self.versions.push(VersionedValue { ts, value });
-        self.dirty = true;
-        WriteOutcome::Ok
     }
+}
 
-    /// Applies a `write_all`: only the element from the same source
-    /// (`ts.origin`) is compared and replaced; other sources' elements are
-    /// untouched (Sec. III-F).
-    pub fn write_all(&mut self, ts: Timestamp, value: Value) -> WriteOutcome {
-        match self.versions.iter_mut().find(|v| v.ts.origin == ts.origin) {
+/// Merge of a full version list (replica synchronization / recovery):
+/// element-wise per-source newest-wins. Returns the merged list when
+/// anything changed, `None` for a no-op. Merging never dirties a row —
+/// replica repair is not an application write and must not fire triggers
+/// on the repaired copy.
+pub(crate) fn merge_lists(
+    cur: &[VersionedValue],
+    incoming: &[VersionedValue],
+) -> Option<Vec<VersionedValue>> {
+    let mut next = cur.to_vec();
+    let mut changed = false;
+    for inc in incoming {
+        match next.iter_mut().find(|v| v.ts.origin == inc.ts.origin) {
             Some(existing) => {
-                if ts < existing.ts {
-                    return WriteOutcome::Outdated;
-                }
-                if ts == existing.ts {
-                    return WriteOutcome::Ok;
-                }
-                let snapshot: Box<[VersionedValue]> = self.versions.clone().into_boxed_slice();
-                let slot = self
-                    .versions
-                    .iter_mut()
-                    .find(|v| v.ts.origin == ts.origin)
-                    .expect("just found");
-                slot.ts = ts;
-                slot.value = value;
-                if self.pending_old.is_none() && !self.dirty {
-                    self.pending_old = Some(snapshot);
-                }
-                self.dirty = true;
-                WriteOutcome::Ok
-            }
-            None => {
-                self.snapshot_old();
-                self.versions.push(VersionedValue { ts, value });
-                self.dirty = true;
-                WriteOutcome::Ok
-            }
-        }
-    }
-
-    /// Merges a full version list (replica synchronization / recovery):
-    /// element-wise per-source newest-wins. Returns true when anything
-    /// changed. Merging never marks the row dirty — replica repair is not an
-    /// application write and must not fire triggers on the repaired copy.
-    pub fn merge(&mut self, incoming: &[VersionedValue]) -> bool {
-        let mut changed = false;
-        for inc in incoming {
-            match self
-                .versions
-                .iter_mut()
-                .find(|v| v.ts.origin == inc.ts.origin)
-            {
-                Some(existing) => {
-                    if inc.ts > existing.ts {
-                        *existing = inc.clone();
-                        changed = true;
-                    }
-                }
-                None => {
-                    self.versions.push(inc.clone());
+                if inc.ts > existing.ts {
+                    *existing = inc.clone();
                     changed = true;
                 }
             }
-        }
-        changed
-    }
-
-    /// Approximate heap footprint of the row's payload, for the store's
-    /// memory accounting. Matches memcached's spirit (item overhead + data).
-    pub fn payload_bytes(&self) -> usize {
-        const PER_VERSION_OVERHEAD: usize = 32;
-        self.versions
-            .iter()
-            .map(|v| v.value.len() + PER_VERSION_OVERHEAD)
-            .sum()
-    }
-
-    /// Clears the dirty flag and takes the old-value snapshot (the scanner
-    /// calls this after collecting the row).
-    pub fn clear_dirty(&mut self) -> Option<Box<[VersionedValue]>> {
-        self.dirty = false;
-        self.pending_old.take()
-    }
-
-    fn snapshot_old(&mut self) {
-        if self.pending_old.is_none() && !self.dirty {
-            self.pending_old = Some(self.versions.clone().into_boxed_slice());
+            None => {
+                next.push(inc.clone());
+                changed = true;
+            }
         }
     }
+    changed.then_some(next)
+}
+
+/// Approximate heap footprint of a version slice, for the store's memory
+/// accounting. Matches memcached's spirit (item overhead + data).
+pub(crate) fn payload_of(versions: &[VersionedValue]) -> usize {
+    const PER_VERSION_OVERHEAD: usize = 32;
+    versions
+        .iter()
+        .map(|v| v.value.len() + PER_VERSION_OVERHEAD)
+        .sum()
 }
 
 #[cfg(test)]
@@ -185,95 +147,98 @@ mod tests {
         Timestamp::new(micros, 0, NodeId(origin))
     }
 
-    #[test]
-    fn write_latest_newer_wins_older_rejected() {
-        let mut e = Entry::new();
-        assert_eq!(
-            e.write_latest(ts(10, 1), Value::from("a")),
-            WriteOutcome::Ok
-        );
-        assert_eq!(
-            e.write_latest(ts(5, 2), Value::from("b")),
-            WriteOutcome::Outdated
-        );
-        assert_eq!(e.latest().unwrap().value, Value::from("a"));
-        assert_eq!(
-            e.write_latest(ts(20, 2), Value::from("c")),
-            WriteOutcome::Ok
-        );
-        assert_eq!(e.latest().unwrap().value, Value::from("c"));
-        assert_eq!(e.versions.len(), 1, "write_latest collapses the list");
+    /// Applies a decision to an owned list, mimicking the store's swap.
+    fn step(cur: &mut Vec<VersionedValue>, applied: Applied) -> WriteOutcome {
+        match applied {
+            Applied::Outdated => WriteOutcome::Outdated,
+            Applied::Unchanged => WriteOutcome::Ok,
+            Applied::Replaced(snap) => {
+                *cur = snap.to_vec();
+                WriteOutcome::Ok
+            }
+        }
     }
 
     #[test]
-    fn write_latest_duplicate_is_idempotent_ok() {
-        let mut e = Entry::new();
-        e.write_latest(ts(10, 1), Value::from("a"));
-        e.clear_dirty();
-        assert_eq!(
-            e.write_latest(ts(10, 1), Value::from("a")),
-            WriteOutcome::Ok
+    fn write_latest_newer_wins_older_rejected() {
+        let mut row = Vec::new();
+        let applied = apply_write_latest(&row, ts(10, 1), Value::from("a"));
+        assert_eq!(step(&mut row, applied), WriteOutcome::Ok);
+        let applied = apply_write_latest(&row, ts(5, 2), Value::from("b"));
+        assert_eq!(step(&mut row, applied), WriteOutcome::Outdated);
+        assert_eq!(latest_of(&row).unwrap().value, Value::from("a"));
+        let applied = apply_write_latest(&row, ts(20, 2), Value::from("c"));
+        assert_eq!(step(&mut row, applied), WriteOutcome::Ok);
+        assert_eq!(latest_of(&row).unwrap().value, Value::from("c"));
+        assert_eq!(row.len(), 1, "write_latest collapses the list");
+    }
+
+    #[test]
+    fn write_latest_duplicate_is_unchanged_ok() {
+        let mut row = Vec::new();
+        step(
+            &mut row,
+            apply_write_latest(&[], ts(10, 1), Value::from("a")),
         );
-        assert!(!e.dirty, "duplicate must not re-dirty the row");
+        assert!(
+            matches!(
+                apply_write_latest(&row, ts(10, 1), Value::from("a")),
+                Applied::Unchanged
+            ),
+            "duplicate must not re-dirty the row"
+        );
     }
 
     #[test]
     fn write_all_keeps_one_element_per_source() {
-        let mut e = Entry::new();
-        e.write_all(ts(10, 1), Value::from("s1-a"));
-        e.write_all(ts(12, 2), Value::from("s2-a"));
-        e.write_all(ts(11, 1), Value::from("s1-b"));
-        assert_eq!(e.versions.len(), 2);
-        let v1 = e
-            .versions
-            .iter()
-            .find(|v| v.ts.origin == NodeId(1))
-            .unwrap();
+        let mut row = Vec::new();
+        step(
+            &mut row,
+            apply_write_all(&[], ts(10, 1), Value::from("s1-a")),
+        );
+        let cur = row.clone();
+        step(
+            &mut row,
+            apply_write_all(&cur, ts(12, 2), Value::from("s2-a")),
+        );
+        let cur = row.clone();
+        step(
+            &mut row,
+            apply_write_all(&cur, ts(11, 1), Value::from("s1-b")),
+        );
+        assert_eq!(row.len(), 2);
+        let v1 = row.iter().find(|v| v.ts.origin == NodeId(1)).unwrap();
         assert_eq!(v1.value, Value::from("s1-b"));
         // Older per-source write rejected even if newer than other sources.
-        assert_eq!(
-            e.write_all(ts(10, 1), Value::from("stale")),
-            WriteOutcome::Outdated
-        );
+        assert!(matches!(
+            apply_write_all(&row, ts(10, 1), Value::from("stale")),
+            Applied::Outdated
+        ));
         // read_latest sees the globally freshest element.
-        assert_eq!(e.latest().unwrap().value, Value::from("s2-a"));
+        assert_eq!(latest_of(&row).unwrap().value, Value::from("s2-a"));
     }
 
     #[test]
     fn write_all_then_latest_collapses() {
-        let mut e = Entry::new();
-        e.write_all(ts(10, 1), Value::from("a"));
-        e.write_all(ts(11, 2), Value::from("b"));
-        e.write_latest(ts(12, 3), Value::from("winner"));
-        assert_eq!(e.versions.len(), 1);
-        assert_eq!(e.latest().unwrap().value, Value::from("winner"));
+        let mut row = Vec::new();
+        step(&mut row, apply_write_all(&[], ts(10, 1), Value::from("a")));
+        let cur = row.clone();
+        step(&mut row, apply_write_all(&cur, ts(11, 2), Value::from("b")));
+        let cur = row.clone();
+        step(
+            &mut row,
+            apply_write_latest(&cur, ts(12, 3), Value::from("winner")),
+        );
+        assert_eq!(row.len(), 1);
+        assert_eq!(latest_of(&row).unwrap().value, Value::from("winner"));
     }
 
     #[test]
-    fn dirty_and_old_snapshot_semantics() {
-        let mut e = Entry::new();
-        e.write_latest(ts(10, 1), Value::from("a"));
-        assert!(e.dirty);
-        let old = e.pending_old.as_ref().unwrap();
-        assert!(old.is_empty(), "row was empty before first write");
-        // Second write before a scan keeps the *first* old snapshot.
-        e.write_latest(ts(11, 1), Value::from("b"));
-        assert!(e.pending_old.as_ref().unwrap().is_empty());
-        let taken = e.clear_dirty().unwrap();
-        assert!(taken.is_empty());
-        assert!(!e.dirty);
-        // After the scan, the next write snapshots the current value.
-        e.write_latest(ts(12, 1), Value::from("c"));
-        let old = e.pending_old.as_ref().unwrap();
-        assert_eq!(old.len(), 1);
-        assert_eq!(old[0].value, Value::from("b"));
-    }
-
-    #[test]
-    fn merge_is_per_source_newest_wins_and_not_dirtying() {
-        let mut e = Entry::new();
-        e.write_all(ts(10, 1), Value::from("mine"));
-        e.clear_dirty();
+    fn merge_is_per_source_newest_wins() {
+        let row = vec![VersionedValue {
+            ts: ts(10, 1),
+            value: Value::from("mine"),
+        }];
         let incoming = vec![
             VersionedValue {
                 ts: ts(5, 1),
@@ -284,10 +249,10 @@ mod tests {
                 value: Value::from("other"),
             },
         ];
-        assert!(e.merge(&incoming));
-        assert_eq!(e.versions.len(), 2);
+        let merged = merge_lists(&row, &incoming).expect("new source merged");
+        assert_eq!(merged.len(), 2);
         assert_eq!(
-            e.versions
+            merged
                 .iter()
                 .find(|v| v.ts.origin == NodeId(1))
                 .unwrap()
@@ -295,27 +260,32 @@ mod tests {
             Value::from("mine"),
             "stale incoming element ignored"
         );
-        assert!(!e.dirty, "repair must not fire triggers");
         // Merging identical content again changes nothing.
-        let now: Vec<_> = e.versions.clone();
-        assert!(!e.merge(&now));
+        assert!(merge_lists(&merged, &merged.clone()).is_none());
     }
 
     #[test]
     fn payload_accounting_tracks_values() {
-        let mut e = Entry::new();
-        assert_eq!(e.payload_bytes(), 0);
-        e.write_all(ts(1, 1), Value::from("xxxx"));
-        e.write_all(ts(1, 2), Value::from("yyyyyyyy"));
-        assert_eq!(e.payload_bytes(), 4 + 32 + 8 + 32);
-        e.write_latest(ts(2, 1), Value::from("z"));
-        assert_eq!(e.payload_bytes(), 1 + 32);
+        assert_eq!(payload_of(&[]), 0);
+        let row = vec![
+            VersionedValue {
+                ts: ts(1, 1),
+                value: Value::from("xxxx"),
+            },
+            VersionedValue {
+                ts: ts(1, 2),
+                value: Value::from("yyyyyyyy"),
+            },
+        ];
+        assert_eq!(payload_of(&row), 4 + 32 + 8 + 32);
     }
 
     #[test]
-    fn max_ts_and_latest_empty_row() {
-        let e = Entry::new();
-        assert!(e.latest().is_none());
-        assert_eq!(e.max_ts(), Timestamp::ZERO);
+    fn latest_of_empty_is_none() {
+        assert!(latest_of(&[]).is_none());
+        assert!(matches!(
+            apply_write_latest(&[], Timestamp::ZERO, Value::from("z")),
+            Applied::Replaced(_)
+        ));
     }
 }

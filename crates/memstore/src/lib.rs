@@ -13,14 +13,17 @@
 //! * **`Dirty` and `Monitors` columns** — every row carries a dirty flag,
 //!   the pre-change value snapshot, and the monitor ids watching it, which
 //!   the trigger subsystem's scanner threads sweep (Sec. IV-C, Fig. 5).
-//! * **Sharded concurrency** — the table is split into power-of-two shards,
-//!   each behind its own lock, so concurrent clients rarely collide (the
-//!   paper's "Read&Write … Lock-Free Processing" claim is timestamp
-//!   comparison instead of read-modify-write locking; shard locks only
-//!   protect map structure).
+//! * **Sharded, lock-free-read concurrency** — the table is split into
+//!   power-of-two shards. Reads never lock: they pin an epoch guard
+//!   (crossbeam-style reclamation), probe a lock-free open-addressing
+//!   index, and return a refcounted [`RowSnapshot`] — a refcount bump, not
+//!   a deep clone (the paper's "Read&Write … Lock-Free Processing" claim).
+//!   Writers serialize per shard and copy-on-write the row's version list;
+//!   rows live in per-shard slab pages, not individual heap boxes.
 //! * **LRU eviction with memory accounting** — memcached semantics: when a
 //!   configured budget is exceeded, least-recently-used clean rows are
-//!   evicted.
+//!   evicted. The LRU touch is a relaxed per-row clock stamp, off the read
+//!   critical path.
 //!
 //! [`Timestamp`]: sedna_common::Timestamp
 //!
@@ -42,11 +45,15 @@
 //! ```
 
 pub mod entry;
+mod row;
 pub mod sketch;
+mod snap;
 pub mod stats;
 pub mod store;
+mod table;
 
-pub use entry::{Entry, VersionedValue, WriteOutcome};
+pub use entry::{VersionedValue, WriteOutcome};
 pub use sketch::{HotKey, SpaceSaving};
+pub use snap::RowSnapshot;
 pub use stats::StoreStats;
-pub use store::{BatchWrite, BatchWriteResult, DirtyRecord, MemStore, StoreConfig};
+pub use store::{BatchWrite, BatchWriteResult, DirtyRecord, MemStore, StoreConfig, StoreFootprint};

@@ -11,8 +11,11 @@
 //! point, remembering that count as the newcomer's maximum overestimation
 //! (`err`). Guarantees: every key with true frequency above `total/cap` is
 //! in the table, and `count - err ≤ true frequency ≤ count`.
-
-use std::collections::HashMap;
+//!
+//! Because `cap` is small (sixteen per vnode in practice) the entry table
+//! is scanned linearly — no side index to keep coherent, one key clone per
+//! adoption, and `top(k)` sorts a scratch array of indices instead of
+//! cloning every entry.
 
 use sedna_common::Key;
 
@@ -32,7 +35,6 @@ pub struct HotKey {
 pub struct SpaceSaving {
     cap: usize,
     entries: Vec<HotKey>,
-    index: HashMap<Key, usize>,
     total: u64,
 }
 
@@ -42,7 +44,6 @@ impl SpaceSaving {
         SpaceSaving {
             cap,
             entries: Vec::with_capacity(cap),
-            index: HashMap::with_capacity(cap),
             total: 0,
         }
     }
@@ -78,12 +79,20 @@ impl SpaceSaving {
             return;
         }
         self.total += n;
-        if let Some(&i) = self.index.get(key) {
-            self.entries[i].count += n;
-            return;
+        // One pass finds both the monitored entry (if any) and the
+        // minimum-count victim (in case there is none).
+        let (mut min_i, mut min_c) = (0, u64::MAX);
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if e.key == *key {
+                e.count += n;
+                return;
+            }
+            if e.count < min_c {
+                min_i = i;
+                min_c = e.count;
+            }
         }
         if self.entries.len() < self.cap {
-            self.index.insert(key.clone(), self.entries.len());
             self.entries.push(HotKey {
                 key: key.clone(),
                 count: n,
@@ -93,38 +102,32 @@ impl SpaceSaving {
         }
         // Evict the minimum-count entry and inherit its count as the
         // newcomer's floor — the classic Space-Saving replacement.
-        let (mut min_i, mut min_c) = (0, u64::MAX);
-        for (i, e) in self.entries.iter().enumerate() {
-            if e.count < min_c {
-                min_i = i;
-                min_c = e.count;
-            }
-        }
-        let evicted = std::mem::replace(
-            &mut self.entries[min_i],
-            HotKey {
-                key: key.clone(),
-                count: min_c + n,
-                err: min_c,
-            },
-        );
-        self.index.remove(&evicted.key);
-        self.index.insert(key.clone(), min_i);
+        self.entries[min_i] = HotKey {
+            key: key.clone(),
+            count: min_c + n,
+            err: min_c,
+        };
     }
 
     /// The top `k` monitored keys, highest estimated count first (ties
-    /// break on the key bytes for determinism).
+    /// break on the key bytes for determinism). Only the returned `k`
+    /// entries are cloned; ordering happens on an index scratchpad.
     pub fn top(&self, k: usize) -> Vec<HotKey> {
-        let mut out = self.entries.clone();
-        out.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp(&b.key)));
-        out.truncate(k);
-        out
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (ea, eb) = (&self.entries[a], &self.entries[b]);
+            eb.count.cmp(&ea.count).then_with(|| ea.key.cmp(&eb.key))
+        });
+        order
+            .into_iter()
+            .take(k)
+            .map(|i| self.entries[i].clone())
+            .collect()
     }
 
     /// Forgets everything (used when a vnode is vacated or rebalanced).
     pub fn clear(&mut self) {
         self.entries.clear();
-        self.index.clear();
         self.total = 0;
     }
 }
@@ -197,7 +200,6 @@ mod tests {
             s.offer(&key(i % 5_000));
         }
         assert_eq!(s.len(), 8);
-        assert!(s.index.len() == 8);
         assert_eq!(s.total(), 100_000);
     }
 
@@ -219,5 +221,16 @@ mod tests {
         assert_eq!(s.total(), 0);
         s.offer(&key(2));
         assert_eq!(s.top(1)[0].key, key(2));
+    }
+
+    #[test]
+    fn top_is_a_prefix_of_the_full_ordering() {
+        let mut s = SpaceSaving::new(8);
+        for i in 0..8usize {
+            s.offer_n(&key(i), (i as u64 + 1) * 3);
+        }
+        let all = s.top(8);
+        assert_eq!(s.top(3), all[..3].to_vec());
+        assert!(s.top(100).len() == 8, "k beyond len clamps");
     }
 }

@@ -1,0 +1,158 @@
+//! Refcounted, immutable row snapshots.
+//!
+//! A row's value list is stored as an [`Arc`]'d [`SnapRepr`] that is never
+//! mutated in place — writers build a replacement and swap the row's
+//! pointer. Readers therefore return a [`RowSnapshot`] (a refcount bump)
+//! instead of deep-cloning a `Vec<VersionedValue>`, and the trigger
+//! scanner's pre-change snapshot (`pending_old`) is an `Arc` clone of
+//! whatever the row held, taken in O(1).
+//!
+//! The single-version case — `write_latest`'s steady state — is stored
+//! inline in the enum ([`SnapRepr::One`]), so the common read is one
+//! pointer chase with no boxed-slice indirection.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::entry::VersionedValue;
+
+/// Packed representation of a non-empty version list.
+#[derive(Debug)]
+pub(crate) enum SnapRepr {
+    /// Exactly one version (the `write_latest` fast path).
+    One(VersionedValue),
+    /// Two or more versions (one per `write_all` source).
+    Many(Box<[VersionedValue]>),
+}
+
+impl SnapRepr {
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[VersionedValue] {
+        match self {
+            SnapRepr::One(v) => std::slice::from_ref(v),
+            SnapRepr::Many(vs) => vs,
+        }
+    }
+}
+
+/// An immutable, cheaply clonable view of a row's version list at some
+/// moment. Derefs to `[VersionedValue]`; `clone()` is a refcount bump.
+///
+/// The empty snapshot carries no allocation at all.
+#[derive(Clone, Default)]
+pub struct RowSnapshot(pub(crate) Option<Arc<SnapRepr>>);
+
+impl RowSnapshot {
+    /// The empty snapshot (a row with no data).
+    pub fn empty() -> RowSnapshot {
+        RowSnapshot(None)
+    }
+
+    /// Wraps a single version without building an intermediate `Vec`.
+    pub(crate) fn one(v: VersionedValue) -> RowSnapshot {
+        RowSnapshot(Some(Arc::new(SnapRepr::One(v))))
+    }
+
+    /// Builds a snapshot from an owned version list.
+    pub(crate) fn from_vec(mut v: Vec<VersionedValue>) -> RowSnapshot {
+        match v.len() {
+            0 => RowSnapshot(None),
+            1 => RowSnapshot::one(v.pop().expect("len checked")),
+            _ => RowSnapshot(Some(Arc::new(SnapRepr::Many(v.into_boxed_slice())))),
+        }
+    }
+
+    /// The versions as a slice (empty slice for the empty snapshot).
+    #[inline]
+    pub fn as_slice(&self) -> &[VersionedValue] {
+        self.0.as_deref().map(SnapRepr::as_slice).unwrap_or(&[])
+    }
+
+    /// Copies the versions into an owned `Vec` (e.g. to put on the wire).
+    pub fn to_vec(&self) -> Vec<VersionedValue> {
+        self.as_slice().to_vec()
+    }
+
+    /// The freshest element by timestamp (what `read_latest` returns).
+    pub fn latest(&self) -> Option<&VersionedValue> {
+        self.as_slice().iter().max_by_key(|v| v.ts)
+    }
+}
+
+impl Deref for RowSnapshot {
+    type Target = [VersionedValue];
+
+    #[inline]
+    fn deref(&self) -> &[VersionedValue] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<VersionedValue>> for RowSnapshot {
+    fn from(v: Vec<VersionedValue>) -> RowSnapshot {
+        RowSnapshot::from_vec(v)
+    }
+}
+
+impl PartialEq for RowSnapshot {
+    fn eq(&self, other: &RowSnapshot) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for RowSnapshot {}
+
+/// `Debug` prints the version slice, so assertion failures read the same
+/// as they did when rows were plain `Vec`s.
+impl fmt::Debug for RowSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedna_common::{NodeId, Timestamp, Value};
+
+    fn vv(micros: u64, origin: u32, value: &str) -> VersionedValue {
+        VersionedValue {
+            ts: Timestamp::new(micros, 0, NodeId(origin)),
+            value: Value::from(value.to_string()),
+        }
+    }
+
+    #[test]
+    fn empty_single_and_many_round_trip() {
+        let empty = RowSnapshot::empty();
+        assert!(empty.is_empty());
+        assert!(empty.latest().is_none());
+        assert_eq!(empty.to_vec(), Vec::new());
+
+        let one = RowSnapshot::from_vec(vec![vv(1, 0, "a")]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.latest().unwrap().value, Value::from("a"));
+
+        let many = RowSnapshot::from_vec(vec![vv(1, 0, "a"), vv(5, 1, "b")]);
+        assert_eq!(many.len(), 2);
+        assert_eq!(many.latest().unwrap().value, Value::from("b"));
+        assert_eq!(many.to_vec().len(), 2);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = RowSnapshot::from_vec(vec![vv(1, 0, "a")]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_slice().as_ptr(), b.as_slice().as_ptr()));
+    }
+
+    #[test]
+    fn eq_compares_contents_not_repr() {
+        let a = RowSnapshot::from_vec(vec![vv(1, 0, "a")]);
+        let b = RowSnapshot::from_vec(vec![vv(1, 0, "a")]);
+        assert_eq!(a, b);
+        assert_ne!(a, RowSnapshot::empty());
+    }
+}

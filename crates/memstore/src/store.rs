@@ -1,31 +1,63 @@
 //! The sharded, concurrent store.
 //!
 //! A [`MemStore`] splits its key space over a power-of-two number of shards
-//! (FNV-1a of the key picks the shard), each protected by its own
-//! `parking_lot::Mutex`. Writes are timestamp-compared inside the row
-//! ([`Entry`]), so there is never a read-modify-write transaction across
-//! operations — the paper's "writes on the same key parallel from different
-//! sources without lock mechanism" semantics.
+//! (FNV-1a of the key picks the shard). Since the hot-path overhaul each
+//! shard is two structures with different concurrency disciplines:
+//!
+//! * a lock-free-readable open-addressing [`Table`] mapping keys to
+//!   slab-allocated [`Row`]s — **readers never lock**: they pin an epoch
+//!   guard, probe the table, bump the refcount of the row's immutable
+//!   snapshot ([`RowSnapshot`]) and leave. A single-version read performs
+//!   zero heap allocations. The LRU touch is a relaxed store of the shard
+//!   clock into the row's stamp — no queue, no lock.
+//! * a writer mutex serializing all mutation (writes, removes, monitor
+//!   edits, eviction, the trigger scan). Writers are copy-on-write: they
+//!   build the replacement snapshot, swap the row's pointer, and retire
+//!   the old snapshot / row / table through the epoch so in-flight readers
+//!   finish safely.
+//!
+//! Writes are timestamp-compared inside the row ([`crate::entry`]), so
+//! there is never a read-modify-write transaction across operations — the
+//! paper's "writes on the same key parallel from different sources without
+//! lock mechanism" semantics.
 //!
 //! When a memory budget is configured the store behaves like memcached:
-//! least-recently-used rows are evicted to stay within budget. Rows carrying
-//! monitors are never evicted — they are the realtime substrate and dropping
-//! them would silently unhook triggers. Merely-dirty rows *are* evictable
-//! (cache semantics; the trigger interval already tolerates coalesced or
-//! dropped intermediate changes, Sec. IV-B).
+//! least-recently-used rows are evicted to stay within budget, chosen by
+//! sampling live rows' stamps (exact LRU for small shards, memcached-style
+//! approximation for large ones). Rows carrying monitors are never evicted
+//! — they are the realtime substrate and dropping them would silently
+//! unhook triggers. Merely-dirty rows *are* evictable (cache semantics;
+//! the trigger interval already tolerates coalesced or dropped
+//! intermediate changes, Sec. IV-B).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
 
+use crossbeam::epoch::{self, Guard};
 use parking_lot::Mutex;
-use sedna_common::hashing::{fnv1a64, FnvBuildHasher};
+use sedna_common::hashing::fnv1a64;
 use sedna_common::{Key, Timestamp, Value};
 
-use crate::entry::{Entry, VersionedValue, WriteOutcome};
+use crate::entry::{
+    apply_write_all, apply_write_latest, latest_of, merge_lists, payload_of, Applied,
+    VersionedValue, WriteOutcome,
+};
+use crate::row::{Row, RowMeta, RowSlab, PAGE};
+use crate::snap::RowSnapshot;
 use crate::stats::{StatsSnapshot, StoreStats};
+use crate::table::{is_live, mix, Locate, Table};
 
-/// Fixed per-row overhead charged to the memory budget (hash-table slot,
-/// key header, LRU bookkeeping) — the analogue of memcached's item header.
+/// Fixed per-row overhead charged to the memory budget (index slot, row
+/// header) — the analogue of memcached's item header.
 const ROW_OVERHEAD: usize = 64;
+
+/// Smallest per-shard table.
+const MIN_TABLE_CAP: usize = 8;
+
+/// Rows examined per eviction: the lowest-stamp one goes. Shards at or
+/// below this size get exact LRU.
+const EVICT_SAMPLE: usize = 16;
 
 /// Store configuration.
 #[derive(Clone, Copy, Debug)]
@@ -46,83 +78,61 @@ impl Default for StoreConfig {
     }
 }
 
-struct Shard {
-    map: HashMap<Key, Entry, FnvBuildHasher>,
-    /// Slot table for LRU bookkeeping: each resident row gets a stable
-    /// slot holding its key; the queue then stores 12-byte `(slot,
-    /// access_version)` handles instead of cloning the key on every touch.
-    slots: Vec<Option<Key>>,
-    free_slots: Vec<u32>,
-    /// Lazy LRU queue: `(slot, access_version)` pairs; an element is live
-    /// only while the row's current `access_version` matches.
-    lru: VecDeque<(u32, u64)>,
-    access_counter: u64,
+/// Writer-side shard state, all behind the shard mutex.
+struct ShardInner {
+    /// Live rows in the table (including data-less monitor rows).
+    live: usize,
+    /// Tombstoned slots (cleared on rehash).
+    tombs: usize,
+    /// Bytes charged against the budget.
     payload_bytes: usize,
+    /// Eviction sampling cursor.
+    evict_cursor: usize,
+}
+
+struct Shard {
+    /// Current index table; retired tables are epoch-deferred.
+    table: AtomicPtr<Table>,
+    /// LRU clock; readers stamp rows with `fetch_add` results.
+    clock: AtomicU64,
+    /// Row arena. `Arc`: deferred row releases may outlive the store.
+    slab: Arc<RowSlab>,
+    inner: Mutex<ShardInner>,
 }
 
 impl Shard {
-    fn new() -> Self {
+    fn new() -> Shard {
         Shard {
-            map: HashMap::with_hasher(FnvBuildHasher::default()),
-            slots: Vec::new(),
-            free_slots: Vec::new(),
-            lru: VecDeque::new(),
-            access_counter: 0,
-            payload_bytes: 0,
+            table: AtomicPtr::new(Box::into_raw(Table::boxed(MIN_TABLE_CAP))),
+            clock: AtomicU64::new(1),
+            slab: RowSlab::new(),
+            inner: Mutex::new(ShardInner {
+                live: 0,
+                tombs: 0,
+                payload_bytes: 0,
+                evict_cursor: 0,
+            }),
         }
     }
 
-    fn touch(&mut self, key: &Key) {
-        self.access_counter += 1;
-        let c = self.access_counter;
-        let Some(e) = self.map.get_mut(key) else {
-            return;
-        };
-        e.access_version = c;
-        let slot = match e.lru_slot {
-            Some(s) => s,
-            None => {
-                // First touch: allocate a slot (the only place the key is
-                // cloned for LRU purposes).
-                let s = match self.free_slots.pop() {
-                    Some(s) => {
-                        self.slots[s as usize] = Some(key.clone());
-                        s
-                    }
-                    None => {
-                        self.slots.push(Some(key.clone()));
-                        (self.slots.len() - 1) as u32
-                    }
-                };
-                self.map.get_mut(key).expect("present above").lru_slot = Some(s);
-                s
-            }
-        };
-        self.lru.push_back((slot, c));
-        // Lazy-deletion queues grow with every touch; compact when the
-        // stale fraction dominates.
-        if self.lru.len() > 4 * self.map.len() + 64 {
-            let map = &self.map;
-            let slots = &self.slots;
-            self.lru.retain(|(s, v)| {
-                slots[*s as usize]
-                    .as_ref()
-                    .and_then(|k| map.get(k))
-                    .is_some_and(|e| e.access_version == *v)
-            });
-        }
+    /// # Safety
+    ///
+    /// Caller must hold an epoch guard (readers) or the shard mutex
+    /// (writers); the reference is valid for that scope.
+    #[inline]
+    unsafe fn table(&self) -> &Table {
+        &*self.table.load(Ordering::Acquire)
     }
 
-    /// Returns a removed row's LRU slot to the free list.
-    fn release_slot(&mut self, entry: &Entry) {
-        if let Some(s) = entry.lru_slot {
-            self.slots[s as usize] = None;
-            self.free_slots.push(s);
-        }
+    /// Stamps a row as just-touched. Lock-free; called by readers too.
+    #[inline]
+    fn touch(&self, row: &Row) {
+        let c = self.clock.fetch_add(1, Ordering::Relaxed);
+        row.stamp.store(c, Ordering::Relaxed);
     }
 
-    fn row_cost(key: &Key, entry: &Entry) -> usize {
-        key.len() + entry.payload_bytes() + ROW_OVERHEAD
+    fn row_cost(row: &Row, versions: &[VersionedValue]) -> usize {
+        row.key.len() + payload_of(versions) + ROW_OVERHEAD
     }
 }
 
@@ -154,17 +164,31 @@ pub struct BatchWriteResult {
 pub struct DirtyRecord {
     /// The row's key.
     pub key: Key,
-    /// Value list before the row became dirty (empty slice = row was new).
-    pub old: Vec<VersionedValue>,
+    /// Value list before the row became dirty (empty = row was new).
+    pub old: RowSnapshot,
     /// Value list now.
-    pub new: Vec<VersionedValue>,
+    pub new: RowSnapshot,
     /// Monitor ids registered directly on this key.
     pub monitors: Vec<u32>,
 }
 
+/// Size of the store's physical structures, for footprint regression
+/// tests and capacity planning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreFootprint {
+    /// Live index entries (including data-less monitor rows).
+    pub rows: usize,
+    /// Total index slots across all shard tables.
+    pub table_slots: usize,
+    /// Slab pages allocated across all shards.
+    pub slab_pages: usize,
+    /// Row cells those pages hold (`slab_pages × page size`).
+    pub slab_cells: usize,
+}
+
 /// The sharded in-memory store.
 pub struct MemStore {
-    shards: Box<[Mutex<Shard>]>,
+    shards: Box<[Shard]>,
     mask: u64,
     budget_per_shard: Option<usize>,
     stats: StoreStats,
@@ -174,7 +198,7 @@ impl MemStore {
     /// Creates a store.
     pub fn new(config: StoreConfig) -> Self {
         let n = config.shards.max(1).next_power_of_two();
-        let shards: Vec<Mutex<Shard>> = (0..n).map(|_| Mutex::new(Shard::new())).collect();
+        let shards: Vec<Shard> = (0..n).map(|_| Shard::new()).collect();
         MemStore {
             shards: shards.into_boxed_slice(),
             mask: (n - 1) as u64,
@@ -183,69 +207,224 @@ impl MemStore {
         }
     }
 
+    /// Shard index and (mixed) table hash for `key`.
+    #[inline]
+    fn route(&self, key: &Key) -> (&Shard, u64) {
+        let h = fnv1a64(key.as_bytes());
+        (&self.shards[(h & self.mask) as usize], mix(h))
+    }
+
     #[inline]
     fn shard_index(&self, key: &Key) -> usize {
         (fnv1a64(key.as_bytes()) & self.mask) as usize
     }
 
-    #[inline]
-    fn shard_for(&self, key: &Key) -> &Mutex<Shard> {
-        &self.shards[self.shard_index(key)]
-    }
-
     /// Applies a `write_latest` (Sec. III-F): newest timestamp wins, the
     /// value list collapses to one element.
     pub fn write_latest(&self, key: &Key, ts: Timestamp, value: Value) -> WriteOutcome {
-        self.write_with(key, &self.stats.writes_latest, |e| {
-            e.write_latest(ts, value)
-        })
+        let (shard, h) = self.route(key);
+        let guard = epoch::pin();
+        let mut inner = shard.inner.lock();
+        self.write_one(shard, &mut inner, &guard, key, h, ts, value, true)
+            .0
     }
 
     /// Applies a `write_all` (Sec. III-F): per-source element update.
     pub fn write_all(&self, key: &Key, ts: Timestamp, value: Value) -> WriteOutcome {
-        self.write_with(key, &self.stats.writes_all, |e| e.write_all(ts, value))
+        let (shard, h) = self.route(key);
+        let guard = epoch::pin();
+        let mut inner = shard.inner.lock();
+        self.write_one(shard, &mut inner, &guard, key, h, ts, value, false)
+            .0
     }
 
-    fn write_with(
+    /// Shared write path (shard mutex held). Returns the outcome and
+    /// whether the row held no data beforehand.
+    #[allow(clippy::too_many_arguments)]
+    fn write_one(
         &self,
+        shard: &Shard,
+        inner: &mut ShardInner,
+        guard: &Guard,
         key: &Key,
-        counter: &std::sync::atomic::AtomicU64,
-        apply: impl FnOnce(&mut Entry) -> WriteOutcome,
-    ) -> WriteOutcome {
-        let mut shard = self.shard_for(key).lock();
-        let is_new = !shard.map.contains_key(key);
-        let entry = shard.map.entry(key.clone()).or_default();
-        let before = if is_new {
-            0
+        h: u64,
+        ts: Timestamp,
+        value: Value,
+        latest: bool,
+    ) -> (WriteOutcome, bool) {
+        let counter = if latest {
+            &self.stats.writes_latest
         } else {
-            Shard::row_cost(key, entry)
+            &self.stats.writes_all
         };
-        let outcome = apply(entry);
-        let after = Shard::row_cost(key, entry);
-        shard.payload_bytes = shard.payload_bytes + after - before;
-        match outcome {
-            WriteOutcome::Ok => {
-                shard.touch(key);
-                StoreStats::bump(counter);
-                if let Some(budget) = self.budget_per_shard {
-                    self.evict_from(&mut shard, budget);
+        // SAFETY: shard mutex held.
+        let table = unsafe { shard.table() };
+        match table.locate(h, key) {
+            Locate::Found(_, p) => {
+                // SAFETY: row is live (writer lock held) and we are pinned.
+                let row = unsafe { &*p };
+                let cur = unsafe { row.peek(guard) };
+                let was_new = cur.is_empty();
+                let applied = if latest {
+                    apply_write_latest(cur, ts, value)
+                } else {
+                    apply_write_all(cur, ts, value)
+                };
+                match applied {
+                    Applied::Outdated => {
+                        StoreStats::bump(&self.stats.outdated);
+                        (WriteOutcome::Outdated, was_new)
+                    }
+                    Applied::Unchanged => {
+                        shard.touch(row);
+                        StoreStats::bump(counter);
+                        self.maybe_evict(shard, inner, guard);
+                        (WriteOutcome::Ok, was_new)
+                    }
+                    Applied::Replaced(new) => {
+                        // SAFETY: meta is writer-owned; mutex held.
+                        let meta = unsafe { row.meta_mut() };
+                        if !meta.dirty && meta.pending_old.is_none() {
+                            // O(1) pre-change snapshot: a refcount bump of
+                            // whatever the row held.
+                            meta.pending_old = Some(unsafe { row.snapshot() });
+                        }
+                        meta.dirty = true;
+                        inner.payload_bytes =
+                            inner.payload_bytes + payload_of(&new) - payload_of(cur);
+                        // SAFETY: writer lock + guard held.
+                        unsafe { row.replace_snap(new, guard) };
+                        shard.touch(row);
+                        StoreStats::bump(counter);
+                        self.maybe_evict(shard, inner, guard);
+                        (WriteOutcome::Ok, was_new)
+                    }
                 }
             }
-            WriteOutcome::Outdated => StoreStats::bump(&self.stats.outdated),
+            Locate::Vacant(_) => {
+                let applied = if latest {
+                    apply_write_latest(&[], ts, value)
+                } else {
+                    apply_write_all(&[], ts, value)
+                };
+                let Applied::Replaced(new) = applied else {
+                    // Writes against an empty row always apply.
+                    unreachable!("write into empty row must replace");
+                };
+                inner.payload_bytes += key.len() + payload_of(&new) + ROW_OVERHEAD;
+                let stamp = shard.clock.fetch_add(1, Ordering::Relaxed);
+                let row = Row::new(
+                    key.clone(),
+                    h,
+                    new,
+                    RowMeta {
+                        dirty: true,
+                        pending_old: Some(RowSnapshot::empty()),
+                        monitors: Vec::new(),
+                    },
+                    stamp,
+                );
+                self.insert_row(shard, inner, h, row, guard);
+                StoreStats::bump(counter);
+                self.maybe_evict(shard, inner, guard);
+                (WriteOutcome::Ok, true)
+            }
         }
-        outcome
     }
 
-    /// Reads the freshest element of the row (`read_latest`).
+    /// Inserts a fresh row, growing/cleaning the table when occupancy
+    /// (live + tombstones) would pass 3/4.
+    fn insert_row(&self, shard: &Shard, inner: &mut ShardInner, h: u64, row: Row, guard: &Guard) {
+        // SAFETY: shard mutex held.
+        unsafe {
+            let mut table = shard.table();
+            if (inner.live + inner.tombs + 1) * 4 >= table.capacity() * 3 {
+                self.rehash(shard, inner, guard);
+                table = shard.table();
+            }
+            let ii = match table.locate(h, &row.key) {
+                Locate::Vacant(ii) => ii,
+                Locate::Found(..) => unreachable!("insert of a key already present"),
+            };
+            let p = shard.slab.alloc(row);
+            if table.publish(ii, p, h) {
+                inner.tombs -= 1;
+            }
+            inner.live += 1;
+        }
+    }
+
+    /// Swaps in a right-sized, tombstone-free table; the old one is
+    /// retired through the epoch so pinned readers finish their probes.
+    ///
+    /// # Safety
+    ///
+    /// Shard mutex held.
+    unsafe fn rehash(&self, shard: &Shard, inner: &mut ShardInner, guard: &Guard) {
+        let old_ptr = shard.table.load(Ordering::Acquire);
+        let old = &*old_ptr;
+        let cap = ((inner.live + 1) * 2)
+            .next_power_of_two()
+            .max(MIN_TABLE_CAP);
+        let new = Table::boxed(cap);
+        for slot in old.slots.iter() {
+            if is_live(slot.meta.load(Ordering::Relaxed)) {
+                let p = slot.row.load(Ordering::Relaxed);
+                new.rehash_insert(p, (*p).hash);
+            }
+        }
+        shard.table.store(Box::into_raw(new), Ordering::Release);
+        inner.tombs = 0;
+        inner.evict_cursor = 0;
+        guard.defer(move || drop(Box::from_raw(old_ptr)));
+    }
+
+    /// Tombstones `ii` and schedules the row's cell for recycling after
+    /// the grace period.
+    ///
+    /// # Safety
+    ///
+    /// Shard mutex held; `row` is the live occupant of slot `ii`.
+    unsafe fn unlink(
+        &self,
+        shard: &Shard,
+        inner: &mut ShardInner,
+        ii: usize,
+        row: *mut Row,
+        guard: &Guard,
+    ) {
+        // SAFETY: shard mutex held.
+        shard.table().erase(ii);
+        inner.live -= 1;
+        inner.tombs += 1;
+        let slab = Arc::clone(&shard.slab);
+        let idx = (*row).slab_idx;
+        guard.defer(move || slab.release(idx));
+    }
+
+    fn maybe_evict(&self, shard: &Shard, inner: &mut ShardInner, guard: &Guard) {
+        if let Some(budget) = self.budget_per_shard {
+            self.evict_from(shard, inner, guard, budget);
+        }
+    }
+
+    /// Reads the freshest element of the row (`read_latest`). Lock-free:
+    /// pin, probe, clone one element (refcount bumps only — no heap
+    /// allocation).
     pub fn read_latest(&self, key: &Key) -> Option<VersionedValue> {
-        let mut shard = self.shard_for(key).lock();
-        let found = shard
-            .map
-            .get(key)
-            .filter(|e| !e.versions.is_empty())
-            .and_then(|e| e.latest().cloned());
+        let (shard, h) = self.route(key);
+        let guard = epoch::pin();
+        // SAFETY: pinned.
+        let mut found = None;
+        if let Some(p) = unsafe { shard.table().lookup(h, key) } {
+            let row = unsafe { &*p };
+            if let Some(v) = latest_of(unsafe { row.peek(&guard) }) {
+                found = Some(v.clone());
+                shard.touch(row);
+            }
+        }
+        drop(guard);
         if found.is_some() {
-            shard.touch(key);
             StoreStats::bump(&self.stats.hits);
         } else {
             StoreStats::bump(&self.stats.misses);
@@ -253,16 +432,22 @@ impl MemStore {
         found
     }
 
-    /// Reads the whole value list (`read_all`).
-    pub fn read_all(&self, key: &Key) -> Option<Vec<VersionedValue>> {
-        let mut shard = self.shard_for(key).lock();
-        let found = shard
-            .map
-            .get(key)
-            .filter(|e| !e.versions.is_empty())
-            .map(|e| e.versions.clone());
+    /// Reads the whole value list (`read_all`) as a zero-copy snapshot.
+    pub fn read_all(&self, key: &Key) -> Option<RowSnapshot> {
+        let (shard, h) = self.route(key);
+        let guard = epoch::pin();
+        let mut found = None;
+        // SAFETY: pinned.
+        if let Some(p) = unsafe { shard.table().lookup(h, key) } {
+            let row = unsafe { &*p };
+            let snap = unsafe { row.snapshot() };
+            if !snap.is_empty() {
+                shard.touch(row);
+                found = Some(snap);
+            }
+        }
+        drop(guard);
         if found.is_some() {
-            shard.touch(key);
             StoreStats::bump(&self.stats.hits);
         } else {
             StoreStats::bump(&self.stats.misses);
@@ -270,49 +455,34 @@ impl MemStore {
         found
     }
 
-    /// Applies a batch of timestamped writes, acquiring each shard's lock
-    /// once per batch instead of once per op. Semantics are identical to
-    /// calling [`MemStore::write_latest`]/[`MemStore::write_all`] per
-    /// element in order; results come back positionally.
+    /// Applies a batch of timestamped writes, acquiring each shard's
+    /// writer lock once per batch instead of once per op. Semantics are
+    /// identical to calling [`MemStore::write_latest`] /
+    /// [`MemStore::write_all`] per element in order; results come back
+    /// positionally.
     pub fn apply_batch(&self, ops: &[BatchWrite]) -> Vec<BatchWriteResult> {
         let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
         for (i, op) in ops.iter().enumerate() {
             groups.entry(self.shard_index(&op.key)).or_default().push(i);
         }
         let mut results: Vec<Option<BatchWriteResult>> = ops.iter().map(|_| None).collect();
+        let guard = epoch::pin();
         for (shard_idx, idxs) in groups {
-            let mut shard = self.shards[shard_idx].lock();
+            let shard = &self.shards[shard_idx];
+            let mut inner = shard.inner.lock();
             for i in idxs {
                 let op = &ops[i];
-                let was_new = shard.map.get(&op.key).is_none_or(|e| e.versions.is_empty());
-                let is_new_row = !shard.map.contains_key(&op.key);
-                let entry = shard.map.entry(op.key.clone()).or_default();
-                let before = if is_new_row {
-                    0
-                } else {
-                    Shard::row_cost(&op.key, entry)
-                };
-                let outcome = if op.latest {
-                    entry.write_latest(op.ts, op.value.clone())
-                } else {
-                    entry.write_all(op.ts, op.value.clone())
-                };
-                let after = Shard::row_cost(&op.key, entry);
-                shard.payload_bytes = shard.payload_bytes + after - before;
-                match outcome {
-                    WriteOutcome::Ok => {
-                        shard.touch(&op.key);
-                        StoreStats::bump(if op.latest {
-                            &self.stats.writes_latest
-                        } else {
-                            &self.stats.writes_all
-                        });
-                        if let Some(budget) = self.budget_per_shard {
-                            self.evict_from(&mut shard, budget);
-                        }
-                    }
-                    WriteOutcome::Outdated => StoreStats::bump(&self.stats.outdated),
-                }
+                let h = mix(fnv1a64(op.key.as_bytes()));
+                let (outcome, was_new) = self.write_one(
+                    shard,
+                    &mut inner,
+                    &guard,
+                    &op.key,
+                    h,
+                    op.ts,
+                    op.value.clone(),
+                    op.latest,
+                );
                 results[i] = Some(BatchWriteResult { outcome, was_new });
             }
         }
@@ -322,33 +492,32 @@ impl MemStore {
             .collect()
     }
 
-    /// Reads the whole value list of several keys, acquiring each shard's
-    /// lock once per batch. Positionally equivalent to
+    /// Reads the whole value list of several keys under a single epoch
+    /// pin — no locks at all. Positionally equivalent to
     /// [`MemStore::read_all`] per key.
-    pub fn get_many(&self, keys: &[Key]) -> Vec<Option<Vec<VersionedValue>>> {
-        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
-        for (i, key) in keys.iter().enumerate() {
-            groups.entry(self.shard_index(key)).or_default().push(i);
-        }
-        let mut results: Vec<Option<Vec<VersionedValue>>> = keys.iter().map(|_| None).collect();
-        for (shard_idx, idxs) in groups {
-            let mut shard = self.shards[shard_idx].lock();
-            for i in idxs {
-                let key = &keys[i];
-                let found = shard
-                    .map
-                    .get(key)
-                    .filter(|e| !e.versions.is_empty())
-                    .map(|e| e.versions.clone());
-                if found.is_some() {
-                    shard.touch(key);
-                    StoreStats::bump(&self.stats.hits);
-                } else {
-                    StoreStats::bump(&self.stats.misses);
+    pub fn get_many(&self, keys: &[Key]) -> Vec<Option<RowSnapshot>> {
+        let guard = epoch::pin();
+        let mut results = Vec::with_capacity(keys.len());
+        for key in keys {
+            let (shard, h) = self.route(key);
+            let mut found = None;
+            // SAFETY: pinned.
+            if let Some(p) = unsafe { shard.table().lookup(h, key) } {
+                let row = unsafe { &*p };
+                let snap = unsafe { row.snapshot() };
+                if !snap.is_empty() {
+                    shard.touch(row);
+                    found = Some(snap);
                 }
-                results[i] = found;
             }
+            if found.is_some() {
+                StoreStats::bump(&self.stats.hits);
+            } else {
+                StoreStats::bump(&self.stats.misses);
+            }
+            results.push(found);
         }
+        drop(guard);
         results
     }
 
@@ -359,71 +528,123 @@ impl MemStore {
         if incoming.is_empty() {
             return false;
         }
-        let mut shard = self.shard_for(key).lock();
-        let is_new = !shard.map.contains_key(key);
-        let entry = shard.map.entry(key.clone()).or_default();
-        let before = if is_new {
-            0
-        } else {
-            Shard::row_cost(key, entry)
-        };
-        let changed = entry.merge(incoming);
-        let after = Shard::row_cost(key, entry);
-        shard.payload_bytes = shard.payload_bytes + after - before;
-        if changed {
-            shard.touch(key);
+        let (shard, h) = self.route(key);
+        let guard = epoch::pin();
+        let mut inner = shard.inner.lock();
+        // SAFETY: shard mutex held.
+        let table = unsafe { shard.table() };
+        match table.locate(h, key) {
+            Locate::Found(_, p) => {
+                let row = unsafe { &*p };
+                let cur = unsafe { row.peek(&guard) };
+                match merge_lists(cur, incoming) {
+                    None => false,
+                    Some(next) => {
+                        inner.payload_bytes =
+                            inner.payload_bytes + payload_of(&next) - payload_of(cur);
+                        // SAFETY: writer lock + guard held.
+                        unsafe { row.replace_snap(RowSnapshot::from_vec(next), &guard) };
+                        shard.touch(row);
+                        true
+                    }
+                }
+            }
+            Locate::Vacant(_) => {
+                let next = merge_lists(&[], incoming).expect("non-empty incoming on empty row");
+                let snap = RowSnapshot::from_vec(next);
+                inner.payload_bytes += key.len() + payload_of(&snap) + ROW_OVERHEAD;
+                let stamp = shard.clock.fetch_add(1, Ordering::Relaxed);
+                let row = Row::new(key.clone(), h, snap, RowMeta::default(), stamp);
+                self.insert_row(shard, &mut inner, h, row, &guard);
+                true
+            }
         }
-        changed
     }
 
     /// Removes a row, returning its value list.
-    pub fn remove(&self, key: &Key) -> Option<Vec<VersionedValue>> {
-        let mut shard = self.shard_for(key).lock();
-        let entry = shard.map.remove(key)?;
-        shard.release_slot(&entry);
-        shard.payload_bytes -= Shard::row_cost(key, &entry);
+    pub fn remove(&self, key: &Key) -> Option<RowSnapshot> {
+        let (shard, h) = self.route(key);
+        let guard = epoch::pin();
+        let mut inner = shard.inner.lock();
+        // SAFETY: shard mutex held.
+        let table = unsafe { shard.table() };
+        let Locate::Found(ii, p) = table.locate(h, key) else {
+            return None;
+        };
+        let row = unsafe { &*p };
+        let snap = unsafe { row.snapshot() };
+        inner.payload_bytes -= Shard::row_cost(row, &snap);
+        // SAFETY: shard mutex held; `p` occupies slot `ii`.
+        unsafe { self.unlink(shard, &mut inner, ii, p, &guard) };
         StoreStats::bump(&self.stats.removals);
-        Some(entry.versions)
+        Some(snap)
     }
 
-    /// True when the key has stored data.
+    /// True when the key has stored data. Lock-free.
     pub fn contains(&self, key: &Key) -> bool {
-        self.shard_for(key)
-            .lock()
-            .map
-            .get(key)
-            .is_some_and(|e| !e.versions.is_empty())
+        let (shard, h) = self.route(key);
+        let guard = epoch::pin();
+        // SAFETY: pinned.
+        match unsafe { shard.table().lookup(h, key) } {
+            Some(p) => !unsafe { (*p).peek(&guard) }.is_empty(),
+            None => false,
+        }
     }
 
-    /// Registers a monitor id directly on a key (Fig. 5's Monitors column).
-    /// The row is created if absent, so monitors can watch keys that do not
-    /// exist yet.
+    /// Registers a monitor id directly on a key (Fig. 5's Monitors
+    /// column). The row is created if absent, so monitors can watch keys
+    /// that do not exist yet.
     pub fn add_monitor(&self, key: &Key, monitor: u32) {
-        let mut shard = self.shard_for(key).lock();
-        let is_new = !shard.map.contains_key(key);
-        let entry = shard.map.entry(key.clone()).or_default();
-        if !entry.monitors.contains(&monitor) {
-            entry.monitors.push(monitor);
-        }
-        if is_new {
-            let cost = Shard::row_cost(key, entry);
-            shard.payload_bytes += cost;
+        let (shard, h) = self.route(key);
+        let guard = epoch::pin();
+        let mut inner = shard.inner.lock();
+        // SAFETY: shard mutex held.
+        match unsafe { shard.table() }.locate(h, key) {
+            Locate::Found(_, p) => {
+                // SAFETY: meta is writer-owned; mutex held.
+                let meta = unsafe { (*p).meta_mut() };
+                if !meta.monitors.contains(&monitor) {
+                    meta.monitors.push(monitor);
+                }
+            }
+            Locate::Vacant(_) => {
+                inner.payload_bytes += key.len() + ROW_OVERHEAD;
+                let row = Row::new(
+                    key.clone(),
+                    h,
+                    RowSnapshot::empty(),
+                    RowMeta {
+                        dirty: false,
+                        pending_old: None,
+                        monitors: vec![monitor],
+                    },
+                    0,
+                );
+                self.insert_row(shard, &mut inner, h, row, &guard);
+            }
         }
     }
 
     /// Removes a monitor id from a key.
     pub fn remove_monitor(&self, key: &Key, monitor: u32) {
-        let mut shard = self.shard_for(key).lock();
-        if let Some(entry) = shard.map.get_mut(key) {
-            entry.monitors.retain(|&m| m != monitor);
+        let (shard, h) = self.route(key);
+        let _guard = epoch::pin();
+        let _inner = shard.inner.lock();
+        // SAFETY: shard mutex held.
+        if let Locate::Found(_, p) = unsafe { shard.table() }.locate(h, key) {
+            // SAFETY: meta is writer-owned; mutex held.
+            unsafe { (*p).meta_mut() }
+                .monitors
+                .retain(|&m| m != monitor);
         }
     }
 
     /// Sweeps all shards for dirty rows (the trigger scanner's pass),
     /// clearing their dirty flags. Returns the collected records.
     ///
-    /// Rows are cloned under the shard lock and handed back outside it, so
-    /// filters/actions never run while holding storage locks.
+    /// Records hold refcounted snapshots taken under the shard lock and
+    /// handed back outside it, so filters/actions never run while holding
+    /// storage locks.
     pub fn scan_dirty(&self) -> Vec<DirtyRecord> {
         self.scan_dirty_partition(0, 1)
     }
@@ -438,6 +659,7 @@ impl MemStore {
             "invalid partition {part}/{parts}"
         );
         let mut out = Vec::new();
+        let guard = epoch::pin();
         for shard in self
             .shards
             .iter()
@@ -445,45 +667,58 @@ impl MemStore {
             .filter(|(i, _)| i % parts == part)
             .map(|(_, s)| s)
         {
-            let mut shard = shard.lock();
-            // Collect keys first: clear_dirty needs &mut per entry.
-            let dirty_keys: Vec<Key> = shard
-                .map
-                .iter()
-                .filter(|(_, e)| e.dirty)
-                .map(|(k, _)| k.clone())
-                .collect();
-            for key in dirty_keys {
-                let entry = shard.map.get_mut(&key).expect("key just seen");
-                let old = entry
-                    .clear_dirty()
-                    .map(|b| b.into_vec())
-                    .unwrap_or_default();
+            let _inner = shard.inner.lock();
+            // SAFETY: shard mutex held.
+            let table = unsafe { shard.table() };
+            for slot in table.slots.iter() {
+                if !is_live(slot.meta.load(Ordering::Relaxed)) {
+                    continue;
+                }
+                let p = slot.row.load(Ordering::Relaxed);
+                let row = unsafe { &*p };
+                // SAFETY: meta is writer-owned; mutex held.
+                let meta = unsafe { row.meta_mut() };
+                if !meta.dirty {
+                    continue;
+                }
+                meta.dirty = false;
+                let old = meta.pending_old.take().unwrap_or_default();
                 out.push(DirtyRecord {
+                    key: row.key.clone(),
                     old,
-                    new: entry.versions.clone(),
-                    monitors: entry.monitors.clone(),
-                    key,
+                    new: unsafe { row.snapshot() },
+                    monitors: meta.monitors.clone(),
                 });
             }
         }
+        drop(guard);
         out
     }
 
-    /// Clones all rows whose key satisfies `pred` (vnode migration source).
-    pub fn collect_matching(
-        &self,
-        mut pred: impl FnMut(&Key) -> bool,
-    ) -> Vec<(Key, Vec<VersionedValue>)> {
+    /// Snapshots all rows whose key satisfies `pred` (vnode migration
+    /// source). Lock-free; snapshots are refcount bumps.
+    pub fn collect_matching(&self, mut pred: impl FnMut(&Key) -> bool) -> Vec<(Key, RowSnapshot)> {
         let mut out = Vec::new();
+        let guard = epoch::pin();
         for shard in self.shards.iter() {
-            let shard = shard.lock();
-            for (k, e) in shard.map.iter() {
-                if !e.versions.is_empty() && pred(k) {
-                    out.push((k.clone(), e.versions.clone()));
+            // SAFETY: pinned.
+            let table = unsafe { shard.table() };
+            for slot in table.slots.iter() {
+                if !is_live(slot.meta.load(Ordering::Acquire)) {
+                    continue;
                 }
+                let p = slot.row.load(Ordering::Acquire);
+                if p.is_null() {
+                    continue;
+                }
+                let row = unsafe { &*p };
+                if unsafe { row.peek(&guard) }.is_empty() || !pred(&row.key) {
+                    continue;
+                }
+                out.push((row.key.clone(), unsafe { row.snapshot() }));
             }
         }
+        drop(guard);
         out
     }
 
@@ -496,57 +731,73 @@ impl MemStore {
     /// dispatches for them). Returns how many rows were affected.
     pub fn remove_matching(&self, mut pred: impl FnMut(&Key) -> bool) -> usize {
         let mut removed = 0;
+        let guard = epoch::pin();
         for shard in self.shards.iter() {
-            let mut shard = shard.lock();
-            let victims: Vec<Key> = shard.map.keys().filter(|k| pred(k)).cloned().collect();
-            for k in victims {
-                let Some(entry) = shard.map.get_mut(&k) else {
+            let mut inner = shard.inner.lock();
+            // SAFETY: shard mutex held.
+            let table = unsafe { shard.table() };
+            for ii in 0..table.capacity() {
+                let slot = &table.slots[ii];
+                if !is_live(slot.meta.load(Ordering::Relaxed)) {
                     continue;
-                };
-                if entry.monitors.is_empty() {
-                    let e = shard.map.remove(&k).expect("present");
-                    shard.release_slot(&e);
-                    shard.payload_bytes -= Shard::row_cost(&k, &e);
+                }
+                let p = slot.row.load(Ordering::Relaxed);
+                let row = unsafe { &*p };
+                if !pred(&row.key) {
+                    continue;
+                }
+                // SAFETY: meta is writer-owned; mutex held.
+                let meta = unsafe { row.meta_mut() };
+                if meta.monitors.is_empty() {
+                    let snap = unsafe { row.peek(&guard) };
+                    inner.payload_bytes -= Shard::row_cost(row, snap);
+                    // SAFETY: mutex held; `p` occupies slot `ii`.
+                    unsafe { self.unlink(shard, &mut inner, ii, p, &guard) };
                     removed += 1;
-                } else if !entry.versions.is_empty() {
-                    let before = Shard::row_cost(&k, entry);
-                    entry.versions.clear();
-                    entry.dirty = false;
-                    entry.pending_old = None;
-                    let after = Shard::row_cost(&k, entry);
-                    shard.payload_bytes = shard.payload_bytes + after - before;
+                } else if !unsafe { row.peek(&guard) }.is_empty() {
+                    inner.payload_bytes -= payload_of(unsafe { row.peek(&guard) });
+                    // SAFETY: writer lock + guard held.
+                    unsafe { row.replace_snap(RowSnapshot::empty(), &guard) };
+                    meta.dirty = false;
+                    meta.pending_old = None;
                     removed += 1;
                 }
             }
         }
+        drop(guard);
         removed
     }
 
-    /// Visits every stored row (snapshot writer). Shards are locked one at
-    /// a time; rows written concurrently may or may not be seen.
+    /// Visits every stored row (snapshot writer). Lock-free; rows written
+    /// concurrently may or may not be seen.
     pub fn for_each(&self, mut f: impl FnMut(&Key, &[VersionedValue])) {
+        let guard = epoch::pin();
         for shard in self.shards.iter() {
-            let shard = shard.lock();
-            for (k, e) in shard.map.iter() {
-                if !e.versions.is_empty() {
-                    f(k, &e.versions);
+            // SAFETY: pinned.
+            let table = unsafe { shard.table() };
+            for slot in table.slots.iter() {
+                if !is_live(slot.meta.load(Ordering::Acquire)) {
+                    continue;
+                }
+                let p = slot.row.load(Ordering::Acquire);
+                if p.is_null() {
+                    continue;
+                }
+                let row = unsafe { &*p };
+                let versions = unsafe { row.peek(&guard) };
+                if !versions.is_empty() {
+                    f(&row.key, versions);
                 }
             }
         }
+        drop(guard);
     }
 
     /// Number of rows with data.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.lock()
-                    .map
-                    .values()
-                    .filter(|e| !e.versions.is_empty())
-                    .count()
-            })
-            .sum()
+        let mut n = 0;
+        self.for_each(|_, _| n += 1);
+        n
     }
 
     /// True when no row has data.
@@ -556,7 +807,26 @@ impl MemStore {
 
     /// Approximate bytes charged against the budget.
     pub fn payload_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().payload_bytes).sum()
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().payload_bytes)
+            .sum()
+    }
+
+    /// Physical footprint of the index and row arena.
+    pub fn footprint(&self) -> StoreFootprint {
+        let guard = epoch::pin();
+        let mut fp = StoreFootprint::default();
+        for shard in self.shards.iter() {
+            let inner = shard.inner.lock();
+            fp.rows += inner.live;
+            // SAFETY: shard mutex held.
+            fp.table_slots += unsafe { shard.table() }.capacity();
+            fp.slab_pages += shard.slab.pages();
+        }
+        drop(guard);
+        fp.slab_cells = fp.slab_pages * PAGE;
+        fp
     }
 
     /// Counter snapshot.
@@ -564,32 +834,74 @@ impl MemStore {
         self.stats.snapshot()
     }
 
-    fn evict_from(&self, shard: &mut Shard, budget: usize) {
-        let mut attempts = shard.map.len();
-        while shard.payload_bytes > budget && shard.map.len() > 1 && attempts > 0 {
+    /// Evicts lowest-stamp unmonitored rows until the shard fits its
+    /// budget. Samples up to [`EVICT_SAMPLE`] live rows per round from a
+    /// roving cursor — exact LRU for shards at or below the sample size,
+    /// memcached-style approximation beyond it.
+    fn evict_from(&self, shard: &Shard, inner: &mut ShardInner, guard: &Guard, budget: usize) {
+        let mut attempts = inner.live;
+        while inner.payload_bytes > budget && inner.live > 1 && attempts > 0 {
             attempts -= 1;
-            let Some((slot, version)) = shard.lru.pop_front() else {
-                break;
-            };
-            let Some(key) = shard.slots[slot as usize].clone() else {
-                continue; // stale queue element for a removed row
-            };
-            let Some(entry) = shard.map.get(&key) else {
-                continue; // slot reused, row since removed
-            };
-            if entry.access_version != version {
-                continue; // stale: row touched since
+            // SAFETY: shard mutex held.
+            let table = unsafe { shard.table() };
+            let cap = table.capacity();
+            let mut victim: Option<(usize, *mut Row, u64)> = None;
+            let mut seen = 0;
+            let mut i = inner.evict_cursor % cap;
+            for _ in 0..cap {
+                let slot = &table.slots[i];
+                if is_live(slot.meta.load(Ordering::Relaxed)) {
+                    let p = slot.row.load(Ordering::Relaxed);
+                    let row = unsafe { &*p };
+                    // SAFETY: meta is writer-owned; mutex held.
+                    if unsafe { row.meta() }.monitors.is_empty() {
+                        let stamp = row.stamp.load(Ordering::Relaxed);
+                        if victim.is_none_or(|(_, _, s)| stamp < s) {
+                            victim = Some((i, p, stamp));
+                        }
+                        seen += 1;
+                        if seen >= EVICT_SAMPLE {
+                            break;
+                        }
+                    }
+                }
+                i = (i + 1) % cap;
             }
-            if !entry.monitors.is_empty() {
-                // Never evict monitored rows; re-stamp so the slot is
-                // reconsidered only after everything older.
-                shard.touch(&key);
-                continue;
-            }
-            let entry = shard.map.remove(&key).expect("checked above");
-            shard.release_slot(&entry);
-            shard.payload_bytes -= Shard::row_cost(&key, &entry);
+            inner.evict_cursor = (i + 1) % cap;
+            let Some((ii, p, _)) = victim else {
+                break; // every remaining row is monitored
+            };
+            let row = unsafe { &*p };
+            let snap = unsafe { row.peek(guard) };
+            inner.payload_bytes -= Shard::row_cost(row, snap);
+            // SAFETY: mutex held; `p` occupies slot `ii`.
+            unsafe { self.unlink(shard, inner, ii, p, guard) };
             StoreStats::bump(&self.stats.evictions);
+        }
+    }
+}
+
+impl Drop for MemStore {
+    fn drop(&mut self) {
+        // Exclusive access: release live rows directly and free the
+        // tables. Rows already retired are handled by their deferred
+        // closures (which keep the slab alive via `Arc`).
+        for shard in self.shards.iter_mut() {
+            let table_ptr = *shard.table.get_mut();
+            // SAFETY: pointer was `Box::into_raw`; no readers remain.
+            let table = unsafe { Box::from_raw(table_ptr) };
+            for slot in table.slots.iter() {
+                if is_live(slot.meta.load(Ordering::Relaxed)) {
+                    let p = slot.row.load(Ordering::Relaxed);
+                    // SAFETY: exclusive access; row is live in this table.
+                    unsafe { shard.slab.release((*p).slab_idx) };
+                }
+            }
+        }
+        // Nudge the epoch along so retired snapshots/tables/rows from
+        // recent writes drain promptly instead of at process exit.
+        for _ in 0..3 {
+            epoch::flush();
         }
     }
 }
@@ -941,23 +1253,34 @@ mod tests {
     }
 
     #[test]
-    fn lru_slots_are_reused_after_removal() {
+    fn footprint_stays_bounded_under_churn() {
+        // Heavy insert/remove churn over a small live set: the table must
+        // stay right-sized (tombstones cleaned by rehash) and the slab
+        // must recycle cells instead of growing pages.
         let s = MemStore::new(StoreConfig {
             shards: 1,
             memory_budget: None,
         });
-        for round in 0..50u64 {
-            let k = Key::from(format!("r-{}", round % 5));
+        for round in 0..2_000u64 {
+            let k = Key::from(format!("r-{round}"));
             s.write_latest(&k, ts(round + 1, 0), Value::from("v"));
-            if round % 5 == 4 {
-                s.remove(&k);
+            if round >= 5 {
+                // Keep a sliding window of ~5 live rows.
+                s.remove(&Key::from(format!("r-{}", round - 5)));
             }
         }
-        let shard = s.shards[0].lock();
+        assert_eq!(s.len(), 5);
+        let fp = s.footprint();
+        assert_eq!(fp.rows, 5);
         assert!(
-            shard.slots.len() <= 8,
-            "slot table must not grow unboundedly: {}",
-            shard.slots.len()
+            fp.table_slots <= 64,
+            "slot table must stay O(live keys), got {} slots",
+            fp.table_slots
+        );
+        assert!(
+            fp.slab_pages <= 2,
+            "slab must recycle cells, got {} pages",
+            fp.slab_pages
         );
     }
 
@@ -1012,7 +1335,7 @@ mod tests {
         }
         let list = s.read_all(&key).unwrap();
         assert_eq!(list.len(), 8, "one element per source");
-        for v in list {
+        for v in list.iter() {
             assert_eq!(v.ts.micros, 199, "each source's newest element wins");
         }
     }

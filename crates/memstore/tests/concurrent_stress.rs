@@ -1,0 +1,181 @@
+//! Reader/writer stress over the lock-free read path.
+//!
+//! One writer per key climbs a sequence number; the value embeds the
+//! sequence sixteen times, so any torn or reclaimed-under-foot read is
+//! caught by self-inconsistency. Readers additionally assert per-key
+//! monotonicity: with a single writer per key, a read may lag but can
+//! never observe a sequence older than one this reader already saw
+//! (snapshots are previously-written, never fabricated).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use sedna_common::{Key, NodeId, Timestamp, Value};
+use sedna_memstore::{MemStore, StoreConfig};
+
+const REPEATS: usize = 16;
+const KEYS: usize = 8;
+const WRITES_PER_KEY: u64 = 20_000;
+const READERS: usize = 4;
+
+fn ts(micros: u64, origin: u32) -> Timestamp {
+    Timestamp::new(micros, 0, NodeId(origin))
+}
+
+/// The sequence number, encoded `REPEATS` times.
+fn encode(seq: u64) -> Value {
+    let mut bytes = Vec::with_capacity(REPEATS * 8);
+    for _ in 0..REPEATS {
+        bytes.extend_from_slice(&seq.to_le_bytes());
+    }
+    Value::from(bytes)
+}
+
+/// Decodes a value, panicking if any of the sixteen copies disagree.
+fn decode_torn_free(v: &Value) -> u64 {
+    let bytes = v.as_bytes();
+    assert_eq!(bytes.len(), REPEATS * 8, "truncated value");
+    let seq = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+    for r in 1..REPEATS {
+        let copy = u64::from_le_bytes(bytes[r * 8..r * 8 + 8].try_into().unwrap());
+        assert_eq!(copy, seq, "torn read: copy {r} disagrees");
+    }
+    seq
+}
+
+#[test]
+fn readers_always_observe_torn_free_previously_written_snapshots() {
+    let store = Arc::new(MemStore::new(StoreConfig {
+        shards: 4,
+        memory_budget: None,
+    }));
+    let done = Arc::new(AtomicBool::new(false));
+    let keys: Vec<Key> = (0..KEYS)
+        .map(|i| Key::from(format!("stress-{i}")))
+        .collect();
+
+    let mut writers = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        let store = Arc::clone(&store);
+        let key = key.clone();
+        writers.push(std::thread::spawn(move || {
+            for seq in 1..=WRITES_PER_KEY {
+                let out = store.write_latest(&key, ts(seq, i as u32), encode(seq));
+                assert!(out.is_ok(), "strictly increasing ts never outdated");
+            }
+        }));
+    }
+
+    let mut readers = Vec::new();
+    for _ in 0..READERS {
+        let store = Arc::clone(&store);
+        let done = Arc::clone(&done);
+        let keys = keys.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut last_seen = vec![0u64; keys.len()];
+            let mut reads = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                for (i, key) in keys.iter().enumerate() {
+                    if let Some(v) = store.read_latest(key) {
+                        let seq = decode_torn_free(&v.value);
+                        assert_eq!(v.ts.micros, seq, "value belongs to its timestamp");
+                        assert!(
+                            seq >= last_seen[i],
+                            "snapshot went backwards: saw {seq} after {}",
+                            last_seen[i]
+                        );
+                        last_seen[i] = seq;
+                        reads += 1;
+                    }
+                }
+                // Multi-key path shares the invariants.
+                for (i, snap) in store.get_many(&keys).into_iter().enumerate() {
+                    if let Some(snap) = snap {
+                        assert_eq!(snap.len(), 1, "write_latest keeps one version");
+                        let seq = decode_torn_free(&snap[0].value);
+                        assert!(seq >= last_seen[i], "get_many went backwards");
+                        last_seen[i] = seq;
+                    }
+                }
+            }
+            reads
+        }));
+    }
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    let mut total_reads = 0;
+    for r in readers {
+        total_reads += r.join().unwrap();
+    }
+    assert!(total_reads > 0, "readers made progress");
+    // Quiesced store holds every key's final write.
+    for (i, key) in keys.iter().enumerate() {
+        let v = store.read_latest(key).expect("final value present");
+        assert_eq!(decode_torn_free(&v.value), WRITES_PER_KEY);
+        assert_eq!(v.ts, ts(WRITES_PER_KEY, i as u32));
+    }
+}
+
+#[test]
+fn concurrent_write_all_readers_see_consistent_elements() {
+    // Several origins write the same key via write_all while readers
+    // snapshot the whole list: every element must be internally
+    // consistent and per-origin sequences must never move backwards.
+    let store = Arc::new(MemStore::new(StoreConfig {
+        shards: 4,
+        memory_budget: None,
+    }));
+    let key = Key::from("multi-origin");
+    let done = Arc::new(AtomicBool::new(false));
+    const ORIGINS: u32 = 4;
+    const WRITES: u64 = 10_000;
+
+    let mut writers = Vec::new();
+    for origin in 0..ORIGINS {
+        let store = Arc::clone(&store);
+        let key = key.clone();
+        writers.push(std::thread::spawn(move || {
+            for seq in 1..=WRITES {
+                store.write_all(&key, ts(seq, origin), encode(seq));
+            }
+        }));
+    }
+
+    let mut readers = Vec::new();
+    for _ in 0..2 {
+        let store = Arc::clone(&store);
+        let key = key.clone();
+        let done = Arc::clone(&done);
+        readers.push(std::thread::spawn(move || {
+            let mut last = vec![0u64; ORIGINS as usize];
+            while !done.load(Ordering::Relaxed) {
+                if let Some(snap) = store.read_all(&key) {
+                    assert!(snap.len() <= ORIGINS as usize, "one element per origin");
+                    for v in snap.iter() {
+                        let seq = decode_torn_free(&v.value);
+                        assert_eq!(v.ts.micros, seq);
+                        let o = v.ts.origin.0 as usize;
+                        assert!(seq >= last[o], "origin {o} went backwards");
+                        last[o] = seq;
+                    }
+                }
+            }
+        }));
+    }
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    let snap = store.read_all(&key).expect("present");
+    assert_eq!(snap.len(), ORIGINS as usize);
+    for v in snap.iter() {
+        assert_eq!(decode_torn_free(&v.value), WRITES);
+    }
+}

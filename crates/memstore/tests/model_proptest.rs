@@ -152,7 +152,7 @@ proptest! {
                     prop_assert_eq!(store.read_latest(&key_of(key)), model.read_latest(key));
                 }
                 Op::ReadAll { key } => {
-                    let got = store.read_all(&key_of(key)).map(sorted);
+                    let got = store.read_all(&key_of(key)).map(|s| sorted(s.to_vec()));
                     let want = model.read_all(key).map(sorted);
                     prop_assert_eq!(got, want);
                 }
@@ -170,7 +170,7 @@ proptest! {
         }
         // Final state agreement on every key.
         for key in 0..8u8 {
-            let got = store.read_all(&key_of(key)).map(sorted);
+            let got = store.read_all(&key_of(key)).map(|s| sorted(s.to_vec()));
             let want = model.read_all(key).map(sorted);
             prop_assert_eq!(got, want);
         }

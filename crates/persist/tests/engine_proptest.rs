@@ -134,7 +134,7 @@ proptest! {
 
         prop_assert_eq!(recovered.len(), store.len(), "row count differs");
         store.for_each(|key, versions| {
-            let mut got = recovered.read_all(key).expect("row survived recovery");
+            let mut got = recovered.read_all(key).expect("row survived recovery").to_vec();
             let mut want = versions.to_vec();
             got.sort_by_key(|v| v.ts);
             want.sort_by_key(|v| v.ts);

@@ -157,7 +157,7 @@ proptest! {
         load_snapshot(&path, &restored).unwrap();
         prop_assert_eq!(restored.len(), store.len());
         store.for_each(|key, versions| {
-            let mut got = restored.read_all(key).expect("row restored");
+            let mut got = restored.read_all(key).expect("row restored").to_vec();
             let mut want = versions.to_vec();
             got.sort_by_key(|v| v.ts);
             want.sort_by_key(|v| v.ts);

@@ -59,6 +59,22 @@ impl Bencher {
         }
     }
 
+    /// Lets `routine` time `iters` iterations itself and report the total
+    /// (real criterion's escape hatch for multi-threaded benchmarks).
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let mut n: u64 = 1;
+        loop {
+            let took = routine(n);
+            if took >= TARGET || n >= 1 << 28 {
+                self.total = took;
+                self.iters = n;
+                return;
+            }
+            let scale = (TARGET.as_nanos() / took.as_nanos().max(1)).clamp(2, 1 << 10);
+            n = n.saturating_mul(scale as u64);
+        }
+    }
+
     /// Times `routine` over inputs produced by `setup`; setup time excluded.
     pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
         &mut self,

@@ -1,0 +1,351 @@
+//! Epoch-based memory reclamation (the `crossbeam-epoch` subset the
+//! workspace uses: `pin`, `Guard`, deferred destruction).
+//!
+//! Lock-free readers cannot free memory they unlink from a shared structure
+//! immediately — another thread may still hold a reference obtained a moment
+//! earlier. The classic fix (Fraser 2004; crossbeam's implementation) is a
+//! global epoch counter plus a per-thread *announcement*:
+//!
+//! * A thread entering a lock-free region **pins** itself: it announces the
+//!   current global epoch and holds it until the returned [`Guard`] drops.
+//! * A thread retiring memory calls [`Guard::defer`]; the destructor is
+//!   tagged with the global epoch at retirement time and parked in a
+//!   thread-local bag.
+//! * The epoch only advances when every pinned thread has announced the
+//!   *current* value, so after **two** advances past a destructor's tag, no
+//!   thread that could have observed the retired object is still pinned —
+//!   the destructor is safe to run, on any thread.
+//!
+//! Threads that only read (their bags stay empty) never touch the global
+//! registry after the one-time registration: pin/unpin is one load, two
+//! stores and a fence. Collection work rides on the threads that actually
+//! retire memory. Bags of exiting threads are handed to a global orphan
+//! list drained by whoever collects next.
+
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// A parked destructor. Stored un-`Send` closures are fine: `defer` is
+/// `unsafe`, and its callers promise the closure may run on any thread.
+struct Deferred(Box<dyn FnOnce()>);
+
+unsafe impl Send for Deferred {}
+
+/// Announcement value meaning "not currently pinned".
+const IDLE: u64 = u64::MAX;
+/// Announcement value meaning "thread exited; prune this slot".
+const DEAD: u64 = u64::MAX - 1;
+
+/// Collect this thread's bag once it holds this many destructors.
+const BAG_FLUSH: usize = 64;
+/// Also collect on every Nth unpin while the bag is non-empty, so garbage
+/// drains even on a quiet store.
+const PIN_FLUSH_MASK: u64 = 0xF;
+
+struct Slot {
+    /// The epoch this thread announced, or [`IDLE`] / [`DEAD`].
+    state: AtomicU64,
+}
+
+struct Global {
+    epoch: AtomicU64,
+    participants: Mutex<Vec<Arc<Slot>>>,
+    /// Bags abandoned by exited threads, drained opportunistically.
+    orphans: Mutex<Vec<(u64, Deferred)>>,
+    orphan_count: AtomicUsize,
+}
+
+fn global() -> &'static Global {
+    static G: OnceLock<Global> = OnceLock::new();
+    G.get_or_init(|| Global {
+        epoch: AtomicU64::new(0),
+        participants: Mutex::new(Vec::new()),
+        orphans: Mutex::new(Vec::new()),
+        orphan_count: AtomicUsize::new(0),
+    })
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Local {
+    slot: Arc<Slot>,
+    /// Destructors tagged with the epoch at which they were retired.
+    bag: RefCell<Vec<(u64, Deferred)>>,
+    /// Re-entrant pin depth; only the outermost guard announces/retracts.
+    depth: Cell<usize>,
+    pins: Cell<u64>,
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        self.slot.state.store(DEAD, Ordering::Release);
+        let bag = std::mem::take(&mut *self.bag.borrow_mut());
+        if !bag.is_empty() {
+            let g = global();
+            let mut orphans = lock(&g.orphans);
+            orphans.extend(bag);
+            g.orphan_count.store(orphans.len(), Ordering::Release);
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: Local = {
+        let slot = Arc::new(Slot {
+            state: AtomicU64::new(IDLE),
+        });
+        lock(&global().participants).push(Arc::clone(&slot));
+        Local {
+            slot,
+            bag: RefCell::new(Vec::new()),
+            depth: Cell::new(0),
+            pins: Cell::new(0),
+        }
+    };
+}
+
+/// RAII token proving the current thread is pinned. While any `Guard`
+/// exists on a thread, no memory retired from a structure this thread may
+/// be traversing will be freed. `!Send`: a guard pins *this* thread.
+pub struct Guard {
+    _not_send: PhantomData<*mut ()>,
+}
+
+/// Pins the current thread and returns the guard. Nested pins are cheap
+/// (a counter bump); only the outermost pin announces the epoch.
+pub fn pin() -> Guard {
+    LOCAL.with(|l| {
+        if l.depth.get() == 0 {
+            let e = global().epoch.load(Ordering::Relaxed);
+            l.slot.state.store(e, Ordering::Relaxed);
+            // Order the announcement before any subsequent shared loads:
+            // a collector that advances the epoch must see it. Announcing
+            // a stale epoch is safe — it merely delays advancement.
+            fence(Ordering::SeqCst);
+        }
+        l.depth.set(l.depth.get() + 1);
+    });
+    Guard {
+        _not_send: PhantomData,
+    }
+}
+
+impl Guard {
+    /// Parks `f` to run after the grace period (two epoch advances).
+    ///
+    /// # Safety
+    ///
+    /// The closure may run on **any** thread, at any later time — including
+    /// after the structure it belongs to is gone, so it must own (e.g. via
+    /// `Arc`) everything it touches. The caller must have unlinked the
+    /// retired object from shared reach before deferring its destructor.
+    pub unsafe fn defer<F: FnOnce() + 'static>(&self, f: F) {
+        LOCAL.with(|l| {
+            let e = global().epoch.load(Ordering::Relaxed);
+            let len = {
+                let mut bag = l.bag.borrow_mut();
+                bag.push((e, Deferred(Box::new(f))));
+                bag.len()
+            };
+            if len >= BAG_FLUSH {
+                collect(l);
+            }
+        });
+    }
+
+    /// Advances the epoch if possible and runs every destructor whose grace
+    /// period has passed.
+    pub fn flush(&self) {
+        LOCAL.with(collect);
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        LOCAL.with(|l| {
+            let d = l.depth.get() - 1;
+            l.depth.set(d);
+            if d > 0 {
+                return;
+            }
+            l.slot.state.store(IDLE, Ordering::Release);
+            let pins = l.pins.get().wrapping_add(1);
+            l.pins.set(pins);
+            if pins & PIN_FLUSH_MASK != 0 {
+                return;
+            }
+            // Read-only threads (empty bag, no orphans pending) skip
+            // collection entirely — their unpin stays O(1).
+            if !l.bag.borrow().is_empty() || global().orphan_count.load(Ordering::Relaxed) > 0 {
+                collect(l);
+            }
+        });
+    }
+}
+
+/// Forces a collection round on the current thread (advance + drain).
+/// Handy for tests and teardown paths; each call can advance the epoch at
+/// most once, so draining everything may take a few calls.
+pub fn flush() {
+    LOCAL.with(collect);
+}
+
+/// Advances the global epoch when every pinned participant has announced
+/// the current value; prunes dead slots along the way.
+fn try_advance() {
+    let g = global();
+    let e = g.epoch.load(Ordering::SeqCst);
+    let mut all_current = true;
+    {
+        let mut parts = lock(&g.participants);
+        parts.retain(|s| {
+            let st = s.state.load(Ordering::SeqCst);
+            if st == DEAD {
+                return false;
+            }
+            if st != IDLE && st != e {
+                all_current = false;
+            }
+            true
+        });
+    }
+    if all_current {
+        let _ = g
+            .epoch
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::Relaxed);
+    }
+}
+
+fn collect(l: &Local) {
+    try_advance();
+    let g = global();
+    let ge = g.epoch.load(Ordering::SeqCst);
+    let mut ready: Vec<Deferred> = Vec::new();
+    {
+        let mut bag = l.bag.borrow_mut();
+        let mut i = 0;
+        while i < bag.len() {
+            if bag[i].0 + 2 <= ge {
+                ready.push(bag.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    if g.orphan_count.load(Ordering::Relaxed) > 0 {
+        let mut orphans = lock(&g.orphans);
+        let mut i = 0;
+        while i < orphans.len() {
+            if orphans[i].0 + 2 <= ge {
+                ready.push(orphans.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        g.orphan_count.store(orphans.len(), Ordering::Release);
+    }
+    // Run destructors outside every lock: they may drop deep structures.
+    for d in ready {
+        (d.0)();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn deferred_runs_after_grace_period() {
+        let hit = Arc::new(AtomicBool::new(false));
+        {
+            let g = pin();
+            let hit = Arc::clone(&hit);
+            unsafe { g.defer(move || hit.store(true, Ordering::SeqCst)) };
+        }
+        for _ in 0..8 {
+            flush();
+        }
+        assert!(hit.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn nested_pins_are_reentrant() {
+        let outer = pin();
+        let inner = pin();
+        drop(inner);
+        let hit = Arc::new(AtomicBool::new(false));
+        {
+            let hit = Arc::clone(&hit);
+            unsafe { outer.defer(move || hit.store(true, Ordering::SeqCst)) };
+        }
+        drop(outer);
+        for _ in 0..8 {
+            flush();
+        }
+        assert!(hit.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn pinned_reader_blocks_reclamation() {
+        let reader = pin();
+        let hit = Arc::new(AtomicBool::new(false));
+        // A writer on another thread retires an object and tries hard to
+        // collect it; the pinned reader must hold it alive. The writer
+        // exits, orphaning its bag.
+        {
+            let hit = Arc::clone(&hit);
+            std::thread::spawn(move || {
+                let g = pin();
+                let h2 = Arc::clone(&hit);
+                unsafe { g.defer(move || h2.store(true, Ordering::SeqCst)) };
+                drop(g);
+                for _ in 0..16 {
+                    flush();
+                }
+                assert!(
+                    !hit.load(Ordering::SeqCst),
+                    "freed while a reader was pinned"
+                );
+            })
+            .join()
+            .unwrap();
+        }
+        drop(reader);
+        for _ in 0..8 {
+            flush();
+        }
+        assert!(hit.load(Ordering::SeqCst), "orphaned bag never drained");
+    }
+
+    #[test]
+    fn many_threads_drain_completely() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let count = Arc::clone(&count);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let g = pin();
+                    let c = Arc::clone(&count);
+                    unsafe {
+                        g.defer(move || {
+                            c.fetch_add(1, Ordering::SeqCst);
+                        })
+                    };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for _ in 0..8 {
+            flush();
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 8 * 200);
+    }
+}
