@@ -25,6 +25,7 @@ use sedna_core::messages::SednaMsg;
 use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
 use sedna_net::link::LinkModel;
 use sedna_net::sim::SimConfig;
+use sedna_obs::flight::{self, FlightKind};
 use sedna_persist::{PersistEngine, PersistMode};
 use sedna_replication::QuorumConfig;
 use sedna_ring::Partitioner;
@@ -156,6 +157,10 @@ pub struct RunReport {
     pub metrics_json: String,
     /// Aggregated staleness-tracker readings across the workload clients.
     pub staleness: StalenessSummary,
+    /// Flight-recorder dump (JSON), captured when the checker found
+    /// violations: the black-box recording for this seed. `None` on
+    /// passing runs.
+    pub flight_json: Option<String>,
 }
 
 /// End-of-run staleness-lag tracker totals (summed over clients).
@@ -396,6 +401,19 @@ pub fn run_with_schedule(seed: u64, cfg: &HarnessConfig, schedule: &[ScheduledFa
         .map(|c| c.ops_done)
         .sum();
 
+    // A checker violation is an anomaly by definition: stamp it into the
+    // flight recorder and freeze a capture, bypassing the slow-op rate
+    // limiter (a violating seed always deserves its black box), then
+    // carry the dump in the report so sweep artifacts include it.
+    let flight_json = if violations.is_empty() {
+        None
+    } else {
+        flight::record(FlightKind::Violation, seed);
+        flight::reset_anomaly();
+        flight::note_anomaly("violation", seed);
+        Some(flight::render_json(256))
+    };
+
     let _ = std::fs::remove_dir_all(&dir);
     RunReport {
         seed,
@@ -405,6 +423,7 @@ pub fn run_with_schedule(seed: u64, cfg: &HarnessConfig, schedule: &[ScheduledFa
         history: events,
         metrics_json,
         staleness,
+        flight_json,
     }
 }
 

@@ -28,6 +28,10 @@ fn stock_sweep_slice_has_no_violations() {
             "seed {seed}: workload made no progress ({} ops)",
             report.ops_done
         );
+        assert!(
+            report.flight_json.is_none(),
+            "seed {seed}: passing run should not freeze a flight dump"
+        );
     }
 }
 
@@ -68,6 +72,18 @@ fn broken_quorum_config_is_caught_and_shrinks_small() {
     let (seed, report) = caught.expect(
         "5 broken-config seeds produced no monotonic-read / lost-write violation — \
          the checker is not actually checking",
+    );
+
+    // A violating run freezes a flight-recorder dump into the report so
+    // the black box rides along with the reproducer artifact.
+    let flight = report
+        .flight_json
+        .as_deref()
+        .expect("violating run carries no flight recording");
+    assert!(flight.contains("\"threads\":["), "{flight}");
+    assert!(
+        flight.contains("\"reason\":\"violation\""),
+        "anomaly capture missing from flight dump: {flight}"
     );
 
     // The shrinker must cut the schedule down to a handful of events

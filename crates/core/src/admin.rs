@@ -15,6 +15,17 @@
 //! * `/staleness`  — the rolling-window staleness-lag view as JSON:
 //!   windowed ts-delta / age / convergence histograms, outstanding repair
 //!   pushes, and a derived cluster ops/sec rate.
+//! * `/internals`  — per-node engine internals as JSON: probe lengths,
+//!   writer-mutex waits, rehashes, eviction sampling quality, slab
+//!   occupancy, and the epoch-reclamation stats (pins, pending backlog,
+//!   retire→free latency).
+//! * `/flight`     — the process-wide flight recorder: per-thread event
+//!   rings plus the anomaly dumps that froze them, as JSON.
+//!
+//! The windowed `/staleness` histograms are *also* exposed on `/metrics`
+//! under a `_10s` suffix (`sedna_staleness_age_micros_10s{quantile=…}`),
+//! so they never collide with their cumulative since-boot twins in the
+//! merged exposition.
 //!
 //! The HTTP support is deliberately tiny (request line + headers in,
 //! `Connection: close` out, one request per connection) so the surface
@@ -33,8 +44,10 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use sedna_common::time::Micros;
 use sedna_common::{NodeId, VNodeId};
+use sedna_memstore::EngineSnapshot;
 use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
 use sedna_obs::escape_label_value;
+use sedna_obs::flight;
 use sedna_obs::hist::HistSnapshot;
 use sedna_obs::journal::EventJournal;
 use sedna_obs::registry::{MetricsSnapshot, Registry};
@@ -52,6 +65,8 @@ const POLL_MICROS: Micros = 25_000;
 const MAX_CONNS_PER_POLL: usize = 32;
 /// Upper bound on request bytes read before answering 400.
 const MAX_REQUEST_BYTES: usize = 4096;
+/// Newest events served per thread ring by `/flight`.
+const FLIGHT_DUMP_EVENTS: usize = 256;
 
 // ---------------------------------------------------------------------------
 // Per-node telemetry
@@ -77,6 +92,7 @@ struct TelemetryInner {
     updated_micros: Micros,
     vnodes: Vec<VNodeRow>,
     hot_keys: Vec<HotKeyRow>,
+    engine: Option<EngineSnapshot>,
 }
 
 /// A node's live per-vnode load and hot-key view, shared with the admin
@@ -124,6 +140,17 @@ impl NodeTelemetry {
     /// The node's current hot-key estimates, hottest first.
     pub fn hot_keys(&self) -> Vec<HotKeyRow> {
         self.inner.lock().hot_keys.clone()
+    }
+
+    /// Replaces the published engine-internals snapshot (called from the
+    /// node's stats tick alongside [`NodeTelemetry::publish`]).
+    pub fn publish_engine(&self, snap: EngineSnapshot) {
+        self.inner.lock().engine = Some(snap);
+    }
+
+    /// The last published engine-internals snapshot, if any.
+    pub fn engine(&self) -> Option<EngineSnapshot> {
+        self.inner.lock().engine.clone()
     }
 }
 
@@ -242,6 +269,18 @@ impl AdminActor {
                 "application/json",
                 &self.render_staleness(now),
             ),
+            "/internals" => respond(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &self.render_internals(),
+            ),
+            "/flight" => respond(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &flight::render_json(FLIGHT_DUMP_EVENTS),
+            ),
             _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
         }
     }
@@ -278,6 +317,32 @@ impl AdminActor {
             "sedna_admin_ops_per_sec {}\n",
             self.ops_rate.rate_per_sec(now)
         ));
+        // The rolling-window staleness twins, suffixed `_10s` so they never
+        // shadow the cumulative series of the same base name above.
+        let mut ts_delta = HistSnapshot::default();
+        let mut age = HistSnapshot::default();
+        let mut convergence = HistSnapshot::default();
+        for w in &self.state.staleness {
+            ts_delta.merge(&w.ts_delta.merged(now));
+            age.merge(&w.age.merged(now));
+            convergence.merge(&w.convergence.merged(now));
+        }
+        for (name, h) in [
+            ("sedna_staleness_ts_delta_micros_10s", &ts_delta),
+            ("sedna_staleness_age_micros_10s", &age),
+            ("sedna_staleness_convergence_micros_10s", &convergence),
+        ] {
+            out.push_str(&format!(
+                "# HELP {name} Rolling-window (10s windows, last minute) twin of the cumulative series.\n# TYPE {name} summary\n"
+            ));
+            for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                out.push_str(&format!(
+                    "{name}{{quantile=\"{label}\"}} {}\n",
+                    h.percentile(q)
+                ));
+            }
+            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+        }
         out
     }
 
@@ -347,6 +412,79 @@ impl AdminActor {
                 ));
             }
             out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Per-node engine internals. Note the `epoch` block is process-wide
+    /// (the reclamation shim is shared by every store in this process);
+    /// in-process multi-node deployments will show the same epoch figures
+    /// on every node row.
+    fn render_internals(&self) -> String {
+        let mut out = String::from("{\"nodes\":[");
+        let mut first = true;
+        for (node, telemetry) in &self.state.telemetry {
+            let Some(e) = telemetry.engine() else {
+                continue;
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{{\"node\":{},", node.0));
+            out.push_str(&format!(
+                "\"probe_len\":{},\"locks\":{},\"lock_waits\":{},\"lock_contention\":{:.6},\"lock_wait_micros\":{},",
+                hist_json(&e.probe_len),
+                e.locks,
+                e.lock_waits,
+                e.lock_contention(),
+                hist_json(&e.lock_wait),
+            ));
+            out.push_str(&format!(
+                "\"rehashes\":{},\"rehash_rows_moved\":{},\"evict_rounds\":{},\"evict_sampled\":{},\
+                 \"evict_exact_rounds\":{},\"evict_sample_mean\":{:.3},\"batch_applies\":{},\"batch_ops\":{},",
+                e.rehashes,
+                e.rehash_rows_moved,
+                e.evict_rounds,
+                e.evict_sampled,
+                e.evict_exact_rounds,
+                e.evict_sample_mean(),
+                e.batch_applies,
+                e.batch_ops,
+            ));
+            out.push_str(&format!(
+                "\"live_rows\":{},\"tombstones\":{},\"table_slots\":{},\"slab_pages\":{},\
+                 \"slab_cells\":{},\"slab_free_cells\":{},\"slab_occupancy\":{:.6},",
+                e.live_rows,
+                e.tombstones,
+                e.table_slots,
+                e.slab_pages,
+                e.slab_cells,
+                e.slab_free_cells,
+                e.slab_occupancy(),
+            ));
+            let ep = &e.epoch;
+            out.push_str(&format!(
+                "\"epoch\":{{\"epoch\":{},\"pins\":{},\"depth_hist\":{:?},\"retires\":{},\
+                 \"frees\":{},\"pending\":{},\"bag_len\":{},\"bag_peak\":{},\"collects\":{},\
+                 \"advances\":{},\"orphaned\":{},\"retire_free_p50\":{},\"retire_free_p99\":{},\
+                 \"retire_free_max\":{}}}}}",
+                ep.epoch,
+                ep.pins,
+                ep.depth_hist,
+                ep.retires,
+                ep.frees,
+                ep.pending,
+                ep.bag_len,
+                ep.bag_peak,
+                ep.collects,
+                ep.advances,
+                ep.orphaned,
+                ep.retire_free_latency.percentile(0.5),
+                ep.retire_free_latency.percentile(0.99),
+                ep.retire_free_latency.max,
+            ));
         }
         out.push_str("]}");
         out

@@ -22,6 +22,7 @@ use sedna_common::{Key, NodeId, RequestId, TraceId, VNodeId, Value};
 use sedna_coord::client::{LeaseCache, LeaseConfig, SessionClient, SessionConfig, SessionEvent};
 use sedna_coord::messages::{CoordMsg, CoordOp, CoordReply};
 use sedna_net::actor::ActorId;
+use sedna_obs::flight;
 use sedna_obs::journal::{EventJournal, EventKind};
 use sedna_obs::registry::{Counter, Gauge, Hist, MetricsSnapshot, Registry};
 use sedna_obs::trace::TraceTracker;
@@ -713,12 +714,15 @@ impl ClientObs {
         }
         self.tracker.assembled(trace, now);
         if let Some(fin) = self.tracker.finish(trace, now) {
-            self.write_latency.record(fin.total_micros);
+            // Traced sample: tail buckets keep the TraceId as an exemplar,
+            // so a scraped p99 bucket links back to this op's span tree.
+            self.write_latency.record_traced(fin.total_micros, trace.0);
             if matches!(agg, WriteOutcomeAgg::Failed { .. }) {
                 self.journal
                     .push(now, EventKind::QuorumFailed { trace, op: "write" });
             }
             if fin.total_micros >= self.slow_threshold {
+                flight::note_anomaly("slow-op:write", trace.0);
                 self.journal.push(
                     now,
                     EventKind::SlowOp {
@@ -782,7 +786,8 @@ impl ClientObs {
         }
         self.tracker.assembled(fin.trace, now);
         if let Some(done) = self.tracker.finish(fin.trace, now) {
-            self.read_latency.record(done.total_micros);
+            self.read_latency
+                .record_traced(done.total_micros, fin.trace.0);
             if matches!(fin.result, ClientResult::Failed) {
                 self.journal.push(
                     now,
@@ -793,6 +798,7 @@ impl ClientObs {
                 );
             }
             if done.total_micros >= self.slow_threshold {
+                flight::note_anomaly("slow-op:read", fin.trace.0);
                 self.journal.push(
                     now,
                     EventKind::SlowOp {

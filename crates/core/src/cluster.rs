@@ -542,6 +542,9 @@ pub struct ThreadCluster {
     registries: Vec<Arc<Registry>>,
     /// Event journals captured the same way.
     journals: Vec<Arc<EventJournal>>,
+    /// Per-node telemetry handles (vnode load, hot keys, engine
+    /// internals), captured like the registries.
+    telemetry: Vec<(NodeId, Arc<crate::admin::NodeTelemetry>)>,
     /// Bound address of the admin HTTP surface, when one was started.
     admin_addr: Option<std::net::SocketAddr>,
 }
@@ -588,7 +591,7 @@ impl ThreadCluster {
             let state = AdminState {
                 registries: registries.clone(),
                 journals: journals.clone(),
-                telemetry,
+                telemetry: telemetry.clone(),
                 staleness,
             };
             let (actor, addr) =
@@ -606,6 +609,7 @@ impl ThreadCluster {
             next_op: std::cell::Cell::new(0),
             registries,
             journals,
+            telemetry,
             admin_addr,
         }
     }
@@ -645,6 +649,25 @@ impl ThreadCluster {
         }
         out.sort_by_key(|e| e.at);
         out
+    }
+
+    /// The engine-internals snapshot `node` last published on its stats
+    /// tick (`None` before the first tick, or for an unknown node).
+    pub fn engine_internals(&self, node: NodeId) -> Option<sedna_memstore::EngineSnapshot> {
+        self.telemetry
+            .iter()
+            .find(|(id, _)| *id == node)
+            .and_then(|(_, t)| t.engine())
+    }
+
+    /// The flight-recorder ring for `node`'s actor thread (every actor
+    /// runs on its own named thread, so the ring labels are exact).
+    pub fn flight_dump(&self, node: NodeId) -> Vec<sedna_obs::flight::ThreadDump> {
+        let label = format!("sedna-actor-{}", self.config.node_actor(node).0);
+        sedna_obs::flight::dump()
+            .into_iter()
+            .filter(|t| t.label == label)
+            .collect()
     }
 
     fn call(&self, op: ClientOp, timeout: Duration) -> ClientResult {

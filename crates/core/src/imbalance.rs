@@ -13,10 +13,69 @@
 //! ever shipping the full per-vnode table.
 
 use sedna_common::{Key, VNodeId};
+use sedna_memstore::EngineSnapshot;
 use sedna_ring::{HotKeyRow, NodeLoad, VNodeStats};
 
 /// How many hottest vnodes a row advertises.
 pub const TOP_K: usize = 8;
+
+/// Compact engine-internals roll-up gossiped alongside the load row, so the
+/// manager (and `/vnodes`-style consumers of the imbalance table) can see a
+/// node degrading *inside* — reclamation backlog, probe decay, writer-mutex
+/// convoys — before it shows up as external latency.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineSummary {
+    /// Epoch-retired allocations not yet freed (reclamation backlog).
+    pub pending_reclaim: u64,
+    /// Peak deferred-bag length seen by any thread.
+    pub bag_peak: u64,
+    /// p99 reader probe length (slots inspected per lookup), sampled.
+    pub probe_p99: u64,
+    /// Writer-mutex acquisitions.
+    pub locks: u64,
+    /// Acquisitions that found the mutex held.
+    pub lock_waits: u64,
+    /// Table rehashes.
+    pub rehashes: u64,
+    /// Slab pages allocated.
+    pub slab_pages: u64,
+    /// Free slab cells (allocatable without growing).
+    pub slab_free_cells: u64,
+    /// Eviction rounds run.
+    pub evict_rounds: u64,
+}
+
+impl EngineSummary {
+    /// Condenses a full [`EngineSnapshot`] into the gossiped roll-up.
+    pub fn from_snapshot(snap: &EngineSnapshot) -> EngineSummary {
+        EngineSummary {
+            pending_reclaim: snap.epoch.pending,
+            bag_peak: snap.epoch.bag_peak,
+            probe_p99: snap.probe_len.percentile(0.99),
+            locks: snap.locks,
+            lock_waits: snap.lock_waits,
+            rehashes: snap.rehashes,
+            slab_pages: snap.slab_pages,
+            slab_free_cells: snap.slab_free_cells,
+            evict_rounds: snap.evict_rounds,
+        }
+    }
+
+    /// Field values in wire order (the section is `count || fields`).
+    fn fields(&self) -> [u64; 9] {
+        [
+            self.pending_reclaim,
+            self.bag_peak,
+            self.probe_p99,
+            self.locks,
+            self.lock_waits,
+            self.rehashes,
+            self.slab_pages,
+            self.slab_free_cells,
+            self.evict_rounds,
+        ]
+    }
+}
 
 /// One node's published load summary.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -27,6 +86,8 @@ pub struct ImbalanceRow {
     pub hottest: Vec<(VNodeId, u64)>,
     /// This node's hottest *keys* (Space-Saving estimates), hottest first.
     pub hot_keys: Vec<HotKeyRow>,
+    /// Engine-internals roll-up (absent on rows from older nodes).
+    pub engine: Option<EngineSummary>,
 }
 
 impl ImbalanceRow {
@@ -48,6 +109,7 @@ impl ImbalanceRow {
             load,
             hottest: scored,
             hot_keys: Vec::new(),
+            engine: None,
         }
     }
 
@@ -61,6 +123,12 @@ impl ImbalanceRow {
         });
         keys.truncate(TOP_K);
         self.hot_keys = keys;
+        self
+    }
+
+    /// Attaches the engine-internals roll-up.
+    pub fn with_engine(mut self, engine: EngineSummary) -> Self {
+        self.engine = Some(engine);
         self
     }
 
@@ -81,6 +149,16 @@ impl ImbalanceRow {
             buf.extend_from_slice(&hk.count.to_le_bytes());
             buf.extend_from_slice(&(hk.key.len() as u16).to_le_bytes());
             buf.extend_from_slice(hk.key.as_bytes());
+        }
+        // Engine section, trailing and optional like hot keys: a field
+        // count then that many u64s, so a future row with more fields
+        // still decodes here (extras ignored).
+        if let Some(e) = &self.engine {
+            let fields = e.fields();
+            buf.push(fields.len() as u8);
+            for f in fields {
+                buf.extend_from_slice(&f.to_le_bytes());
+            }
         }
         buf
     }
@@ -131,6 +209,32 @@ impl ImbalanceRow {
                 off += klen;
             }
         }
+        let mut engine = None;
+        if off < bytes.len() {
+            let n = bytes[off] as usize;
+            off += 1;
+            // n = 0 would make any stray trailing byte decode as an empty
+            // engine section; the encoder never writes one, so reject it.
+            if n == 0 || bytes.len() < off + n * 8 {
+                return None;
+            }
+            let mut fields = [0u64; 9];
+            for (i, f) in fields.iter_mut().enumerate().take(n.min(9)) {
+                *f = u64::from_le_bytes(bytes[off + i * 8..off + i * 8 + 8].try_into().ok()?);
+            }
+            off += n * 8;
+            engine = Some(EngineSummary {
+                pending_reclaim: fields[0],
+                bag_peak: fields[1],
+                probe_p99: fields[2],
+                locks: fields[3],
+                lock_waits: fields[4],
+                rehashes: fields[5],
+                slab_pages: fields[6],
+                slab_free_cells: fields[7],
+                evict_rounds: fields[8],
+            });
+        }
         if off != bytes.len() {
             return None;
         }
@@ -142,6 +246,7 @@ impl ImbalanceRow {
             },
             hottest,
             hot_keys,
+            engine,
         })
     }
 }
@@ -267,6 +372,72 @@ mod tests {
         let mut bytes2 = row.encode();
         bytes2[20] = 5; // claims 5 entries, has fewer
         assert!(ImbalanceRow::decode(&bytes2).is_none());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_with_engine_section() {
+        let row = ImbalanceRow::compute(&[VNodeStats::default(); 2], &[VNodeId(0), VNodeId(1)])
+            .with_hot_keys(vec![HotKeyRow {
+                vnode: VNodeId(1),
+                key: Key::from("k"),
+                count: 5,
+            }])
+            .with_engine(EngineSummary {
+                pending_reclaim: 12,
+                bag_peak: 30,
+                probe_p99: 4,
+                locks: 1000,
+                lock_waits: 7,
+                rehashes: 2,
+                slab_pages: 3,
+                slab_free_cells: 40,
+                evict_rounds: 6,
+            });
+        let back = ImbalanceRow::decode(&row.encode()).unwrap();
+        assert_eq!(row, back);
+        assert_eq!(back.engine.as_ref().unwrap().pending_reclaim, 12);
+        assert_eq!(back.engine.as_ref().unwrap().probe_p99, 4);
+    }
+
+    #[test]
+    fn decode_tolerates_engine_less_rows_and_extra_fields() {
+        // A row from a node without the engine section decodes with None.
+        let plain = ImbalanceRow::compute(&[VNodeStats::default()], &[VNodeId(0)]);
+        let back = ImbalanceRow::decode(&plain.encode()).unwrap();
+        assert!(back.engine.is_none());
+        // A future node advertising one extra field still decodes; the
+        // extra is ignored.
+        let row = plain.clone().with_engine(EngineSummary {
+            pending_reclaim: 9,
+            ..EngineSummary::default()
+        });
+        let mut bytes = row.encode();
+        let count_off = bytes.len() - 9 * 8 - 1;
+        bytes[count_off] = 10;
+        bytes.extend_from_slice(&77u64.to_le_bytes());
+        let back = ImbalanceRow::decode(&bytes).unwrap();
+        assert_eq!(back.engine.as_ref().unwrap().pending_reclaim, 9);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_engine_section() {
+        let row = ImbalanceRow::compute(&[VNodeStats::default()], &[VNodeId(0)])
+            .with_engine(EngineSummary::default());
+        let good = row.encode();
+        assert!(ImbalanceRow::decode(&good).is_some());
+        // Truncated mid-field.
+        assert!(ImbalanceRow::decode(&good[..good.len() - 3]).is_none());
+        // Claims more fields than are present.
+        let mut bytes = good.clone();
+        let count_off = good.len() - 9 * 8 - 1;
+        bytes[count_off] = 20;
+        assert!(ImbalanceRow::decode(&bytes).is_none());
+        // A zero-field section is never emitted — reject it.
+        let mut bytes2 = row.clone();
+        bytes2.engine = None;
+        let mut raw = bytes2.encode();
+        raw.push(0);
+        assert!(ImbalanceRow::decode(&raw).is_none());
     }
 
     #[test]

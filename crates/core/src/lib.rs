@@ -49,7 +49,7 @@ pub use cluster::{Gateway, SimCluster, ThreadCluster};
 pub use config::{paths, ClusterConfig};
 pub use fault::{ClusterFault, RestartKind, ScheduledFault};
 pub use history::{ClientHistory, HistoryEvent, HistoryOp, HistoryOutcome};
-pub use imbalance::ImbalanceRow;
+pub use imbalance::{EngineSummary, ImbalanceRow};
 pub use manager::ClusterManager;
 pub use messages::{
     ClientFrame, ClientOp, ClientResult, ControlMsg, ReplicaOp, ReplicaReadReply, ReplicaWriteAck,

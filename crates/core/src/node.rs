@@ -315,6 +315,32 @@ impl SednaNode {
         ] {
             reg.gauge(name).set(v);
         }
+        // Engine internals (store-local only: the epoch shim's stats are
+        // process-wide, so mirroring them per node would multiply under the
+        // cluster-wide gauge merge — `/internals` serves those instead).
+        let eng = self.store.engine_stats();
+        for (name, v) in [
+            ("sedna_engine_locks", eng.locks),
+            ("sedna_engine_lock_waits", eng.lock_waits),
+            (
+                "sedna_engine_lock_wait_p99_micros",
+                eng.lock_wait.percentile(0.99),
+            ),
+            ("sedna_engine_probe_p99", eng.probe_len.percentile(0.99)),
+            ("sedna_engine_rehashes", eng.rehashes),
+            ("sedna_engine_rehash_rows_moved", eng.rehash_rows_moved),
+            ("sedna_engine_evict_rounds", eng.evict_rounds),
+            ("sedna_engine_evict_sampled", eng.evict_sampled),
+            ("sedna_engine_batch_applies", eng.batch_applies),
+            ("sedna_engine_batch_ops", eng.batch_ops),
+            ("sedna_engine_live_rows", eng.live_rows),
+            ("sedna_engine_tombstones", eng.tombstones),
+            ("sedna_engine_table_slots", eng.table_slots),
+            ("sedna_engine_slab_pages", eng.slab_pages),
+            ("sedna_engine_slab_free_cells", eng.slab_free_cells),
+        ] {
+            reg.gauge(name).set(v);
+        }
     }
 
     /// Registers a trigger job directly (harness convenience; remote
@@ -476,7 +502,10 @@ impl SednaNode {
         };
         let owned = ring.vnodes_of(self.node_id);
         let row = crate::imbalance::ImbalanceRow::compute(&self.vnode_stats, &owned)
-            .with_hot_keys(self.hot_keys());
+            .with_hot_keys(self.hot_keys())
+            .with_engine(crate::imbalance::EngineSummary::from_snapshot(
+                &self.store.engine_stats(),
+            ));
         let path = paths::imbalance(self.node_id);
         let now = ctx.now();
         let op = if self.imbalance_created {
@@ -971,6 +1000,12 @@ impl SednaNode {
 
     fn tick(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
         let now = ctx.now();
+        // Feed the sim clock to the process-wide observability clocks
+        // (fetch_max: multiple in-process nodes only advance them). The
+        // flight recorder stamps its events and the epoch shim measures
+        // retire→free latency against these.
+        crossbeam::epoch::set_clock(now);
+        sedna_obs::flight::set_clock(now);
         // Fail over coordination requests whose replica went silent.
         for (old, (to, m)) in self.session.on_tick(now) {
             let new_id = match &m {
@@ -1108,6 +1143,7 @@ impl Actor for SednaNode {
             }
             T_STATS => {
                 self.mirror_gauges();
+                self.telemetry.publish_engine(self.store.engine_stats());
                 if let Some(ring) = &self.ring {
                     let owned = ring.vnodes_of(self.node_id);
                     self.telemetry

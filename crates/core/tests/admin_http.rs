@@ -24,8 +24,9 @@ fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
 }
 
 /// Minimal Prometheus text-format validator: every non-comment line must be
-/// `series value` with a legal metric name and a numeric value; `# TYPE`
-/// lines must name a legal type.
+/// `series value`, optionally followed by an OpenMetrics-style exemplar
+/// (` # {labels} value`), with a legal metric name and numeric values;
+/// `# TYPE` lines must name a legal type.
 fn assert_valid_prometheus(text: &str) {
     assert!(!text.is_empty(), "empty exposition");
     let mut samples = 0usize;
@@ -47,7 +48,24 @@ fn assert_valid_prometheus(text: &str) {
         if line.starts_with('#') {
             continue; // HELP or comment
         }
-        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+        // Peel an exemplar suffix off first: `series value # {…} exvalue`.
+        let sample = match line.split_once(" # ") {
+            Some((sample, exemplar)) => {
+                let (labels, exvalue) = exemplar
+                    .rsplit_once(' ')
+                    .unwrap_or_else(|| panic!("exemplar without value: {line}"));
+                assert!(
+                    labels.starts_with('{') && labels.ends_with('}'),
+                    "malformed exemplar labels: {line}"
+                );
+                exvalue
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| panic!("non-numeric exemplar value: {line}"));
+                sample
+            }
+            None => line,
+        };
+        let (series, value) = sample.rsplit_once(' ').unwrap_or_else(|| {
             panic!("sample line without value: {line}");
         });
         value
@@ -113,6 +131,20 @@ fn admin_surface_serves_all_endpoints() {
     assert!(metrics.contains("# TYPE sedna_hotkey_ops gauge"));
     assert!(metrics.contains("sedna_admin_ops_per_sec"));
     assert!(metrics.contains(r#"key="hot:item""#));
+    // The windowed staleness twins live under a `_10s` suffix so they do
+    // not shadow the cumulative series of the same base name.
+    assert!(metrics.contains("# TYPE sedna_staleness_ts_delta_micros_10s summary"));
+    assert!(metrics.contains("sedna_staleness_age_micros_10s_count"));
+    assert!(metrics.contains("sedna_staleness_convergence_micros_10s{quantile=\"0.99\"}"));
+    // Every client op records a traced latency sample, so the tail
+    // quantiles of the latency summaries carry OpenMetrics exemplars.
+    assert!(
+        metrics.contains("# {trace_id=\"0x"),
+        "no exemplar in exposition"
+    );
+    // Engine-internals gauges are mirrored on the stats tick.
+    assert!(metrics.contains("sedna_engine_locks"));
+    assert!(metrics.contains("sedna_engine_slab_pages"));
 
     let (status, vnodes) = http_get(addr, "/vnodes");
     assert!(status.contains("200"));
@@ -135,6 +167,37 @@ fn admin_surface_serves_all_endpoints() {
     let (status, journal) = http_get(addr, "/journal");
     assert!(status.contains("200"));
     assert!(journal.starts_with("{\"events\":["));
+
+    // Engine internals: published on the same stats tick that surfaced the
+    // hot keys, so they are live by now.
+    let (status, internals) = http_get(addr, "/internals");
+    assert!(status.contains("200"));
+    assert!(internals.starts_with("{\"nodes\":["), "body: {internals}");
+    assert!(internals.contains("\"probe_len\":{"), "body: {internals}");
+    assert!(internals.contains("\"slab_pages\":"), "body: {internals}");
+    assert!(internals.contains("\"epoch\":{"), "body: {internals}");
+    assert!(internals.contains("\"pending\":"), "body: {internals}");
+    assert!(
+        internals.contains("\"retire_free_p99\":"),
+        "body: {internals}"
+    );
+
+    // The flight recorder has seen engine events from the workload above.
+    let (status, flight) = http_get(addr, "/flight");
+    assert!(status.contains("200"));
+    assert!(
+        flight.starts_with('{') && flight.ends_with('}'),
+        "body: {flight}"
+    );
+    assert!(flight.contains("\"threads\":["), "body: {flight}");
+
+    // Persist the scrapes so CI can upload them as build artifacts (a
+    // known-good reference of what the endpoints emit at this commit).
+    let scrape_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/admin-scrape");
+    std::fs::create_dir_all(scrape_dir).expect("create scrape dir");
+    std::fs::write(format!("{scrape_dir}/metrics.prom"), &metrics).unwrap();
+    std::fs::write(format!("{scrape_dir}/internals.json"), &internals).unwrap();
+    std::fs::write(format!("{scrape_dir}/flight.json"), &flight).unwrap();
 
     let (status, _) = http_get(addr, "/definitely-not-here");
     assert!(status.contains("404"), "expected 404, got: {status}");

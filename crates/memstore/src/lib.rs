@@ -44,6 +44,7 @@
 //! assert_eq!(store.read_latest(&key).unwrap().value, Value::from("newer"));
 //! ```
 
+pub mod engine;
 pub mod entry;
 mod row;
 pub mod sketch;
@@ -52,6 +53,7 @@ pub mod stats;
 pub mod store;
 mod table;
 
+pub use engine::EngineSnapshot;
 pub use entry::{VersionedValue, WriteOutcome};
 pub use sketch::{HotKey, SpaceSaving};
 pub use snap::RowSnapshot;

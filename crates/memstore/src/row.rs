@@ -198,7 +198,6 @@ impl RowSlab {
     }
 
     /// Free cells available without growing.
-    #[cfg(test)]
     pub fn free_cells(&self) -> usize {
         self.inner.lock().free.len()
     }

@@ -35,10 +35,12 @@ use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::epoch::{self, Guard};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use sedna_common::hashing::fnv1a64;
 use sedna_common::{Key, Timestamp, Value};
+use sedna_obs::flight::{self, FlightKind};
 
+use crate::engine::{self, EngineSnapshot, EngineStats};
 use crate::entry::{
     apply_write_all, apply_write_latest, latest_of, merge_lists, payload_of, Applied,
     VersionedValue, WriteOutcome,
@@ -192,11 +194,16 @@ pub struct MemStore {
     mask: u64,
     budget_per_shard: Option<usize>,
     stats: StoreStats,
+    engine: EngineStats,
 }
 
 impl MemStore {
     /// Creates a store.
     pub fn new(config: StoreConfig) -> Self {
+        // Route the epoch shim's lifecycle events (pin/unpin/retire/free/
+        // advance) into the process-wide flight recorder. Idempotent; the
+        // shim's codes match the recorder's kind discriminants.
+        epoch::set_event_hook(flight::record_raw);
         let n = config.shards.max(1).next_power_of_two();
         let shards: Vec<Shard> = (0..n).map(|_| Shard::new()).collect();
         MemStore {
@@ -204,7 +211,39 @@ impl MemStore {
             mask: (n - 1) as u64,
             budget_per_shard: config.memory_budget.map(|b| b / n),
             stats: StoreStats::default(),
+            engine: EngineStats::new(),
         }
+    }
+
+    /// Acquires a shard's writer mutex, timing only contended acquires
+    /// (the `try_lock` fast path keeps the uncontended cost at zero).
+    fn lock_shard<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, ShardInner> {
+        EngineStats::add(&self.engine.locks, 1);
+        if let Some(g) = shard.inner.try_lock() {
+            flight::record(FlightKind::ShardLock, 0);
+            return g;
+        }
+        let t0 = std::time::Instant::now();
+        let g = shard.inner.lock();
+        let waited = t0.elapsed().as_micros() as u64;
+        EngineStats::add(&self.engine.lock_waits, 1);
+        self.engine.lock_wait_micros.record(waited);
+        flight::record(FlightKind::ShardLockWait, waited);
+        g
+    }
+
+    /// Reader probe plus sampled probe-length accounting.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold an epoch guard; see [`Table::lookup`].
+    #[inline]
+    unsafe fn lookup(&self, shard: &Shard, h: u64, key: &Key) -> Option<*mut Row> {
+        let (found, probes) = shard.table().lookup(h, key);
+        if engine::probe_sampled() {
+            self.engine.probe_len.record(probes as u64);
+        }
+        found
     }
 
     /// Shard index and (mixed) table hash for `key`.
@@ -224,7 +263,7 @@ impl MemStore {
     pub fn write_latest(&self, key: &Key, ts: Timestamp, value: Value) -> WriteOutcome {
         let (shard, h) = self.route(key);
         let guard = epoch::pin();
-        let mut inner = shard.inner.lock();
+        let mut inner = self.lock_shard(shard);
         self.write_one(shard, &mut inner, &guard, key, h, ts, value, true)
             .0
     }
@@ -233,7 +272,7 @@ impl MemStore {
     pub fn write_all(&self, key: &Key, ts: Timestamp, value: Value) -> WriteOutcome {
         let (shard, h) = self.route(key);
         let guard = epoch::pin();
-        let mut inner = shard.inner.lock();
+        let mut inner = self.lock_shard(shard);
         self.write_one(shard, &mut inner, &guard, key, h, ts, value, false)
             .0
     }
@@ -367,13 +406,18 @@ impl MemStore {
             .next_power_of_two()
             .max(MIN_TABLE_CAP);
         let new = Table::boxed(cap);
+        let mut moved = 0u64;
         for slot in old.slots.iter() {
             if is_live(slot.meta.load(Ordering::Relaxed)) {
                 let p = slot.row.load(Ordering::Relaxed);
                 new.rehash_insert(p, (*p).hash);
+                moved += 1;
             }
         }
         shard.table.store(Box::into_raw(new), Ordering::Release);
+        EngineStats::add(&self.engine.rehashes, 1);
+        EngineStats::add(&self.engine.rehash_rows_moved, moved);
+        flight::record(FlightKind::Rehash, cap as u64);
         inner.tombs = 0;
         inner.evict_cursor = 0;
         guard.defer(move || drop(Box::from_raw(old_ptr)));
@@ -416,7 +460,7 @@ impl MemStore {
         let guard = epoch::pin();
         // SAFETY: pinned.
         let mut found = None;
-        if let Some(p) = unsafe { shard.table().lookup(h, key) } {
+        if let Some(p) = unsafe { self.lookup(shard, h, key) } {
             let row = unsafe { &*p };
             if let Some(v) = latest_of(unsafe { row.peek(&guard) }) {
                 found = Some(v.clone());
@@ -438,7 +482,7 @@ impl MemStore {
         let guard = epoch::pin();
         let mut found = None;
         // SAFETY: pinned.
-        if let Some(p) = unsafe { shard.table().lookup(h, key) } {
+        if let Some(p) = unsafe { self.lookup(shard, h, key) } {
             let row = unsafe { &*p };
             let snap = unsafe { row.snapshot() };
             if !snap.is_empty() {
@@ -466,10 +510,13 @@ impl MemStore {
             groups.entry(self.shard_index(&op.key)).or_default().push(i);
         }
         let mut results: Vec<Option<BatchWriteResult>> = ops.iter().map(|_| None).collect();
+        EngineStats::add(&self.engine.batch_applies, 1);
+        EngineStats::add(&self.engine.batch_ops, ops.len() as u64);
+        flight::record(FlightKind::BatchApply, ops.len() as u64);
         let guard = epoch::pin();
         for (shard_idx, idxs) in groups {
             let shard = &self.shards[shard_idx];
-            let mut inner = shard.inner.lock();
+            let mut inner = self.lock_shard(shard);
             for i in idxs {
                 let op = &ops[i];
                 let h = mix(fnv1a64(op.key.as_bytes()));
@@ -502,7 +549,7 @@ impl MemStore {
             let (shard, h) = self.route(key);
             let mut found = None;
             // SAFETY: pinned.
-            if let Some(p) = unsafe { shard.table().lookup(h, key) } {
+            if let Some(p) = unsafe { self.lookup(shard, h, key) } {
                 let row = unsafe { &*p };
                 let snap = unsafe { row.snapshot() };
                 if !snap.is_empty() {
@@ -530,7 +577,7 @@ impl MemStore {
         }
         let (shard, h) = self.route(key);
         let guard = epoch::pin();
-        let mut inner = shard.inner.lock();
+        let mut inner = self.lock_shard(shard);
         // SAFETY: shard mutex held.
         let table = unsafe { shard.table() };
         match table.locate(h, key) {
@@ -565,7 +612,7 @@ impl MemStore {
     pub fn remove(&self, key: &Key) -> Option<RowSnapshot> {
         let (shard, h) = self.route(key);
         let guard = epoch::pin();
-        let mut inner = shard.inner.lock();
+        let mut inner = self.lock_shard(shard);
         // SAFETY: shard mutex held.
         let table = unsafe { shard.table() };
         let Locate::Found(ii, p) = table.locate(h, key) else {
@@ -585,7 +632,7 @@ impl MemStore {
         let (shard, h) = self.route(key);
         let guard = epoch::pin();
         // SAFETY: pinned.
-        match unsafe { shard.table().lookup(h, key) } {
+        match unsafe { self.lookup(shard, h, key) } {
             Some(p) => !unsafe { (*p).peek(&guard) }.is_empty(),
             None => false,
         }
@@ -597,7 +644,7 @@ impl MemStore {
     pub fn add_monitor(&self, key: &Key, monitor: u32) {
         let (shard, h) = self.route(key);
         let guard = epoch::pin();
-        let mut inner = shard.inner.lock();
+        let mut inner = self.lock_shard(shard);
         // SAFETY: shard mutex held.
         match unsafe { shard.table() }.locate(h, key) {
             Locate::Found(_, p) => {
@@ -629,7 +676,7 @@ impl MemStore {
     pub fn remove_monitor(&self, key: &Key, monitor: u32) {
         let (shard, h) = self.route(key);
         let _guard = epoch::pin();
-        let _inner = shard.inner.lock();
+        let _inner = self.lock_shard(shard);
         // SAFETY: shard mutex held.
         if let Locate::Found(_, p) = unsafe { shard.table() }.locate(h, key) {
             // SAFETY: meta is writer-owned; mutex held.
@@ -667,7 +714,7 @@ impl MemStore {
             .filter(|(i, _)| i % parts == part)
             .map(|(_, s)| s)
         {
-            let _inner = shard.inner.lock();
+            let _inner = self.lock_shard(shard);
             // SAFETY: shard mutex held.
             let table = unsafe { shard.table() };
             for slot in table.slots.iter() {
@@ -733,7 +780,7 @@ impl MemStore {
         let mut removed = 0;
         let guard = epoch::pin();
         for shard in self.shards.iter() {
-            let mut inner = shard.inner.lock();
+            let mut inner = self.lock_shard(shard);
             // SAFETY: shard mutex held.
             let table = unsafe { shard.table() };
             for ii in 0..table.capacity() {
@@ -809,7 +856,7 @@ impl MemStore {
     pub fn payload_bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.inner.lock().payload_bytes)
+            .map(|s| self.lock_shard(s).payload_bytes)
             .sum()
     }
 
@@ -818,7 +865,7 @@ impl MemStore {
         let guard = epoch::pin();
         let mut fp = StoreFootprint::default();
         for shard in self.shards.iter() {
-            let inner = shard.inner.lock();
+            let inner = self.lock_shard(shard);
             fp.rows += inner.live;
             // SAFETY: shard mutex held.
             fp.table_slots += unsafe { shard.table() }.capacity();
@@ -832,6 +879,40 @@ impl MemStore {
     /// Counter snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Engine-internals snapshot: probe lengths, lock waits, rehashes,
+    /// eviction sampling quality, slab occupancy, and the process-wide
+    /// epoch reclamation stats.
+    pub fn engine_stats(&self) -> EngineSnapshot {
+        let mut snap = EngineSnapshot {
+            probe_len: self.engine.probe_len.snapshot(),
+            locks: self.engine.locks.load(Ordering::Relaxed),
+            lock_waits: self.engine.lock_waits.load(Ordering::Relaxed),
+            lock_wait: self.engine.lock_wait_micros.snapshot(),
+            rehashes: self.engine.rehashes.load(Ordering::Relaxed),
+            rehash_rows_moved: self.engine.rehash_rows_moved.load(Ordering::Relaxed),
+            evict_rounds: self.engine.evict_rounds.load(Ordering::Relaxed),
+            evict_sampled: self.engine.evict_sampled.load(Ordering::Relaxed),
+            evict_exact_rounds: self.engine.evict_exact_rounds.load(Ordering::Relaxed),
+            batch_applies: self.engine.batch_applies.load(Ordering::Relaxed),
+            batch_ops: self.engine.batch_ops.load(Ordering::Relaxed),
+            epoch: epoch::stats(),
+            ..EngineSnapshot::default()
+        };
+        let guard = epoch::pin();
+        for shard in self.shards.iter() {
+            let inner = self.lock_shard(shard);
+            snap.live_rows += inner.live as u64;
+            snap.tombstones += inner.tombs as u64;
+            // SAFETY: shard mutex held.
+            snap.table_slots += unsafe { shard.table() }.capacity() as u64;
+            snap.slab_pages += shard.slab.pages() as u64;
+            snap.slab_free_cells += shard.slab.free_cells() as u64;
+        }
+        drop(guard);
+        snap.slab_cells = snap.slab_pages * PAGE as u64;
+        snap
     }
 
     /// Evicts lowest-stamp unmonitored rows until the shard fits its
@@ -868,7 +949,15 @@ impl MemStore {
                 i = (i + 1) % cap;
             }
             inner.evict_cursor = (i + 1) % cap;
-            let Some((ii, p, _)) = victim else {
+            EngineStats::add(&self.engine.evict_rounds, 1);
+            EngineStats::add(&self.engine.evict_sampled, seen as u64);
+            if seen < EVICT_SAMPLE {
+                // The scan ran out of candidates before filling the sample:
+                // every evictable row was considered, so this pick is exact
+                // LRU, not an approximation.
+                EngineStats::add(&self.engine.evict_exact_rounds, 1);
+            }
+            let Some((ii, p, stamp)) = victim else {
                 break; // every remaining row is monitored
             };
             let row = unsafe { &*p };
@@ -877,6 +966,7 @@ impl MemStore {
             // SAFETY: mutex held; `p` occupies slot `ii`.
             unsafe { self.unlink(shard, inner, ii, p, guard) };
             StoreStats::bump(&self.stats.evictions);
+            flight::record(FlightKind::Evict, stamp);
         }
     }
 }
@@ -1282,6 +1372,72 @@ mod tests {
             "slab must recycle cells, got {} pages",
             fp.slab_pages
         );
+    }
+
+    #[test]
+    fn engine_stats_see_probes_rehashes_and_evictions() {
+        let budget = 6 * (4 + 8 + 32 + ROW_OVERHEAD);
+        let s = MemStore::new(StoreConfig {
+            shards: 1,
+            memory_budget: Some(budget),
+        });
+        for i in 0..64 {
+            s.write_latest(
+                &Key::from(format!("k-{i:02}")),
+                ts(i as u64 + 1, 0),
+                Value::from("12345678"),
+            );
+        }
+        // Enough reads that the 1-in-64 probe sampler fires several times.
+        for _ in 0..10 {
+            for i in 0..64 {
+                let _ = s.read_latest(&Key::from(format!("k-{i:02}")));
+            }
+        }
+        let e = s.engine_stats();
+        assert!(
+            e.probe_len.count >= 5,
+            "probe samples: {}",
+            e.probe_len.count
+        );
+        assert!(e.probe_len.min >= 1);
+        assert!(e.locks as usize >= 64, "every write takes the shard lock");
+        assert!(e.rehashes >= 1, "64 inserts into an 8-slot table must grow");
+        assert!(e.rehash_rows_moved >= 1);
+        assert!(e.evict_rounds >= 1, "budget pressure must evict");
+        assert!(e.evict_sampled >= e.evict_rounds);
+        assert!(e.evict_sample_mean() <= EVICT_SAMPLE as f64);
+        assert_eq!(e.live_rows, s.len() as u64);
+        assert!(e.table_slots >= e.live_rows);
+        assert!(e.slab_cells >= e.live_rows + e.slab_free_cells);
+        assert!(e.slab_occupancy() > 0.0 && e.slab_occupancy() <= 1.0);
+        // The epoch section is live: writes retired snapshots.
+        assert!(e.epoch.pins > 0);
+        assert!(e.epoch.retires > 0);
+        assert_eq!(
+            e.epoch.pending,
+            e.epoch.retires.saturating_sub(e.epoch.frees)
+        );
+    }
+
+    #[test]
+    fn batch_and_lock_telemetry() {
+        let s = store();
+        let ops: Vec<BatchWrite> = (0..10)
+            .map(|i| BatchWrite {
+                key: Key::from(format!("b-{i}")),
+                ts: ts(i + 1, 0),
+                value: Value::from("v"),
+                latest: true,
+            })
+            .collect();
+        s.apply_batch(&ops);
+        let e = s.engine_stats();
+        assert_eq!(e.batch_applies, 1);
+        assert_eq!(e.batch_ops, 10);
+        // Single-threaded: the try_lock fast path never waits.
+        assert_eq!(e.lock_waits, 0);
+        assert_eq!(e.lock_wait.count, 0);
     }
 
     #[test]

@@ -96,27 +96,30 @@ impl Table {
         (i & self.mask) as usize
     }
 
-    /// Reader probe: the row holding `key`, if present.
+    /// Reader probe: the row holding `key`, if present, plus the number
+    /// of slots inspected (probe length, for the engine telemetry).
     ///
     /// # Safety
     ///
     /// Caller must hold an epoch guard; returned pointers are valid for
     /// the guard's lifetime.
-    pub unsafe fn lookup(&self, hash: u64, key: &Key) -> Option<*mut Row> {
+    pub unsafe fn lookup(&self, hash: u64, key: &Key) -> (Option<*mut Row>, u32) {
         let t = tag(hash);
         let mut i = hash;
+        let mut probes = 0u32;
         loop {
             let slot = &self.slots[self.idx(i)];
             let m = slot.meta.load(Ordering::Acquire);
+            probes += 1;
             if m == EMPTY {
-                return None;
+                return (None, probes);
             }
             if m == t {
                 let p = slot.row.load(Ordering::Acquire);
                 if !p.is_null() {
                     let row = &*p;
                     if row.hash == hash && row.key == *key {
-                        return Some(p);
+                        return (Some(p), probes);
                     }
                 }
             }

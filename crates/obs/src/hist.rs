@@ -46,6 +46,10 @@ fn bucket_mid(idx: usize) -> u64 {
 /// Concurrent log-bucketed histogram.
 pub struct Histogram {
     buckets: Vec<AtomicU64>,
+    /// Last trace id recorded into each bucket (0 = none) — OpenMetrics
+    /// exemplars: a scraped tail bucket links back to a concrete traced
+    /// operation that landed in it.
+    exemplars: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
@@ -64,6 +68,7 @@ impl Histogram {
     pub fn new() -> Histogram {
         Histogram {
             buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            exemplars: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
@@ -75,6 +80,23 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Records one sample carrying a trace id. Identical to
+    /// [`Histogram::record`] plus one relaxed store that remembers the
+    /// trace as the bucket's exemplar — whichever bucket the p99 lands in
+    /// later, exposition can name a real operation that fell there.
+    #[inline]
+    pub fn record_traced(&self, v: u64, trace: u64) {
+        let idx = bucket_index(v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        if trace != 0 {
+            self.exemplars[idx].store(trace, Ordering::Relaxed);
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
@@ -117,6 +139,15 @@ impl Histogram {
                 .iter()
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
+            exemplars: self
+                .exemplars
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t.load(Ordering::Relaxed) {
+                    0 => None,
+                    trace => Some((i as u32, trace)),
+                })
+                .collect(),
             count: self.count(),
             sum: self.sum(),
             max: self.max(),
@@ -129,6 +160,9 @@ impl Histogram {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistSnapshot {
     buckets: Vec<u64>,
+    /// Sparse `(bucket index, trace id)` exemplars captured by
+    /// [`Histogram::record_traced`], ascending by bucket.
+    exemplars: Vec<(u32, u64)>,
     /// Number of recorded samples.
     pub count: u64,
     /// Sum of all recorded samples.
@@ -174,6 +208,43 @@ impl HistSnapshot {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
+    /// The exemplar nearest quantile `q`, searching the quantile's bucket
+    /// first, then upward through the tail, then downward — so a scraped
+    /// p99 line names an operation at (or just around) that latency.
+    /// Returns `(trace, approximate value)`.
+    pub fn exemplar_near(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 || self.exemplars.is_empty() {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        let mut target = self.buckets.len().saturating_sub(1);
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                target = idx;
+                break;
+            }
+        }
+        let target = target as u32;
+        // `exemplars` is ascending by bucket: first at/above the target,
+        // else the highest below it.
+        let hit = self
+            .exemplars
+            .iter()
+            .find(|(b, _)| *b >= target)
+            .or_else(|| self.exemplars.last());
+        hit.map(|&(b, trace)| (trace, bucket_mid(b as usize).min(self.max)))
+    }
+
+    /// All captured exemplars, `(bucket midpoint value, trace)` ascending.
+    pub fn exemplars(&self) -> Vec<(u64, u64)> {
+        self.exemplars
+            .iter()
+            .map(|&(b, t)| (bucket_mid(b as usize), t))
+            .collect()
+    }
+
     /// Folds `other` into `self` (bucket-wise sum; max of maxima, min of
     /// minima over non-empty sides).
     pub fn merge(&mut self, other: &HistSnapshot) {
@@ -182,6 +253,14 @@ impl HistSnapshot {
         }
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
+        }
+        // Exemplar union: keep ours, adopt the other side's for buckets we
+        // have none in (merged order stays ascending).
+        for &(b, t) in &other.exemplars {
+            match self.exemplars.binary_search_by_key(&b, |e| e.0) {
+                Ok(_) => {}
+                Err(pos) => self.exemplars.insert(pos, (b, t)),
+            }
         }
         self.min = match (self.count > 0, other.count > 0) {
             (true, true) => self.min.min(other.min),
@@ -287,6 +366,53 @@ mod tests {
         let mut e = Histogram::new().snapshot();
         e.merge(&s);
         assert_eq!(e.min, 7);
+    }
+
+    #[test]
+    fn exemplars_link_tail_buckets_to_traces() {
+        let h = Histogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v); // untraced bulk
+        }
+        h.record_traced(950, 0xAA); // near the tail
+        h.record_traced(5, 0xBB); // near the head
+        h.record_traced(990, 0); // trace 0 = no exemplar
+        let s = h.snapshot();
+        let (trace, value) = s.exemplar_near(0.99).expect("tail exemplar");
+        assert_eq!(trace, 0xAA);
+        assert!((700..=1_000).contains(&value), "value={value}");
+        let (head_trace, _) = s.exemplar_near(0.0).expect("head exemplar");
+        assert_eq!(head_trace, 0xBB);
+        assert_eq!(s.exemplars().len(), 2);
+    }
+
+    #[test]
+    fn exemplar_falls_back_below_the_target_bucket() {
+        let h = Histogram::new();
+        h.record_traced(10, 0xCC);
+        for _ in 0..100 {
+            h.record(100_000); // tail mass with no exemplars
+        }
+        let (trace, _) = h.snapshot().exemplar_near(0.99).expect("fallback");
+        assert_eq!(trace, 0xCC);
+        assert_eq!(Histogram::new().snapshot().exemplar_near(0.99), None);
+    }
+
+    #[test]
+    fn merge_unions_exemplars_preferring_self() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_traced(100, 1);
+        b.record_traced(100, 2); // same bucket: a's kept
+        b.record_traced(50_000, 3); // new bucket: adopted
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        let ex = m.exemplars();
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].1, 1);
+        assert_eq!(ex[1].1, 3);
+        // Ascending bucket order is preserved for binary search.
+        assert!(ex[0].0 < ex[1].0);
     }
 
     #[test]

@@ -18,17 +18,22 @@
 //! * [`trace`] — the span model: every client op carries a `TraceId` through
 //!   the replica frames and becomes a reconstructable span tree;
 //! * [`window`] — rolling-window histograms and counter-rate tracking, the
-//!   time-local layer behind the admin surface's `/staleness` view.
+//!   time-local layer behind the admin surface's `/staleness` view;
+//! * [`flight`] — the hot-path flight recorder: per-thread fixed-size rings
+//!   of compact engine events (epoch pin/unpin, shard-lock waits, rehash,
+//!   eviction), frozen into a black-box dump when an anomaly fires.
 //!
 //! The crate has no external dependencies (offline-shim policy) and only
 //! leans on `sedna-common` for the id newtypes.
 
+pub mod flight;
 pub mod hist;
 pub mod journal;
 pub mod registry;
 pub mod trace;
 pub mod window;
 
+pub use flight::{AnomalyDump, FlightEvent, FlightKind, ThreadDump};
 pub use hist::{HistSnapshot, Histogram};
 pub use journal::{Event, EventJournal, EventKind};
 pub use registry::{

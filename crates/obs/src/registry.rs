@@ -80,6 +80,15 @@ impl Hist {
         }
     }
 
+    /// Records one sample tagged with a trace id, captured as the
+    /// bucket's exemplar (no-op while the registry is disabled).
+    #[inline]
+    pub fn record_traced(&self, v: u64, trace: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.h.record_traced(v, trace);
+        }
+    }
+
     /// Point-in-time copy.
     pub fn snapshot(&self) -> HistSnapshot {
         self.h.snapshot()
@@ -301,10 +310,18 @@ impl MetricsSnapshot {
                 last_family = fam;
             }
             for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
-                out.push_str(&format!(
-                    "{k}{{quantile=\"{label}\"}} {}\n",
-                    h.percentile(q)
-                ));
+                let v = h.percentile(q);
+                // OpenMetrics-style exemplars on the tail quantiles: the
+                // scraped p95/p99 line names a traced operation that
+                // landed in (or nearest) that bucket, so a dashboard
+                // spike links straight to a span tree in the journal.
+                let exemplar = if q >= 0.95 { h.exemplar_near(q) } else { None };
+                match exemplar {
+                    Some((trace, ev)) => out.push_str(&format!(
+                        "{k}{{quantile=\"{label}\"}} {v} # {{trace_id=\"{trace:#x}\"}} {ev}\n"
+                    )),
+                    None => out.push_str(&format!("{k}{{quantile=\"{label}\"}} {v}\n")),
+                }
             }
             out.push_str(&format!("{k}_sum {}\n{k}_count {}\n", h.sum, h.count));
         }
@@ -443,6 +460,31 @@ mod tests {
         assert!(json.contains("\"p99\":"));
         assert!(json.contains("\"mean\":100"));
         assert!(json.contains("\"min\":100"));
+    }
+
+    #[test]
+    fn exposition_attaches_exemplars_to_tail_quantiles() {
+        let reg = Registry::new(true);
+        let h = reg.hist("sedna_latency_micros");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        h.record_traced(95, 0xABC);
+        let text = reg.snapshot().to_prometheus();
+        assert!(
+            text.contains("quantile=\"0.99\"} ") && text.contains("# {trace_id=\"0xabc\"}"),
+            "missing exemplar:\n{text}"
+        );
+        // The median line never carries an exemplar.
+        for line in text.lines() {
+            if line.contains("quantile=\"0.5\"") {
+                assert!(!line.contains("trace_id"), "exemplar on median: {line}");
+            }
+        }
+        // Disabled registries do not capture exemplars.
+        let off = Registry::new(false);
+        off.hist("x").record_traced(5, 0x1);
+        assert!(!off.snapshot().to_prometheus().contains("trace_id"));
     }
 
     #[test]

@@ -180,8 +180,11 @@ impl TraceTracker {
             self.duplicates += 1;
             return None;
         }
-        self.completed += 1;
+        // An orphan finish (no matching begin) is a no-op that must not
+        // inflate the completed count — it still claims the id in `seen`
+        // so a duplicate of the orphan is detected as such.
         let t = self.active.remove(&trace)?;
+        self.completed += 1;
         Some(FinishedTrace {
             trace,
             total_micros: now.saturating_sub(t.issued_at),
@@ -256,5 +259,65 @@ mod tests {
         assert!(t.finish(id, 11).is_none());
         assert_eq!(t.completed(), 1);
         assert_eq!(t.duplicates(), 1);
+    }
+
+    #[test]
+    fn orphan_span_marks_are_silent_noops() {
+        // Marks for a trace that was never begun (or already finished)
+        // must neither panic nor leave partial state behind — acks can
+        // arrive after a deadline already closed the trace.
+        let mut t = TraceTracker::new(3);
+        let ghost = TraceId::compose(99, 12345);
+        t.sent(ghost, NodeId(0), 10);
+        t.acked(ghost, NodeId(0), 20, 1_000);
+        t.assembled(ghost, 21);
+        t.repaired(ghost, NodeId(1), 22);
+        assert_eq!(t.in_flight(), 0);
+        assert_eq!(t.completed(), 0);
+        // A real trace issued afterwards is unaffected.
+        let id = t.begin(100);
+        let fin = t.finish(id, 150).expect("real trace finishes");
+        assert_eq!(fin.total_micros, 50);
+        // Late marks after the finish are orphans too.
+        t.acked(id, NodeId(0), 200, 5_000);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn orphan_finish_does_not_inflate_completed() {
+        let mut t = TraceTracker::new(4);
+        let ghost = TraceId::compose(98, 7);
+        assert!(t.finish(ghost, 10).is_none());
+        assert_eq!(t.completed(), 0);
+        assert_eq!(t.duplicates(), 0);
+        // Finishing the same orphan again is a duplicate, not a second
+        // orphan — the id was claimed by the first finish.
+        assert!(t.finish(ghost, 11).is_none());
+        assert_eq!(t.duplicates(), 1);
+    }
+
+    #[test]
+    fn ack_without_sent_records_a_zero_length_rpc_span() {
+        // A replica ack whose send mark was lost (e.g. the op was staged
+        // and the send callback raced a routing refresh) still closes into
+        // the tree: the RPC span starts at the ack instant, zero-length,
+        // rather than being dropped or panicking.
+        let mut t = TraceTracker::new(5);
+        let id = t.begin(0);
+        t.acked(id, NodeId(2), 40, 900);
+        let fin = t.finish(id, 50).expect("finishes");
+        let rpc = fin
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::ReplicaRpc { replica: NodeId(2) })
+            .expect("rpc span present");
+        assert_eq!((rpc.start, rpc.end), (40, 40));
+        assert!(fin.spans.iter().any(|s| matches!(
+            s.kind,
+            SpanKind::NodeApply {
+                replica: NodeId(2),
+                nanos: 900
+            }
+        )));
     }
 }

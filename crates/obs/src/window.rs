@@ -51,9 +51,11 @@ impl WindowedHistogram {
         let horizon = self
             .window_start(now)
             .saturating_sub(self.window_micros * (self.keep as u64 - 1));
-        while q.front().is_some_and(|(start, _)| *start < horizon) {
-            q.pop_front();
-        }
+        // Expired windows are *usually* at the front, but a late sample
+        // (timestamped before the current window) opens its entry at the
+        // back — prune by window start everywhere, not just the front, so
+        // the merged view never overcounts past the horizon.
+        q.retain(|(start, _)| *start >= horizon);
     }
 
     /// Records one sample at time `now`.
@@ -184,6 +186,73 @@ mod tests {
         wh.record(900, 1);
         wh.record(850, 2); // earlier in the same window
         assert_eq!(wh.merged(999).count, 2);
+    }
+
+    #[test]
+    fn expiry_exactly_on_the_window_boundary() {
+        // A sample at the very last microsecond of window [0, W) must
+        // survive until `now` crosses the retention horizon *exactly*, and
+        // drop at the first microsecond where its window start < horizon.
+        let wh = WindowedHistogram::new(W, 2);
+        wh.record(W - 1, 7);
+        // now = 2W - 1: horizon = window_start(2W-1) - W = 0 → retained.
+        assert_eq!(wh.merged(2 * W - 1).count, 1);
+        // now = 2W exactly: horizon = 2W - W = W → window 0 expires. The
+        // boundary microsecond itself already belongs to the next window.
+        assert_eq!(wh.merged(2 * W).count, 0);
+        // A sample recorded exactly on a boundary opens the *new* window.
+        wh.record(3 * W, 9);
+        let wins = wh.windows(3 * W);
+        assert_eq!(wins.len(), 1);
+        assert_eq!(wins[0].0, 3 * W);
+        // …and is the newest window, retained through 4W - 1 but not 5W.
+        assert_eq!(wh.merged(4 * W - 1).count, 1);
+        assert_eq!(wh.merged(5 * W).count, 0);
+    }
+
+    #[test]
+    fn snapshot_during_rotation_sees_exactly_the_retained_samples() {
+        // Interleave records and merges around a rotation: a merge taken
+        // right after the first sample of a new window must count that
+        // sample plus every unexpired older window — no double counting,
+        // no premature expiry of the window being rotated away from.
+        let wh = WindowedHistogram::new(W, 3);
+        wh.record(10, 1); // window 0
+        wh.record(W + 10, 2); // window 1
+        assert_eq!(wh.merged(W + 10).count, 2);
+        // First sample of window 2 — snapshot taken immediately.
+        wh.record(2 * W, 3);
+        let m = wh.merged(2 * W);
+        assert_eq!(m.count, 3);
+        assert_eq!(m.min, 1);
+        assert_eq!(m.max, 3);
+        // A late sample timestamped in window 1 still counts in window 1's
+        // slot (a fresh entry keyed by its own window start) …
+        wh.record(2 * W - 1, 4);
+        assert_eq!(wh.merged(2 * W).count, 4);
+        // … and expires on window 1's schedule, not window 2's.
+        assert_eq!(wh.merged(4 * W).count, 1);
+        assert_eq!(wh.merged(4 * W).max, 3);
+    }
+
+    #[test]
+    fn late_sample_after_rotation_opens_a_fresh_window_entry() {
+        // `record` matches only the *back* window; a sample older than the
+        // back opens a new back entry keyed by its own window start. The
+        // pruning horizon still applies to it on the next access.
+        let wh = WindowedHistogram::new(W, 2);
+        wh.record(3 * W + 1, 1); // window 3 (current)
+        wh.record(2 * W + 1, 2); // late: window 2, pushed behind as new back
+        let wins = wh.windows(3 * W + 1);
+        assert_eq!(wins.len(), 2);
+        assert_eq!(wins[0].0, 3 * W);
+        assert_eq!(wins[1].0, 2 * W);
+        assert_eq!(wh.merged(3 * W + 1).count, 2);
+        // Advancing one window expires the late window-2 entry even though
+        // it sits *behind* the window-3 entry in the deque — pruning is by
+        // window start, wherever the entry sits.
+        assert_eq!(wh.merged(4 * W).count, 1);
+        assert_eq!(wh.merged(5 * W).count, 0);
     }
 
     #[test]

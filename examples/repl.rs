@@ -16,6 +16,8 @@
 //! stats                      one-line cluster counters (ops, repairs, journal)
 //! metrics                    full Prometheus text dump of the merged registry
 //! journal                    the quorum-health event journal, newest last
+//! internals <node>           engine internals (probe/locks/slab/epoch) for one node
+//! flight <node>              the node thread's flight-recorder ring, oldest first
 //! admin                      the admin surface's URL (curl it for /metrics …)
 //! help                       this text
 //! quit                       shut the cluster down
@@ -28,7 +30,7 @@
 
 use std::io::{BufRead, Write as _};
 
-use sedna_common::{Key, KeyPath, Value};
+use sedna_common::{Key, KeyPath, NodeId, Value};
 use sedna_core::cluster::ThreadCluster;
 use sedna_core::config::ClusterConfig;
 use sedna_core::messages::ClientResult;
@@ -85,7 +87,8 @@ fn main() {
     cluster.write_latest(&Key::from("__repl_warmup"), Value::from("1"));
     if let Some(addr) = cluster.admin_addr() {
         println!(
-            "admin surface: http://{addr}/metrics (also /journal /vnodes /hotkeys /staleness)"
+            "admin surface: http://{addr}/metrics (also /journal /vnodes /hotkeys /staleness \
+             /internals /flight)"
         );
     }
     println!("ready. type 'help' for commands.\n");
@@ -104,11 +107,13 @@ fn main() {
             ["quit"] | ["exit"] => break,
             ["help"] => println!(
                 "set/get/setall/getall <key> [value] · tset/tget <ds> <table> <k> [v] · \
-                 scan <ds> <table> · stats · metrics · journal · admin · quit"
+                 scan <ds> <table> · stats · metrics · journal · internals <node> · \
+                 flight <node> · admin · quit"
             ),
             ["admin"] => match cluster.admin_addr() {
                 Some(addr) => println!(
-                    "curl http://{addr}/metrics   (or /journal /vnodes /hotkeys /staleness)"
+                    "curl http://{addr}/metrics   (or /journal /vnodes /hotkeys /staleness \
+                     /internals /flight)"
                 ),
                 None => println!("(admin surface not running)"),
             },
@@ -144,6 +149,80 @@ fn main() {
                 }
             }
             ["metrics"] => print!("{}", cluster.metrics_text()),
+            ["internals", node] => match node.parse::<u32>() {
+                Ok(n) => match cluster.engine_internals(NodeId(n)) {
+                    Some(s) => {
+                        println!(
+                            "table: {} live rows, {} tombstones, {} slots · probe p50/p99: {}/{} \
+                             · rehashes: {} ({} rows moved)",
+                            s.live_rows,
+                            s.tombstones,
+                            s.table_slots,
+                            s.probe_len.percentile(0.50),
+                            s.probe_len.percentile(0.99),
+                            s.rehashes,
+                            s.rehash_rows_moved,
+                        );
+                        println!(
+                            "writer mutex: {} acquisitions, {} waited ({:.2}% contended) · \
+                             wait p99: {}µs",
+                            s.locks,
+                            s.lock_waits,
+                            s.lock_contention() * 100.0,
+                            s.lock_wait.percentile(0.99),
+                        );
+                        println!(
+                            "slab: {} pages / {} cells, {} free ({:.1}% occupied) · eviction: \
+                             {} rounds, {:.1} sampled/round, {} exact",
+                            s.slab_pages,
+                            s.slab_cells,
+                            s.slab_free_cells,
+                            s.slab_occupancy() * 100.0,
+                            s.evict_rounds,
+                            s.evict_sample_mean(),
+                            s.evict_exact_rounds,
+                        );
+                        let e = &s.epoch;
+                        println!(
+                            "epoch (process-wide): epoch {} · {} pins · {} retired, {} freed, \
+                             {} pending (bag peak {}) · retire→free p99: {}µs",
+                            e.epoch,
+                            e.pins,
+                            e.retires,
+                            e.frees,
+                            e.pending,
+                            e.bag_peak,
+                            e.retire_free_latency.percentile(0.99),
+                        );
+                    }
+                    None => println!("(no internals published yet — wait a stats tick)"),
+                },
+                Err(_) => println!("usage: internals <node-id>"),
+            },
+            ["flight", node] => match node.parse::<u32>() {
+                Ok(n) if (n as usize) < cluster.config.data_nodes => {
+                    let dumps = cluster.flight_dump(NodeId(n));
+                    if dumps.iter().all(|d| d.events.is_empty()) {
+                        println!("(ring empty — run some traffic first)");
+                    }
+                    for d in dumps {
+                        println!("== {} ({} events recorded)", d.label, d.recorded);
+                        for e in &d.events {
+                            println!(
+                                "  [{:>10}µs #{:<8}] {:<16} {}",
+                                e.micros,
+                                e.seq,
+                                sedna_obs::flight::kind_name(e.kind),
+                                e.arg
+                            );
+                        }
+                    }
+                }
+                _ => println!(
+                    "usage: flight <node-id 0..{}>",
+                    cluster.config.data_nodes - 1
+                ),
+            },
             ["journal"] => {
                 let events = cluster.journal_events();
                 if events.is_empty() {

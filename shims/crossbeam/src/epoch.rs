@@ -33,6 +33,215 @@ struct Deferred(Box<dyn FnOnce()>);
 
 unsafe impl Send for Deferred {}
 
+/// A destructor parked in a bag: the epoch it was retired under and the
+/// coarse-clock time of retirement (for retire→free latency accounting).
+struct BagEntry {
+    epoch: u64,
+    retired_at: u64,
+    f: Deferred,
+}
+
+// ---------------------------------------------------------------------------
+// Introspection: reclamation telemetry and the event hook
+// ---------------------------------------------------------------------------
+//
+// The shim stays dependency-free, so its observability surface is plain
+// statics: per-thread counter cells (written only by their owner — no
+// shared-cacheline traffic on the pin path), a global log2 histogram for
+// retire→free latency (fed by the batched, low-rate free path), and an
+// optional `fn(u8, u64)` event hook an embedder points at its flight
+// recorder. Timestamps come from a coarse clock the embedder refreshes
+// via [`set_clock`]; with no clock set, latencies read as 0.
+
+/// Pin-depth histogram buckets (depth ≥ `DEPTH_BUCKETS` clamps to last).
+pub const DEPTH_BUCKETS: usize = 8;
+/// Retire→free latency buckets: bucket `i` covers `[2^(i-1), 2^i)` µs.
+pub const LAT_BUCKETS: usize = 24;
+
+/// Event codes passed to the hook (aligned with the embedder's flight
+/// recorder kinds).
+pub const EV_PIN: u8 = 1;
+/// Outermost guard dropped.
+pub const EV_UNPIN: u8 = 2;
+/// An object was retired into a bag.
+pub const EV_RETIRE: u8 = 3;
+/// Deferred destructors ran.
+pub const EV_FREE: u8 = 4;
+/// The global epoch advanced.
+pub const EV_ADVANCE: u8 = 5;
+
+static CLOCK: AtomicU64 = AtomicU64::new(0);
+static EVENT_HOOK: AtomicUsize = AtomicUsize::new(0);
+static COLLECTS: AtomicU64 = AtomicU64::new(0);
+static ADVANCES: AtomicU64 = AtomicU64::new(0);
+static ORPHANED: AtomicU64 = AtomicU64::new(0);
+static ORPHAN_FREES: AtomicU64 = AtomicU64::new(0);
+static LAT_HIST: [AtomicU64; LAT_BUCKETS] = [const { AtomicU64::new(0) }; LAT_BUCKETS];
+static LAT_SUM: AtomicU64 = AtomicU64::new(0);
+static LAT_COUNT: AtomicU64 = AtomicU64::new(0);
+static LAT_MAX: AtomicU64 = AtomicU64::new(0);
+
+/// Refreshes the coarse clock used to tag retirements (µs; monotone).
+pub fn set_clock(micros: u64) {
+    CLOCK.fetch_max(micros, Ordering::Relaxed);
+}
+
+/// Installs the event hook; codes are the `EV_*` constants.
+pub fn set_event_hook(f: fn(u8, u64)) {
+    EVENT_HOOK.store(f as usize, Ordering::Release);
+}
+
+#[inline]
+fn emit(code: u8, arg: u64) {
+    let p = EVENT_HOOK.load(Ordering::Relaxed);
+    if p != 0 {
+        // Safety: the only non-zero value ever stored is a `fn(u8, u64)`.
+        let f: fn(u8, u64) = unsafe { std::mem::transmute::<usize, fn(u8, u64)>(p) };
+        f(code, arg);
+    }
+}
+
+/// Per-thread reclamation counters. Written only by the owning thread
+/// (relaxed stores to its own cache line); snapshotted by [`stats`].
+/// Entries outlive their thread so totals never regress.
+struct ThreadStats {
+    pins: AtomicU64,
+    depth_hist: [AtomicU64; DEPTH_BUCKETS],
+    retires: AtomicU64,
+    frees: AtomicU64,
+    bag_len: AtomicU64,
+    bag_peak: AtomicU64,
+}
+
+impl ThreadStats {
+    fn new() -> ThreadStats {
+        ThreadStats {
+            pins: AtomicU64::new(0),
+            depth_hist: [const { AtomicU64::new(0) }; DEPTH_BUCKETS],
+            retires: AtomicU64::new(0),
+            frees: AtomicU64::new(0),
+            bag_len: AtomicU64::new(0),
+            bag_peak: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn bump(&self, cell: &AtomicU64, n: u64) {
+        // Owner-only writer: load+store beats fetch_add (no lock prefix).
+        cell.store(cell.load(Ordering::Relaxed) + n, Ordering::Relaxed);
+    }
+}
+
+fn thread_stats_registry() -> &'static Mutex<Vec<Arc<ThreadStats>>> {
+    static R: OnceLock<Mutex<Vec<Arc<ThreadStats>>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn record_free_latency(retired_at: u64) {
+    let lat = CLOCK.load(Ordering::Relaxed).saturating_sub(retired_at);
+    let idx = (64 - lat.leading_zeros() as usize).min(LAT_BUCKETS - 1);
+    LAT_HIST[idx].fetch_add(1, Ordering::Relaxed);
+    LAT_SUM.fetch_add(lat, Ordering::Relaxed);
+    LAT_COUNT.fetch_add(1, Ordering::Relaxed);
+    LAT_MAX.fetch_max(lat, Ordering::Relaxed);
+}
+
+/// Retire→free latency distribution (log2-bucketed, µs).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHist {
+    /// Bucket `i` counts latencies in `[2^(i-1), 2^i)` µs (`i = 0` is 0).
+    pub buckets: Vec<u64>,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all latencies.
+    pub sum: u64,
+    /// Largest latency seen.
+    pub max: u64,
+}
+
+impl LatencyHist {
+    /// Upper bound of the bucket holding quantile `q` (0 when empty).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i }.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Point-in-time totals of the reclamation machinery, summed across all
+/// threads that ever participated.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Current global epoch.
+    pub epoch: u64,
+    /// Outermost pins (lock-free read sections entered).
+    pub pins: u64,
+    /// Pin-depth distribution: `depth_hist[d-1]` counts pins entered at
+    /// depth `d` (clamped into the last bucket).
+    pub depth_hist: Vec<u64>,
+    /// Objects retired via [`Guard::defer`].
+    pub retires: u64,
+    /// Deferred destructors that have run.
+    pub frees: u64,
+    /// Retired but not yet freed (reclamation backlog).
+    pub pending: u64,
+    /// Current total bag length across live threads (incl. orphans).
+    pub bag_len: u64,
+    /// Largest single-thread bag observed.
+    pub bag_peak: u64,
+    /// Collection rounds run.
+    pub collects: u64,
+    /// Epoch advancements.
+    pub advances: u64,
+    /// Destructors handed to the orphan list by exiting threads.
+    pub orphaned: u64,
+    /// Retire→free latency distribution (coarse-clock µs).
+    pub retire_free_latency: LatencyHist,
+}
+
+/// Snapshots the reclamation telemetry (relaxed reads; approximate under
+/// concurrent activity, monotone per field).
+pub fn stats() -> EpochStats {
+    let g = global();
+    let mut s = EpochStats {
+        epoch: g.epoch.load(Ordering::Relaxed),
+        depth_hist: vec![0; DEPTH_BUCKETS],
+        collects: COLLECTS.load(Ordering::Relaxed),
+        advances: ADVANCES.load(Ordering::Relaxed),
+        orphaned: ORPHANED.load(Ordering::Relaxed),
+        frees: ORPHAN_FREES.load(Ordering::Relaxed),
+        retire_free_latency: LatencyHist {
+            buckets: LAT_HIST.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: LAT_COUNT.load(Ordering::Relaxed),
+            sum: LAT_SUM.load(Ordering::Relaxed),
+            max: LAT_MAX.load(Ordering::Relaxed),
+        },
+        ..EpochStats::default()
+    };
+    for t in lock(thread_stats_registry()).iter() {
+        s.pins += t.pins.load(Ordering::Relaxed);
+        for (i, b) in t.depth_hist.iter().enumerate() {
+            s.depth_hist[i] += b.load(Ordering::Relaxed);
+        }
+        s.retires += t.retires.load(Ordering::Relaxed);
+        s.frees += t.frees.load(Ordering::Relaxed);
+        s.bag_len += t.bag_len.load(Ordering::Relaxed);
+        s.bag_peak = s.bag_peak.max(t.bag_peak.load(Ordering::Relaxed));
+    }
+    s.bag_len += global().orphan_count.load(Ordering::Relaxed) as u64;
+    s.pending = s.retires.saturating_sub(s.frees);
+    s
+}
+
 /// Announcement value meaning "not currently pinned".
 const IDLE: u64 = u64::MAX;
 /// Announcement value meaning "thread exited; prune this slot".
@@ -53,7 +262,7 @@ struct Global {
     epoch: AtomicU64,
     participants: Mutex<Vec<Arc<Slot>>>,
     /// Bags abandoned by exited threads, drained opportunistically.
-    orphans: Mutex<Vec<(u64, Deferred)>>,
+    orphans: Mutex<Vec<BagEntry>>,
     orphan_count: AtomicUsize,
 }
 
@@ -74,17 +283,20 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 struct Local {
     slot: Arc<Slot>,
     /// Destructors tagged with the epoch at which they were retired.
-    bag: RefCell<Vec<(u64, Deferred)>>,
+    bag: RefCell<Vec<BagEntry>>,
     /// Re-entrant pin depth; only the outermost guard announces/retracts.
     depth: Cell<usize>,
     pins: Cell<u64>,
+    stats: Arc<ThreadStats>,
 }
 
 impl Drop for Local {
     fn drop(&mut self) {
         self.slot.state.store(DEAD, Ordering::Release);
         let bag = std::mem::take(&mut *self.bag.borrow_mut());
+        self.stats.bag_len.store(0, Ordering::Relaxed);
         if !bag.is_empty() {
+            ORPHANED.fetch_add(bag.len() as u64, Ordering::Relaxed);
             let g = global();
             let mut orphans = lock(&g.orphans);
             orphans.extend(bag);
@@ -99,11 +311,14 @@ thread_local! {
             state: AtomicU64::new(IDLE),
         });
         lock(&global().participants).push(Arc::clone(&slot));
+        let stats = Arc::new(ThreadStats::new());
+        lock(thread_stats_registry()).push(Arc::clone(&stats));
         Local {
             slot,
             bag: RefCell::new(Vec::new()),
             depth: Cell::new(0),
             pins: Cell::new(0),
+            stats,
         }
     };
 }
@@ -119,15 +334,20 @@ pub struct Guard {
 /// (a counter bump); only the outermost pin announces the epoch.
 pub fn pin() -> Guard {
     LOCAL.with(|l| {
-        if l.depth.get() == 0 {
+        let depth = l.depth.get() + 1;
+        if depth == 1 {
             let e = global().epoch.load(Ordering::Relaxed);
             l.slot.state.store(e, Ordering::Relaxed);
             // Order the announcement before any subsequent shared loads:
             // a collector that advances the epoch must see it. Announcing
             // a stale epoch is safe — it merely delays advancement.
             fence(Ordering::SeqCst);
+            l.stats.bump(&l.stats.pins, 1);
+            emit(EV_PIN, e);
         }
-        l.depth.set(l.depth.get() + 1);
+        l.stats
+            .bump(&l.stats.depth_hist[(depth - 1).min(DEPTH_BUCKETS - 1)], 1);
+        l.depth.set(depth);
     });
     Guard {
         _not_send: PhantomData,
@@ -148,9 +368,17 @@ impl Guard {
             let e = global().epoch.load(Ordering::Relaxed);
             let len = {
                 let mut bag = l.bag.borrow_mut();
-                bag.push((e, Deferred(Box::new(f))));
+                bag.push(BagEntry {
+                    epoch: e,
+                    retired_at: CLOCK.load(Ordering::Relaxed),
+                    f: Deferred(Box::new(f)),
+                });
                 bag.len()
             };
+            l.stats.bump(&l.stats.retires, 1);
+            l.stats.bag_len.store(len as u64, Ordering::Relaxed);
+            l.stats.bag_peak.fetch_max(len as u64, Ordering::Relaxed);
+            emit(EV_RETIRE, len as u64);
             if len >= BAG_FLUSH {
                 collect(l);
             }
@@ -175,6 +403,7 @@ impl Drop for Guard {
             l.slot.state.store(IDLE, Ordering::Release);
             let pins = l.pins.get().wrapping_add(1);
             l.pins.set(pins);
+            emit(EV_UNPIN, pins);
             if pins & PIN_FLUSH_MASK != 0 {
                 return;
             }
@@ -213,15 +442,19 @@ fn try_advance() {
             true
         });
     }
-    if all_current {
-        let _ = g
-            .epoch
-            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::Relaxed);
+    if all_current
+        && g.epoch
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+    {
+        ADVANCES.fetch_add(1, Ordering::Relaxed);
+        emit(EV_ADVANCE, e + 1);
     }
 }
 
 fn collect(l: &Local) {
     try_advance();
+    COLLECTS.fetch_add(1, Ordering::Relaxed);
     let g = global();
     let ge = g.epoch.load(Ordering::SeqCst);
     let mut ready: Vec<Deferred> = Vec::new();
@@ -229,24 +462,35 @@ fn collect(l: &Local) {
         let mut bag = l.bag.borrow_mut();
         let mut i = 0;
         while i < bag.len() {
-            if bag[i].0 + 2 <= ge {
-                ready.push(bag.swap_remove(i).1);
+            if bag[i].epoch + 2 <= ge {
+                let entry = bag.swap_remove(i);
+                record_free_latency(entry.retired_at);
+                ready.push(entry.f);
             } else {
                 i += 1;
             }
         }
+        l.stats.bump(&l.stats.frees, ready.len() as u64);
+        l.stats.bag_len.store(bag.len() as u64, Ordering::Relaxed);
     }
     if g.orphan_count.load(Ordering::Relaxed) > 0 {
+        let own = ready.len();
         let mut orphans = lock(&g.orphans);
         let mut i = 0;
         while i < orphans.len() {
-            if orphans[i].0 + 2 <= ge {
-                ready.push(orphans.swap_remove(i).1);
+            if orphans[i].epoch + 2 <= ge {
+                let entry = orphans.swap_remove(i);
+                record_free_latency(entry.retired_at);
+                ready.push(entry.f);
             } else {
                 i += 1;
             }
         }
         g.orphan_count.store(orphans.len(), Ordering::Release);
+        ORPHAN_FREES.fetch_add((ready.len() - own) as u64, Ordering::Relaxed);
+    }
+    if !ready.is_empty() {
+        emit(EV_FREE, ready.len() as u64);
     }
     // Run destructors outside every lock: they may drop deep structures.
     for d in ready {
@@ -320,6 +564,101 @@ mod tests {
             flush();
         }
         assert!(hit.load(Ordering::SeqCst), "orphaned bag never drained");
+    }
+
+    #[test]
+    fn stats_track_pins_retires_and_frees() {
+        let before = stats();
+        set_clock(1_000);
+        {
+            let outer = pin();
+            let _inner = pin();
+            for _ in 0..4 {
+                unsafe { outer.defer(|| {}) };
+            }
+        }
+        set_clock(5_000);
+        for _ in 0..8 {
+            flush();
+        }
+        let after = stats();
+        assert!(after.pins > before.pins);
+        assert!(after.retires >= before.retires + 4);
+        assert!(after.frees >= before.frees + 4);
+        assert!(after.collects > before.collects);
+        assert!(after.advances > before.advances);
+        // The nested pin landed in the depth-2 bucket.
+        assert!(after.depth_hist[1] > before.depth_hist[1]);
+        assert!(after.bag_peak >= 1);
+        // Each freed destructor recorded a retire→free latency sample.
+        let lat = &after.retire_free_latency;
+        assert!(lat.count >= before.retire_free_latency.count + 4);
+        assert_eq!(lat.buckets.iter().sum::<u64>(), lat.count);
+        assert!(lat.percentile(0.99) <= lat.max);
+    }
+
+    #[test]
+    fn pending_counts_the_reclamation_backlog() {
+        let reader = pin();
+        let before = stats();
+        {
+            let g = pin();
+            unsafe { g.defer(|| {}) };
+        }
+        // The pinned reader blocks advancement, so the retire stays pending.
+        flush();
+        let mid = stats();
+        assert!(mid.pending > before.pending);
+        assert!(mid.bag_len >= 1);
+        drop(reader);
+        for _ in 0..8 {
+            flush();
+        }
+        assert!(stats().pending < mid.pending);
+    }
+
+    #[test]
+    fn event_hook_observes_the_lifecycle() {
+        static SEEN: [AtomicU64; 6] = [const { AtomicU64::new(0) }; 6];
+        fn hook(code: u8, _arg: u64) {
+            if (code as usize) < SEEN.len() {
+                SEEN[code as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        set_event_hook(hook);
+        {
+            let g = pin();
+            unsafe { g.defer(|| {}) };
+        }
+        for _ in 0..8 {
+            flush();
+        }
+        for ev in [EV_PIN, EV_UNPIN, EV_RETIRE, EV_FREE, EV_ADVANCE] {
+            assert!(
+                SEEN[ev as usize].load(Ordering::Relaxed) > 0,
+                "event {ev} never fired"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_percentile_is_monotone_in_q() {
+        let h = LatencyHist {
+            buckets: {
+                let mut b = vec![0; LAT_BUCKETS];
+                b[0] = 10; // zeros
+                b[5] = 5; // ~16..32 µs
+                b[12] = 1; // ~2..4 ms
+                b
+            },
+            count: 16,
+            sum: 5 * 24 + 3_000,
+            max: 3_000,
+        };
+        assert_eq!(h.percentile(0.5), 0);
+        assert!(h.percentile(0.9) >= 16 && h.percentile(0.9) <= 32);
+        assert_eq!(h.percentile(1.0), 3_000);
+        assert_eq!(LatencyHist::default().percentile(0.99), 0);
     }
 
     #[test]
