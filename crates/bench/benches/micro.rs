@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use sedna_common::rng::Xoshiro256;
-use sedna_common::{Key, NodeId, Timestamp, Value};
+use sedna_common::{CausalContext, Key, NodeId, Timestamp, Value};
 use sedna_memstore::{MemStore, StoreConfig};
 use sedna_persist::wal::{Wal, WalRecord};
 use sedna_replication::{ReadCoordinator, ReplicaRead, ReplicaWriteResult, WriteCoordinator};
@@ -223,6 +223,7 @@ fn bench_wal(c: &mut Criterion) {
                 key: w.key(i),
                 ts: ts(i),
                 value: w.value(),
+                ctx: CausalContext::EMPTY,
             })
             .unwrap()
         })

@@ -5,7 +5,7 @@
 //! test/bench that covers it in depth.
 
 use sedna_common::rng::Xoshiro256;
-use sedna_common::{Key, NodeId};
+use sedna_common::{CausalContext, Key, NodeId};
 use sedna_core::cluster::SimCluster;
 use sedna_core::config::ClusterConfig;
 use sedna_core::node::SednaNode;
@@ -152,7 +152,9 @@ fn main() {
         let key = w.key(i);
         let ts = sedna_common::Timestamp::new(i + 1, 0, NodeId(0));
         s2.write_latest(&key, ts, w.value());
-        engine.note_write(&key, ts, &w.value(), true).unwrap();
+        engine
+            .note_write(&key, ts, &w.value(), &CausalContext::EMPTY, true)
+            .unwrap();
     }
     let fresh = sedna_memstore::MemStore::new(sedna_memstore::StoreConfig::default());
     let (rows, replayed) = engine.recover(&fresh).unwrap();

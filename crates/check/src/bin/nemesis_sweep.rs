@@ -1,7 +1,8 @@
 //! Seed-sweep driver for CI and local soak runs.
 //!
 //! ```text
-//! nemesis_sweep [--seeds N] [--start S] [--profile stock|churn|broken]
+//! nemesis_sweep [--seeds N] [--start S]
+//!               [--profile stock|churn|broken|skewed|skewed-legacy]
 //!               [--out DIR] [--expect-violations] [--shrink]
 //! ```
 //!
@@ -63,7 +64,13 @@ fn config_for(profile: &str) -> (HarnessConfig, &'static str) {
         "stock" => (HarnessConfig::stock(), "stock"),
         "churn" => (HarnessConfig::churn(), "churn"),
         "broken" => (HarnessConfig::broken(), "broken"),
-        other => panic!("unknown profile {other} (stock|churn|broken)"),
+        // Heavy clock skew under dotted version vectors: must stay clean.
+        "skewed" => (HarnessConfig::skewed(), "skewed"),
+        // Same skew on the legacy timestamp resolver: run with
+        // `--expect-violations` — LWW must demonstrably lose a
+        // concurrent acked write on some seed.
+        "skewed-legacy" => (HarnessConfig::skewed_legacy(), "skewed_legacy"),
+        other => panic!("unknown profile {other} (stock|churn|broken|skewed|skewed-legacy)"),
     }
 }
 

@@ -17,16 +17,33 @@
 //! * **Replica agreement**: at end of run the replicas of every key
 //!   (under the final ring) hold the same freshest timestamp.
 //!
-//! What this deliberately does **not** check — because timestamp-based
-//! last-writer-wins cannot give it — is inter-client real-time ordering:
-//! an acknowledged write may be shadowed by a *concurrent* write that
-//! carried a larger timestamp, and under clock skew "larger timestamp"
-//! need not mean "later in real time". DESIGN.md §14 discusses what a
-//! dotted-version-vector design would add.
+//! Since PR-8 the history also carries dotted-version-vector evidence:
+//! every write records its *dot* (its unique `ts`) and the causal
+//! context it attached, and every read records the sibling dots it
+//! returned. On top of the timestamp checks this enables:
+//!
+//! * **Session write guarantees** (checked inside [`check_sessions`]):
+//!   per client and key, write timestamps are strictly monotonic
+//!   (monotonic writes) and strictly above every dot the client
+//!   previously read cleanly (writes follow reads). Both hold even under
+//!   heavy clock skew because the client HLC observes every dot it sees;
+//!   a client that stopped folding observed dots into its clock trips
+//!   these immediately.
+//! * **No lost concurrent write** ([`check_lost_concurrent_writes`]): an
+//!   acknowledged dot must either still be live on some replica at end
+//!   of run, or be *causally* superseded — covered by the context of an
+//!   issued write whose own dot is (transitively) safe. Timestamp LWW
+//!   under skew fails exactly this: it silently drops an acked
+//!   concurrent write that carried a smaller timestamp, which the
+//!   per-key newest-timestamp check ([`check_lost_writes`]) can never
+//!   see. The `skewed_legacy` harness profile demonstrates the trip.
+//! * **Replica dot agreement** ([`check_replica_dot_agreement`]): after
+//!   quiescence, replicas must agree on entire sibling *sets*, not
+//!   merely on the freshest timestamp.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use sedna_common::{Key, NodeId, Timestamp, TraceId};
+use sedna_common::{CausalContext, Key, NodeId, Timestamp, TraceId};
 use sedna_core::cluster::SimCluster;
 use sedna_core::history::{HistoryEvent, HistoryOp, HistoryOutcome};
 use sedna_core::manager::ClusterManager;
@@ -67,6 +84,58 @@ pub enum Violation {
         /// Freshest version per replica (`None` = replica lacks the key).
         replicas: Vec<(NodeId, Option<Timestamp>)>,
     },
+    /// An acknowledged write's dot is gone from every replica and no
+    /// surviving write causally covers it: a concurrent write shadowed
+    /// it without having observed it. The anomaly timestamp LWW commits
+    /// under clock skew and dotted version vectors rule out.
+    LostConcurrentWrite {
+        /// The client whose acked write vanished (dot origin).
+        client: NodeId,
+        /// Key written.
+        key: Key,
+        /// The acknowledged dot that is neither live nor covered.
+        dot: Timestamp,
+        /// Trace of the lost write (joins with the journal).
+        trace: TraceId,
+    },
+    /// A client issued two writes to one key with non-increasing
+    /// timestamps — its HLC went backwards (monotonic-writes breach).
+    MonotonicWrites {
+        /// The writing client.
+        client: NodeId,
+        /// Key written.
+        key: Key,
+        /// Client-local op id of the offending write.
+        op_id: u64,
+        /// The earlier write's timestamp.
+        prev: Timestamp,
+        /// The offending (non-increasing) timestamp.
+        got: Timestamp,
+    },
+    /// A client issued a write whose timestamp does not exceed a dot it
+    /// had already read — the write could sort *before* state it has
+    /// seen (writes-follow-reads breach; the HLC failed to observe a
+    /// read dot).
+    WritesFollowReads {
+        /// The writing client.
+        client: NodeId,
+        /// Key written.
+        key: Key,
+        /// Client-local op id of the offending write.
+        op_id: u64,
+        /// The largest dot the client had cleanly read for the key.
+        read: Timestamp,
+        /// The offending write timestamp.
+        got: Timestamp,
+    },
+    /// Replicas of `key` hold different sibling sets at end of run —
+    /// anti-entropy failed to converge the full dot state.
+    ReplicaDotDisagreement {
+        /// Key in disagreement.
+        key: Key,
+        /// Sorted sibling dots per replica.
+        replicas: Vec<(NodeId, Vec<Timestamp>)>,
+    },
 }
 
 impl Violation {
@@ -75,7 +144,11 @@ impl Violation {
     pub fn is_session_or_durability(&self) -> bool {
         matches!(
             self,
-            Violation::StaleRead { .. } | Violation::LostAckedWrite { .. }
+            Violation::StaleRead { .. }
+                | Violation::LostAckedWrite { .. }
+                | Violation::LostConcurrentWrite { .. }
+                | Violation::MonotonicWrites { .. }
+                | Violation::WritesFollowReads { .. }
         )
     }
 }
@@ -85,12 +158,24 @@ impl Violation {
 /// Events must be in record order (which is per-client program order —
 /// each simulated client is single-threaded). Completes without a
 /// matching Invoke (multi-key group children) are ignored.
+///
+/// Besides the read-side guarantees (monotonic reads, read-your-writes
+/// on clean quorum reads) this also enforces the write-side session
+/// guarantees at invoke time: **monotonic writes** (a client's write
+/// timestamps to a key strictly increase) and **writes follow reads** (a
+/// write's timestamp strictly exceeds every dot the client previously
+/// read cleanly for that key). Both must hold regardless of clock skew,
+/// because the client HLC folds in every timestamp it observes.
 pub fn check_sessions(events: &[HistoryEvent]) -> Vec<Violation> {
     // Open invokes: (client, op_id) → op.
     let mut open: BTreeMap<(NodeId, u64), HistoryOp> = BTreeMap::new();
     // Session floor: (client, key) → minimum timestamp the next clean
     // read of `key` by `client` may return.
     let mut floor: BTreeMap<(NodeId, Key), Timestamp> = BTreeMap::new();
+    // Last *issued* write timestamp per (client, key) — monotonic writes.
+    let mut last_write: BTreeMap<(NodeId, Key), Timestamp> = BTreeMap::new();
+    // Largest dot cleanly read per (client, key) — writes follow reads.
+    let mut read_high: BTreeMap<(NodeId, Key), Timestamp> = BTreeMap::new();
     let mut violations = Vec::new();
     // Trace ids of open invokes, for reporting.
     let mut traces: BTreeMap<(NodeId, u64), TraceId> = BTreeMap::new();
@@ -104,6 +189,30 @@ pub fn check_sessions(events: &[HistoryEvent]) -> Vec<Violation> {
                 op,
                 ..
             } => {
+                if let HistoryOp::Write { key, ts, .. } = op {
+                    if let Some(prev) = last_write.insert((*client, key.clone()), *ts) {
+                        if *ts <= prev {
+                            violations.push(Violation::MonotonicWrites {
+                                client: *client,
+                                key: key.clone(),
+                                op_id: *op_id,
+                                prev,
+                                got: *ts,
+                            });
+                        }
+                    }
+                    if let Some(&read) = read_high.get(&(*client, key.clone())) {
+                        if *ts <= read {
+                            violations.push(Violation::WritesFollowReads {
+                                client: *client,
+                                key: key.clone(),
+                                op_id: *op_id,
+                                read,
+                                got: *ts,
+                            });
+                        }
+                    }
+                }
                 open.insert((*client, *op_id), op.clone());
                 traces.insert((*client, *op_id), *trace);
             }
@@ -118,7 +227,7 @@ pub fn check_sessions(events: &[HistoryEvent]) -> Vec<Violation> {
                 };
                 let trace = traces.remove(&(*client, *op_id)).unwrap_or_default();
                 match (op, outcome) {
-                    (HistoryOp::Write { key, ts }, HistoryOutcome::WriteOk) => {
+                    (HistoryOp::Write { key, ts, .. }, HistoryOutcome::WriteOk) => {
                         // Acknowledged: read-your-writes owes this much.
                         let f = floor.entry((*client, key)).or_insert(Timestamp::ZERO);
                         *f = (*f).max(ts);
@@ -128,6 +237,7 @@ pub fn check_sessions(events: &[HistoryEvent]) -> Vec<Violation> {
                         HistoryOp::Read { key },
                         HistoryOutcome::Read {
                             latest,
+                            dots,
                             degraded: false,
                         },
                     ) => {
@@ -137,7 +247,7 @@ pub fn check_sessions(events: &[HistoryEvent]) -> Vec<Violation> {
                         if latest.unwrap_or(Timestamp::ZERO) < *f {
                             violations.push(Violation::StaleRead {
                                 client: *client,
-                                key,
+                                key: key.clone(),
                                 op_id: *op_id,
                                 trace,
                                 got: *latest,
@@ -146,6 +256,12 @@ pub fn check_sessions(events: &[HistoryEvent]) -> Vec<Violation> {
                         } else if let Some(ts) = latest {
                             // Monotonic reads: never below this again.
                             *f = (*f).max(*ts);
+                        }
+                        // Every sibling dot seen raises the
+                        // writes-follow-reads bar, not just the freshest.
+                        if let Some(&max_dot) = dots.iter().max() {
+                            let rh = read_high.entry((*client, key)).or_insert(Timestamp::ZERO);
+                            *rh = (*rh).max(max_dot);
                         }
                     }
                     (HistoryOp::Read { .. }, _) => {} // degraded/failed: exempt
@@ -173,7 +289,7 @@ pub fn acked_writes(events: &[HistoryEvent]) -> BTreeMap<Key, Timestamp> {
                 outcome: HistoryOutcome::WriteOk,
                 ..
             } => {
-                if let Some(HistoryOp::Write { key, ts }) = open.remove(&(*client, *op_id)) {
+                if let Some(HistoryOp::Write { key, ts, .. }) = open.remove(&(*client, *op_id)) {
                     let f = acked.entry(key).or_insert(Timestamp::ZERO);
                     *f = (*f).max(ts);
                 }
@@ -184,6 +300,132 @@ pub fn acked_writes(events: &[HistoryEvent]) -> BTreeMap<Key, Timestamp> {
         }
     }
     acked
+}
+
+/// One write observed in the history, with its dot-level evidence.
+#[derive(Clone, Debug)]
+pub struct WriteRecord {
+    /// The issuing client (dot origin).
+    pub client: NodeId,
+    /// Key written.
+    pub key: Key,
+    /// The write's dot (its issue timestamp — globally unique).
+    pub dot: Timestamp,
+    /// Causal context the write carried.
+    pub ctx: CausalContext,
+    /// True when a full W-quorum acknowledged it.
+    pub acked: bool,
+    /// Trace id (joins with the journal).
+    pub trace: TraceId,
+}
+
+/// Every write the history issued, acked or not, with its dot and
+/// context. Unacked writes matter too: one that landed on a single
+/// replica can still causally supersede older dots, and the
+/// lost-concurrent-write fixpoint must honour that.
+pub fn write_records(events: &[HistoryEvent]) -> Vec<WriteRecord> {
+    let mut pending: BTreeMap<(NodeId, u64), usize> = BTreeMap::new();
+    let mut out: Vec<WriteRecord> = Vec::new();
+    for ev in events {
+        match ev {
+            HistoryEvent::Invoke {
+                client,
+                op_id,
+                trace,
+                op: HistoryOp::Write { key, ts, ctx },
+                ..
+            } => {
+                pending.insert((*client, *op_id), out.len());
+                out.push(WriteRecord {
+                    client: *client,
+                    key: key.clone(),
+                    dot: *ts,
+                    ctx: ctx.clone(),
+                    acked: false,
+                    trace: *trace,
+                });
+            }
+            HistoryEvent::Complete {
+                client,
+                op_id,
+                outcome,
+                ..
+            } => {
+                if let Some(i) = pending.remove(&(*client, *op_id)) {
+                    out[i].acked = *outcome == HistoryOutcome::WriteOk;
+                }
+            }
+            HistoryEvent::Invoke { .. } => {}
+        }
+    }
+    out
+}
+
+/// Checks that no *acknowledged* write was dropped without causal
+/// justification. A dot is **safe** when it is still live on some final
+/// replica, or when it is covered by the causal context of an issued
+/// write whose own dot is safe (computed to a fixpoint — chains of
+/// causal overwrites terminate at a live dot). Every acked dot left
+/// unsafe was shadowed by a write that had never observed it: the
+/// concurrent-overwrite data loss LWW commits under clock skew.
+///
+/// Only sound when the store retains siblings (`TablePolicy::Siblings`);
+/// under LWW resolution a concurrent larger-timestamp write legitimately
+/// collapses the row.
+pub fn check_lost_concurrent_writes(
+    records: &[WriteRecord],
+    state: &BTreeMap<Key, Vec<(NodeId, Vec<Timestamp>)>>,
+) -> Vec<Violation> {
+    let mut by_key: BTreeMap<&Key, Vec<&WriteRecord>> = BTreeMap::new();
+    for r in records {
+        by_key.entry(&r.key).or_default().push(r);
+    }
+    let mut violations = Vec::new();
+    for (key, recs) in by_key {
+        let live: BTreeSet<Timestamp> = state
+            .get(key)
+            .map(|rows| {
+                rows.iter()
+                    .flat_map(|(_, dots)| dots.iter().copied())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut safe: BTreeSet<Timestamp> = recs
+            .iter()
+            .map(|r| r.dot)
+            .filter(|d| live.contains(d))
+            .collect();
+        // Expand: a dot covered by a safe write's context is safe.
+        loop {
+            let mut grew = false;
+            for r in &recs {
+                if safe.contains(&r.dot) {
+                    continue;
+                }
+                if recs
+                    .iter()
+                    .any(|w| safe.contains(&w.dot) && w.ctx.covers(&r.dot))
+                {
+                    safe.insert(r.dot);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        for r in recs {
+            if r.acked && !safe.contains(&r.dot) {
+                violations.push(Violation::LostConcurrentWrite {
+                    client: r.client,
+                    key: r.key.clone(),
+                    dot: r.dot,
+                    trace: r.trace,
+                });
+            }
+        }
+    }
+    violations
 }
 
 /// End-of-run replica state: key → freshest version per *current
@@ -222,6 +464,62 @@ pub fn final_replica_state(
         out.insert(key, row);
     }
     out
+}
+
+/// End-of-run replica state at dot granularity: key → the *sorted* list
+/// of sibling dots each current replica holds. The evidence base for
+/// [`check_lost_concurrent_writes`] (which dots are still live) and
+/// [`check_replica_dot_agreement`] (do the replicas agree on full
+/// sibling sets).
+pub fn final_replica_dots(cluster: &SimCluster) -> BTreeMap<Key, Vec<(NodeId, Vec<Timestamp>)>> {
+    let mgr = cluster
+        .sim
+        .actor_ref::<ClusterManager>(cluster.config.manager_actor())
+        .expect("cluster manager actor");
+    let map = mgr.map();
+    let partitioner = &cluster.config.partitioner;
+
+    let mut per_node: BTreeMap<Key, BTreeMap<NodeId, Vec<Timestamp>>> = BTreeMap::new();
+    for n in 0..cluster.config.data_nodes as u32 {
+        let node = NodeId(n);
+        cluster.node(node).store().for_each_row(|key, snap| {
+            let mut dots: Vec<Timestamp> = snap.as_slice().iter().map(|v| v.ts).collect();
+            dots.sort();
+            per_node.entry(key.clone()).or_default().insert(node, dots);
+        });
+    }
+
+    let mut out = BTreeMap::new();
+    for (key, holders) in per_node {
+        let replicas = map.replicas(partitioner.locate(&key));
+        let row: Vec<(NodeId, Vec<Timestamp>)> = replicas
+            .iter()
+            .map(|r| (*r, holders.get(r).cloned().unwrap_or_default()))
+            .collect();
+        out.insert(key, row);
+    }
+    out
+}
+
+/// Checks sibling-set agreement at end of run: every replica of every
+/// key must hold the identical sorted dot list. Strictly stronger than
+/// [`check_replica_agreement`]'s freshest-timestamp comparison — two
+/// replicas can agree on the winner yet disagree on retained siblings.
+pub fn check_replica_dot_agreement(
+    state: &BTreeMap<Key, Vec<(NodeId, Vec<Timestamp>)>>,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (key, replicas) in state {
+        let mut sets = replicas.iter().map(|(_, dots)| dots);
+        let first = sets.next();
+        if sets.any(|dots| Some(dots) != first) {
+            violations.push(Violation::ReplicaDotDisagreement {
+                key: key.clone(),
+                replicas: replicas.clone(),
+            });
+        }
+    }
+    violations
 }
 
 /// Checks all-replica agreement at end of run: every replica of every
@@ -303,6 +601,16 @@ mod tests {
         HistoryOp::Write {
             key: Key::from(key),
             ts: ts(t),
+            ctx: CausalContext::EMPTY,
+        }
+    }
+
+    fn write_ctx(key: &str, t: Micros, covered: &[Micros]) -> HistoryOp {
+        let dots: Vec<Timestamp> = covered.iter().map(|&m| ts(m)).collect();
+        HistoryOp::Write {
+            key: Key::from(key),
+            ts: ts(t),
+            ctx: CausalContext::from_dots(dots.iter()),
         }
     }
 
@@ -315,6 +623,7 @@ mod tests {
     fn read_ok(latest: Option<Micros>) -> HistoryOutcome {
         HistoryOutcome::Read {
             latest: latest.map(ts),
+            dots: latest.map(ts).into_iter().collect(),
             degraded: false,
         }
     }
@@ -365,6 +674,7 @@ mod tests {
                 2,
                 HistoryOutcome::Read {
                     latest: None,
+                    dots: Vec::new(),
                     degraded: true,
                 },
             ),
@@ -426,5 +736,170 @@ mod tests {
             vec![(NodeId(0), Some(ts(100))), (NodeId(1), Some(ts(100)))],
         );
         assert!(check_replica_agreement(&state).is_empty());
+    }
+
+    #[test]
+    fn write_timestamp_regression_is_flagged() {
+        let events = vec![
+            invoke(1, 1, write("k", 100)),
+            complete(1, 1, HistoryOutcome::WriteOk),
+            invoke(1, 2, write("k", 90)),
+            complete(1, 2, HistoryOutcome::WriteOk),
+        ];
+        let v = check_sessions(&events);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert!(matches!(
+            &v[0],
+            Violation::MonotonicWrites { prev, got, .. }
+                if prev.micros == 100 && got.micros == 90
+        ));
+        // Different keys or different clients: independent write clocks
+        // are fine as long as each client's HLC is monotone per key —
+        // but the client HLC is global, so same-client cross-key
+        // regressions are legal only in histories that never interleave;
+        // the check is deliberately per-key.
+        let ok = vec![
+            invoke(1, 1, write("a", 100)),
+            complete(1, 1, HistoryOutcome::WriteOk),
+            invoke(2, 2, write("a", 90)),
+            complete(2, 2, HistoryOutcome::WriteOk),
+        ];
+        assert!(check_sessions(&ok).is_empty());
+    }
+
+    #[test]
+    fn write_at_or_below_a_read_dot_is_flagged() {
+        let events = vec![
+            invoke(1, 1, read("k")),
+            complete(1, 1, read_ok(Some(100))),
+            // The client saw dot 100 but issued a write at 80: its HLC
+            // failed to observe the read.
+            invoke(1, 2, write("k", 80)),
+            complete(1, 2, HistoryOutcome::WriteOk),
+        ];
+        let v = check_sessions(&events);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert!(matches!(
+            &v[0],
+            Violation::WritesFollowReads { read, got, .. }
+                if read.micros == 100 && got.micros == 80
+        ));
+        // A write strictly above every read dot passes.
+        let ok = vec![
+            invoke(1, 1, read("k")),
+            complete(1, 1, read_ok(Some(100))),
+            invoke(1, 2, write("k", 101)),
+            complete(1, 2, HistoryOutcome::WriteOk),
+        ];
+        assert!(check_sessions(&ok).is_empty());
+    }
+
+    fn dot_state(key: &str, live: &[Micros]) -> BTreeMap<Key, Vec<(NodeId, Vec<Timestamp>)>> {
+        let dots: Vec<Timestamp> = live.iter().map(|&m| ts(m)).collect();
+        let mut state = BTreeMap::new();
+        state.insert(
+            Key::from(key),
+            vec![(NodeId(0), dots.clone()), (NodeId(1), dots)],
+        );
+        state
+    }
+
+    #[test]
+    fn shadowed_acked_dot_without_coverage_is_lost() {
+        // Two concurrent acked writes; only the larger-ts one survives
+        // and its context never observed the smaller. LWW data loss.
+        let events = vec![
+            invoke(1, 1, write("k", 100)),
+            complete(1, 1, HistoryOutcome::WriteOk),
+            invoke(2, 1, write("k", 500)),
+            complete(2, 1, HistoryOutcome::WriteOk),
+        ];
+        let records = write_records(&events);
+        let v = check_lost_concurrent_writes(&records, &dot_state("k", &[500]));
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert!(matches!(
+            &v[0],
+            Violation::LostConcurrentWrite { dot, .. } if dot.micros == 100
+        ));
+    }
+
+    #[test]
+    fn causally_covered_dot_is_safe() {
+        // The surviving write *observed* dot 100 (read it, then wrote):
+        // a legitimate causal overwrite, not a loss.
+        let events = vec![
+            invoke(1, 1, write("k", 100)),
+            complete(1, 1, HistoryOutcome::WriteOk),
+            invoke(2, 1, write_ctx("k", 500, &[100])),
+            complete(2, 1, HistoryOutcome::WriteOk),
+        ];
+        let records = write_records(&events);
+        assert!(check_lost_concurrent_writes(&records, &dot_state("k", &[500])).is_empty());
+    }
+
+    #[test]
+    fn coverage_chains_resolve_to_a_fixpoint() {
+        // w1 (acked) covered by w2 (unacked!), w2 covered by w3 which is
+        // live: the whole chain is safe — an unacked write that landed
+        // on one replica still causally supersedes what it observed.
+        let events = vec![
+            invoke(1, 1, write("k", 100)),
+            complete(1, 1, HistoryOutcome::WriteOk),
+            invoke(2, 1, write_ctx("k", 200, &[100])),
+            complete(2, 1, HistoryOutcome::WriteFailed),
+            invoke(3, 1, write_ctx("k", 300, &[100, 200])),
+            complete(3, 1, HistoryOutcome::WriteOk),
+        ];
+        let records = write_records(&events);
+        assert!(check_lost_concurrent_writes(&records, &dot_state("k", &[300])).is_empty());
+        // Break the chain: nothing live covers 100 any more.
+        let broken = vec![
+            invoke(1, 1, write("k", 100)),
+            complete(1, 1, HistoryOutcome::WriteOk),
+            invoke(3, 1, write("k", 300)),
+            complete(3, 1, HistoryOutcome::WriteOk),
+        ];
+        let records = write_records(&broken);
+        assert_eq!(
+            check_lost_concurrent_writes(&records, &dot_state("k", &[300])).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn surviving_siblings_of_concurrent_acked_writes_both_pass() {
+        // Sibling retention: both concurrent acked dots stay live, so
+        // neither is lost — the DVV resolution the skewed profile runs.
+        let events = vec![
+            invoke(1, 1, write("k", 100)),
+            complete(1, 1, HistoryOutcome::WriteOk),
+            invoke(2, 1, write("k", 500)),
+            complete(2, 1, HistoryOutcome::WriteOk),
+        ];
+        let records = write_records(&events);
+        assert!(check_lost_concurrent_writes(&records, &dot_state("k", &[100, 500])).is_empty());
+    }
+
+    #[test]
+    fn replica_dot_sets_must_match_exactly() {
+        let mut state = BTreeMap::new();
+        // Same freshest dot, different sibling sets: the timestamp-level
+        // agreement check would pass this; the dot-level one must not.
+        state.insert(
+            Key::from("k"),
+            vec![
+                (NodeId(0), vec![ts(100), ts(500)]),
+                (NodeId(1), vec![ts(500)]),
+            ],
+        );
+        assert_eq!(check_replica_dot_agreement(&state).len(), 1);
+        state.insert(
+            Key::from("k"),
+            vec![
+                (NodeId(0), vec![ts(100), ts(500)]),
+                (NodeId(1), vec![ts(100), ts(500)]),
+            ],
+        );
+        assert!(check_replica_dot_agreement(&state).is_empty());
     }
 }

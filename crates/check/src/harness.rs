@@ -18,7 +18,7 @@ use sedna_common::time::Micros;
 use sedna_common::{Key, NodeId, Value};
 use sedna_core::client::{ClientCore, ClientEvent};
 use sedna_core::cluster::SimCluster;
-use sedna_core::config::ClusterConfig;
+use sedna_core::config::{ClusterConfig, TablePolicy};
 use sedna_core::fault::{ClusterFault, RestartKind, ScheduledFault};
 use sedna_core::history::{ClientHistory, HistoryEvent};
 use sedna_core::messages::SednaMsg;
@@ -31,8 +31,9 @@ use sedna_replication::QuorumConfig;
 use sedna_ring::Partitioner;
 
 use crate::checker::{
-    acked_writes, check_lost_writes, check_replica_agreement, check_sessions, final_replica_state,
-    Violation,
+    acked_writes, check_lost_concurrent_writes, check_lost_writes, check_replica_agreement,
+    check_replica_dot_agreement, check_sessions, final_replica_dots, final_replica_state,
+    write_records, Violation,
 };
 use crate::nemesis::{generate, schedule_end, NemesisConfig};
 
@@ -46,6 +47,15 @@ pub enum Profile {
     /// end-of-run replica agreement is checked — LWW gives no session
     /// guarantees across replica-set changes (DESIGN.md §14).
     Churn,
+    /// Stock fault envelope under *heavy* per-node clock skew, with
+    /// sibling-retaining resolution, and the full dot-level check set on
+    /// top of the stock checks: no-lost-concurrent-write and replica
+    /// dot-set agreement (DESIGN.md §18). Every seed must pass under
+    /// dotted version vectors; the same profile with
+    /// [`HarnessConfig::skewed_legacy`] (timestamp-LWW resolution) is
+    /// *expected* to trip the checker — that contrast is the consistency
+    /// upgrade's proof.
+    Skewed,
 }
 
 /// Everything that parameterises a nemesis run except the seed.
@@ -57,6 +67,10 @@ pub struct HarnessConfig {
     /// anti-entropy off. The mutation-sanity configuration — the checker
     /// must catch it.
     pub broken: bool,
+    /// Run the pre-DVV resolution paths (bare timestamp LWW, no causal
+    /// contexts server-side). The regression configuration the skewed
+    /// profile must catch.
+    pub legacy: bool,
     /// Closed-loop workload clients.
     pub clients: u32,
     /// Shared key-space size (`k-0 … k-{keys-1}`).
@@ -77,6 +91,7 @@ impl HarnessConfig {
         HarnessConfig {
             profile: Profile::Stock,
             broken: false,
+            legacy: false,
             clients: 3,
             keys: 12,
             data_nodes: 5,
@@ -104,9 +119,34 @@ impl HarnessConfig {
         }
     }
 
+    /// Skewed-clock profile under dotted version vectors: stock faults,
+    /// node clocks up to ±300 ms apart, sibling-retaining resolution, a
+    /// tight key space so concurrent writes to one key are common, and
+    /// the dot-level checks armed. Must pass on every seed.
+    pub fn skewed() -> Self {
+        HarnessConfig {
+            profile: Profile::Skewed,
+            keys: 6,
+            clock_skew_max_micros: 300_000,
+            ..Self::stock()
+        }
+    }
+
+    /// The skewed-clock profile on the *legacy* bare-timestamp resolver:
+    /// the regression configuration. Concurrent writes resolve by wall
+    /// clock, so a slow-clock client's acknowledged write gets silently
+    /// shadowed — the checker must report `LostConcurrentWrite` on some
+    /// seeds (the sweep runs it with `--expect-violations`).
+    pub fn skewed_legacy() -> Self {
+        HarnessConfig {
+            legacy: true,
+            ..Self::skewed()
+        }
+    }
+
     /// The cluster configuration this harness deploys.
     pub fn cluster_config(&self) -> ClusterConfig {
-        ClusterConfig {
+        let cfg = ClusterConfig {
             data_nodes: self.data_nodes as usize,
             partitioner: Partitioner::new(self.vnodes),
             quorum: if self.broken {
@@ -127,12 +167,27 @@ impl HarnessConfig {
             ..ClusterConfig::small()
         }
         .with_read_repair(!self.broken)
+        // The mutation configuration also lies about clean reads: without
+        // the session-floor gate, R=1 "agreement" is reported clean no
+        // matter how stale — exactly what the checker must catch.
+        .with_session_floor_reads(!self.broken)
+        .with_legacy_timestamps(self.legacy);
+        if self.profile == Profile::Skewed {
+            // Retain concurrent siblings so the no-lost-concurrent-write
+            // check is sound (LWW legitimately collapses them). The
+            // legacy variant ignores the policy — that's the point.
+            cfg.with_sibling_resolution(TablePolicy::Siblings)
+        } else {
+            cfg
+        }
     }
 
     /// The nemesis envelope for this profile.
     pub fn nemesis_config(&self) -> NemesisConfig {
         match self.profile {
-            Profile::Stock => NemesisConfig::stock(self.data_nodes),
+            // Skewed keeps the safety-preserving fault envelope — the
+            // adversary there is the clock, not the schedule.
+            Profile::Stock | Profile::Skewed => NemesisConfig::stock(self.data_nodes),
             Profile::Churn => NemesisConfig::churn(self.data_nodes),
         }
     }
@@ -392,6 +447,20 @@ pub fn run_with_schedule(seed: u64, cfg: &HarnessConfig, schedule: &[ScheduledFa
             // only the session/durability guarantees are meaningful.
             violations.extend(check_sessions(&events));
             violations.extend(check_lost_writes(&acked_writes(&events), &final_state));
+        }
+        (Profile::Skewed, _) => {
+            // Stock checks plus the dot-level consistency upgrade: no
+            // acked dot may vanish without causal coverage, and replicas
+            // must agree on full sibling sets after quiescence.
+            violations.extend(check_sessions(&events));
+            violations.extend(check_lost_writes(&acked_writes(&events), &final_state));
+            violations.extend(check_replica_agreement(&final_state));
+            let final_dots = final_replica_dots(&cluster);
+            violations.extend(check_lost_concurrent_writes(
+                &write_records(&events),
+                &final_dots,
+            ));
+            violations.extend(check_replica_dot_agreement(&final_dots));
         }
     }
 

@@ -15,7 +15,11 @@
 //!   quorum argument actually gives: per-key monotonic reads and
 //!   read-your-writes on clean quorum reads, no lost acknowledged writes
 //!   after convergence, and all-replica timestamp agreement at end of
-//!   run.
+//!   run. Since PR-8 it also checks the dotted-version-vector
+//!   guarantees: monotonic writes, writes-follow-reads, sibling-set
+//!   agreement, and — the headline — *no lost concurrent write*: an
+//!   acked dot may only disappear when a surviving write causally
+//!   covers it (see the `skewed` / `skewed_legacy` harness profiles).
 //! * [`shrink`] — ddmin over a failing schedule: re-runs subsets under
 //!   the same seed until 1-minimal, then renders the reproducer as a
 //!   copy-pasteable `#[test]`.
@@ -29,7 +33,9 @@ pub mod nemesis;
 pub mod shrink;
 
 pub use checker::{
-    acked_writes, check_lost_writes, check_replica_agreement, check_sessions, Violation,
+    acked_writes, check_lost_concurrent_writes, check_lost_writes, check_replica_agreement,
+    check_replica_dot_agreement, check_sessions, final_replica_dots, write_records, Violation,
+    WriteRecord,
 };
 pub use harness::{
     run_nemesis, run_with_schedule, HarnessConfig, Profile, RunReport, StalenessSummary,

@@ -20,6 +20,7 @@
 //!
 //! Nothing in this crate performs I/O or spawns threads.
 
+pub mod dvv;
 pub mod error;
 pub mod hashing;
 pub mod ids;
@@ -27,6 +28,7 @@ pub mod kv;
 pub mod rng;
 pub mod time;
 
+pub use dvv::{dot_seq, CausalContext, DotSeq};
 pub use error::{SednaError, SednaResult};
 pub use hashing::{fnv1a64, xxhash64};
 pub use ids::{ClientId, NodeId, RequestId, SessionId, TraceId, VNodeId};

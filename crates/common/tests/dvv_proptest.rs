@@ -1,0 +1,110 @@
+//! Property tests for the dotted-version-vector algebra in isolation.
+//!
+//! The merge laws must hold before any wire code trusts them: `join` is a
+//! commutative, associative, idempotent pointwise maximum; dots are unique
+//! per `(actor, counter)` as issued by the HLC oracle; and joining can never
+//! drop a dot either input covered (no causal information is lost by sync).
+
+use proptest::prelude::*;
+use sedna_common::time::TimestampOracle;
+use sedna_common::{CausalContext, ManualClock, NodeId, Timestamp};
+use std::collections::HashSet;
+
+fn dot() -> impl Strategy<Value = Timestamp> {
+    (0u32..6, 0u64..200, 0u32..8)
+        .prop_map(|(origin, micros, counter)| Timestamp::new(micros, counter, NodeId(origin)))
+}
+
+fn context() -> impl Strategy<Value = CausalContext> {
+    proptest::collection::vec(dot(), 0..24).prop_map(|dots| CausalContext::from_dots(dots.iter()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn join_is_commutative(a in context(), b in context()) {
+        prop_assert_eq!(a.joined(&b), b.joined(&a));
+    }
+
+    #[test]
+    fn join_is_associative(a in context(), b in context(), c in context()) {
+        prop_assert_eq!(a.joined(&b).joined(&c), a.joined(&b.joined(&c)));
+    }
+
+    #[test]
+    fn join_is_idempotent(a in context(), b in context()) {
+        let once = a.joined(&b);
+        prop_assert_eq!(once.joined(&b), once.clone());
+        prop_assert_eq!(a.joined(&a), a.clone());
+    }
+
+    #[test]
+    fn empty_is_join_identity(a in context()) {
+        prop_assert_eq!(a.joined(&CausalContext::EMPTY), a.clone());
+        prop_assert_eq!(CausalContext::EMPTY.joined(&a), a);
+    }
+
+    /// `sync(a, b)` never drops a dominating dot: every dot covered by
+    /// either input stays covered by the join, and the join dominates both
+    /// inputs.
+    #[test]
+    fn join_never_drops_a_covered_dot(
+        a in context(),
+        b in context(),
+        probes in proptest::collection::vec(dot(), 1..32),
+    ) {
+        let joined = a.joined(&b);
+        prop_assert!(joined.dominates(&a));
+        prop_assert!(joined.dominates(&b));
+        for p in &probes {
+            if a.covers(p) || b.covers(p) {
+                prop_assert!(joined.covers(p));
+            }
+            if joined.covers(p) {
+                // And nothing is invented: coverage must come from an input.
+                prop_assert!(a.covers(p) || b.covers(p));
+            }
+        }
+    }
+
+    #[test]
+    fn observe_is_monotone(mut a in context(), d in dot()) {
+        let before = a.clone();
+        a.observe(&d);
+        prop_assert!(a.covers(&d));
+        prop_assert!(a.dominates(&before));
+    }
+
+    #[test]
+    fn dominance_is_exactly_pointwise(a in context(), b in context()) {
+        let dominates = a.dominates(&b);
+        let pointwise = b
+            .entries()
+            .all(|(actor, seq)| a.seq_of(actor).is_some_and(|mine| mine >= seq));
+        prop_assert_eq!(dominates, pointwise);
+    }
+
+    /// Dots issued by one oracle are unique per `(actor, counter)` even when
+    /// the wall clock stalls or jumps backwards: the HLC never reissues a
+    /// `(micros, counter)` pair, so a context entry identifies one event.
+    #[test]
+    fn oracle_dots_are_unique_per_actor(
+        deltas in proptest::collection::vec(0u64..3, 1..200),
+    ) {
+        let clock = ManualClock::new();
+        let oracle = TimestampOracle::new(NodeId(9), clock.clone());
+        let mut seen = HashSet::new();
+        let mut prev: Option<Timestamp> = None;
+        for delta in deltas {
+            clock.advance(delta);
+            let ts = oracle.next();
+            prop_assert_eq!(ts.origin, NodeId(9));
+            prop_assert!(seen.insert((ts.micros, ts.counter)), "dot reissued: {:?}", ts);
+            if let Some(p) = prev {
+                prop_assert!((ts.micros, ts.counter) > (p.micros, p.counter));
+            }
+            prev = Some(ts);
+        }
+    }
+}

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sedna_common::time::{Micros, Timestamp};
-use sedna_common::{Key, NodeId, RequestId, TraceId, VNodeId, Value};
+use sedna_common::{CausalContext, Key, NodeId, RequestId, TraceId, VNodeId, Value};
 use sedna_coord::client::{LeaseCache, LeaseConfig, SessionClient, SessionConfig, SessionEvent};
 use sedna_coord::messages::{CoordMsg, CoordOp, CoordReply};
 use sedna_net::actor::ActorId;
@@ -81,7 +81,9 @@ pub struct QuorumWriter {
 
 impl QuorumWriter {
     /// Starts a write of `(key, ts, value)` to `replicas`, needing `w`
-    /// acks by `deadline`. Returns the messages to send.
+    /// acks by `deadline`. `ctx` is the causal context the writer has
+    /// observed for this key (empty when unknown — e.g. trigger emits).
+    /// Returns the messages to send.
     #[allow(clippy::too_many_arguments)]
     pub fn begin(
         &mut self,
@@ -92,6 +94,7 @@ impl QuorumWriter {
         key: &Key,
         ts: Timestamp,
         value: &Value,
+        ctx: &CausalContext,
         kind: WriteKind,
         deadline: Micros,
         trace: TraceId,
@@ -117,6 +120,7 @@ impl QuorumWriter {
                         key: key.clone(),
                         ts,
                         value: value.clone(),
+                        ctx: ctx.clone(),
                         kind,
                         trace,
                     },
@@ -206,6 +210,13 @@ struct PendingRead {
     coord: ReadCoordinator,
     deadline: Micros,
     trace: TraceId,
+    /// The session's causal context for the key when the read started:
+    /// every dot this client had already observed. A clean answer whose
+    /// row clocks do not cover this floor is reported degraded — see
+    /// [`QuorumReader::begin`].
+    floor: CausalContext,
+    /// Row clock per replying replica (joined for the floor check).
+    clocks: HashMap<NodeId, CausalContext>,
 }
 
 /// One replica a quorum read observed behind the merged view, with how far
@@ -228,6 +239,8 @@ pub struct StaleLag {
 pub struct FinishedRead {
     /// The op id.
     pub op_id: u64,
+    /// The key that was read.
+    pub key: Key,
     /// The client-visible result.
     pub result: ClientResult,
     /// Read-repair pushes to send.
@@ -255,6 +268,14 @@ pub struct QuorumReader {
 
 impl QuorumReader {
     /// Starts a read of `key` from `replicas`, needing `r` equal replies.
+    ///
+    /// `floor` is the session's causal context for the key — the dots the
+    /// client has observed through earlier acked writes and reads. R
+    /// equal replies alone cannot promise session monotonicity once a
+    /// vnode moves (the new replica set need not intersect the old one),
+    /// so a clean answer is downgraded to `degraded` unless the agreeing
+    /// replicas' joined row clock covers the floor: every dot the session
+    /// knows is then either live in the answer or causally overwritten.
     #[allow(clippy::too_many_arguments)]
     pub fn begin(
         &mut self,
@@ -266,6 +287,7 @@ impl QuorumReader {
         kind: ReadKind,
         deadline: Micros,
         trace: TraceId,
+        floor: CausalContext,
     ) -> ReplicaOutbox {
         self.next_req += 1;
         let req = RequestId(self.next_req);
@@ -278,6 +300,8 @@ impl QuorumReader {
                 coord: ReadCoordinator::new(replicas.to_vec(), r.min(replicas.len()).max(1)),
                 deadline,
                 trace,
+                floor,
+                clocks: HashMap::new(),
             },
         );
         replicas
@@ -311,7 +335,10 @@ impl QuorumReader {
         let node = cfg.actor_node(from)?;
         let p = self.pending.get_mut(&req)?;
         let rr = match reply {
-            ReplicaReadReply::Values(v) => ReplicaRead::Values(v),
+            ReplicaReadReply::Values { versions, clock } => {
+                p.clocks.insert(node, clock);
+                ReplicaRead::Values(versions)
+            }
             ReplicaReadReply::Missing => ReplicaRead::Missing,
             ReplicaReadReply::Refused => ReplicaRead::Failed,
         };
@@ -356,8 +383,35 @@ impl QuorumReader {
         let mut lagging: Vec<StaleLag> = Vec::new();
         let mut degraded = false;
         let result = match outcome {
-            ReadOutcome::Ok(values) => render(p.kind, Some(values)),
-            ReadOutcome::NotFound => render(p.kind, None),
+            ReadOutcome::Ok(values) => {
+                // Session-floor gate: R replicas agreed, but agreement is
+                // only as good as the replicas — after a vnode move the
+                // new set can unanimously hold a stale row. The answer
+                // counts as clean only when the agreeing replicas' joined
+                // row clock covers every dot this session has observed
+                // for the key (a causally-pruned dot is covered by its
+                // overwriter's clock; a merely-unseen dot is not).
+                if cfg.session_floor_reads {
+                    let mut witnessed = CausalContext::EMPTY;
+                    for (node, reply) in p.coord.replies() {
+                        if matches!(reply, ReplicaRead::Values(v) if *v == values) {
+                            if let Some(c) = p.clocks.get(node) {
+                                witnessed.join(c);
+                            }
+                        }
+                    }
+                    if !witnessed.dominates(&p.floor) {
+                        degraded = true;
+                    }
+                }
+                render(p.kind, Some(values))
+            }
+            ReadOutcome::NotFound => {
+                // A unanimous "no such key" cannot cover a session that
+                // has already seen dots for it: stale quorum.
+                degraded = cfg.session_floor_reads && !p.floor.is_empty();
+                render(p.kind, None)
+            }
             ReadOutcome::Inconsistent { merged } => {
                 degraded = true;
                 // Which replicas lag behind the merged view (for the
@@ -424,13 +478,15 @@ impl QuorumReader {
             }
             ReadOutcome::Pending => unreachable!(),
         };
+        let vnode = cfg.partitioner.locate(&p.key);
         Some(FinishedRead {
             op_id: p.op_id,
+            key: p.key,
             result,
             repairs,
             saw_failure,
             trace: p.trace,
-            vnode: cfg.partitioner.locate(&p.key),
+            vnode,
             lagging,
             degraded,
         })
@@ -904,6 +960,14 @@ pub struct ClientCore {
     groups: HashMap<u64, PendingGroup>,
     /// Child op id → (group op id, index within the group).
     child_group: HashMap<u64, (u64, usize)>,
+    /// Session causal contexts: per key, the dots this client has observed
+    /// (own acked writes + every sibling returned by reads). Attached to
+    /// outgoing writes so replicas can tell causal overwrites from
+    /// concurrent ones.
+    ctx: HashMap<Key, CausalContext>,
+    /// Key and dot of each in-flight write, so a `WriteOk` can fold the
+    /// write's own dot into the session context.
+    write_meta: HashMap<u64, (Key, Timestamp)>,
     /// Metrics, traces, and the event journal.
     obs: ClientObs,
     /// Optional op-history sink for the nemesis checker; `None` (the
@@ -942,6 +1006,8 @@ impl ClientCore {
             stage_since: 0,
             groups: HashMap::new(),
             child_group: HashMap::new(),
+            ctx: HashMap::new(),
+            write_meta: HashMap::new(),
             obs,
             history: None,
         }
@@ -994,7 +1060,11 @@ impl ClientCore {
             h.push(crate::history::HistoryEvent::Complete {
                 client: self.origin,
                 op_id: fin.op_id,
-                outcome: crate::history::HistoryOutcome::Read { latest, degraded },
+                outcome: crate::history::HistoryOutcome::Read {
+                    latest,
+                    dots: result_dots(&fin.result),
+                    degraded,
+                },
                 at,
             });
         }
@@ -1031,6 +1101,45 @@ impl ClientCore {
         let (micros, counter) = if now > m { (now, 0) } else { (m, c + 1) };
         self.last_ts = (micros, counter);
         Timestamp::new(micros, counter, self.origin)
+    }
+
+    /// The session causal context for `key` — the dots this client has
+    /// observed through its own acked writes and through reads.
+    fn ctx_of(&self, key: &Key) -> CausalContext {
+        self.ctx.get(key).cloned().unwrap_or(CausalContext::EMPTY)
+    }
+
+    /// A write decided: drop its in-flight metadata and, when it was
+    /// acknowledged, fold its dot into the session context so the client's
+    /// next write to the key causally overwrites this one.
+    fn note_write_done(&mut self, op_id: u64, agg: &WriteOutcomeAgg) {
+        if let Some((key, ts)) = self.write_meta.remove(&op_id) {
+            if matches!(agg, WriteOutcomeAgg::Ok) {
+                self.ctx.entry(key).or_default().observe(&ts);
+            }
+        }
+    }
+
+    /// A read decided: every sibling dot it returned joins the session
+    /// context, and the freshest one advances the HLC so this client's
+    /// subsequent writes stamp *after* everything it has read — the
+    /// read-your-writes/monotonic floor must hold even when node clocks
+    /// are skewed.
+    fn note_read_done(&mut self, fin: &FinishedRead) {
+        let dots = result_dots(&fin.result);
+        if dots.is_empty() {
+            return;
+        }
+        let ctx = self.ctx.entry(fin.key.clone()).or_default();
+        for d in &dots {
+            ctx.observe(d);
+        }
+        if let Some(max) = dots.iter().max() {
+            let seq = (max.micros, max.counter);
+            if seq > self.last_ts {
+                self.last_ts = seq;
+            }
+        }
     }
 
     fn replicas_for(&self, key: &Key) -> Option<Vec<NodeId>> {
@@ -1157,6 +1266,7 @@ impl ClientCore {
         self.next_op += 1;
         let op_id = self.next_op;
         let ts = self.next_timestamp(now);
+        let ctx = self.ctx_of(key);
         let deadline = now + self.cfg.request_deadline_micros;
         let trace = self.obs.tracker.begin(now);
         self.record_invoke(
@@ -1165,6 +1275,7 @@ impl ClientCore {
             crate::history::HistoryOp::Write {
                 key: key.clone(),
                 ts,
+                ctx: ctx.clone(),
             },
             now,
         );
@@ -1176,10 +1287,12 @@ impl ClientCore {
             key,
             ts,
             &value,
+            &ctx,
             kind,
             deadline,
             trace,
         );
+        self.write_meta.insert(op_id, (key.clone(), ts));
         self.obs.mark_sends(trace, &raw, &self.cfg, now);
         Some((op_id, self.dispatch(raw, now)))
     }
@@ -1208,6 +1321,7 @@ impl ClientCore {
             self.next_op += 1;
             let child = self.next_op;
             let ts = self.next_timestamp(now);
+            let ctx = self.ctx_of(key);
             let trace = self.obs.tracker.begin(now);
             let child_raw = self.writer.begin(
                 &self.cfg,
@@ -1217,10 +1331,12 @@ impl ClientCore {
                 key,
                 ts,
                 value,
+                &ctx,
                 WriteKind::Latest,
                 deadline,
                 trace,
             );
+            self.write_meta.insert(child, (key.clone(), ts));
             self.obs.mark_sends(trace, &child_raw, &self.cfg, now);
             raw.extend(child_raw);
             self.child_group.insert(child, (group_id, idx));
@@ -1252,6 +1368,7 @@ impl ClientCore {
             self.next_op += 1;
             let child = self.next_op;
             let trace = self.obs.tracker.begin(now);
+            let floor = self.ctx_of(key);
             let child_raw = self.reader.begin(
                 &self.cfg,
                 child,
@@ -1261,6 +1378,7 @@ impl ClientCore {
                 ReadKind::Latest,
                 deadline,
                 trace,
+                floor,
             );
             self.obs.mark_sends(trace, &child_raw, &self.cfg, now);
             raw.extend(child_raw);
@@ -1319,6 +1437,7 @@ impl ClientCore {
             crate::history::HistoryOp::Read { key: key.clone() },
             now,
         );
+        let floor = self.ctx_of(key);
         let raw = self.reader.begin(
             &self.cfg,
             op_id,
@@ -1328,6 +1447,7 @@ impl ClientCore {
             kind,
             deadline,
             trace,
+            floor,
         );
         self.obs.mark_sends(trace, &raw, &self.cfg, now);
         Some((op_id, self.dispatch(raw, now)))
@@ -1428,6 +1548,7 @@ impl ClientCore {
                     if let Some(trace) = trace {
                         self.obs.write_done(trace, &agg, now);
                     }
+                    self.note_write_done(op_id, &agg);
                     self.record_write_outcome(op_id, &agg, now);
                     self.complete(op_id, write_result(agg), events);
                 }
@@ -1453,6 +1574,7 @@ impl ClientCore {
                 }
                 if let Some(fin) = self.reader.on_reply(&self.cfg, from, req, reply) {
                     self.obs.read_done(&fin, &self.cfg, now);
+                    self.note_read_done(&fin);
                     self.record_read_outcome(&fin, now);
                     self.stage_ops(fin.repairs, now, out);
                     if fin.saw_failure {
@@ -1529,6 +1651,7 @@ impl ClientCore {
         for (op_id, agg, trace) in self.writer.on_tick(now) {
             let failed = matches!(agg, WriteOutcomeAgg::Failed { .. });
             self.obs.write_done(trace, &agg, now);
+            self.note_write_done(op_id, &agg);
             self.record_write_outcome(op_id, &agg, now);
             self.complete(op_id, write_result(agg), &mut events);
             if failed {
@@ -1540,6 +1663,7 @@ impl ClientCore {
         }
         for fin in self.reader.on_tick(&self.cfg, now) {
             self.obs.read_done(&fin, &self.cfg, now);
+            self.note_read_done(&fin);
             self.record_read_outcome(&fin, now);
             self.stage_ops(fin.repairs, now, &mut out);
             if fin.saw_failure {
@@ -1604,6 +1728,15 @@ fn emit_frame(out: &mut Outbox, to: ActorId, mut ops: Vec<ReplicaOp>) {
     out.push((to, msg));
 }
 
+/// The sibling dots a read result returned (empty on miss/failure).
+fn result_dots(result: &ClientResult) -> Vec<Timestamp> {
+    match result {
+        ClientResult::Latest(Some(v)) => vec![v.ts],
+        ClientResult::All(Some(vs)) => vs.iter().map(|v| v.ts).collect(),
+        _ => Vec::new(),
+    }
+}
+
 fn write_result(agg: WriteOutcomeAgg) -> ClientResult {
     match agg {
         WriteOutcomeAgg::Ok => ClientResult::Ok,
@@ -1646,6 +1779,7 @@ mod tests {
             &Key::from("k"),
             Timestamp::new(1, 0, NodeId(1_000)),
             &Value::from("v"),
+            &CausalContext::EMPTY,
             WriteKind::Latest,
             100,
             TraceId(1),
@@ -1675,6 +1809,7 @@ mod tests {
             &Key::from("k"),
             Timestamp::ZERO,
             &Value::from("v"),
+            &CausalContext::EMPTY,
             WriteKind::All,
             100,
             TraceId(7),
@@ -1702,6 +1837,7 @@ mod tests {
             ReadKind::Latest,
             100,
             TraceId(3),
+            CausalContext::EMPTY,
         );
         let req = match &out[0].1 {
             ReplicaOp::Read { req, .. } => *req,
@@ -1721,7 +1857,10 @@ mod tests {
                 &cfg,
                 cfg.node_actor(NodeId(0)),
                 req,
-                ReplicaReadReply::Values(vec![fresh.clone()])
+                ReplicaReadReply::Values {
+                    versions: vec![fresh.clone()],
+                    clock: CausalContext::EMPTY,
+                }
             )
             .is_none());
         assert!(r
@@ -1729,7 +1868,10 @@ mod tests {
                 &cfg,
                 cfg.node_actor(NodeId(1)),
                 req,
-                ReplicaReadReply::Values(vec![stale])
+                ReplicaReadReply::Values {
+                    versions: vec![stale],
+                    clock: CausalContext::EMPTY,
+                }
             )
             .is_none());
         let fin = r
@@ -1766,6 +1908,7 @@ mod tests {
             ReadKind::Latest,
             100,
             TraceId(4),
+            CausalContext::EMPTY,
         );
         let req = match &out[0].1 {
             ReplicaOp::Read { req, .. } => *req,
@@ -1779,7 +1922,10 @@ mod tests {
             &cfg,
             cfg.node_actor(NodeId(0)),
             req,
-            ReplicaReadReply::Values(vec![orphan]),
+            ReplicaReadReply::Values {
+                versions: vec![orphan],
+                clock: CausalContext::EMPTY,
+            },
         );
         r.on_reply(
             &cfg,

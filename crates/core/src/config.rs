@@ -2,6 +2,9 @@
 
 use sedna_common::time::Micros;
 use sedna_common::NodeId;
+// Re-exported so deployment-level crates (harnesses, binaries) can pick
+// resolution policies without depending on the store crate directly.
+pub use sedna_memstore::{ResolutionConfig, TablePolicy};
 use sedna_net::actor::ActorId;
 use sedna_persist::PersistMode;
 use sedna_replication::QuorumConfig;
@@ -94,6 +97,25 @@ pub struct ClusterConfig {
     /// Observability: how many keys each per-vnode Space-Saving sketch
     /// monitors. `0` disables hot-key tracking entirely.
     pub hot_key_capacity: usize,
+    /// Per-table sibling resolution under dotted version vectors, installed
+    /// into every data node's store. The default (uniform last-writer-wins)
+    /// reproduces the paper's visible semantics while still tracking causal
+    /// clocks underneath.
+    pub resolution: ResolutionConfig,
+    /// Paper-exact bare-timestamp versioning: no causal contexts, no row
+    /// clocks, `write_latest` is raw timestamp-wins. Kept selectable so the
+    /// skewed-clock nemesis sweep can demonstrate the acknowledged-write
+    /// loss DVV removes.
+    pub legacy_timestamps: bool,
+    /// Session-floor gating on quorum reads: a clean (R-equal) answer is
+    /// downgraded to degraded unless the agreeing replicas' joined row
+    /// clock covers every dot the client session has observed for the key.
+    /// R-equality alone cannot promise session monotonicity once a vnode
+    /// moves — the new replica set need not intersect the old one — so
+    /// without this gate a rebalance can serve a causally stale answer as
+    /// clean. Off in legacy-timestamp mode (no clocks to prove anything
+    /// with) and in deliberately weakened harness configurations.
+    pub session_floor_reads: bool,
 }
 
 impl ClusterConfig {
@@ -135,7 +157,43 @@ impl ClusterConfig {
             slow_op_threshold_micros: 10_000,
             journal_capacity: 256,
             hot_key_capacity: 8,
+            resolution: ResolutionConfig::default(),
+            legacy_timestamps: false,
+            session_floor_reads: true,
         }
+    }
+
+    /// Sets the default sibling-resolution policy for every table.
+    pub fn with_sibling_resolution(mut self, policy: TablePolicy) -> Self {
+        self.resolution.default = policy;
+        self
+    }
+
+    /// Adds a per-table resolution override (first matching prefix wins).
+    pub fn with_table_policy(mut self, prefix: Vec<u8>, policy: TablePolicy) -> Self {
+        self.resolution.tables.push((prefix, policy));
+        self
+    }
+
+    /// Selects paper-exact bare-timestamp versioning (see
+    /// [`ClusterConfig::legacy_timestamps`]).
+    pub fn with_legacy_timestamps(mut self, legacy: bool) -> Self {
+        self.legacy_timestamps = legacy;
+        if legacy {
+            // Legacy rows carry no clocks, so the clean-read session gate
+            // has nothing to prove coverage with — the old scheme simply
+            // does not give the guarantee.
+            self.session_floor_reads = false;
+        }
+        self
+    }
+
+    /// Turns the clean-read session-floor gate on or off (see
+    /// [`ClusterConfig::session_floor_reads`]). Only harnesses that
+    /// deliberately weaken the system should turn it off.
+    pub fn with_session_floor_reads(mut self, enabled: bool) -> Self {
+        self.session_floor_reads = enabled;
+        self
     }
 
     /// Sets the per-vnode hot-key sketch capacity (`0` disables).

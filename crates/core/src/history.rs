@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sedna_common::time::Micros;
-use sedna_common::{Key, NodeId, Timestamp, TraceId};
+use sedna_common::{CausalContext, Key, NodeId, Timestamp, TraceId};
 
 /// What kind of single-key operation was invoked.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -26,9 +26,13 @@ pub enum HistoryOp {
     Write {
         /// Key written.
         key: Key,
-        /// The timestamp the write carries; this is the write's identity
-        /// for the checker (last-writer-wins compares timestamps).
+        /// The timestamp the write carries; `ts` doubles as the write's
+        /// *dot* — its globally unique identity for the checker.
         ts: Timestamp,
+        /// Causal context the write carried (the dots the client had
+        /// observed for this key); lets the checker treat a causal
+        /// overwrite of an acked dot as safe rather than lost.
+        ctx: CausalContext,
     },
     /// A `read_latest`/`read_all`.
     Read {
@@ -53,6 +57,10 @@ pub enum HistoryOutcome {
     Read {
         /// Freshest `(ts)` returned, if any.
         latest: Option<Timestamp>,
+        /// Every sibling dot the read returned (equals `[latest]` when the
+        /// row had a single version). The checker uses these for
+        /// writes-follow-reads and lost-write witnessing.
+        dots: Vec<Timestamp>,
         /// True when the answer was assembled from an inconsistent or
         /// failed quorum.
         degraded: bool,

@@ -7,7 +7,7 @@
 //! substrate actors (written against their own enums) run unchanged.
 
 use sedna_common::time::Timestamp;
-use sedna_common::{Key, NodeId, RequestId, TraceId, VNodeId, Value};
+use sedna_common::{CausalContext, Key, NodeId, RequestId, TraceId, VNodeId, Value};
 use sedna_coord::messages::CoordMsg;
 use sedna_memstore::VersionedValue;
 use sedna_net::actor::{MessageSize, Wrap};
@@ -37,8 +37,16 @@ pub enum ReplicaWriteAck {
 /// A replica's reply to a read.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ReplicaReadReply {
-    /// The row's value list.
-    Values(Vec<VersionedValue>),
+    /// The row's value list plus its row clock. The clock is what lets
+    /// the coordinator tell a *causally pruned* sibling (covered by the
+    /// clock) from a sibling the replica simply has not seen yet — the
+    /// session-floor gate on clean reads depends on it.
+    Values {
+        /// The row's (possibly multi-sibling) version list.
+        versions: Vec<VersionedValue>,
+        /// The row's dotted-version-vector clock (empty in legacy mode).
+        clock: CausalContext,
+    },
     /// Key unknown here.
     Missing,
     /// Not the owner (stale routing).
@@ -60,6 +68,10 @@ pub enum ReplicaOp {
         value: Value,
         /// Which write API.
         kind: WriteKind,
+        /// The writer's causal context: every dot the client had observed
+        /// for this key before issuing the write. Empty for blind writes
+        /// (and always empty in legacy-timestamp mode).
+        ctx: CausalContext,
         /// Distributed trace of the client op this write belongs to.
         trace: TraceId,
     },
@@ -120,8 +132,9 @@ pub enum ReplicaOp {
     TransferData {
         /// The vnode.
         vnode: VNodeId,
-        /// The rows.
-        rows: Vec<(Key, Vec<VersionedValue>)>,
+        /// The rows, each with its causal row clock so the receiver merges
+        /// without resurrecting siblings the sender causally pruned.
+        rows: Vec<(Key, CausalContext, Vec<VersionedValue>)>,
     },
     /// Destination → source: the vnode's rows are installed; the source
     /// may drop its local copy if it is no longer a replica. Ordering this
@@ -156,6 +169,33 @@ pub enum ReplicaOp {
         digest: u64,
         /// Which node is probing (for the exchange reply).
         from_node: NodeId,
+    },
+    /// Anti-entropy, second round: the probed replica's digest differed, so
+    /// it answers with its 64 Merkle leaf hashes (512 bytes) for divergence
+    /// localization.
+    SyncLeaves {
+        /// The vnode being compared.
+        vnode: VNodeId,
+        /// Which node is answering.
+        from_node: NodeId,
+        /// The per-leaf hashes of the answerer's Merkle tree.
+        leaves: Box<[u64; 64]>,
+    },
+    /// Anti-entropy, third round: rows (with clocks) from the leaf buckets
+    /// the Merkle diff flagged as divergent, merged on receipt.
+    SyncRows {
+        /// The vnode being repaired.
+        vnode: VNodeId,
+        /// Which node is shipping.
+        from_node: NodeId,
+        /// Bitmap of the divergent leaves these rows cover.
+        leaf_mask: u64,
+        /// The rows: key, row clock, live versions.
+        rows: Vec<(Key, CausalContext, Vec<VersionedValue>)>,
+        /// True on the first direction of the exchange: the receiver
+        /// answers with its own rows for the same leaves so the repair is
+        /// bidirectional without re-probing.
+        reply_wanted: bool,
     },
     /// Several data-path ops for the same destination coalesced into one
     /// transport frame (the batched replica datapath). Sub-ops are handled
@@ -363,6 +403,20 @@ fn versions_size(v: &[VersionedValue]) -> usize {
     v.iter().map(|x| x.value.len() + 24).sum()
 }
 
+/// Wire bytes of a causal context: 16 per `(actor, micros, counter)` entry.
+/// An empty context (blind writes, legacy mode) costs nothing, so frames
+/// that never attach one keep their exact pre-DVV sizes.
+fn context_size(ctx: &CausalContext) -> usize {
+    ctx.len() * 16
+}
+
+/// Wire bytes of clock-carrying sync/transfer rows.
+fn clocked_rows_size(rows: &[(Key, CausalContext, Vec<VersionedValue>)]) -> usize {
+    rows.iter()
+        .map(|(k, c, v)| k.len() + context_size(c) + versions_size(v))
+        .sum()
+}
+
 impl MessageSize for ReplicaOp {
     fn size_bytes(&self) -> usize {
         // The wire-size model charges trace ids and apply-time metadata to
@@ -370,11 +424,15 @@ impl MessageSize for ReplicaOp {
         // the byte math the batching tests assert on is unchanged.
         const HDR: usize = 32;
         HDR + match self {
-            ReplicaOp::Write { key, value, .. } => key.len() + value.len() + 16,
+            ReplicaOp::Write {
+                key, value, ctx, ..
+            } => key.len() + value.len() + 16 + context_size(ctx),
             ReplicaOp::WriteAck { .. } => 4,
             ReplicaOp::Read { key, .. } => key.len(),
             ReplicaOp::ReadReply { reply, .. } => match reply {
-                ReplicaReadReply::Values(v) => versions_size(v),
+                ReplicaReadReply::Values { versions, clock } => {
+                    versions_size(versions) + context_size(clock)
+                }
                 _ => 4,
             },
             ReplicaOp::Push { key, versions, .. } => key.len() + versions_size(versions),
@@ -386,9 +444,9 @@ impl MessageSize for ReplicaOp {
             ReplicaOp::ScanReply { rows, .. } => {
                 rows.iter().map(|(k, v)| k.len() + v.value.len() + 24).sum()
             }
-            ReplicaOp::TransferData { rows, .. } => {
-                rows.iter().map(|(k, v)| k.len() + versions_size(v)).sum()
-            }
+            ReplicaOp::TransferData { rows, .. } => clocked_rows_size(rows),
+            ReplicaOp::SyncLeaves { .. } => 8 + 64 * 8,
+            ReplicaOp::SyncRows { rows, .. } => 16 + clocked_rows_size(rows),
             // A batch pays one frame header for the whole group; every
             // sub-op contributes its body plus an 8-byte sub-header instead
             // of a full frame header of its own.
@@ -472,6 +530,7 @@ mod tests {
             key: Key::from("test-000000000000000"),
             ts: Timestamp::ZERO,
             value: Value::from_bytes(vec![0u8; 20]),
+            ctx: CausalContext::EMPTY,
             kind: WriteKind::Latest,
             trace: TraceId(7),
         });
@@ -491,6 +550,7 @@ mod tests {
             key: Key::from("test-000000000000000"),
             ts: Timestamp::ZERO,
             value: Value::from_bytes(vec![0u8; 20]),
+            ctx: CausalContext::EMPTY,
             kind: WriteKind::Latest,
             trace: TraceId(7),
         };

@@ -25,7 +25,7 @@
 use std::sync::Arc;
 
 use sedna_common::time::{Micros, Timestamp};
-use sedna_common::{Key, NodeId, RequestId, TraceId};
+use sedna_common::{CausalContext, Key, NodeId, RequestId, TraceId, VNodeId};
 use sedna_coord::client::{LeaseCache, LeaseConfig, SessionClient, SessionConfig, SessionEvent};
 use sedna_coord::messages::{CoordMsg, CoordOp, CoordReply};
 use sedna_memstore::{MemStore, SpaceSaving, StoreConfig, WriteOutcome};
@@ -33,6 +33,7 @@ use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
 use sedna_obs::journal::EventJournal;
 use sedna_obs::registry::{Hist, MetricsSnapshot, Registry};
 use sedna_persist::PersistEngine;
+use sedna_replication::{row_hash, MerkleTree};
 use sedna_ring::{HotKeyRow, VNodeMap, VNodeStats};
 use sedna_triggers::{JobSpec, TriggerEngine, TriggerSink, WriteMode};
 
@@ -68,6 +69,12 @@ pub struct NodeStats {
     pub sync_probes: u64,
     /// Anti-entropy rounds that found divergence and exchanged rows.
     pub sync_exchanges: u64,
+    /// Anti-entropy leaf-hash exchanges (round two of the Merkle protocol).
+    pub sync_leaf_exchanges: u64,
+    /// Rows shipped to peers during anti-entropy repair.
+    pub sync_rows_shipped: u64,
+    /// Rows whose local state changed by merging a peer's anti-entropy rows.
+    pub sync_rows_merged: u64,
     /// Replica writes applied.
     pub writes: u64,
     /// Replica writes answered `outdated`.
@@ -154,6 +161,8 @@ impl SednaNode {
         let store = Arc::new(MemStore::new(StoreConfig {
             shards: 16,
             memory_budget: cfg.memory_budget,
+            resolution: cfg.resolution.clone(),
+            legacy_timestamps: cfg.legacy_timestamps,
         }));
         if let Some(engine) = &persist {
             // Boot-time recovery (snapshot + WAL replay).
@@ -298,6 +307,9 @@ impl SednaNode {
             ("sedna_node_pushes", s.pushes),
             ("sedna_node_sync_probes", s.sync_probes),
             ("sedna_node_sync_exchanges", s.sync_exchanges),
+            ("sedna_node_sync_leaf_exchanges", s.sync_leaf_exchanges),
+            ("sedna_node_sync_rows_shipped", s.sync_rows_shipped),
+            ("sedna_node_sync_rows_merged", s.sync_rows_merged),
             ("sedna_node_transfers_in", s.transfers_in),
             ("sedna_node_transfers_out", s.transfers_out),
             ("sedna_node_trigger_emits", s.trigger_emits),
@@ -383,33 +395,48 @@ impl SednaNode {
         self.ring = Some(map);
     }
 
-    /// Order-independent fingerprint of this node's copy of `vnode`:
-    /// XOR of per-row hashes over (key, every version's timestamp). Two
-    /// replicas agree iff their digests match (up to hash collisions, which
-    /// only delay convergence by one exchange).
-    fn vnode_digest(&self, vnode: sedna_common::VNodeId) -> u64 {
-        use sedna_common::hashing::xxhash64;
+    /// This node's Merkle tree over its copy of `vnode`: 64 leaves, row
+    /// hashes covering key, live versions *and* the causal row clock, so
+    /// replicas differing only in pruning history still digest differently
+    /// and converge to full context agreement. Two replicas agree iff their
+    /// roots match (up to hash collisions, which only delay convergence by
+    /// one exchange).
+    fn vnode_tree(&self, vnode: VNodeId) -> MerkleTree {
         let part = self.cfg.partitioner;
-        let mut digest = 0u64;
-        self.store.for_each(|key, versions| {
+        let mut tree = MerkleTree::new();
+        self.store.for_each_row(|key, snap| {
             if part.locate(key) != vnode {
                 return;
             }
-            let mut buf = Vec::with_capacity(key.len() + versions.len() * 16);
-            buf.extend_from_slice(key.as_bytes());
-            // Versions XOR-combined too, so list order cannot matter.
-            let mut vh = 0u64;
-            for v in versions {
-                let mut t = [0u8; 16];
-                t[..8].copy_from_slice(&v.ts.micros.to_le_bytes());
-                t[8..12].copy_from_slice(&v.ts.counter.to_le_bytes());
-                t[12..16].copy_from_slice(&v.ts.origin.0.to_le_bytes());
-                vh ^= xxhash64(&t, 7);
-            }
-            buf.extend_from_slice(&vh.to_le_bytes());
-            digest ^= xxhash64(&buf, 3);
+            tree.add(key, row_hash(key, snap.as_slice(), &snap.clock()));
         });
-        digest
+        tree
+    }
+
+    /// Root digest of [`SednaNode::vnode_tree`] — what a sync probe ships.
+    fn vnode_digest(&self, vnode: VNodeId) -> u64 {
+        self.vnode_tree(vnode).root()
+    }
+
+    /// The rows of `vnode` falling into the Merkle leaf buckets `mask`
+    /// flags, each with its row clock — the payload of a `SyncRows` frame.
+    fn rows_in_leaves(
+        &self,
+        vnode: VNodeId,
+        mask: u64,
+    ) -> Vec<(Key, CausalContext, Vec<sedna_memstore::VersionedValue>)> {
+        let part = self.cfg.partitioner;
+        let mut rows = Vec::new();
+        self.store.for_each_row(|key, snap| {
+            if part.locate(key) != vnode {
+                return;
+            }
+            if mask & (1u64 << sedna_replication::leaf_of(key)) == 0 {
+                return;
+            }
+            rows.push((key.clone(), snap.clock(), snap.to_vec()));
+        });
+        rows
     }
 
     /// One anti-entropy step: probe the peers of the next owned vnode.
@@ -553,6 +580,7 @@ impl SednaNode {
                 ts,
                 value,
                 kind,
+                ctx: wctx,
                 trace: _,
             } => {
                 if !self.owns(&key) {
@@ -571,8 +599,10 @@ impl SednaNode {
                 let is_new = !self.store.contains(&key);
                 let t0 = std::time::Instant::now();
                 let outcome = match kind {
-                    WriteKind::Latest => self.store.write_latest(&key, ts, value.clone()),
-                    WriteKind::All => self.store.write_all(&key, ts, value.clone()),
+                    WriteKind::Latest => {
+                        self.store.write_latest_ctx(&key, ts, value.clone(), &wctx)
+                    }
+                    WriteKind::All => self.store.write_all_ctx(&key, ts, value.clone(), &wctx),
                 };
                 let apply_nanos = t0.elapsed().as_nanos() as u64;
                 self.obs.apply_hist.record(apply_nanos);
@@ -588,8 +618,14 @@ impl SednaNode {
                         // still propagate via anti-entropy.
                         match &self.persist {
                             Some(p)
-                                if p.note_write(&key, ts, &value, kind == WriteKind::Latest)
-                                    .is_err() =>
+                                if p.note_write(
+                                    &key,
+                                    ts,
+                                    &value,
+                                    &wctx,
+                                    kind == WriteKind::Latest,
+                                )
+                                .is_err() =>
                             {
                                 ReplicaWriteAck::Refused
                             }
@@ -622,7 +658,10 @@ impl SednaNode {
                     self.hot_sketches[vnode.index()].offer(&key);
                     let t0 = std::time::Instant::now();
                     let reply = match self.store.read_all(&key) {
-                        Some(values) => ReplicaReadReply::Values(values.to_vec()),
+                        Some(snap) => ReplicaReadReply::Values {
+                            versions: snap.to_vec(),
+                            clock: snap.clock(),
+                        },
                         None => ReplicaReadReply::Missing,
                     };
                     apply_nanos = t0.elapsed().as_nanos() as u64;
@@ -653,7 +692,7 @@ impl SednaNode {
                     .store
                     .collect_matching(|k| part.locate(k) == vnode)
                     .into_iter()
-                    .map(|(k, snap)| (k, snap.to_vec()))
+                    .map(|(k, snap)| (k, snap.clock(), snap.to_vec()))
                     .collect();
                 ctx.send(
                     self.cfg.node_actor(to_node),
@@ -662,8 +701,8 @@ impl SednaNode {
             }
             ReplicaOp::TransferData { vnode, rows } => {
                 self.stats.transfers_in += 1;
-                for (key, versions) in rows {
-                    self.store.merge_versions(&key, &versions);
+                for (key, clock, versions) in rows {
+                    self.store.merge_row(&key, &versions, &clock);
                 }
                 // Tell the source the move is complete; it may now drop
                 // the vnode if it no longer owns it.
@@ -691,9 +730,9 @@ impl SednaNode {
                 digest,
                 from_node,
             } => {
-                // Compare copies; on divergence, exchange both ways: ship
-                // our rows to the prober and pull theirs (merge is
-                // idempotent and commutative, so no coordination is needed).
+                // Round one: compare Merkle roots. Identical copies cost a
+                // single u64 each way; on divergence answer with our 64
+                // leaf hashes so the prober can localize.
                 if !self
                     .ring
                     .as_ref()
@@ -701,29 +740,96 @@ impl SednaNode {
                 {
                     return;
                 }
-                if self.vnode_digest(vnode) == digest {
+                let tree = self.vnode_tree(vnode);
+                if tree.root() == digest {
                     return;
                 }
                 self.stats.sync_exchanges += 1;
-                let part = self.cfg.partitioner;
-                let rows = self
-                    .store
-                    .collect_matching(|k| part.locate(k) == vnode)
-                    .into_iter()
-                    .map(|(k, snap)| (k, snap.to_vec()))
-                    .collect();
-                let peer = self.cfg.node_actor(from_node);
                 ctx.send(
-                    peer,
-                    SednaMsg::Replica(ReplicaOp::TransferData { vnode, rows }),
-                );
-                ctx.send(
-                    peer,
-                    SednaMsg::Replica(ReplicaOp::TransferRequest {
+                    self.cfg.node_actor(from_node),
+                    SednaMsg::Replica(ReplicaOp::SyncLeaves {
                         vnode,
-                        to_node: self.node_id,
+                        from_node: self.node_id,
+                        leaves: Box::new(*tree.leaves()),
                     }),
                 );
+            }
+            ReplicaOp::SyncLeaves {
+                vnode,
+                from_node,
+                leaves,
+            } => {
+                // Round two: diff the peer's leaves against ours and ship
+                // only rows from the differing buckets, asking the peer to
+                // answer with its own rows for those buckets.
+                if !self
+                    .ring
+                    .as_ref()
+                    .is_some_and(|r| r.replicas(vnode).contains(&self.node_id))
+                {
+                    return;
+                }
+                let mask = self.vnode_tree(vnode).diff_leaves(&leaves);
+                if mask == 0 {
+                    return;
+                }
+                self.stats.sync_leaf_exchanges += 1;
+                let rows = self.rows_in_leaves(vnode, mask);
+                self.stats.sync_rows_shipped += rows.len() as u64;
+                ctx.send(
+                    self.cfg.node_actor(from_node),
+                    SednaMsg::Replica(ReplicaOp::SyncRows {
+                        vnode,
+                        from_node: self.node_id,
+                        leaf_mask: mask,
+                        rows,
+                        reply_wanted: true,
+                    }),
+                );
+            }
+            ReplicaOp::SyncRows {
+                vnode,
+                from_node,
+                leaf_mask,
+                rows,
+                reply_wanted,
+            } => {
+                // Round three: merge the peer's divergent rows (clocks stop
+                // pruned siblings from resurrecting) and, on the first
+                // direction, answer with ours for the same buckets so the
+                // repair is bidirectional.
+                let mut merged = 0u32;
+                for (key, clock, versions) in &rows {
+                    if self.store.merge_row(key, versions, clock) {
+                        merged += 1;
+                    }
+                }
+                self.stats.sync_rows_merged += merged as u64;
+                if merged > 0 {
+                    self.obs.journal.push(
+                        ctx.now(),
+                        sedna_obs::journal::EventKind::AntiEntropy {
+                            vnode,
+                            peer: from_node,
+                            leaves: leaf_mask.count_ones(),
+                            merged,
+                        },
+                    );
+                }
+                if reply_wanted {
+                    let rows = self.rows_in_leaves(vnode, leaf_mask);
+                    self.stats.sync_rows_shipped += rows.len() as u64;
+                    ctx.send(
+                        self.cfg.node_actor(from_node),
+                        SednaMsg::Replica(ReplicaOp::SyncRows {
+                            vnode,
+                            from_node: self.node_id,
+                            leaf_mask,
+                            rows,
+                            reply_wanted: false,
+                        }),
+                    );
+                }
             }
             ReplicaOp::TransferComplete { vnode } => {
                 // Drop only when our own (current) routing agrees we are no
@@ -773,6 +879,7 @@ impl SednaNode {
                     ts,
                     value,
                     kind,
+                    ctx: wctx,
                     trace: _,
                 } => {
                     if self.owns(&key) {
@@ -781,6 +888,7 @@ impl SednaNode {
                             key,
                             ts,
                             value,
+                            ctx: wctx,
                             latest: kind == WriteKind::Latest,
                         });
                     } else {
@@ -838,6 +946,7 @@ impl SednaNode {
                                 &item.key,
                                 item.ts,
                                 &item.value,
+                                &item.ctx,
                                 kind == WriteKind::Latest,
                             )
                             .is_err() =>
@@ -870,7 +979,10 @@ impl SednaNode {
             self.vnode_stats[vnode.index()].record_read();
             self.hot_sketches[vnode.index()].offer(key);
             let reply = match values {
-                Some(values) => ReplicaReadReply::Values(values.to_vec()),
+                Some(snap) => ReplicaReadReply::Values {
+                    versions: snap.to_vec(),
+                    clock: snap.clock(),
+                },
                 None => ReplicaReadReply::Missing,
             };
             acks[i] = Some(ReplicaOp::ReadReply {
@@ -1090,8 +1202,19 @@ impl SednaNode {
                     // Emit-writes trace under the node's own origin (node
                     // ids are disjoint from the 1000+ client origins).
                     let trace = TraceId::compose(self.node_id.0 as u64, op);
+                    // Trigger emits carry no session history: empty context.
                     for (to, rop) in self.emit_writer.begin(
-                        &self.cfg, op, &replicas, w, &key, ts, &value, kind, deadline, trace,
+                        &self.cfg,
+                        op,
+                        &replicas,
+                        w,
+                        &key,
+                        ts,
+                        &value,
+                        &CausalContext::EMPTY,
+                        kind,
+                        deadline,
+                        trace,
                     ) {
                         ctx.send(to, SednaMsg::Replica(rop));
                     }
@@ -1168,6 +1291,7 @@ impl Actor for SednaNode {
                 ReplicaOp::Read { .. } => cfg.read_service_micros,
                 ReplicaOp::Write { .. } => cfg.write_service_micros,
                 ReplicaOp::TransferData { rows, .. } => 2 + rows.len() as Micros / 4,
+                ReplicaOp::SyncRows { rows, .. } => 2 + rows.len() as Micros / 4,
                 // A batch costs the sum of its sub-ops: coalescing saves
                 // network frames, not storage CPU.
                 ReplicaOp::Batch { ops } | ReplicaOp::AckBatch { acks: ops } => {

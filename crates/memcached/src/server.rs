@@ -37,6 +37,7 @@ where
             store: MemStore::new(StoreConfig {
                 shards: 8,
                 memory_budget,
+                ..StoreConfig::default()
             }),
             origin,
             seq: 0,

@@ -13,7 +13,7 @@
 //! store to swap in (copy-on-write). The Dirty/Monitors columns live in
 //! [`crate::row`]'s writer-owned metadata.
 
-use sedna_common::{Timestamp, Value};
+use sedna_common::{CausalContext, Timestamp, Value};
 
 use crate::snap::RowSnapshot;
 
@@ -98,6 +98,145 @@ pub(crate) fn apply_write_all(cur: &[VersionedValue], ts: Timestamp, value: Valu
             Applied::Replaced(RowSnapshot::from_vec(next))
         }
     }
+}
+
+/// Dotted-version-vector write (Preguiça et al.): the causal context `ctx`
+/// is what the writer had read before issuing this write, so every stored
+/// sibling covered by `ctx` was causally observed and is replaced; siblings
+/// *not* covered are concurrent and survive. The incoming dot is `ts`
+/// itself. With `collapse` the surviving set is additionally reduced to the
+/// single freshest element — the per-table last-writer-wins policy — while
+/// preserving the legacy `write_latest` reply contract (strictly older than
+/// the stored maximum ⇒ `Outdated`).
+///
+/// Same-origin dots are issued in program order by the HLC oracle, so the
+/// row keeps at most one sibling per origin: a newer same-origin dot always
+/// causally supersedes the stored one even with an empty context.
+///
+/// The replacement snapshot's clock joins the old clock, `ctx`, and the new
+/// dot, so pruned siblings stay covered forever (no resurrection on merge).
+pub(crate) fn apply_dvv_write(
+    cur: &RowSnapshot,
+    ts: Timestamp,
+    value: Value,
+    ctx: &CausalContext,
+    collapse: bool,
+) -> Applied {
+    let cur_vals = cur.as_slice();
+    match cur_vals.iter().find(|v| v.ts.origin == ts.origin) {
+        Some(own) => {
+            if ts < own.ts {
+                return Applied::Outdated;
+            }
+            if ts == own.ts {
+                return Applied::Unchanged;
+            }
+        }
+        None => {
+            // No live sibling from this origin, but the clock may still
+            // remember the dot: a replay of a causally pruned write.
+            if cur.extra_clock().is_some_and(|clock| clock.covers(&ts)) {
+                return Applied::Outdated;
+            }
+        }
+    }
+    if collapse {
+        // Legacy last-writer-wins reply contract.
+        let max = latest_of(cur_vals).map(|v| v.ts).unwrap_or(Timestamp::ZERO);
+        if ts < max {
+            return Applied::Outdated;
+        }
+        if ts == max && !cur_vals.is_empty() {
+            return Applied::Unchanged;
+        }
+    }
+    let mut clock = cur.clock();
+    clock.join(ctx);
+    clock.observe(&ts);
+    if collapse {
+        // `ts` is ≥ every stored dot and the old clock already covers the
+        // pruned siblings, so the row is exactly the new element.
+        return Applied::Replaced(RowSnapshot::from_parts(
+            vec![VersionedValue { ts, value }],
+            Some(clock),
+        ));
+    }
+    let mut next = Vec::with_capacity(cur_vals.len() + 1);
+    let mut inserted = false;
+    for v in cur_vals {
+        if v.ts.origin == ts.origin {
+            next.push(VersionedValue {
+                ts,
+                value: value.clone(),
+            });
+            inserted = true;
+        } else if !ctx.covers(&v.ts) {
+            next.push(v.clone());
+        }
+    }
+    if !inserted {
+        next.push(VersionedValue { ts, value });
+    }
+    Applied::Replaced(RowSnapshot::from_parts(next, Some(clock)))
+}
+
+/// Dotted-version-vector sync of a row with a remote version list and its
+/// row clock (anti-entropy / read repair / recovery). Per origin, the newer
+/// dot wins; a local sibling whose origin the remote does not list is kept
+/// only if the remote clock does not cover it (otherwise the remote
+/// witnessed and pruned it), and symmetrically for remote-only siblings.
+/// The merged clock is the join. Returns `None` when nothing — list *or*
+/// clock — would change, so no-op merges never swap the row.
+///
+/// Like [`merge_lists`], merging never dirties a row.
+pub(crate) fn merge_dvv(
+    cur: &RowSnapshot,
+    incoming: &[VersionedValue],
+    incoming_clock: &CausalContext,
+) -> Option<RowSnapshot> {
+    let cur_vals = cur.as_slice();
+    let cur_clock = cur.clock();
+    // The effective remote clock always dominates the remote live dots,
+    // even when the caller only had a bare list (legacy wire frames).
+    let mut inc_clock = incoming_clock.clone();
+    for v in incoming {
+        inc_clock.observe(&v.ts);
+    }
+    let mut next = Vec::with_capacity(cur_vals.len() + incoming.len());
+    let mut changed = false;
+    for v in cur_vals {
+        match incoming.iter().find(|i| i.ts.origin == v.ts.origin) {
+            Some(i) if i.ts > v.ts => {
+                next.push(i.clone());
+                changed = true;
+            }
+            Some(_) => next.push(v.clone()),
+            None => {
+                if inc_clock.covers(&v.ts) {
+                    // Remote witnessed this dot and holds no sibling for
+                    // it: it was causally pruned there. Do not resurrect.
+                    changed = true;
+                } else {
+                    next.push(v.clone());
+                }
+            }
+        }
+    }
+    for i in incoming {
+        if cur_vals.iter().any(|v| v.ts.origin == i.ts.origin) {
+            continue;
+        }
+        if cur_clock.covers(&i.ts) {
+            continue;
+        }
+        next.push(i.clone());
+        changed = true;
+    }
+    let merged_clock = cur_clock.joined(&inc_clock);
+    if !changed && merged_clock == cur_clock {
+        return None;
+    }
+    Some(RowSnapshot::from_parts(next, Some(merged_clock)))
 }
 
 /// Merge of a full version list (replica synchronization / recovery):
@@ -278,6 +417,161 @@ mod tests {
             },
         ];
         assert_eq!(payload_of(&row), 4 + 32 + 8 + 32);
+    }
+
+    fn dvv_step(
+        cur: &mut RowSnapshot,
+        ts: Timestamp,
+        value: Value,
+        ctx: &CausalContext,
+        collapse: bool,
+    ) -> WriteOutcome {
+        match apply_dvv_write(cur, ts, value, ctx, collapse) {
+            Applied::Outdated => WriteOutcome::Outdated,
+            Applied::Unchanged => WriteOutcome::Ok,
+            Applied::Replaced(snap) => {
+                *cur = snap;
+                WriteOutcome::Ok
+            }
+        }
+    }
+
+    #[test]
+    fn dvv_concurrent_writes_become_siblings() {
+        let mut row = RowSnapshot::empty();
+        let ctx = CausalContext::EMPTY;
+        dvv_step(&mut row, ts(10, 1), Value::from("a"), &ctx, false);
+        // Concurrent (empty-context) write from another origin with a
+        // *smaller* timestamp: survives as a sibling instead of rejection.
+        dvv_step(&mut row, ts(5, 2), Value::from("b"), &ctx, false);
+        assert_eq!(row.len(), 2, "concurrent write retained as sibling");
+        assert_eq!(latest_of(&row).unwrap().value, Value::from("a"));
+    }
+
+    #[test]
+    fn dvv_causal_context_overwrites_observed_siblings() {
+        let mut row = RowSnapshot::empty();
+        dvv_step(
+            &mut row,
+            ts(10, 1),
+            Value::from("a"),
+            &CausalContext::EMPTY,
+            false,
+        );
+        dvv_step(
+            &mut row,
+            ts(5, 2),
+            Value::from("b"),
+            &CausalContext::EMPTY,
+            false,
+        );
+        // A writer that read both siblings supersedes both, even with a
+        // timestamp smaller than one of them.
+        let ctx = CausalContext::from_dots(row.iter().map(|v| &v.ts));
+        dvv_step(&mut row, ts(7, 3), Value::from("merged"), &ctx, false);
+        assert_eq!(row.len(), 1);
+        assert_eq!(row.latest().unwrap().value, Value::from("merged"));
+        // The clock still remembers the pruned dots.
+        assert!(row.clock().covers(&ts(10, 1)));
+        assert!(row.clock().covers(&ts(5, 2)));
+        // Replaying a pruned dot is outdated, not resurrected.
+        assert!(matches!(
+            apply_dvv_write(
+                &row,
+                ts(10, 1),
+                Value::from("a"),
+                &CausalContext::EMPTY,
+                false
+            ),
+            Applied::Outdated
+        ));
+    }
+
+    #[test]
+    fn dvv_collapse_matches_legacy_replies_but_remembers_dots() {
+        let mut row = RowSnapshot::empty();
+        let ctx = CausalContext::EMPTY;
+        assert_eq!(
+            dvv_step(&mut row, ts(10, 1), Value::from("a"), &ctx, true),
+            WriteOutcome::Ok
+        );
+        assert_eq!(
+            dvv_step(&mut row, ts(5, 2), Value::from("b"), &ctx, true),
+            WriteOutcome::Outdated,
+            "collapse keeps the legacy outdated contract"
+        );
+        assert_eq!(
+            dvv_step(&mut row, ts(20, 2), Value::from("c"), &ctx, true),
+            WriteOutcome::Ok
+        );
+        assert_eq!(row.len(), 1);
+        assert!(
+            row.clock().covers(&ts(10, 1)),
+            "collapsed dot stays covered"
+        );
+    }
+
+    #[test]
+    fn dvv_merge_does_not_resurrect_pruned_siblings() {
+        // Replica A holds both concurrent siblings.
+        let mut a = RowSnapshot::empty();
+        dvv_step(
+            &mut a,
+            ts(10, 1),
+            Value::from("x"),
+            &CausalContext::EMPTY,
+            false,
+        );
+        dvv_step(
+            &mut a,
+            ts(5, 2),
+            Value::from("y"),
+            &CausalContext::EMPTY,
+            false,
+        );
+        // Replica B saw the same state, then a causal overwrite pruned both.
+        let mut b = a.clone();
+        let ctx = CausalContext::from_dots(b.iter().map(|v| &v.ts));
+        dvv_step(&mut b, ts(7, 3), Value::from("z"), &ctx, false);
+        // Sync A <- B: A adopts the overwrite and drops its pruned dots.
+        let merged = merge_dvv(&a, &b.to_vec(), &b.clock()).expect("changes");
+        assert_eq!(merged.to_vec(), b.to_vec());
+        // Sync B <- A: nothing to do except (possibly) clock join — the
+        // pruned siblings must not come back.
+        match merge_dvv(&b, &a.to_vec(), &a.clock()) {
+            None => {}
+            Some(back) => assert_eq!(back.to_vec(), b.to_vec()),
+        }
+    }
+
+    #[test]
+    fn dvv_merge_converges_and_joins_clocks() {
+        let mut a = RowSnapshot::empty();
+        dvv_step(
+            &mut a,
+            ts(10, 1),
+            Value::from("x"),
+            &CausalContext::EMPTY,
+            false,
+        );
+        let mut b = RowSnapshot::empty();
+        dvv_step(
+            &mut b,
+            ts(6, 2),
+            Value::from("y"),
+            &CausalContext::EMPTY,
+            false,
+        );
+        let ab = merge_dvv(&a, &b.to_vec(), &b.clock()).expect("changed");
+        let ba = merge_dvv(&b, &a.to_vec(), &a.clock()).expect("changed");
+        let mut ab_dots: Vec<_> = ab.iter().map(|v| v.ts).collect();
+        let mut ba_dots: Vec<_> = ba.iter().map(|v| v.ts).collect();
+        ab_dots.sort();
+        ba_dots.sort();
+        assert_eq!(ab_dots, ba_dots);
+        assert_eq!(ab.clock(), ba.clock());
+        // Merging again in either direction is a no-op.
+        assert!(merge_dvv(&ab, &ba.to_vec(), &ba.clock()).is_none());
     }
 
     #[test]

@@ -46,6 +46,7 @@
 
 pub mod engine;
 pub mod entry;
+pub mod policy;
 mod row;
 pub mod sketch;
 mod snap;
@@ -55,6 +56,7 @@ mod table;
 
 pub use engine::EngineSnapshot;
 pub use entry::{VersionedValue, WriteOutcome};
+pub use policy::{ResolutionConfig, ResolverFn, TablePolicy};
 pub use sketch::{HotKey, SpaceSaving};
 pub use snap::RowSnapshot;
 pub use stats::StoreStats;

@@ -1,0 +1,100 @@
+//! Per-table sibling-resolution policies.
+//!
+//! With dotted version vectors the store can tell *causal* overwrites from
+//! *concurrent* ones. What to do with concurrent siblings is an application
+//! choice, selected per table (the hierarchical key space's second
+//! component):
+//!
+//! * [`TablePolicy::LastWriterWins`] — `write_latest` collapses the row to
+//!   the freshest timestamp, the paper's Sec. III-C behaviour. Concurrent
+//!   writes are silently dominated; the row clock still remembers their
+//!   dots so anti-entropy cannot resurrect them.
+//! * [`TablePolicy::Siblings`] — concurrent writes are all retained (one
+//!   per origin) until a causally dominating write prunes them. Readers see
+//!   every sibling via `read_all`; `read_latest` renders the freshest, or
+//!   an application-registered resolver (see [`MemStore::set_resolver`])
+//!   merges them server-side.
+//!
+//! [`MemStore::set_resolver`]: crate::MemStore::set_resolver
+
+use sedna_common::{Key, Value};
+
+use crate::entry::VersionedValue;
+
+/// How concurrent siblings of one row are resolved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TablePolicy {
+    /// Collapse to the freshest timestamp on `write_latest` (paper
+    /// semantics). The default.
+    #[default]
+    LastWriterWins,
+    /// Retain concurrent siblings until causally dominated.
+    Siblings,
+}
+
+/// Policy selection: a default plus per-table-prefix overrides. Prefixes
+/// are matched against the flat key bytes (see
+/// `sedna_common::KeyPath::prefix_for_table`); the first match wins.
+#[derive(Clone, Debug, Default)]
+pub struct ResolutionConfig {
+    /// Policy for keys matching no table override.
+    pub default: TablePolicy,
+    /// `(flat-key prefix, policy)` overrides, first match wins.
+    pub tables: Vec<(Vec<u8>, TablePolicy)>,
+}
+
+impl ResolutionConfig {
+    /// Every table resolves with `policy`.
+    pub fn uniform(policy: TablePolicy) -> ResolutionConfig {
+        ResolutionConfig {
+            default: policy,
+            tables: Vec::new(),
+        }
+    }
+
+    /// Adds a per-table override (builder-style).
+    pub fn with_table(mut self, prefix: Vec<u8>, policy: TablePolicy) -> ResolutionConfig {
+        self.tables.push((prefix, policy));
+        self
+    }
+
+    /// The policy governing `key`.
+    pub fn policy_for(&self, key: &Key) -> TablePolicy {
+        let bytes = key.as_bytes();
+        for (prefix, policy) in &self.tables {
+            if bytes.starts_with(prefix) {
+                return *policy;
+            }
+        }
+        self.default
+    }
+}
+
+/// An application-supplied sibling resolver: merges a row's concurrent
+/// siblings into the single value `read_latest` should serve. Called only
+/// when a row holds two or more siblings.
+pub type ResolverFn = dyn Fn(&[VersionedValue]) -> Value + Send + Sync;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_matching_prefix_wins_else_default() {
+        let cfg = ResolutionConfig::uniform(TablePolicy::LastWriterWins)
+            .with_table(b"carts".to_vec(), TablePolicy::Siblings)
+            .with_table(b"c".to_vec(), TablePolicy::LastWriterWins);
+        assert_eq!(
+            cfg.policy_for(&Key::from_bytes(&b"carts\x1fuser1"[..])),
+            TablePolicy::Siblings
+        );
+        assert_eq!(
+            cfg.policy_for(&Key::from_bytes(&b"counters\x1fx"[..])),
+            TablePolicy::LastWriterWins
+        );
+        assert_eq!(
+            cfg.policy_for(&Key::from_bytes(&b"other"[..])),
+            TablePolicy::LastWriterWins
+        );
+    }
+}

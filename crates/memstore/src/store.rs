@@ -31,20 +31,21 @@
 //! intermediate changes, Sec. IV-B).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use crossbeam::epoch::{self, Guard};
 use parking_lot::{Mutex, MutexGuard};
 use sedna_common::hashing::fnv1a64;
-use sedna_common::{Key, Timestamp, Value};
+use sedna_common::{CausalContext, Key, Timestamp, Value};
 use sedna_obs::flight::{self, FlightKind};
 
 use crate::engine::{self, EngineSnapshot, EngineStats};
 use crate::entry::{
-    apply_write_all, apply_write_latest, latest_of, merge_lists, payload_of, Applied,
-    VersionedValue, WriteOutcome,
+    apply_dvv_write, apply_write_all, apply_write_latest, latest_of, merge_dvv, merge_lists,
+    payload_of, Applied, VersionedValue, WriteOutcome,
 };
+use crate::policy::{ResolutionConfig, ResolverFn, TablePolicy};
 use crate::row::{Row, RowMeta, RowSlab, PAGE};
 use crate::snap::RowSnapshot;
 use crate::stats::{StatsSnapshot, StoreStats};
@@ -62,13 +63,20 @@ const MIN_TABLE_CAP: usize = 8;
 const EVICT_SAMPLE: usize = 16;
 
 /// Store configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct StoreConfig {
     /// Number of shards; rounded up to a power of two, minimum 1.
     pub shards: usize,
     /// Optional memory budget in bytes across all shards; `None` disables
     /// eviction (the paper's data nodes used a fixed 4 GB budget).
     pub memory_budget: Option<usize>,
+    /// Per-table sibling resolution under dotted version vectors.
+    pub resolution: ResolutionConfig,
+    /// Paper-exact bare-timestamp mode: causal contexts are ignored, rows
+    /// never track clocks, and `write_latest` is raw timestamp-wins. Kept
+    /// selectable so the checker can demonstrate the data-loss hazard DVV
+    /// removes (the skewed-clock mutation-sanity sweep).
+    pub legacy_timestamps: bool,
 }
 
 impl Default for StoreConfig {
@@ -76,6 +84,8 @@ impl Default for StoreConfig {
         StoreConfig {
             shards: 16,
             memory_budget: None,
+            resolution: ResolutionConfig::default(),
+            legacy_timestamps: false,
         }
     }
 }
@@ -147,6 +157,8 @@ pub struct BatchWrite {
     pub ts: Timestamp,
     /// The value to store.
     pub value: Value,
+    /// The writer's causal context (empty = blind write).
+    pub ctx: CausalContext,
     /// `true` = `write_latest` semantics, `false` = `write_all`.
     pub latest: bool,
 }
@@ -193,6 +205,12 @@ pub struct MemStore {
     shards: Box<[Shard]>,
     mask: u64,
     budget_per_shard: Option<usize>,
+    resolution: ResolutionConfig,
+    legacy: bool,
+    /// Application sibling resolvers, `(flat-key prefix, fn)`. Consulted
+    /// only when a read sees two or more siblings, behind the fast flag.
+    resolvers: RwLock<Vec<(Vec<u8>, Arc<ResolverFn>)>>,
+    has_resolvers: AtomicBool,
     stats: StoreStats,
     engine: EngineStats,
 }
@@ -210,9 +228,39 @@ impl MemStore {
             shards: shards.into_boxed_slice(),
             mask: (n - 1) as u64,
             budget_per_shard: config.memory_budget.map(|b| b / n),
+            resolution: config.resolution,
+            legacy: config.legacy_timestamps,
+            resolvers: RwLock::new(Vec::new()),
+            has_resolvers: AtomicBool::new(false),
             stats: StoreStats::default(),
             engine: EngineStats::new(),
         }
+    }
+
+    /// Registers an application sibling resolver for keys under `prefix`
+    /// (see [`crate::policy`]): when a read finds two or more concurrent
+    /// siblings, `read_latest` serves `resolver(siblings)` stamped with the
+    /// freshest dot instead of raw last-writer-wins. Storage keeps the
+    /// siblings; the resolver is a read-side view.
+    pub fn set_resolver(&self, prefix: Vec<u8>, resolver: Arc<ResolverFn>) {
+        let mut resolvers = self.resolvers.write().unwrap_or_else(|e| e.into_inner());
+        resolvers.push((prefix, resolver));
+        self.has_resolvers.store(true, Ordering::Release);
+    }
+
+    fn resolve_siblings(&self, key: &Key, versions: &[VersionedValue]) -> Option<VersionedValue> {
+        if versions.len() < 2 || !self.has_resolvers.load(Ordering::Acquire) {
+            return None;
+        }
+        let resolvers = self.resolvers.read().unwrap_or_else(|e| e.into_inner());
+        let (_, resolver) = resolvers
+            .iter()
+            .find(|(prefix, _)| key.as_bytes().starts_with(prefix))?;
+        let ts = latest_of(versions).expect("non-empty").ts;
+        Some(VersionedValue {
+            ts,
+            value: resolver(versions),
+        })
     }
 
     /// Acquires a shard's writer mutex, timing only contended acquires
@@ -258,23 +306,71 @@ impl MemStore {
         (fnv1a64(key.as_bytes()) & self.mask) as usize
     }
 
-    /// Applies a `write_latest` (Sec. III-F): newest timestamp wins, the
-    /// value list collapses to one element.
+    /// Applies a `write_latest` (Sec. III-F) with no causal context — a
+    /// blind write. Under the default LWW policy the newest timestamp wins
+    /// and the value list collapses to one element.
     pub fn write_latest(&self, key: &Key, ts: Timestamp, value: Value) -> WriteOutcome {
+        self.write_latest_ctx(key, ts, value, &CausalContext::EMPTY)
+    }
+
+    /// `write_latest` carrying the writer's causal context: siblings the
+    /// writer had observed are causally superseded; concurrent siblings
+    /// survive when the key's table policy retains them.
+    pub fn write_latest_ctx(
+        &self,
+        key: &Key,
+        ts: Timestamp,
+        value: Value,
+        ctx: &CausalContext,
+    ) -> WriteOutcome {
         let (shard, h) = self.route(key);
         let guard = epoch::pin();
         let mut inner = self.lock_shard(shard);
-        self.write_one(shard, &mut inner, &guard, key, h, ts, value, true)
+        self.write_one(shard, &mut inner, &guard, key, h, ts, value, ctx, true)
             .0
     }
 
-    /// Applies a `write_all` (Sec. III-F): per-source element update.
+    /// Applies a `write_all` (Sec. III-F) with no causal context.
     pub fn write_all(&self, key: &Key, ts: Timestamp, value: Value) -> WriteOutcome {
+        self.write_all_ctx(key, ts, value, &CausalContext::EMPTY)
+    }
+
+    /// `write_all` carrying the writer's causal context.
+    pub fn write_all_ctx(
+        &self,
+        key: &Key,
+        ts: Timestamp,
+        value: Value,
+        ctx: &CausalContext,
+    ) -> WriteOutcome {
         let (shard, h) = self.route(key);
         let guard = epoch::pin();
         let mut inner = self.lock_shard(shard);
-        self.write_one(shard, &mut inner, &guard, key, h, ts, value, false)
+        self.write_one(shard, &mut inner, &guard, key, h, ts, value, ctx, false)
             .0
+    }
+
+    /// Pure write decision against the current row state, honouring the
+    /// store's resolver mode: legacy bare-timestamp semantics, or the DVV
+    /// put with the key's table policy choosing sibling collapse.
+    fn decide_write(
+        &self,
+        key: &Key,
+        cur: &RowSnapshot,
+        ts: Timestamp,
+        value: Value,
+        ctx: &CausalContext,
+        latest: bool,
+    ) -> Applied {
+        if self.legacy {
+            return if latest {
+                apply_write_latest(cur.as_slice(), ts, value)
+            } else {
+                apply_write_all(cur.as_slice(), ts, value)
+            };
+        }
+        let collapse = latest && self.resolution.policy_for(key) == TablePolicy::LastWriterWins;
+        apply_dvv_write(cur, ts, value, ctx, collapse)
     }
 
     /// Shared write path (shard mutex held). Returns the outcome and
@@ -289,6 +385,7 @@ impl MemStore {
         h: u64,
         ts: Timestamp,
         value: Value,
+        ctx: &CausalContext,
         latest: bool,
     ) -> (WriteOutcome, bool) {
         let counter = if latest {
@@ -302,13 +399,11 @@ impl MemStore {
             Locate::Found(_, p) => {
                 // SAFETY: row is live (writer lock held) and we are pinned.
                 let row = unsafe { &*p };
-                let cur = unsafe { row.peek(guard) };
+                // Refcount bump, not a deep copy: the decision functions
+                // need the row clock as well as the version slice.
+                let cur = unsafe { row.snapshot() };
                 let was_new = cur.is_empty();
-                let applied = if latest {
-                    apply_write_latest(cur, ts, value)
-                } else {
-                    apply_write_all(cur, ts, value)
-                };
+                let applied = self.decide_write(key, &cur, ts, value, ctx, latest);
                 match applied {
                     Applied::Outdated => {
                         StoreStats::bump(&self.stats.outdated);
@@ -326,11 +421,11 @@ impl MemStore {
                         if !meta.dirty && meta.pending_old.is_none() {
                             // O(1) pre-change snapshot: a refcount bump of
                             // whatever the row held.
-                            meta.pending_old = Some(unsafe { row.snapshot() });
+                            meta.pending_old = Some(cur.clone());
                         }
                         meta.dirty = true;
                         inner.payload_bytes =
-                            inner.payload_bytes + payload_of(&new) - payload_of(cur);
+                            inner.payload_bytes + payload_of(&new) - payload_of(&cur);
                         // SAFETY: writer lock + guard held.
                         unsafe { row.replace_snap(new, guard) };
                         shard.touch(row);
@@ -341,11 +436,7 @@ impl MemStore {
                 }
             }
             Locate::Vacant(_) => {
-                let applied = if latest {
-                    apply_write_latest(&[], ts, value)
-                } else {
-                    apply_write_all(&[], ts, value)
-                };
+                let applied = self.decide_write(key, &RowSnapshot::empty(), ts, value, ctx, latest);
                 let Applied::Replaced(new) = applied else {
                     // Writes against an empty row always apply.
                     unreachable!("write into empty row must replace");
@@ -454,7 +545,9 @@ impl MemStore {
 
     /// Reads the freshest element of the row (`read_latest`). Lock-free:
     /// pin, probe, clone one element (refcount bumps only — no heap
-    /// allocation).
+    /// allocation). When the key has a registered application resolver and
+    /// the row holds concurrent siblings, the resolver's merged view is
+    /// served instead of raw freshest-timestamp.
     pub fn read_latest(&self, key: &Key) -> Option<VersionedValue> {
         let (shard, h) = self.route(key);
         let guard = epoch::pin();
@@ -462,7 +555,11 @@ impl MemStore {
         let mut found = None;
         if let Some(p) = unsafe { self.lookup(shard, h, key) } {
             let row = unsafe { &*p };
-            if let Some(v) = latest_of(unsafe { row.peek(&guard) }) {
+            let versions = unsafe { row.peek(&guard) };
+            if let Some(resolved) = self.resolve_siblings(key, versions) {
+                found = Some(resolved);
+                shard.touch(row);
+            } else if let Some(v) = latest_of(versions) {
                 found = Some(v.clone());
                 shard.touch(row);
             }
@@ -528,6 +625,7 @@ impl MemStore {
                     h,
                     op.ts,
                     op.value.clone(),
+                    &op.ctx,
                     op.latest,
                 );
                 results[i] = Some(BatchWriteResult { outcome, was_new });
@@ -568,11 +666,25 @@ impl MemStore {
         results
     }
 
-    /// Merges a replica's version list into the row without dirtying it
-    /// (replica synchronization / read repair). Returns true when the row
-    /// changed.
+    /// Merges a replica's bare version list into the row (legacy wire
+    /// frames / recovery) — equivalent to [`MemStore::merge_row`] with an
+    /// empty remote clock. Returns true when the row changed.
     pub fn merge_versions(&self, key: &Key, incoming: &[VersionedValue]) -> bool {
-        if incoming.is_empty() {
+        self.merge_row(key, incoming, &CausalContext::EMPTY)
+    }
+
+    /// Merges a replica's version list *and row clock* into the row without
+    /// dirtying it (replica synchronization / read repair). The remote
+    /// clock is what lets this replica drop siblings the remote causally
+    /// pruned instead of resurrecting them. Returns true when the row
+    /// changed (list or clock).
+    pub fn merge_row(
+        &self,
+        key: &Key,
+        incoming: &[VersionedValue],
+        incoming_clock: &CausalContext,
+    ) -> bool {
+        if incoming.is_empty() && incoming_clock.is_empty() {
             return false;
         }
         let (shard, h) = self.route(key);
@@ -583,22 +695,42 @@ impl MemStore {
         match table.locate(h, key) {
             Locate::Found(_, p) => {
                 let row = unsafe { &*p };
-                let cur = unsafe { row.peek(&guard) };
-                match merge_lists(cur, incoming) {
+                // Refcount bump: the merge needs the row clock too.
+                let cur = unsafe { row.snapshot() };
+                let next = if self.legacy {
+                    merge_lists(cur.as_slice(), incoming).map(RowSnapshot::from_vec)
+                } else {
+                    merge_dvv(&cur, incoming, incoming_clock)
+                };
+                match next {
                     None => false,
-                    Some(next) => {
+                    Some(snap) => {
                         inner.payload_bytes =
-                            inner.payload_bytes + payload_of(&next) - payload_of(cur);
+                            inner.payload_bytes + payload_of(&snap) - payload_of(&cur);
                         // SAFETY: writer lock + guard held.
-                        unsafe { row.replace_snap(RowSnapshot::from_vec(next), &guard) };
+                        unsafe { row.replace_snap(snap, &guard) };
                         shard.touch(row);
                         true
                     }
                 }
             }
             Locate::Vacant(_) => {
-                let next = merge_lists(&[], incoming).expect("non-empty incoming on empty row");
-                let snap = RowSnapshot::from_vec(next);
+                if incoming.is_empty() {
+                    return false;
+                }
+                let snap = if self.legacy {
+                    RowSnapshot::from_vec(
+                        merge_lists(&[], incoming).expect("non-empty incoming on empty row"),
+                    )
+                } else {
+                    merge_dvv(&RowSnapshot::empty(), incoming, incoming_clock)
+                        .expect("non-empty incoming on empty row")
+                };
+                if snap.is_empty() {
+                    // Every incoming sibling was already covered: nothing
+                    // worth materializing a row for.
+                    return false;
+                }
                 inner.payload_bytes += key.len() + payload_of(&snap) + ROW_OVERHEAD;
                 let stamp = shard.clock.fetch_add(1, Ordering::Relaxed);
                 let row = Row::new(key.clone(), h, snap, RowMeta::default(), stamp);
@@ -840,6 +972,32 @@ impl MemStore {
         drop(guard);
     }
 
+    /// Visits every stored row as a full snapshot — version list *and* row
+    /// clock — for the persistence snapshot writer and the anti-entropy
+    /// tree builder. Lock-free; snapshots are refcount bumps.
+    pub fn for_each_row(&self, mut f: impl FnMut(&Key, &RowSnapshot)) {
+        let guard = epoch::pin();
+        for shard in self.shards.iter() {
+            // SAFETY: pinned.
+            let table = unsafe { shard.table() };
+            for slot in table.slots.iter() {
+                if !is_live(slot.meta.load(Ordering::Acquire)) {
+                    continue;
+                }
+                let p = slot.row.load(Ordering::Acquire);
+                if p.is_null() {
+                    continue;
+                }
+                let row = unsafe { &*p };
+                let snap = unsafe { row.snapshot() };
+                if !snap.is_empty() {
+                    f(&row.key, &snap);
+                }
+            }
+        }
+        drop(guard);
+    }
+
     /// Number of rows with data.
     pub fn len(&self) -> usize {
         let mut n = 0;
@@ -1009,6 +1167,7 @@ mod tests {
         MemStore::new(StoreConfig {
             shards: 4,
             memory_budget: None,
+            ..StoreConfig::default()
         })
     }
 
@@ -1070,6 +1229,7 @@ mod tests {
         let s = MemStore::new(StoreConfig {
             shards: 1,
             memory_budget: Some(4 * (3 + 20 + 32 + ROW_OVERHEAD)),
+            ..StoreConfig::default()
         });
         for i in 0..8 {
             let k = Key::from(format!("k-{i}"));
@@ -1092,6 +1252,7 @@ mod tests {
         let s = MemStore::new(StoreConfig {
             shards: 1,
             memory_budget: Some(budget),
+            ..StoreConfig::default()
         });
         for i in 0..3 {
             s.write_latest(
@@ -1113,6 +1274,7 @@ mod tests {
         let s = MemStore::new(StoreConfig {
             shards: 1,
             memory_budget: Some(budget),
+            ..StoreConfig::default()
         });
         let hot = Key::from("hot");
         s.write_latest(&hot, ts(1, 0), Value::from("12345678"));
@@ -1153,6 +1315,7 @@ mod tests {
         let s = MemStore::new(StoreConfig {
             shards: 8,
             memory_budget: None,
+            ..StoreConfig::default()
         });
         for i in 0..100 {
             s.write_latest(&Key::from(format!("k{i}")), ts(i + 1, 0), Value::from("v"));
@@ -1270,6 +1433,7 @@ mod tests {
                 key: Key::from(format!("k-{}", i % 7)),
                 ts: ts(i + 1, (i % 3) as u32),
                 value: Value::from(format!("v{i}")),
+                ctx: CausalContext::EMPTY,
                 latest: i % 2 == 0,
             });
         }
@@ -1278,6 +1442,7 @@ mod tests {
             key: Key::from("k-0"),
             ts: ts(1, 0),
             value: Value::from("stale"),
+            ctx: CausalContext::EMPTY,
             latest: true,
         });
         let mut expected = Vec::new();
@@ -1326,12 +1491,14 @@ mod tests {
         let s = MemStore::new(StoreConfig {
             shards: 1,
             memory_budget: Some(budget),
+            ..StoreConfig::default()
         });
         let ops: Vec<BatchWrite> = (0..8)
             .map(|i| BatchWrite {
                 key: Key::from(format!("k-{i}")),
                 ts: ts(i as u64 + 1, 0),
                 value: Value::from("x".repeat(20)),
+                ctx: CausalContext::EMPTY,
                 latest: true,
             })
             .collect();
@@ -1350,6 +1517,7 @@ mod tests {
         let s = MemStore::new(StoreConfig {
             shards: 1,
             memory_budget: None,
+            ..StoreConfig::default()
         });
         for round in 0..2_000u64 {
             let k = Key::from(format!("r-{round}"));
@@ -1380,6 +1548,7 @@ mod tests {
         let s = MemStore::new(StoreConfig {
             shards: 1,
             memory_budget: Some(budget),
+            ..StoreConfig::default()
         });
         for i in 0..64 {
             s.write_latest(
@@ -1428,6 +1597,7 @@ mod tests {
                 key: Key::from(format!("b-{i}")),
                 ts: ts(i + 1, 0),
                 value: Value::from("v"),
+                ctx: CausalContext::EMPTY,
                 latest: true,
             })
             .collect();
@@ -1446,6 +1616,7 @@ mod tests {
         let s = Arc::new(MemStore::new(StoreConfig {
             shards: 8,
             memory_budget: None,
+            ..StoreConfig::default()
         }));
         let key = Key::from("contended");
         let mut handles = Vec::new();
@@ -1474,6 +1645,7 @@ mod tests {
         let s = Arc::new(MemStore::new(StoreConfig {
             shards: 8,
             memory_budget: None,
+            ..StoreConfig::default()
         }));
         let key = Key::from("list");
         let mut handles = Vec::new();

@@ -48,6 +48,7 @@ fn readers_always_observe_torn_free_previously_written_snapshots() {
     let store = Arc::new(MemStore::new(StoreConfig {
         shards: 4,
         memory_budget: None,
+        ..StoreConfig::default()
     }));
     let done = Arc::new(AtomicBool::new(false));
     let keys: Vec<Key> = (0..KEYS)
@@ -127,6 +128,7 @@ fn concurrent_write_all_readers_see_consistent_elements() {
     let store = Arc::new(MemStore::new(StoreConfig {
         shards: 4,
         memory_budget: None,
+        ..StoreConfig::default()
     }));
     let key = Key::from("multi-origin");
     let done = Arc::new(AtomicBool::new(false));

@@ -78,6 +78,19 @@ pub enum EventKind {
         /// True on join, false on leave/expiry.
         joined: bool,
     },
+    /// An anti-entropy exchange repaired divergence on a vnode: Merkle
+    /// diffing localized `leaves` differing leaf buckets and merging the
+    /// peer's rows changed `merged` local rows.
+    AntiEntropy {
+        /// The vnode repaired.
+        vnode: VNodeId,
+        /// The peer the rows came from.
+        peer: NodeId,
+        /// Differing Merkle leaf buckets in this exchange.
+        leaves: u32,
+        /// Rows whose local state changed by merging.
+        merged: u32,
+    },
 }
 
 impl fmt::Display for EventKind {
@@ -113,6 +126,17 @@ impl fmt::Display for EventKind {
             }
             EventKind::Rebalance { vnode, from, to } => {
                 write!(f, "rebalance {vnode:?} {from:?} -> {to:?}")
+            }
+            EventKind::AntiEntropy {
+                vnode,
+                peer,
+                leaves,
+                merged,
+            } => {
+                write!(
+                    f,
+                    "anti-entropy {vnode:?} peer={peer:?} leaves={leaves} merged={merged}"
+                )
             }
             EventKind::Membership { node, joined } => {
                 write!(

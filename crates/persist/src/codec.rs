@@ -4,7 +4,7 @@
 //! part of the system's crash-safety story, so every byte is explicit and
 //! pinned by tests.
 
-use sedna_common::{NodeId, Timestamp};
+use sedna_common::{CausalContext, NodeId, Timestamp};
 
 /// CRC-32 (IEEE 802.3, reflected), table-driven.
 pub fn crc32(bytes: &[u8]) -> u32 {
@@ -74,6 +74,18 @@ impl Encoder {
         self.u64(ts.micros);
         self.u32(ts.counter);
         self.u32(ts.origin.0);
+    }
+
+    /// Appends a causal context: entry count then `(origin, micros,
+    /// counter)` per entry (4 + 16n bytes). An empty context is just the
+    /// zero count.
+    pub fn context(&mut self, ctx: &CausalContext) {
+        self.u32(ctx.len() as u32);
+        for (actor, (micros, counter)) in ctx.entries() {
+            self.u32(actor.0);
+            self.u64(micros);
+            self.u32(counter);
+        }
     }
 }
 
@@ -147,6 +159,19 @@ impl<'a> Decoder<'a> {
             origin,
         })
     }
+
+    /// Reads a causal context written by [`Encoder::context`].
+    pub fn context(&mut self) -> Result<CausalContext, DecodeError> {
+        let count = self.u32()?;
+        let mut ctx = CausalContext::new();
+        for _ in 0..count {
+            let actor = NodeId(self.u32()?);
+            let micros = self.u64()?;
+            let counter = self.u32()?;
+            ctx.observe_seq(actor, (micros, counter));
+        }
+        Ok(ctx)
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +200,21 @@ mod tests {
         assert_eq!(d.u64().unwrap(), u64::MAX - 3);
         assert_eq!(d.bytes().unwrap(), b"payload");
         assert_eq!(d.timestamp().unwrap(), Timestamp::new(123, 45, NodeId(6)));
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn context_roundtrip_including_empty() {
+        let mut ctx = CausalContext::new();
+        ctx.observe(&Timestamp::new(10, 2, NodeId(1)));
+        ctx.observe(&Timestamp::new(7, 0, NodeId(1_001)));
+        let mut e = Encoder::new();
+        e.context(&CausalContext::EMPTY);
+        e.context(&ctx);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.context().unwrap(), CausalContext::EMPTY);
+        assert_eq!(d.context().unwrap(), ctx);
         assert!(d.is_done());
     }
 

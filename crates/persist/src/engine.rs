@@ -9,7 +9,7 @@ use std::path::{Path, PathBuf};
 
 use parking_lot::Mutex;
 use sedna_common::time::Micros;
-use sedna_common::{Key, SednaResult, Timestamp, Value};
+use sedna_common::{CausalContext, Key, SednaResult, Timestamp, Value};
 use sedna_memstore::MemStore;
 
 use crate::snapshot::{load_snapshot, write_snapshot};
@@ -89,6 +89,7 @@ impl PersistEngine {
         key: &Key,
         ts: Timestamp,
         value: &Value,
+        ctx: &CausalContext,
         latest: bool,
     ) -> SednaResult<()> {
         let record = if latest {
@@ -96,12 +97,14 @@ impl PersistEngine {
                 key: key.clone(),
                 ts,
                 value: value.clone(),
+                ctx: ctx.clone(),
             }
         } else {
             WalRecord::WriteAll {
                 key: key.clone(),
                 ts,
                 value: value.clone(),
+                ctx: ctx.clone(),
             }
         };
         self.append_record(&record)
@@ -204,11 +207,21 @@ impl PersistEngine {
             replayed = records.len() as u64;
             for r in records {
                 match r {
-                    WalRecord::WriteLatest { key, ts, value } => {
-                        store.write_latest(&key, ts, value);
+                    WalRecord::WriteLatest {
+                        key,
+                        ts,
+                        value,
+                        ctx,
+                    } => {
+                        store.write_latest_ctx(&key, ts, value, &ctx);
                     }
-                    WalRecord::WriteAll { key, ts, value } => {
-                        store.write_all(&key, ts, value);
+                    WalRecord::WriteAll {
+                        key,
+                        ts,
+                        value,
+                        ctx,
+                    } => {
+                        store.write_all_ctx(&key, ts, value, &ctx);
                     }
                     WalRecord::Remove { key } => {
                         store.remove(&key);
@@ -297,7 +310,8 @@ mod tests {
                 let k = Key::from(format!("k{i}"));
                 let v = Value::from(format!("v{i}"));
                 s.write_latest(&k, ts(i + 1), v.clone());
-                e.note_write(&k, ts(i + 1), &v, true).unwrap();
+                e.note_write(&k, ts(i + 1), &v, &CausalContext::EMPTY, true)
+                    .unwrap();
             }
             e.note_remove(&Key::from("k3")).unwrap();
             // No snapshot taken — simulate a crash by dropping everything.
@@ -326,13 +340,25 @@ mod tests {
         let s = MemStore::new(StoreConfig::default());
         // Phase 1: logged writes, then a snapshot (truncates the log).
         s.write_latest(&Key::from("a"), ts(1), Value::from("1"));
-        e.note_write(&Key::from("a"), ts(1), &Value::from("1"), true)
-            .unwrap();
+        e.note_write(
+            &Key::from("a"),
+            ts(1),
+            &Value::from("1"),
+            &CausalContext::EMPTY,
+            true,
+        )
+        .unwrap();
         assert!(e.tick(2_000, &s).unwrap(), "snapshot taken");
         // Phase 2: more writes after the snapshot, only in the WAL.
         s.write_latest(&Key::from("b"), ts(2), Value::from("2"));
-        e.note_write(&Key::from("b"), ts(2), &Value::from("2"), true)
-            .unwrap();
+        e.note_write(
+            &Key::from("b"),
+            ts(2),
+            &Value::from("2"),
+            &CausalContext::EMPTY,
+            true,
+        )
+        .unwrap();
         // Recover into a fresh store: snapshot row 'a' + wal record 'b'.
         let fresh = MemStore::new(StoreConfig::default());
         let (rows, replayed) = e.recover(&fresh).unwrap();
@@ -353,16 +379,34 @@ mod tests {
             e.arm_crash_after(2);
             for i in 0..2u64 {
                 let k = Key::from(format!("k{i}"));
-                e.note_write(&k, ts(i + 1), &Value::from("v"), true)
-                    .unwrap();
+                e.note_write(
+                    &k,
+                    ts(i + 1),
+                    &Value::from("v"),
+                    &CausalContext::EMPTY,
+                    true,
+                )
+                .unwrap();
             }
             // Third append hits the crash point: torn frame, engine dead.
-            let torn = e.note_write(&Key::from("k2"), ts(3), &Value::from("v"), true);
+            let torn = e.note_write(
+                &Key::from("k2"),
+                ts(3),
+                &Value::from("v"),
+                &CausalContext::EMPTY,
+                true,
+            );
             assert!(torn.is_err());
             assert!(e.crashed());
             assert!(
-                e.note_write(&Key::from("k3"), ts(4), &Value::from("v"), true)
-                    .is_err(),
+                e.note_write(
+                    &Key::from("k3"),
+                    ts(4),
+                    &Value::from("v"),
+                    &CausalContext::EMPTY,
+                    true
+                )
+                .is_err(),
                 "a crashed engine stays dead"
             );
         }
@@ -374,8 +418,14 @@ mod tests {
         assert!(!fresh.contains(&Key::from("k2")), "torn write never lands");
         // Post-recovery appends must survive a *second* recovery — this is
         // what the tail repair buys.
-        e.note_write(&Key::from("after"), ts(9), &Value::from("v"), true)
-            .unwrap();
+        e.note_write(
+            &Key::from("after"),
+            ts(9),
+            &Value::from("v"),
+            &CausalContext::EMPTY,
+            true,
+        )
+        .unwrap();
         let again = MemStore::new(StoreConfig::default());
         let (_, replayed2) = PersistEngine::new(&dir, mode)
             .unwrap()
@@ -394,8 +444,14 @@ mod tests {
         };
         {
             let e = PersistEngine::new(&dir, mode).unwrap();
-            e.note_write(&Key::from("a"), ts(1), &Value::from("1"), true)
-                .unwrap();
+            e.note_write(
+                &Key::from("a"),
+                ts(1),
+                &Value::from("1"),
+                &CausalContext::EMPTY,
+                true,
+            )
+            .unwrap();
             e.inject_torn_append().unwrap();
             assert!(e.crashed());
         }
@@ -419,6 +475,7 @@ mod tests {
             &k,
             Timestamp::new(1, 0, NodeId(1)),
             &Value::from("s1"),
+            &CausalContext::EMPTY,
             false,
         )
         .unwrap();
@@ -426,6 +483,7 @@ mod tests {
             &k,
             Timestamp::new(2, 0, NodeId(2)),
             &Value::from("s2"),
+            &CausalContext::EMPTY,
             false,
         )
         .unwrap();

@@ -1,7 +1,9 @@
 //! Full-store snapshots (the paper's "periodic data flushing").
 //!
 //! Layout: `MAGIC "SEDNASNP" | row_count: u64 | rows… | crc32(all rows)`.
-//! Each row: `key | version_count | (ts, value)…` via the shared codec.
+//! Each row: `key | row_clock | version_count | (ts, value)…` via the
+//! shared codec — the row clock carries the dots the row has witnessed
+//! *and pruned*, so a recovered replica cannot resurrect dead siblings.
 //! Written to a temp file and atomically renamed, so a crash mid-flush
 //! leaves the previous snapshot intact.
 
@@ -23,8 +25,10 @@ pub fn write_snapshot(path: impl AsRef<Path>, store: &MemStore) -> SednaResult<u
     let path = path.as_ref();
     let mut body = Encoder::new();
     let mut rows = 0u64;
-    store.for_each(|key, versions| {
+    store.for_each_row(|key, snap| {
         body.bytes(key.as_bytes());
+        body.context(&snap.clock());
+        let versions = snap.as_slice();
         body.u32(versions.len() as u32);
         for v in versions {
             body.timestamp(v.ts);
@@ -75,6 +79,9 @@ pub fn load_snapshot(path: impl AsRef<Path>, store: &MemStore) -> SednaResult<u6
                 .map_err(|_| SednaError::Persistence("truncated snapshot row".into()))?
                 .to_vec(),
         );
+        let clock = d
+            .context()
+            .map_err(|_| SednaError::Persistence("truncated snapshot row".into()))?;
         let count = d
             .u32()
             .map_err(|_| SednaError::Persistence("truncated snapshot row".into()))?;
@@ -90,7 +97,7 @@ pub fn load_snapshot(path: impl AsRef<Path>, store: &MemStore) -> SednaResult<u6
             );
             versions.push(VersionedValue { ts, value });
         }
-        store.merge_versions(&key, &versions);
+        store.merge_row(&key, &versions, &clock);
     }
     if !d.is_done() {
         return Err(SednaError::Persistence("snapshot trailing garbage".into()));

@@ -9,7 +9,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
-use sedna_common::{Key, SednaError, SednaResult, Timestamp, Value};
+use sedna_common::{CausalContext, Key, SednaError, SednaResult, Timestamp, Value};
 
 use crate::codec::{crc32, Decoder, Encoder};
 
@@ -24,6 +24,9 @@ pub enum WalRecord {
         ts: Timestamp,
         /// Value.
         value: Value,
+        /// Causal context the write carried; replaying with it reproduces
+        /// the pre-crash sibling/clock state bit for bit.
+        ctx: CausalContext,
     },
     /// A `write_all` accepted by the local store.
     WriteAll {
@@ -33,6 +36,8 @@ pub enum WalRecord {
         ts: Timestamp,
         /// Value.
         value: Value,
+        /// Causal context the write carried.
+        ctx: CausalContext,
     },
     /// A key removal.
     Remove {
@@ -49,17 +54,29 @@ impl WalRecord {
     fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::new();
         match self {
-            WalRecord::WriteLatest { key, ts, value } => {
+            WalRecord::WriteLatest {
+                key,
+                ts,
+                value,
+                ctx,
+            } => {
                 e.u8(TAG_LATEST);
                 e.bytes(key.as_bytes());
                 e.timestamp(*ts);
                 e.bytes(value.as_bytes());
+                e.context(ctx);
             }
-            WalRecord::WriteAll { key, ts, value } => {
+            WalRecord::WriteAll {
+                key,
+                ts,
+                value,
+                ctx,
+            } => {
                 e.u8(TAG_ALL);
                 e.bytes(key.as_bytes());
                 e.timestamp(*ts);
                 e.bytes(value.as_bytes());
+                e.context(ctx);
             }
             WalRecord::Remove { key } => {
                 e.u8(TAG_REMOVE);
@@ -76,11 +93,13 @@ impl WalRecord {
                 key: Key::from_bytes(d.bytes().ok()?.to_vec()),
                 ts: d.timestamp().ok()?,
                 value: Value::from_bytes(d.bytes().ok()?.to_vec()),
+                ctx: d.context().ok()?,
             },
             TAG_ALL => WalRecord::WriteAll {
                 key: Key::from_bytes(d.bytes().ok()?.to_vec()),
                 ts: d.timestamp().ok()?,
                 value: Value::from_bytes(d.bytes().ok()?.to_vec()),
+                ctx: d.context().ok()?,
             },
             TAG_REMOVE => WalRecord::Remove {
                 key: Key::from_bytes(d.bytes().ok()?.to_vec()),
@@ -236,10 +255,18 @@ mod tests {
     }
 
     fn rec(i: u64) -> WalRecord {
+        // Alternate empty and populated contexts so both encodings are
+        // exercised by every replay test.
+        let ctx = if i.is_multiple_of(2) {
+            CausalContext::EMPTY
+        } else {
+            CausalContext::from_dots([&Timestamp::new(i, 1, NodeId(1_000))])
+        };
         WalRecord::WriteLatest {
             key: Key::from(format!("key-{i}")),
             ts: Timestamp::new(i, 0, NodeId(1)),
             value: Value::from(format!("value-{i}")),
+            ctx,
         }
     }
 
@@ -258,6 +285,7 @@ mod tests {
             key: Key::from("multi"),
             ts: Timestamp::new(7, 1, NodeId(2)),
             value: Value::from("m"),
+            ctx: CausalContext::from_dots([&Timestamp::new(6, 0, NodeId(3))]),
         })
         .unwrap();
         wal.sync().unwrap();
@@ -304,9 +332,10 @@ mod tests {
         }
         wal.sync().unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
-        // Flip a byte inside the 3rd frame's payload.
-        let frame_len = 8 + rec(0).encode().len();
-        bytes[2 * frame_len + 12] ^= 0xFF;
+        // Flip a byte inside the 3rd frame's payload (frame sizes vary
+        // with the record's context, so sum the first two).
+        let offset = (0..2).map(|i| 8 + rec(i).encode().len()).sum::<usize>();
+        bytes[offset + 12] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
         let replayed = Wal::replay(&path).unwrap();
         assert_eq!(replayed.len(), 2, "replay stops at the corrupt frame");

@@ -3,7 +3,7 @@
 //! boundary, and snapshot+WAL recovery must equal the live store.
 
 use proptest::prelude::*;
-use sedna_common::{Key, NodeId, Timestamp, Value};
+use sedna_common::{CausalContext, Key, NodeId, Timestamp, Value};
 use sedna_memstore::{MemStore, StoreConfig};
 use sedna_persist::wal::{Wal, WalRecord};
 use sedna_persist::{load_snapshot, write_snapshot};
@@ -27,12 +27,14 @@ enum Rec {
         micros: u64,
         origin: u8,
         val: Vec<u8>,
+        ctx_dots: Vec<(u64, u8)>,
     },
     All {
         key: u8,
         micros: u64,
         origin: u8,
         val: Vec<u8>,
+        ctx_dots: Vec<(u64, u8)>,
     },
     Remove {
         key: u8,
@@ -45,28 +47,40 @@ fn rec_strategy() -> impl Strategy<Value = Rec> {
             any::<u8>(),
             0u64..1000,
             0u8..4,
-            proptest::collection::vec(any::<u8>(), 0..64)
+            proptest::collection::vec(any::<u8>(), 0..64),
+            proptest::collection::vec((0u64..1000, 0u8..4), 0..3),
         )
-            .prop_map(|(key, micros, origin, val)| Rec::Latest {
+            .prop_map(|(key, micros, origin, val, ctx_dots)| Rec::Latest {
                 key,
                 micros,
                 origin,
-                val
+                val,
+                ctx_dots
             }),
         (
             any::<u8>(),
             0u64..1000,
             0u8..4,
-            proptest::collection::vec(any::<u8>(), 0..64)
+            proptest::collection::vec(any::<u8>(), 0..64),
+            proptest::collection::vec((0u64..1000, 0u8..4), 0..3),
         )
-            .prop_map(|(key, micros, origin, val)| Rec::All {
+            .prop_map(|(key, micros, origin, val, ctx_dots)| Rec::All {
                 key,
                 micros,
                 origin,
-                val
+                val,
+                ctx_dots
             }),
         any::<u8>().prop_map(|key| Rec::Remove { key }),
     ]
+}
+
+fn ctx_of(dots: &[(u64, u8)]) -> CausalContext {
+    let dots: Vec<Timestamp> = dots
+        .iter()
+        .map(|&(m, o)| Timestamp::new(m, 0, NodeId(u32::from(o))))
+        .collect();
+    CausalContext::from_dots(dots.iter())
 }
 
 fn to_wal(r: &Rec) -> WalRecord {
@@ -77,20 +91,24 @@ fn to_wal(r: &Rec) -> WalRecord {
             micros,
             origin,
             val,
+            ctx_dots,
         } => WalRecord::WriteLatest {
             key: key(*k),
             ts: Timestamp::new(*micros, 0, NodeId(*origin as u32)),
             value: Value::from_bytes(val.clone()),
+            ctx: ctx_of(ctx_dots),
         },
         Rec::All {
             key: k,
             micros,
             origin,
             val,
+            ctx_dots,
         } => WalRecord::WriteAll {
             key: key(*k),
             ts: Timestamp::new(*micros, 0, NodeId(*origin as u32)),
             value: Value::from_bytes(val.clone()),
+            ctx: ctx_of(ctx_dots),
         },
         Rec::Remove { key: k } => WalRecord::Remove { key: key(*k) },
     }
@@ -140,11 +158,11 @@ proptest! {
         let store = MemStore::new(StoreConfig::default());
         for r in recs.iter().map(to_wal) {
             match r {
-                WalRecord::WriteLatest { key, ts, value } => {
-                    store.write_latest(&key, ts, value);
+                WalRecord::WriteLatest { key, ts, value, ctx } => {
+                    store.write_latest_ctx(&key, ts, value, &ctx);
                 }
-                WalRecord::WriteAll { key, ts, value } => {
-                    store.write_all(&key, ts, value);
+                WalRecord::WriteAll { key, ts, value, ctx } => {
+                    store.write_all_ctx(&key, ts, value, &ctx);
                 }
                 WalRecord::Remove { key } => {
                     store.remove(&key);
@@ -156,12 +174,14 @@ proptest! {
         let restored = MemStore::new(StoreConfig::default());
         load_snapshot(&path, &restored).unwrap();
         prop_assert_eq!(restored.len(), store.len());
-        store.for_each(|key, versions| {
-            let mut got = restored.read_all(key).expect("row restored").to_vec();
-            let mut want = versions.to_vec();
-            got.sort_by_key(|v| v.ts);
-            want.sort_by_key(|v| v.ts);
-            assert_eq!(got, want, "row {key:?} differs after roundtrip");
+        store.for_each_row(|key, snap| {
+            let got = restored.read_all(key).expect("row restored");
+            let mut got_vs = got.to_vec();
+            let mut want_vs = snap.to_vec();
+            got_vs.sort_by_key(|v| v.ts);
+            want_vs.sort_by_key(|v| v.ts);
+            assert_eq!(got_vs, want_vs, "row {key:?} differs after roundtrip");
+            assert_eq!(got.clock(), snap.clock(), "row {key:?} clock differs");
         });
         std::fs::remove_file(&path).ok();
     }

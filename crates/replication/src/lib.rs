@@ -19,11 +19,13 @@
 //! same code drives the simulated cluster, the threaded cluster, and the
 //! unit tests.
 
+pub mod merkle;
 pub mod quorum;
 pub mod read;
 pub mod repair;
 pub mod write;
 
+pub use merkle::{leaf_of, row_hash, LeafMask, MerkleTree};
 pub use quorum::QuorumConfig;
 pub use read::{ReadCoordinator, ReadOutcome, ReplicaRead};
 pub use repair::{plan_repair, RepairAction};

@@ -1,0 +1,304 @@
+//! Per-vnode Merkle trees for anti-entropy.
+//!
+//! Read-triggered repair (Sec. III-C's read recovery) only converges keys
+//! somebody reads. Cold keys that diverged during a partition would stay
+//! diverged forever, so each data node also runs a background *anti-entropy*
+//! sweep: replicas of a vnode exchange a compact digest of everything they
+//! hold and ship only the rows that actually differ.
+//!
+//! The digest is a fixed-shape Merkle tree:
+//!
+//! * **64 leaves**, fanout **4**, depth **3** (64 → 16 → 4 → root). A key
+//!   is assigned to a leaf by hashing its bytes, so both replicas bucket
+//!   identically without coordination.
+//! * A **leaf** is the XOR of its rows' [`row_hash`]es. XOR makes the leaf
+//!   order-independent and incrementally maintainable: updating one row is
+//!   `leaf ^= old_hash ^ new_hash`, and an incrementally maintained tree is
+//!   bit-identical to one rebuilt from scratch (see the proptests).
+//! * **Internal nodes** mix their four children through FNV-1a rather than
+//!   XOR, so sibling differences cannot cancel on the way to the root.
+//!
+//! A row's hash covers its key, every live dot *and value*, and the row
+//! clock. Including the clock is what drives replicas to full *context*
+//! agreement: two replicas holding the same live siblings but different
+//! pruning histories still digest differently and keep exchanging until
+//! their clocks join.
+//!
+//! The sync protocol built on this (see the node layer): root digests are
+//! compared first (one u64 per probe); on mismatch the 64 leaf hashes are
+//! exchanged (512 bytes) and [`MerkleTree::diff_leaves`] localizes the
+//! divergence to a [`LeafMask`] — a u64 bitmap — so only rows in differing
+//! buckets are shipped.
+
+use sedna_common::hashing::fnv1a64;
+use sedna_common::{CausalContext, Key};
+use sedna_memstore::VersionedValue;
+
+/// Number of leaf buckets per tree.
+pub const LEAVES: usize = 64;
+
+/// Children per internal node.
+pub const FANOUT: usize = 4;
+
+/// Bitmap over the 64 leaves: bit `i` set ⇔ leaf `i` differs.
+pub type LeafMask = u64;
+
+/// The leaf bucket a key belongs to. Pure function of the key bytes, so
+/// every replica buckets identically.
+#[inline]
+pub fn leaf_of(key: &Key) -> usize {
+    // Decorrelate from the store's shard routing (also FNV of the key) by
+    // folding the high half in before reducing mod 64.
+    let h = fnv1a64(key.as_bytes());
+    ((h ^ (h >> 32)) as usize) % LEAVES
+}
+
+/// Content hash of one row: key, live versions (dot *and* value bytes),
+/// and the row clock. Any difference a sync should repair — extra sibling,
+/// different value, differing pruning history — changes this hash.
+pub fn row_hash(key: &Key, versions: &[VersionedValue], clock: &CausalContext) -> u64 {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(key.as_bytes());
+    // Versions are hashed order-independently (XOR of per-version hashes):
+    // replicas may hold the same siblings in different list orders.
+    let mut vh: u64 = 0;
+    for v in versions {
+        let mut vb = Vec::with_capacity(32 + v.value.len());
+        vb.extend_from_slice(&v.ts.micros.to_le_bytes());
+        vb.extend_from_slice(&v.ts.counter.to_le_bytes());
+        vb.extend_from_slice(&v.ts.origin.0.to_le_bytes());
+        vb.extend_from_slice(v.value.as_bytes());
+        vh ^= fnv1a64(&vb);
+    }
+    buf.extend_from_slice(&vh.to_le_bytes());
+    for (actor, (micros, counter)) in clock.entries() {
+        buf.extend_from_slice(&actor.0.to_le_bytes());
+        buf.extend_from_slice(&micros.to_le_bytes());
+        buf.extend_from_slice(&counter.to_le_bytes());
+    }
+    fnv1a64(&buf)
+}
+
+/// Mixes up to [`FANOUT`] child hashes into a parent hash. FNV over the
+/// concatenated children: position-sensitive and non-cancelling.
+fn mix(children: &[u64]) -> u64 {
+    let mut buf = [0u8; FANOUT * 8];
+    for (i, c) in children.iter().enumerate() {
+        buf[i * 8..i * 8 + 8].copy_from_slice(&c.to_le_bytes());
+    }
+    fnv1a64(&buf)
+}
+
+/// A fixed-shape (64-leaf, fanout-4) Merkle tree over one vnode's rows.
+///
+/// Only the leaves are stored; the two internal levels and the root are
+/// tiny (20 hashes) and recomputed on demand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleTree {
+    leaves: [u64; LEAVES],
+}
+
+impl Default for MerkleTree {
+    fn default() -> Self {
+        MerkleTree {
+            leaves: [0; LEAVES],
+        }
+    }
+}
+
+impl MerkleTree {
+    /// The empty tree (a vnode holding no rows).
+    pub fn new() -> MerkleTree {
+        MerkleTree::default()
+    }
+
+    /// Builds a tree from scratch over `(key, row_hash)` pairs.
+    pub fn from_rows<'a, I>(rows: I) -> MerkleTree
+    where
+        I: IntoIterator<Item = (&'a Key, u64)>,
+    {
+        let mut t = MerkleTree::new();
+        for (key, h) in rows {
+            t.add(key, h);
+        }
+        t
+    }
+
+    /// Adds a row's hash to its leaf. XOR: calling [`MerkleTree::remove`]
+    /// with the same hash undoes it exactly.
+    #[inline]
+    pub fn add(&mut self, key: &Key, row_hash: u64) {
+        self.leaves[leaf_of(key)] ^= row_hash;
+    }
+
+    /// Removes a row's hash from its leaf (XOR is its own inverse).
+    #[inline]
+    pub fn remove(&mut self, key: &Key, row_hash: u64) {
+        self.add(key, row_hash);
+    }
+
+    /// Replaces a row's hash in place — the incremental maintenance hook
+    /// for an in-place row update.
+    #[inline]
+    pub fn update(&mut self, key: &Key, old_hash: u64, new_hash: u64) {
+        self.leaves[leaf_of(key)] ^= old_hash ^ new_hash;
+    }
+
+    /// The 64 leaf hashes (what `SyncLeaves` ships: 512 bytes).
+    pub fn leaves(&self) -> &[u64; LEAVES] {
+        &self.leaves
+    }
+
+    /// Hashes of one internal level given the level below.
+    fn level_above(below: &[u64]) -> Vec<u64> {
+        below.chunks(FANOUT).map(mix).collect()
+    }
+
+    /// The root digest (what `SyncDigest` ships: 8 bytes per probe).
+    pub fn root(&self) -> u64 {
+        let l2 = Self::level_above(&self.leaves); // 16
+        let l1 = Self::level_above(&l2); // 4
+        mix(&l1)
+    }
+
+    /// Localizes divergence against a peer's leaves by descending from the
+    /// root: a subtree whose hashes agree is skipped whole; disagreeing
+    /// subtrees are split until the differing leaves are isolated. Returns
+    /// the mask of differing leaves — exactly the buckets whose contents
+    /// (rows or clocks) differ, nothing more.
+    pub fn diff_leaves(&self, other_leaves: &[u64; LEAVES]) -> LeafMask {
+        let my_l2 = Self::level_above(&self.leaves);
+        let other_l2 = Self::level_above(other_leaves);
+        let my_l1 = Self::level_above(&my_l2);
+        let other_l1 = Self::level_above(&other_l2);
+        let mut mask: LeafMask = 0;
+        for a in 0..FANOUT {
+            if my_l1[a] == other_l1[a] {
+                continue;
+            }
+            for b in 0..FANOUT {
+                let n = a * FANOUT + b;
+                if my_l2[n] == other_l2[n] {
+                    continue;
+                }
+                for c in 0..FANOUT {
+                    let leaf = n * FANOUT + c;
+                    if self.leaves[leaf] != other_leaves[leaf] {
+                        mask |= 1u64 << leaf;
+                    }
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedna_common::{NodeId, Timestamp, Value};
+
+    fn row(name: &str, micros: u64, origin: u32, val: &str) -> (Key, Vec<VersionedValue>) {
+        (
+            Key::from(name.to_string()),
+            vec![VersionedValue {
+                ts: Timestamp::new(micros, 0, NodeId(origin)),
+                value: Value::from(val.to_string()),
+            }],
+        )
+    }
+
+    fn tree_of(rows: &[(Key, Vec<VersionedValue>)]) -> MerkleTree {
+        MerkleTree::from_rows(rows.iter().map(|(k, vs)| {
+            let clock = CausalContext::from_dots(vs.iter().map(|v| &v.ts));
+            (k, row_hash(k, vs, &clock))
+        }))
+    }
+
+    #[test]
+    fn identical_contents_identical_root_any_order() {
+        let rows: Vec<_> = (0..50).map(|i| row(&format!("k{i}"), i, 0, "v")).collect();
+        let mut rev = rows.clone();
+        rev.reverse();
+        assert_eq!(tree_of(&rows).root(), tree_of(&rev).root());
+        assert_eq!(tree_of(&rows).leaves(), tree_of(&rev).leaves());
+    }
+
+    #[test]
+    fn value_dot_and_clock_all_feed_the_hash() {
+        let k = Key::from("k");
+        let vs = vec![VersionedValue {
+            ts: Timestamp::new(5, 0, NodeId(1)),
+            value: Value::from("a"),
+        }];
+        let clock = CausalContext::from_dots(vs.iter().map(|v| &v.ts));
+        let base = row_hash(&k, &vs, &clock);
+
+        let mut other_val = vs.clone();
+        other_val[0].value = Value::from("b");
+        assert_ne!(base, row_hash(&k, &other_val, &clock));
+
+        let mut other_dot = vs.clone();
+        other_dot[0].ts = Timestamp::new(6, 0, NodeId(1));
+        assert_ne!(base, row_hash(&k, &other_dot, &clock));
+
+        let mut bigger_clock = clock.clone();
+        bigger_clock.observe(&Timestamp::new(9, 0, NodeId(2)));
+        assert_ne!(
+            base,
+            row_hash(&k, &vs, &bigger_clock),
+            "pruning history must be digest-visible"
+        );
+    }
+
+    #[test]
+    fn diff_localizes_exactly_the_differing_leaves() {
+        let rows: Vec<_> = (0..120)
+            .map(|i| row(&format!("key-{i}"), i, 0, "same"))
+            .collect();
+        let a = tree_of(&rows);
+
+        // Mutate two rows on the "replica".
+        let mut mutated = rows.clone();
+        mutated[7].1[0].value = Value::from("diverged");
+        mutated[93].1[0].value = Value::from("diverged");
+        let b = tree_of(&mutated);
+
+        let expected: LeafMask = [&rows[7].0, &rows[93].0]
+            .iter()
+            .map(|k| 1u64 << leaf_of(k))
+            .fold(0, |m, bit| m | bit);
+
+        assert_ne!(a.root(), b.root());
+        assert_eq!(a.diff_leaves(b.leaves()), expected);
+        assert_eq!(b.diff_leaves(a.leaves()), expected, "diff is symmetric");
+        assert_eq!(a.diff_leaves(a.leaves()), 0, "self-diff is empty");
+    }
+
+    #[test]
+    fn empty_versus_populated_diffs_every_occupied_leaf() {
+        let rows: Vec<_> = (0..200).map(|i| row(&format!("k{i}"), i, 0, "v")).collect();
+        let full = tree_of(&rows);
+        let empty = MerkleTree::new();
+        let expected: LeafMask = rows
+            .iter()
+            .map(|(k, _)| 1u64 << leaf_of(k))
+            .fold(0, |m, bit| m | bit);
+        assert_eq!(empty.diff_leaves(full.leaves()), expected);
+        // 200 keys over 64 buckets: all (or nearly all) leaves occupied —
+        // the "full range" answer for an empty replica.
+        assert!(expected.count_ones() >= 60);
+    }
+
+    #[test]
+    fn add_remove_round_trips_to_empty() {
+        let rows: Vec<_> = (0..30).map(|i| row(&format!("k{i}"), i, 1, "v")).collect();
+        let mut t = tree_of(&rows);
+        for (k, vs) in &rows {
+            let clock = CausalContext::from_dots(vs.iter().map(|v| &v.ts));
+            t.remove(k, row_hash(k, vs, &clock));
+        }
+        assert_eq!(t, MerkleTree::new());
+    }
+}

@@ -89,6 +89,7 @@ mod tests {
         let store = Arc::new(MemStore::new(StoreConfig {
             shards: 8,
             memory_budget: None,
+            ..StoreConfig::default()
         }));
         let engine = Arc::new(TriggerEngine::new());
         let sink: Arc<dyn TriggerSink> = Arc::new(LocalSink::new(
