@@ -351,7 +351,8 @@ fn batching_ablation() {
 
 /// Observability-overhead ablation: the identical deterministic run (same
 /// seed, same virtual-time schedule) executed three ways, compared on host
-/// wall-clock time — the full plane (registry + flight recorder), the
+/// wall-clock time — the full plane (registry + flight recorder + the
+/// SLO alert engine, which rides the same `with_metrics` gate), the
 /// registry alone (recorder disabled), and everything off. Each trial runs
 /// the three arms back-to-back and contributes one *paired* on/off ratio;
 /// the reported overhead is the median ratio across trials. Pairing

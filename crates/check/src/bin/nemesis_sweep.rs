@@ -4,16 +4,24 @@
 //! nemesis_sweep [--seeds N] [--start S]
 //!               [--profile stock|churn|broken|skewed|skewed-legacy]
 //!               [--out DIR] [--expect-violations] [--shrink]
+//!               [--min-alert-detection PCT]
 //! ```
 //!
 //! Runs `N` consecutive seeds through the nemesis harness. For every
 //! failing seed it writes an artifact file to `--out` (default
 //! `nemesis-artifacts/`) containing the violations, the (optionally
-//! shrunk) schedule rendered as a copy-pasteable test, and the tail of
-//! the recorded history. Exit status: `0` when the outcome matches
-//! expectation — no violations normally, at least one violation under
+//! shrunk) schedule rendered as a copy-pasteable test, the alert log,
+//! the per-node divergence timeline, and the tail of the recorded
+//! history. Exit status: `0` when the outcome matches expectation — no
+//! violations normally, at least one violation under
 //! `--expect-violations` (the mutation-sanity sweep on the broken
 //! configuration) — `1` otherwise.
+//!
+//! `--min-alert-detection PCT` additionally requires the divergence or
+//! lost-write alert to have *fired* on at least `PCT`% of seeds — the
+//! observability acceptance gate for the skewed-legacy sweep, where
+//! every seed's ground truth loses acked writes and the observatory
+//! must notice.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -21,6 +29,7 @@ use std::path::PathBuf;
 use sedna_check::harness::{run_with_schedule, HarnessConfig};
 use sedna_check::shrink::{render_repro, shrink};
 use sedna_check::{run_nemesis, RunReport};
+use sedna_obs::AlertPhase;
 
 struct Args {
     seeds: u64,
@@ -29,6 +38,7 @@ struct Args {
     out: PathBuf,
     expect_violations: bool,
     do_shrink: bool,
+    min_alert_detection: u64,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +49,7 @@ fn parse_args() -> Args {
         out: PathBuf::from("nemesis-artifacts"),
         expect_violations: false,
         do_shrink: true,
+        min_alert_detection: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -53,10 +64,23 @@ fn parse_args() -> Args {
             "--out" => args.out = PathBuf::from(value("--out")),
             "--expect-violations" => args.expect_violations = true,
             "--no-shrink" => args.do_shrink = false,
+            "--min-alert-detection" => {
+                args.min_alert_detection = value("--min-alert-detection")
+                    .parse()
+                    .expect("--min-alert-detection");
+            }
             other => panic!("unknown flag {other}"),
         }
     }
     args
+}
+
+/// True when the run's alert log shows the divergence observatory
+/// noticing the incident class the skewed-legacy profile manufactures.
+fn alert_detected(report: &RunReport) -> bool {
+    report.alert_log.iter().any(|t| {
+        t.to == AlertPhase::Firing && (t.slo == "lost_writes" || t.slo == "divergence_age")
+    })
 }
 
 fn config_for(profile: &str) -> (HarnessConfig, &'static str) {
@@ -90,6 +114,36 @@ fn write_artifact(
     writeln!(f, "violations ({}):", report.violations.len())?;
     for v in &report.violations {
         writeln!(f, "  {v:?}")?;
+    }
+    writeln!(f, "\nalert log ({} transitions):", report.alert_log.len())?;
+    for t in &report.alert_log {
+        writeln!(
+            f,
+            "  [{:>10}µs] {} {}->{} short={:.3} long={:.3} value={:.1} trace={:#x}",
+            t.at, t.slo, t.from, t.to, t.short_burn, t.long_burn, t.last_value, t.trace
+        )?;
+    }
+    if !report.alerts_firing.is_empty() {
+        writeln!(f, "still firing at end: {:?}", report.alerts_firing)?;
+    }
+    writeln!(f, "\ndivergence timeline (per node):")?;
+    for (node, snap) in &report.divergence {
+        writeln!(
+            f,
+            "  node {}: {} episodes total, {} open (max age {}µs)",
+            node.0, snap.episodes_total, snap.open, snap.max_age_micros
+        )?;
+        for ep in &snap.episodes {
+            writeln!(
+                f,
+                "    vnode {} peer {}: {}µs -> {}µs ({}µs to converge)",
+                ep.vnode.0,
+                ep.peer.0,
+                ep.started,
+                ep.resolved,
+                ep.duration()
+            )?;
+        }
     }
     let schedule = if do_shrink {
         eprintln!(
@@ -137,9 +191,13 @@ fn main() {
     let (cfg, ctor) = config_for(&args.profile);
     let mut failing: Vec<u64> = Vec::new();
     let mut total_ops: u64 = 0;
+    let mut detected: u64 = 0;
     for seed in args.start..args.start + args.seeds {
         let report = run_nemesis(seed, &cfg);
         total_ops += report.ops_done;
+        if alert_detected(&report) {
+            detected += 1;
+        }
         if report.passed() {
             eprintln!("seed {seed}: ok ({} ops)", report.ops_done);
             continue;
@@ -159,23 +217,33 @@ fn main() {
         }
     }
     println!(
-        "nemesis-sweep profile={} seeds={}..{} failing={} total_ops={}",
+        "nemesis-sweep profile={} seeds={}..{} failing={} total_ops={} alert_detected={}/{}",
         ctor,
         args.start,
         args.start + args.seeds - 1,
         failing.len(),
-        total_ops
+        total_ops,
+        detected,
+        args.seeds
     );
     if !failing.is_empty() {
         println!("failing seeds: {failing:?}");
     }
-    let ok = if args.expect_violations {
+    let mut ok = if args.expect_violations {
         !failing.is_empty()
     } else {
         failing.is_empty()
     };
+    if args.min_alert_detection > 0 && detected * 100 < args.min_alert_detection * args.seeds {
+        eprintln!(
+            "alert detection below the {}% gate: divergence/lost-write alerts fired on \
+             {detected}/{} seeds",
+            args.min_alert_detection, args.seeds
+        );
+        ok = false;
+    }
     if !ok {
-        if args.expect_violations {
+        if args.expect_violations && failing.is_empty() {
             eprintln!(
                 "expected the weakened configuration to trip the checker, but every seed passed"
             );

@@ -47,6 +47,7 @@ use sedna_common::{CausalContext, Key, NodeId, Timestamp, TraceId};
 use sedna_core::cluster::SimCluster;
 use sedna_core::history::{HistoryEvent, HistoryOp, HistoryOutcome};
 use sedna_core::manager::ClusterManager;
+use sedna_obs::{AlertPhase, AlertTransition};
 
 /// One checker finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -135,6 +136,21 @@ pub enum Violation {
         key: Key,
         /// Sorted sibling dots per replica.
         replicas: Vec<(NodeId, Vec<Timestamp>)>,
+    },
+    /// Observability cross-check: the run's ground truth showed
+    /// lost-write anomalies, but neither the `lost_writes` nor the
+    /// `divergence_age` alert ever fired — the observatory slept through
+    /// a real incident.
+    AlertMissed {
+        /// The alert family that was expected to fire.
+        expected: &'static str,
+    },
+    /// Observability cross-check: an alert was still firing after the
+    /// heal + quiesce tail of a run whose ground truth was clean —
+    /// either a false positive or a stuck resolver.
+    AlertStuckFiring {
+        /// The alert that failed to resolve.
+        slo: &'static str,
     },
 }
 
@@ -560,6 +576,50 @@ pub fn check_lost_writes(
                 acked: acked_ts,
                 survivor,
             });
+        }
+    }
+    violations
+}
+
+/// Cross-validates the alert engine against the checker's ground truth —
+/// the observability plane is itself under test:
+///
+/// * a run whose history shows lost writes ([`Violation::LostAckedWrite`]
+///   or [`Violation::LostConcurrentWrite`]) must have fired the
+///   `lost_writes` or `divergence_age` alert at some point — silence is
+///   an [`Violation::AlertMissed`];
+/// * a run whose ground truth is *clean* must end with no alert still
+///   firing after the heal + quiesce tail — a leftover is an
+///   [`Violation::AlertStuckFiring`] (false positive or stuck resolver).
+///
+/// Transient fires on clean runs are fine by design: a partition really
+/// did delay convergence; what matters is that the alert resolved once
+/// the signal recovered.
+pub fn check_alert_crossvalidation(
+    ground_truth: &[Violation],
+    transitions: &[AlertTransition],
+    firing: &[&'static str],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let lost_write_truth = ground_truth.iter().any(|v| {
+        matches!(
+            v,
+            Violation::LostAckedWrite { .. } | Violation::LostConcurrentWrite { .. }
+        )
+    });
+    let fired = |slo: &str| {
+        transitions
+            .iter()
+            .any(|t| t.slo == slo && t.to == AlertPhase::Firing)
+    };
+    if lost_write_truth && !fired("lost_writes") && !fired("divergence_age") {
+        violations.push(Violation::AlertMissed {
+            expected: "lost_writes|divergence_age",
+        });
+    }
+    if ground_truth.is_empty() {
+        for slo in firing {
+            violations.push(Violation::AlertStuckFiring { slo });
         }
     }
     violations

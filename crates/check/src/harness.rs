@@ -19,6 +19,7 @@ use sedna_common::{Key, NodeId, Value};
 use sedna_core::client::{ClientCore, ClientEvent};
 use sedna_core::cluster::SimCluster;
 use sedna_core::config::{ClusterConfig, TablePolicy};
+use sedna_core::divergence::DivergenceSnapshot;
 use sedna_core::fault::{ClusterFault, RestartKind, ScheduledFault};
 use sedna_core::history::{ClientHistory, HistoryEvent};
 use sedna_core::messages::SednaMsg;
@@ -26,14 +27,15 @@ use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
 use sedna_net::link::LinkModel;
 use sedna_net::sim::SimConfig;
 use sedna_obs::flight::{self, FlightKind};
+use sedna_obs::AlertTransition;
 use sedna_persist::{PersistEngine, PersistMode};
 use sedna_replication::QuorumConfig;
 use sedna_ring::Partitioner;
 
 use crate::checker::{
-    acked_writes, check_lost_concurrent_writes, check_lost_writes, check_replica_agreement,
-    check_replica_dot_agreement, check_sessions, final_replica_dots, final_replica_state,
-    write_records, Violation,
+    acked_writes, check_alert_crossvalidation, check_lost_concurrent_writes, check_lost_writes,
+    check_replica_agreement, check_replica_dot_agreement, check_sessions, final_replica_dots,
+    final_replica_state, write_records, Violation,
 };
 use crate::nemesis::{generate, schedule_end, NemesisConfig};
 
@@ -216,6 +218,18 @@ pub struct RunReport {
     /// violations: the black-box recording for this seed. `None` on
     /// passing runs.
     pub flight_json: Option<String>,
+    /// The alert engine's full transition log (the run's alert log:
+    /// every pending/firing/resolve walk, with burn rates and exemplar
+    /// traces).
+    pub alert_log: Vec<AlertTransition>,
+    /// Alerts still firing after the heal + quiesce tail. Must be empty
+    /// on clean profiles — enforced as
+    /// [`Violation::AlertStuckFiring`] by the cross-check.
+    pub alerts_firing: Vec<&'static str>,
+    /// Per-node end-of-run divergence snapshots: the replica root matrix
+    /// plus the episode timeline (every Merkle mismatch that opened and
+    /// when it converged).
+    pub divergence: Vec<(NodeId, DivergenceSnapshot)>,
 }
 
 /// End-of-run staleness-lag tracker totals (summed over clients).
@@ -374,6 +388,10 @@ pub fn run_with_schedule(seed: u64, cfg: &HarnessConfig, schedule: &[ScheduledFa
     for i in 0..cfg.clients {
         let mut core = ClientCore::new(cluster_cfg.clone(), cluster_cfg.client_origin(i));
         core.attach_history(Arc::clone(&history));
+        // Workload ops feed the cluster-shared SLO engine (latency,
+        // staleness, degraded reads) so the run exercises the alerting
+        // path the checker cross-validates below.
+        core.set_alert_engine(Arc::clone(cluster.alert_engine()));
         let id = cluster.sim.add_actor(Box::new(WorkloadClient {
             core,
             rng: Xoshiro256::seeded(seed ^ (0xC11E_4701 + u64::from(i) * 0x1_0003)),
@@ -431,6 +449,23 @@ pub fn run_with_schedule(seed: u64, cfg: &HarnessConfig, schedule: &[ScheduledFa
             .map_or(0, |h| h.count),
     };
     let metrics_json = snap.to_json();
+
+    // Read the observability plane *after* the heal + quiesce tail: the
+    // quiesce window (≥ two full anti-entropy passes plus slack) is long
+    // enough for every legitimately-fired alert to resolve, so whatever
+    // still fires here is cross-checked as a finding.
+    let end_now = cluster.sim.now();
+    let engine = Arc::clone(cluster.alert_engine());
+    engine.evaluate(end_now);
+    let alert_log = engine.transitions();
+    let alerts_firing = engine.firing(end_now);
+    let divergence: Vec<(NodeId, DivergenceSnapshot)> = (0..cfg.data_nodes)
+        .map(|n| {
+            let id = NodeId(n);
+            (id, cluster.node(id).divergence_snapshot(end_now))
+        })
+        .collect();
+
     let mut violations = Vec::new();
     let final_state = final_replica_state(&cluster);
     match (cfg.profile, cfg.broken) {
@@ -464,6 +499,12 @@ pub fn run_with_schedule(seed: u64, cfg: &HarnessConfig, schedule: &[ScheduledFa
         }
     }
 
+    // Observability-vs-ground-truth cross-validation: lost writes without
+    // a fired alert, and stuck-firing alerts on clean runs, are findings
+    // in their own right.
+    let cross = check_alert_crossvalidation(&violations, &alert_log, &alerts_firing);
+    violations.extend(cross);
+
     let ops_done = client_actors
         .iter()
         .filter_map(|&id| cluster.sim.actor_ref::<WorkloadClient>(id))
@@ -493,6 +534,9 @@ pub fn run_with_schedule(seed: u64, cfg: &HarnessConfig, schedule: &[ScheduledFa
         metrics_json,
         staleness,
         flight_json,
+        alert_log,
+        alerts_firing,
+        divergence,
     }
 }
 

@@ -20,6 +20,10 @@
 //!   agreement, and — the headline — *no lost concurrent write*: an
 //!   acked dot may only disappear when a surviving write causally
 //!   covers it (see the `skewed` / `skewed_legacy` harness profiles).
+//!   Since PR-9 it also cross-validates the *observability plane* against
+//!   that ground truth: a run that provably lost writes must have fired
+//!   the `lost_writes`/`divergence_age` alert, and a clean run must end
+//!   with no alert still firing (`AlertMissed` / `AlertStuckFiring`).
 //! * [`shrink`] — ddmin over a failing schedule: re-runs subsets under
 //!   the same seed until 1-minimal, then renders the reproducer as a
 //!   copy-pasteable `#[test]`.
@@ -33,9 +37,9 @@ pub mod nemesis;
 pub mod shrink;
 
 pub use checker::{
-    acked_writes, check_lost_concurrent_writes, check_lost_writes, check_replica_agreement,
-    check_replica_dot_agreement, check_sessions, final_replica_dots, write_records, Violation,
-    WriteRecord,
+    acked_writes, check_alert_crossvalidation, check_lost_concurrent_writes, check_lost_writes,
+    check_replica_agreement, check_replica_dot_agreement, check_sessions, final_replica_dots,
+    write_records, Violation, WriteRecord,
 };
 pub use harness::{
     run_nemesis, run_with_schedule, HarnessConfig, Profile, RunReport, StalenessSummary,

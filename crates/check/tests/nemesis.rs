@@ -139,6 +139,26 @@ fn partitioned_then_healed_replica_reaches_digest_agreement() {
         report.violations
     );
     assert!(report.ops_done > 300, "workload stalled");
+
+    // The divergence observatory saw the incident: post-heal probes of
+    // the cut-off replica opened Merkle mismatch episodes, and by end of
+    // quiescence every one of them has converged again.
+    let episodes_total: u64 = report
+        .divergence
+        .iter()
+        .map(|(_, snap)| snap.episodes_total)
+        .sum();
+    let open: u64 = report.divergence.iter().map(|(_, snap)| snap.open).sum();
+    assert!(
+        episodes_total > 0,
+        "a 2.5s full partition of node 0 never produced an observed \
+         divergence episode: {:#?}",
+        report.divergence
+    );
+    assert_eq!(
+        open, 0,
+        "Merkle root mismatches still open after heal + quiescence"
+    );
 }
 
 /// Tentpole acceptance: under a lossy-link schedule the staleness-lag

@@ -12,6 +12,7 @@
 use sedna_check::checker::Violation;
 use sedna_check::harness::{run_nemesis, run_with_schedule, HarnessConfig};
 use sedna_check::shrink::{render_repro, shrink};
+use sedna_obs::AlertPhase;
 
 /// The headline contrast: legacy loses an acked concurrent write, DVV
 /// keeps it — same seed, same skew, same faults.
@@ -36,6 +37,21 @@ fn skewed_clocks_trip_legacy_lww_but_not_dvv() {
          the checker stopped looking",
     );
 
+    // Observability cross-check, incident side: the run that provably
+    // lost an acked write must also have *fired* the matching alert —
+    // the timestamp-shadowed-write burn rate (or, failing that, a
+    // sustained divergence-age breach). The harness encodes this as
+    // `AlertMissed`, so `passed()` alone would hide a silent observatory;
+    // assert the positive signal directly.
+    assert!(
+        report.alert_log.iter().any(|t| {
+            t.to == AlertPhase::Firing && (t.slo == "lost_writes" || t.slo == "divergence_age")
+        }),
+        "legacy seed {seed} lost an acked write but no divergence/lost-write \
+         alert ever fired; alert log: {:#?}",
+        report.alert_log
+    );
+
     // The identical seed under dotted version vectors must be clean on
     // the *full* check set — sibling retention keeps the acked dot alive
     // (or lets a covering write causally supersede it).
@@ -45,6 +61,13 @@ fn skewed_clocks_trip_legacy_lww_but_not_dvv() {
         "seed {seed} clean under legacy-tripping skew was expected to pass \
          under DVV: {:#?}",
         dvv.violations
+    );
+    // …and its observatory must agree that nothing is wrong: no alert
+    // still firing after the heal + quiesce tail.
+    assert!(
+        dvv.alerts_firing.is_empty(),
+        "seed {seed} under DVV ended with firing alerts: {:?}",
+        dvv.alerts_firing
     );
 
     // The legacy failure must shrink: clock skew (not the fault

@@ -6,10 +6,13 @@
 //! TCP listener, and answers minimal HTTP/1.0 `GET`s:
 //!
 //! * `/metrics`    — Prometheus text exposition of the cluster-merged
-//!   registries, plus live hot-key gauges rendered from the per-node
-//!   telemetry (they carry a `key` label, so they are rendered fresh per
-//!   scrape instead of churning stale series through a registry).
-//! * `/journal`    — the merged event journals as JSON.
+//!   registries, plus live hot-key, per-vnode root-mismatch, and alert
+//!   state gauges rendered from the per-node telemetry (they carry
+//!   churning label sets, so they are rendered fresh per scrape instead
+//!   of parking stale series in a registry).
+//! * `/journal`    — the merged event journals as JSON. Supports a
+//!   `?since=<cursor>` parameter (the previous response's `"next"` value)
+//!   so pollers only receive events appended since their last scrape.
 //! * `/vnodes`     — per-node per-vnode read/write/bytes/keys rows as JSON.
 //! * `/hotkeys`    — per-node Space-Saving hot-key estimates as JSON.
 //! * `/staleness`  — the rolling-window staleness-lag view as JSON:
@@ -21,6 +24,13 @@
 //!   retire→free latency).
 //! * `/flight`     — the process-wide flight recorder: per-thread event
 //!   rings plus the anomaly dumps that froze them, as JSON.
+//! * `/health`     — red/amber/green rollup over the SLO alert engine
+//!   plus every alert's live view, firing first.
+//! * `/alerts`     — the full alert surface: per-SLO burn rates, phases,
+//!   exemplar traces, and the bounded phase-transition log.
+//! * `/divergence` — the causal plane: per-node replica root matrices
+//!   (own Merkle root + last observed peer roots per vnode), open
+//!   mismatch ages, and closed divergence episodes.
 //!
 //! The windowed `/staleness` histograms are *also* exposed on `/metrics`
 //! under a `_10s` suffix (`sedna_staleness_age_micros_10s{quantile=…}`),
@@ -54,7 +64,10 @@ use sedna_obs::registry::{MetricsSnapshot, Registry};
 use sedna_obs::window::RateTracker;
 use sedna_ring::{HotKeyRow, VNodeStats};
 
+use sedna_obs::{AlertEngine, HealthReport};
+
 use crate::client::StalenessWindows;
+use crate::divergence::DivergenceSnapshot;
 use crate::messages::SednaMsg;
 
 const T_ADMIN_POLL: TimerToken = TimerToken(0xAD_01);
@@ -93,6 +106,7 @@ struct TelemetryInner {
     vnodes: Vec<VNodeRow>,
     hot_keys: Vec<HotKeyRow>,
     engine: Option<EngineSnapshot>,
+    divergence: Option<DivergenceSnapshot>,
 }
 
 /// A node's live per-vnode load and hot-key view, shared with the admin
@@ -152,6 +166,17 @@ impl NodeTelemetry {
     pub fn engine(&self) -> Option<EngineSnapshot> {
         self.inner.lock().engine.clone()
     }
+
+    /// Replaces the published divergence view (replica root matrix +
+    /// mismatch episodes; called from the node's stats tick).
+    pub fn publish_divergence(&self, snap: DivergenceSnapshot) {
+        self.inner.lock().divergence = Some(snap);
+    }
+
+    /// The last published divergence view, if any.
+    pub fn divergence(&self) -> Option<DivergenceSnapshot> {
+        self.inner.lock().divergence.clone()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -170,6 +195,10 @@ pub struct AdminState {
     pub telemetry: Vec<(NodeId, Arc<NodeTelemetry>)>,
     /// Staleness windows of every client/gateway in the deployment.
     pub staleness: Vec<Arc<StalenessWindows>>,
+    /// The cluster-shared SLO engine, when one is wired in; serves
+    /// `/health` and `/alerts` and is re-evaluated on every poll tick so
+    /// the surface stays live even when the data plane idles.
+    pub alerts: Option<Arc<AlertEngine>>,
 }
 
 impl AdminState {
@@ -214,6 +243,11 @@ impl AdminActor {
         let snap = self.state.merged_snapshot();
         let ops = snap.gauge("sedna_node_reads") + snap.gauge("sedna_node_writes");
         self.ops_rate.observe(now, ops);
+        if let Some(alerts) = &self.state.alerts {
+            // Rate-limited internally; keeps alert state advancing (and
+            // firing alerts resolving) even when node ticks are sparse.
+            alerts.evaluate(now);
+        }
         for _ in 0..MAX_CONNS_PER_POLL {
             match self.listener.accept() {
                 Ok((stream, _)) => self.serve(stream, now),
@@ -226,12 +260,14 @@ impl AdminActor {
     fn serve(&self, mut stream: TcpStream, now: Micros) {
         let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
         let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-        let Some(path) = read_request_path(&mut stream) else {
+        // Malformed, oversized, or non-GET requests get an explicit JSON
+        // 400 and a clean `Connection: close` instead of a silent drop.
+        let Some((path, query)) = read_request_path(&mut stream) else {
             respond(
                 &mut stream,
                 "400 Bad Request",
-                "text/plain",
-                "bad request\n",
+                "application/json",
+                "{\"error\":\"bad request\",\"hint\":\"GET <path> HTTP/1.x\"}",
             );
             return;
         };
@@ -245,12 +281,15 @@ impl AdminActor {
                     &body,
                 );
             }
-            "/journal" => respond(
-                &mut stream,
-                "200 OK",
-                "application/json",
-                &self.render_journal(),
-            ),
+            "/journal" => {
+                let since = query.as_deref().and_then(|q| query_param(q, "since"));
+                respond(
+                    &mut stream,
+                    "200 OK",
+                    "application/json",
+                    &self.render_journal(since.as_deref()),
+                );
+            }
             "/vnodes" => respond(
                 &mut stream,
                 "200 OK",
@@ -281,7 +320,33 @@ impl AdminActor {
                 "application/json",
                 &flight::render_json(FLIGHT_DUMP_EVENTS),
             ),
-            _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+            "/health" => respond(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &self.render_health(now),
+            ),
+            "/alerts" => respond(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &self.render_alerts(now),
+            ),
+            "/divergence" => respond(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &self.render_divergence(now),
+            ),
+            other => respond(
+                &mut stream,
+                "404 Not Found",
+                "application/json",
+                &format!(
+                    "{{\"error\":\"not found\",\"path\":\"{}\"}}",
+                    json_escape(other)
+                ),
+            ),
         }
     }
 
@@ -308,6 +373,63 @@ impl AdminActor {
             );
             out.push_str("# TYPE sedna_hotkey_ops gauge\n");
             out.push_str(&hot);
+        }
+        // Per-vnode root-mismatch gauges from each node's divergence
+        // matrix: 1 while the (node, vnode, peer) pair is root-divergent.
+        // Rendered live (like the hot-key series) because the peer label
+        // set churns with ring changes.
+        let mut mismatch = String::new();
+        for (node, telemetry) in &self.state.telemetry {
+            let Some(d) = telemetry.divergence() else {
+                continue;
+            };
+            for row in &d.rows {
+                for p in &row.peers {
+                    mismatch.push_str(&format!(
+                        "sedna_sync_root_mismatch{{node=\"{}\",vnode=\"{}\",peer=\"{}\"}} {}\n",
+                        node.0,
+                        row.vnode.0,
+                        p.peer.0,
+                        u8::from(p.mismatch_since.is_some())
+                    ));
+                }
+            }
+        }
+        if !mismatch.is_empty() {
+            out.push_str(
+                "# HELP sedna_sync_root_mismatch 1 while this replica pair's Merkle roots disagree for the vnode.\n",
+            );
+            out.push_str("# TYPE sedna_sync_root_mismatch gauge\n");
+            out.push_str(&mismatch);
+        }
+        // Alert-engine state, rendered live so a scrape-only consumer can
+        // alarm on `sedna_alert_state >= 2` without parsing `/alerts`.
+        if let Some(engine) = &self.state.alerts {
+            let views = engine.alerts(now);
+            out.push_str(
+                "# HELP sedna_alert_state SLO alert phase: 0 ok, 1 pending, 2 firing.\n# TYPE sedna_alert_state gauge\n",
+            );
+            for a in &views {
+                let v = match a.phase {
+                    sedna_obs::AlertPhase::Ok => 0,
+                    sedna_obs::AlertPhase::Pending => 1,
+                    sedna_obs::AlertPhase::Firing => 2,
+                };
+                out.push_str(&format!(
+                    "sedna_alert_state{{slo=\"{}\"}} {v}\n",
+                    escape_label_value(a.slo)
+                ));
+            }
+            out.push_str(
+                "# HELP sedna_alert_fired_total Times each SLO alert has entered firing since start.\n# TYPE sedna_alert_fired_total gauge\n",
+            );
+            for a in &views {
+                out.push_str(&format!(
+                    "sedna_alert_fired_total{{slo=\"{}\"}} {}\n",
+                    escape_label_value(a.slo),
+                    a.fired_total
+                ));
+            }
         }
         out.push_str(
             "# HELP sedna_admin_ops_per_sec Cluster read+write throughput over the rate window.\n",
@@ -346,22 +468,147 @@ impl AdminActor {
         out
     }
 
-    fn render_journal(&self) -> String {
+    /// The merged journals as JSON. `since` is the opaque cursor a prior
+    /// response returned as `"next"`: one sequence number per underlying
+    /// journal, dot-separated (a single journal yields a plain integer).
+    /// Passing it back serves only events appended since that scrape, so
+    /// pollers stop re-shipping the whole bounded ring. Events evicted
+    /// before the cursor advanced are gone either way — the cursor skips
+    /// them rather than resurrecting duplicates.
+    fn render_journal(&self, since: Option<&str>) -> String {
+        let cursors: Vec<u64> = since
+            .map(|s| s.split('.').map(|p| p.parse().unwrap_or(0)).collect())
+            .unwrap_or_default();
         let mut events = Vec::new();
-        for j in &self.state.journals {
-            events.extend(j.events());
+        let mut next = String::new();
+        for (ji, j) in self.state.journals.iter().enumerate() {
+            if ji > 0 {
+                next.push('.');
+            }
+            next.push_str(&j.next_seq().to_string());
+            let from = cursors.get(ji).copied().unwrap_or(0);
+            for (seq, e) in j.events_since(from) {
+                events.push((e.at, ji, seq, e.kind.to_string()));
+            }
         }
-        events.sort_by_key(|e| e.at);
-        let mut out = String::from("{\"events\":[");
-        for (i, e) in events.iter().enumerate() {
+        events.sort();
+        let mut out = format!("{{\"next\":\"{next}\",\"events\":[");
+        for (i, (at, ji, seq, kind)) in events.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"at\":{},\"event\":\"{}\"}}",
-                e.at,
-                json_escape(&e.kind.to_string())
+                "{{\"at\":{at},\"journal\":{ji},\"seq\":{seq},\"event\":\"{}\"}}",
+                json_escape(kind)
             ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// `/health`: the RAG rollup plus per-SLO detail. Without an alert
+    /// engine the surface still answers — vacuously green — so probes can
+    /// always distinguish "healthy" from "unreachable".
+    fn render_health(&self, now: Micros) -> String {
+        match &self.state.alerts {
+            Some(engine) => HealthReport::from_engine(engine, now).render_json(),
+            None => {
+                format!("{{\"status\":\"green\",\"at_micros\":{now},\"firing\":[],\"alerts\":[]}}")
+            }
+        }
+    }
+
+    /// `/alerts`: every SLO's live view plus the bounded transition log.
+    fn render_alerts(&self, now: Micros) -> String {
+        let mut out = format!("{{\"at_micros\":{now},\"alerts\":[");
+        if let Some(engine) = &self.state.alerts {
+            for (i, a) in engine.alerts(now).iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                sedna_obs::health::render_alert_json(&mut out, a);
+            }
+            out.push_str("],\"transitions\":[");
+            for (i, t) in engine.transitions().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"at\":{},\"slo\":\"{}\",\"from\":\"{}\",\"to\":\"{}\",\
+                     \"short_burn\":{:.6},\"long_burn\":{:.6},\"last_value\":{:.3},\"trace\":\"{:#x}\"}}",
+                    t.at,
+                    json_escape(t.slo),
+                    t.from,
+                    t.to,
+                    t.short_burn,
+                    t.long_burn,
+                    t.last_value,
+                    t.trace,
+                ));
+            }
+        } else {
+            out.push_str("],\"transitions\":[");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// `/divergence`: each node's replica root matrix (own root + last
+    /// observed peer roots per vnode), open mismatch ages, and the
+    /// bounded log of closed divergence episodes.
+    fn render_divergence(&self, now: Micros) -> String {
+        let mut out = format!("{{\"now_micros\":{now},\"nodes\":[");
+        let mut first = true;
+        for (node, telemetry) in &self.state.telemetry {
+            let Some(d) = telemetry.divergence() else {
+                continue;
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"node\":{},\"at_micros\":{},\"open\":{},\"max_age_micros\":{},\"episodes_total\":{},\"vnodes\":[",
+                node.0, d.at, d.open, d.max_age_micros, d.episodes_total
+            ));
+            for (i, row) in d.rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"vnode\":{},\"self_root\":\"{:#018x}\",\"self_at\":{},\"peers\":[",
+                    row.vnode.0, row.self_root, row.self_at
+                ));
+                for (j, p) in row.peers.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let age = p
+                        .mismatch_since
+                        .map(|s| d.at.saturating_sub(s).to_string())
+                        .unwrap_or_else(|| "null".into());
+                    out.push_str(&format!(
+                        "{{\"peer\":{},\"root\":\"{:#018x}\",\"observed_at\":{},\"mismatch_age_micros\":{age}}}",
+                        p.peer.0, p.root, p.observed_at
+                    ));
+                }
+                out.push_str("]}");
+            }
+            out.push_str("],\"episodes\":[");
+            for (i, ep) in d.episodes.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"vnode\":{},\"peer\":{},\"started\":{},\"resolved\":{},\"duration_micros\":{}}}",
+                    ep.vnode.0,
+                    ep.peer.0,
+                    ep.started,
+                    ep.resolved,
+                    ep.duration()
+                ));
+            }
+            out.push_str("]}");
         }
         out.push_str("]}");
         out
@@ -537,9 +784,10 @@ impl Actor for AdminActor {
 // Tiny HTTP + JSON helpers
 // ---------------------------------------------------------------------------
 
-/// Reads until the header terminator and returns the request path of a
-/// `GET`; `None` on anything else (oversized, non-GET, torn request).
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+/// Reads until the header terminator and returns the request path and
+/// query string of a `GET`; `None` on anything else (oversized, non-GET,
+/// torn request) — the caller answers those with an explicit 400.
+fn read_request_path(stream: &mut TcpStream) -> Option<(String, Option<String>)> {
     let mut buf = Vec::with_capacity(256);
     let mut chunk = [0u8; 512];
     while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
@@ -557,9 +805,20 @@ fn read_request_path(stream: &mut TcpStream) -> Option<String> {
     if parts.next()? != "GET" {
         return None;
     }
-    let path = parts.next()?;
-    // Ignore query strings: `/metrics?x=y` serves `/metrics`.
-    Some(path.split('?').next().unwrap_or(path).to_string())
+    let target = parts.next()?;
+    match target.split_once('?') {
+        Some((path, query)) => Some((path.to_string(), Some(query.to_string()))),
+        None => Some((target.to_string(), None)),
+    }
+}
+
+/// Value of `key` in a raw query string (`a=1&b=2`); no percent-decoding —
+/// the surface's parameters are plain integers and dots.
+fn query_param(query: &str, key: &str) -> Option<String> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then(|| v.to_string())
+    })
 }
 
 fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
@@ -608,6 +867,31 @@ mod tests {
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn query_param_extracts_pairs() {
+        assert_eq!(
+            query_param("since=3.1.4", "since").as_deref(),
+            Some("3.1.4")
+        );
+        assert_eq!(query_param("a=1&since=9", "since").as_deref(), Some("9"));
+        assert_eq!(query_param("a=1&b=2", "since"), None);
+        assert_eq!(query_param("since", "since"), None);
+    }
+
+    #[test]
+    fn telemetry_divergence_round_trips() {
+        let t = NodeTelemetry::default();
+        assert!(t.divergence().is_none());
+        t.publish_divergence(DivergenceSnapshot {
+            at: 7,
+            open: 1,
+            ..DivergenceSnapshot::default()
+        });
+        let d = t.divergence().expect("published");
+        assert_eq!(d.at, 7);
+        assert_eq!(d.open, 1);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use sedna_obs::journal::{EventJournal, EventKind};
 use sedna_obs::registry::{Counter, Gauge, Hist, MetricsSnapshot, Registry};
 use sedna_obs::trace::TraceTracker;
 use sedna_obs::window::WindowedHistogram;
+use sedna_obs::AlertEngine;
 use sedna_replication::{
     plan_repair, ReadCoordinator, ReadOutcome, RepairAction, ReplicaRead, ReplicaWriteResult,
     WriteCoordinator, WriteOutcomeAgg,
@@ -674,6 +675,10 @@ pub struct ClientObs {
     staleness: Arc<StalenessWindows>,
     /// Repair pushes in flight: correlation id → detection time.
     pending_repairs: HashMap<RequestId, Micros>,
+    /// Cluster-shared SLO engine; op completions feed latency, staleness
+    /// and degraded-read samples (with TraceId exemplars) into its
+    /// burn-rate windows.
+    alerts: Option<Arc<AlertEngine>>,
 }
 
 impl ClientObs {
@@ -730,9 +735,17 @@ impl ClientObs {
             repairs_expired: registry.counter("sedna_client_repairs_expired_total"),
             staleness: Arc::new(StalenessWindows::default()),
             pending_repairs: HashMap::new(),
+            alerts: None,
             registry,
             journal,
         }
+    }
+
+    /// Attaches the cluster-shared SLO engine. Completed operations then
+    /// feed `read_p99`/`write_p99` latency, `staleness_age`, and
+    /// `degraded_reads` samples into its burn-rate windows.
+    pub fn set_alert_engine(&mut self, engine: Arc<AlertEngine>) {
+        self.alerts = Some(engine);
     }
 
     /// The client's metrics registry (shareable across threads).
@@ -773,6 +786,10 @@ impl ClientObs {
             // Traced sample: tail buckets keep the TraceId as an exemplar,
             // so a scraped p99 bucket links back to this op's span tree.
             self.write_latency.record_traced(fin.total_micros, trace.0);
+            if let Some(alerts) = &self.alerts {
+                alerts.observe_traced(now, "write_p99", fin.total_micros as f64, trace.0);
+                alerts.evaluate(now);
+            }
             if matches!(agg, WriteOutcomeAgg::Failed { .. }) {
                 self.journal
                     .push(now, EventKind::QuorumFailed { trace, op: "write" });
@@ -800,6 +817,14 @@ impl ClientObs {
         } else {
             self.reads_ok.inc();
         }
+        if let Some(alerts) = &self.alerts {
+            alerts.observe_traced(
+                now,
+                "degraded_reads",
+                f64::from(u8::from(fin.degraded)),
+                fin.trace.0,
+            );
+        }
         for lag in &fin.lagging {
             self.stale_replicas_seen.inc();
             // How far behind: the ts delta to the replica's newest version
@@ -810,6 +835,9 @@ impl ClientObs {
                 self.stale_ts_delta.record(lag.ts_delta_micros);
             }
             self.stale_age.record(age);
+            if let Some(alerts) = &self.alerts {
+                alerts.observe_traced(now, "staleness_age", age as f64, fin.trace.0);
+            }
             if self.registry.enabled() {
                 if !lag.missing {
                     self.staleness.ts_delta.record(now, lag.ts_delta_micros);
@@ -844,6 +872,10 @@ impl ClientObs {
         if let Some(done) = self.tracker.finish(fin.trace, now) {
             self.read_latency
                 .record_traced(done.total_micros, fin.trace.0);
+            if let Some(alerts) = &self.alerts {
+                alerts.observe_traced(now, "read_p99", done.total_micros as f64, fin.trace.0);
+                alerts.evaluate(now);
+            }
             if matches!(fin.result, ClientResult::Failed) {
                 self.journal.push(
                     now,
@@ -1078,6 +1110,12 @@ impl ClientCore {
     /// The client's observability surface (metrics, traces, journal).
     pub fn obs(&self) -> &ClientObs {
         &self.obs
+    }
+
+    /// Attaches the cluster-shared SLO engine (see
+    /// [`ClientObs::set_alert_engine`]).
+    pub fn set_alert_engine(&mut self, engine: Arc<AlertEngine>) {
+        self.obs.set_alert_engine(engine);
     }
 
     /// Opens the coordination session; send the returned message first.

@@ -17,6 +17,7 @@ use sedna_net::stats::NetStats;
 use sedna_net::threaded::{ExternalHandle, ThreadNet, ThreadNetConfig};
 use sedna_obs::journal::{Event, EventJournal};
 use sedna_obs::registry::{MetricsSnapshot, Registry};
+use sedna_obs::AlertEngine;
 use sedna_persist::PersistEngine;
 
 use crate::admin::{AdminActor, AdminState};
@@ -87,6 +88,12 @@ impl Gateway {
     /// The embedded client (metrics, journal, trace inspection).
     pub fn core(&self) -> &ClientCore {
         &self.core
+    }
+
+    /// Attaches the cluster-shared SLO engine to the embedded client so
+    /// gateway-served operations feed the burn-rate windows.
+    pub fn set_alert_engine(&mut self, engine: Arc<AlertEngine>) {
+        self.core.set_alert_engine(engine);
     }
 
     fn start_op(&mut self, from: ActorId, op_id: u64, op: ClientOp, ctx: &mut Ctx<'_, SednaMsg>) {
@@ -209,6 +216,11 @@ pub struct SimCluster {
     /// [`SimCluster::restart_node`] can rebuild a node against the same
     /// on-disk state ([`RestartKind::Recover`]).
     persist_for: Box<dyn FnMut(NodeId) -> Option<PersistEngine>>,
+    /// The cluster-shared SLO engine: every node and gateway feeds it;
+    /// firing transitions land in [`SimCluster::alerts_journal`].
+    alerts: Arc<AlertEngine>,
+    /// Journal receiving alert firing/resolve transitions.
+    alerts_journal: Arc<EventJournal>,
 }
 
 impl SimCluster {
@@ -239,6 +251,12 @@ impl SimCluster {
             Box::new(persist_for);
         let mut sim = Sim::new(sim_config);
         let ens = ensemble_config(&config);
+        let alerts_journal = Arc::new(EventJournal::new(config.journal_capacity));
+        let alerts = Arc::new(AlertEngine::new(
+            AlertEngine::default_specs(),
+            Some(alerts_journal.clone()),
+        ));
+        alerts.set_enabled(config.metrics_enabled);
         for i in 0..config.coord_replicas as u32 {
             let id = sim.add_actor(Box::new(CoordReplica::<SednaMsg>::new(ens.clone(), i)));
             debug_assert_eq!(id, config.coord_actor(i as usize));
@@ -247,11 +265,9 @@ impl SimCluster {
         debug_assert_eq!(id, config.manager_actor());
         for n in 0..config.data_nodes as u32 {
             let node = NodeId(n);
-            let id = sim.add_actor(Box::new(SednaNode::new(
-                config.clone(),
-                node,
-                persist_for(node),
-            )));
+            let mut actor = SednaNode::new(config.clone(), node, persist_for(node));
+            actor.set_alert_engine(alerts.clone());
+            let id = sim.add_actor(Box::new(actor));
             debug_assert_eq!(id, config.node_actor(node));
         }
         SimCluster {
@@ -259,6 +275,8 @@ impl SimCluster {
             config,
             gateways: Vec::new(),
             persist_for,
+            alerts,
+            alerts_journal,
         }
     }
 
@@ -311,11 +329,18 @@ impl SimCluster {
     /// Adds a gateway actor; returns its address.
     pub fn add_gateway(&mut self, client_index: u32) -> ActorId {
         let origin = self.config.client_origin(client_index);
-        let id = self
-            .sim
-            .add_actor(Box::new(Gateway::new(self.config.clone(), origin)));
+        let mut gw = Gateway::new(self.config.clone(), origin);
+        gw.set_alert_engine(self.alerts.clone());
+        let id = self.sim.add_actor(Box::new(gw));
         self.gateways.push(id);
         id
+    }
+
+    /// The cluster-shared SLO/alert engine (burn-rate state, transition
+    /// log) — what the nemesis harness cross-validates against ground
+    /// truth.
+    pub fn alert_engine(&self) -> &Arc<AlertEngine> {
+        &self.alerts
     }
 
     /// Cluster-wide metrics: every data node, the manager, every gateway
@@ -394,6 +419,7 @@ impl SimCluster {
                 out.extend(gw.core().obs().journal().events());
             }
         }
+        out.extend(self.alerts_journal.events());
         out.sort_by_key(|e| e.at);
         out
     }
@@ -461,17 +487,15 @@ impl SimCluster {
         match kind {
             RestartKind::Preserve => {}
             RestartKind::Empty => {
-                self.sim.replace_actor(
-                    actor,
-                    Box::new(SednaNode::new(self.config.clone(), node, None)),
-                );
+                let mut fresh = SednaNode::new(self.config.clone(), node, None);
+                fresh.set_alert_engine(self.alerts.clone());
+                self.sim.replace_actor(actor, Box::new(fresh));
             }
             RestartKind::Recover => {
                 let persist = (self.persist_for)(node);
-                self.sim.replace_actor(
-                    actor,
-                    Box::new(SednaNode::new(self.config.clone(), node, persist)),
-                );
+                let mut fresh = SednaNode::new(self.config.clone(), node, persist);
+                fresh.set_alert_engine(self.alerts.clone());
+                self.sim.replace_actor(actor, Box::new(fresh));
             }
         }
         self.sim.restart(actor);
@@ -547,6 +571,8 @@ pub struct ThreadCluster {
     telemetry: Vec<(NodeId, Arc<crate::admin::NodeTelemetry>)>,
     /// Bound address of the admin HTTP surface, when one was started.
     admin_addr: Option<std::net::SocketAddr>,
+    /// The cluster-shared SLO engine (nodes + gateway feed it).
+    alerts: Arc<AlertEngine>,
 }
 
 impl ThreadCluster {
@@ -571,18 +597,27 @@ impl ThreadCluster {
         for i in 0..config.coord_replicas as u32 {
             net.add_actor(Box::new(CoordReplica::<SednaMsg>::new(ens.clone(), i)));
         }
+        let alerts_journal = Arc::new(EventJournal::new(config.journal_capacity));
+        let alerts = Arc::new(AlertEngine::new(
+            AlertEngine::default_specs(),
+            Some(alerts_journal.clone()),
+        ));
+        alerts.set_enabled(config.metrics_enabled);
+        journals.push(alerts_journal);
         let manager = ClusterManager::new(config.clone());
         registries.push(manager.registry());
         journals.push(manager.journal());
         net.add_actor(Box::new(manager));
         for n in 0..config.data_nodes as u32 {
-            let node = SednaNode::new(config.clone(), NodeId(n), None);
+            let mut node = SednaNode::new(config.clone(), NodeId(n), None);
+            node.set_alert_engine(alerts.clone());
             registries.push(node.registry());
             journals.push(node.journal());
             telemetry.push((NodeId(n), node.telemetry()));
             net.add_actor(Box::new(node));
         }
-        let gw = Gateway::new(config.clone(), config.client_origin(0));
+        let mut gw = Gateway::new(config.clone(), config.client_origin(0));
+        gw.set_alert_engine(alerts.clone());
         registries.push(gw.core().obs().registry().clone());
         journals.push(gw.core().obs().journal().clone());
         let staleness = vec![gw.core().obs().staleness().clone()];
@@ -593,6 +628,7 @@ impl ThreadCluster {
                 journals: journals.clone(),
                 telemetry: telemetry.clone(),
                 staleness,
+                alerts: Some(alerts.clone()),
             };
             let (actor, addr) =
                 AdminActor::bind("127.0.0.1:0", state).expect("bind admin listener");
@@ -611,6 +647,7 @@ impl ThreadCluster {
             journals,
             telemetry,
             admin_addr,
+            alerts,
         }
     }
 
@@ -618,6 +655,11 @@ impl ThreadCluster {
     /// `curl http://<addr>/metrics`.
     pub fn admin_addr(&self) -> Option<std::net::SocketAddr> {
         self.admin_addr
+    }
+
+    /// The cluster-shared SLO/alert engine.
+    pub fn alert_engine(&self) -> &Arc<AlertEngine> {
+        &self.alerts
     }
 
     /// Cluster-wide metrics merged across every captured registry (data

@@ -1,0 +1,310 @@
+//! Prober-side divergence tracking: the causal-plane half of the
+//! observatory.
+//!
+//! Anti-entropy (the Merkle sync protocol in [`crate::node`]) *repairs*
+//! divergence but, before this module, said nothing about it: a healthy
+//! probe ended in silence and an unhealthy one only showed up indirectly
+//! as shipped rows. The tracker turns every sync observation into
+//! telemetry:
+//!
+//! * a **replica root matrix** — for each owned vnode, this node's own
+//!   Merkle root plus the last root observed from every peer replica
+//!   (learned from `SyncRootMatch` acks on agreement and reconstructed
+//!   from `SyncLeaves` via [`MerkleTree::from_leaves`] on disagreement);
+//! * **mismatch episodes** — a `(vnode, peer)` pair entering root
+//!   disagreement opens an episode; the first agreeing observation closes
+//!   it and yields its duration, the *time-to-merkle-convergence* sample;
+//! * **open-mismatch ages** — how long the currently-divergent pairs have
+//!   been divergent, the signal behind the `divergence_age` SLO.
+//!
+//! The tracker is plain bookkeeping (no locks, no I/O): the node actor
+//! owns one and publishes [`DivergenceSnapshot`]s through its telemetry
+//! handle on the stats tick, which is what `/divergence` and the nemesis
+//! run report render.
+//!
+//! [`MerkleTree::from_leaves`]: sedna_replication::MerkleTree::from_leaves
+
+use std::collections::HashMap;
+
+use sedna_common::time::Micros;
+use sedna_common::{NodeId, VNodeId};
+
+/// Completed episodes retained per node (oldest evicted).
+pub const EPISODE_CAP: usize = 256;
+
+/// Last observation of one peer's root for one vnode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PeerState {
+    root: u64,
+    observed_at: Micros,
+    /// When the current (still-open) mismatch began, if any.
+    mismatch_since: Option<Micros>,
+}
+
+/// One closed divergence episode: a `(vnode, peer)` pair that disagreed
+/// with this node's root and later converged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DivergenceEpisode {
+    /// The vnode whose replicas disagreed.
+    pub vnode: VNodeId,
+    /// The disagreeing peer.
+    pub peer: NodeId,
+    /// First mismatching observation.
+    pub started: Micros,
+    /// First matching observation after the mismatch run.
+    pub resolved: Micros,
+}
+
+impl DivergenceEpisode {
+    /// Time from first mismatch to convergence.
+    pub fn duration(&self) -> Micros {
+        self.resolved.saturating_sub(self.started)
+    }
+}
+
+/// One peer's entry in the published root matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeerRootRow {
+    /// The peer replica.
+    pub peer: NodeId,
+    /// Its last observed Merkle root for the vnode.
+    pub root: u64,
+    /// When that root was observed.
+    pub observed_at: Micros,
+    /// When the currently-open mismatch began (`None` = in agreement).
+    pub mismatch_since: Option<Micros>,
+}
+
+/// One vnode's row in the published root matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DivergenceRow {
+    /// The vnode.
+    pub vnode: VNodeId,
+    /// This node's own root at its last probe.
+    pub self_root: u64,
+    /// When the own root was computed.
+    pub self_at: Micros,
+    /// Every peer replica this node has sync-observed, by node id.
+    pub peers: Vec<PeerRootRow>,
+}
+
+/// Point-in-time view of the tracker, published via node telemetry.
+#[derive(Clone, Debug, Default)]
+pub struct DivergenceSnapshot {
+    /// Snapshot time.
+    pub at: Micros,
+    /// The replica root matrix, by vnode.
+    pub rows: Vec<DivergenceRow>,
+    /// Currently-open `(vnode, peer)` mismatches.
+    pub open: u64,
+    /// Age of the oldest open mismatch at snapshot time (0 when none).
+    pub max_age_micros: u64,
+    /// Episodes ever opened (closed + still open).
+    pub episodes_total: u64,
+    /// Retained closed episodes, oldest first (bounded by
+    /// [`EPISODE_CAP`]; older ones are dropped, not merged).
+    pub episodes: Vec<DivergenceEpisode>,
+}
+
+/// The per-node tracker. Owned by the node actor; mutated from sync
+/// handlers, snapshotted on the stats tick.
+#[derive(Default)]
+pub struct DivergenceTracker {
+    self_roots: HashMap<VNodeId, (u64, Micros)>,
+    peers: HashMap<(VNodeId, NodeId), PeerState>,
+    episodes: Vec<DivergenceEpisode>,
+    episodes_opened: u64,
+}
+
+impl DivergenceTracker {
+    /// Records this node's own root for `vnode` (computed when probing or
+    /// answering a probe).
+    pub fn note_self_root(&mut self, vnode: VNodeId, root: u64, now: Micros) {
+        self.self_roots.insert(vnode, (root, now));
+    }
+
+    /// Records an observation of `peer`'s root for `vnode`; `agrees` says
+    /// whether it matched this node's root at observation time. Returns
+    /// the episode duration when this observation *closes* an open
+    /// mismatch — the caller records it into the convergence histogram.
+    pub fn observe_peer(
+        &mut self,
+        vnode: VNodeId,
+        peer: NodeId,
+        root: u64,
+        agrees: bool,
+        now: Micros,
+    ) -> Option<Micros> {
+        let st = self.peers.entry((vnode, peer)).or_insert(PeerState {
+            root,
+            observed_at: now,
+            mismatch_since: None,
+        });
+        st.root = root;
+        st.observed_at = now;
+        if agrees {
+            let since = st.mismatch_since.take()?;
+            let ep = DivergenceEpisode {
+                vnode,
+                peer,
+                started: since,
+                resolved: now,
+            };
+            if self.episodes.len() == EPISODE_CAP {
+                self.episodes.remove(0);
+            }
+            self.episodes.push(ep);
+            Some(ep.duration())
+        } else {
+            if st.mismatch_since.is_none() {
+                st.mismatch_since = Some(now);
+                self.episodes_opened += 1;
+            }
+            None
+        }
+    }
+
+    /// Drops state for vnodes this node no longer owns (ring change).
+    /// Open mismatches for dropped vnodes close unrecorded — the pair is
+    /// no longer this node's to converge.
+    pub fn retain_vnodes(&mut self, owned: &[VNodeId]) {
+        self.self_roots.retain(|v, _| owned.contains(v));
+        self.peers.retain(|(v, _), _| owned.contains(v));
+    }
+
+    /// Currently-open `(vnode, peer)` mismatches.
+    pub fn open_mismatches(&self) -> u64 {
+        self.peers
+            .values()
+            .filter(|p| p.mismatch_since.is_some())
+            .count() as u64
+    }
+
+    /// Age of the oldest open mismatch (0 when none).
+    pub fn max_open_age(&self, now: Micros) -> Micros {
+        self.peers
+            .values()
+            .filter_map(|p| p.mismatch_since)
+            .map(|since| now.saturating_sub(since))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Episodes ever opened.
+    pub fn episodes_total(&self) -> u64 {
+        self.episodes_opened
+    }
+
+    /// Builds the publishable snapshot: matrix rows sorted by vnode,
+    /// peers sorted by node id.
+    pub fn snapshot(&self, now: Micros) -> DivergenceSnapshot {
+        let mut rows: Vec<DivergenceRow> = self
+            .self_roots
+            .iter()
+            .map(|(&vnode, &(self_root, self_at))| {
+                let mut peers: Vec<PeerRootRow> = self
+                    .peers
+                    .iter()
+                    .filter(|((v, _), _)| *v == vnode)
+                    .map(|(&(_, peer), st)| PeerRootRow {
+                        peer,
+                        root: st.root,
+                        observed_at: st.observed_at,
+                        mismatch_since: st.mismatch_since,
+                    })
+                    .collect();
+                peers.sort_by_key(|p| p.peer);
+                DivergenceRow {
+                    vnode,
+                    self_root,
+                    self_at,
+                    peers,
+                }
+            })
+            .collect();
+        rows.sort_by_key(|r| r.vnode);
+        DivergenceSnapshot {
+            at: now,
+            rows,
+            open: self.open_mismatches(),
+            max_age_micros: self.max_open_age(now),
+            episodes_total: self.episodes_opened,
+            episodes: self.episodes.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V: VNodeId = VNodeId(3);
+    const P: NodeId = NodeId(7);
+
+    #[test]
+    fn match_without_prior_mismatch_closes_nothing() {
+        let mut t = DivergenceTracker::default();
+        t.note_self_root(V, 42, 10);
+        assert_eq!(t.observe_peer(V, P, 42, true, 10), None);
+        assert_eq!(t.open_mismatches(), 0);
+        let snap = t.snapshot(20);
+        assert_eq!(snap.rows.len(), 1);
+        assert_eq!(snap.rows[0].peers[0].root, 42);
+        assert_eq!(snap.rows[0].peers[0].mismatch_since, None);
+        assert_eq!(snap.max_age_micros, 0);
+    }
+
+    #[test]
+    fn mismatch_opens_once_and_match_closes_with_duration() {
+        let mut t = DivergenceTracker::default();
+        t.note_self_root(V, 1, 100);
+        assert_eq!(t.observe_peer(V, P, 9, false, 100), None);
+        // Repeated mismatching observations extend, not reopen.
+        assert_eq!(t.observe_peer(V, P, 8, false, 400), None);
+        assert_eq!(t.open_mismatches(), 1);
+        assert_eq!(t.max_open_age(600), 500);
+        assert_eq!(t.episodes_total(), 1);
+        // Convergence: duration measured from the *first* mismatch.
+        assert_eq!(t.observe_peer(V, P, 1, true, 900), Some(800));
+        assert_eq!(t.open_mismatches(), 0);
+        let snap = t.snapshot(1000);
+        assert_eq!(snap.episodes.len(), 1);
+        assert_eq!(snap.episodes[0].duration(), 800);
+        assert_eq!(snap.episodes_total, 1);
+    }
+
+    #[test]
+    fn pairs_are_tracked_independently() {
+        let mut t = DivergenceTracker::default();
+        let q = NodeId(8);
+        t.note_self_root(V, 5, 0);
+        t.observe_peer(V, P, 6, false, 10);
+        t.observe_peer(V, q, 5, true, 10);
+        assert_eq!(t.open_mismatches(), 1);
+        let snap = t.snapshot(50);
+        assert_eq!(snap.rows[0].peers.len(), 2);
+        assert_eq!(snap.open, 1);
+        assert_eq!(snap.max_age_micros, 40);
+    }
+
+    #[test]
+    fn episode_log_is_bounded() {
+        let mut t = DivergenceTracker::default();
+        for i in 0..(EPISODE_CAP as u64 + 10) {
+            t.observe_peer(V, P, 9, false, i * 10);
+            t.observe_peer(V, P, 1, true, i * 10 + 5);
+        }
+        assert_eq!(t.snapshot(0).episodes.len(), EPISODE_CAP);
+        assert_eq!(t.episodes_total(), EPISODE_CAP as u64 + 10);
+    }
+
+    #[test]
+    fn ring_change_drops_departed_vnodes() {
+        let mut t = DivergenceTracker::default();
+        t.note_self_root(V, 1, 0);
+        t.observe_peer(V, P, 2, false, 0);
+        t.retain_vnodes(&[]);
+        assert_eq!(t.open_mismatches(), 0);
+        assert!(t.snapshot(1).rows.is_empty());
+    }
+}

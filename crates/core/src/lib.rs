@@ -37,6 +37,7 @@ pub mod admin;
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod divergence;
 pub mod fault;
 pub mod history;
 pub mod imbalance;
@@ -47,6 +48,7 @@ pub mod node;
 pub use client::{ClientCore, ClientEvent, QuorumReader, QuorumWriter, ReadKind, ScanCoordinator};
 pub use cluster::{Gateway, SimCluster, ThreadCluster};
 pub use config::{paths, ClusterConfig};
+pub use divergence::{DivergenceEpisode, DivergenceSnapshot, DivergenceTracker};
 pub use fault::{ClusterFault, RestartKind, ScheduledFault};
 pub use history::{ClientHistory, HistoryEvent, HistoryOp, HistoryOutcome};
 pub use imbalance::{EngineSummary, ImbalanceRow};

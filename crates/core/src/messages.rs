@@ -170,6 +170,18 @@ pub enum ReplicaOp {
         /// Which node is probing (for the exchange reply).
         from_node: NodeId,
     },
+    /// Anti-entropy ack: the probed replica's digest *matched*. Costs one
+    /// u64 and closes the loop for the prober's divergence telemetry — the
+    /// prober learns the peer's root (and that it agrees) instead of
+    /// inferring health from silence.
+    SyncRootMatch {
+        /// The vnode that was compared.
+        vnode: VNodeId,
+        /// The matching root digest.
+        root: u64,
+        /// Which node is acking.
+        from_node: NodeId,
+    },
     /// Anti-entropy, second round: the probed replica's digest differed, so
     /// it answers with its 64 Merkle leaf hashes (512 bytes) for divergence
     /// localization.
@@ -439,7 +451,8 @@ impl MessageSize for ReplicaOp {
             ReplicaOp::PushAck { .. } => 4,
             ReplicaOp::TransferRequest { .. }
             | ReplicaOp::TransferComplete { .. }
-            | ReplicaOp::SyncDigest { .. } => 16,
+            | ReplicaOp::SyncDigest { .. }
+            | ReplicaOp::SyncRootMatch { .. } => 16,
             ReplicaOp::Scan { prefix, .. } => prefix.len(),
             ReplicaOp::ScanReply { rows, .. } => {
                 rows.iter().map(|(k, v)| k.len() + v.value.len() + 24).sum()

@@ -29,9 +29,10 @@ use sedna_common::{CausalContext, Key, NodeId, RequestId, TraceId, VNodeId};
 use sedna_coord::client::{LeaseCache, LeaseConfig, SessionClient, SessionConfig, SessionEvent};
 use sedna_coord::messages::{CoordMsg, CoordOp, CoordReply};
 use sedna_memstore::{MemStore, SpaceSaving, StoreConfig, WriteOutcome};
-use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_net::actor::{Actor, ActorId, Ctx, MessageSize, TimerToken};
 use sedna_obs::journal::EventJournal;
 use sedna_obs::registry::{Hist, MetricsSnapshot, Registry};
+use sedna_obs::AlertEngine;
 use sedna_persist::PersistEngine;
 use sedna_replication::{row_hash, MerkleTree};
 use sedna_ring::{HotKeyRow, VNodeMap, VNodeStats};
@@ -39,6 +40,7 @@ use sedna_triggers::{JobSpec, TriggerEngine, TriggerSink, WriteMode};
 
 use crate::client::QuorumWriter;
 use crate::config::{paths, ClusterConfig};
+use crate::divergence::DivergenceTracker;
 use crate::messages::{
     ControlMsg, ReplicaOp, ReplicaReadReply, ReplicaWriteAck, SednaMsg, WriteKind,
 };
@@ -69,10 +71,15 @@ pub struct NodeStats {
     pub sync_probes: u64,
     /// Anti-entropy rounds that found divergence and exchanged rows.
     pub sync_exchanges: u64,
+    /// Probes answered (or acked back) "roots match" — the healthy
+    /// outcome, now explicit on the wire (`SyncRootMatch`).
+    pub sync_root_matches: u64,
     /// Anti-entropy leaf-hash exchanges (round two of the Merkle protocol).
     pub sync_leaf_exchanges: u64,
     /// Rows shipped to peers during anti-entropy repair.
     pub sync_rows_shipped: u64,
+    /// Modelled wire bytes of `SyncRows` frames shipped to peers.
+    pub sync_bytes_shipped: u64,
     /// Rows whose local state changed by merging a peer's anti-entropy rows.
     pub sync_rows_merged: u64,
     /// Replica writes applied.
@@ -118,6 +125,12 @@ pub struct SednaNode {
     hot_sketches: Vec<SpaceSaving>,
     /// Live per-vnode/hot-key view shared with the admin surface.
     telemetry: Arc<crate::admin::NodeTelemetry>,
+    /// Causal-plane bookkeeping: replica root matrix + mismatch episodes.
+    divergence: DivergenceTracker,
+    /// Cluster-shared SLO engine (when the cluster wires one in); the node
+    /// feeds divergence ages and write-conflict samples and triggers
+    /// evaluations from its stats tick.
+    alerts: Option<Arc<AlertEngine>>,
     last_ts: (Micros, u32),
     last_ping: Micros,
     last_lease_check: Micros,
@@ -138,6 +151,11 @@ struct NodeObs {
     apply_hist: Hist,
     /// Coordination heartbeat round-trip time (µs, virtual clock).
     ping_rtt: Hist,
+    /// Time from first observed Merkle root mismatch to convergence, µs.
+    sync_convergence: Hist,
+    /// Diff-descent depth per probe: 1 = roots matched, 2 = leaves
+    /// exchanged but no differing bucket, 3 = rows shipped.
+    sync_descent: Hist,
 }
 
 impl NodeObs {
@@ -145,11 +163,15 @@ impl NodeObs {
         let registry = Arc::new(Registry::new(cfg.metrics_enabled));
         let apply_hist = registry.hist("sedna_node_apply_nanos");
         let ping_rtt = registry.hist("sedna_coord_ping_rtt_micros");
+        let sync_convergence = registry.hist("sedna_sync_convergence_micros");
+        let sync_descent = registry.hist("sedna_sync_descent_depth");
         NodeObs {
             registry,
             journal: Arc::new(EventJournal::new(cfg.journal_capacity)),
             apply_hist,
             ping_rtt,
+            sync_convergence,
+            sync_descent,
         }
     }
 }
@@ -198,6 +220,8 @@ impl SednaNode {
             vnode_stats,
             hot_sketches,
             telemetry: Arc::new(crate::admin::NodeTelemetry::default()),
+            divergence: DivergenceTracker::default(),
+            alerts: None,
             last_ts: (0, 0),
             last_ping: 0,
             last_lease_check: 0,
@@ -236,6 +260,11 @@ impl SednaNode {
         self.stats
     }
 
+    /// Point-in-time divergence view (replica root matrix + episodes).
+    pub fn divergence_snapshot(&self, now: Micros) -> crate::divergence::DivergenceSnapshot {
+        self.divergence.snapshot(now)
+    }
+
     /// Local per-vnode statistics (feeds the imbalance table).
     pub fn vnode_stats(&self) -> &[VNodeStats] {
         &self.vnode_stats
@@ -268,6 +297,12 @@ impl SednaNode {
     /// moves into a runtime, like [`SednaNode::registry`]).
     pub fn telemetry(&self) -> Arc<crate::admin::NodeTelemetry> {
         self.telemetry.clone()
+    }
+
+    /// Attaches the cluster-shared SLO engine. Called by the cluster
+    /// builders before the actor moves into a runtime.
+    pub fn set_alert_engine(&mut self, engine: Arc<AlertEngine>) {
+        self.alerts = Some(engine);
     }
 
     /// This node's metrics registry (shared handle; survives the actor
@@ -307,9 +342,19 @@ impl SednaNode {
             ("sedna_node_pushes", s.pushes),
             ("sedna_node_sync_probes", s.sync_probes),
             ("sedna_node_sync_exchanges", s.sync_exchanges),
+            ("sedna_node_sync_root_matches", s.sync_root_matches),
             ("sedna_node_sync_leaf_exchanges", s.sync_leaf_exchanges),
             ("sedna_node_sync_rows_shipped", s.sync_rows_shipped),
+            ("sedna_node_sync_bytes_shipped", s.sync_bytes_shipped),
             ("sedna_node_sync_rows_merged", s.sync_rows_merged),
+            (
+                "sedna_sync_open_mismatches",
+                self.divergence.open_mismatches(),
+            ),
+            (
+                "sedna_sync_episodes_total",
+                self.divergence.episodes_total(),
+            ),
             ("sedna_node_transfers_in", s.transfers_in),
             ("sedna_node_transfers_out", s.transfers_out),
             ("sedna_node_trigger_emits", s.trigger_emits),
@@ -392,6 +437,7 @@ impl SednaNode {
                 self.hot_sketches[v.index()].clear();
             }
         }
+        self.divergence.retain_vnodes(&map.vnodes_of(me));
         self.ring = Some(map);
     }
 
@@ -460,6 +506,7 @@ impl SednaNode {
             return;
         }
         let digest = self.vnode_digest(vnode);
+        self.divergence.note_self_root(vnode, digest, ctx.now());
         self.stats.sync_probes += 1;
         for peer in peers {
             ctx.send(
@@ -572,6 +619,16 @@ impl SednaNode {
         }
     }
 
+    /// Feeds one client-write sample to the `lost_writes` SLO. A replica
+    /// refusing a fresh write as timestamp-outdated is the runtime
+    /// signature of a concurrent update silently dominated by wall-clock
+    /// order — exactly what legacy (non-DVV) timestamps do under skew.
+    fn observe_write_conflict(&self, conflicted: bool, trace: TraceId, now: Micros) {
+        if let Some(alerts) = &self.alerts {
+            alerts.observe_traced(now, "lost_writes", f64::from(u8::from(conflicted)), trace.0);
+        }
+    }
+
     fn handle_replica(&mut self, from: ActorId, op: ReplicaOp, ctx: &mut Ctx<'_, SednaMsg>) {
         match op {
             ReplicaOp::Write {
@@ -581,7 +638,7 @@ impl SednaNode {
                 value,
                 kind,
                 ctx: wctx,
-                trace: _,
+                trace,
             } => {
                 if !self.owns(&key) {
                     self.stats.refused += 1;
@@ -637,6 +694,7 @@ impl SednaNode {
                         ReplicaWriteAck::Outdated
                     }
                 };
+                self.observe_write_conflict(ack == ReplicaWriteAck::Outdated, trace, ctx.now());
                 ctx.send(
                     from,
                     SednaMsg::Replica(ReplicaOp::WriteAck {
@@ -731,8 +789,11 @@ impl SednaNode {
                 from_node,
             } => {
                 // Round one: compare Merkle roots. Identical copies cost a
-                // single u64 each way; on divergence answer with our 64
-                // leaf hashes so the prober can localize.
+                // single u64 each way — the match is acked explicitly
+                // (`SyncRootMatch`) so the prober's divergence telemetry
+                // learns peer roots instead of inferring health from
+                // silence. On divergence answer with our 64 leaf hashes so
+                // the prober can localize.
                 if !self
                     .ring
                     .as_ref()
@@ -740,8 +801,27 @@ impl SednaNode {
                 {
                     return;
                 }
+                let now = ctx.now();
                 let tree = self.vnode_tree(vnode);
-                if tree.root() == digest {
+                let root = tree.root();
+                self.divergence.note_self_root(vnode, root, now);
+                // The probe itself is an observation of the prober's root.
+                if let Some(took) =
+                    self.divergence
+                        .observe_peer(vnode, from_node, digest, root == digest, now)
+                {
+                    self.obs.sync_convergence.record(took);
+                }
+                if root == digest {
+                    self.stats.sync_root_matches += 1;
+                    ctx.send(
+                        self.cfg.node_actor(from_node),
+                        SednaMsg::Replica(ReplicaOp::SyncRootMatch {
+                            vnode,
+                            root,
+                            from_node: self.node_id,
+                        }),
+                    );
                     return;
                 }
                 self.stats.sync_exchanges += 1;
@@ -754,6 +834,25 @@ impl SednaNode {
                     }),
                 );
             }
+            ReplicaOp::SyncRootMatch {
+                vnode,
+                root,
+                from_node,
+            } => {
+                // The probed replica agreed with our probe digest: depth-1
+                // descent (cheapest possible probe), and — when the pair
+                // was previously divergent — the close of a mismatch
+                // episode, i.e. a time-to-convergence sample.
+                let now = ctx.now();
+                self.stats.sync_root_matches += 1;
+                self.obs.sync_descent.record(1);
+                if let Some(took) = self
+                    .divergence
+                    .observe_peer(vnode, from_node, root, true, now)
+                {
+                    self.obs.sync_convergence.record(took);
+                }
+            }
             ReplicaOp::SyncLeaves {
                 vnode,
                 from_node,
@@ -761,7 +860,9 @@ impl SednaNode {
             } => {
                 // Round two: diff the peer's leaves against ours and ship
                 // only rows from the differing buckets, asking the peer to
-                // answer with its own rows for those buckets.
+                // answer with its own rows for those buckets. The shipped
+                // leaves also tell us the peer's *root* (reconstructed
+                // locally), which feeds the replica root matrix.
                 if !self
                     .ring
                     .as_ref()
@@ -769,23 +870,40 @@ impl SednaNode {
                 {
                     return;
                 }
-                let mask = self.vnode_tree(vnode).diff_leaves(&leaves);
+                let now = ctx.now();
+                let tree = self.vnode_tree(vnode);
+                let peer_root = MerkleTree::from_leaves(*leaves).root();
+                self.divergence.note_self_root(vnode, tree.root(), now);
+                if let Some(took) = self.divergence.observe_peer(
+                    vnode,
+                    from_node,
+                    peer_root,
+                    tree.root() == peer_root,
+                    now,
+                ) {
+                    self.obs.sync_convergence.record(took);
+                }
+                let mask = tree.diff_leaves(&leaves);
                 if mask == 0 {
+                    // Roots differed at probe time but the trees agree now
+                    // (or differ only above the leaves, which XOR algebra
+                    // rules out): depth-2 descent, nothing to ship.
+                    self.obs.sync_descent.record(2);
                     return;
                 }
+                self.obs.sync_descent.record(3);
                 self.stats.sync_leaf_exchanges += 1;
                 let rows = self.rows_in_leaves(vnode, mask);
                 self.stats.sync_rows_shipped += rows.len() as u64;
-                ctx.send(
-                    self.cfg.node_actor(from_node),
-                    SednaMsg::Replica(ReplicaOp::SyncRows {
-                        vnode,
-                        from_node: self.node_id,
-                        leaf_mask: mask,
-                        rows,
-                        reply_wanted: true,
-                    }),
-                );
+                let op = ReplicaOp::SyncRows {
+                    vnode,
+                    from_node: self.node_id,
+                    leaf_mask: mask,
+                    rows,
+                    reply_wanted: true,
+                };
+                self.stats.sync_bytes_shipped += op.size_bytes() as u64;
+                ctx.send(self.cfg.node_actor(from_node), SednaMsg::Replica(op));
             }
             ReplicaOp::SyncRows {
                 vnode,
@@ -819,16 +937,15 @@ impl SednaNode {
                 if reply_wanted {
                     let rows = self.rows_in_leaves(vnode, leaf_mask);
                     self.stats.sync_rows_shipped += rows.len() as u64;
-                    ctx.send(
-                        self.cfg.node_actor(from_node),
-                        SednaMsg::Replica(ReplicaOp::SyncRows {
-                            vnode,
-                            from_node: self.node_id,
-                            leaf_mask,
-                            rows,
-                            reply_wanted: false,
-                        }),
-                    );
+                    let op = ReplicaOp::SyncRows {
+                        vnode,
+                        from_node: self.node_id,
+                        leaf_mask,
+                        rows,
+                        reply_wanted: false,
+                    };
+                    self.stats.sync_bytes_shipped += op.size_bytes() as u64;
+                    ctx.send(self.cfg.node_actor(from_node), SednaMsg::Replica(op));
                 }
             }
             ReplicaOp::TransferComplete { vnode } => {
@@ -867,7 +984,7 @@ impl SednaNode {
     fn handle_batch(&mut self, from: ActorId, ops: Vec<ReplicaOp>, ctx: &mut Ctx<'_, SednaMsg>) {
         let n = ops.len();
         let mut acks: Vec<Option<ReplicaOp>> = vec![None; n];
-        let mut write_meta: Vec<(usize, RequestId, WriteKind)> = Vec::new();
+        let mut write_meta: Vec<(usize, RequestId, WriteKind, TraceId)> = Vec::new();
         let mut write_items: Vec<sedna_memstore::BatchWrite> = Vec::new();
         let mut read_meta: Vec<(usize, RequestId)> = Vec::new();
         let mut read_keys: Vec<Key> = Vec::new();
@@ -880,10 +997,10 @@ impl SednaNode {
                     value,
                     kind,
                     ctx: wctx,
-                    trace: _,
+                    trace,
                 } => {
                     if self.owns(&key) {
-                        write_meta.push((i, req, kind));
+                        write_meta.push((i, req, kind, trace));
                         write_items.push(sedna_memstore::BatchWrite {
                             key,
                             ts,
@@ -929,7 +1046,7 @@ impl SednaNode {
         if !write_items.is_empty() {
             self.obs.apply_hist.record(write_nanos);
         }
-        for (((i, req, kind), item), res) in
+        for (((i, req, kind, trace), item), res) in
             write_meta.into_iter().zip(&write_items).zip(write_results)
         {
             let ack = match res.outcome {
@@ -961,6 +1078,7 @@ impl SednaNode {
                     ReplicaWriteAck::Outdated
                 }
             };
+            self.observe_write_conflict(ack == ReplicaWriteAck::Outdated, trace, ctx.now());
             acks[i] = Some(ReplicaOp::WriteAck {
                 req,
                 ack,
@@ -1265,12 +1383,25 @@ impl Actor for SednaNode {
                 ctx.set_timer(T_PERSIST, self.cfg.scan_interval_micros * 8);
             }
             T_STATS => {
+                let now = ctx.now();
                 self.mirror_gauges();
                 self.telemetry.publish_engine(self.store.engine_stats());
+                self.telemetry
+                    .publish_divergence(self.divergence.snapshot(now));
+                if let Some(alerts) = &self.alerts {
+                    // The divergence-age SLO samples the oldest open
+                    // mismatch every tick; 0 when all replicas agree.
+                    alerts.observe(
+                        now,
+                        "divergence_age",
+                        self.divergence.max_open_age(now) as f64,
+                    );
+                    alerts.evaluate(now);
+                }
                 if let Some(ring) = &self.ring {
                     let owned = ring.vnodes_of(self.node_id);
                     self.telemetry
-                        .publish(ctx.now(), &owned, &self.vnode_stats, self.hot_keys());
+                        .publish(now, &owned, &self.vnode_stats, self.hot_keys());
                 }
                 if self.session.session().is_some() {
                     self.publish_stats(ctx);

@@ -166,7 +166,28 @@ fn admin_surface_serves_all_endpoints() {
 
     let (status, journal) = http_get(addr, "/journal");
     assert!(status.contains("200"));
-    assert!(journal.starts_with("{\"events\":["));
+    assert!(
+        journal.starts_with("{\"next\":\""),
+        "journal body leads with the resume cursor: {journal}"
+    );
+    assert!(journal.contains("\"events\":["));
+    // Resume from the returned cursor: boot-time events (ring installs,
+    // recoveries) must not be replayed, so the tail scrape is strictly
+    // smaller than the full one.
+    let full_events = journal.matches("\"seq\":").count();
+    assert!(full_events > 0, "no journal events after a workload");
+    let next = journal
+        .strip_prefix("{\"next\":\"")
+        .and_then(|rest| rest.split('"').next())
+        .expect("cursor in journal body");
+    let (status, tail) = http_get(addr, &format!("/journal?since={next}"));
+    assert!(status.contains("200"));
+    assert!(tail.starts_with("{\"next\":\""));
+    let tail_events = tail.matches("\"seq\":").count();
+    assert!(
+        tail_events < full_events,
+        "cursor did not skip already-served events: {tail_events} vs {full_events}"
+    );
 
     // Engine internals: published on the same stats tick that surfaced the
     // hot keys, so they are live by now.
@@ -191,6 +212,40 @@ fn admin_surface_serves_all_endpoints() {
     );
     assert!(flight.contains("\"threads\":["), "body: {flight}");
 
+    // The RAG rollup over the SLO engine.
+    let (status, health) = http_get(addr, "/health");
+    assert!(status.contains("200"));
+    assert!(health.starts_with("{\"status\":\""), "body: {health}");
+    assert!(health.contains("\"firing\":["), "body: {health}");
+    assert!(health.contains("\"alerts\":["), "body: {health}");
+    assert!(
+        health.contains("\"slo\":\"read_p99\""),
+        "default SLO set missing from /health: {health}"
+    );
+
+    // Full alert state + the transition log.
+    let (status, alerts) = http_get(addr, "/alerts");
+    assert!(status.contains("200"));
+    assert!(alerts.starts_with("{\"at_micros\":"), "body: {alerts}");
+    assert!(alerts.contains("\"transitions\":["), "body: {alerts}");
+    assert!(alerts.contains("\"objective\":"), "body: {alerts}");
+
+    // The replica root matrix (rows appear once anti-entropy has probed;
+    // the endpoint itself must serve valid JSON from cold start).
+    let (status, divergence) = http_get(addr, "/divergence");
+    assert!(status.contains("200"));
+    assert!(
+        divergence.starts_with("{\"now_micros\":"),
+        "body: {divergence}"
+    );
+    assert!(divergence.contains("\"nodes\":["), "body: {divergence}");
+
+    // The alert gauges are part of the exposition whenever the engine is
+    // wired, so dashboards can alert on them from cold start.
+    assert!(metrics.contains("# TYPE sedna_alert_state gauge"));
+    assert!(metrics.contains("sedna_alert_state{slo=\"read_p99\"}"));
+    assert!(metrics.contains("sedna_alert_fired_total{slo=\"divergence_age\"}"));
+
     // Persist the scrapes so CI can upload them as build artifacts (a
     // known-good reference of what the endpoints emit at this commit).
     let scrape_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/admin-scrape");
@@ -198,9 +253,30 @@ fn admin_surface_serves_all_endpoints() {
     std::fs::write(format!("{scrape_dir}/metrics.prom"), &metrics).unwrap();
     std::fs::write(format!("{scrape_dir}/internals.json"), &internals).unwrap();
     std::fs::write(format!("{scrape_dir}/flight.json"), &flight).unwrap();
+    std::fs::write(format!("{scrape_dir}/health.json"), &health).unwrap();
+    std::fs::write(format!("{scrape_dir}/alerts.json"), &alerts).unwrap();
+    std::fs::write(format!("{scrape_dir}/divergence.json"), &divergence).unwrap();
 
-    let (status, _) = http_get(addr, "/definitely-not-here");
+    // Unknown paths get a proper 404 with a JSON body naming the path.
+    let (status, body) = http_get(addr, "/definitely-not-here");
     assert!(status.contains("404"), "expected 404, got: {status}");
+    assert!(
+        body.contains("\"error\":\"not found\"") && body.contains("/definitely-not-here"),
+        "404 body: {body}"
+    );
+
+    // A malformed request line gets a 400 JSON body and a clean close
+    // (read_to_end returns instead of hanging on a dangling socket).
+    {
+        let mut s = TcpStream::connect(addr).expect("connect admin");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"BOGUS\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).expect("read 400 response");
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.0 400"), "got: {text}");
+        assert!(text.contains("\"error\":\"bad request\""), "got: {text}");
+    }
 
     cluster.shutdown();
 }

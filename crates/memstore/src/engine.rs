@@ -55,6 +55,12 @@ pub(crate) struct EngineStats {
     pub batch_applies: AtomicU64,
     /// Writes submitted through `apply_batch`.
     pub batch_ops: AtomicU64,
+    /// Sibling-set sizes after each row mutation (write or merge): the
+    /// number of live concurrent versions the row holds. Under LWW this
+    /// pegs at 1; under DVV sibling tables it measures how much causal
+    /// concurrency the workload actually produces — the signal the
+    /// divergence observatory reads.
+    pub sibling_set: Histogram,
 }
 
 impl EngineStats {
@@ -71,6 +77,7 @@ impl EngineStats {
             evict_exact_rounds: AtomicU64::new(0),
             batch_applies: AtomicU64::new(0),
             batch_ops: AtomicU64::new(0),
+            sibling_set: Histogram::new(),
         }
     }
 
@@ -122,6 +129,9 @@ pub struct EngineSnapshot {
     pub batch_applies: u64,
     /// Writes submitted through `apply_batch`.
     pub batch_ops: u64,
+    /// Sibling-set sizes after each row mutation (live concurrent
+    /// versions per row).
+    pub sibling_set: HistSnapshot,
     /// Live index entries across all shards.
     pub live_rows: u64,
     /// Tombstoned slots across all shards.

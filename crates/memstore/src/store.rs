@@ -426,6 +426,7 @@ impl MemStore {
                         meta.dirty = true;
                         inner.payload_bytes =
                             inner.payload_bytes + payload_of(&new) - payload_of(&cur);
+                        self.engine.sibling_set.record(new.as_slice().len() as u64);
                         // SAFETY: writer lock + guard held.
                         unsafe { row.replace_snap(new, guard) };
                         shard.touch(row);
@@ -442,6 +443,7 @@ impl MemStore {
                     unreachable!("write into empty row must replace");
                 };
                 inner.payload_bytes += key.len() + payload_of(&new) + ROW_OVERHEAD;
+                self.engine.sibling_set.record(new.as_slice().len() as u64);
                 let stamp = shard.clock.fetch_add(1, Ordering::Relaxed);
                 let row = Row::new(
                     key.clone(),
@@ -707,6 +709,7 @@ impl MemStore {
                     Some(snap) => {
                         inner.payload_bytes =
                             inner.payload_bytes + payload_of(&snap) - payload_of(&cur);
+                        self.engine.sibling_set.record(snap.as_slice().len() as u64);
                         // SAFETY: writer lock + guard held.
                         unsafe { row.replace_snap(snap, &guard) };
                         shard.touch(row);
@@ -732,6 +735,7 @@ impl MemStore {
                     return false;
                 }
                 inner.payload_bytes += key.len() + payload_of(&snap) + ROW_OVERHEAD;
+                self.engine.sibling_set.record(snap.as_slice().len() as u64);
                 let stamp = shard.clock.fetch_add(1, Ordering::Relaxed);
                 let row = Row::new(key.clone(), h, snap, RowMeta::default(), stamp);
                 self.insert_row(shard, &mut inner, h, row, &guard);
@@ -1055,6 +1059,7 @@ impl MemStore {
             evict_exact_rounds: self.engine.evict_exact_rounds.load(Ordering::Relaxed),
             batch_applies: self.engine.batch_applies.load(Ordering::Relaxed),
             batch_ops: self.engine.batch_ops.load(Ordering::Relaxed),
+            sibling_set: self.engine.sibling_set.snapshot(),
             epoch: epoch::stats(),
             ..EngineSnapshot::default()
         };
@@ -1587,6 +1592,31 @@ mod tests {
             e.epoch.pending,
             e.epoch.retires.saturating_sub(e.epoch.frees)
         );
+    }
+
+    #[test]
+    fn sibling_set_histogram_tracks_concurrent_versions() {
+        let s = MemStore::new(StoreConfig {
+            resolution: ResolutionConfig::uniform(TablePolicy::Siblings),
+            ..StoreConfig::default()
+        });
+        let key = Key::from("cart");
+        // Two writers with empty contexts: concurrent dots, both retained.
+        s.write_all_ctx(&key, ts(10, 1), Value::from("a"), &CausalContext::EMPTY);
+        s.write_all_ctx(&key, ts(10, 2), Value::from("b"), &CausalContext::EMPTY);
+        let e = s.engine_stats();
+        assert_eq!(e.sibling_set.count, 2, "both applied writes recorded");
+        assert_eq!(e.sibling_set.min, 1, "first write holds one version");
+        assert_eq!(e.sibling_set.max, 2, "second write created a sibling");
+        // A covering write collapses the siblings back to one version and
+        // records the post-collapse size.
+        let mut ctx = CausalContext::EMPTY;
+        ctx.observe(&ts(10, 1));
+        ctx.observe(&ts(10, 2));
+        s.write_all_ctx(&key, ts(20, 1), Value::from("merged"), &ctx);
+        let e = s.engine_stats();
+        assert_eq!(e.sibling_set.count, 3);
+        assert_eq!(s.read_all(&key).unwrap().as_slice().len(), 1);
     }
 
     #[test]

@@ -410,18 +410,19 @@ pub fn install_panic_hook() {
     });
 }
 
+/// The recorder is process-global state; tests (here and in `alert`) that
+/// flip the enable switch or the anomaly slot serialize on this.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static L: OnceLock<Mutex<()>> = OnceLock::new();
+    L.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// The recorder is process-global state; tests that flip the enable
-    /// switch or the anomaly slot serialize on this.
-    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
-        static L: OnceLock<Mutex<()>> = OnceLock::new();
-        L.get_or_init(|| Mutex::new(()))
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-    }
 
     #[test]
     fn records_and_dumps_in_order() {

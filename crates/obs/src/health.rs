@@ -1,0 +1,232 @@
+//! Red/amber/green health rollup over the alert engine.
+//!
+//! `/health` is the one-glance operator surface: a single RAG status
+//! derived from every SLO's alert phase, plus the per-SLO detail needed to
+//! see *why* the cluster is amber or red without scraping `/metrics`.
+//! Rollup rule: any Firing alert → **red**; otherwise any Pending alert →
+//! **amber**; otherwise **green**. The mapping is deliberately boring —
+//! operators should never have to reverse-engineer a scoring formula
+//! during an incident.
+
+use std::fmt;
+
+use sedna_common::time::Micros;
+
+use crate::alert::{AlertEngine, AlertPhase, AlertView};
+
+/// The rollup status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rag {
+    /// Every SLO is Ok.
+    Green,
+    /// At least one SLO is Pending (burning, not yet paged).
+    Amber,
+    /// At least one SLO is Firing.
+    Red,
+}
+
+impl Rag {
+    /// Lower-case name used in JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rag::Green => "green",
+            Rag::Amber => "amber",
+            Rag::Red => "red",
+        }
+    }
+}
+
+impl fmt::Display for Rag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Point-in-time health report: the rollup plus every SLO's view.
+#[derive(Clone, Debug)]
+pub struct HealthReport {
+    /// Evaluation time.
+    pub at: Micros,
+    /// The rollup.
+    pub status: Rag,
+    /// Every SLO, firing first, then pending, then ok.
+    pub alerts: Vec<AlertView>,
+}
+
+impl HealthReport {
+    /// Builds a report from the engine's current state.
+    pub fn from_engine(engine: &AlertEngine, now: Micros) -> HealthReport {
+        HealthReport::from_alerts(now, engine.alerts(now))
+    }
+
+    /// Builds a report from pre-fetched alert views.
+    pub fn from_alerts(now: Micros, mut alerts: Vec<AlertView>) -> HealthReport {
+        let rank = |p: AlertPhase| match p {
+            AlertPhase::Firing => 0u8,
+            AlertPhase::Pending => 1,
+            AlertPhase::Ok => 2,
+        };
+        alerts.sort_by_key(|a| rank(a.phase));
+        let status = match alerts.iter().map(|a| a.phase).max_by_key(|p| 2 - rank(*p)) {
+            Some(AlertPhase::Firing) => Rag::Red,
+            Some(AlertPhase::Pending) => Rag::Amber,
+            _ => Rag::Green,
+        };
+        HealthReport {
+            at: now,
+            status,
+            alerts,
+        }
+    }
+
+    /// Names of firing alerts.
+    pub fn firing(&self) -> Vec<&'static str> {
+        self.alerts
+            .iter()
+            .filter(|a| a.phase == AlertPhase::Firing)
+            .map(|a| a.slo)
+            .collect()
+    }
+
+    /// JSON rendering for the admin surface.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"status\":\"{}\",\"at_micros\":{},\"firing\":[",
+            self.status, self.at
+        );
+        for (i, name) in self.firing().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json_escape(name));
+        }
+        out.push_str("],\"alerts\":[");
+        for (i, a) in self.alerts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            render_alert_json(&mut out, a);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One alert view as a JSON object (shared by `/health` and `/alerts`).
+pub fn render_alert_json(out: &mut String, a: &AlertView) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"slo\":\"{}\",\"help\":\"{}\",\"objective\":\"{}\",\
+         \"phase\":\"{}\",\"since_micros\":{},\"short_burn\":{:.6},\
+         \"long_burn\":{:.6},\"samples\":{},\"last_value\":{:.3},\
+         \"trace\":\"{:#x}\",\"fired_total\":{}}}",
+        json_escape(a.slo),
+        json_escape(a.help),
+        a.objective,
+        a.phase,
+        a.since,
+        a.short_burn,
+        a.long_burn,
+        a.samples,
+        a.last_value,
+        a.trace,
+        a.fired_total,
+    );
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::{Objective, SloSpec};
+
+    fn view(slo: &'static str, phase: AlertPhase) -> AlertView {
+        AlertView {
+            slo,
+            help: "h",
+            objective: Objective::AtMost(1.0),
+            phase,
+            since: 5,
+            short_burn: 0.0,
+            long_burn: 0.0,
+            samples: 0,
+            last_value: 0.0,
+            trace: 0,
+            fired_total: 0,
+        }
+    }
+
+    #[test]
+    fn rollup_prefers_worst_phase() {
+        let r = HealthReport::from_alerts(1, vec![view("a", AlertPhase::Ok)]);
+        assert_eq!(r.status, Rag::Green);
+        let r = HealthReport::from_alerts(
+            1,
+            vec![view("a", AlertPhase::Ok), view("b", AlertPhase::Pending)],
+        );
+        assert_eq!(r.status, Rag::Amber);
+        let r = HealthReport::from_alerts(
+            1,
+            vec![
+                view("a", AlertPhase::Ok),
+                view("b", AlertPhase::Pending),
+                view("c", AlertPhase::Firing),
+            ],
+        );
+        assert_eq!(r.status, Rag::Red);
+        // Worst-first ordering for the rendered detail.
+        assert_eq!(r.alerts[0].slo, "c");
+        assert_eq!(r.firing(), vec!["c"]);
+    }
+
+    #[test]
+    fn empty_engine_is_green() {
+        let engine = AlertEngine::new(Vec::new(), None);
+        let r = HealthReport::from_engine(&engine, 0);
+        assert_eq!(r.status, Rag::Green);
+        assert!(r.alerts.is_empty());
+    }
+
+    #[test]
+    fn json_is_well_formed_and_names_the_firing_alert() {
+        let engine = AlertEngine::new(
+            vec![SloSpec::zero_tolerance("lost_writes", "no lost writes")],
+            None,
+        );
+        let r = HealthReport::from_engine(&engine, 9);
+        let json = r.render_json();
+        assert!(json.starts_with("{\"status\":\"green\""), "{json}");
+        assert!(json.contains("\"slo\":\"lost_writes\""), "{json}");
+        assert!(json.contains("\"objective\":\"<= 0.5\""), "{json}");
+        let fired = HealthReport::from_alerts(3, vec![view("deg", AlertPhase::Firing)]);
+        let json = fired.render_json();
+        assert!(json.contains("\"status\":\"red\""), "{json}");
+        assert!(json.contains("\"firing\":[\"deg\"]"), "{json}");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

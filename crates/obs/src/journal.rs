@@ -78,6 +78,19 @@ pub enum EventKind {
         /// True on join, false on leave/expiry.
         joined: bool,
     },
+    /// An SLO alert changed phase (pending → firing → resolved); fired by
+    /// the in-process alert engine's burn-rate evaluation.
+    Alert {
+        /// Name of the SLO (`read_p99`, `divergence_age`, …).
+        slo: &'static str,
+        /// Phase before the transition (`ok`, `pending`, `firing`).
+        from: &'static str,
+        /// Phase after the transition.
+        to: &'static str,
+        /// Trace of the most recent breaching sample (0 when untraced);
+        /// joins with the flight-recorder dump the transition triggered.
+        trace: u64,
+    },
     /// An anti-entropy exchange repaired divergence on a vnode: Merkle
     /// diffing localized `leaves` differing leaf buckets and merging the
     /// peer's rows changed `merged` local rows.
@@ -127,6 +140,14 @@ impl fmt::Display for EventKind {
             EventKind::Rebalance { vnode, from, to } => {
                 write!(f, "rebalance {vnode:?} {from:?} -> {to:?}")
             }
+            EventKind::Alert {
+                slo,
+                from,
+                to,
+                trace,
+            } => {
+                write!(f, "alert {slo} {from}->{to} trace={trace:#x}")
+            }
             EventKind::AntiEntropy {
                 vnode,
                 peer,
@@ -158,10 +179,16 @@ pub struct Event {
     pub kind: EventKind,
 }
 
-/// Fixed-capacity ring of [`Event`]s; evictions are counted.
+/// Fixed-capacity ring of [`Event`]s; evictions are counted. Every pushed
+/// event gets a monotone sequence number (0-based, never reused), so
+/// scrape cursors (`/journal?since=<seq>`) survive ring eviction: a
+/// client that remembers the last seq it saw only receives newer events.
 pub struct EventJournal {
     cap: usize,
     buf: Mutex<VecDeque<Event>>,
+    /// Events ever pushed; the seq of buf[i] is `pushed - len + i`.
+    /// Updated inside the buffer lock so seq assignment is consistent.
+    pushed: AtomicU64,
     evicted: AtomicU64,
 }
 
@@ -171,6 +198,7 @@ impl EventJournal {
         EventJournal {
             cap,
             buf: Mutex::new(VecDeque::with_capacity(cap.min(1024))),
+            pushed: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
         }
     }
@@ -178,6 +206,10 @@ impl EventJournal {
     /// Appends an event, evicting the oldest entry when full.
     pub fn push(&self, at: Micros, kind: EventKind) {
         if self.cap == 0 {
+            // Rejected events still consume a seq so `next_seq` keeps
+            // meaning "events ever offered to the journal".
+            let _buf = self.buf.lock().unwrap();
+            self.pushed.fetch_add(1, Ordering::Relaxed);
             self.evicted.fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -186,12 +218,35 @@ impl EventJournal {
             buf.pop_front();
             self.evicted.fetch_add(1, Ordering::Relaxed);
         }
+        self.pushed.fetch_add(1, Ordering::Relaxed);
         buf.push_back(Event { at, kind });
     }
 
     /// Copy of the retained events, oldest first.
     pub fn events(&self) -> Vec<Event> {
         self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// The seq the *next* pushed event will receive; equivalently, the
+    /// number of events ever pushed. A scraper that resumes from this
+    /// value sees exactly the events pushed after its last scrape.
+    pub fn next_seq(&self) -> u64 {
+        let _buf = self.buf.lock().unwrap();
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Retained events with seq ≥ `since`, as `(seq, event)` oldest first.
+    /// Events already evicted from the ring are gone regardless of the
+    /// cursor — compare the first returned seq against `since` to detect
+    /// a gap.
+    pub fn events_since(&self, since: u64) -> Vec<(u64, Event)> {
+        let buf = self.buf.lock().unwrap();
+        let first = self.pushed.load(Ordering::Relaxed) - buf.len() as u64;
+        buf.iter()
+            .enumerate()
+            .map(|(i, ev)| (first + i as u64, ev.clone()))
+            .filter(|(seq, _)| *seq >= since)
+            .collect()
     }
 
     /// Number of retained events.
@@ -276,5 +331,50 @@ mod tests {
         );
         assert!(j.is_empty());
         assert_eq!(j.evicted(), 1);
+        assert_eq!(j.next_seq(), 1);
+        assert!(j.events_since(0).is_empty());
+    }
+
+    #[test]
+    fn seq_cursor_survives_eviction() {
+        let j = EventJournal::new(3);
+        for i in 0..5u64 {
+            j.push(
+                i,
+                EventKind::Election {
+                    replica: i as u32,
+                    epoch: i,
+                },
+            );
+        }
+        // Seqs 0 and 1 were evicted; the ring holds 2, 3, 4.
+        assert_eq!(j.next_seq(), 5);
+        let all: Vec<u64> = j.events_since(0).iter().map(|(s, _)| *s).collect();
+        assert_eq!(all, vec![2, 3, 4]);
+        // A cursor from a previous scrape only receives newer events.
+        let tail = j.events_since(4);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].0, 4);
+        assert_eq!(tail[0].1.at, 4);
+        assert!(j.events_since(5).is_empty());
+    }
+
+    #[test]
+    fn alert_events_render() {
+        let j = EventJournal::new(4);
+        j.push(
+            7,
+            EventKind::Alert {
+                slo: "read_p99",
+                from: "pending",
+                to: "firing",
+                trace: 0xAB,
+            },
+        );
+        let text = j.render_text();
+        assert!(
+            text.contains("alert read_p99 pending->firing trace=0xab"),
+            "{text}"
+        );
     }
 }

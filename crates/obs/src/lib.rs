@@ -21,19 +21,28 @@
 //!   time-local layer behind the admin surface's `/staleness` view;
 //! * [`flight`] — the hot-path flight recorder: per-thread fixed-size rings
 //!   of compact engine events (epoch pin/unpin, shard-lock waits, rehash,
-//!   eviction), frozen into a black-box dump when an anomaly fires.
+//!   eviction), frozen into a black-box dump when an anomaly fires;
+//! * [`alert`] — the in-process SLO engine: declarative objectives,
+//!   multi-window burn-rate evaluation, and a pending → firing → resolved
+//!   state machine that journals transitions and dumps the flight recorder;
+//! * [`health`] — the red/amber/green rollup over the alert engine, the
+//!   payload behind the admin surface's `/health`.
 //!
 //! The crate has no external dependencies (offline-shim policy) and only
 //! leans on `sedna-common` for the id newtypes.
 
+pub mod alert;
 pub mod flight;
+pub mod health;
 pub mod hist;
 pub mod journal;
 pub mod registry;
 pub mod trace;
 pub mod window;
 
+pub use alert::{AlertEngine, AlertPhase, AlertTransition, AlertView, Objective, SloSpec};
 pub use flight::{AnomalyDump, FlightEvent, FlightKind, ThreadDump};
+pub use health::{HealthReport, Rag};
 pub use hist::{HistSnapshot, Histogram};
 pub use journal::{Event, EventJournal, EventKind};
 pub use registry::{

@@ -113,6 +113,14 @@ impl MerkleTree {
         MerkleTree::default()
     }
 
+    /// Reconstructs a tree from a peer's shipped leaf hashes (the
+    /// `SyncLeaves` payload). Lets the probing side compute the *peer's*
+    /// root — and hence record a replica root matrix for the divergence
+    /// observatory — without an extra round trip.
+    pub fn from_leaves(leaves: [u64; LEAVES]) -> MerkleTree {
+        MerkleTree { leaves }
+    }
+
     /// Builds a tree from scratch over `(key, row_hash)` pairs.
     pub fn from_rows<'a, I>(rows: I) -> MerkleTree
     where

@@ -78,6 +78,63 @@ proptest! {
         prop_assert_eq!(tree.root(), rebuilt.root());
     }
 
+    /// Hash algebra: after any interleaving of add/update/remove, deleting
+    /// whatever rows remain returns the tree to the empty-tree state — same
+    /// leaves, same root. XOR leaves leak nothing once their rows are gone.
+    #[test]
+    fn interleaved_ops_then_full_removal_returns_to_empty_root(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        let empty_root = MerkleTree::new().root();
+        let mut tree = MerkleTree::new();
+        let mut rows: HashMap<u8, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Put { key, stamp } => {
+                    let k = key_of(key);
+                    match rows.insert(key, stamp) {
+                        Some(old) => tree.update(&k, hash_of(&k, old), hash_of(&k, stamp)),
+                        None => tree.add(&k, hash_of(&k, stamp)),
+                    }
+                }
+                TreeOp::Del { key } => {
+                    if let Some(old) = rows.remove(&key) {
+                        tree.remove(&key_of(key), hash_of(&key_of(key), old));
+                    }
+                }
+            }
+        }
+        for (id, stamp) in rows.drain() {
+            tree.remove(&key_of(id), hash_of(&key_of(id), stamp));
+        }
+        prop_assert_eq!(tree.leaves(), MerkleTree::new().leaves());
+        prop_assert_eq!(tree.root(), empty_root);
+    }
+
+    /// A tree reconstructed from shipped leaves is indistinguishable from
+    /// the original: same root, empty diff against the source.
+    #[test]
+    fn from_leaves_reconstructs_the_peer_tree(
+        ops in proptest::collection::vec(op_strategy(), 0..80)
+    ) {
+        let mut rows: HashMap<u8, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Put { key, stamp } => { rows.insert(key, stamp); }
+                TreeOp::Del { key } => { rows.remove(&key); }
+            }
+        }
+        let original = MerkleTree::from_rows(
+            rows.iter().map(|(id, stamp)| (key_of(*id), hash_of(&key_of(*id), *stamp)))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|(k, h)| (k, *h)),
+        );
+        let shipped = MerkleTree::from_leaves(*original.leaves());
+        prop_assert_eq!(shipped.root(), original.root());
+        prop_assert_eq!(shipped.diff_leaves(original.leaves()), 0);
+    }
+
     /// Diffing two trees built from row maps flags exactly the leaves whose
     /// buckets hold differing rows (missing, extra, or changed) — no false
     /// positives on untouched buckets.

@@ -15,7 +15,10 @@
 //! scan <ds> <table>          scan a whole table
 //! stats                      one-line cluster counters (ops, repairs, journal)
 //! metrics                    full Prometheus text dump of the merged registry
-//! journal                    the quorum-health event journal, newest last
+//! journal                    new events since the last `journal` call (?since cursor)
+//! health                     RAG rollup of the SLO engine (green/amber/red)
+//! alerts                     full alert state + the firing/resolve transition log
+//! divergence                 the replica Merkle-root matrix + open mismatch ages
 //! internals <node>           engine internals (probe/locks/slab/epoch) for one node
 //! flight <node>              the node thread's flight-recorder ring, oldest first
 //! admin                      the admin surface's URL (curl it for /metrics …)
@@ -25,10 +28,16 @@
 //!
 //! The cluster boots with the HTTP admin surface on an ephemeral
 //! localhost port — `admin` prints the URL; `/metrics`, `/journal`,
-//! `/vnodes`, `/hotkeys` and `/staleness` are scrapeable while the REPL
-//! runs.
+//! `/vnodes`, `/hotkeys`, `/staleness`, `/health`, `/alerts` and
+//! `/divergence` are scrapeable while the REPL runs. The `journal`,
+//! `health`, `alerts` and `divergence` commands go through that surface
+//! (they exercise the same code path as an external scraper), and
+//! `journal` resumes from the opaque `next` cursor the previous call
+//! returned, so each invocation prints only what is new.
 
-use std::io::{BufRead, Write as _};
+use std::io::{BufRead, Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 use sedna_common::{Key, KeyPath, NodeId, Value};
 use sedna_core::cluster::ThreadCluster;
@@ -80,6 +89,30 @@ fn show(result: ClientResult) {
     }
 }
 
+/// One-shot GET against the admin surface; returns the body on a 200.
+fn admin_get(addr: SocketAddr, path: &str) -> Option<String> {
+    let mut s = TcpStream::connect(addr).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    write!(s, "GET {path} HTTP/1.0\r\nHost: sedna\r\n\r\n").ok()?;
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).ok()?;
+    let text = String::from_utf8(buf).ok()?;
+    let (head, body) = text.split_once("\r\n\r\n")?;
+    head.lines()
+        .next()?
+        .contains("200")
+        .then(|| body.to_string())
+}
+
+/// Line-breaks a compact JSON body at object boundaries — enough structure
+/// to read in a terminal without a JSON formatter on the box.
+fn print_json(body: &str) {
+    println!(
+        "{}",
+        body.replace("},{", "},\n  {").replace("\":[{", "\":[\n  {")
+    );
+}
+
 fn main() {
     println!("booting a 3-node Sedna cluster (plus 3 coordination replicas)…");
     let cluster = ThreadCluster::start_with_admin(ClusterConfig::small());
@@ -88,11 +121,14 @@ fn main() {
     if let Some(addr) = cluster.admin_addr() {
         println!(
             "admin surface: http://{addr}/metrics (also /journal /vnodes /hotkeys /staleness \
-             /internals /flight)"
+             /internals /flight /health /alerts /divergence)"
         );
     }
     println!("ready. type 'help' for commands.\n");
 
+    // Opaque resume cursor from the last `/journal` scrape, so repeated
+    // `journal` commands print only what happened in between.
+    let mut journal_cursor: Option<String> = None;
     let stdin = std::io::stdin();
     loop {
         print!("sedna> ");
@@ -107,13 +143,13 @@ fn main() {
             ["quit"] | ["exit"] => break,
             ["help"] => println!(
                 "set/get/setall/getall <key> [value] · tset/tget <ds> <table> <k> [v] · \
-                 scan <ds> <table> · stats · metrics · journal · internals <node> · \
-                 flight <node> · admin · quit"
+                 scan <ds> <table> · stats · metrics · journal · health · alerts · \
+                 divergence · internals <node> · flight <node> · admin · quit"
             ),
             ["admin"] => match cluster.admin_addr() {
                 Some(addr) => println!(
                     "curl http://{addr}/metrics   (or /journal /vnodes /hotkeys /staleness \
-                     /internals /flight)"
+                     /internals /flight /health /alerts /divergence)"
                 ),
                 None => println!("(admin surface not running)"),
             },
@@ -223,15 +259,51 @@ fn main() {
                     cluster.config.data_nodes - 1
                 ),
             },
-            ["journal"] => {
-                let events = cluster.journal_events();
-                if events.is_empty() {
-                    println!("(journal empty)");
+            ["journal"] => match cluster.admin_addr() {
+                // Scrape through the admin surface, resuming from the
+                // cursor the previous call returned.
+                Some(addr) => {
+                    let path = match &journal_cursor {
+                        Some(c) => format!("/journal?since={c}"),
+                        None => "/journal".to_string(),
+                    };
+                    match admin_get(addr, &path) {
+                        Some(body) => {
+                            if let Some(next) = body
+                                .strip_prefix("{\"next\":\"")
+                                .and_then(|rest| rest.split('"').next())
+                            {
+                                journal_cursor = Some(next.to_string());
+                            }
+                            if body.contains("\"events\":[]") {
+                                println!("(no new events since last call)");
+                            } else {
+                                print_json(&body);
+                            }
+                        }
+                        None => println!("(admin surface unreachable)"),
+                    }
                 }
-                for e in events {
-                    println!("[{:>10}µs] {}", e.at, e.kind);
+                None => {
+                    let events = cluster.journal_events();
+                    if events.is_empty() {
+                        println!("(journal empty)");
+                    }
+                    for e in events {
+                        println!("[{:>10}µs] {}", e.at, e.kind);
+                    }
                 }
-            }
+            },
+            ["health"] | ["alerts"] | ["divergence"] => match cluster.admin_addr() {
+                Some(addr) => {
+                    let path = format!("/{}", parts[0]);
+                    match admin_get(addr, &path) {
+                        Some(body) => print_json(&body),
+                        None => println!("(admin surface unreachable)"),
+                    }
+                }
+                None => println!("(admin surface not running)"),
+            },
             ["set", key, value @ ..] if !value.is_empty() => {
                 show(cluster.write_latest(&Key::from(*key), Value::from(value.join(" "))));
             }
