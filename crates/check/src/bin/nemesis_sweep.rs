@@ -145,6 +145,15 @@ fn write_artifact(
             )?;
         }
     }
+    // Where this seed's latency went: per-segment critical-path sums for
+    // all ops vs. the slow tail, merged across the workload clients.
+    writeln!(f, "\ntail critical-path attribution:")?;
+    writeln!(f, "  {}", report.tail_attribution.to_json())?;
+    let (q, l, a, n, o) = report.tail_attribution.tail.shares();
+    writeln!(
+        f,
+        "  tail shares: queue={q:.2} lock={l:.2} apply={a:.2} net={n:.2} other={o:.2}"
+    )?;
     let schedule = if do_shrink {
         eprintln!(
             "  shrinking seed {} ({} events)...",
@@ -192,9 +201,11 @@ fn main() {
     let mut failing: Vec<u64> = Vec::new();
     let mut total_ops: u64 = 0;
     let mut detected: u64 = 0;
+    let mut tail_merged = sedna_obs::TailSnapshot::default();
     for seed in args.start..args.start + args.seeds {
         let report = run_nemesis(seed, &cfg);
         total_ops += report.ops_done;
+        tail_merged.merge(&report.tail_attribution);
         if alert_detected(&report) {
             detected += 1;
         }
@@ -214,6 +225,20 @@ fn main() {
         match write_artifact(&args.out, &cfg, ctor, &report, shrink_this) {
             Ok(path) => eprintln!("  artifact: {}", path.display()),
             Err(e) => eprintln!("  artifact write failed: {e}"),
+        }
+    }
+    // Sweep-wide critical-path attribution — written on passing sweeps
+    // too, so every CI run carries "where the tail latency went" for its
+    // whole fault population, not just violating seeds.
+    if std::fs::create_dir_all(&args.out).is_ok() {
+        let tail_path = args.out.join("tail-attribution.json");
+        let body = format!(
+            "{{\"profile\":\"{ctor}\",\"seeds\":{},\"attribution\":{}}}",
+            args.seeds,
+            tail_merged.to_json()
+        );
+        if std::fs::write(&tail_path, body).is_ok() {
+            eprintln!("tail attribution: {}", tail_path.display());
         }
     }
     println!(

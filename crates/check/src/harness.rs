@@ -27,7 +27,7 @@ use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
 use sedna_net::link::LinkModel;
 use sedna_net::sim::SimConfig;
 use sedna_obs::flight::{self, FlightKind};
-use sedna_obs::AlertTransition;
+use sedna_obs::{AlertTransition, TailSnapshot};
 use sedna_persist::{PersistEngine, PersistMode};
 use sedna_replication::QuorumConfig;
 use sedna_ring::Partitioner;
@@ -230,6 +230,10 @@ pub struct RunReport {
     /// plus the episode timeline (every Merkle mismatch that opened and
     /// when it converged).
     pub divergence: Vec<(NodeId, DivergenceSnapshot)>,
+    /// Tail critical-path attribution merged across the workload clients:
+    /// per-segment (queue/lock/apply/net/other) sums for every op and for
+    /// the slow tail — "where did this seed's p99 go".
+    pub tail_attribution: TailSnapshot,
 }
 
 /// End-of-run staleness-lag tracker totals (summed over clients).
@@ -432,9 +436,11 @@ pub fn run_with_schedule(seed: u64, cfg: &HarnessConfig, schedule: &[ScheduledFa
     // the staleness-lag tracker lives client-side, and a violating run's
     // artifact should carry those readings too.
     let mut snap = cluster.metrics_snapshot();
+    let mut tail_attribution = TailSnapshot::default();
     for &id in &client_actors {
         if let Some(c) = cluster.sim.actor_ref::<WorkloadClient>(id) {
             snap.merge(&c.core.obs().snapshot());
+            tail_attribution.merge(&c.core.obs().tail_attribution().snapshot());
         }
     }
     let staleness = StalenessSummary {
@@ -537,6 +543,7 @@ pub fn run_with_schedule(seed: u64, cfg: &HarnessConfig, schedule: &[ScheduledFa
         alert_log,
         alerts_firing,
         divergence,
+        tail_attribution,
     }
 }
 

@@ -24,6 +24,12 @@
 //!   retire→free latency).
 //! * `/flight`     — the process-wide flight recorder: per-thread event
 //!   rings plus the anomaly dumps that froze them, as JSON.
+//! * `/profile`    — the continuous profiler: hottest scope stacks
+//!   (cumulative and last-10s windows), lock-contention attribution,
+//!   per-scope allocation counts, and the merged tail critical-path
+//!   attribution, as JSON. `?format=collapsed` serves collapsed-stack
+//!   flamegraph text instead (`?view=window` restricts it to the
+//!   rolling window) — pipe straight into `flamegraph.pl`.
 //! * `/health`     — red/amber/green rollup over the SLO alert engine
 //!   plus every alert's live view, firing first.
 //! * `/alerts`     — the full alert surface: per-SLO burn rates, phases,
@@ -56,10 +62,12 @@ use sedna_common::time::Micros;
 use sedna_common::{NodeId, VNodeId};
 use sedna_memstore::EngineSnapshot;
 use sedna_net::actor::{Actor, ActorId, Ctx, TimerToken};
+use sedna_obs::critpath::{TailAttribution, TailSnapshot};
 use sedna_obs::escape_label_value;
 use sedna_obs::flight;
 use sedna_obs::hist::HistSnapshot;
 use sedna_obs::journal::EventJournal;
+use sedna_obs::prof;
 use sedna_obs::registry::{MetricsSnapshot, Registry};
 use sedna_obs::window::RateTracker;
 use sedna_ring::{HotKeyRow, VNodeStats};
@@ -199,6 +207,9 @@ pub struct AdminState {
     /// `/health` and `/alerts` and is re-evaluated on every poll tick so
     /// the surface stays live even when the data plane idles.
     pub alerts: Option<Arc<AlertEngine>>,
+    /// Tail critical-path accumulators of every client/gateway; merged
+    /// into the `/profile` payload's `critical_path` section.
+    pub tail_attr: Vec<Arc<TailAttribution>>,
 }
 
 impl AdminState {
@@ -320,6 +331,29 @@ impl AdminActor {
                 "application/json",
                 &flight::render_json(FLIGHT_DUMP_EVENTS),
             ),
+            "/profile" => {
+                let format = query.as_deref().and_then(|q| query_param(q, "format"));
+                let view = query.as_deref().and_then(|q| query_param(q, "view"));
+                if format.as_deref() == Some("collapsed") {
+                    let v = match view.as_deref() {
+                        Some("window") => prof::View::Windowed,
+                        _ => prof::View::Cumulative,
+                    };
+                    respond(
+                        &mut stream,
+                        "200 OK",
+                        "text/plain; charset=utf-8",
+                        &prof::render_collapsed(v),
+                    );
+                } else {
+                    respond(
+                        &mut stream,
+                        "200 OK",
+                        "application/json",
+                        &self.render_profile(),
+                    );
+                }
+            }
             "/health" => respond(
                 &mut stream,
                 "200 OK",
@@ -356,6 +390,7 @@ impl AdminActor {
     /// scrape rather than parked in a registry where evicted keys would
     /// linger forever.
     fn render_metrics(&self, now: Micros) -> String {
+        sedna_obs::prof_scope!("admin.render_metrics");
         let mut out = self.state.merged_snapshot().to_prometheus();
         let mut hot = String::new();
         for (node, telemetry) in &self.state.telemetry {
@@ -431,6 +466,23 @@ impl AdminActor {
                 ));
             }
         }
+        // Build identity as an info-style gauge: the value is a constant 1
+        // and the labels carry the payload (the Prometheus convention for
+        // version metadata), so dashboards can join any series against the
+        // exact binary that produced it.
+        out.push_str(
+            "# HELP sedna_build_info Build identity; constant 1, labels carry version and profile.\n",
+        );
+        out.push_str("# TYPE sedna_build_info gauge\n");
+        out.push_str(&format!(
+            "sedna_build_info{{version=\"{}\",profile=\"{}\"}} 1\n",
+            escape_label_value(env!("CARGO_PKG_VERSION")),
+            if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
+        ));
         out.push_str(
             "# HELP sedna_admin_ops_per_sec Cluster read+write throughput over the rate window.\n",
         );
@@ -504,6 +556,23 @@ impl AdminActor {
         }
         out.push_str("]}");
         out
+    }
+
+    /// `/profile`: the profiler's JSON view (scope stacks, lock and alloc
+    /// attribution) extended with the cluster-merged tail critical-path
+    /// decomposition. The profiler renders a complete object; the
+    /// `critical_path` member is spliced in before its closing brace so
+    /// both stay one hand-rolled JSON document.
+    fn render_profile(&self) -> String {
+        let mut body = prof::render_json();
+        let mut tail = TailSnapshot::default();
+        for t in &self.state.tail_attr {
+            tail.merge(&t.snapshot());
+        }
+        debug_assert!(body.ends_with('}'));
+        body.truncate(body.len().saturating_sub(1));
+        body.push_str(&format!(",\"critical_path\":{}}}", tail.to_json()));
+        body
     }
 
     /// `/health`: the RAG rollup plus per-SLO detail. Without an alert

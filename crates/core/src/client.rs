@@ -22,7 +22,8 @@ use sedna_common::{CausalContext, Key, NodeId, RequestId, TraceId, VNodeId, Valu
 use sedna_coord::client::{LeaseCache, LeaseConfig, SessionClient, SessionConfig, SessionEvent};
 use sedna_coord::messages::{CoordMsg, CoordOp, CoordReply};
 use sedna_net::actor::ActorId;
-use sedna_obs::flight;
+use sedna_obs::critpath::{self, TailAttribution};
+use sedna_obs::flight::{self, FlightKind};
 use sedna_obs::journal::{EventJournal, EventKind};
 use sedna_obs::registry::{Counter, Gauge, Hist, MetricsSnapshot, Registry};
 use sedna_obs::trace::TraceTracker;
@@ -664,6 +665,16 @@ pub struct ClientObs {
     write_latency: Hist,
     read_latency: Hist,
     ping_rtt: Hist,
+    // Tail critical-path decomposition (tentpole): every finished span
+    // tree is split into queue/lock/apply/net segments; the per-segment
+    // histograms carry TraceId exemplars on their tail buckets, and the
+    // shared [`TailAttribution`] accumulates all-vs-tail segment shares
+    // for the admin surface and the nemesis reports.
+    critpath_queue: Hist,
+    critpath_lock: Hist,
+    critpath_apply: Hist,
+    critpath_net: Hist,
+    tail_attr: Arc<TailAttribution>,
     // Staleness-lag tracking (tentpole): how far behind stale replicas are
     // and how long repairs take to land.
     stale_ts_delta: Hist,
@@ -709,6 +720,22 @@ impl ClientObs {
             "sedna_client_read_repairs_total",
             "Read-repair pushes issued (paper Sec. III-C read recovery).",
         );
+        registry.describe(
+            "sedna_critpath_queue_micros",
+            "Critical-path time between issue and the first replica send (client queueing).",
+        );
+        registry.describe(
+            "sedna_critpath_lock_micros",
+            "Critical-path time the quorum-deciding replica waited on contended shard locks.",
+        );
+        registry.describe(
+            "sedna_critpath_apply_micros",
+            "Critical-path store-apply time on the quorum-deciding replica (lock wait excluded).",
+        );
+        registry.describe(
+            "sedna_critpath_net_micros",
+            "Critical-path network + node turnaround time of the quorum-deciding RPC.",
+        );
         ClientObs {
             tracker: TraceTracker::new(origin.0 as u64),
             slow_threshold: cfg.slow_op_threshold_micros,
@@ -727,6 +754,11 @@ impl ClientObs {
             write_latency: registry.hist("sedna_client_write_latency_micros"),
             read_latency: registry.hist("sedna_client_read_latency_micros"),
             ping_rtt: registry.hist("sedna_coord_ping_rtt_micros"),
+            critpath_queue: registry.hist("sedna_critpath_queue_micros"),
+            critpath_lock: registry.hist("sedna_critpath_lock_micros"),
+            critpath_apply: registry.hist("sedna_critpath_apply_micros"),
+            critpath_net: registry.hist("sedna_critpath_net_micros"),
+            tail_attr: Arc::new(TailAttribution::default()),
             stale_ts_delta: registry.hist("sedna_staleness_ts_delta_micros"),
             stale_age: registry.hist("sedna_staleness_age_micros"),
             repair_convergence: registry.hist("sedna_staleness_convergence_micros"),
@@ -786,6 +818,7 @@ impl ClientObs {
             // Traced sample: tail buckets keep the TraceId as an exemplar,
             // so a scraped p99 bucket links back to this op's span tree.
             self.write_latency.record_traced(fin.total_micros, trace.0);
+            self.observe_critpath(&fin.spans, fin.total_micros, trace);
             if let Some(alerts) = &self.alerts {
                 alerts.observe_traced(now, "write_p99", fin.total_micros as f64, trace.0);
                 alerts.evaluate(now);
@@ -872,6 +905,7 @@ impl ClientObs {
         if let Some(done) = self.tracker.finish(fin.trace, now) {
             self.read_latency
                 .record_traced(done.total_micros, fin.trace.0);
+            self.observe_critpath(&done.spans, done.total_micros, fin.trace);
             if let Some(alerts) = &self.alerts {
                 alerts.observe_traced(now, "read_p99", done.total_micros as f64, fin.trace.0);
                 alerts.evaluate(now);
@@ -897,6 +931,38 @@ impl ClientObs {
                 );
             }
         }
+    }
+
+    /// Decomposes a finished trace into critical-path segments: feeds the
+    /// per-segment histograms (tail buckets keep the TraceId exemplar),
+    /// accumulates all-vs-tail attribution, and — for tail ops — drops a
+    /// packed [`FlightKind::CritPath`] event so anomaly dumps carry the
+    /// decomposition alongside the raw engine events.
+    fn observe_critpath(
+        &mut self,
+        spans: &[sedna_obs::Span],
+        total_micros: Micros,
+        trace: TraceId,
+    ) {
+        if !self.registry.enabled() {
+            return;
+        }
+        let seg = critpath::decompose(spans, total_micros);
+        self.critpath_queue.record_traced(seg.queue_micros, trace.0);
+        self.critpath_lock.record_traced(seg.lock_micros, trace.0);
+        self.critpath_apply.record_traced(seg.apply_micros, trace.0);
+        self.critpath_net.record_traced(seg.net_micros, trace.0);
+        let is_tail = total_micros >= self.slow_threshold;
+        self.tail_attr.observe(&seg, is_tail);
+        if is_tail {
+            flight::record(FlightKind::CritPath, seg.pack());
+        }
+    }
+
+    /// The shared tail critical-path accumulator (snapshot + merge
+    /// cluster-wide; embedded in nemesis `RunReport`s).
+    pub fn tail_attribution(&self) -> &Arc<TailAttribution> {
+        &self.tail_attr
     }
 
     /// The rolling-window staleness view (share with an admin surface).
@@ -1300,6 +1366,7 @@ impl ClientCore {
         kind: WriteKind,
         now: Micros,
     ) -> Option<(u64, Outbox)> {
+        sedna_obs::prof_scope!("client.write");
         let replicas = self.replicas_for(key)?;
         self.next_op += 1;
         let op_id = self.next_op;
@@ -1464,6 +1531,7 @@ impl ClientCore {
     }
 
     fn read(&mut self, key: &Key, kind: ReadKind, now: Micros) -> Option<(u64, Outbox)> {
+        sedna_obs::prof_scope!("client.read");
         let replicas = self.replicas_for(key)?;
         self.next_op += 1;
         let op_id = self.next_op;
@@ -1517,6 +1585,7 @@ impl ClientCore {
         msg: SednaMsg,
         now: Micros,
     ) -> (Vec<ClientEvent>, Outbox) {
+        sedna_obs::prof_scope!("client.on_message");
         let mut events = Vec::new();
         let mut out: Outbox = Vec::new();
         match msg {
@@ -1573,10 +1642,13 @@ impl ClientCore {
                 req,
                 ack,
                 apply_nanos,
+                lock_nanos,
             } => {
                 let trace = self.writer.trace_of(req);
                 if let (Some(trace), Some(node)) = (trace, self.cfg.actor_node(from)) {
-                    self.obs.tracker.acked(trace, node, now, apply_nanos);
+                    self.obs
+                        .tracker
+                        .acked(trace, node, now, apply_nanos, lock_nanos);
                 }
                 let (done, refused) = self.writer.on_ack(&self.cfg, from, req, ack);
                 if refused {
@@ -1600,6 +1672,7 @@ impl ClientCore {
                 req,
                 reply,
                 apply_nanos,
+                lock_nanos,
             } => {
                 let refused = matches!(reply, ReplicaReadReply::Refused);
                 if refused {
@@ -1608,7 +1681,9 @@ impl ClientCore {
                 if let (Some(trace), Some(node)) =
                     (self.reader.trace_of(req), self.cfg.actor_node(from))
                 {
-                    self.obs.tracker.acked(trace, node, now, apply_nanos);
+                    self.obs
+                        .tracker
+                        .acked(trace, node, now, apply_nanos, lock_nanos);
                 }
                 if let Some(fin) = self.reader.on_reply(&self.cfg, from, req, reply) {
                     self.obs.read_done(&fin, &self.cfg, now);
@@ -1994,6 +2069,7 @@ mod tests {
                 req: RequestId(1),
                 ack: ReplicaWriteAck::Refused,
                 apply_nanos: 0,
+                lock_nanos: 0,
             }),
             0,
         );

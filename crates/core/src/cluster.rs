@@ -34,6 +34,22 @@ fn ensemble_config(cfg: &ClusterConfig) -> EnsembleConfig {
     EnsembleConfig::lan(cfg.coord_actors())
 }
 
+/// Wires the continuous profiler into the process: installs the
+/// parking_lot shim's contention hooks (so contended shard-lock waits are
+/// attributed to the holder's scope) and starts the ~997 Hz scope-stack
+/// sampler thread. Idempotent and process-global; [`ThreadCluster`] calls
+/// it on start, standalone binaries (benches, the repl) may too. The
+/// simulator harness deliberately does not — a sampler thread would not
+/// break determinism (it only reads), but there is nothing to sample in a
+/// single-threaded run.
+pub fn install_profiling() {
+    parking_lot::set_profile_hooks(
+        sedna_obs::prof::scope_probe,
+        sedna_obs::prof::on_contended_lock,
+    );
+    sedna_obs::prof::start_sampler();
+}
+
 /// Folds a runtime's traffic counters into a metrics snapshot as gauges
 /// (the runtime owns the counters; snapshots just mirror them).
 pub fn fold_net_stats(stats: &NetStats, snap: &mut MetricsSnapshot) {
@@ -589,6 +605,7 @@ impl ThreadCluster {
     }
 
     fn start_inner(config: ClusterConfig, with_admin: bool) -> Self {
+        install_profiling();
         let mut net = ThreadNet::new(ThreadNetConfig::default());
         let ens = ensemble_config(&config);
         let mut registries = Vec::new();
@@ -621,6 +638,7 @@ impl ThreadCluster {
         registries.push(gw.core().obs().registry().clone());
         journals.push(gw.core().obs().journal().clone());
         let staleness = vec![gw.core().obs().staleness().clone()];
+        let tail_attr = vec![gw.core().obs().tail_attribution().clone()];
         let gateway = net.add_actor(Box::new(gw));
         let admin_addr = if with_admin {
             let state = AdminState {
@@ -629,6 +647,7 @@ impl ThreadCluster {
                 telemetry: telemetry.clone(),
                 staleness,
                 alerts: Some(alerts.clone()),
+                tail_attr,
             };
             let (actor, addr) =
                 AdminActor::bind("127.0.0.1:0", state).expect("bind admin listener");

@@ -46,7 +46,7 @@ pub mod messages;
 pub mod node;
 
 pub use client::{ClientCore, ClientEvent, QuorumReader, QuorumWriter, ReadKind, ScanCoordinator};
-pub use cluster::{Gateway, SimCluster, ThreadCluster};
+pub use cluster::{install_profiling, Gateway, SimCluster, ThreadCluster};
 pub use config::{paths, ClusterConfig};
 pub use divergence::{DivergenceEpisode, DivergenceSnapshot, DivergenceTracker};
 pub use fault::{ClusterFault, RestartKind, ScheduledFault};

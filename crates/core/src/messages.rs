@@ -85,6 +85,10 @@ pub enum ReplicaOp {
         /// applying — reported back so the client can place a node-apply
         /// span inside the op's trace.
         apply_nanos: u64,
+        /// Wall-clock nanoseconds the apply *waited* on contended shard
+        /// locks before acquiring them (0 when uncontended) — feeds the
+        /// client's tail critical-path decomposition.
+        lock_nanos: u64,
     },
     /// Replica read.
     Read {
@@ -104,6 +108,9 @@ pub enum ReplicaOp {
         /// Shard-lock hold time on the replica, in nanoseconds (see
         /// [`ReplicaOp::WriteAck::apply_nanos`]).
         apply_nanos: u64,
+        /// Shard-lock *wait* time within the apply, in nanoseconds (see
+        /// [`ReplicaOp::WriteAck::lock_nanos`]).
+        lock_nanos: u64,
     },
     /// Read-repair push: merge these versions. The replica acknowledges
     /// with [`ReplicaOp::PushAck`] so the client can track outstanding
@@ -552,6 +559,7 @@ mod tests {
             req: RequestId(1),
             ack: ReplicaWriteAck::Ok,
             apply_nanos: 0,
+            lock_nanos: 0,
         });
         assert!(ack.size_bytes() < w.size_bytes());
     }
@@ -580,6 +588,7 @@ mod tests {
                     req: RequestId(1),
                     ack: ReplicaWriteAck::Ok,
                     apply_nanos: 0,
+                    lock_nanos: 0,
                 };
                 3
             ],

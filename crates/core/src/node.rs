@@ -379,6 +379,11 @@ impl SednaNode {
         for (name, v) in [
             ("sedna_engine_locks", eng.locks),
             ("sedna_engine_lock_waits", eng.lock_waits),
+            // Alias under the store namespace: shard-lock acquisitions that
+            // missed the try_lock fast path and blocked. Always-on (counted
+            // by the engine, not the profiler) so contention stays visible
+            // with sampling disabled.
+            ("sedna_store_lock_contended", eng.lock_waits),
             (
                 "sedna_engine_lock_wait_p99_micros",
                 eng.lock_wait.percentile(0.99),
@@ -648,20 +653,27 @@ impl SednaNode {
                             req,
                             ack: ReplicaWriteAck::Refused,
                             apply_nanos: 0,
+                            lock_nanos: 0,
                         }),
                     );
                     return;
                 }
                 let bytes = value.len() as i64;
                 let is_new = !self.store.contains(&key);
+                sedna_memstore::take_lock_wait_nanos();
                 let t0 = std::time::Instant::now();
                 let outcome = match kind {
                     WriteKind::Latest => {
+                        sedna_obs::prof_scope!("node.apply_write");
                         self.store.write_latest_ctx(&key, ts, value.clone(), &wctx)
                     }
-                    WriteKind::All => self.store.write_all_ctx(&key, ts, value.clone(), &wctx),
+                    WriteKind::All => {
+                        sedna_obs::prof_scope!("node.apply_write");
+                        self.store.write_all_ctx(&key, ts, value.clone(), &wctx)
+                    }
                 };
                 let apply_nanos = t0.elapsed().as_nanos() as u64;
+                let lock_nanos = sedna_memstore::take_lock_wait_nanos();
                 self.obs.apply_hist.record(apply_nanos);
                 let ack = match outcome {
                     WriteOutcome::Ok => {
@@ -701,11 +713,13 @@ impl SednaNode {
                         req,
                         ack,
                         apply_nanos,
+                        lock_nanos,
                     }),
                 );
             }
             ReplicaOp::Read { req, key, trace: _ } => {
                 let mut apply_nanos = 0;
+                let mut lock_nanos = 0;
                 let reply = if !self.owns(&key) {
                     self.stats.refused += 1;
                     ReplicaReadReply::Refused
@@ -714,15 +728,20 @@ impl SednaNode {
                     let vnode = self.cfg.partitioner.locate(&key);
                     self.vnode_stats[vnode.index()].record_read();
                     self.hot_sketches[vnode.index()].offer(&key);
+                    sedna_memstore::take_lock_wait_nanos();
                     let t0 = std::time::Instant::now();
-                    let reply = match self.store.read_all(&key) {
-                        Some(snap) => ReplicaReadReply::Values {
-                            versions: snap.to_vec(),
-                            clock: snap.clock(),
-                        },
-                        None => ReplicaReadReply::Missing,
+                    let reply = {
+                        sedna_obs::prof_scope!("node.apply_read");
+                        match self.store.read_all(&key) {
+                            Some(snap) => ReplicaReadReply::Values {
+                                versions: snap.to_vec(),
+                                clock: snap.clock(),
+                            },
+                            None => ReplicaReadReply::Missing,
+                        }
                     };
                     apply_nanos = t0.elapsed().as_nanos() as u64;
+                    lock_nanos = sedna_memstore::take_lock_wait_nanos();
                     self.obs.apply_hist.record(apply_nanos);
                     reply
                 };
@@ -732,6 +751,7 @@ impl SednaNode {
                         req,
                         reply,
                         apply_nanos,
+                        lock_nanos,
                     }),
                 );
             }
@@ -1014,6 +1034,7 @@ impl SednaNode {
                             req,
                             ack: ReplicaWriteAck::Refused,
                             apply_nanos: 0,
+                            lock_nanos: 0,
                         });
                     }
                 }
@@ -1027,6 +1048,7 @@ impl SednaNode {
                             req,
                             reply: ReplicaReadReply::Refused,
                             apply_nanos: 0,
+                            lock_nanos: 0,
                         });
                     }
                 }
@@ -1040,9 +1062,14 @@ impl SednaNode {
         // One shard lock covers each (shard, batch) group, so the honest
         // per-sub-op reading is the whole-group hold time: that is how long
         // the lock was actually unavailable on account of this frame.
+        sedna_memstore::take_lock_wait_nanos();
         let t0 = std::time::Instant::now();
-        let write_results = self.store.apply_batch(&write_items);
+        let write_results = {
+            sedna_obs::prof_scope!("node.apply_batch_write");
+            self.store.apply_batch(&write_items)
+        };
         let write_nanos = t0.elapsed().as_nanos() as u64;
+        let write_lock_nanos = sedna_memstore::take_lock_wait_nanos();
         if !write_items.is_empty() {
             self.obs.apply_hist.record(write_nanos);
         }
@@ -1083,10 +1110,14 @@ impl SednaNode {
                 req,
                 ack,
                 apply_nanos: write_nanos,
+                lock_nanos: write_lock_nanos,
             });
         }
         let t0 = std::time::Instant::now();
-        let read_results = self.store.get_many(&read_keys);
+        let read_results = {
+            sedna_obs::prof_scope!("node.apply_batch_read");
+            self.store.get_many(&read_keys)
+        };
         let read_nanos = t0.elapsed().as_nanos() as u64;
         if !read_keys.is_empty() {
             self.obs.apply_hist.record(read_nanos);
@@ -1107,6 +1138,7 @@ impl SednaNode {
                 req,
                 reply,
                 apply_nanos: read_nanos,
+                lock_nanos: 0,
             });
         }
         let mut acks: Vec<ReplicaOp> = acks.into_iter().flatten().collect();
@@ -1287,6 +1319,7 @@ impl SednaNode {
     }
 
     fn scan(&mut self, ctx: &mut Ctx<'_, SednaMsg>) {
+        sedna_obs::prof_scope!("node.trigger_scan");
         let now = ctx.now();
         // Sweep everything, but dispatch only keys this node is primary
         // for — one firing per logical change across the replica group.
@@ -1409,6 +1442,7 @@ impl Actor for SednaNode {
                 ctx.set_timer(T_STATS, self.cfg.stats_publish_interval_micros);
             }
             T_SYNC => {
+                sedna_obs::prof_scope!("node.anti_entropy");
                 self.sync_step(ctx);
                 ctx.set_timer(T_SYNC, self.cfg.sync_interval_micros);
             }

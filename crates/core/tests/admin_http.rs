@@ -246,6 +246,67 @@ fn admin_surface_serves_all_endpoints() {
     assert!(metrics.contains("sedna_alert_state{slo=\"read_p99\"}"));
     assert!(metrics.contains("sedna_alert_fired_total{slo=\"divergence_age\"}"));
 
+    // The build-info gauge identifies the binary on every scrape.
+    assert!(metrics.contains("# TYPE sedna_build_info gauge"));
+    assert!(metrics.contains("sedna_build_info{version=\""));
+    // The lock-contention counter is exported even with the profiler off.
+    assert!(metrics.contains("sedna_store_lock_contended"));
+
+    // The continuous profiler: the sampler was started by the cluster, and
+    // the workload above ran inside `prof_scope!` regions, so by now the
+    // cumulative view has stacks. Poll briefly — the sampler fires at
+    // ~997 Hz, so a few milliseconds of live traffic is plenty.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let collapsed = loop {
+        // Keep scopes alive while the sampler looks at them.
+        cluster.write_latest(&hot, Value::from("prof"));
+        cluster.read_latest(&hot);
+        let (status, body) = http_get(addr, "/profile?format=collapsed");
+        assert!(status.contains("200"), "bad status: {status}");
+        if !body.trim().is_empty() {
+            break body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "profiler never captured a stack from live traffic"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    // Collapsed format: every non-empty line is `frame;frame;frame count`
+    // — semicolon-joined frames, a space, and a positive integer count.
+    for line in collapsed.lines().filter(|l| !l.is_empty()) {
+        let (stack, count) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("collapsed line without count: {line}"));
+        count
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("non-integer collapsed count: {line}"));
+        assert!(
+            stack.split(';').all(|f| !f.is_empty()),
+            "empty frame in collapsed stack: {line}"
+        );
+    }
+
+    let (status, profile) = http_get(addr, "/profile");
+    assert!(status.contains("200"));
+    assert!(
+        profile.starts_with('{') && profile.ends_with('}'),
+        "body: {profile}"
+    );
+    assert!(profile.contains("\"cumulative\":["), "body: {profile}");
+    assert!(profile.contains("\"window\":["), "body: {profile}");
+    assert!(profile.contains("\"lock_contention\":{"), "body: {profile}");
+    assert!(profile.contains("\"allocs\":["), "body: {profile}");
+    // The tail critical-path decomposition rides along in the same document.
+    assert!(profile.contains("\"critical_path\":{"), "body: {profile}");
+    assert!(profile.contains("\"tail\":{"), "body: {profile}");
+    assert!(profile.contains("\"queue_micros\":"), "body: {profile}");
+
+    // The windowed collapsed view is also well-formed (may be empty if the
+    // last 10s were idle, which they were not here — but don't race on it).
+    let (status, _windowed) = http_get(addr, "/profile?format=collapsed&view=window");
+    assert!(status.contains("200"));
+
     // Persist the scrapes so CI can upload them as build artifacts (a
     // known-good reference of what the endpoints emit at this commit).
     let scrape_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/admin-scrape");
@@ -256,6 +317,8 @@ fn admin_surface_serves_all_endpoints() {
     std::fs::write(format!("{scrape_dir}/health.json"), &health).unwrap();
     std::fs::write(format!("{scrape_dir}/alerts.json"), &alerts).unwrap();
     std::fs::write(format!("{scrape_dir}/divergence.json"), &divergence).unwrap();
+    std::fs::write(format!("{scrape_dir}/profile.json"), &profile).unwrap();
+    std::fs::write(format!("{scrape_dir}/profile.collapsed"), &collapsed).unwrap();
 
     // Unknown paths get a proper 404 with a JSON body naming the path.
     let (status, body) = http_get(addr, "/definitely-not-here");

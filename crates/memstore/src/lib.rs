@@ -60,4 +60,7 @@ pub use policy::{ResolutionConfig, ResolverFn, TablePolicy};
 pub use sketch::{HotKey, SpaceSaving};
 pub use snap::RowSnapshot;
 pub use stats::StoreStats;
-pub use store::{BatchWrite, BatchWriteResult, DirtyRecord, MemStore, StoreConfig, StoreFootprint};
+pub use store::{
+    take_lock_wait_nanos, BatchWrite, BatchWriteResult, DirtyRecord, MemStore, StoreConfig,
+    StoreFootprint,
+};

@@ -51,6 +51,21 @@ use crate::snap::RowSnapshot;
 use crate::stats::{StatsSnapshot, StoreStats};
 use crate::table::{is_live, mix, Locate, Table};
 
+thread_local! {
+    /// Nanoseconds this thread spent blocked on contended shard locks
+    /// since the last [`take_lock_wait_nanos`] — lets the node attribute
+    /// lock wait to the specific op it just applied and report it in the
+    /// ack for the client's critical-path decomposition.
+    static LOCK_WAIT_NANOS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Returns and resets the calling thread's accumulated contended
+/// shard-lock wait (nanoseconds). Call before and after an apply to
+/// bracket the wait attributable to that op.
+pub fn take_lock_wait_nanos() -> u64 {
+    LOCK_WAIT_NANOS.with(|w| w.replace(0))
+}
+
 /// Fixed per-row overhead charged to the memory budget (index slot, row
 /// header) — the analogue of memcached's item header.
 const ROW_OVERHEAD: usize = 64;
@@ -273,10 +288,12 @@ impl MemStore {
         }
         let t0 = std::time::Instant::now();
         let g = shard.inner.lock();
-        let waited = t0.elapsed().as_micros() as u64;
+        let waited_nanos = t0.elapsed().as_nanos() as u64;
+        let waited = waited_nanos / 1_000;
         EngineStats::add(&self.engine.lock_waits, 1);
         self.engine.lock_wait_micros.record(waited);
         flight::record(FlightKind::ShardLockWait, waited);
+        LOCK_WAIT_NANOS.with(|w| w.set(w.get().saturating_add(waited_nanos)));
         g
     }
 
@@ -493,6 +510,7 @@ impl MemStore {
     ///
     /// Shard mutex held.
     unsafe fn rehash(&self, shard: &Shard, inner: &mut ShardInner, guard: &Guard) {
+        sedna_obs::prof_scope!("store.rehash");
         let old_ptr = shard.table.load(Ordering::Acquire);
         let old = &*old_ptr;
         let cap = ((inner.live + 1) * 2)
@@ -1083,6 +1101,7 @@ impl MemStore {
     /// roving cursor — exact LRU for shards at or below the sample size,
     /// memcached-style approximation beyond it.
     fn evict_from(&self, shard: &Shard, inner: &mut ShardInner, guard: &Guard, budget: usize) {
+        sedna_obs::prof_scope!("store.evict");
         let mut attempts = inner.live;
         while inner.payload_bytes > budget && inner.live > 1 && attempts > 0 {
             attempts -= 1;

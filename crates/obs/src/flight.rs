@@ -66,6 +66,10 @@ pub enum FlightKind {
     Violation = 12,
     /// Panic hook fired (arg: 0).
     Panic = 13,
+    /// Critical-path decomposition of a slow op (arg: the four attributed
+    /// segments packed by `critpath::Segments::pack` — queue, lock, apply,
+    /// net µs, 16 bits each).
+    CritPath = 14,
 }
 
 /// Human label for a dump code (stable even for hook-emitted raw codes).
@@ -84,6 +88,7 @@ pub fn kind_name(code: u8) -> &'static str {
         11 => "slow_op",
         12 => "violation",
         13 => "panic",
+        14 => "crit_path",
         _ => "unknown",
     }
 }

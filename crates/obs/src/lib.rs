@@ -26,21 +26,31 @@
 //!   multi-window burn-rate evaluation, and a pending → firing → resolved
 //!   state machine that journals transitions and dumps the flight recorder;
 //! * [`health`] — the red/amber/green rollup over the alert engine, the
-//!   payload behind the admin surface's `/health`.
+//!   payload behind the admin surface's `/health`;
+//! * [`prof`] — the continuous profiler: scope-stack statistical sampling
+//!   ([`prof_scope!`] + a ~997 Hz sampler thread), lock-contention and
+//!   allocation attribution, exported as collapsed-stack flamegraph text
+//!   and JSON behind the admin surface's `/profile`;
+//! * [`critpath`] — tail critical-path decomposition: a finished span tree
+//!   split into queue / lock / apply / net segments, aggregated into the
+//!   tail attribution the nemesis reports carry.
 //!
 //! The crate has no external dependencies (offline-shim policy) and only
 //! leans on `sedna-common` for the id newtypes.
 
 pub mod alert;
+pub mod critpath;
 pub mod flight;
 pub mod health;
 pub mod hist;
 pub mod journal;
+pub mod prof;
 pub mod registry;
 pub mod trace;
 pub mod window;
 
 pub use alert::{AlertEngine, AlertPhase, AlertTransition, AlertView, Objective, SloSpec};
+pub use critpath::{Segments, TailAttribution, TailSnapshot};
 pub use flight::{AnomalyDump, FlightEvent, FlightKind, ThreadDump};
 pub use health::{HealthReport, Rag};
 pub use hist::{HistSnapshot, Histogram};

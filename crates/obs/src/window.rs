@@ -271,6 +271,68 @@ mod tests {
     }
 
     #[test]
+    fn records_straddling_a_window_boundary_split_cleanly() {
+        // Two samples one microsecond apart on either side of a boundary
+        // belong to *different* windows: counted together while both are
+        // retained, then expiring on their own schedules.
+        let wh = WindowedHistogram::new(W, 2);
+        wh.record(W - 1, 1); // last µs of window 0
+        wh.record(W, 2); // first µs of window 1
+        let wins = wh.windows(W);
+        assert_eq!(wins.len(), 2);
+        assert_eq!((wins[0].0, wins[1].0), (0, W));
+        assert_eq!(wh.merged(W).count, 2);
+        // Window 0 ages out first; window 1 follows one width later.
+        assert_eq!(wh.merged(2 * W).count, 1);
+        assert_eq!(wh.merged(2 * W).min, 2);
+        assert_eq!(wh.merged(3 * W).count, 0);
+    }
+
+    #[test]
+    fn idle_gap_leaves_fully_stale_windows_then_recovers() {
+        // After an idle gap longer than the retention span, every window is
+        // stale: the merged view must be empty (not the last pre-gap data)
+        // and the first post-gap sample starts a fresh, correct view.
+        let wh = WindowedHistogram::new(W, 3);
+        wh.record(100, 11);
+        wh.record(W + 100, 22);
+        assert_eq!(wh.merged(W + 100).count, 2);
+        // Gap of 100 windows with no records: all retained state is stale.
+        let after_gap = 100 * W;
+        assert_eq!(wh.merged(after_gap).count, 0);
+        assert!(wh.windows(after_gap).is_empty());
+        // Recovery: a new sample is the only thing the view reports.
+        wh.record(after_gap + 5, 33);
+        let m = wh.merged(after_gap + 5);
+        assert_eq!((m.count, m.min, m.max), (1, 33, 33));
+    }
+
+    #[test]
+    fn rate_over_empty_windows_is_zero_not_stale() {
+        // A tracker whose samples have all aged past the horizon must
+        // report 0.0 — not the last computed rate, and not a rate derived
+        // from one surviving anchor sample.
+        let rt = RateTracker::new(W, 2);
+        rt.observe(0, 0);
+        rt.observe(W, 500);
+        assert!(rt.rate_per_sec(W) > 0.0);
+        // Far future: pruning leaves at most one sample → no measurable
+        // span → rate 0.0 instead of a division by a stale interval.
+        assert_eq!(rt.rate_per_sec(100 * W), 0.0);
+        // A lone post-gap sample pairs with the surviving pre-gap anchor:
+        // the delta is real but diluted across the idle span.
+        rt.observe(100 * W, 700);
+        let diluted = rt.rate_per_sec(100 * W);
+        assert!(diluted > 0.0 && diluted < 2_100.0, "diluted={diluted}");
+        // Once newer samples push the stale anchor past the horizon, the
+        // rate again reflects only the live span.
+        rt.observe(101 * W, 1_700);
+        rt.observe(102 * W, 2_700);
+        let r = rt.rate_per_sec(102 * W);
+        assert!((r - 1_000_000.0).abs() < 1.0, "rate={r}");
+    }
+
+    #[test]
     fn rate_tracker_degenerate_cases() {
         let rt = RateTracker::new(W, 4);
         assert_eq!(rt.rate_per_sec(0), 0.0);

@@ -21,6 +21,8 @@
 //! divergence                 the replica Merkle-root matrix + open mismatch ages
 //! internals <node>           engine internals (probe/locks/slab/epoch) for one node
 //! flight <node>              the node thread's flight-recorder ring, oldest first
+//! profile [seconds]          sample the continuous profiler and print the
+//!                            hottest stacks over the interval (default 2s)
 //! admin                      the admin surface's URL (curl it for /metrics …)
 //! help                       this text
 //! quit                       shut the cluster down
@@ -121,7 +123,7 @@ fn main() {
     if let Some(addr) = cluster.admin_addr() {
         println!(
             "admin surface: http://{addr}/metrics (also /journal /vnodes /hotkeys /staleness \
-             /internals /flight /health /alerts /divergence)"
+             /internals /flight /health /alerts /divergence /profile)"
         );
     }
     println!("ready. type 'help' for commands.\n");
@@ -144,12 +146,12 @@ fn main() {
             ["help"] => println!(
                 "set/get/setall/getall <key> [value] · tset/tget <ds> <table> <k> [v] · \
                  scan <ds> <table> · stats · metrics · journal · health · alerts · \
-                 divergence · internals <node> · flight <node> · admin · quit"
+                 divergence · internals <node> · flight <node> · profile [secs] · admin · quit"
             ),
             ["admin"] => match cluster.admin_addr() {
                 Some(addr) => println!(
                     "curl http://{addr}/metrics   (or /journal /vnodes /hotkeys /staleness \
-                     /internals /flight /health /alerts /divergence)"
+                     /internals /flight /health /alerts /divergence /profile)"
                 ),
                 None => println!("(admin surface not running)"),
             },
@@ -293,6 +295,64 @@ fn main() {
                         println!("[{:>10}µs] {}", e.at, e.kind);
                     }
                 }
+            },
+            ["profile", rest @ ..] if rest.len() <= 1 => match cluster.admin_addr() {
+                // Two scrapes of the collapsed cumulative view bracket the
+                // interval; the per-stack count deltas are exactly the
+                // samples taken while we slept, i.e. where the cluster
+                // spent its time over those seconds.
+                Some(addr) => {
+                    let secs = rest
+                        .first()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or(2)
+                        .clamp(1, 60);
+                    let parse = |body: String| -> std::collections::HashMap<String, u64> {
+                        body.lines()
+                            .filter_map(|l| {
+                                let (stack, n) = l.rsplit_once(' ')?;
+                                Some((stack.to_string(), n.parse().ok()?))
+                            })
+                            .collect()
+                    };
+                    let before = admin_get(addr, "/profile?format=collapsed").map(parse);
+                    println!("sampling for {secs}s… (the profiler sees whatever runs meanwhile)");
+                    std::thread::sleep(Duration::from_secs(secs));
+                    let after = admin_get(addr, "/profile?format=collapsed").map(parse);
+                    match (before, after) {
+                        (Some(before), Some(after)) => {
+                            let mut hot: Vec<(String, u64)> = after
+                                .into_iter()
+                                .filter_map(|(stack, n)| {
+                                    let base = before.get(&stack).copied().unwrap_or(0);
+                                    let delta = n.saturating_sub(base);
+                                    (delta > 0).then_some((stack, delta))
+                                })
+                                .collect();
+                            hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                            let total: u64 = hot.iter().map(|(_, n)| n).sum();
+                            if total == 0 {
+                                println!(
+                                    "(no samples in the interval — the sampler only sees \
+                                     threads inside prof_scope! regions; run some traffic)"
+                                );
+                            } else {
+                                println!(
+                                    "{total} samples over {secs}s · top {} stacks:",
+                                    hot.len().min(10)
+                                );
+                                for (stack, n) in hot.iter().take(10) {
+                                    println!(
+                                        "  {n:>6} ({:>5.1}%)  {stack}",
+                                        *n as f64 * 100.0 / total as f64
+                                    );
+                                }
+                            }
+                        }
+                        _ => println!("(admin surface unreachable)"),
+                    }
+                }
+                None => println!("(admin surface not running)"),
             },
             ["health"] | ["alerts"] | ["divergence"] => match cluster.admin_addr() {
                 Some(addr) => {
